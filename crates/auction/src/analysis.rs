@@ -1,0 +1,241 @@
+//! Mechanism-property analysis (paper §VI and Fig. 8):
+//! utilities, individual rationality, truthfulness probing, social cost and
+//! empirical approximation ratios.
+
+use crate::mechanism::{AuctionError, AuctionMechanism, AuctionOutcome};
+use crate::optimal::solve_exact;
+use crate::soac::SoacProblem;
+use imc2_common::{ValidationError, WorkerId};
+
+/// Per-worker utilities `u_i = p_i − c_i` for winners, 0 for losers (eq. 1).
+///
+/// # Errors
+/// Returns [`ValidationError`] if `costs` does not match the worker count.
+pub fn utilities(outcome: &AuctionOutcome, costs: &[f64]) -> Result<Vec<f64>, ValidationError> {
+    if costs.len() != outcome.payments.len() {
+        return Err(ValidationError::new("cost vector length must equal worker count"));
+    }
+    Ok(outcome
+        .payments
+        .iter()
+        .zip(costs)
+        .enumerate()
+        .map(|(k, (&p, &c))| if outcome.is_winner(WorkerId(k)) { p - c } else { 0.0 })
+        .collect())
+}
+
+/// Social cost of a winner set: `Σ_{i∈S} c_i` (the minimization target of
+/// eq. 4, measured with *true* costs).
+pub fn social_cost(winners: &[WorkerId], costs: &[f64]) -> f64 {
+    winners.iter().map(|w| costs[w.index()]).sum()
+}
+
+/// Whether every winner's utility is non-negative under truthful bidding
+/// (individual rationality, Lemma 2).
+pub fn is_individually_rational(outcome: &AuctionOutcome, costs: &[f64]) -> bool {
+    utilities(outcome, costs).map(|u| u.iter().all(|&x| x >= -1e-9)).unwrap_or(false)
+}
+
+/// One point of a utility curve: the declared bid and the resulting utility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityPoint {
+    /// The declared (possibly untruthful) bid price.
+    pub bid: f64,
+    /// The utility earned with that declaration.
+    pub utility: f64,
+    /// Whether the worker won at that declaration.
+    pub won: bool,
+}
+
+/// Sweeps worker `w`'s declared bid over `bids`, re-running `mechanism`
+/// each time, with all other workers truthful. The worker's *true* cost is
+/// `costs[w]`; utility is `p_w − c_w` when winning, 0 otherwise (Fig. 8's
+/// experiment).
+///
+/// Instances where the mechanism fails (infeasible/monopolist) yield no
+/// point for that bid.
+pub fn utility_curve<M: AuctionMechanism>(
+    mechanism: &M,
+    problem: &SoacProblem,
+    costs: &[f64],
+    w: WorkerId,
+    bids: &[f64],
+) -> Vec<UtilityPoint> {
+    bids.iter()
+        .filter_map(|&b| {
+            let deviated = problem.with_bid_price(w, b);
+            match mechanism.run(&deviated) {
+                Ok(out) => {
+                    let won = out.is_winner(w);
+                    let utility = if won { out.payments[w.index()] - costs[w.index()] } else { 0.0 };
+                    Some(UtilityPoint { bid: b, utility, won })
+                }
+                Err(AuctionError::Infeasible { .. } | AuctionError::Monopolist { .. }) => None,
+            }
+        })
+        .collect()
+}
+
+/// Verdict of a truthfulness probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthfulnessReport {
+    /// Utility when declaring the true cost.
+    pub truthful_utility: f64,
+    /// Best utility found across all probed deviations.
+    pub best_deviation_utility: f64,
+    /// Whether no probed deviation beat truthful bidding (within tolerance).
+    pub truthful: bool,
+}
+
+/// Probes worker `w` with multiplicative deviations of its true cost and
+/// checks none improves on truthfulness (Lemma 3's property, empirically).
+pub fn probe_truthfulness<M: AuctionMechanism>(
+    mechanism: &M,
+    problem: &SoacProblem,
+    costs: &[f64],
+    w: WorkerId,
+    multipliers: &[f64],
+) -> TruthfulnessReport {
+    let truth = costs[w.index()];
+    let truthful_utility = utility_curve(mechanism, problem, costs, w, &[truth])
+        .first()
+        .map(|p| p.utility)
+        .unwrap_or(0.0);
+    let bids: Vec<f64> = multipliers.iter().map(|m| m * truth).collect();
+    let best_deviation_utility = utility_curve(mechanism, problem, costs, w, &bids)
+        .iter()
+        .map(|p| p.utility)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best = best_deviation_utility.max(truthful_utility);
+    TruthfulnessReport {
+        truthful_utility,
+        best_deviation_utility: best,
+        truthful: best <= truthful_utility + 1e-6,
+    }
+}
+
+/// Greedy-vs-optimal cost ratio on one instance (≥ 1; 1 = optimal).
+///
+/// Returns `None` when the instance is infeasible or the mechanism fails.
+pub fn approximation_ratio<M: AuctionMechanism>(mechanism: &M, problem: &SoacProblem) -> Option<f64> {
+    let outcome = mechanism.run(problem).ok()?;
+    let greedy_cost: f64 = outcome.winners.iter().map(|&w| problem.bid(w).price()).sum();
+    let exact = solve_exact(problem)?;
+    if exact.cost <= 0.0 {
+        return None;
+    }
+    Some(greedy_cost / exact.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::ReverseAuction;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    fn competitive() -> SoacProblem {
+        problem(
+            vec![(vec![0], 3.0), (vec![0], 5.0), (vec![0], 8.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
+            vec![1.0],
+        )
+    }
+
+    #[test]
+    fn utilities_and_ir() {
+        let p = competitive();
+        let out = ReverseAuction::new().run(&p).unwrap();
+        let costs = vec![3.0, 5.0, 8.0];
+        let u = utilities(&out, &costs).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(is_individually_rational(&out, &costs));
+        // Winner 0 is paid the runner-up 5 → utility 2.
+        assert!((u[0] - 2.0).abs() < 1e-9);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn utilities_rejects_bad_lengths() {
+        let p = competitive();
+        let out = ReverseAuction::new().run(&p).unwrap();
+        assert!(utilities(&out, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn social_cost_sums_true_costs() {
+        assert_eq!(social_cost(&[WorkerId(0), WorkerId(2)], &[1.0, 2.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn utility_curve_flat_for_winner_below_critical() {
+        let p = competitive();
+        let costs = vec![3.0, 5.0, 8.0];
+        let curve = utility_curve(
+            &ReverseAuction::new(),
+            &p,
+            &costs,
+            WorkerId(0),
+            &[1.0, 2.0, 3.0, 4.0, 4.9],
+        );
+        // Any bid below the critical 5 wins and is paid 5 → utility 2.
+        for pt in &curve {
+            assert!(pt.won, "bid {} should win", pt.bid);
+            assert!((pt.utility - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn utility_curve_zero_after_losing() {
+        let p = competitive();
+        let costs = vec![3.0, 5.0, 8.0];
+        let curve = utility_curve(&ReverseAuction::new(), &p, &costs, WorkerId(0), &[6.0, 7.0]);
+        for pt in &curve {
+            assert!(!pt.won);
+            assert_eq!(pt.utility, 0.0);
+        }
+    }
+
+    #[test]
+    fn truthfulness_probe_passes_for_reverse_auction() {
+        let p = competitive();
+        let costs = vec![3.0, 5.0, 8.0];
+        for w in 0..3 {
+            let rep = probe_truthfulness(
+                &ReverseAuction::new(),
+                &p,
+                &costs,
+                WorkerId(w),
+                &[0.25, 0.5, 0.8, 1.2, 2.0, 4.0],
+            );
+            assert!(rep.truthful, "worker {w} found a profitable deviation: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn approximation_ratio_at_least_one() {
+        let p = competitive();
+        let ratio = approximation_ratio(&ReverseAuction::new(), &p).unwrap();
+        assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn approximation_ratio_none_when_infeasible() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.2)], vec![1.0]);
+        assert!(approximation_ratio(&ReverseAuction::new(), &p).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Dual-fitting lower bound on the optimal social cost (paper §VI).
+//!
+//! The approximation proof (Lemmas 4–5) fits a feasible solution of the
+//! dual program D (eq. 26–29) from the greedy run itself. By LP weak
+//! duality, any feasible dual objective lower-bounds the optimal *integral*
+//! social cost — which gives a per-instance certificate
+//!
+//! ```text
+//! greedy cost / dual bound  ≥  greedy cost / OPT  (the true ratio)
+//! ```
+//!
+//! without ever solving the NP-hard problem. This module constructs a
+//! simple feasible dual from the greedy trace: every task alive at step `k`
+//! gets `y_j = u_k · covered_j(k) / Θ_j` where `u_k` is the step's effective
+//! accuracy unit cost deflated by the harmonic factor `H_n`, and `z_i = 0`.
+//! Feasibility of constraint (27), `Σ_j A_i^j y_j − z_i ≤ b_i`, is then
+//! *verified numerically* and the objective `Σ_j Θ_j y_j − Σ_i z_i` is
+//! returned together with the verification report. If verification fails
+//! (it cannot, up to float error, given the deflation — the classic greedy
+//! set-cover charging argument), the bound is scaled down until feasible,
+//! so the returned value is always a genuine lower bound.
+
+use crate::greedy::{select_winners, SelectionTrace};
+use crate::mechanism::AuctionError;
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// A certified dual-feasible lower bound for one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualCertificate {
+    /// The dual objective: a lower bound on the optimal social cost.
+    pub lower_bound: f64,
+    /// The greedy mechanism's social cost (sum of winner bids).
+    pub greedy_cost: f64,
+    /// `greedy_cost / lower_bound` — an upper bound on the true
+    /// approximation ratio of this instance.
+    pub certified_ratio: f64,
+    /// The fitted dual variables `y_j` (after any feasibility rescale).
+    pub y: Vec<f64>,
+    /// How much the raw fitted duals had to be scaled to be feasible
+    /// (1.0 = the charging argument was tight as-is).
+    pub feasibility_scale: f64,
+}
+
+/// Harmonic number `H_k`.
+fn harmonic(k: usize) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Builds the certificate for an instance.
+///
+/// # Errors
+/// Returns [`AuctionError::Infeasible`] when the greedy selection itself
+/// cannot cover the requirements.
+pub fn certify(problem: &SoacProblem) -> Result<DualCertificate, AuctionError> {
+    let trace: SelectionTrace = select_winners(problem, None)?;
+    let m = problem.n_tasks();
+    let n = problem.n_workers();
+    let greedy_cost: f64 = trace
+        .steps
+        .iter()
+        .map(|s| problem.bid(s.worker).price())
+        .sum();
+
+    // Fit y: distribute each step's payment over the accuracy units it buys,
+    // deflated by H_n (the classic set-cover dual-fitting factor).
+    let h = harmonic(n.max(1));
+    let mut y = vec![0.0f64; m];
+    for step in &trace.steps {
+        if step.coverage <= 0.0 {
+            continue;
+        }
+        let unit = problem.bid(step.worker).price() / step.coverage / h;
+        for &t in problem.bid(step.worker).tasks() {
+            let before = step.residual_before[t.index()];
+            let bought = before.min(problem.accuracy()[(step.worker, t)]).max(0.0);
+            if bought > 0.0 {
+                // Requirement units of task t priced at `unit`, normalized by Θ_j
+                // so the objective term Θ_j·y_j recovers the charge.
+                y[t.index()] += unit * bought / problem.requirements()[t.index()];
+            }
+        }
+    }
+
+    // Verify constraint (27) with z = 0: Σ_j A_i^j y_j ≤ b_i for every i;
+    // rescale down if float slack is violated.
+    let mut scale: f64 = 1.0;
+    for i in 0..n {
+        let w = WorkerId(i);
+        let lhs: f64 = problem
+            .bid(w)
+            .tasks()
+            .iter()
+            .map(|&t| problem.accuracy()[(w, t)] * y[t.index()])
+            .sum();
+        let b = problem.bid(w).price();
+        if lhs > b && lhs > 0.0 {
+            scale = scale.min(b / lhs);
+        }
+    }
+    if scale < 1.0 {
+        for v in &mut y {
+            *v *= scale;
+        }
+    }
+
+    let lower_bound: f64 = y
+        .iter()
+        .zip(problem.requirements())
+        .map(|(&yj, &theta)| theta * yj)
+        .sum();
+    let certified_ratio = if lower_bound > 0.0 { greedy_cost / lower_bound } else { f64::INFINITY };
+    Ok(DualCertificate { lower_bound, greedy_cost, certified_ratio, y, feasibility_scale: scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::solve_exact;
+    use crate::soac::Bid;
+    use imc2_common::{rng_from_seed, Grid, TaskId};
+    use rand::Rng;
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn certificate_bounds_are_ordered() {
+        let p = problem(
+            vec![(vec![0], 3.0), (vec![0], 5.0), (vec![0, 1], 4.0), (vec![1], 2.0)],
+            &[(0, 0, 0.9), (1, 0, 0.9), (2, 0, 0.7), (2, 1, 0.7), (3, 1, 0.9)],
+            vec![1.2, 0.8],
+        );
+        let cert = certify(&p).unwrap();
+        assert!(cert.lower_bound > 0.0);
+        assert!(cert.greedy_cost >= cert.lower_bound - 1e-9);
+        assert!(cert.certified_ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn dual_bound_never_exceeds_exact_optimum() {
+        // Weak duality, verified against brute force on random instances.
+        let mut rng = rng_from_seed(77);
+        let mut checked = 0;
+        for _ in 0..30 {
+            let n = rng.gen_range(3..9);
+            let m = rng.gen_range(1..4);
+            let bids: Vec<(Vec<usize>, f64)> = (0..n)
+                .map(|_| {
+                    let k = rng.gen_range(1..=m);
+                    let mut ts: Vec<usize> = (0..m).collect();
+                    for i in (1..m).rev() {
+                        let j = rng.gen_range(0..=i);
+                        ts.swap(i, j);
+                    }
+                    ts.truncate(k);
+                    (ts, rng.gen_range(1.0..9.0))
+                })
+                .collect();
+            let mut cells = Vec::new();
+            for (w, (ts, _)) in bids.iter().enumerate() {
+                for &t in ts {
+                    cells.push((w, t, rng.gen_range(0.4..1.0)));
+                }
+            }
+            let theta: Vec<f64> = (0..m).map(|_| rng.gen_range(0.4..1.0)).collect();
+            let p = problem(bids, &cells, theta);
+            let Ok(cert) = certify(&p) else { continue };
+            let Some(exact) = solve_exact(&p) else { continue };
+            assert!(
+                cert.lower_bound <= exact.cost + 1e-6,
+                "dual bound {} exceeds OPT {}",
+                cert.lower_bound,
+                exact.cost
+            );
+            assert!(cert.greedy_cost / exact.cost <= cert.certified_ratio + 1e-6);
+            checked += 1;
+        }
+        assert!(checked >= 10, "need enough feasible random instances, got {checked}");
+    }
+
+    #[test]
+    fn infeasible_instance_errors() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.2)], vec![1.0]);
+        assert!(certify(&p).is_err());
+    }
+
+    #[test]
+    fn feasibility_scale_reported() {
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 2.0)],
+            &[(0, 0, 0.6), (1, 0, 0.6)],
+            vec![1.0],
+        );
+        let cert = certify(&p).unwrap();
+        assert!(cert.feasibility_scale > 0.0 && cert.feasibility_scale <= 1.0);
+        assert_eq!(cert.y.len(), 1);
+    }
+}

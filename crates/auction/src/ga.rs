@@ -1,0 +1,166 @@
+//! GA — the Greedy-Accuracy baseline of §VII-A.
+//!
+//! "Each time, GA selects the worker with the highest accuracy, and pays the
+//! critical value to the winners." Selection ranks workers by their total
+//! accuracy over their bid set (ignoring price entirely), skipping workers
+//! whose marginal coverage is zero so the loop always progresses.
+//!
+//! Because selection never reads the bid, no finite bid changes the outcome
+//! and a bid-based critical value does not exist; winners are paid their bid
+//! (design note 5 — only the *social cost*, the sum of winners' true costs,
+//! is plotted in Fig. 6, so the payment rule does not affect any reproduced
+//! curve).
+
+use crate::greedy::RESIDUAL_TOL;
+use crate::mechanism::{AuctionError, AuctionMechanism, AuctionOutcome};
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// The greedy-by-accuracy baseline mechanism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyAccuracy {
+    _private: (),
+}
+
+impl GreedyAccuracy {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        GreedyAccuracy { _private: () }
+    }
+}
+
+impl AuctionMechanism for GreedyAccuracy {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let n = problem.n_workers();
+        // Static accuracy score: the worker's mean accuracy over its bid
+        // set. "Highest accuracy" reads as worker quality, not total
+        // coverage — which is exactly why GA overspends: it gladly picks
+        // accurate workers who cover almost nothing.
+        let score: Vec<f64> = (0..n)
+            .map(|k| {
+                let w = WorkerId(k);
+                let tasks = problem.bid(w).tasks();
+                if tasks.is_empty() {
+                    return 0.0;
+                }
+                let total: f64 = tasks.iter().map(|&t| problem.accuracy()[(w, t)]).sum();
+                total / tasks.len() as f64
+            })
+            .collect();
+        let mut residual: Vec<f64> = problem.requirements().to_vec();
+        let mut selected = vec![false; n];
+        let mut winners = Vec::new();
+        while residual.iter().sum::<f64>() > RESIDUAL_TOL {
+            let mut best: Option<WorkerId> = None;
+            for k in 0..n {
+                if selected[k] {
+                    continue;
+                }
+                let w = WorkerId(k);
+                if problem.coverage(w, &residual) <= RESIDUAL_TOL {
+                    continue;
+                }
+                best = match best {
+                    None => Some(w),
+                    Some(b) if score[k] > score[b.index()] => Some(w),
+                    keep => keep,
+                };
+            }
+            let Some(w) = best else {
+                let task = residual
+                    .iter()
+                    .position(|&x| x > RESIDUAL_TOL)
+                    .map(imc2_common::TaskId)
+                    .expect("residual remains");
+                return Err(AuctionError::Infeasible { task });
+            };
+            winners.push(w);
+            selected[w.index()] = true;
+            for &t in problem.bid(w).tasks() {
+                let cell = &mut residual[t.index()];
+                *cell = (*cell - problem.accuracy()[(w, t)]).max(0.0);
+                if *cell < RESIDUAL_TOL {
+                    *cell = 0.0;
+                }
+            }
+        }
+        winners.sort_unstable();
+        let mut payments = vec![0.0; n];
+        for &w in &winners {
+            payments[w.index()] = problem.bid(w).price();
+        }
+        Ok(AuctionOutcome { winners, payments })
+    }
+
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn prefers_high_accuracy_regardless_of_price() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 100.0)],
+            &[(0, 0, 0.6), (1, 0, 0.9)],
+            vec![0.9],
+        );
+        let out = GreedyAccuracy::new().run(&p).unwrap();
+        assert_eq!(out.winners, vec![WorkerId(1)], "GA must ignore the price");
+    }
+
+    #[test]
+    fn covers_requirements() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 2.0), (vec![0], 3.0)],
+            &[(0, 0, 0.5), (1, 0, 0.6), (2, 0, 0.7)],
+            vec![1.5],
+        );
+        let out = GreedyAccuracy::new().run(&p).unwrap();
+        assert!(p.is_feasible(&out.winners));
+    }
+
+    #[test]
+    fn skips_zero_marginal_workers() {
+        // Worker 1 only covers task 0, which worker 0 already saturates.
+        let p = problem(
+            vec![(vec![0, 1], 1.0), (vec![0], 1.0)],
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 0.9)],
+            vec![0.8, 0.8],
+        );
+        let out = GreedyAccuracy::new().run(&p).unwrap();
+        assert_eq!(out.winners, vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn infeasible_errors() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.2)], vec![1.0]);
+        assert!(GreedyAccuracy::new().run(&p).is_err());
+    }
+
+    #[test]
+    fn pays_bid() {
+        let p = problem(vec![(vec![0], 7.5)], &[(0, 0, 1.0)], vec![0.9]);
+        let out = GreedyAccuracy::new().run(&p).unwrap();
+        assert_eq!(out.payments[0], 7.5);
+    }
+}

@@ -1,0 +1,154 @@
+//! GB — the Greedy-Bid baseline of §VII-A.
+//!
+//! "Each time, GB selects the worker with the lowest bid, and follows the
+//! Vickrey Auction payment rule." Selection ranks by raw bid price (ignoring
+//! how much accuracy the worker actually contributes), skipping workers with
+//! zero marginal coverage; each winner is paid the lowest *competing* bid
+//! still eligible at its selection step — the Vickrey second price of that
+//! round.
+
+use crate::greedy::RESIDUAL_TOL;
+use crate::mechanism::{AuctionError, AuctionMechanism, AuctionOutcome};
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// The greedy-by-bid baseline mechanism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyBid {
+    _private: (),
+}
+
+impl GreedyBid {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        GreedyBid { _private: () }
+    }
+}
+
+impl AuctionMechanism for GreedyBid {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let n = problem.n_workers();
+        let mut residual: Vec<f64> = problem.requirements().to_vec();
+        let mut selected = vec![false; n];
+        let mut winners = Vec::new();
+        let mut payments = vec![0.0; n];
+        while residual.iter().sum::<f64>() > RESIDUAL_TOL {
+            // Lowest eligible bid, runner-up for the Vickrey price.
+            let mut best: Option<WorkerId> = None;
+            let mut second: Option<f64> = None;
+            for k in 0..n {
+                if selected[k] {
+                    continue;
+                }
+                let w = WorkerId(k);
+                if problem.coverage(w, &residual) <= RESIDUAL_TOL {
+                    continue;
+                }
+                let price = problem.bid(w).price();
+                match best {
+                    None => best = Some(w),
+                    Some(b) if price < problem.bid(b).price() => {
+                        second = Some(problem.bid(b).price());
+                        best = Some(w);
+                    }
+                    Some(_) => {
+                        second = Some(second.map_or(price, |s: f64| s.min(price)));
+                    }
+                }
+            }
+            let Some(w) = best else {
+                let task = residual
+                    .iter()
+                    .position(|&x| x > RESIDUAL_TOL)
+                    .map(imc2_common::TaskId)
+                    .expect("residual remains");
+                return Err(AuctionError::Infeasible { task });
+            };
+            winners.push(w);
+            selected[w.index()] = true;
+            // Vickrey: pay the runner-up bid; a lone eligible worker gets its
+            // own bid (no competition to price against).
+            payments[w.index()] = second.unwrap_or_else(|| problem.bid(w).price());
+            for &t in problem.bid(w).tasks() {
+                let cell = &mut residual[t.index()];
+                *cell = (*cell - problem.accuracy()[(w, t)]).max(0.0);
+                if *cell < RESIDUAL_TOL {
+                    *cell = 0.0;
+                }
+            }
+        }
+        winners.sort_unstable();
+        Ok(AuctionOutcome { winners, payments })
+    }
+
+    fn name(&self) -> &'static str {
+        "GB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn prefers_lowest_bid_regardless_of_accuracy() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 5.0)],
+            &[(0, 0, 0.2), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let out = GreedyBid::new().run(&p).unwrap();
+        // Cheap worker picked first even though it barely helps.
+        assert!(out.winners.contains(&WorkerId(0)));
+        assert!(out.winners.contains(&WorkerId(1)), "still needs the accurate one to finish");
+    }
+
+    #[test]
+    fn vickrey_payment_is_runner_up_bid() {
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 3.5)],
+            &[(0, 0, 1.0), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let out = GreedyBid::new().run(&p).unwrap();
+        assert_eq!(out.winners, vec![WorkerId(0)]);
+        assert!((out.payments[0] - 3.5).abs() < 1e-9, "second price expected");
+    }
+
+    #[test]
+    fn lone_eligible_worker_paid_its_bid() {
+        let p = problem(vec![(vec![0], 4.0)], &[(0, 0, 1.0)], vec![0.5]);
+        let out = GreedyBid::new().run(&p).unwrap();
+        assert_eq!(out.payments[0], 4.0);
+    }
+
+    #[test]
+    fn covers_requirements_or_errors() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 2.0)],
+            &[(0, 0, 0.5), (1, 0, 0.5)],
+            vec![1.0],
+        );
+        let out = GreedyBid::new().run(&p).unwrap();
+        assert!(p.is_feasible(&out.winners));
+
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.5)], vec![1.0]);
+        assert!(GreedyBid::new().run(&p).is_err());
+    }
+}

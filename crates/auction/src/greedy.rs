@@ -1,0 +1,214 @@
+//! Winner selection phase of Algorithm 2 (lines 1–8).
+//!
+//! Repeatedly select the worker minimizing the *effective accuracy unit
+//! cost* `b_i / Σ_{j∈T_i} min(Θ'_j, A_i^j)` over the residual requirement
+//! profile `Θ'`, subtracting the covered accuracy after each pick, until
+//! every task's requirement is exhausted.
+
+use crate::mechanism::AuctionError;
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// Residual mass below which a requirement counts as satisfied (guards the
+/// float subtraction `Θ' −= min(Θ', A)`).
+pub(crate) const RESIDUAL_TOL: f64 = 1e-9;
+
+/// A single step of the greedy selection, as recorded by the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionStep {
+    /// The worker picked at this step.
+    pub worker: WorkerId,
+    /// The residual requirement profile *before* this pick.
+    pub residual_before: Vec<f64>,
+    /// The worker's coverage `Σ min(Θ', A)` at pick time.
+    pub coverage: f64,
+}
+
+/// Outcome of the selection phase: the winners in pick order plus the full
+/// trace (payment determination replays it against `W∖{i}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionTrace {
+    /// Picks in order.
+    pub steps: Vec<SelectionStep>,
+}
+
+impl SelectionTrace {
+    /// The selected workers in pick order.
+    pub fn winners(&self) -> Vec<WorkerId> {
+        self.steps.iter().map(|s| s.worker).collect()
+    }
+}
+
+/// Runs the winner-selection phase.
+///
+/// `excluded` workers are never picked (used by payment determination).
+///
+/// # Errors
+/// Returns [`AuctionError::Infeasible`] if the remaining workers cannot
+/// cover some task's requirement.
+pub fn select_winners(
+    problem: &SoacProblem,
+    excluded: Option<WorkerId>,
+) -> Result<SelectionTrace, AuctionError> {
+    let n = problem.n_workers();
+    let mut residual: Vec<f64> = problem.requirements().to_vec();
+    let mut selected = vec![false; n];
+    if let Some(w) = excluded {
+        selected[w.index()] = true;
+    }
+    let mut steps = Vec::new();
+
+    while residual.iter().sum::<f64>() > RESIDUAL_TOL {
+        let mut best: Option<(f64, WorkerId, f64)> = None; // (unit cost, worker, coverage)
+        for k in 0..n {
+            if selected[k] {
+                continue;
+            }
+            let w = WorkerId(k);
+            let cov = problem.coverage(w, &residual);
+            if cov <= RESIDUAL_TOL {
+                continue;
+            }
+            let unit = problem.bid(w).price() / cov;
+            let better = match best {
+                None => true,
+                // Strict improvement only: ties resolve to the smallest id,
+                // which is the first scanned.
+                Some((bu, _, _)) => unit < bu,
+            };
+            if better {
+                best = Some((unit, w, cov));
+            }
+        }
+        let Some((_, w, cov)) = best else {
+            let task = residual
+                .iter()
+                .position(|&x| x > RESIDUAL_TOL)
+                .map(imc2_common::TaskId)
+                .expect("loop invariant: some residual remains");
+            return Err(AuctionError::Infeasible { task });
+        };
+        steps.push(SelectionStep { worker: w, residual_before: residual.clone(), coverage: cov });
+        selected[w.index()] = true;
+        for &t in problem.bid(w).tasks() {
+            let cell = &mut residual[t.index()];
+            *cell = (*cell - problem.accuracy()[(w, t)]).max(0.0);
+            if *cell < RESIDUAL_TOL {
+                *cell = 0.0;
+            }
+        }
+    }
+    Ok(SelectionTrace { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn picks_cheapest_effective_unit_cost() {
+        // Worker 0: 2.0 for 0.5 coverage (unit 4); worker 1: 3.0 for 1.0 (unit 3).
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 3.0)],
+            &[(0, 0, 0.5), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let trace = select_winners(&p, None).unwrap();
+        assert_eq!(trace.steps[0].worker, WorkerId(1));
+        assert_eq!(trace.winners(), vec![WorkerId(1)]);
+    }
+
+    #[test]
+    fn continues_until_covered() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 1.0), (vec![0], 1.0)],
+            &[(0, 0, 0.5), (1, 0, 0.5), (2, 0, 0.5)],
+            vec![1.2],
+        );
+        let trace = select_winners(&p, None).unwrap();
+        assert_eq!(trace.winners().len(), 3, "needs all three 0.5 workers for 1.2");
+        assert!(p.is_feasible(&trace.winners()));
+    }
+
+    #[test]
+    fn residual_clamps_marginal_coverage() {
+        // Second pick's coverage counts only what remains.
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 1.0)],
+            &[(0, 0, 0.9), (1, 0, 0.9)],
+            vec![1.0],
+        );
+        let trace = select_winners(&p, None).unwrap();
+        assert_eq!(trace.steps.len(), 2);
+        assert!((trace.steps[1].coverage - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_reports_task() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.5)], vec![1.0, 1.0].into_iter().take(1).collect());
+        let err = select_winners(&p, None).unwrap_err();
+        match err {
+            AuctionError::Infeasible { task } => assert_eq!(task, TaskId(0)),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 5.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let trace = select_winners(&p, Some(WorkerId(0))).unwrap();
+        assert_eq!(trace.winners(), vec![WorkerId(1)]);
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_id() {
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 2.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let trace = select_winners(&p, None).unwrap();
+        assert_eq!(trace.steps[0].worker, WorkerId(0));
+    }
+
+    #[test]
+    fn multi_task_bundles_score_jointly() {
+        // Bundle worker covers both tasks at once; cheaper per unit.
+        let p = problem(
+            vec![(vec![0], 3.0), (vec![1], 3.0), (vec![0, 1], 4.0)],
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let trace = select_winners(&p, None).unwrap();
+        assert_eq!(trace.steps[0].worker, WorkerId(2));
+        assert_eq!(trace.winners(), vec![WorkerId(2)]);
+    }
+
+    #[test]
+    fn zero_requirement_tolerance() {
+        // Already satisfied profile → no winners.
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 1.0)], vec![1e-12]);
+        let trace = select_winners(&p, None).unwrap();
+        assert!(trace.winners().is_empty());
+    }
+}

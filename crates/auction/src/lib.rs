@@ -1,0 +1,62 @@
+//! The reverse-auction stage of IMC2 (paper §V–VI).
+//!
+//! Implements the **SOAC** problem — Social Optimization Accuracy Coverage,
+//! eq. (4)–(6): select winners with minimal total cost such that for every
+//! task the winners' accuracies sum to at least the task's requirement
+//! `Θ_j` — together with:
+//!
+//! * [`ReverseAuction`] — the paper's greedy mechanism (Algorithm 2):
+//!   winner selection by *effective accuracy unit cost* plus critical-value
+//!   payment determination; computationally efficient, individually
+//!   rational, truthful and `2εH_Ω`-approximate (Theorem 3);
+//! * the §VII baselines [`GreedyAccuracy`] (GA) and [`GreedyBid`] (GB);
+//! * [`optimal::solve_exact`] — a branch-and-bound optimum for small
+//!   instances, used to measure empirical approximation ratios;
+//! * [`ExactVcg`] — the VCG mechanism the paper rules out (§V), built on the
+//!   exact solver as a small-instance gold standard;
+//! * [`analysis`] — utilities, individual-rationality checks, truthfulness
+//!   probes and approximation-ratio measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_auction::{AuctionMechanism, Bid, ReverseAuction, SoacProblem};
+//! use imc2_common::{Grid, TaskId, WorkerId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two tasks needing 1.0 total accuracy each; three workers.
+//! let bids = vec![
+//!     Bid::new(vec![TaskId(0)], 4.0),
+//!     Bid::new(vec![TaskId(1)], 3.0),
+//!     Bid::new(vec![TaskId(0), TaskId(1)], 5.0),
+//! ];
+//! let mut accuracy = Grid::filled(3, 2, 0.0);
+//! accuracy[(WorkerId(0), TaskId(0))] = 1.0;
+//! accuracy[(WorkerId(1), TaskId(1))] = 1.0;
+//! accuracy[(WorkerId(2), TaskId(0))] = 1.0;
+//! accuracy[(WorkerId(2), TaskId(1))] = 1.0;
+//! let problem = SoacProblem::new(bids, accuracy, vec![1.0, 1.0])?;
+//! let outcome = ReverseAuction::new().run(&problem)?;
+//! // The bundle worker covers both tasks for 5 < 4 + 3.
+//! assert_eq!(outcome.winners, vec![WorkerId(2)]);
+//! assert!(outcome.payments[2] >= 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod dualfit;
+pub mod ga;
+pub mod gb;
+pub mod greedy;
+pub mod mechanism;
+pub mod optimal;
+pub mod payment;
+pub mod soac;
+pub mod vcg;
+
+pub use ga::GreedyAccuracy;
+pub use gb::GreedyBid;
+pub use mechanism::{AuctionError, AuctionMechanism, AuctionOutcome, ReverseAuction};
+pub use soac::{Bid, SoacProblem};
+pub use vcg::ExactVcg;

@@ -1,0 +1,228 @@
+//! The auction-mechanism interface and the paper's greedy mechanism.
+
+use crate::greedy::select_winners;
+use crate::payment::critical_payment;
+use crate::soac::SoacProblem;
+use imc2_common::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of an auction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuctionError {
+    /// No subset of the available workers covers this task's requirement.
+    Infeasible {
+        /// The first task whose requirement cannot be met.
+        task: TaskId,
+    },
+    /// Removing this winner makes the instance infeasible, so its critical
+    /// payment is unbounded.
+    Monopolist {
+        /// The monopolist winner.
+        worker: WorkerId,
+    },
+}
+
+impl fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuctionError::Infeasible { task } => {
+                write!(f, "accuracy requirement of {task} cannot be covered by any worker subset")
+            }
+            AuctionError::Monopolist { worker } => {
+                write!(f, "winner {worker} is a monopolist; its critical payment is unbounded")
+            }
+        }
+    }
+}
+
+impl Error for AuctionError {}
+
+/// Result of an auction: winners and the payment vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionOutcome {
+    /// Winning workers, sorted by id.
+    pub winners: Vec<WorkerId>,
+    /// Payment per worker (0 for losers), indexed by worker id.
+    pub payments: Vec<f64>,
+}
+
+impl AuctionOutcome {
+    /// Whether `worker` won.
+    pub fn is_winner(&self, worker: WorkerId) -> bool {
+        self.winners.binary_search(&worker).is_ok()
+    }
+
+    /// Total payment disbursed by the platform.
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().sum()
+    }
+}
+
+/// A (winner-selection, payment) mechanism for SOAC instances.
+pub trait AuctionMechanism {
+    /// Runs the mechanism.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError`] when the instance cannot be served.
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError>;
+
+    /// Display name used by the experiment harness.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's greedy reverse auction (Algorithm 2): effective-accuracy-
+/// unit-cost selection plus critical-value payments.
+///
+/// Theorem 3: computationally efficient (`O(n³m)`), individually rational,
+/// truthful, and `2εH_Ω`-approximate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReverseAuction {
+    /// Optional multiplier cap for monopolist winners: a monopolist is paid
+    /// `cap × its bid` instead of erroring. `None` (default) errors.
+    monopoly_cap: Option<f64>,
+}
+
+impl ReverseAuction {
+    /// Creates the mechanism with strict monopolist handling.
+    pub fn new() -> Self {
+        ReverseAuction { monopoly_cap: None }
+    }
+
+    /// Pays monopolist winners `cap × bid` instead of failing.
+    ///
+    /// # Panics
+    /// Panics if `cap < 1` (a critical payment is never below the bid).
+    pub fn with_monopoly_cap(cap: f64) -> Self {
+        assert!(cap >= 1.0, "monopoly cap must be at least 1");
+        ReverseAuction { monopoly_cap: Some(cap) }
+    }
+}
+
+impl AuctionMechanism for ReverseAuction {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let trace = select_winners(problem, None)?;
+        let mut winners = trace.winners();
+        winners.sort_unstable();
+        let mut payments = vec![0.0; problem.n_workers()];
+        for &w in &winners {
+            payments[w.index()] = match critical_payment(problem, w) {
+                Ok(p) => p,
+                Err(AuctionError::Monopolist { .. }) if self.monopoly_cap.is_some() => {
+                    self.monopoly_cap.unwrap() * problem.bid(w).price()
+                }
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(AuctionOutcome { winners, payments })
+    }
+
+    fn name(&self) -> &'static str {
+        "ReverseAuction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soac::Bid;
+    use imc2_common::Grid;
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn winners_sorted_and_payments_aligned() {
+        let p = problem(
+            vec![(vec![0], 4.0), (vec![0], 1.0), (vec![0], 2.0)],
+            &[(0, 0, 0.6), (1, 0, 0.6), (2, 0, 0.6)],
+            vec![1.0],
+        );
+        let out = ReverseAuction::new().run(&p).unwrap();
+        assert!(out.winners.windows(2).all(|w| w[0] < w[1]));
+        for &w in &out.winners {
+            assert!(out.payments[w.index()] > 0.0);
+            assert!(out.is_winner(w));
+        }
+        for k in 0..3 {
+            if !out.is_winner(WorkerId(k)) {
+                assert_eq!(out.payments[k], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn payments_cover_bids() {
+        // Individual rationality under truthful bidding (Lemma 2).
+        let p = problem(
+            vec![(vec![0, 1], 3.0), (vec![0], 2.0), (vec![1], 2.5), (vec![0, 1], 6.0)],
+            &[(0, 0, 0.7), (0, 1, 0.7), (1, 0, 0.9), (2, 1, 0.9), (3, 0, 0.8), (3, 1, 0.8)],
+            vec![1.2, 1.2],
+        );
+        let out = ReverseAuction::new().run(&p).unwrap();
+        for &w in &out.winners {
+            assert!(
+                out.payments[w.index()] >= p.bid(w).price() - 1e-9,
+                "winner {w} paid {} below bid {}",
+                out.payments[w.index()],
+                p.bid(w).price()
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_errors() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.3)], vec![1.0]);
+        assert!(matches!(
+            ReverseAuction::new().run(&p),
+            Err(AuctionError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn monopolist_errors_by_default_and_caps_when_asked() {
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![1], 1.0), (vec![1], 1.5)],
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        assert!(matches!(
+            ReverseAuction::new().run(&p),
+            Err(AuctionError::Monopolist { .. })
+        ));
+        let out = ReverseAuction::with_monopoly_cap(3.0).run(&p).unwrap();
+        assert!((out.payments[0] - 6.0).abs() < 1e-9, "cap × bid = 3 × 2");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AuctionError::Infeasible { task: TaskId(3) };
+        assert!(e.to_string().contains("t3"));
+        let e = AuctionError::Monopolist { worker: WorkerId(5) };
+        assert!(e.to_string().contains("w5"));
+    }
+
+    #[test]
+    fn total_payment_sums() {
+        let out = AuctionOutcome { winners: vec![WorkerId(0)], payments: vec![2.5, 0.0] };
+        assert_eq!(out.total_payment(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "monopoly cap")]
+    fn cap_below_one_panics() {
+        let _ = ReverseAuction::with_monopoly_cap(0.5);
+    }
+}

@@ -1,0 +1,251 @@
+//! Exact SOAC optimum by branch and bound, for small instances.
+//!
+//! SOAC is NP-hard (Theorem 1), so this solver is exponential in the worst
+//! case; it exists to measure the greedy mechanism's *empirical*
+//! approximation ratio (Theorem 3 bounds it by `2εH_Ω`) on instances of
+//! ~20 workers, and to cross-check the greedy's feasibility logic in tests.
+//!
+//! Branching explores workers in increasing cost order (include/exclude);
+//! pruning uses the unit-cost lower bound: covering `R` residual accuracy
+//! units costs at least `R · min_k (b_k / cov_k)` over the workers still
+//! available — every selected worker buys at most `cov_k` units at
+//! `b_k ≥ cov_k · min_ratio`.
+
+use crate::greedy::RESIDUAL_TOL;
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// The exact optimum: minimal-cost feasible winner set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// An optimal winner set, sorted by id.
+    pub winners: Vec<WorkerId>,
+    /// Its total cost `Σ b_i`.
+    pub cost: f64,
+    /// Number of branch-and-bound nodes explored (for complexity tests).
+    pub nodes: u64,
+}
+
+/// Solves the instance exactly.
+///
+/// Returns `None` when no worker subset covers the requirements.
+///
+/// The `node_budget` caps the search (default `u64::MAX` via
+/// [`solve_exact`]); exceeding it returns the best *feasible* solution found
+/// so far, if any, marked by `nodes == budget`.
+pub fn solve_exact_with_budget(problem: &SoacProblem, node_budget: u64) -> Option<ExactSolution> {
+    if !problem.is_coverable() {
+        return None;
+    }
+    let n = problem.n_workers();
+    // Branch on cheap workers first: good incumbents early → strong pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        problem
+            .bid(WorkerId(a))
+            .price()
+            .partial_cmp(&problem.bid(WorkerId(b)).price())
+            .expect("prices validated finite")
+    });
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_set: Vec<WorkerId> = Vec::new();
+    let mut nodes = 0u64;
+    let mut chosen: Vec<WorkerId> = Vec::new();
+    let residual: Vec<f64> = problem.requirements().to_vec();
+
+    fn lower_bound(problem: &SoacProblem, order: &[usize], depth: usize, residual: &[f64]) -> f64 {
+        let remaining: f64 = residual.iter().sum();
+        if remaining <= RESIDUAL_TOL {
+            return 0.0;
+        }
+        let mut min_ratio = f64::INFINITY;
+        for &k in &order[depth..] {
+            let w = WorkerId(k);
+            let cov = problem.coverage(w, residual);
+            if cov > RESIDUAL_TOL {
+                min_ratio = min_ratio.min(problem.bid(w).price() / cov);
+            }
+        }
+        if min_ratio.is_infinite() {
+            f64::INFINITY // cannot be covered from here
+        } else {
+            remaining * min_ratio
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        problem: &SoacProblem,
+        order: &[usize],
+        depth: usize,
+        cost: f64,
+        residual: &[f64],
+        chosen: &mut Vec<WorkerId>,
+        best_cost: &mut f64,
+        best_set: &mut Vec<WorkerId>,
+        nodes: &mut u64,
+        budget: u64,
+    ) {
+        if *nodes >= budget {
+            return;
+        }
+        *nodes += 1;
+        if residual.iter().sum::<f64>() <= RESIDUAL_TOL {
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_set = chosen.clone();
+                best_set.sort_unstable();
+            }
+            return;
+        }
+        if depth >= order.len() {
+            return;
+        }
+        let lb = lower_bound(problem, order, depth, residual);
+        if cost + lb >= *best_cost - 1e-12 {
+            return;
+        }
+        let w = WorkerId(order[depth]);
+        // Branch 1: include w (only if it makes progress).
+        let cov = problem.coverage(w, residual);
+        if cov > RESIDUAL_TOL {
+            let mut next = residual.to_vec();
+            for &t in problem.bid(w).tasks() {
+                let cell = &mut next[t.index()];
+                *cell = (*cell - problem.accuracy()[(w, t)]).max(0.0);
+                if *cell < RESIDUAL_TOL {
+                    *cell = 0.0;
+                }
+            }
+            chosen.push(w);
+            recurse(problem, order, depth + 1, cost + problem.bid(w).price(), &next, chosen, best_cost, best_set, nodes, budget);
+            chosen.pop();
+        }
+        // Branch 2: exclude w.
+        recurse(problem, order, depth + 1, cost, residual, chosen, best_cost, best_set, nodes, budget);
+    }
+
+    recurse(
+        problem, &order, 0, 0.0, &residual, &mut chosen, &mut best_cost, &mut best_set, &mut nodes,
+        node_budget,
+    );
+
+    if best_cost.is_infinite() {
+        None
+    } else {
+        Some(ExactSolution { winners: best_set, cost: best_cost, nodes })
+    }
+}
+
+/// Solves the instance exactly with an unlimited node budget.
+///
+/// Returns `None` when no worker subset covers the requirements.
+pub fn solve_exact(problem: &SoacProblem) -> Option<ExactSolution> {
+    solve_exact_with_budget(problem, u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::select_winners;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+    use imc2_common::rng_from_seed;
+    use rand::Rng;
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn picks_cheaper_cover() {
+        // Bundle (cost 4) beats singles (3 + 3).
+        let p = problem(
+            vec![(vec![0], 3.0), (vec![1], 3.0), (vec![0, 1], 4.0)],
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let sol = solve_exact(&p).unwrap();
+        assert_eq!(sol.winners, vec![WorkerId(2)]);
+        assert!((sol.cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.3)], vec![1.0]);
+        assert!(solve_exact(&p).is_none());
+    }
+
+    #[test]
+    fn optimum_never_exceeds_greedy() {
+        let mut rng = rng_from_seed(99);
+        for trial in 0..20 {
+            let n = 8;
+            let m = 4;
+            let bids: Vec<(Vec<usize>, f64)> = (0..n)
+                .map(|_| {
+                    let k = rng.gen_range(1..=m);
+                    let mut ts: Vec<usize> = (0..m).collect();
+                    for i in (1..m).rev() {
+                        let j = rng.gen_range(0..=i);
+                        ts.swap(i, j);
+                    }
+                    ts.truncate(k);
+                    (ts, rng.gen_range(1.0..10.0))
+                })
+                .collect();
+            let mut cells = Vec::new();
+            for (w, (ts, _)) in bids.iter().enumerate() {
+                for &t in ts {
+                    cells.push((w, t, rng.gen_range(0.3..1.0)));
+                }
+            }
+            let theta: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let p = problem(bids, &cells, theta);
+            if !p.is_coverable() {
+                continue;
+            }
+            let greedy_cost: f64 = select_winners(&p, None)
+                .unwrap()
+                .winners()
+                .iter()
+                .map(|&w| p.bid(w).price())
+                .sum();
+            let sol = solve_exact(&p).unwrap();
+            assert!(
+                sol.cost <= greedy_cost + 1e-9,
+                "trial {trial}: optimum {} beat by greedy {}",
+                sol.cost,
+                greedy_cost
+            );
+            assert!(p.is_feasible(&sol.winners));
+        }
+    }
+
+    #[test]
+    fn budget_caps_search() {
+        let p = problem(
+            vec![(vec![0], 3.0), (vec![1], 3.0), (vec![0, 1], 4.0)],
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let sol = solve_exact_with_budget(&p, 2);
+        // With a two-node budget the search may or may not find an incumbent,
+        // but it must not report exploring more nodes than allowed.
+        if let Some(s) = sol {
+            assert!(s.nodes <= 2);
+            assert!(p.is_feasible(&s.winners));
+        }
+    }
+}

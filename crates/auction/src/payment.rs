@@ -1,0 +1,118 @@
+//! Payment determination phase of Algorithm 2 (lines 9–20).
+//!
+//! For each winner `i`, re-run the selection over `W∖{i}`. At every step
+//! `k` of that counterfactual run — with residual profile `Θ''` and pick
+//! `i_k` — worker `i` could have been chosen in place of `i_k` at any price
+//! up to
+//!
+//! ```text
+//! b_{i_k} · Σ_{j∈T_i} min(Θ''_j, A_i^j) / Σ_{j∈T_{i_k}} min(Θ''_j, A_{i_k}^j)
+//! ```
+//!
+//! The payment is the maximum of those thresholds — the critical value of
+//! Myerson's characterization (Lemma 3 proves bidding above it loses).
+
+use crate::greedy::select_winners;
+use crate::mechanism::AuctionError;
+use crate::soac::SoacProblem;
+use imc2_common::WorkerId;
+
+/// Computes the critical payment of one winner.
+///
+/// # Errors
+/// Returns [`AuctionError::Monopolist`] if `W∖{i}` cannot cover the
+/// requirements — the critical value is unbounded and the instance needs
+/// either more workers or an explicit cap (see
+/// [`crate::ReverseAuction::with_monopoly_cap`]).
+pub fn critical_payment(problem: &SoacProblem, winner: WorkerId) -> Result<f64, AuctionError> {
+    let reduced = select_winners(problem, Some(winner)).map_err(|e| match e {
+        AuctionError::Infeasible { .. } => AuctionError::Monopolist { worker: winner },
+        other => other,
+    })?;
+    let mut payment: f64 = 0.0;
+    for step in &reduced.steps {
+        let cov_i = problem.coverage(winner, &step.residual_before);
+        if cov_i <= 0.0 {
+            continue;
+        }
+        let b_k = problem.bid(step.worker).price();
+        payment = payment.max(b_k * cov_i / step.coverage);
+    }
+    Ok(payment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::select_winners;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, TaskId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    #[test]
+    fn winner_paid_at_least_its_bid() {
+        // Identical coverage: the winner's payment equals the runner-up bid.
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 5.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0)],
+            vec![1.0],
+        );
+        let winners = select_winners(&p, None).unwrap().winners();
+        assert_eq!(winners, vec![WorkerId(0)]);
+        let pay = critical_payment(&p, WorkerId(0)).unwrap();
+        assert!((pay - 5.0).abs() < 1e-9, "payment {pay} should equal the replacement bid");
+        assert!(pay >= p.bid(WorkerId(0)).price());
+    }
+
+    #[test]
+    fn payment_scales_with_coverage_ratio() {
+        // Winner covers 1.0, replacement covers 0.5 at bid 3 → critical 6.
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![0], 3.0), (vec![0], 3.0)],
+            &[(0, 0, 1.0), (1, 0, 0.5), (2, 0, 0.5)],
+            vec![1.0],
+        );
+        let pay = critical_payment(&p, WorkerId(0)).unwrap();
+        assert!((pay - 6.0).abs() < 1e-9, "payment {pay}");
+    }
+
+    #[test]
+    fn monopolist_detected() {
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![1], 1.0)],
+            &[(0, 0, 1.0), (1, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let err = critical_payment(&p, WorkerId(0)).unwrap_err();
+        match err {
+            AuctionError::Monopolist { worker } => assert_eq!(worker, WorkerId(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steps_after_winner_exhausted_contribute_nothing() {
+        // Once the winner's tasks are fully covered in the counterfactual,
+        // later picks (for other tasks) cannot raise its payment.
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![0], 2.0), (vec![1], 50.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let pay = critical_payment(&p, WorkerId(0)).unwrap();
+        assert!((pay - 2.0).abs() < 1e-9, "the 50-bid on an unrelated task must not leak in, got {pay}");
+    }
+}

@@ -1,0 +1,274 @@
+//! The SOAC problem instance (paper §II-A, eq. 4–6).
+//!
+//! Minimize `Σ_{i∈S} c_i` subject to `Σ_{i∈S} A_i^j ≥ Θ_j` for every task —
+//! NP-hard by reduction from Weighted Set Cover (Theorem 1), hence the
+//! greedy mechanism of [`crate::ReverseAuction`].
+
+use imc2_common::{Grid, TaskId, ValidationError, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// One sealed bid `B_i = (T_i, b_i)`; the data `D_i` has already been
+/// consumed by the truth-discovery stage at auction time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// The tasks the worker is willing to perform (sorted, deduplicated).
+    tasks: Vec<TaskId>,
+    /// The declared price for performing all of `tasks`.
+    price: f64,
+}
+
+impl Bid {
+    /// Creates a bid; task lists are sorted and deduplicated.
+    pub fn new(mut tasks: Vec<TaskId>, price: f64) -> Self {
+        tasks.sort_unstable();
+        tasks.dedup();
+        Bid { tasks, price }
+    }
+
+    /// The bid's task set `T_i`.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// The declared price `b_i`.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// A copy of this bid with a different declared price (used by
+    /// truthfulness probes).
+    pub fn with_price(&self, price: f64) -> Bid {
+        Bid { tasks: self.tasks.clone(), price }
+    }
+}
+
+/// A complete SOAC instance: bids, the accuracy matrix from truth
+/// discovery, and the per-task accuracy requirements `Θ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoacProblem {
+    bids: Vec<Bid>,
+    accuracy: Grid<f64>,
+    requirements: Vec<f64>,
+}
+
+impl SoacProblem {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when dimensions disagree, a bid references
+    /// an out-of-range task, a price is negative/non-finite, an accuracy cell
+    /// is outside `[0, 1]`, or a requirement is non-positive.
+    pub fn new(
+        bids: Vec<Bid>,
+        accuracy: Grid<f64>,
+        requirements: Vec<f64>,
+    ) -> Result<Self, ValidationError> {
+        if accuracy.n_workers() != bids.len() {
+            return Err(ValidationError::new(format!(
+                "accuracy matrix has {} worker rows for {} bids",
+                accuracy.n_workers(),
+                bids.len()
+            )));
+        }
+        if accuracy.n_tasks() != requirements.len() {
+            return Err(ValidationError::new(format!(
+                "accuracy matrix has {} task columns for {} requirements",
+                accuracy.n_tasks(),
+                requirements.len()
+            )));
+        }
+        let m = requirements.len();
+        for (k, bid) in bids.iter().enumerate() {
+            if !(bid.price.is_finite() && bid.price >= 0.0) {
+                return Err(ValidationError::new(format!("bid {k} has invalid price {}", bid.price)));
+            }
+            if let Some(t) = bid.tasks.iter().find(|t| t.index() >= m) {
+                return Err(ValidationError::new(format!("bid {k} references out-of-range task {t}")));
+            }
+        }
+        for (_, _, &a) in accuracy.iter() {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(ValidationError::new(format!("accuracy cell {a} outside [0, 1]")));
+            }
+        }
+        if let Some(theta) = requirements.iter().find(|&&x| !(x.is_finite() && x > 0.0)) {
+            return Err(ValidationError::new(format!("requirement {theta} must be positive and finite")));
+        }
+        Ok(SoacProblem { bids, accuracy, requirements })
+    }
+
+    /// Number of workers `n`.
+    pub fn n_workers(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Number of tasks `m`.
+    pub fn n_tasks(&self) -> usize {
+        self.requirements.len()
+    }
+
+    /// All bids.
+    pub fn bids(&self) -> &[Bid] {
+        &self.bids
+    }
+
+    /// One worker's bid.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn bid(&self, worker: WorkerId) -> &Bid {
+        &self.bids[worker.index()]
+    }
+
+    /// The accuracy matrix `A`.
+    pub fn accuracy(&self) -> &Grid<f64> {
+        &self.accuracy
+    }
+
+    /// The requirement profile `Θ`.
+    pub fn requirements(&self) -> &[f64] {
+        &self.requirements
+    }
+
+    /// A copy of this problem with worker `w`'s declared price replaced
+    /// (the unilateral deviation of a truthfulness probe).
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn with_bid_price(&self, w: WorkerId, price: f64) -> SoacProblem {
+        let mut bids = self.bids.clone();
+        bids[w.index()] = bids[w.index()].with_price(price);
+        SoacProblem { bids, accuracy: self.accuracy.clone(), requirements: self.requirements.clone() }
+    }
+
+    /// A copy with worker `w` removed from contention (its bid emptied) —
+    /// the `W∖{i}` instance that payment determination reasons about.
+    /// (Payment determination itself uses the cheaper exclusion parameter of
+    /// [`crate::greedy::select_winners`]; this form exists for tests and
+    /// external what-if analyses.)
+    pub fn without_worker(&self, w: WorkerId) -> SoacProblem {
+        let mut bids = self.bids.clone();
+        bids[w.index()] = Bid { tasks: Vec::new(), price: f64::MAX / 4.0 };
+        SoacProblem { bids, accuracy: self.accuracy.clone(), requirements: self.requirements.clone() }
+    }
+
+    /// Marginal coverage of `worker` against a residual requirement profile:
+    /// `Σ_{j∈T_i} min(Θ'_j, A_i^j)` (the denominator of the effective
+    /// accuracy unit cost).
+    pub fn coverage(&self, worker: WorkerId, residual: &[f64]) -> f64 {
+        self.bids[worker.index()]
+            .tasks
+            .iter()
+            .map(|&t| residual[t.index()].min(self.accuracy[(worker, t)]).max(0.0))
+            .sum()
+    }
+
+    /// Whether the worker set `S` meets every task's requirement.
+    pub fn is_feasible(&self, winners: &[WorkerId]) -> bool {
+        let mut residual = self.requirements.clone();
+        for &w in winners {
+            for &t in self.bids[w.index()].tasks() {
+                residual[t.index()] -= self.accuracy[(w, t)];
+            }
+        }
+        residual.iter().all(|&x| x <= 1e-9)
+    }
+
+    /// Whether even `S = W` meets the requirements (instance feasibility).
+    pub fn is_coverable(&self) -> bool {
+        let all: Vec<WorkerId> = (0..self.n_workers()).map(WorkerId).collect();
+        self.is_feasible(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> SoacProblem {
+        let bids = vec![
+            Bid::new(vec![TaskId(0)], 2.0),
+            Bid::new(vec![TaskId(0), TaskId(1)], 3.0),
+        ];
+        let mut acc = Grid::filled(2, 2, 0.0);
+        acc[(WorkerId(0), TaskId(0))] = 0.8;
+        acc[(WorkerId(1), TaskId(0))] = 0.6;
+        acc[(WorkerId(1), TaskId(1))] = 0.9;
+        SoacProblem::new(bids, acc, vec![1.0, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn bid_sorts_and_dedups() {
+        let b = Bid::new(vec![TaskId(2), TaskId(0), TaskId(2)], 1.0);
+        assert_eq!(b.tasks(), &[TaskId(0), TaskId(2)]);
+        assert_eq!(b.price(), 1.0);
+        assert_eq!(b.with_price(9.0).price(), 9.0);
+    }
+
+    #[test]
+    fn valid_instance_constructs() {
+        let p = simple();
+        assert_eq!(p.n_workers(), 2);
+        assert_eq!(p.n_tasks(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let bids = vec![Bid::new(vec![TaskId(0)], 1.0)];
+        assert!(SoacProblem::new(bids.clone(), Grid::filled(2, 1, 0.5), vec![1.0]).is_err());
+        assert!(SoacProblem::new(bids, Grid::filled(1, 2, 0.5), vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let acc = Grid::filled(1, 1, 0.5);
+        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], -1.0)], acc.clone(), vec![1.0]).is_err());
+        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(5)], 1.0)], acc.clone(), vec![1.0]).is_err());
+        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], 1.0)], acc.clone(), vec![0.0]).is_err());
+        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], 1.0)], Grid::filled(1, 1, 1.5), vec![1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn coverage_clamps_to_residual() {
+        let p = simple();
+        // Worker 1 on residual [0.3, 0.5]: min(0.3, 0.6) + min(0.5, 0.9) = 0.8.
+        let cov = p.coverage(WorkerId(1), &[0.3, 0.5]);
+        assert!((cov - 0.8).abs() < 1e-12);
+        // Exhausted residual contributes nothing.
+        assert_eq!(p.coverage(WorkerId(0), &[0.0, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = simple();
+        assert!(p.is_feasible(&[WorkerId(0), WorkerId(1)]));
+        assert!(!p.is_feasible(&[WorkerId(0)]), "worker 0 covers no accuracy on task 1");
+        assert!(p.is_coverable());
+    }
+
+    #[test]
+    fn infeasible_instance_detected() {
+        let bids = vec![Bid::new(vec![TaskId(0)], 1.0)];
+        let acc = Grid::filled(1, 1, 0.5);
+        let p = SoacProblem::new(bids, acc, vec![2.0]).unwrap();
+        assert!(!p.is_coverable());
+    }
+
+    #[test]
+    fn with_bid_price_changes_one_bid() {
+        let p = simple();
+        let p2 = p.with_bid_price(WorkerId(0), 99.0);
+        assert_eq!(p2.bid(WorkerId(0)).price(), 99.0);
+        assert_eq!(p2.bid(WorkerId(1)).price(), 3.0);
+        assert_eq!(p.bid(WorkerId(0)).price(), 2.0, "original untouched");
+    }
+
+    #[test]
+    fn without_worker_removes_contention() {
+        let p = simple();
+        let p2 = p.without_worker(WorkerId(1));
+        assert!(p2.bid(WorkerId(1)).tasks().is_empty());
+        assert_eq!(p2.coverage(WorkerId(1), &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! VCG on top of the exact solver — the comparator the paper rules out.
+//!
+//! §V argues the off-the-shelf VCG mechanism cannot be used because "the
+//! truthfulness of VCG mechanism requires that the social cost is exactly
+//! minimized", which is NP-hard here (Theorem 1). This module implements
+//! exactly that ruled-out mechanism on top of the branch-and-bound optimum
+//! ([`crate::optimal`]), for two purposes:
+//!
+//! * tests demonstrate that VCG-with-greedy-selection indeed loses
+//!   truthfulness, vindicating the paper's argument;
+//! * small-instance experiments can compare the greedy mechanism's social
+//!   cost and payments against the exact-VCG gold standard.
+//!
+//! Payment: `p_i = C(W∖{i}) − (C(W) − b_i)` — the externality worker `i`
+//! imposes, where `C(X)` is the optimal social cost using workers `X`.
+
+use crate::mechanism::{AuctionError, AuctionMechanism, AuctionOutcome};
+use crate::optimal::solve_exact;
+use crate::soac::SoacProblem;
+use imc2_common::TaskId;
+
+/// Exact VCG: optimal winner set, Clarke-pivot payments.
+///
+/// Exponential time — only use on small instances (n ≲ 20).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactVcg {
+    _private: (),
+}
+
+impl ExactVcg {
+    /// Creates the mechanism.
+    pub fn new() -> Self {
+        ExactVcg { _private: () }
+    }
+}
+
+impl AuctionMechanism for ExactVcg {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let Some(best) = solve_exact(problem) else {
+            let task = problem
+                .requirements()
+                .iter()
+                .position(|&t| t > 0.0)
+                .map(TaskId)
+                .unwrap_or(TaskId(0));
+            return Err(AuctionError::Infeasible { task });
+        };
+        let mut payments = vec![0.0; problem.n_workers()];
+        for &w in &best.winners {
+            let without = problem.without_worker(w);
+            let Some(alt) = solve_exact(&without) else {
+                return Err(AuctionError::Monopolist { worker: w });
+            };
+            // Clarke pivot: externality on the rest of the market.
+            payments[w.index()] = alt.cost - (best.cost - problem.bid(w).price());
+        }
+        Ok(AuctionOutcome { winners: best.winners, payments })
+    }
+
+    fn name(&self) -> &'static str {
+        "VCG"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_individually_rational, probe_truthfulness};
+    use crate::mechanism::ReverseAuction;
+    use crate::soac::Bid;
+    use imc2_common::{Grid, WorkerId};
+
+    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    fn competitive() -> SoacProblem {
+        problem(
+            vec![
+                (vec![0], 3.0),
+                (vec![1], 4.0),
+                (vec![0, 1], 6.0),
+                (vec![0], 5.0),
+                (vec![1], 5.5),
+            ],
+            &[
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+                (3, 0, 1.0),
+                (4, 1, 1.0),
+            ],
+            vec![0.9, 0.9],
+        )
+    }
+
+    #[test]
+    fn vcg_picks_the_exact_optimum() {
+        let p = competitive();
+        let out = ExactVcg::new().run(&p).unwrap();
+        // Optimal: singles 3 + 4 = 7 > bundle 6 → bundle wins.
+        assert_eq!(out.winners, vec![WorkerId(2)]);
+    }
+
+    #[test]
+    fn vcg_payments_are_clarke_pivots() {
+        let p = competitive();
+        let out = ExactVcg::new().run(&p).unwrap();
+        // Without the bundle: 3 + 4 = 7; C(W) − b = 0 → p = 7.
+        assert!((out.payments[2] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vcg_is_individually_rational_and_truthful() {
+        let p = competitive();
+        let out = ExactVcg::new().run(&p).unwrap();
+        let costs: Vec<f64> = p.bids().iter().map(|b| b.price()).collect();
+        assert!(is_individually_rational(&out, &costs));
+        for w in 0..p.n_workers() {
+            let report = probe_truthfulness(
+                &ExactVcg::new(),
+                &p,
+                &costs,
+                WorkerId(w),
+                &[0.3, 0.6, 0.9, 1.2, 2.0, 3.0],
+            );
+            assert!(report.truthful, "VCG deviation found for worker {w}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_cost_is_bounded_by_vcg_optimum_ratio() {
+        let p = competitive();
+        let vcg = ExactVcg::new().run(&p).unwrap();
+        let greedy = ReverseAuction::new().run(&p).unwrap();
+        let cost = |o: &crate::mechanism::AuctionOutcome| -> f64 {
+            o.winners.iter().map(|&w| p.bid(w).price()).sum()
+        };
+        assert!(cost(&greedy) >= cost(&vcg) - 1e-9, "optimum can never lose");
+        assert!(cost(&greedy) <= 2.0 * cost(&vcg), "greedy stays within small factors here");
+    }
+
+    #[test]
+    fn vcg_infeasible_and_monopolist_errors() {
+        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.3)], vec![1.0]);
+        assert!(matches!(ExactVcg::new().run(&p), Err(AuctionError::Infeasible { .. })));
+        let p = problem(
+            vec![(vec![0], 1.0), (vec![1], 1.0)],
+            &[(0, 0, 1.0), (1, 1, 1.0)],
+            vec![0.9, 0.9],
+        );
+        assert!(matches!(ExactVcg::new().run(&p), Err(AuctionError::Monopolist { .. })));
+    }
+}

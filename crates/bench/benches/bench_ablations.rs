@@ -1,0 +1,58 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! posterior normalization (note 1), greedy seed rule (note 2), the
+//! independence discount inside P(v) (note 3), accuracy granularity
+//! (note 8), and the §IV-A similarity measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc2_datagen::{ForumConfig, ForumData};
+use imc2_common::rng_from_seed;
+use imc2_textsim::Measure;
+use imc2_truth::date::AccuracyGranularity;
+use imc2_truth::{
+    Date, DateConfig, DependencePosterior, SeedRule, IndependenceMode, TruthDiscovery,
+    TruthProblem,
+};
+
+fn bench(c: &mut Criterion) {
+    let data = ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(9)).unwrap();
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+
+    let mut group = c.benchmark_group("ablations");
+    let variants: Vec<(&str, DateConfig)> = vec![
+        ("baseline", DateConfig::default()),
+        (
+            "posterior_3way",
+            DateConfig { posterior: DependencePosterior::Normalized3Way, ..DateConfig::default() },
+        ),
+        (
+            "seed_max_dependence",
+            DateConfig {
+                independence: IndependenceMode::Greedy(SeedRule::MaxTotalDependence),
+                ..DateConfig::default()
+            },
+        ),
+        ("discounted_posterior", DateConfig { discount_posterior: true, ..DateConfig::default() }),
+        (
+            "per_task_accuracy",
+            DateConfig { granularity: AccuracyGranularity::PerTask, ..DateConfig::default() },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let date = Date::new(cfg).unwrap();
+        group.bench_function(name, |b| b.iter(|| date.discover(&problem)));
+    }
+    group.finish();
+
+    let mut sim_group = c.benchmark_group("similarity_measures");
+    let a: Vec<f64> = (0..64).map(|k| (k as f64).sin()).collect();
+    let b2: Vec<f64> = (0..64).map(|k| (k as f64).cos()).collect();
+    for measure in Measure::ALL {
+        sim_group.bench_function(format!("{measure:?}"), |bch| {
+            bch.iter(|| measure.apply(&a, &b2))
+        });
+    }
+    sim_group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 3's core computation: one DATE run at reduced
+//! scale, with the swept parameters at their paper defaults (ε=0.5, α=0.2)
+//! and at band edges — the cost of a single grid point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc2_datagen::{ForumConfig, ForumData};
+use imc2_common::rng_from_seed;
+use imc2_truth::{Date, DateConfig, TruthDiscovery, TruthProblem};
+
+fn bench(c: &mut Criterion) {
+    let data = ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(3)).unwrap();
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    let mut group = c.benchmark_group("fig3_date_gridpoint");
+    for (eps, alpha) in [(0.5, 0.2), (0.1, 0.1), (0.9, 0.9)] {
+        let date = Date::new(DateConfig { r: 0.2, epsilon: eps, alpha, ..DateConfig::default() })
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}_alpha{alpha}")),
+            &date,
+            |b, date| b.iter(|| date.discover(&problem)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 5: DATE scaling in tasks and workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc2_datagen::{ForumConfig, ForumData};
+use imc2_common::rng_from_seed;
+use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_date_scaling");
+    for (n, m) in [(30usize, 50usize), (60, 100), (60, 200), (120, 100)] {
+        let mut cfg = ForumConfig::medium();
+        cfg.n_workers = n;
+        cfg.n_tasks = m;
+        cfg.copiers.n_copiers = n / 4;
+        let data = ForumData::generate(&cfg, &mut rng_from_seed(5)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &data,
+            |b, data| {
+                let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+                b.iter(|| Date::paper().discover(&problem))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

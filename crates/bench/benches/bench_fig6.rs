@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 6's mechanisms: social-cost computation per
+//! auction (ReverseAuction vs GA vs GB) on a fixed SOAC instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc2_auction::{AuctionMechanism, GreedyAccuracy, GreedyBid, ReverseAuction};
+use imc2_core::Imc2;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+
+fn bench(c: &mut Criterion) {
+    let mut config = ScenarioConfig::paper_default();
+    config.forum.n_workers = 60;
+    config.forum.n_tasks = 100;
+    config.forum.copiers.n_copiers = 15;
+    config.requirements.theta_lo = 1.0;
+    config.requirements.theta_hi = 2.0;
+    let scenario = Scenario::generate(&config, 6);
+    let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+    let truth = Date::paper().discover(&problem);
+    let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
+
+    let mut group = c.benchmark_group("fig6_auction_mechanisms");
+    group.bench_function("ReverseAuction", |b| {
+        b.iter(|| ReverseAuction::with_monopoly_cap(1e9).run(&soac).unwrap())
+    });
+    group.bench_function("GA", |b| b.iter(|| GreedyAccuracy::new().run(&soac).unwrap()));
+    group.bench_function("GB", |b| b.iter(|| GreedyBid::new().run(&soac).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 7: auction scaling in workers and tasks
+//! (Lemma 1 predicts O(n³m) for the full mechanism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc2_auction::{AuctionMechanism, ReverseAuction};
+use imc2_core::Imc2;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_auction_scaling");
+    for (n, m) in [(30usize, 60usize), (60, 60), (60, 120)] {
+        let mut config = ScenarioConfig::paper_default();
+        config.forum.n_workers = n;
+        config.forum.n_tasks = m;
+        config.forum.copiers.n_copiers = n / 4;
+        config.requirements.theta_lo = 1.0;
+        config.requirements.theta_hi = 2.0;
+        let scenario = Scenario::generate(&config, 7);
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        let truth = Date::paper().discover(&problem);
+        let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &soac, |b, soac| {
+            b.iter(|| ReverseAuction::with_monopoly_cap(1e9).run(soac).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

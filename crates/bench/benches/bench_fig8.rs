@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 8: one full utility-curve probe (auction re-run
+//! per deviated bid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc2_auction::analysis::utility_curve;
+use imc2_auction::ReverseAuction;
+use imc2_core::Imc2;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+use imc2_common::WorkerId;
+
+fn bench(c: &mut Criterion) {
+    let config = ScenarioConfig::small();
+    let scenario = Scenario::generate(&config, 8);
+    let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+    let truth = Date::paper().discover(&problem);
+    let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
+    let bids: Vec<f64> = (1..=10).map(|k| k as f64).collect();
+    c.bench_function("fig8_utility_curve_probe", |b| {
+        b.iter(|| {
+            utility_curve(
+                &ReverseAuction::with_monopoly_cap(1e9),
+                &soac,
+                &scenario.costs,
+                WorkerId(0),
+                &bids,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

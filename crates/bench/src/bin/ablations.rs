@@ -1,0 +1,96 @@
+//! Ablation study over the design choices catalogued in DESIGN.md:
+//! for each DATE variant, precision and runtime at paper scale.
+//!
+//! ```text
+//! ablations [--instances N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Rows:
+//! * `paper-default`      — the configuration used everywhere else
+//! * `posterior-3way`     — normalized three-hypothesis dependence (note 1)
+//! * `seed-max-dep`       — prose seeding rule (note 2)
+//! * `discount-posterior` — Dong-style independence discount in P(v) (note 3)
+//! * `per-task-accuracy`  — eq. 17 verbatim granularity (note 8)
+//! * `no-floor`           — eq. 20 verbatim, anti-evidence allowed (note 11)
+
+use imc2_bench::runner::{average_vector, RunConfig};
+use imc2_bench::Table;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::date::AccuracyGranularity;
+use imc2_truth::{
+    precision, Date, DateConfig, DependencePosterior, IndependenceMode, SeedRule, TruthDiscovery,
+    TruthProblem,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn variants() -> Vec<(&'static str, DateConfig)> {
+    vec![
+        ("paper-default", DateConfig::default()),
+        (
+            "posterior-3way",
+            DateConfig { posterior: DependencePosterior::Normalized3Way, ..DateConfig::default() },
+        ),
+        (
+            "seed-max-dep",
+            DateConfig {
+                independence: IndependenceMode::Greedy(SeedRule::MaxTotalDependence),
+                ..DateConfig::default()
+            },
+        ),
+        ("discount-posterior", DateConfig { discount_posterior: true, ..DateConfig::default() }),
+        (
+            "per-task-accuracy",
+            DateConfig { granularity: AccuracyGranularity::PerTask, ..DateConfig::default() },
+        ),
+        ("no-floor", DateConfig { floor_anti_evidence: false, ..DateConfig::default() }),
+    ]
+}
+
+fn main() {
+    let mut run = RunConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instances" => run.instances = args.next().and_then(|v| v.parse().ok()).expect("N"),
+            "--seed" => run.seed = args.next().and_then(|v| v.parse().ok()).expect("S"),
+            "--out" => out_dir = args.next().map(PathBuf::from).expect("DIR"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = ScenarioConfig::paper_default();
+    let mut table = Table::new(
+        "ablations",
+        "DATE design-note variants at n=120, m=300 (precision / runtime ms / iterations)",
+        vec!["variant".into(), "precision".into(), "runtime_ms".into(), "iterations".into()],
+    );
+    println!("{:<20} {:>10} {:>12} {:>11}", "variant", "precision", "runtime(ms)", "iterations");
+    for (idx, (name, cfg)) in variants().into_iter().enumerate() {
+        let date = Date::new(cfg).expect("ablation configs are valid");
+        let summaries = average_vector(&run, idx as u64, 3, |seed| {
+            let scenario = Scenario::generate(&config, seed);
+            let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+            let t0 = Instant::now();
+            let out = date.discover(&problem);
+            Some(vec![
+                precision(&out.estimate, &scenario.ground_truth),
+                t0.elapsed().as_secs_f64() * 1000.0,
+                out.iterations as f64,
+            ])
+        });
+        println!(
+            "{:<20} {:>10.4} {:>12.1} {:>11.1}",
+            name, summaries[0].mean, summaries[1].mean, summaries[2].mean
+        );
+        table.push_row(vec![idx as f64, summaries[0].mean, summaries[1].mean, summaries[2].mean]);
+    }
+    std::fs::create_dir_all(&out_dir).expect("can create output directory");
+    let path = out_dir.join("ablations.csv");
+    std::fs::write(&path, table.to_csv()).expect("can write CSV");
+    println!("\nwrote {} (variant column is the row index; names in order above)", path.display());
+}

@@ -1,0 +1,102 @@
+//! Calibration scratchpad: prints the precision / cost / runtime bands of
+//! every algorithm at paper scale so generator defaults can be tuned against
+//! §VII's reported numbers. Not part of the figure pipeline.
+
+use imc2_auction::{AuctionMechanism, GreedyAccuracy, GreedyBid, ReverseAuction};
+use imc2_core::Imc2;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::{precision, Date, MajorityVoting, TruthDiscovery, TruthProblem};
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut config = ScenarioConfig::paper_default();
+    config.forum.participation.avg_responses_per_task = env_f64("RESP", 20.0);
+    config.forum.reliability_min = env_f64("RMIN", config.forum.reliability_min);
+    config.forum.reliability_max = env_f64("RMAX", config.forum.reliability_max);
+    config.forum.reliability_alpha = env_f64("RA", config.forum.reliability_alpha);
+    config.forum.reliability_beta = env_f64("RB", config.forum.reliability_beta);
+    config.forum.copiers.ring_size = env_f64("RING", config.forum.copiers.ring_size as f64) as usize;
+    config.forum.copiers.n_copiers = env_f64("NCOP", config.forum.copiers.n_copiers as f64) as usize;
+    config.forum.copiers.copy_prob = env_f64("CP", config.forum.copiers.copy_prob);
+    config.forum.copiers.source_overlap_bias = env_f64("BIAS", config.forum.copiers.source_overlap_bias);
+
+    let algos: Vec<(&str, Box<dyn TruthDiscovery + Sync>)> = vec![
+        ("MV", Box::new(MajorityVoting::new())),
+        ("NC", Box::new(Date::no_copier())),
+        ("DATE", Box::new(Date::paper())),
+        ("ED", Box::new(Date::enumerated())),
+    ];
+
+    let mut prec = vec![0.0f64; algos.len()];
+    let mut time_ms = vec![0.0f64; algos.len()];
+    let mut iters = vec![0.0f64; algos.len()];
+    let mut costs = [0.0f64; 3];
+    let mut auction_ms = [0.0f64; 3];
+    let mut feasible = 0usize;
+
+    for k in 0..instances {
+        let scenario = Scenario::generate(&config, 1000 + k as u64);
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        for (a, (_, algo)) in algos.iter().enumerate() {
+            let t0 = Instant::now();
+            let out = algo.discover(&problem);
+            time_ms[a] += t0.elapsed().as_secs_f64() * 1000.0;
+            prec[a] += precision(&out.estimate, &scenario.ground_truth);
+            iters[a] += out.iterations as f64;
+        }
+        // Auction comparison on DATE accuracies.
+        let imc2 = Imc2::paper();
+        let truth = Date::paper().discover(&problem);
+        let soac = imc2.build_soac(&scenario, &truth).unwrap();
+        let mechs: Vec<(usize, Box<dyn AuctionMechanism>)> = vec![
+            (0, Box::new(ReverseAuction::new())),
+            (1, Box::new(GreedyAccuracy::new())),
+            (2, Box::new(GreedyBid::new())),
+        ];
+        let mut ok = true;
+        for (i, m) in &mechs {
+            let t0 = Instant::now();
+            match m.run(&soac) {
+                Ok(out) => {
+                    auction_ms[*i] += t0.elapsed().as_secs_f64() * 1000.0;
+                    costs[*i] += imc2_auction::analysis::social_cost(&out.winners, &scenario.costs);
+                }
+                Err(e) => {
+                    ok = false;
+                    println!("instance {k}: {} failed: {e}", m.name());
+                }
+            }
+        }
+        if ok {
+            feasible += 1;
+        }
+    }
+
+    println!("\n=== truth discovery (n=120, m=300, {instances} instances) ===");
+    for (a, (name, _)) in algos.iter().enumerate() {
+        println!(
+            "{:>5}: precision {:.4}  time {:>8.1} ms  iters {:.1}",
+            name,
+            prec[a] / instances as f64,
+            time_ms[a] / instances as f64,
+            iters[a] / instances as f64
+        );
+    }
+    println!("\n=== auction ({feasible}/{instances} feasible) ===");
+    for (i, name) in ["ReverseAuction", "GA", "GB"].iter().enumerate() {
+        println!(
+            "{:>14}: social cost {:>8.1}  time {:>7.1} ms",
+            name,
+            costs[i] / feasible.max(1) as f64,
+            auction_ms[i] / feasible.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Regenerates the paper's figures as CSV + markdown under `results/`.
+//!
+//! ```text
+//! figures [NAMES...] [--instances N] [--seed S] [--threads T] [--out DIR]
+//!
+//! NAMES: all (default) | fig3a fig3b fig4a fig4b fig5a fig5b
+//!        fig6a fig6b fig7a fig7b fig8
+//! ```
+//!
+//! The paper averages each point over 100 instances; the default here is 20
+//! to keep a full regeneration under a few minutes — pass `--instances 100`
+//! for the paper's protocol.
+
+use imc2_bench::figures;
+use imc2_bench::{RunConfig, Table};
+use std::path::PathBuf;
+
+const ALL: [&str; 11] = [
+    "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+    "fig8",
+];
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut run = RunConfig::default();
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instances" => {
+                run.instances = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--instances needs a positive integer");
+            }
+            "--seed" => {
+                run.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64");
+            }
+            "--threads" => {
+                run.threads =
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer");
+            }
+            "--out" => {
+                out_dir = args.next().map(PathBuf::from).expect("--out needs a directory");
+            }
+            "all" => names.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => names.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: figures [NAMES...] [--instances N] [--seed S] [--threads T] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if names.is_empty() {
+        names.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    names.dedup();
+
+    std::fs::create_dir_all(&out_dir).expect("can create output directory");
+    let mut markdown = String::from("# IMC2 reproduction — regenerated figures\n\n");
+    markdown.push_str(&format!(
+        "Instances per point: {} (paper: 100). Root seed: {}.\n\n",
+        run.instances, run.seed
+    ));
+
+    let t_start = std::time::Instant::now();
+    let mut done: Vec<String> = Vec::new();
+    for name in &names {
+        let t0 = std::time::Instant::now();
+        // Panels sharing a sweep are computed together when both are
+        // requested; `done` tracks tables already produced by a pair.
+        if done.iter().any(|t: &String| t == name) {
+            continue;
+        }
+        let tables: Vec<Table> = match name.as_str() {
+            "fig3a" => vec![figures::fig3a(&run)],
+            "fig3b" => vec![figures::fig3b(&run)],
+            "fig4a" | "fig5a" => {
+                let (a, b) = figures::fig45a(&run);
+                done.push("fig4a".into());
+                done.push("fig5a".into());
+                if names.iter().any(|n| n == "fig4a") && names.iter().any(|n| n == "fig5a") {
+                    vec![a, b]
+                } else if name == "fig4a" {
+                    vec![a]
+                } else {
+                    vec![b]
+                }
+            }
+            "fig4b" | "fig5b" => {
+                let (a, b) = figures::fig45b(&run);
+                done.push("fig4b".into());
+                done.push("fig5b".into());
+                if names.iter().any(|n| n == "fig4b") && names.iter().any(|n| n == "fig5b") {
+                    vec![a, b]
+                } else if name == "fig4b" {
+                    vec![a]
+                } else {
+                    vec![b]
+                }
+            }
+            "fig6a" | "fig7a" => {
+                let (a, b) = figures::fig67a(&run);
+                done.push("fig6a".into());
+                done.push("fig7a".into());
+                if names.iter().any(|n| n == "fig6a") && names.iter().any(|n| n == "fig7a") {
+                    vec![a, b]
+                } else if name == "fig6a" {
+                    vec![a]
+                } else {
+                    vec![b]
+                }
+            }
+            "fig6b" | "fig7b" => {
+                let (a, b) = figures::fig67b(&run);
+                done.push("fig6b".into());
+                done.push("fig7b".into());
+                if names.iter().any(|n| n == "fig6b") && names.iter().any(|n| n == "fig7b") {
+                    vec![a, b]
+                } else if name == "fig6b" {
+                    vec![a]
+                } else {
+                    vec![b]
+                }
+            }
+            "fig8" => {
+                let (a, b) = figures::fig8(&run);
+                vec![a, b]
+            }
+            _ => unreachable!("names are validated above"),
+        };
+        for table in &tables {
+            let path = out_dir.join(format!("{}.csv", table.name));
+            std::fs::write(&path, table.to_csv()).expect("can write CSV");
+            markdown.push_str(&table.to_markdown());
+            markdown.push('\n');
+            println!("{} -> {} ({:.1}s)", table.name, path.display(), t0.elapsed().as_secs_f64());
+        }
+    }
+    let md_path = out_dir.join("RESULTS.md");
+    std::fs::write(&md_path, markdown).expect("can write markdown");
+    println!(
+        "wrote {} ({} figures, {:.1}s total)",
+        md_path.display(),
+        names.len(),
+        t_start.elapsed().as_secs_f64()
+    );
+}

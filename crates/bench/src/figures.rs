@@ -1,0 +1,425 @@
+//! One function per figure panel of the paper's evaluation (§VII).
+//!
+//! Defaults follow §VII-A: n = 120 workers, m = 300 tasks, 30 copiers,
+//! `Θ_j ~ U[2, 4]`, task values `~ U[5, 8]`, replayed-auction costs,
+//! `φ = 100`, and — unless a panel sweeps them — `r = 0.4`, `ε = 0.5`,
+//! `α = 0.2`. Every point is averaged over `RunConfig::instances` seeds.
+//!
+//! When a sweep shrinks the worker population below the default 30 copiers
+//! (Fig. 4(b)/5(b)/6(b)/7(b) at n < 120), the copier count scales as `n/4`,
+//! preserving the paper's 25% copier share.
+
+use crate::runner::{average_vector, RunConfig};
+use crate::table::Table;
+use imc2_auction::{AuctionMechanism, GreedyAccuracy, GreedyBid, ReverseAuction};
+use imc2_common::WorkerId;
+use imc2_core::{properties, Imc2};
+use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_truth::{precision, Date, DateConfig, MajorityVoting, TruthDiscovery, TruthProblem};
+use std::time::Instant;
+
+/// Paper-default scenario with `n` workers and `m` tasks; the copier count
+/// keeps the paper's 25% share when `n` shrinks below 120.
+fn scenario_config(n: usize, m: usize) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_default();
+    config.forum.n_workers = n;
+    config.forum.n_tasks = m;
+    if m < 300 {
+        // The paper's m-sweep takes the *first m tasks* of the fixed
+        // 300-task dataset; anchoring the participation gradient reproduces
+        // that protocol (smaller prefixes are denser, so precision declines
+        // as m grows — the paper's own explanation of Fig. 4(a)).
+        config.forum.participation.index_anchor = Some(300);
+    }
+    if n < 120 {
+        config.forum.copiers.n_copiers = (n / 4).max(1);
+        // Ring size scales with the crowd: a lone ring holding 25% of a
+        // tiny crowd swamps whole tasks (unrecoverable by any method) and
+        // destabilizes the fixed point; n/8 keeps the damage proportional.
+        config.forum.copiers.ring_size = (n / 8).clamp(2, 10);
+    }
+    config
+}
+
+/// The four truth-discovery contenders of Fig. 4/5.
+fn truth_algorithms() -> Vec<(&'static str, Box<dyn TruthDiscovery + Sync>)> {
+    vec![
+        ("MV", Box::new(MajorityVoting::new())),
+        ("ED", Box::new(Date::enumerated())),
+        ("NC", Box::new(Date::no_copier())),
+        ("DATE", Box::new(Date::paper())),
+    ]
+}
+
+/// Sweeps the given `(x, n, m)` points, measuring precision and runtime of
+/// all four truth-discovery algorithms; returns `(precision, runtime_ms)`
+/// tables keyed by `x_name`.
+fn truth_sweep(
+    run: &RunConfig,
+    x_name: &str,
+    points: &[(f64, usize, usize)],
+    name_prefix: &str,
+    title: &str,
+) -> (Table, Table) {
+    let algos = truth_algorithms();
+    let mut cols = vec![x_name.to_string()];
+    cols.extend(algos.iter().map(|(n, _)| n.to_string()));
+    let mut prec_table = Table::new(
+        format!("{name_prefix}_precision"),
+        format!("{title} — precision"),
+        cols.clone(),
+    );
+    let mut time_table = Table::new(
+        format!("{name_prefix}_runtime"),
+        format!("{title} — running time (ms)"),
+        cols,
+    );
+
+    for (p_idx, &(x, n, m)) in points.iter().enumerate() {
+        let mut config = scenario_config(n, m);
+        if x_name == "workers" {
+            // The paper's n-sweep subsamples its fixed 120-worker dataset:
+            // per-task response counts shrink proportionally. Truth
+            // discovery has no feasibility constraint, so the protocol can
+            // be emulated exactly (the auction sweep keeps density instead;
+            // design note 12).
+            config.forum.participation.avg_responses_per_task *= n as f64 / 120.0;
+        }
+        let algos_ref = &algos;
+        let summaries = average_vector(run, p_idx as u64, algos_ref.len() * 2, |seed| {
+            let scenario = Scenario::generate(&config, seed);
+            let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+            let mut metrics = Vec::with_capacity(algos_ref.len() * 2);
+            for (_, algo) in algos_ref {
+                let t0 = Instant::now();
+                let out = algo.discover(&problem);
+                let dt = t0.elapsed().as_secs_f64() * 1000.0;
+                metrics.push(precision(&out.estimate, &scenario.ground_truth));
+                metrics.push(dt);
+            }
+            Some(metrics)
+        });
+        let mut prec_row = vec![x];
+        let mut time_row = vec![x];
+        for a in 0..algos.len() {
+            prec_row.push(summaries[2 * a].mean);
+            time_row.push(summaries[2 * a + 1].mean);
+        }
+        prec_table.push_row(prec_row);
+        time_table.push_row(time_row);
+    }
+    (prec_table, time_table)
+}
+
+/// Fig. 3(a): DATE precision over the ε × α grid (r fixed at 0.2).
+pub fn fig3a(run: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "fig3a",
+        "precision of DATE vs initial accuracy ε and dependence prior α (r = 0.2, n=120, m=300)",
+        vec!["epsilon".into(), "alpha".into(), "precision".into()],
+    );
+    let config = scenario_config(120, 300);
+    let grid: Vec<f64> = (1..=9).map(|k| k as f64 / 10.0).collect();
+    for (i, &eps) in grid.iter().enumerate() {
+        for (j, &alpha) in grid.iter().enumerate() {
+            let date = Date::new(DateConfig { r: 0.2, epsilon: eps, alpha, ..DateConfig::default() })
+                .expect("grid parameters are valid");
+            let summaries = average_vector(run, (i * 9 + j) as u64, 1, |seed| {
+                let scenario = Scenario::generate(&config, seed);
+                let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+                let out = date.discover(&problem);
+                Some(vec![precision(&out.estimate, &scenario.ground_truth)])
+            });
+            table.push_row(vec![eps, alpha, summaries[0].mean]);
+        }
+    }
+    table
+}
+
+/// Fig. 3(b): DATE precision vs the assumed copy probability r.
+pub fn fig3b(run: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "fig3b",
+        "precision of DATE vs assumed copy probability r (ε = 0.5, α = 0.2, n=120, m=300)",
+        vec!["r".into(), "precision".into()],
+    );
+    let config = scenario_config(120, 300);
+    for k in 1..=9 {
+        let r = k as f64 / 10.0;
+        let date = Date::new(DateConfig { r, ..DateConfig::default() }).expect("valid r");
+        let summaries = average_vector(run, k as u64, 1, |seed| {
+            let scenario = Scenario::generate(&config, seed);
+            let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+            let out = date.discover(&problem);
+            Some(vec![precision(&out.estimate, &scenario.ground_truth)])
+        });
+        table.push_row(vec![r, summaries[0].mean]);
+    }
+    table
+}
+
+/// Standard task-count sweep of Fig. 4(a)–7(a).
+fn task_points() -> Vec<(f64, usize, usize)> {
+    [50, 100, 150, 200, 250, 300].iter().map(|&m| (m as f64, 120, m)).collect()
+}
+
+/// Standard worker-count sweep of Fig. 4(b)–7(b).
+fn worker_points() -> Vec<(f64, usize, usize)> {
+    [20, 40, 60, 80, 100, 120].iter().map(|&n| (n as f64, n, 300)).collect()
+}
+
+/// Fig. 4(a) + Fig. 5(a) in one pass: precision and running time vs tasks
+/// share the same sweep, so computing them together halves the work.
+pub fn fig45a(run: &RunConfig) -> (Table, Table) {
+    let (mut prec, mut time) =
+        truth_sweep(run, "tasks", &task_points(), "fig", "truth discovery vs number of tasks");
+    prec.name = "fig4a".into();
+    time.name = "fig5a".into();
+    (prec, time)
+}
+
+/// Fig. 4(b) + Fig. 5(b) in one pass (worker sweep).
+pub fn fig45b(run: &RunConfig) -> (Table, Table) {
+    let (mut prec, mut time) =
+        truth_sweep(run, "workers", &worker_points(), "fig", "truth discovery vs number of workers");
+    prec.name = "fig4b".into();
+    time.name = "fig5b".into();
+    (prec, time)
+}
+
+/// Fig. 4(a): precision vs number of tasks (DATE, MV, ED, NC).
+pub fn fig4a(run: &RunConfig) -> Table {
+    fig45a(run).0
+}
+
+/// Fig. 4(b): precision vs number of workers.
+pub fn fig4b(run: &RunConfig) -> Table {
+    fig45b(run).0
+}
+
+/// Fig. 5(a): truth-discovery running time vs number of tasks.
+pub fn fig5a(run: &RunConfig) -> Table {
+    fig45a(run).1
+}
+
+/// Fig. 5(b): truth-discovery running time vs number of workers.
+pub fn fig5b(run: &RunConfig) -> Table {
+    fig45b(run).1
+}
+
+/// The three auction contenders of Fig. 6/7.
+fn auction_mechanisms() -> Vec<(&'static str, Box<dyn AuctionMechanism + Sync>)> {
+    vec![
+        // A large cap keeps rare monopolist instances in the series; social
+        // cost ignores payments entirely.
+        ("ReverseAuction", Box::new(ReverseAuction::with_monopoly_cap(1e9))),
+        ("GA", Box::new(GreedyAccuracy::new())),
+        ("GB", Box::new(GreedyBid::new())),
+    ]
+}
+
+/// Sweeps auction instances, measuring social cost and runtime per
+/// mechanism; returns `(social_cost, runtime_ms)` tables.
+fn auction_sweep(
+    run: &RunConfig,
+    x_name: &str,
+    points: &[(f64, usize, usize)],
+    name_prefix: &str,
+    title: &str,
+) -> (Table, Table) {
+    let mechs = auction_mechanisms();
+    let mut cols = vec![x_name.to_string()];
+    cols.extend(mechs.iter().map(|(n, _)| n.to_string()));
+    let mut cost_table =
+        Table::new(format!("{name_prefix}_cost"), format!("{title} — social cost"), cols.clone());
+    let mut time_table =
+        Table::new(format!("{name_prefix}_runtime"), format!("{title} — running time (ms)"), cols);
+
+    for (p_idx, &(x, n, m)) in points.iter().enumerate() {
+        let config = scenario_config(n, m);
+        let mechs_ref = &mechs;
+        let summaries = average_vector(run, p_idx as u64, mechs_ref.len() * 2, |seed| {
+            let scenario = Scenario::generate(&config, seed);
+            let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+            let truth = Date::paper().discover(&problem);
+            let soac = Imc2::paper().build_soac(&scenario, &truth).ok()?;
+            let mut metrics = Vec::with_capacity(mechs_ref.len() * 2);
+            for (_, mech) in mechs_ref {
+                let t0 = Instant::now();
+                let outcome = mech.run(&soac).ok()?;
+                let dt = t0.elapsed().as_secs_f64() * 1000.0;
+                metrics
+                    .push(imc2_auction::analysis::social_cost(&outcome.winners, &scenario.costs));
+                metrics.push(dt);
+            }
+            Some(metrics)
+        });
+        let mut cost_row = vec![x];
+        let mut time_row = vec![x];
+        for a in 0..mechs.len() {
+            cost_row.push(summaries[2 * a].mean);
+            time_row.push(summaries[2 * a + 1].mean);
+        }
+        cost_table.push_row(cost_row);
+        time_table.push_row(time_row);
+    }
+    (cost_table, time_table)
+}
+
+/// Fig. 6(a) + Fig. 7(a) in one pass: social cost and running time vs tasks.
+pub fn fig67a(run: &RunConfig) -> (Table, Table) {
+    let (mut cost, mut time) =
+        auction_sweep(run, "tasks", &task_points(), "fig", "auction vs number of tasks");
+    cost.name = "fig6a".into();
+    time.name = "fig7a".into();
+    (cost, time)
+}
+
+/// Fig. 6(b) + Fig. 7(b) in one pass (worker sweep).
+pub fn fig67b(run: &RunConfig) -> (Table, Table) {
+    let (mut cost, mut time) =
+        auction_sweep(run, "workers", &worker_points(), "fig", "auction vs number of workers");
+    cost.name = "fig6b".into();
+    time.name = "fig7b".into();
+    (cost, time)
+}
+
+/// Fig. 6(a): social cost vs number of tasks (ReverseAuction, GA, GB).
+pub fn fig6a(run: &RunConfig) -> Table {
+    fig67a(run).0
+}
+
+/// Fig. 6(b): social cost vs number of workers.
+pub fn fig6b(run: &RunConfig) -> Table {
+    fig67b(run).0
+}
+
+/// Fig. 7(a): auction running time vs number of tasks.
+pub fn fig7a(run: &RunConfig) -> Table {
+    fig67a(run).1
+}
+
+/// Fig. 7(b): auction running time vs number of workers.
+pub fn fig7b(run: &RunConfig) -> Table {
+    fig67b(run).1
+}
+
+/// Fig. 8: utility vs declared bid for one winner and one loser, everyone
+/// else truthful. The paper probes workers 26 (winner, c=3) and 58 (loser,
+/// c=8); worker identities depend on the instance, so the first winner and
+/// the first loser are probed instead.
+///
+/// Returns `(winner_table, loser_table)`; both carry the probed worker's id
+/// and true cost in the title.
+pub fn fig8(run: &RunConfig) -> (Table, Table) {
+    let config = scenario_config(120, 300);
+    // A cap keeps rare monopolist co-winners from aborting the probe; it
+    // cannot affect the probed worker's own critical payment.
+    let mechanism = Imc2::paper().with_auction(ReverseAuction::with_monopoly_cap(1e9));
+    let seeds = imc2_common::SeedStream::new(run.seed).substream(8);
+    let (scenario, outcome) = (0..32)
+        .find_map(|k| {
+            let scenario = Scenario::generate(&config, seeds.derive(k));
+            let outcome = mechanism.run(&scenario).ok()?;
+            Some((scenario, outcome))
+        })
+        .expect("a feasible paper-scale instance exists within 32 seeds");
+
+    let winner = outcome.auction.winners[0];
+    let loser = (0..scenario.n_workers())
+        .map(WorkerId)
+        .find(|w| !outcome.auction.is_winner(*w))
+        .expect("some worker loses");
+
+    let build = |worker: WorkerId, label: &str, table_name: &str| {
+        let cost = scenario.costs[worker.index()];
+        let bids: Vec<f64> = (1..=20).map(|k| cost * k as f64 / 8.0).collect();
+        let curve = properties::fig8_utility_curve(&mechanism, &scenario, worker, &bids)
+            .expect("truthful instance is feasible");
+        let mut table = Table::new(
+            table_name,
+            format!("utility vs bid for {label} {worker} (true cost {cost:.2})"),
+            vec!["bid".into(), "utility".into(), "won".into()],
+        );
+        for point in curve {
+            table.push_row(vec![point.bid, point.utility, f64::from(u8::from(point.won))]);
+        }
+        table
+    };
+    (build(winner, "winner", "fig8a"), build(loser, "loser", "fig8b"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_run() -> RunConfig {
+        RunConfig { instances: 2, seed: 42, threads: 0 }
+    }
+
+    /// Shrinks sweeps for test speed.
+    fn tiny_points() -> Vec<(f64, usize, usize)> {
+        vec![(40.0, 40, 40), (80.0, 40, 80)]
+    }
+
+    #[test]
+    fn truth_sweep_produces_aligned_tables() {
+        let (prec, time) = truth_sweep(&tiny_run(), "tasks", &tiny_points(), "t", "test");
+        assert_eq!(prec.rows.len(), 2);
+        assert_eq!(time.rows.len(), 2);
+        assert_eq!(prec.columns, vec!["tasks", "MV", "ED", "NC", "DATE"]);
+        for row in &prec.rows {
+            for &p in &row[1..] {
+                assert!((0.0..=1.0).contains(&p), "precision {p} out of range");
+            }
+        }
+        for row in &time.rows {
+            for &t in &row[1..] {
+                assert!(t >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn auction_sweep_produces_positive_costs() {
+        let (cost, time) = auction_sweep(&tiny_run(), "tasks", &tiny_points(), "a", "test");
+        assert_eq!(cost.rows.len(), 2);
+        for row in &cost.rows {
+            for &c in &row[1..] {
+                assert!(c > 0.0, "social cost must be positive, got {c}");
+            }
+        }
+        for row in &time.rows {
+            for &t in &row[1..] {
+                assert!(t >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_curves_have_plateau_and_loss() {
+        let (winner, loser) = fig8(&RunConfig { instances: 1, seed: 7, threads: 0 });
+        assert!(!winner.rows.is_empty());
+        assert!(!loser.rows.is_empty());
+        // The winner's low-bid utilities are all equal (critical payment).
+        let won_utils: Vec<f64> =
+            winner.rows.iter().filter(|r| r[2] == 1.0).map(|r| r[1]).collect();
+        if won_utils.len() >= 2 {
+            for u in &won_utils {
+                assert!((u - won_utils[0]).abs() < 1e-6, "winning utility must be flat");
+            }
+        }
+        // Losing bids yield zero utility.
+        for r in loser.rows.iter().filter(|r| r[2] == 0.0) {
+            assert_eq!(r[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn scenario_config_scales_copiers() {
+        let c = scenario_config(40, 100);
+        assert_eq!(c.forum.copiers.n_copiers, 10);
+        let c = scenario_config(120, 300);
+        assert_eq!(c.forum.copiers.n_copiers, 30);
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness: regenerates every figure of the paper's evaluation
+//! (§VII, Fig. 3–8).
+//!
+//! Each `figN` function in [`figures`] produces a [`Table`] with the same
+//! series the paper plots; the `figures` binary writes them as CSV and
+//! markdown under `results/`. Instance averaging runs in parallel
+//! ([`runner`]) with deterministic per-instance seeds, so any single data
+//! point can be reproduced in isolation.
+//!
+//! | Experiment | Paper | Harness |
+//! |------------|-------|---------|
+//! | Precision vs ε, α | Fig. 3(a) | [`figures::fig3a`] |
+//! | Precision vs r | Fig. 3(b) | [`figures::fig3b`] |
+//! | Precision vs #tasks/#workers | Fig. 4(a,b) | [`figures::fig4a`], [`figures::fig4b`] |
+//! | DATE runtime | Fig. 5(a,b) | [`figures::fig5a`], [`figures::fig5b`] |
+//! | Social cost | Fig. 6(a,b) | [`figures::fig6a`], [`figures::fig6b`] |
+//! | Auction runtime | Fig. 7(a,b) | [`figures::fig7a`], [`figures::fig7b`] |
+//! | Truthfulness | Fig. 8(a,b) | [`figures::fig8`] |
+
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use runner::{average, RunConfig};
+pub use table::Table;

@@ -1,0 +1,175 @@
+//! Parallel instance averaging with deterministic seeding.
+//!
+//! Every figure point in §VII is "averaged over 100 instances". The runner
+//! derives instance seeds from a [`SeedStream`] — instance `k` of a point is
+//! a pure function of `(root_seed, k)` — and fans the instances out over
+//! scoped threads, so results are bit-identical regardless of thread count.
+
+use imc2_common::{OnlineStats, SeedStream, Summary};
+
+/// Instance-averaging configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Instances per data point (paper: 100).
+    pub instances: usize,
+    /// Root seed; every (point, instance) derives from it.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { instances: 20, seed: 0x00C2_2019, threads: 0 }
+    }
+}
+
+impl RunConfig {
+    /// Resolved thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Evaluates `f(seed)` across `config.instances` derived seeds in parallel
+/// and summarizes the finite results.
+///
+/// `f` may return `None` (e.g. an infeasible auction instance); such
+/// instances are skipped and reflected in `Summary::count`.
+pub fn average<F>(config: &RunConfig, point: u64, f: F) -> Summary
+where
+    F: Fn(u64) -> Option<f64> + Sync,
+{
+    let seeds = SeedStream::new(config.seed).substream(point);
+    let n = config.instances;
+    let threads = config.effective_threads().min(n.max(1));
+    let mut results: Vec<Option<f64>> = vec![None; n];
+    if threads <= 1 {
+        for (k, slot) in results.iter_mut().enumerate() {
+            *slot = f(seeds.derive(k as u64));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, slice) in results.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let seeds = &seeds;
+                scope.spawn(move |_| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let k = t * chunk + off;
+                        *slot = f(seeds.derive(k as u64));
+                    }
+                });
+            }
+        })
+        .expect("instance workers do not panic");
+    }
+    let stats: OnlineStats = results.into_iter().flatten().collect();
+    stats.summary()
+}
+
+/// Like [`average`], but `f` returns a vector of metrics per instance
+/// (e.g. precision and runtime of four algorithms); returns one [`Summary`]
+/// per component.
+///
+/// Instances returning `None` are skipped entirely, keeping all components
+/// aligned on the same instance set.
+///
+/// # Panics
+/// Panics if instances disagree on the metric count.
+pub fn average_vector<F>(config: &RunConfig, point: u64, width: usize, f: F) -> Vec<Summary>
+where
+    F: Fn(u64) -> Option<Vec<f64>> + Sync,
+{
+    let seeds = SeedStream::new(config.seed).substream(point);
+    let n = config.instances;
+    let threads = config.effective_threads().min(n.max(1));
+    let mut results: Vec<Option<Vec<f64>>> = vec![None; n];
+    if threads <= 1 {
+        for (k, slot) in results.iter_mut().enumerate() {
+            *slot = f(seeds.derive(k as u64));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, slice) in results.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let seeds = &seeds;
+                scope.spawn(move |_| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let k = t * chunk + off;
+                        *slot = f(seeds.derive(k as u64));
+                    }
+                });
+            }
+        })
+        .expect("instance workers do not panic");
+    }
+    let mut stats: Vec<OnlineStats> = (0..width).map(|_| OnlineStats::new()).collect();
+    for metrics in results.into_iter().flatten() {
+        assert_eq!(metrics.len(), width, "instances must report {width} metrics");
+        for (s, x) in stats.iter_mut().zip(metrics) {
+            s.push(x);
+        }
+    }
+    stats.iter().map(OnlineStats::summary).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_is_deterministic_across_thread_counts() {
+        let f = |seed: u64| Some((seed % 1000) as f64);
+        let a = average(&RunConfig { instances: 64, seed: 1, threads: 1 }, 0, f);
+        let b = average(&RunConfig { instances: 64, seed: 1, threads: 4 }, 0, f);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn different_points_use_different_seeds() {
+        let f = |seed: u64| Some((seed % 1000) as f64);
+        let a = average(&RunConfig { instances: 16, seed: 1, threads: 2 }, 0, f);
+        let b = average(&RunConfig { instances: 16, seed: 1, threads: 2 }, 1, f);
+        assert_ne!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn none_instances_are_skipped() {
+        let f = |seed: u64| if seed % 2 == 0 { Some(1.0) } else { None };
+        let s = average(&RunConfig { instances: 100, seed: 3, threads: 2 }, 0, f);
+        assert!(s.count < 100);
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert!(RunConfig { instances: 1, seed: 0, threads: 0 }.effective_threads() >= 1);
+        assert_eq!(RunConfig { instances: 1, seed: 0, threads: 3 }.effective_threads(), 3);
+    }
+
+    #[test]
+    fn average_vector_componentwise() {
+        let f = |seed: u64| Some(vec![(seed % 10) as f64, 2.0]);
+        let s = average_vector(&RunConfig { instances: 32, seed: 5, threads: 2 }, 0, 2, f);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].mean, 2.0);
+        assert_eq!(s[0].count, 32);
+        // Determinism across thread counts.
+        let s1 = average_vector(&RunConfig { instances: 32, seed: 5, threads: 1 }, 0, 2, f);
+        assert_eq!(s[0].mean, s1[0].mean);
+    }
+
+    #[test]
+    fn average_vector_skips_none_rows() {
+        let f = |seed: u64| if seed % 3 == 0 { None } else { Some(vec![1.0]) };
+        let s = average_vector(&RunConfig { instances: 30, seed: 7, threads: 2 }, 0, 1, f);
+        assert!(s[0].count < 30);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tabular experiment output with CSV and markdown rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A named table of numeric results — one figure panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Identifier, e.g. `"fig4a"`.
+    pub name: String,
+    /// Human-readable description of the experiment.
+    pub title: String,
+    /// Column headers; column 0 is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows, aligned with `columns`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table { name: name.into(), title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (headers + rows, 6 significant digits).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|x| format_cell(*x)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.name, self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|x| format_cell(*x)).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// The values of one named column.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        let k = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column named {name}"));
+        self.rows.iter().map(|r| r[k]).collect()
+    }
+}
+
+fn format_cell(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig0", "demo", vec!["x".into(), "y".into()]);
+        t.push_row(vec![1.0, 0.5]);
+        t.push_row(vec![2.0, 0.25]);
+        t
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines[1], "1,0.500000");
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("### fig0"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        assert_eq!(sample().column("y"), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        sample().push_row(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn missing_column_panics() {
+        let _ = sample().column("z");
+    }
+
+    #[test]
+    fn nan_renders() {
+        let mut t = Table::new("t", "t", vec!["x".into()]);
+        t.push_row(vec![f64::NAN]);
+        assert!(t.to_csv().contains("nan"));
+    }
+}

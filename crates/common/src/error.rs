@@ -1,0 +1,63 @@
+//! Shared error vocabulary.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when structurally invalid input is handed to a constructor
+/// or builder (out-of-range index, duplicate observation, NaN parameter, …).
+///
+/// Per C-VALIDATE every public entry point validates its arguments and
+/// reports failures through this type rather than panicking.
+///
+/// # Example
+/// ```
+/// use imc2_common::{ObservationsBuilder, WorkerId, TaskId, ValueId};
+/// let mut b = ObservationsBuilder::new(1, 1);
+/// let err = b.record(WorkerId(5), TaskId(0), ValueId(0)).unwrap_err();
+/// assert!(err.to_string().contains("worker"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    message: String,
+}
+
+impl ValidationError {
+    /// Creates a validation error with the given human-readable message.
+    ///
+    /// Messages follow the C-GOOD-ERR convention: lowercase, no trailing
+    /// punctuation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ValidationError { message: message.into() }
+    }
+
+    /// The explanatory message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = ValidationError::new("worker index 5 out of range 0..3");
+        assert_eq!(e.to_string(), "worker index 5 out of range 0..3");
+        assert_eq!(e.message(), "worker index 5 out of range 0..3");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ValidationError>();
+    }
+}

@@ -1,0 +1,204 @@
+//! A dense row-major 2-D grid used for per-(worker, task) quantities.
+//!
+//! The truth-discovery stage returns the accuracy matrix `A = {A_i^j}_{n×m}`
+//! (paper §II-A); the auction reads it row by row. `Grid` wraps a flat `Vec`
+//! with typed indexing by ([`WorkerId`], [`TaskId`]) so rows are always
+//! workers and columns always tasks — transposition bugs become type errors
+//! at the call site instead of silent data corruption.
+
+use crate::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// Dense `n_workers × n_tasks` matrix with typed indexing.
+///
+/// # Example
+/// ```
+/// use imc2_common::{Grid, WorkerId, TaskId};
+/// let mut g = Grid::filled(2, 3, 0.0f64);
+/// g[(WorkerId(1), TaskId(2))] = 0.9;
+/// assert_eq!(g[(WorkerId(1), TaskId(2))], 0.9);
+/// assert_eq!(g.row(WorkerId(0)), &[0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid<T> {
+    n_workers: usize,
+    n_tasks: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid with every cell set to `fill`.
+    pub fn filled(n_workers: usize, n_tasks: usize, fill: T) -> Self {
+        Grid {
+            n_workers,
+            n_tasks,
+            data: vec![fill; n_workers * n_tasks],
+        }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Builds a grid from a closure evaluated at every `(worker, task)` cell.
+    pub fn from_fn(n_workers: usize, n_tasks: usize, mut f: impl FnMut(WorkerId, TaskId) -> T) -> Self {
+        let mut data = Vec::with_capacity(n_workers * n_tasks);
+        for w in 0..n_workers {
+            for t in 0..n_tasks {
+                data.push(f(WorkerId(w), TaskId(t)));
+            }
+        }
+        Grid { n_workers, n_tasks, data }
+    }
+
+    /// Number of worker rows.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of task columns.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    #[inline]
+    fn offset(&self, w: WorkerId, t: TaskId) -> usize {
+        debug_assert!(w.index() < self.n_workers, "worker row out of bounds");
+        debug_assert!(t.index() < self.n_tasks, "task column out of bounds");
+        w.index() * self.n_tasks + t.index()
+    }
+
+    /// Borrow of the cell, or `None` when out of bounds.
+    pub fn get(&self, w: WorkerId, t: TaskId) -> Option<&T> {
+        if w.index() < self.n_workers && t.index() < self.n_tasks {
+            Some(&self.data[w.index() * self.n_tasks + t.index()])
+        } else {
+            None
+        }
+    }
+
+    /// One worker's row (all task columns).
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn row(&self, w: WorkerId) -> &[T] {
+        let start = w.index() * self.n_tasks;
+        &self.data[start..start + self.n_tasks]
+    }
+
+    /// Mutable access to one worker's row.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn row_mut(&mut self, w: WorkerId) -> &mut [T] {
+        let start = w.index() * self.n_tasks;
+        &mut self.data[start..start + self.n_tasks]
+    }
+
+    /// Iterates `(WorkerId, TaskId, &T)` over all cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, TaskId, &T)> + '_ {
+        let n_tasks = self.n_tasks;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, v)| (WorkerId(k / n_tasks), TaskId(k % n_tasks), v))
+    }
+
+    /// The flat row-major backing slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl Grid<f64> {
+    /// Column sum `Σ_i cell(i, t)` — e.g. total available accuracy for a task.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn column_sum(&self, t: TaskId) -> f64 {
+        (0..self.n_workers)
+            .map(|w| self.data[w * self.n_tasks + t.index()])
+            .sum()
+    }
+}
+
+impl<T> Index<(WorkerId, TaskId)> for Grid<T> {
+    type Output = T;
+
+    fn index(&self, (w, t): (WorkerId, TaskId)) -> &T {
+        let k = self.offset(w, t);
+        &self.data[k]
+    }
+}
+
+impl<T> IndexMut<(WorkerId, TaskId)> for Grid<T> {
+    fn index_mut(&mut self, (w, t): (WorkerId, TaskId)) -> &mut T {
+        let k = self.offset(w, t);
+        &mut self.data[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_initializes_all_cells() {
+        let g = Grid::filled(2, 2, 7u32);
+        assert!(g.iter().all(|(_, _, &v)| v == 7));
+    }
+
+    #[test]
+    fn from_fn_addresses_cells_correctly() {
+        let g = Grid::from_fn(3, 4, |w, t| w.index() * 10 + t.index());
+        assert_eq!(g[(WorkerId(2), TaskId(3))], 23);
+        assert_eq!(g[(WorkerId(0), TaskId(1))], 1);
+    }
+
+    #[test]
+    fn rows_are_contiguous_tasks() {
+        let g = Grid::from_fn(2, 3, |w, t| (w.index(), t.index()));
+        assert_eq!(g.row(WorkerId(1)), &[(1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn row_mut_writes_back() {
+        let mut g = Grid::filled(2, 2, 0.0);
+        g.row_mut(WorkerId(0))[1] = 5.0;
+        assert_eq!(g[(WorkerId(0), TaskId(1))], 5.0);
+    }
+
+    #[test]
+    fn get_checks_bounds() {
+        let g = Grid::filled(1, 1, 0.0);
+        assert!(g.get(WorkerId(0), TaskId(0)).is_some());
+        assert!(g.get(WorkerId(1), TaskId(0)).is_none());
+        assert!(g.get(WorkerId(0), TaskId(1)).is_none());
+    }
+
+    #[test]
+    fn column_sum_adds_worker_rows() {
+        let g = Grid::from_fn(3, 2, |w, _| w.index() as f64);
+        assert_eq!(g.column_sum(TaskId(0)), 0.0 + 1.0 + 2.0);
+        assert_eq!(g.column_sum(TaskId(1)), 3.0);
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let g = Grid::filled(3, 5, 1u8);
+        assert_eq!(g.iter().count(), 15);
+        let mut seen = std::collections::HashSet::new();
+        for (w, t, _) in g.iter() {
+            assert!(seen.insert((w, t)));
+        }
+    }
+
+    #[test]
+    fn dimensions_reported() {
+        let g = Grid::filled(4, 6, ());
+        assert_eq!(g.n_workers(), 4);
+        assert_eq!(g.n_tasks(), 6);
+        assert_eq!(g.as_slice().len(), 24);
+    }
+}

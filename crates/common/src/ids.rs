@@ -1,0 +1,148 @@
+//! Typed identifiers for workers, tasks and categorical values.
+//!
+//! The paper indexes workers as `i ∈ W = {1..n}`, tasks as `t_j ∈ T` and each
+//! task's answers as one true value plus `num_j` false ones. Raw `usize`
+//! indices are easy to transpose by accident (worker-for-task bugs are the
+//! classic failure mode in simulation code), so each index space gets its own
+//! newtype per C-NEWTYPE.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a worker (`i ∈ W` in the paper), a dense index in `0..n`.
+///
+/// # Example
+/// ```
+/// use imc2_common::WorkerId;
+/// let w = WorkerId(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(format!("{w}"), "w3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// Identifier of a task (`t_j ∈ T` in the paper), a dense index in `0..m`.
+///
+/// # Example
+/// ```
+/// use imc2_common::TaskId;
+/// assert_eq!(TaskId(7).index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// Identifier of a categorical value inside one task's answer domain.
+///
+/// Values are task-local: `ValueId(0)` of task 3 and `ValueId(0)` of task 4
+/// are unrelated. A task with `num_j` false values has domain
+/// `ValueId(0) ..= ValueId(num_j)`.
+///
+/// # Example
+/// ```
+/// use imc2_common::ValueId;
+/// assert_eq!(ValueId(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+impl WorkerId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl TaskId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ValueId {
+    /// Returns the underlying dense index within the task's domain.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for WorkerId {
+    fn from(i: usize) -> Self {
+        WorkerId(i)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+impl From<u32> for ValueId {
+    fn from(i: u32) -> Self {
+        ValueId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms_are_distinct() {
+        assert_eq!(WorkerId(5).to_string(), "w5");
+        assert_eq!(TaskId(5).to_string(), "t5");
+        assert_eq!(ValueId(5).to_string(), "v5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(TaskId(0) < TaskId(10));
+        assert!(ValueId(3) > ValueId(2));
+    }
+
+    #[test]
+    fn ids_hash_and_eq() {
+        let mut set = HashSet::new();
+        set.insert(WorkerId(1));
+        set.insert(WorkerId(1));
+        set.insert(WorkerId(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(WorkerId::from(9).index(), 9);
+        assert_eq!(TaskId::from(9).index(), 9);
+        assert_eq!(ValueId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w: WorkerId = serde_json::from_str(&serde_json::to_string(&WorkerId(4)).unwrap()).unwrap();
+        assert_eq!(w, WorkerId(4));
+    }
+}

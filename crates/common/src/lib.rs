@@ -1,0 +1,48 @@
+//! Foundational types shared by every crate in the IMC2 reproduction.
+//!
+//! The paper ("Incentivizing the Workers for Truth Discovery in Crowdsourcing
+//! with Copiers", ICDCS 2019) manipulates three kinds of data throughout:
+//!
+//! * a **sparse observation matrix** — who answered which task with which
+//!   categorical value ([`Observations`]),
+//! * **dense per-(worker, task) float grids** — e.g. the accuracy matrix `A`
+//!   returned by the truth-discovery stage ([`Grid`]),
+//! * **probabilities multiplied across hundreds of tasks** — which underflow
+//!   `f64` unless kept in log space ([`logprob`]).
+//!
+//! This crate provides those primitives plus deterministic seeding utilities
+//! ([`rng`]), summary statistics for the experiment harness ([`stats`]), and
+//! the shared error vocabulary ([`ValidationError`]).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_common::{ObservationsBuilder, TaskId, WorkerId, ValueId};
+//!
+//! # fn main() -> Result<(), imc2_common::ValidationError> {
+//! let mut b = ObservationsBuilder::new(3, 2);
+//! b.record(WorkerId(0), TaskId(0), ValueId(1))?;
+//! b.record(WorkerId(1), TaskId(0), ValueId(1))?;
+//! b.record(WorkerId(2), TaskId(1), ValueId(0))?;
+//! let obs = b.build();
+//! assert_eq!(obs.workers_of_task(TaskId(0)).len(), 2);
+//! assert_eq!(obs.value_of(WorkerId(2), TaskId(1)), Some(ValueId(0)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod grid;
+pub mod ids;
+pub mod logprob;
+pub mod observations;
+pub mod rng;
+pub mod stats;
+
+mod error;
+
+pub use error::ValidationError;
+pub use grid::Grid;
+pub use ids::{TaskId, ValueId, WorkerId};
+pub use observations::{Observations, ObservationsBuilder, TaskView};
+pub use rng::{rng_from_seed, SeedStream};
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,155 @@
+//! Numerically safe probability arithmetic in log space.
+//!
+//! The dependence posterior of eq. (15) multiplies one factor per shared task
+//! between two workers; with 300 tasks the product underflows `f64` long
+//! before it means anything. Every probability product in this repository is
+//! therefore accumulated as a sum of logs, and posteriors are recovered with
+//! the log-sum-exp trick.
+
+/// Smallest probability we allow before taking a log. Probabilities are
+/// clamped into `[PROB_FLOOR, 1 - PROB_FLOOR]` so that `ln` and odds-ratios
+/// stay finite.
+pub const PROB_FLOOR: f64 = 1e-12;
+
+/// Clamps a probability into the open interval `(0, 1)` bounded by
+/// [`PROB_FLOOR`].
+///
+/// # Example
+/// ```
+/// use imc2_common::logprob::clamp_prob;
+/// assert_eq!(clamp_prob(0.5), 0.5);
+/// assert!(clamp_prob(0.0) > 0.0);
+/// assert!(clamp_prob(1.0) < 1.0);
+/// assert!(clamp_prob(f64::NAN) > 0.0); // NaN maps to the floor
+/// ```
+#[inline]
+pub fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        return PROB_FLOOR;
+    }
+    p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR)
+}
+
+/// Natural log of a clamped probability — never `-inf`/NaN.
+#[inline]
+pub fn ln_prob(p: f64) -> f64 {
+    clamp_prob(p).ln()
+}
+
+/// `ln(Σ exp(x_k))` computed stably.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of no terms).
+///
+/// # Example
+/// ```
+/// use imc2_common::logprob::log_sum_exp;
+/// let terms = [0.0f64.ln(), 1.0f64.ln()]; // ln 0 (=-inf) and ln 1
+/// let s = log_sum_exp(&[terms[1], terms[1]]); // ln(1+1)
+/// assert!((s - 2.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Normalizes a slice of log-weights into probabilities in place, returning
+/// the log-normalizer.
+///
+/// After the call, `xs` holds a proper distribution (sums to 1 up to float
+/// error). An all `-inf` input becomes the uniform distribution: with no
+/// evidence at all, every value is equally plausible.
+pub fn normalize_log_weights(xs: &mut [f64]) -> f64 {
+    let z = log_sum_exp(xs);
+    if z == f64::NEG_INFINITY {
+        let u = 1.0 / xs.len().max(1) as f64;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+        return f64::NEG_INFINITY;
+    }
+    for x in xs.iter_mut() {
+        *x = (*x - z).exp();
+    }
+    z
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, stable for large `|x|`.
+///
+/// Used to turn the log-odds of the dependence hypothesis (eq. 15) into a
+/// posterior probability.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_prob_bounds() {
+        assert_eq!(clamp_prob(-1.0), PROB_FLOOR);
+        assert_eq!(clamp_prob(2.0), 1.0 - PROB_FLOOR);
+        assert_eq!(clamp_prob(0.3), 0.3);
+    }
+
+    #[test]
+    fn ln_prob_finite_at_extremes() {
+        assert!(ln_prob(0.0).is_finite());
+        assert!(ln_prob(1.0).is_finite());
+        assert!(ln_prob(1.0) < 0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_moderate_values() {
+        let xs = [-1.0f64, -2.0, -0.5];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_magnitudes() {
+        let xs = [-1000.0, -1000.0];
+        let s = log_sum_exp(&xs);
+        assert!((s - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalize_produces_distribution() {
+        let mut xs = [-500.0, -501.0, -502.0];
+        normalize_log_weights(&mut xs);
+        let sum: f64 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(xs[0] > xs[1] && xs[1] > xs[2]);
+    }
+
+    #[test]
+    fn normalize_all_neg_inf_gives_uniform() {
+        let mut xs = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+        normalize_log_weights(&mut xs);
+        assert_eq!(xs, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_limits() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(-800.0) < 1e-100);
+    }
+}

@@ -1,0 +1,409 @@
+//! The sparse observation matrix `D`: which worker answered which task with
+//! which categorical value.
+//!
+//! In the paper each worker `i` submits data `D_i` for its chosen task set
+//! `T_i`; the union over workers is the snapshot `D` that both the truth
+//! discovery stage (Algorithm 1) and the dependence analysis (§III-A) consume.
+//! Everything downstream only ever needs four queries, all O(1)/O(result):
+//!
+//! * the value a worker gave a task ([`Observations::value_of`]),
+//! * all `(worker, value)` pairs of a task ([`Observations::workers_of_task`]),
+//! * all `(task, value)` pairs of a worker ([`Observations::tasks_of_worker`]),
+//! * the distinct values of a task grouped with their supporters
+//!   ([`TaskView::groups`]).
+//!
+//! The struct is immutable after construction (build it with
+//! [`ObservationsBuilder`]), so it can be shared freely across threads.
+
+use crate::{TaskId, ValidationError, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable sparse matrix of crowd answers (the snapshot `D` in the paper).
+///
+/// # Example
+/// ```
+/// use imc2_common::{ObservationsBuilder, WorkerId, TaskId, ValueId};
+/// # fn main() -> Result<(), imc2_common::ValidationError> {
+/// let mut b = ObservationsBuilder::new(2, 1);
+/// b.record(WorkerId(0), TaskId(0), ValueId(2))?;
+/// b.record(WorkerId(1), TaskId(0), ValueId(2))?;
+/// let obs = b.build();
+/// // Both workers support value 2 on task 0:
+/// let view = obs.task_view(TaskId(0));
+/// let groups = view.groups();
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].0, ValueId(2));
+/// assert_eq!(groups[0].1, vec![WorkerId(0), WorkerId(1)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observations {
+    n_workers: usize,
+    n_tasks: usize,
+    /// Per task: sorted list of (worker, value).
+    by_task: Vec<Vec<(WorkerId, ValueId)>>,
+    /// Per worker: sorted list of (task, value).
+    by_worker: Vec<Vec<(TaskId, ValueId)>>,
+    /// Total number of (worker, task, value) triples.
+    len: usize,
+}
+
+impl Observations {
+    /// Number of workers `n` this matrix was sized for (including workers who
+    /// answered nothing).
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of tasks `m` this matrix was sized for.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Total number of recorded answers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no answers were recorded at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value worker `i` gave task `j`, or `None` if `i` did not answer `j`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of the range declared at build time.
+    pub fn value_of(&self, worker: WorkerId, task: TaskId) -> Option<ValueId> {
+        let row = &self.by_worker[worker.index()];
+        row.binary_search_by_key(&task, |&(t, _)| t).ok().map(|k| row[k].1)
+    }
+
+    /// All `(worker, value)` answers recorded for `task`, sorted by worker id.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn workers_of_task(&self, task: TaskId) -> &[(WorkerId, ValueId)] {
+        &self.by_task[task.index()]
+    }
+
+    /// All `(task, value)` answers recorded for `worker`, sorted by task id.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn tasks_of_worker(&self, worker: WorkerId) -> &[(TaskId, ValueId)] {
+        &self.by_worker[worker.index()]
+    }
+
+    /// The task ids answered by `worker` (the bid set `T_i`), sorted.
+    pub fn task_set_of_worker(&self, worker: WorkerId) -> Vec<TaskId> {
+        self.by_worker[worker.index()].iter().map(|&(t, _)| t).collect()
+    }
+
+    /// A view over one task's answers with grouping helpers.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn task_view(&self, task: TaskId) -> TaskView<'_> {
+        TaskView { rows: &self.by_task[task.index()] }
+    }
+
+    /// Iterates over the tasks answered by *both* workers, yielding
+    /// `(task, value_of_i, value_of_i2)`.
+    ///
+    /// This is the raw material for the dependence analysis of §III-A, which
+    /// partitions the overlap into `T_s` (same true value), `T_f` (same false
+    /// value) and `T_d` (different values).
+    pub fn overlap(&self, i: WorkerId, i2: WorkerId) -> Vec<(TaskId, ValueId, ValueId)> {
+        let a = &self.by_worker[i.index()];
+        let b = &self.by_worker[i2.index()];
+        let mut out = Vec::new();
+        let (mut x, mut y) = (0, 0);
+        while x < a.len() && y < b.len() {
+            match a[x].0.cmp(&b[y].0) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((a[x].0, a[x].1, b[y].1));
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest value index observed for `task`, or `None` if unanswered.
+    ///
+    /// Generators size each task's domain as `0..=num_j`; this recovers a
+    /// lower bound on the domain size from data alone.
+    pub fn max_value_of_task(&self, task: TaskId) -> Option<ValueId> {
+        self.by_task[task.index()].iter().map(|&(_, v)| v).max()
+    }
+}
+
+/// Borrowed view over a single task's answers.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    rows: &'a [(WorkerId, ValueId)],
+}
+
+impl<'a> TaskView<'a> {
+    /// The raw `(worker, value)` rows, sorted by worker id.
+    pub fn rows(&self) -> &'a [(WorkerId, ValueId)] {
+        self.rows
+    }
+
+    /// Number of workers who answered this task (`|W^j|`).
+    pub fn n_responses(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Distinct values with their supporter lists (`W_v^j` for each `v ∈ D^j`),
+    /// sorted by value id; each supporter list is sorted by worker id.
+    pub fn groups(&self) -> Vec<(ValueId, Vec<WorkerId>)> {
+        let mut groups: Vec<(ValueId, Vec<WorkerId>)> = Vec::new();
+        for &(w, v) in self.rows {
+            match groups.binary_search_by_key(&v, |g| g.0) {
+                Ok(k) => groups[k].1.push(w),
+                Err(k) => groups.insert(k, (v, vec![w])),
+            }
+        }
+        groups
+    }
+
+    /// The distinct values observed for this task (`D^j`), sorted.
+    pub fn distinct_values(&self) -> Vec<ValueId> {
+        let mut vals: Vec<ValueId> = self.rows.iter().map(|&(_, v)| v).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+/// Incremental builder for [`Observations`].
+///
+/// Records `(worker, task, value)` triples in any order; duplicates (same
+/// worker answering the same task twice) are rejected.
+#[derive(Debug, Clone)]
+pub struct ObservationsBuilder {
+    n_workers: usize,
+    n_tasks: usize,
+    by_worker: Vec<Vec<(TaskId, ValueId)>>,
+}
+
+impl ObservationsBuilder {
+    /// Starts a builder for `n_workers` workers and `n_tasks` tasks.
+    pub fn new(n_workers: usize, n_tasks: usize) -> Self {
+        ObservationsBuilder {
+            n_workers,
+            n_tasks,
+            by_worker: vec![Vec::new(); n_workers],
+        }
+    }
+
+    /// Records that `worker` answered `task` with `value`.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if either index is out of range or the
+    /// worker already answered the task.
+    pub fn record(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        value: ValueId,
+    ) -> Result<(), ValidationError> {
+        if worker.index() >= self.n_workers {
+            return Err(ValidationError::new(format!(
+                "worker index {} out of range 0..{}",
+                worker.index(),
+                self.n_workers
+            )));
+        }
+        if task.index() >= self.n_tasks {
+            return Err(ValidationError::new(format!(
+                "task index {} out of range 0..{}",
+                task.index(),
+                self.n_tasks
+            )));
+        }
+        let row = &mut self.by_worker[worker.index()];
+        match row.binary_search_by_key(&task, |&(t, _)| t) {
+            Ok(_) => Err(ValidationError::new(format!(
+                "duplicate observation: {worker} already answered {task}"
+            ))),
+            Err(k) => {
+                row.insert(k, (task, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of answers recorded so far.
+    pub fn len(&self) -> usize {
+        self.by_worker.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_worker.iter().all(Vec::is_empty)
+    }
+
+    /// Finalizes into an immutable [`Observations`].
+    pub fn build(self) -> Observations {
+        let mut by_task: Vec<Vec<(WorkerId, ValueId)>> = vec![Vec::new(); self.n_tasks];
+        for (w, row) in self.by_worker.iter().enumerate() {
+            for &(t, v) in row {
+                by_task[t.index()].push((WorkerId(w), v));
+            }
+        }
+        for col in &mut by_task {
+            col.sort_unstable_by_key(|&(w, _)| w);
+        }
+        let len = self.by_worker.iter().map(Vec::len).sum();
+        Observations {
+            n_workers: self.n_workers,
+            n_tasks: self.n_tasks,
+            by_task,
+            by_worker: self.by_worker,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Observations {
+        // 3 workers, 2 tasks.
+        let mut b = ObservationsBuilder::new(3, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(2), TaskId(1), ValueId(2)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn value_of_finds_recorded_answers() {
+        let obs = sample();
+        assert_eq!(obs.value_of(WorkerId(0), TaskId(0)), Some(ValueId(1)));
+        assert_eq!(obs.value_of(WorkerId(1), TaskId(1)), None);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let obs = sample();
+        assert_eq!(obs.len(), 5);
+        assert!(!obs.is_empty());
+        assert_eq!(obs.n_workers(), 3);
+        assert_eq!(obs.n_tasks(), 2);
+    }
+
+    #[test]
+    fn workers_of_task_sorted_by_worker() {
+        let obs = sample();
+        let rows = obs.workers_of_task(TaskId(0));
+        let ids: Vec<_> = rows.iter().map(|&(w, _)| w.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn task_set_of_worker_is_bid_set() {
+        let obs = sample();
+        assert_eq!(obs.task_set_of_worker(WorkerId(0)), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(obs.task_set_of_worker(WorkerId(1)), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn groups_partition_supporters() {
+        let obs = sample();
+        let groups = obs.task_view(TaskId(0)).groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (ValueId(0), vec![WorkerId(2)]));
+        assert_eq!(groups[1], (ValueId(1), vec![WorkerId(0), WorkerId(1)]));
+    }
+
+    #[test]
+    fn distinct_values_sorted_dedup() {
+        let obs = sample();
+        assert_eq!(obs.task_view(TaskId(0)).distinct_values(), vec![ValueId(0), ValueId(1)]);
+        assert_eq!(obs.task_view(TaskId(1)).distinct_values(), vec![ValueId(2)]);
+    }
+
+    #[test]
+    fn overlap_walks_common_tasks() {
+        let obs = sample();
+        let ov = obs.overlap(WorkerId(0), WorkerId(2));
+        assert_eq!(
+            ov,
+            vec![
+                (TaskId(0), ValueId(1), ValueId(0)),
+                (TaskId(1), ValueId(2), ValueId(2)),
+            ]
+        );
+        // Overlap with a worker who only answered task 0:
+        let ov = obs.overlap(WorkerId(1), WorkerId(2));
+        assert_eq!(ov, vec![(TaskId(0), ValueId(1), ValueId(0))]);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_in_tasks() {
+        let obs = sample();
+        let ab = obs.overlap(WorkerId(0), WorkerId(2));
+        let ba = obs.overlap(WorkerId(2), WorkerId(0));
+        assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.2);
+            assert_eq!(x.2, y.1);
+        }
+    }
+
+    #[test]
+    fn duplicate_record_rejected() {
+        let mut b = ObservationsBuilder::new(1, 1);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        assert!(b.record(WorkerId(0), TaskId(0), ValueId(1)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = ObservationsBuilder::new(1, 1);
+        assert!(b.record(WorkerId(1), TaskId(0), ValueId(0)).is_err());
+        assert!(b.record(WorkerId(0), TaskId(1), ValueId(0)).is_err());
+    }
+
+    #[test]
+    fn empty_build_is_empty() {
+        let obs = ObservationsBuilder::new(2, 2).build();
+        assert!(obs.is_empty());
+        assert_eq!(obs.len(), 0);
+        assert_eq!(obs.workers_of_task(TaskId(0)).len(), 0);
+        assert_eq!(obs.max_value_of_task(TaskId(1)), None);
+    }
+
+    #[test]
+    fn max_value_of_task_tracks_domain() {
+        let obs = sample();
+        assert_eq!(obs.max_value_of_task(TaskId(0)), Some(ValueId(1)));
+        assert_eq!(obs.max_value_of_task(TaskId(1)), Some(ValueId(2)));
+    }
+
+    #[test]
+    fn builder_len_tracks_records() {
+        let mut b = ObservationsBuilder::new(2, 2);
+        assert!(b.is_empty());
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(1), TaskId(1), ValueId(0)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

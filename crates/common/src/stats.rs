@@ -1,0 +1,191 @@
+//! Summary statistics for the experiment harness.
+//!
+//! Every point in the paper's figures is an average over repeated instances;
+//! [`OnlineStats`] accumulates mean/variance in one pass (Welford) and
+//! [`Summary`] is the frozen result the harness serializes into CSV rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass accumulator for mean, variance, min and max.
+///
+/// # Example
+/// ```
+/// use imc2_common::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// let sum = s.summary();
+/// assert_eq!(sum.count, 3);
+/// assert!((sum.mean - 2.0).abs() < 1e-12);
+/// assert!((sum.std_dev - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// Non-finite values are ignored (and counted in no statistic); the
+    /// harness treats them as failed instances.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of (finite) observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 when fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Freezes into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean,
+            std_dev: self.std_dev(),
+            sem: if self.count > 0 {
+                self.std_dev() / (self.count as f64).sqrt()
+            } else {
+                0.0
+            },
+            min: if self.count > 0 { self.min } else { f64::NAN },
+            max: if self.count > 0 { self.max } else { f64::NAN },
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Frozen summary of a sample: one figure data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations aggregated.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Half-width of the ~95% normal confidence interval (`1.96 · sem`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.sem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.summary().min.is_nan());
+    }
+
+    #[test]
+    fn single_value() {
+        let s: OnlineStats = [5.0].into_iter().collect();
+        let sum = s.summary();
+        assert_eq!(sum.count, 1);
+        assert_eq!(sum.mean, 5.0);
+        assert_eq!(sum.std_dev, 0.0);
+        assert_eq!(sum.min, 5.0);
+        assert_eq!(sum.max, 5.0);
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_tracked() {
+        let s: OnlineStats = [2.0, -1.0, 7.0].into_iter().collect();
+        let sum = s.summary();
+        assert_eq!(sum.min, -1.0);
+        assert_eq!(sum.max, 7.0);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let s: OnlineStats = [1.0, f64::NAN, f64::INFINITY, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_uses_sem() {
+        let s: OnlineStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        let sum = s.summary();
+        assert!((sum.ci95_half_width() - 1.96 * sum.sem).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the foundational types.
+
+use imc2_common::logprob::{clamp_prob, log_sum_exp, normalize_log_weights, sigmoid};
+use imc2_common::{ObservationsBuilder, OnlineStats, SeedStream, TaskId, ValueId, WorkerId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn clamp_prob_always_in_open_unit_interval(p in proptest::num::f64::ANY) {
+        let c = clamp_prob(p);
+        prop_assert!(c > 0.0 && c < 1.0);
+    }
+
+    #[test]
+    fn log_sum_exp_ge_max(xs in proptest::collection::vec(-500.0f64..500.0, 1..20)) {
+        let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let s = log_sum_exp(&xs);
+        prop_assert!(s >= m - 1e-9, "lse {s} below max {m}");
+        prop_assert!(s <= m + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn normalize_log_weights_is_distribution(xs in proptest::collection::vec(-300.0f64..300.0, 1..16)) {
+        let mut ys = xs.clone();
+        normalize_log_weights(&mut ys);
+        let total: f64 = ys.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(ys.iter().all(|&y| (0.0..=1.0 + 1e-12).contains(&y)));
+        // Order preserved: larger log-weight, larger probability.
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(ys[i] >= ys[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_monotone_and_bounded(a in -700.0f64..700.0, b in -700.0f64..700.0) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn online_stats_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..64)) {
+        let stats: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+    }
+
+    #[test]
+    fn seed_stream_is_pure(root in any::<u64>(), k in 0u64..1_000_000) {
+        prop_assert_eq!(SeedStream::new(root).derive(k), SeedStream::new(root).derive(k));
+    }
+
+    #[test]
+    fn observations_round_trip(
+        n in 1usize..6,
+        m in 1usize..6,
+        cells in proptest::collection::vec((0usize..6, 0usize..6, 0u32..4), 0..24),
+    ) {
+        let mut b = ObservationsBuilder::new(n, m);
+        let mut expected = std::collections::BTreeMap::new();
+        for (w, t, v) in cells {
+            if w < n && t < m {
+                let inserted = b.record(WorkerId(w), TaskId(t), ValueId(v)).is_ok();
+                if inserted {
+                    expected.insert((w, t), v);
+                }
+            }
+        }
+        let obs = b.build();
+        prop_assert_eq!(obs.len(), expected.len());
+        for (&(w, t), &v) in &expected {
+            prop_assert_eq!(obs.value_of(WorkerId(w), TaskId(t)), Some(ValueId(v)));
+        }
+        // by_task view agrees with by_worker view.
+        let from_tasks: usize = (0..m).map(|t| obs.workers_of_task(TaskId(t)).len()).sum();
+        prop_assert_eq!(from_tasks, expected.len());
+    }
+}

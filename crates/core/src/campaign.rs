@@ -1,0 +1,147 @@
+//! A full crowdsourcing campaign: the Fig. 1 loop plus reporting.
+//!
+//! [`Campaign`] wraps scenario generation and the mechanism run, producing a
+//! [`CampaignReport`] with everything the paper's evaluation reads off a
+//! single instance: precision, social cost, payments, utilities, copier
+//! detection quality. The figure harness (`imc2-bench`) averages these over
+//! many seeds.
+
+use crate::mechanism::{Imc2, Imc2Outcome};
+use imc2_auction::AuctionError;
+use imc2_common::WorkerId;
+use imc2_datagen::{Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible campaign: configuration plus mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    config: ScenarioConfig,
+    mechanism: Imc2,
+}
+
+/// The measured results of one campaign instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Truth-discovery precision.
+    pub precision: f64,
+    /// Number of auction winners.
+    pub n_winners: usize,
+    /// Social cost `Σ c_i` of the winner set.
+    pub social_cost: f64,
+    /// Total payments disbursed.
+    pub total_payment: f64,
+    /// Social welfare (eq. 3).
+    pub social_welfare: f64,
+    /// Platform utility (eq. 2).
+    pub platform_utility: f64,
+    /// Minimum winner utility (≥ 0 ⟺ individual rationality held).
+    pub min_winner_utility: f64,
+    /// Fraction of injected copiers among the auction winners — DATE should
+    /// suppress copiers' accuracy and with it their win rate.
+    pub copier_win_share: f64,
+}
+
+impl Campaign {
+    /// A campaign over the given scenario configuration with the paper's
+    /// mechanism.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Campaign { config, mechanism: Imc2::paper() }
+    }
+
+    /// Replaces the mechanism (different DATE variant, capped auction, …).
+    pub fn with_mechanism(mut self, mechanism: Imc2) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Generates the seeded scenario and runs the mechanism once.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError`] when the generated instance cannot be served.
+    pub fn run(&self, seed: u64) -> Result<CampaignReport, AuctionError> {
+        let scenario = Scenario::generate(&self.config, seed);
+        let outcome = self.mechanism.run(&scenario)?;
+        Ok(Self::report(&scenario, &outcome))
+    }
+
+    /// Builds the report for an already-computed outcome.
+    pub fn report(scenario: &Scenario, outcome: &Imc2Outcome) -> CampaignReport {
+        let utilities = imc2_auction::analysis::utilities(&outcome.auction, &scenario.costs)
+            .expect("scenario costs match worker count");
+        let min_winner_utility = outcome
+            .auction
+            .winners
+            .iter()
+            .map(|w| utilities[w.index()])
+            .fold(f64::INFINITY, f64::min);
+        let copiers: std::collections::HashSet<WorkerId> = scenario
+            .profiles
+            .iter()
+            .filter(|p| p.is_copier())
+            .map(|p| p.worker)
+            .collect();
+        let copier_winners =
+            outcome.auction.winners.iter().filter(|w| copiers.contains(w)).count();
+        CampaignReport {
+            precision: outcome.precision,
+            n_winners: outcome.auction.winners.len(),
+            social_cost: outcome.social_cost,
+            total_payment: outcome.auction.total_payment(),
+            social_welfare: outcome.social_welfare,
+            platform_utility: outcome.platform_utility,
+            min_winner_utility: if min_winner_utility.is_finite() { min_winner_utility } else { 0.0 },
+            copier_win_share: if outcome.auction.winners.is_empty() {
+                0.0
+            } else {
+                copier_winners as f64 / outcome.auction.winners.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let report = Campaign::new(ScenarioConfig::small()).run(7).unwrap();
+        assert!(report.precision > 0.3);
+        assert!(report.n_winners > 0);
+        assert!(report.social_cost > 0.0);
+        assert!(report.total_payment >= report.social_cost - 1e-9, "payments cover truthful bids");
+        assert!(report.min_winner_utility >= -1e-9, "individual rationality");
+        assert!((0.0..=1.0).contains(&report.copier_win_share));
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let c = Campaign::new(ScenarioConfig::small());
+        let a = c.run(9).unwrap();
+        let b = c.run(9).unwrap();
+        assert_eq!(a.social_cost, b.social_cost);
+        assert_eq!(a.precision, b.precision);
+    }
+
+    #[test]
+    fn mechanism_swap_changes_stage() {
+        let c = Campaign::new(ScenarioConfig::small())
+            .with_mechanism(Imc2::with_date(imc2_truth::Date::no_copier()));
+        let report = c.run(11).unwrap();
+        assert!(report.n_winners > 0);
+    }
+
+    #[test]
+    fn accounting_consistency() {
+        let report = Campaign::new(ScenarioConfig::small()).run(13).unwrap();
+        assert!(
+            report.platform_utility <= report.social_welfare + 1e-9,
+            "payments >= costs implies platform utility <= welfare"
+        );
+    }
+}

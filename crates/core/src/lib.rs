@@ -1,0 +1,40 @@
+//! IMC2 — the two-stage Incentive Mechanism for Crowdsourcing with Copiers
+//! (ICDCS 2019), composed end to end.
+//!
+//! The paper models crowdsourcing as a sealed reverse auction (Fig. 1):
+//!
+//! 1. the platform publicizes tasks with accuracy requirements `Θ`;
+//! 2. workers submit bids `B_i = (T_i, b_i, D_i)` — task set, price, data;
+//! 3. the **truth-discovery stage** runs DATE (`imc2-truth`), producing the
+//!    estimated truth and the accuracy matrix `A`;
+//! 4. the **reverse-auction stage** (`imc2-auction`) selects winners
+//!    covering every `Θ_j` and pays each its critical value.
+//!
+//! This crate wires the stages together ([`Imc2`]), runs full campaigns
+//! over generated scenarios ([`campaign`]), and checks the §VI properties
+//! empirically ([`properties`]).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_core::Imc2;
+//! use imc2_datagen::{Scenario, ScenarioConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::generate(&ScenarioConfig::small(), 42);
+//! let outcome = Imc2::paper().run(&scenario)?;
+//! assert!(!outcome.auction.winners.is_empty());
+//! assert!(outcome.precision > 0.4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod campaign;
+pub mod mechanism;
+pub mod properties;
+pub mod strategy;
+
+pub use campaign::{Campaign, CampaignReport};
+pub use mechanism::{Imc2, Imc2Outcome};
+pub use properties::{check_individual_rationality, check_truthfulness, PropertyReport};
+pub use strategy::{apply_strategies, BidStrategy};

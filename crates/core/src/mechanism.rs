@@ -1,0 +1,182 @@
+//! The composed mechanism `M = (e, f, p)`: truth estimation, winner
+//! selection, payment (paper §II-A).
+
+use imc2_auction::{AuctionError, AuctionMechanism, AuctionOutcome, Bid, ReverseAuction, SoacProblem};
+use imc2_common::{ValidationError, WorkerId};
+use imc2_datagen::Scenario;
+use imc2_truth::{accuracy_for_auction, Date, TruthDiscovery, TruthOutcome, TruthProblem};
+
+/// The IMC2 mechanism: a configured truth-discovery stage plus the greedy
+/// reverse auction.
+#[derive(Debug, Clone)]
+pub struct Imc2 {
+    date: Date,
+    auction: ReverseAuction,
+}
+
+/// Everything a full IMC2 run produces.
+#[derive(Debug, Clone)]
+pub struct Imc2Outcome {
+    /// Truth-discovery stage output (estimate + accuracy matrix).
+    pub truth: TruthOutcome,
+    /// Auction stage output (winners + payments).
+    pub auction: AuctionOutcome,
+    /// Precision of the estimate against the scenario's latent truth.
+    pub precision: f64,
+    /// Social cost `Σ_{i∈S} c_i` under the scenario's true costs.
+    pub social_cost: f64,
+    /// Social welfare `V(S) − Σ_{i∈S} c_i` (eq. 3): the platform's value —
+    /// the sum of task values, earned because every requirement is met —
+    /// minus the winners' true costs.
+    pub social_welfare: f64,
+    /// The platform's utility `u_0 = V(S) − Σ p_i` (eq. 2).
+    pub platform_utility: f64,
+}
+
+impl Imc2 {
+    /// IMC2 with the paper's default DATE parameters and strict monopolist
+    /// handling.
+    pub fn paper() -> Self {
+        Imc2 { date: Date::paper(), auction: ReverseAuction::new() }
+    }
+
+    /// IMC2 with a custom truth-discovery stage.
+    pub fn with_date(date: Date) -> Self {
+        Imc2 { date, auction: ReverseAuction::new() }
+    }
+
+    /// Replaces the auction stage (e.g. to cap monopolist payments).
+    pub fn with_auction(mut self, auction: ReverseAuction) -> Self {
+        self.auction = auction;
+        self
+    }
+
+    /// The truth-discovery stage in use.
+    pub fn date(&self) -> &Date {
+        &self.date
+    }
+
+    /// The auction stage in use.
+    pub fn auction(&self) -> &ReverseAuction {
+        &self.auction
+    }
+
+    /// Builds the SOAC instance a scenario induces: DATE's auction-facing
+    /// accuracy matrix plus the scenario's bids and requirements.
+    ///
+    /// Exposed separately (C-INTERMEDIATE) so property checks can rerun the
+    /// auction with deviated bids without re-running truth discovery.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the scenario's pieces disagree in
+    /// dimension (cannot happen for generator-produced scenarios).
+    pub fn build_soac(
+        &self,
+        scenario: &Scenario,
+        truth: &TruthOutcome,
+    ) -> Result<SoacProblem, ValidationError> {
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false)?;
+        let accuracy = accuracy_for_auction(&problem, &truth.accuracy);
+        let bids: Vec<Bid> = (0..scenario.n_workers())
+            .map(|k| {
+                let w = WorkerId(k);
+                Bid::new(scenario.task_set(w), scenario.bids[k])
+            })
+            .collect();
+        SoacProblem::new(bids, accuracy, scenario.requirements.clone())
+    }
+
+    /// Runs the full two-stage mechanism on a scenario.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError`] when the accuracy requirements cannot be
+    /// covered (infeasible instance) or a winner is a monopolist.
+    pub fn run(&self, scenario: &Scenario) -> Result<Imc2Outcome, AuctionError> {
+        // Stage 1: truth discovery (function e of the mechanism).
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false)
+            .expect("scenario dimensions are consistent by construction");
+        let truth = self.date.discover(&problem);
+        // Stage 2: reverse auction (functions f and p).
+        let soac = self
+            .build_soac(scenario, &truth)
+            .expect("scenario dimensions are consistent by construction");
+        let auction = self.auction.run(&soac)?;
+
+        let precision = imc2_truth::precision(&truth.estimate, &scenario.ground_truth);
+        let social_cost =
+            imc2_auction::analysis::social_cost(&auction.winners, &scenario.costs);
+        let value: f64 = scenario.task_values.iter().sum();
+        let social_welfare = value - social_cost;
+        let platform_utility = value - auction.total_payment();
+        Ok(Imc2Outcome { truth, auction, precision, social_cost, social_welfare, platform_utility })
+    }
+}
+
+impl Default for Imc2 {
+    fn default() -> Self {
+        Imc2::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_datagen::ScenarioConfig;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::generate(&ScenarioConfig::small(), seed)
+    }
+
+    #[test]
+    fn full_run_produces_consistent_outcome() {
+        let s = scenario(1);
+        let out = Imc2::paper().run(&s).unwrap();
+        assert_eq!(out.truth.estimate.len(), s.n_tasks());
+        assert!(!out.auction.winners.is_empty());
+        assert!(out.precision > 0.0);
+        // Winners really cover the requirements.
+        let soac = Imc2::paper().build_soac(&s, &out.truth).unwrap();
+        assert!(soac.is_feasible(&out.auction.winners));
+    }
+
+    #[test]
+    fn accounting_identities_hold() {
+        let s = scenario(2);
+        let out = Imc2::paper().run(&s).unwrap();
+        let value: f64 = s.task_values.iter().sum();
+        assert!((out.social_welfare - (value - out.social_cost)).abs() < 1e-9);
+        assert!((out.platform_utility - (value - out.auction.total_payment())).abs() < 1e-9);
+        // Payments at least cover bids (IR) so platform utility <= welfare.
+        assert!(out.platform_utility <= out.social_welfare + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_scenario() {
+        let s = scenario(3);
+        let a = Imc2::paper().run(&s).unwrap();
+        let b = Imc2::paper().run(&s).unwrap();
+        assert_eq!(a.auction, b.auction);
+        assert_eq!(a.truth.estimate, b.truth.estimate);
+    }
+
+    #[test]
+    fn custom_date_stage_is_used() {
+        let s = scenario(4);
+        let nc = Imc2::with_date(imc2_truth::Date::no_copier());
+        let out = nc.run(&s).unwrap();
+        assert_eq!(nc.date().name(), "NC");
+        assert!(out.precision > 0.0);
+    }
+
+    #[test]
+    fn losers_are_paid_nothing() {
+        let s = scenario(5);
+        let out = Imc2::paper().run(&s).unwrap();
+        for k in 0..s.n_workers() {
+            let w = WorkerId(k);
+            if !out.auction.is_winner(w) {
+                assert_eq!(out.auction.payments[k], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Empirical verification of the §VI mechanism properties on generated
+//! scenarios: individual rationality (Lemma 2) and truthfulness (Lemma 3).
+//!
+//! These checks complement the paper's proofs: they hunt for counterexamples
+//! the implementation might introduce (tie-breaking, floating point,
+//! residual clamping) that the clean theory does not cover.
+
+use crate::mechanism::Imc2;
+use imc2_auction::analysis::{probe_truthfulness, utility_curve, UtilityPoint};
+use imc2_auction::{AuctionError, AuctionMechanism, SoacProblem};
+use imc2_common::WorkerId;
+use imc2_datagen::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// Result of a property sweep over one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertyReport {
+    /// Workers probed.
+    pub probed: usize,
+    /// Workers for which the property held.
+    pub passed: usize,
+    /// Worst violation magnitude observed (0 when all passed).
+    pub worst_violation: f64,
+}
+
+impl PropertyReport {
+    /// Whether every probed worker satisfied the property.
+    pub fn all_passed(&self) -> bool {
+        self.probed == self.passed
+    }
+}
+
+/// Builds the SOAC instance of a scenario under the paper mechanism.
+///
+/// # Errors
+/// Returns [`AuctionError`] when the instance cannot be served at truthful
+/// bids.
+fn soac_of(mechanism: &Imc2, scenario: &Scenario) -> Result<SoacProblem, AuctionError> {
+    let problem = imc2_truth::TruthProblem::new(&scenario.observations, &scenario.num_false)
+        .expect("scenario is well-formed");
+    let truth = imc2_truth::TruthDiscovery::discover(mechanism.date(), &problem);
+    Ok(mechanism.build_soac(scenario, &truth).expect("scenario is well-formed"))
+}
+
+/// Checks that every winner's utility is non-negative under truthful
+/// bidding (individual rationality, Lemma 2).
+///
+/// # Errors
+/// Returns [`AuctionError`] when the instance cannot be served.
+pub fn check_individual_rationality(
+    mechanism: &Imc2,
+    scenario: &Scenario,
+) -> Result<PropertyReport, AuctionError> {
+    let soac = soac_of(mechanism, scenario)?;
+    let outcome = mechanism.auction().run(&soac)?;
+    let utilities = imc2_auction::analysis::utilities(&outcome, &scenario.costs)
+        .expect("cost vector matches");
+    let mut worst: f64 = 0.0;
+    let mut passed = 0;
+    for &w in &outcome.winners {
+        let u = utilities[w.index()];
+        if u >= -1e-9 {
+            passed += 1;
+        } else {
+            worst = worst.max(-u);
+        }
+    }
+    Ok(PropertyReport { probed: outcome.winners.len(), passed, worst_violation: worst })
+}
+
+/// Probes `workers` (or a default spread) with bid deviations and checks
+/// none improves its utility over truthful bidding (Lemma 3).
+///
+/// # Errors
+/// Returns [`AuctionError`] when the truthful instance cannot be served.
+pub fn check_truthfulness(
+    mechanism: &Imc2,
+    scenario: &Scenario,
+    workers: &[WorkerId],
+    multipliers: &[f64],
+) -> Result<PropertyReport, AuctionError> {
+    let soac = soac_of(mechanism, scenario)?;
+    let mut passed = 0;
+    let mut worst: f64 = 0.0;
+    for &w in workers {
+        let report =
+            probe_truthfulness(mechanism.auction(), &soac, &scenario.costs, w, multipliers);
+        if report.truthful {
+            passed += 1;
+        } else {
+            worst = worst.max(report.best_deviation_utility - report.truthful_utility);
+        }
+    }
+    Ok(PropertyReport { probed: workers.len(), passed, worst_violation: worst })
+}
+
+/// The utility-versus-bid curve of one worker (the Fig. 8 experiment),
+/// with every other worker truthful.
+///
+/// # Errors
+/// Returns [`AuctionError`] when the truthful instance cannot be served.
+pub fn fig8_utility_curve(
+    mechanism: &Imc2,
+    scenario: &Scenario,
+    worker: WorkerId,
+    bids: &[f64],
+) -> Result<Vec<UtilityPoint>, AuctionError> {
+    let soac = soac_of(mechanism, scenario)?;
+    Ok(utility_curve(mechanism.auction(), &soac, &scenario.costs, worker, bids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_datagen::ScenarioConfig;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::generate(&ScenarioConfig::small(), seed)
+    }
+
+    #[test]
+    fn individual_rationality_holds() {
+        for seed in [1, 2, 3] {
+            let report =
+                check_individual_rationality(&Imc2::paper(), &scenario(seed)).unwrap();
+            assert!(report.all_passed(), "IR violated at seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn truthfulness_holds_for_sample_workers() {
+        let s = scenario(4);
+        let workers: Vec<WorkerId> = (0..s.n_workers()).step_by(7).map(WorkerId).collect();
+        let report = check_truthfulness(
+            &Imc2::paper(),
+            &s,
+            &workers,
+            &[0.2, 0.5, 0.8, 1.25, 2.0, 5.0],
+        )
+        .unwrap();
+        assert!(report.all_passed(), "profitable deviation found: {report:?}");
+    }
+
+    #[test]
+    fn utility_curve_has_plateau_then_zero() {
+        let s = scenario(5);
+        // Find a winner to probe.
+        let out = Imc2::paper().run(&s).unwrap();
+        let w = out.auction.winners[0];
+        let c = s.costs[w.index()];
+        let bids: Vec<f64> = (1..=30).map(|k| c * k as f64 * 0.2).collect();
+        let curve = fig8_utility_curve(&Imc2::paper(), &s, w, &bids).unwrap();
+        assert!(!curve.is_empty());
+        // Utility while winning is constant (critical payment independent of
+        // the winning bid) and zero once losing.
+        let winning: Vec<&UtilityPoint> = curve.iter().filter(|p| p.won).collect();
+        if winning.len() >= 2 {
+            let u0 = winning[0].utility;
+            for p in &winning {
+                assert!((p.utility - u0).abs() < 1e-6, "winning utility must be flat");
+            }
+        }
+        for p in curve.iter().filter(|p| !p.won) {
+            assert_eq!(p.utility, 0.0);
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = PropertyReport { probed: 3, passed: 3, worst_violation: 0.0 };
+        assert!(r.all_passed());
+        let r = PropertyReport { probed: 3, passed: 2, worst_violation: 0.5 };
+        assert!(!r.all_passed());
+    }
+}

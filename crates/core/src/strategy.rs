@@ -1,0 +1,146 @@
+//! Strategic bidding models.
+//!
+//! The paper assumes "workers are selfish and rational individuals \[that\]
+//! can behave strategically by submitting a dishonest bid price to maximize
+//! utility" (§II-A) and then proves no such behaviour pays off (Lemma 3).
+//! This module makes the strategy space concrete so experiments can measure
+//! what strategic populations actually earn under the truthful mechanism:
+//! the empirical counterpart of the truthfulness theorem.
+
+use imc2_common::{SeedStream, WorkerId};
+use imc2_datagen::Scenario;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A worker's bid-formation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BidStrategy {
+    /// Declare the true cost (the weakly dominant strategy, Lemma 3).
+    #[default]
+    Truthful,
+    /// Declare `factor × cost` (overbidding for `factor > 1`, shading
+    /// below cost for `factor < 1`).
+    Scale {
+        /// Multiplicative misreport factor.
+        factor: f64,
+    },
+    /// Declare `cost + offset` (clamped at a small positive price).
+    Shift {
+        /// Additive misreport.
+        offset: f64,
+    },
+    /// Declare `cost × U[1−jitter, 1+jitter]` — noisy misreporting.
+    Jitter {
+        /// Maximum relative deviation.
+        jitter: f64,
+    },
+}
+
+impl BidStrategy {
+    /// The declared bid for a worker with true cost `cost`.
+    pub fn bid<R: Rng + ?Sized>(&self, cost: f64, rng: &mut R) -> f64 {
+        let bid = match *self {
+            BidStrategy::Truthful => cost,
+            BidStrategy::Scale { factor } => cost * factor,
+            BidStrategy::Shift { offset } => cost + offset,
+            BidStrategy::Jitter { jitter } => {
+                cost * rng.gen_range(1.0 - jitter..=1.0 + jitter)
+            }
+        };
+        bid.max(1e-6)
+    }
+}
+
+/// Applies per-worker strategies to a scenario, returning a copy whose
+/// declared bids follow the strategies while true costs stay untouched.
+///
+/// `strategies` maps worker ids to strategies; unlisted workers stay
+/// truthful. Bid generation is seeded so experiments stay reproducible.
+pub fn apply_strategies(
+    scenario: &Scenario,
+    strategies: &[(WorkerId, BidStrategy)],
+    seed: u64,
+) -> Scenario {
+    let seeds = SeedStream::new(seed);
+    let mut out = scenario.clone();
+    for &(w, strategy) in strategies {
+        let mut rng = seeds.rng(w.index() as u64);
+        out.bids[w.index()] = strategy.bid(scenario.costs[w.index()], &mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::Imc2;
+    use imc2_auction::analysis::utilities;
+    use imc2_datagen::ScenarioConfig;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn strategies_compute_expected_bids() {
+        let mut rng = rng_from_seed(1);
+        assert_eq!(BidStrategy::Truthful.bid(4.0, &mut rng), 4.0);
+        assert_eq!(BidStrategy::Scale { factor: 1.5 }.bid(4.0, &mut rng), 6.0);
+        assert_eq!(BidStrategy::Shift { offset: -1.0 }.bid(4.0, &mut rng), 3.0);
+        let j = BidStrategy::Jitter { jitter: 0.25 }.bid(4.0, &mut rng);
+        assert!((3.0..=5.0).contains(&j));
+        // Never non-positive.
+        assert!(BidStrategy::Shift { offset: -10.0 }.bid(4.0, &mut rng) > 0.0);
+    }
+
+    #[test]
+    fn apply_strategies_only_touches_bids() {
+        let scenario = Scenario::generate(&ScenarioConfig::small(), 5);
+        let w = WorkerId(3);
+        let strategic =
+            apply_strategies(&scenario, &[(w, BidStrategy::Scale { factor: 2.0 })], 9);
+        assert_eq!(strategic.costs, scenario.costs);
+        assert_eq!(strategic.observations, scenario.observations);
+        assert!((strategic.bids[3] - scenario.costs[3] * 2.0).abs() < 1e-12);
+        // Everyone else untouched.
+        for k in 0..scenario.n_workers() {
+            if k != 3 {
+                assert_eq!(strategic.bids[k], scenario.bids[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn strategic_population_earns_no_more_than_truthful() {
+        // Empirical Lemma 3 at the population level: every strategic worker,
+        // probed one at a time, earns at most its truthful utility.
+        let scenario = Scenario::generate(&ScenarioConfig::small(), 12);
+        let truthful_outcome = Imc2::paper().run(&scenario).unwrap();
+        let truthful_utils = utilities(&truthful_outcome.auction, &scenario.costs).unwrap();
+
+        for k in (0..scenario.n_workers()).step_by(5) {
+            let w = WorkerId(k);
+            for strategy in [
+                BidStrategy::Scale { factor: 0.5 },
+                BidStrategy::Scale { factor: 1.5 },
+                BidStrategy::Shift { offset: 2.0 },
+            ] {
+                let strategic = apply_strategies(&scenario, &[(w, strategy)], 3);
+                let Ok(outcome) = Imc2::paper().run(&strategic) else { continue };
+                let utils = utilities(&outcome.auction, &scenario.costs).unwrap();
+                assert!(
+                    utils[k] <= truthful_utils[k] + 1e-6,
+                    "worker {k} gained via {strategy:?}: {} > {}",
+                    utils[k],
+                    truthful_utils[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let scenario = Scenario::generate(&ScenarioConfig::small(), 8);
+        let s = [(WorkerId(0), BidStrategy::Jitter { jitter: 0.3 })];
+        let a = apply_strategies(&scenario, &s, 42);
+        let b = apply_strategies(&scenario, &s, 42);
+        assert_eq!(a.bids, b.bids);
+    }
+}

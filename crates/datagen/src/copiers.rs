@@ -1,0 +1,247 @@
+//! Copier injection: who copies from whom.
+//!
+//! The paper's simulation "randomly selected 30 workers and set them to be
+//! copiers. This means that the data of these workers is copied from the
+//! other workers" (§VII-A). The generative assumptions of §II-B apply:
+//! *independent copying* (pairwise dependences independent) and *no loop
+//! dependence* — we realize the latter by only ever copying from
+//! non-copiers, which mirrors the paper's Table 1 story (workers 4 and 5
+//! both copy from worker 3, with errors).
+//!
+//! Copiers are organized into **rings**: groups of copiers sharing one
+//! source. Rings are what defeats majority voting — a wrong source value is
+//! echoed `ring_size` times.
+
+use crate::profiles::WorkerProfile;
+use imc2_common::{ValidationError, WorkerId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the copier population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CopierConfig {
+    /// Number of workers that are copiers (paper default: 30 of 120).
+    pub n_copiers: usize,
+    /// Copiers per ring; each ring shares a single source.
+    pub ring_size: usize,
+    /// Generative per-task copy probability (`r` in §II-B).
+    pub copy_prob: f64,
+    /// Probability a copied value is corrupted to a random different value.
+    pub copy_error: f64,
+    /// Fraction of a copier's task set steered onto its source's tasks, so
+    /// that copying has material to work with.
+    pub source_overlap_bias: f64,
+}
+
+impl Default for CopierConfig {
+    fn default() -> Self {
+        CopierConfig {
+            n_copiers: 30,
+            ring_size: 10,
+            copy_prob: 0.95,
+            copy_error: 0.05,
+            source_overlap_bias: 0.9,
+        }
+    }
+}
+
+impl CopierConfig {
+    /// Validates parameter ranges against a worker population of size `n`.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when there are more copiers than workers
+    /// minus one (a source must remain), when `ring_size` is zero, or when
+    /// any probability lies outside `[0, 1]`.
+    pub fn validate(&self, n_workers: usize) -> Result<(), ValidationError> {
+        if self.n_copiers >= n_workers && self.n_copiers > 0 {
+            return Err(ValidationError::new(format!(
+                "{} copiers leave no independent source among {} workers",
+                self.n_copiers, n_workers
+            )));
+        }
+        if self.ring_size == 0 {
+            return Err(ValidationError::new("ring_size must be at least 1"));
+        }
+        for (name, p) in [
+            ("copy_prob", self.copy_prob),
+            ("copy_error", self.copy_error),
+            ("source_overlap_bias", self.source_overlap_bias),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ValidationError::new(format!("{name} must lie in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A realized copier assignment: which workers copy, and from whom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CopierPlan {
+    /// `(copier, source)` pairs; sources are always independent workers.
+    pub assignments: Vec<(WorkerId, WorkerId)>,
+}
+
+impl CopierPlan {
+    /// Draws a copier plan over `n_workers` workers.
+    ///
+    /// Copiers are a uniform random subset; each ring of up to `ring_size`
+    /// copiers draws its source from the remaining independent workers
+    /// weighted by `source_weights` (pass activity weights to prefer
+    /// prolific posters, the natural copy targets).
+    ///
+    /// # Panics
+    /// Panics if `config.validate(n_workers)` would fail; call it first.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_workers: usize,
+        config: &CopierConfig,
+        source_weights: &[f64],
+    ) -> CopierPlan {
+        config
+            .validate(n_workers)
+            .expect("CopierConfig must be validated before sampling");
+        if config.n_copiers == 0 {
+            return CopierPlan { assignments: Vec::new() };
+        }
+        let mut ids: Vec<usize> = (0..n_workers).collect();
+        ids.shuffle(rng);
+        let copiers: Vec<WorkerId> = ids[..config.n_copiers].iter().copied().map(WorkerId).collect();
+        let independents: Vec<WorkerId> =
+            ids[config.n_copiers..].iter().copied().map(WorkerId).collect();
+
+        let mut assignments = Vec::with_capacity(config.n_copiers);
+        for ring in copiers.chunks(config.ring_size) {
+            // Weighted choice of a source among independents.
+            let weights: Vec<f64> = independents
+                .iter()
+                .map(|w| source_weights.get(w.index()).copied().unwrap_or(1.0))
+                .collect();
+            let source = independents[crate::dist::sample_index(rng, &weights)];
+            for &copier in ring {
+                assignments.push((copier, source));
+            }
+        }
+        assignments.sort_unstable_by_key(|&(c, _)| c);
+        CopierPlan { assignments }
+    }
+
+    /// The set of copier ids (sorted).
+    pub fn copiers(&self) -> Vec<WorkerId> {
+        self.assignments.iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Source of `worker`, or `None` if it is not a copier.
+    pub fn source_of(&self, worker: WorkerId) -> Option<WorkerId> {
+        self.assignments
+            .binary_search_by_key(&worker, |&(c, _)| c)
+            .ok()
+            .map(|k| self.assignments[k].1)
+    }
+
+    /// Applies the plan to a list of profiles, turning the planned workers
+    /// into copiers with the config's copy parameters.
+    pub fn apply(&self, profiles: &mut [WorkerProfile], config: &CopierConfig) {
+        for &(copier, source) in &self.assignments {
+            let p = &mut profiles[copier.index()];
+            p.kind = crate::profiles::WorkerKind::Copier {
+                source,
+                copy_prob: config.copy_prob,
+                copy_error: config.copy_error,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::zipf_weights;
+    use imc2_common::rng_from_seed;
+
+    fn plan(seed: u64, n: usize, cfg: &CopierConfig) -> CopierPlan {
+        let mut rng = rng_from_seed(seed);
+        let w = zipf_weights(n, 0.5);
+        CopierPlan::sample(&mut rng, n, cfg, &w)
+    }
+
+    #[test]
+    fn default_config_validates() {
+        CopierConfig::default().validate(120).unwrap();
+    }
+
+    #[test]
+    fn too_many_copiers_rejected() {
+        let mut c = CopierConfig::default();
+        c.n_copiers = 120;
+        assert!(c.validate(120).is_err());
+    }
+
+    #[test]
+    fn bad_probabilities_rejected() {
+        let mut c = CopierConfig::default();
+        c.copy_prob = 1.5;
+        assert!(c.validate(120).is_err());
+        let mut c = CopierConfig::default();
+        c.ring_size = 0;
+        assert!(c.validate(120).is_err());
+    }
+
+    #[test]
+    fn plan_has_requested_copier_count() {
+        let p = plan(1, 120, &CopierConfig::default());
+        assert_eq!(p.assignments.len(), 30);
+        assert_eq!(p.copiers().len(), 30);
+    }
+
+    #[test]
+    fn sources_are_never_copiers() {
+        let p = plan(2, 120, &CopierConfig::default());
+        let copiers: std::collections::HashSet<_> = p.copiers().into_iter().collect();
+        for &(_, source) in &p.assignments {
+            assert!(!copiers.contains(&source), "source {source} is itself a copier");
+        }
+    }
+
+    #[test]
+    fn rings_share_sources() {
+        let cfg = CopierConfig { ring_size: 5, ..CopierConfig::default() };
+        let p = plan(3, 120, &cfg);
+        // Count distinct sources: 30 copiers in rings of 5 → at most 6 sources.
+        let distinct: std::collections::HashSet<_> = p.assignments.iter().map(|&(_, s)| s).collect();
+        assert!(distinct.len() <= 6);
+    }
+
+    #[test]
+    fn source_of_finds_assignment() {
+        let p = plan(4, 50, &CopierConfig { n_copiers: 10, ..CopierConfig::default() });
+        let (c, s) = p.assignments[0];
+        assert_eq!(p.source_of(c), Some(s));
+        // A non-copier has no source.
+        let copiers: std::collections::HashSet<_> = p.copiers().into_iter().collect();
+        let non = (0..50).map(WorkerId).find(|w| !copiers.contains(w)).unwrap();
+        assert_eq!(p.source_of(non), None);
+    }
+
+    #[test]
+    fn zero_copiers_gives_empty_plan() {
+        let cfg = CopierConfig { n_copiers: 0, ..CopierConfig::default() };
+        let p = plan(5, 20, &cfg);
+        assert!(p.assignments.is_empty());
+    }
+
+    #[test]
+    fn apply_converts_profiles() {
+        let cfg = CopierConfig { n_copiers: 4, ..CopierConfig::default() };
+        let p = plan(6, 20, &cfg);
+        let mut profiles: Vec<WorkerProfile> = (0..20)
+            .map(|i| WorkerProfile::independent(WorkerId(i), 0.7, 1.0))
+            .collect();
+        p.apply(&mut profiles, &cfg);
+        assert_eq!(profiles.iter().filter(|q| q.is_copier()).count(), 4);
+        for &(c, s) in &p.assignments {
+            assert_eq!(profiles[c.index()].source(), Some(s));
+        }
+    }
+}

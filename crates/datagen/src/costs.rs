@@ -1,0 +1,194 @@
+//! Worker cost models — the stand-in for the eBay auction dataset.
+//!
+//! The paper draws each worker's private cost "randomly from the auction
+//! dataset \[41\], which contains 5017 bid prices for Palm Pilot M515 PDA from
+//! eBay workers". We do not have that dataset; [`CostModel::EbayReplay`]
+//! replays a deterministic 5017-entry table with the documented shape of
+//! used-PDA auction prices (right-skewed log-normal, clipped to a plausible
+//! band), rescaled so costs land in the single-digit range the paper's
+//! Fig. 8 reveals (a winner with true cost 3, a loser with true cost 8).
+
+use crate::dist::sample_log_normal;
+use imc2_common::ValidationError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Number of entries in the replayed price table — matches the dataset size
+/// quoted by the paper.
+pub const EBAY_TABLE_LEN: usize = 5017;
+
+/// How worker costs are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Log-normal with log-mean `mu`, log-sd `sigma`, truncated to
+    /// `[min, max]` after scaling by `scale`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Multiplicative rescale applied after exponentiation.
+        scale: f64,
+        /// Truncation band applied after scaling.
+        min: f64,
+        /// Upper truncation bound.
+        max: f64,
+    },
+    /// Uniform draw from the deterministic 5017-entry synthetic price table
+    /// (see module docs), multiplied by `scale`.
+    EbayReplay {
+        /// Multiplicative rescale; the raw table spans roughly 20–400
+        /// (dollars), so `scale = 1/30` gives the paper's single-digit costs.
+        scale: f64,
+    },
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::EbayReplay { scale: 1.0 / 30.0 }
+    }
+}
+
+impl CostModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for empty/inverted ranges, non-positive
+    /// scales or non-finite parameters.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        match *self {
+            CostModel::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo) {
+                    return Err(ValidationError::new("uniform cost range must satisfy 0 < lo <= hi"));
+                }
+            }
+            CostModel::LogNormal { mu, sigma, scale, min, max } => {
+                if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+                    return Err(ValidationError::new("log-normal parameters must be finite, sigma >= 0"));
+                }
+                if !(scale > 0.0 && min > 0.0 && max >= min) {
+                    return Err(ValidationError::new("log-normal scale/truncation must satisfy 0 < min <= max, scale > 0"));
+                }
+            }
+            CostModel::EbayReplay { scale } => {
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(ValidationError::new("replay scale must be positive"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one cost.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            CostModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            CostModel::LogNormal { mu, sigma, scale, min, max } => {
+                (sample_log_normal(rng, mu, sigma) * scale).clamp(min, max)
+            }
+            CostModel::EbayReplay { scale } => {
+                let table = ebay_price_table();
+                table[rng.gen_range(0..table.len())] * scale
+            }
+        }
+    }
+
+    /// Draws `n` costs.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The deterministic synthetic price table standing in for the eBay Palm
+/// Pilot M515 dataset: 5017 right-skewed prices in roughly 20–400 dollars.
+///
+/// Generated once from a fixed internal seed; every build and every platform
+/// sees the same table.
+pub fn ebay_price_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut rng = imc2_common::rng_from_seed(0x00EB_A75E_ED00_2002);
+        (0..EBAY_TABLE_LEN)
+            // ln(130) ≈ 4.8675: median near the street price of a used M515.
+            .map(|_| sample_log_normal(&mut rng, 4.8675, 0.45).clamp(20.0, 400.0))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn table_has_documented_size_and_band() {
+        let t = ebay_price_table();
+        assert_eq!(t.len(), EBAY_TABLE_LEN);
+        assert!(t.iter().all(|&p| (20.0..=400.0).contains(&p)));
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        let a = ebay_price_table()[0];
+        let b = ebay_price_table()[0];
+        assert_eq!(a, b);
+        // Spot-check the distribution shape: median within a sane PDA band.
+        let mut sorted: Vec<f64> = ebay_price_table().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((100.0..180.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn default_model_gives_single_digit_costs() {
+        let mut rng = rng_from_seed(20);
+        let costs = CostModel::default().sample_many(&mut rng, 1000);
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        assert!((2.0..10.0).contains(&mean), "mean cost {mean}");
+        assert!(costs.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from_seed(21);
+        let m = CostModel::Uniform { lo: 1.0, hi: 2.0 };
+        for c in m.sample_many(&mut rng, 500) {
+            assert!((1.0..=2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn log_normal_truncates() {
+        let mut rng = rng_from_seed(22);
+        let m = CostModel::LogNormal { mu: 0.0, sigma: 2.0, scale: 1.0, min: 0.5, max: 3.0 };
+        for c in m.sample_many(&mut rng, 500) {
+            assert!((0.5..=3.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(CostModel::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+        assert!(CostModel::Uniform { lo: 0.0, hi: 1.0 }.validate().is_err());
+        assert!(CostModel::EbayReplay { scale: 0.0 }.validate().is_err());
+        assert!(CostModel::LogNormal { mu: 0.0, sigma: -1.0, scale: 1.0, min: 1.0, max: 2.0 }
+            .validate()
+            .is_err());
+        assert!(CostModel::default().validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = CostModel::default().sample_many(&mut rng_from_seed(7), 10);
+        let b = CostModel::default().sample_many(&mut rng_from_seed(7), 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Small self-contained sampling distributions.
+//!
+//! The approved offline dependency set includes `rand` but not `rand_distr`,
+//! so the handful of shaped distributions the generators need (Beta for
+//! worker reliability, log-normal for auction costs, Zipf-style activity
+//! weights) are implemented here with classic textbook methods and unit
+//! tests against their analytic moments.
+
+use rand::Rng;
+
+/// Samples `Gamma(shape, 1)` with the Marsaglia–Tsang squeeze method.
+///
+/// Valid for any `shape > 0`; shapes below 1 use the standard boost
+/// `Gamma(a) = Gamma(a+1) · U^{1/a}`.
+///
+/// # Panics
+/// Panics if `shape` is not finite and positive.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Samples `Beta(alpha, beta)` as `X/(X+Y)` with independent gammas.
+///
+/// # Panics
+/// Panics if either parameter is not finite and positive.
+pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    let x = sample_gamma(rng, alpha);
+    let y = sample_gamma(rng, beta);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Samples a log-normal with the given log-space mean and standard deviation.
+///
+/// # Panics
+/// Panics if `sigma` is negative or either parameter is non-finite.
+pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal parameters");
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Zipf-style weights `w_k ∝ 1/(k+1)^s` over `n` items, normalized to sum 1.
+///
+/// Used for worker activity: a few very active workers, a long tail — the
+/// usual shape of forum participation.
+///
+/// # Panics
+/// Panics if `n == 0` or `s` is negative/non-finite.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one item");
+    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+    let mut w: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Draws an index from a normalized weight vector.
+///
+/// # Panics
+/// Panics if `weights` is empty.
+pub fn sample_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (k, &w) in weights.iter().enumerate() {
+        if target < w {
+            return k;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples `k` distinct indices from `0..n` weighted by `weights`
+/// (weighted reservoir-free rejection; fine for `k ≪ n` and small `n`).
+///
+/// # Panics
+/// Panics if `k > n` or `weights.len() != n`.
+pub fn sample_distinct<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    weights: &[f64],
+) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    assert_eq!(weights.len(), n, "weights length mismatch");
+    let mut w = weights.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let idx = sample_index(rng, &w);
+        out.push(idx);
+        w[idx] = 0.0;
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let shape = 3.0;
+        let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+        assert!((mean - shape).abs() < 0.1, "gamma mean {mean} vs shape {shape}");
+    }
+
+    #[test]
+    fn gamma_small_shape_valid() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..1000 {
+            let x = sample_gamma(&mut rng, 0.3);
+            assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn beta_mean_matches_analytic() {
+        let mut rng = rng_from_seed(3);
+        let (a, b) = (2.0, 5.0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(&mut rng, a, b)).sum::<f64>() / n as f64;
+        assert!((mean - a / (a + b)).abs() < 0.01);
+    }
+
+    #[test]
+    fn beta_in_unit_interval() {
+        let mut rng = rng_from_seed(4);
+        for _ in 0..1000 {
+            let x = sample_beta(&mut rng, 0.5, 0.5);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn log_normal_median_matches_mu() {
+        let mut rng = rng_from_seed(5);
+        let mut xs: Vec<f64> = (0..9999).map(|_| sample_log_normal(&mut rng, 2.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median.ln() - 2.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let w = zipf_weights(10, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &x in &w {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_index_respects_zero_weights() {
+        let mut rng = rng_from_seed(6);
+        let w = [0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(sample_index(&mut rng, &w), 1);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_no_repeats() {
+        let mut rng = rng_from_seed(7);
+        let w = zipf_weights(20, 1.0);
+        for _ in 0..50 {
+            let picks = sample_distinct(&mut rng, 20, 10, &w);
+            let mut dedup = picks.clone();
+            dedup.dedup();
+            assert_eq!(picks.len(), 10);
+            assert_eq!(dedup.len(), 10);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_draw_is_permutation() {
+        let mut rng = rng_from_seed(8);
+        let w = zipf_weights(5, 1.0);
+        let picks = sample_distinct(&mut rng, 5, 5, &w);
+        assert_eq!(picks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = rng_from_seed(9);
+            (0..5).map(|_| sample_beta(&mut rng, 2.0, 2.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = rng_from_seed(9);
+            (0..5).map(|_| sample_beta(&mut rng, 2.0, 2.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

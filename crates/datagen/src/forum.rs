@@ -1,0 +1,488 @@
+//! The synthetic forum campaign — our stand-in for the Qatar Living dataset.
+//!
+//! Produces a full crowdsourcing snapshot: categorical tasks (default domain
+//! size 3, mirroring Good/Bad/Other), heterogeneous worker reliability,
+//! index-decaying participation and injected copier rings. The generative
+//! process follows §II-B of the paper exactly:
+//!
+//! 1. independent workers answer correctly with their latent reliability and
+//!    otherwise draw a false value (uniform by default; a skew knob produces
+//!    the nonuniform false-value distribution of §IV-B);
+//! 2. copiers copy their source's value with probability `copy_prob`, revise
+//!    it with probability `copy_error` (revisions count as independent
+//!    contributions), and answer independently otherwise;
+//! 3. no dependence loops: sources are always independent workers.
+
+use crate::copiers::{CopierConfig, CopierPlan};
+use crate::dist::sample_beta;
+use crate::participation::{
+    activity_weights, sample_participation, tasks_per_worker, ParticipationConfig,
+};
+use crate::profiles::{WorkerKind, WorkerProfile};
+use imc2_common::{Observations, ObservationsBuilder, TaskId, ValidationError, ValueId, WorkerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic forum campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForumConfig {
+    /// Number of workers `n` (paper default 120).
+    pub n_workers: usize,
+    /// Number of tasks `m` (paper default 300).
+    pub n_tasks: usize,
+    /// Number of false values per task (`num_j`); domain size is `num_false + 1`.
+    /// Default 2, mirroring the three-way Good/Bad/Other annotation.
+    pub num_false: u32,
+    /// Participation pattern.
+    pub participation: ParticipationConfig,
+    /// Copier population.
+    pub copiers: CopierConfig,
+    /// Beta(α, β) shape of worker reliability before rescaling.
+    pub reliability_alpha: f64,
+    /// Beta β parameter.
+    pub reliability_beta: f64,
+    /// Reliability rescale band: `q = min + (max − min)·Beta(α, β)`.
+    pub reliability_min: f64,
+    /// Upper bound of the reliability band.
+    pub reliability_max: f64,
+    /// Zipf exponent over false values (0 = the paper's §III uniform
+    /// false-value assumption; > 0 produces the §IV-B nonuniform case where
+    /// one wrong answer — "Sydney" — is much more popular than the rest).
+    pub false_value_skew: f64,
+}
+
+impl Default for ForumConfig {
+    fn default() -> Self {
+        ForumConfig::paper_default()
+    }
+}
+
+impl ForumConfig {
+    /// The paper's §VII-A defaults: n=120, m=300, 30 copiers, 3-value domains.
+    pub fn paper_default() -> Self {
+        ForumConfig {
+            n_workers: 120,
+            n_tasks: 300,
+            num_false: 2,
+            participation: ParticipationConfig::default(),
+            copiers: CopierConfig::default(),
+            reliability_alpha: 4.0,
+            reliability_beta: 3.0,
+            reliability_min: 0.20,
+            reliability_max: 0.85,
+            false_value_skew: 0.0,
+        }
+    }
+
+    /// A mid-size instance (60 workers, 150 tasks) with the paper's copier
+    /// dynamics — large enough for dependence detection to have signal,
+    /// small enough for fast tests.
+    pub fn medium() -> Self {
+        ForumConfig {
+            n_workers: 60,
+            n_tasks: 150,
+            num_false: 2,
+            participation: ParticipationConfig {
+                avg_responses_per_task: 14.0,
+                ..ParticipationConfig::default()
+            },
+            copiers: CopierConfig { n_copiers: 15, ring_size: 7, ..CopierConfig::default() },
+            ..ForumConfig::paper_default()
+        }
+    }
+
+    /// A small instance for unit tests and doc examples (30 workers, 40 tasks).
+    pub fn small() -> Self {
+        ForumConfig {
+            n_workers: 30,
+            n_tasks: 40,
+            num_false: 2,
+            participation: ParticipationConfig {
+                avg_responses_per_task: 10.0,
+                ..ParticipationConfig::default()
+            },
+            copiers: CopierConfig { n_copiers: 6, ..CopierConfig::default() },
+            ..ForumConfig::paper_default()
+        }
+    }
+
+    /// Validates all nested parameters.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for empty populations, a zero-size domain,
+    /// an invalid reliability band, or invalid nested configs.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if self.n_workers == 0 || self.n_tasks == 0 {
+            return Err(ValidationError::new("need at least one worker and one task"));
+        }
+        if self.num_false == 0 {
+            return Err(ValidationError::new(
+                "num_false must be at least 1 (a task needs a wrong answer to discover truth against)",
+            ));
+        }
+        if !(self.reliability_alpha > 0.0 && self.reliability_beta > 0.0) {
+            return Err(ValidationError::new("reliability Beta parameters must be positive"));
+        }
+        if !(0.0 <= self.reliability_min
+            && self.reliability_min <= self.reliability_max
+            && self.reliability_max <= 1.0)
+        {
+            return Err(ValidationError::new("reliability band must satisfy 0 <= min <= max <= 1"));
+        }
+        if !(self.false_value_skew >= 0.0 && self.false_value_skew.is_finite()) {
+            return Err(ValidationError::new("false_value_skew must be non-negative"));
+        }
+        self.participation.validate()?;
+        self.copiers.validate(self.n_workers)?;
+        Ok(())
+    }
+}
+
+/// A generated campaign snapshot with its latent ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForumData {
+    /// The observation matrix handed to truth discovery.
+    pub observations: Observations,
+    /// The latent true value of every task.
+    pub ground_truth: Vec<ValueId>,
+    /// Latent worker profiles (reliability + copier structure).
+    pub profiles: Vec<WorkerProfile>,
+    /// `num_j` per task (constant across tasks in this generator).
+    pub num_false: Vec<u32>,
+    /// Per-task probabilities of each *false* value (index k = k-th false
+    /// value in increasing `ValueId` order, skipping the truth). `None`
+    /// means uniform (§III assumption).
+    pub false_value_probs: Option<Vec<Vec<f64>>>,
+}
+
+impl ForumData {
+    /// Generates a campaign.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `config` fails validation.
+    pub fn generate<R: Rng + ?Sized>(config: &ForumConfig, rng: &mut R) -> Result<Self, ValidationError> {
+        config.validate()?;
+        let n = config.n_workers;
+        let m = config.n_tasks;
+
+        // 1. Latent worker population.
+        let activities = activity_weights(rng, n, config.participation.activity_zipf);
+        let mut profiles: Vec<WorkerProfile> = (0..n)
+            .map(|i| {
+                let q = config.reliability_min
+                    + (config.reliability_max - config.reliability_min)
+                        * sample_beta(rng, config.reliability_alpha, config.reliability_beta);
+                WorkerProfile::independent(WorkerId(i), q, activities[i])
+            })
+            .collect();
+        let plan = CopierPlan::sample(rng, n, &config.copiers, &activities);
+        plan.apply(&mut profiles, &config.copiers);
+
+        // 2. Ground truth and false-value distributions.
+        let ground_truth: Vec<ValueId> =
+            (0..m).map(|_| ValueId(rng.gen_range(0..=config.num_false))).collect();
+        let false_value_probs = if config.false_value_skew > 0.0 {
+            Some(
+                (0..m)
+                    .map(|_| {
+                        let mut w = crate::dist::zipf_weights(
+                            config.num_false as usize,
+                            config.false_value_skew,
+                        );
+                        // Random rotation so the popular false value varies by task.
+                        let rot = rng.gen_range(0..w.len());
+                        w.rotate_left(rot);
+                        w
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        // 3. Participation, then steer copiers onto their sources' tasks.
+        let per_task = sample_participation(rng, n, m, &config.participation, &activities);
+        let mut per_worker = tasks_per_worker(&per_task, n);
+        bias_copier_overlap(rng, &mut per_worker, &plan, config.copiers.source_overlap_bias);
+
+        // 4. Answers: independents first (sources must exist before copiers read them).
+        let mut values: Vec<Vec<Option<ValueId>>> = vec![vec![None; m]; n];
+        for p in profiles.iter().filter(|p| !p.is_copier()) {
+            let i = p.worker.index();
+            for &t in &per_worker[i] {
+                values[i][t.index()] = Some(draw_independent_value(
+                    rng,
+                    p.reliability,
+                    ground_truth[t.index()],
+                    config.num_false,
+                    false_value_probs.as_ref().map(|f: &Vec<Vec<f64>>| f[t.index()].as_slice()),
+                ));
+            }
+        }
+        for p in profiles.iter().filter(|p| p.is_copier()) {
+            let i = p.worker.index();
+            let WorkerKind::Copier { source, copy_prob, copy_error } = p.kind else {
+                unreachable!("filtered on is_copier");
+            };
+            for &t in &per_worker[i] {
+                let copied = values[source.index()][t.index()];
+                let v = match copied {
+                    Some(src_value) if rng.gen_bool(copy_prob) => {
+                        if copy_error > 0.0 && rng.gen_bool(copy_error) {
+                            // Revision during copying: an independent contribution.
+                            draw_different_value(rng, src_value, config.num_false)
+                        } else {
+                            src_value
+                        }
+                    }
+                    _ => draw_independent_value(
+                        rng,
+                        p.reliability,
+                        ground_truth[t.index()],
+                        config.num_false,
+                        false_value_probs.as_ref().map(|f: &Vec<Vec<f64>>| f[t.index()].as_slice()),
+                    ),
+                };
+                values[i][t.index()] = Some(v);
+            }
+        }
+
+        // 5. Assemble the immutable snapshot.
+        let mut builder = ObservationsBuilder::new(n, m);
+        for (i, row) in values.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    builder
+                        .record(WorkerId(i), TaskId(j), *v)
+                        .expect("generator produces unique (worker, task) pairs");
+                }
+            }
+        }
+        Ok(ForumData {
+            observations: builder.build(),
+            ground_truth,
+            profiles,
+            num_false: vec![config.num_false; m],
+            false_value_probs,
+        })
+    }
+
+    /// Domain size (`num_j + 1`) of task `j`.
+    pub fn domain_size(&self, task: TaskId) -> usize {
+        self.num_false[task.index()] as usize + 1
+    }
+
+    /// Ids of the injected copiers, sorted.
+    pub fn copier_ids(&self) -> Vec<WorkerId> {
+        self.profiles.iter().filter(|p| p.is_copier()).map(|p| p.worker).collect()
+    }
+}
+
+/// Draws an independent answer: the truth with probability `reliability`,
+/// otherwise a false value from the task's false-value distribution.
+fn draw_independent_value<R: Rng + ?Sized>(
+    rng: &mut R,
+    reliability: f64,
+    truth: ValueId,
+    num_false: u32,
+    false_probs: Option<&[f64]>,
+) -> ValueId {
+    if rng.gen_bool(reliability.clamp(0.0, 1.0)) {
+        return truth;
+    }
+    // k-th false value in increasing ValueId order, skipping the truth.
+    let k = match false_probs {
+        Some(probs) => crate::dist::sample_index(rng, probs) as u32,
+        None => rng.gen_range(0..num_false),
+    };
+    let v = if k >= truth.0 { k + 1 } else { k };
+    ValueId(v)
+}
+
+/// Draws any value different from `avoid`, uniformly over the rest of the
+/// domain `0..=num_false`.
+fn draw_different_value<R: Rng + ?Sized>(rng: &mut R, avoid: ValueId, num_false: u32) -> ValueId {
+    let k = rng.gen_range(0..num_false); // num_false = domain_size - 1 alternatives
+    let v = if k >= avoid.0 { k + 1 } else { k };
+    ValueId(v)
+}
+
+/// Steers each copier's task set toward its source's, so copying has
+/// material to act on. Each of the copier's tasks the source did *not*
+/// answer is, with probability `bias`, swapped for an unclaimed task the
+/// source did answer.
+fn bias_copier_overlap<R: Rng + ?Sized>(
+    rng: &mut R,
+    per_worker: &mut [Vec<TaskId>],
+    plan: &CopierPlan,
+    bias: f64,
+) {
+    if bias <= 0.0 {
+        return;
+    }
+    for &(copier, source) in &plan.assignments {
+        let source_tasks = per_worker[source.index()].clone();
+        let copier_tasks = per_worker[copier.index()].clone();
+        let have: std::collections::HashSet<TaskId> = copier_tasks.iter().copied().collect();
+        let mut spare: Vec<TaskId> =
+            source_tasks.iter().copied().filter(|t| !have.contains(t)).collect();
+        let mut new_tasks = Vec::with_capacity(copier_tasks.len());
+        for t in copier_tasks {
+            let source_has = source_tasks.binary_search(&t).is_ok();
+            if !source_has && !spare.is_empty() && rng.gen_bool(bias) {
+                let k = rng.gen_range(0..spare.len());
+                new_tasks.push(spare.swap_remove(k));
+            } else {
+                new_tasks.push(t);
+            }
+        }
+        new_tasks.sort_unstable();
+        new_tasks.dedup();
+        per_worker[copier.index()] = new_tasks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    fn gen(seed: u64, cfg: &ForumConfig) -> ForumData {
+        ForumData::generate(cfg, &mut rng_from_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn paper_default_dimensions() {
+        let d = gen(1, &ForumConfig::paper_default());
+        assert_eq!(d.observations.n_workers(), 120);
+        assert_eq!(d.observations.n_tasks(), 300);
+        assert_eq!(d.ground_truth.len(), 300);
+        assert_eq!(d.copier_ids().len(), 30);
+        // ~6000 answers like the real dataset.
+        assert!((5000..7500).contains(&d.observations.len()), "len {}", d.observations.len());
+    }
+
+    #[test]
+    fn values_stay_in_domain() {
+        let d = gen(2, &ForumConfig::small());
+        for j in 0..d.observations.n_tasks() {
+            for &(_, v) in d.observations.workers_of_task(TaskId(j)) {
+                assert!(v.0 <= d.num_false[j], "value {v} outside domain of task {j}");
+            }
+            assert!(d.ground_truth[j].0 <= d.num_false[j]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(3, &ForumConfig::small());
+        let b = gen(3, &ForumConfig::small());
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_eq!(a.profiles, b.profiles);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gen(4, &ForumConfig::small());
+        let b = gen(5, &ForumConfig::small());
+        assert_ne!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn copiers_echo_their_sources() {
+        // With copy_prob 1.0 and no copy error, every shared task must match.
+        let mut cfg = ForumConfig::small();
+        cfg.copiers.copy_prob = 1.0;
+        cfg.copiers.copy_error = 0.0;
+        let d = gen(6, &cfg);
+        for p in d.profiles.iter().filter(|p| p.is_copier()) {
+            let source = p.source().unwrap();
+            let overlap = d.observations.overlap(p.worker, source);
+            assert!(!overlap.is_empty(), "copier {} shares no task with source", p.worker);
+            for (t, vc, vs) in overlap {
+                assert_eq!(vc, vs, "copier {} differs from source on {t}", p.worker);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_bias_increases_shared_tasks() {
+        let mut low = ForumConfig::small();
+        low.copiers.source_overlap_bias = 0.0;
+        let mut high = ForumConfig::small();
+        high.copiers.source_overlap_bias = 1.0;
+        let mean_overlap = |d: &ForumData| {
+            let pairs: Vec<_> = d
+                .profiles
+                .iter()
+                .filter(|p| p.is_copier())
+                .map(|p| d.observations.overlap(p.worker, p.source().unwrap()).len())
+                .collect();
+            pairs.iter().sum::<usize>() as f64 / pairs.len() as f64
+        };
+        // Averaged over a few seeds to keep the test robust.
+        let lo: f64 = (0..5).map(|s| mean_overlap(&gen(100 + s, &low))).sum::<f64>() / 5.0;
+        let hi: f64 = (0..5).map(|s| mean_overlap(&gen(200 + s, &high))).sum::<f64>() / 5.0;
+        assert!(hi > lo * 1.5, "bias did not raise overlap: lo={lo:.2} hi={hi:.2}");
+    }
+
+    #[test]
+    fn reliable_workers_are_more_accurate() {
+        let mut cfg = ForumConfig::small();
+        cfg.copiers.n_copiers = 0;
+        let d = gen(7, &cfg);
+        // Bucket workers by latent reliability and compare empirical accuracy.
+        let mut hi = (0usize, 0usize);
+        let mut lo = (0usize, 0usize);
+        for p in &d.profiles {
+            for &(t, v) in d.observations.tasks_of_worker(p.worker) {
+                let correct = (v == d.ground_truth[t.index()]) as usize;
+                if p.reliability > 0.7 {
+                    hi = (hi.0 + correct, hi.1 + 1);
+                } else if p.reliability < 0.5 {
+                    lo = (lo.0 + correct, lo.1 + 1);
+                }
+            }
+        }
+        if hi.1 > 20 && lo.1 > 20 {
+            let acc_hi = hi.0 as f64 / hi.1 as f64;
+            let acc_lo = lo.0 as f64 / lo.1 as f64;
+            assert!(acc_hi > acc_lo, "acc_hi {acc_hi} <= acc_lo {acc_lo}");
+        }
+    }
+
+    #[test]
+    fn skewed_false_values_concentrate() {
+        let mut cfg = ForumConfig::small();
+        cfg.num_false = 4;
+        cfg.false_value_skew = 2.0;
+        cfg.copiers.n_copiers = 0;
+        let d = gen(8, &cfg);
+        assert!(d.false_value_probs.is_some());
+        for probs in d.false_value_probs.as_ref().unwrap() {
+            assert_eq!(probs.len(), 4);
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = ForumConfig::small();
+        cfg.num_false = 0;
+        assert!(ForumData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+        let mut cfg = ForumConfig::small();
+        cfg.n_workers = 0;
+        assert!(ForumData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+        let mut cfg = ForumConfig::small();
+        cfg.reliability_min = 0.9;
+        cfg.reliability_max = 0.1;
+        assert!(ForumData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+    }
+
+    #[test]
+    fn domain_size_accessor() {
+        let d = gen(9, &ForumConfig::small());
+        assert_eq!(d.domain_size(TaskId(0)), 3);
+    }
+}

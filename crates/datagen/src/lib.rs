@@ -1,0 +1,56 @@
+//! Synthetic data substrates for the IMC2 reproduction.
+//!
+//! The paper's evaluation (§VII) runs on two external resources we do not
+//! have:
+//!
+//! * the **Qatar Living Forum** dataset (SemEval-2015 task 3): 300 questions,
+//!   120 workers, 6000 comments labelled Good/Bad/Other, with 30 workers
+//!   manually turned into copiers;
+//! * the **eBay Palm Pilot M515** auction dataset: 5017 bid prices used as
+//!   worker costs.
+//!
+//! Per the substitution rule documented in `DESIGN.md`, this crate rebuilds
+//! both as configurable generators that exercise exactly the same code paths:
+//!
+//! * [`forum`] — a categorical question-answering campaign with
+//!   heterogeneous worker reliability and index-decaying participation;
+//! * [`copiers`] — the copier injection model of §II-B (rings of copiers,
+//!   copy probability, copy errors);
+//! * [`costs`] — right-skewed auction-style cost distributions, including a
+//!   deterministic 5017-entry "replay" table standing in for the eBay data;
+//! * [`requirements`] — accuracy requirements `Θ_j ~ U[2,4]` and task values
+//!   `~ U[5,8]`;
+//! * [`scenario`] — one-stop bundle producing everything an end-to-end IMC2
+//!   run needs;
+//! * [`table1`] — the hard-coded motivating example of the paper's Table 1
+//!   (five researchers' affiliations, five workers, two copiers).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_datagen::scenario::{Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig::paper_default(), 42);
+//! assert_eq!(scenario.observations.n_workers(), 120);
+//! assert_eq!(scenario.observations.n_tasks(), 300);
+//! assert_eq!(scenario.profiles.iter().filter(|p| p.is_copier()).count(), 30);
+//! ```
+
+pub mod copiers;
+pub mod costs;
+pub mod dist;
+pub mod forum;
+pub mod participation;
+pub mod profiles;
+pub mod requirements;
+pub mod scenario;
+pub mod summary;
+pub mod table1;
+
+pub use copiers::{CopierConfig, CopierPlan};
+pub use costs::CostModel;
+pub use forum::{ForumConfig, ForumData};
+pub use profiles::{WorkerKind, WorkerProfile};
+pub use requirements::RequirementConfig;
+pub use scenario::{Scenario, ScenarioConfig};
+pub use summary::DatasetSummary;

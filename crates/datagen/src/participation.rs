@@ -1,0 +1,224 @@
+//! Who answers what: task participation patterns.
+//!
+//! The paper observes of its dataset that "the tasks with small index are
+//! performed by more workers" (§VII-B, explaining why precision decays with
+//! the number of tasks). We reproduce that: the expected response count per
+//! task decays linearly with the task index, and workers are drawn with
+//! Zipf-distributed activity weights (a few prolific posters, a long tail),
+//! which also makes natural copy sources plausible.
+
+use crate::dist::{sample_distinct, zipf_weights};
+use imc2_common::{TaskId, ValidationError, WorkerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the participation pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParticipationConfig {
+    /// Mean number of responses per task (paper dataset: 6000/300 = 20).
+    pub avg_responses_per_task: f64,
+    /// Linear index decay: task 0 gets `avg·(1+decay/2)` expected responses,
+    /// the last task `avg·(1−decay/2)`. `0.0` disables the gradient.
+    pub index_decay: f64,
+    /// Zipf exponent for worker activity weights (0 = uniform activity).
+    pub activity_zipf: f64,
+    /// Anchor for the index-decay gradient. `None` spreads the gradient
+    /// over the instance's own task count; `Some(k)` pins it to a `k`-task
+    /// series, emulating the paper's protocol of taking the *first m tasks*
+    /// of the fixed 300-task dataset (earlier tasks are busier, so smaller
+    /// prefixes are denser on average — the reason Fig. 4(a)'s precision
+    /// declines with the task count).
+    pub index_anchor: Option<usize>,
+}
+
+impl Default for ParticipationConfig {
+    fn default() -> Self {
+        ParticipationConfig {
+            avg_responses_per_task: 20.0,
+            index_decay: 0.7,
+            activity_zipf: 0.6,
+            index_anchor: None,
+        }
+    }
+}
+
+impl ParticipationConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when the average is non-positive, the decay
+    /// is outside `[0, 2)` (which would make some task's expectation
+    /// non-positive) or the Zipf exponent is negative.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !(self.avg_responses_per_task > 0.0) {
+            return Err(ValidationError::new("avg_responses_per_task must be positive"));
+        }
+        if !(0.0..2.0).contains(&self.index_decay) {
+            return Err(ValidationError::new("index_decay must lie in [0, 2)"));
+        }
+        if !(self.activity_zipf >= 0.0) {
+            return Err(ValidationError::new("activity_zipf must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Expected response count for task `j` of `m`.
+    pub fn expected_responses(&self, j: usize, m: usize) -> f64 {
+        let span = self.index_anchor.unwrap_or(m);
+        if span <= 1 {
+            return self.avg_responses_per_task;
+        }
+        let frac = j as f64 / (span - 1) as f64; // 0 at the first task, 1 at the last
+        self.avg_responses_per_task * (1.0 + self.index_decay * (0.5 - frac))
+    }
+}
+
+/// Activity weights for `n` workers, shuffled so that worker id carries no
+/// information about activity.
+pub fn activity_weights<R: Rng + ?Sized>(rng: &mut R, n: usize, zipf: f64) -> Vec<f64> {
+    let mut w = zipf_weights(n, zipf);
+    // Fisher–Yates shuffle.
+    for k in (1..n).rev() {
+        let j = rng.gen_range(0..=k);
+        w.swap(k, j);
+    }
+    w
+}
+
+/// Samples, for every task, the set of workers who answer it.
+///
+/// Returns one sorted worker list per task. Each task draws
+/// `round(expected_responses(j))` distinct workers (capped at `n`) with the
+/// given activity weights.
+pub fn sample_participation<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_workers: usize,
+    n_tasks: usize,
+    config: &ParticipationConfig,
+    weights: &[f64],
+) -> Vec<Vec<WorkerId>> {
+    (0..n_tasks)
+        .map(|j| {
+            let k = config.expected_responses(j, n_tasks).round().max(1.0) as usize;
+            let k = k.min(n_workers);
+            sample_distinct(rng, n_workers, k, weights)
+                .into_iter()
+                .map(WorkerId)
+                .collect()
+        })
+        .collect()
+}
+
+/// Inverts a per-task participation table into per-worker task lists.
+pub fn tasks_per_worker(participation: &[Vec<WorkerId>], n_workers: usize) -> Vec<Vec<TaskId>> {
+    let mut out = vec![Vec::new(); n_workers];
+    for (j, workers) in participation.iter().enumerate() {
+        for &w in workers {
+            out[w.index()].push(TaskId(j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn default_config_valid() {
+        ParticipationConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = ParticipationConfig::default();
+        c.avg_responses_per_task = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ParticipationConfig::default();
+        c.index_decay = 2.5;
+        assert!(c.validate().is_err());
+        let mut c = ParticipationConfig::default();
+        c.activity_zipf = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn expected_responses_decay_with_index() {
+        let c = ParticipationConfig::default();
+        let m = 300;
+        assert!(c.expected_responses(0, m) > c.expected_responses(m - 1, m));
+        let avg: f64 = (0..m).map(|j| c.expected_responses(j, m)).sum::<f64>() / m as f64;
+        assert!((avg - c.avg_responses_per_task).abs() < 0.5);
+    }
+
+    #[test]
+    fn expected_responses_single_task_is_avg() {
+        let c = ParticipationConfig::default();
+        assert_eq!(c.expected_responses(0, 1), c.avg_responses_per_task);
+    }
+
+    #[test]
+    fn participation_counts_match_expectation() {
+        let mut rng = rng_from_seed(11);
+        let c = ParticipationConfig::default();
+        let w = activity_weights(&mut rng, 120, c.activity_zipf);
+        let p = sample_participation(&mut rng, 120, 300, &c, &w);
+        let total: usize = p.iter().map(Vec::len).sum();
+        // ~6000 responses like the Qatar Living dataset.
+        assert!((5500..6500).contains(&total), "total responses {total}");
+        // Early tasks busier than late ones on average.
+        let head: usize = p[..50].iter().map(Vec::len).sum();
+        let tail: usize = p[250..].iter().map(Vec::len).sum();
+        assert!(head > tail);
+    }
+
+    #[test]
+    fn participation_workers_are_distinct_and_sorted() {
+        let mut rng = rng_from_seed(12);
+        let c = ParticipationConfig::default();
+        let w = activity_weights(&mut rng, 30, 1.0);
+        let p = sample_participation(&mut rng, 30, 10, &c, &w);
+        for task in &p {
+            for pair in task.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn response_count_capped_at_n_workers() {
+        let mut rng = rng_from_seed(13);
+        let mut c = ParticipationConfig::default();
+        c.avg_responses_per_task = 100.0;
+        let w = activity_weights(&mut rng, 10, 0.5);
+        let p = sample_participation(&mut rng, 10, 5, &c, &w);
+        for task in &p {
+            assert!(task.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn tasks_per_worker_inverts() {
+        let mut rng = rng_from_seed(14);
+        let c = ParticipationConfig::default();
+        let w = activity_weights(&mut rng, 15, 0.8);
+        let p = sample_participation(&mut rng, 15, 20, &c, &w);
+        let inv = tasks_per_worker(&p, 15);
+        let total_inv: usize = inv.iter().map(Vec::len).sum();
+        let total: usize = p.iter().map(Vec::len).sum();
+        assert_eq!(total, total_inv);
+        for (w_idx, tasks) in inv.iter().enumerate() {
+            for t in tasks {
+                assert!(p[t.index()].contains(&WorkerId(w_idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn activity_weights_sum_to_one() {
+        let mut rng = rng_from_seed(15);
+        let w = activity_weights(&mut rng, 50, 0.6);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

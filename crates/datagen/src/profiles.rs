@@ -1,0 +1,125 @@
+//! Worker profiles: reliability and dependence structure.
+//!
+//! §II-B of the paper distinguishes **independent workers** (answer from
+//! their own knowledge, with some error rate) from **copiers** (copy a value
+//! with probability `r`, possibly revising it, otherwise answer
+//! independently). A [`WorkerProfile`] captures both the latent reliability
+//! used by the generator and — for copiers — the source worker and copy
+//! parameters.
+
+use imc2_common::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// Dependence role of a worker in the generative model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerKind {
+    /// Provides every value independently (§II-B "independent worker").
+    Independent,
+    /// Copies from `source` with probability `copy_prob` per answered task;
+    /// with probability `copy_error` a copied value is corrupted to a random
+    /// other value (the paper's "revised values", treated as independent
+    /// contributions).
+    Copier {
+        /// The worker whose data this copier plagiarizes.
+        source: WorkerId,
+        /// Per-task probability that the value is copied rather than
+        /// answered independently (the generative `r`).
+        copy_prob: f64,
+        /// Probability that a copied value is corrupted during copying.
+        copy_error: f64,
+    },
+}
+
+impl WorkerKind {
+    /// Whether this is the copier variant.
+    pub fn is_copier(&self) -> bool {
+        matches!(self, WorkerKind::Copier { .. })
+    }
+}
+
+/// Latent generator-side description of one worker.
+///
+/// The truth-discovery algorithms never see this struct — it exists so tests
+/// and metrics can compare estimates against the generative ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// The worker this profile describes.
+    pub worker: WorkerId,
+    /// Probability of answering a task correctly when answering
+    /// independently.
+    pub reliability: f64,
+    /// Independent worker or copier.
+    pub kind: WorkerKind,
+    /// Relative activity weight (drives how many tasks the worker answers).
+    pub activity: f64,
+}
+
+impl WorkerProfile {
+    /// Creates an independent worker profile.
+    pub fn independent(worker: WorkerId, reliability: f64, activity: f64) -> Self {
+        WorkerProfile {
+            worker,
+            reliability,
+            kind: WorkerKind::Independent,
+            activity,
+        }
+    }
+
+    /// Creates a copier profile.
+    pub fn copier(
+        worker: WorkerId,
+        reliability: f64,
+        activity: f64,
+        source: WorkerId,
+        copy_prob: f64,
+        copy_error: f64,
+    ) -> Self {
+        WorkerProfile {
+            worker,
+            reliability,
+            kind: WorkerKind::Copier { source, copy_prob, copy_error },
+            activity,
+        }
+    }
+
+    /// Whether the worker is a copier.
+    pub fn is_copier(&self) -> bool {
+        self.kind.is_copier()
+    }
+
+    /// The copier's source, if any.
+    pub fn source(&self) -> Option<WorkerId> {
+        match self.kind {
+            WorkerKind::Copier { source, .. } => Some(source),
+            WorkerKind::Independent => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_profile_has_no_source() {
+        let p = WorkerProfile::independent(WorkerId(3), 0.8, 1.0);
+        assert!(!p.is_copier());
+        assert_eq!(p.source(), None);
+    }
+
+    #[test]
+    fn copier_profile_reports_source() {
+        let p = WorkerProfile::copier(WorkerId(4), 0.6, 1.0, WorkerId(1), 0.8, 0.05);
+        assert!(p.is_copier());
+        assert_eq!(p.source(), Some(WorkerId(1)));
+        assert!(p.kind.is_copier());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = WorkerProfile::copier(WorkerId(4), 0.6, 1.0, WorkerId(1), 0.8, 0.05);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: WorkerProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,109 @@
+//! Task-side auction parameters: accuracy requirements and task values.
+//!
+//! §VII-A: "The task accuracy requirement of tasks is uniformly over [2, 4]
+//! … The value of each task is uniformly distributed over [5, 8]."
+//! `Θ_j` is the *least confidence* the platform demands for task `j` —
+//! winners' accuracies on the task must sum to at least `Θ_j` (constraint
+//! (5) of the SOAC program).
+
+use imc2_common::ValidationError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform ranges for the per-task accuracy requirement `Θ_j` and the task
+/// value used in the platform's utility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementConfig {
+    /// Lower bound of `Θ_j` (paper: 2).
+    pub theta_lo: f64,
+    /// Upper bound of `Θ_j` (paper: 4).
+    pub theta_hi: f64,
+    /// Lower bound of a task's value (paper: 5).
+    pub value_lo: f64,
+    /// Upper bound of a task's value (paper: 8).
+    pub value_hi: f64,
+}
+
+impl Default for RequirementConfig {
+    fn default() -> Self {
+        RequirementConfig { theta_lo: 2.0, theta_hi: 4.0, value_lo: 5.0, value_hi: 8.0 }
+    }
+}
+
+impl RequirementConfig {
+    /// Validates the ranges.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when a range is inverted, non-finite, or
+    /// `Θ` can be non-positive.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let all = [self.theta_lo, self.theta_hi, self.value_lo, self.value_hi];
+        if all.iter().any(|x| !x.is_finite()) {
+            return Err(ValidationError::new("requirement bounds must be finite"));
+        }
+        if !(self.theta_lo > 0.0 && self.theta_hi >= self.theta_lo) {
+            return Err(ValidationError::new("theta range must satisfy 0 < lo <= hi"));
+        }
+        if !(self.value_lo >= 0.0 && self.value_hi >= self.value_lo) {
+            return Err(ValidationError::new("value range must satisfy 0 <= lo <= hi"));
+        }
+        Ok(())
+    }
+
+    /// Draws the accuracy-requirement profile `Θ = (Θ_1 … Θ_m)`.
+    pub fn sample_requirements<R: Rng + ?Sized>(&self, rng: &mut R, m: usize) -> Vec<f64> {
+        (0..m).map(|_| rng.gen_range(self.theta_lo..=self.theta_hi)).collect()
+    }
+
+    /// Draws the per-task value profile.
+    pub fn sample_values<R: Rng + ?Sized>(&self, rng: &mut R, m: usize) -> Vec<f64> {
+        (0..m).map(|_| rng.gen_range(self.value_lo..=self.value_hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RequirementConfig::default();
+        assert_eq!((c.theta_lo, c.theta_hi), (2.0, 4.0));
+        assert_eq!((c.value_lo, c.value_hi), (5.0, 8.0));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn samples_stay_in_band() {
+        let c = RequirementConfig::default();
+        let mut rng = rng_from_seed(30);
+        for theta in c.sample_requirements(&mut rng, 300) {
+            assert!((2.0..=4.0).contains(&theta));
+        }
+        for v in c.sample_values(&mut rng, 300) {
+            assert!((5.0..=8.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let mut c = RequirementConfig::default();
+        c.theta_lo = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = RequirementConfig::default();
+        c.theta_hi = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = RequirementConfig::default();
+        c.value_hi = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_deterministic_under_seed() {
+        let c = RequirementConfig::default();
+        let a = c.sample_requirements(&mut rng_from_seed(1), 10);
+        let b = c.sample_requirements(&mut rng_from_seed(1), 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! One-stop generation of a complete IMC2 campaign instance.
+//!
+//! A [`Scenario`] bundles everything the two-stage mechanism consumes: the
+//! observation snapshot with latent ground truth (forum substrate), each
+//! worker's private cost (auction substrate), the accuracy-requirement
+//! profile `Θ` and per-task values. Workers bid truthfully by default
+//! (`bid = cost`); strategic deviations are injected by the property
+//! checkers in `imc2-core`.
+
+use crate::costs::CostModel;
+use crate::forum::{ForumConfig, ForumData};
+use crate::profiles::WorkerProfile;
+use crate::requirements::RequirementConfig;
+use imc2_common::{Observations, SeedStream, TaskId, ValidationError, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a full campaign instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ScenarioConfig {
+    /// Crowd / data substrate.
+    pub forum: ForumConfig,
+    /// Worker private-cost model.
+    pub cost_model: CostModel,
+    /// Accuracy requirements and task values.
+    pub requirements: RequirementConfig,
+}
+
+impl ScenarioConfig {
+    /// The paper's §VII-A defaults (n=120, m=300, 30 copiers, Θ ~ U\[2,4\],
+    /// values ~ U\[5,8\], eBay-replay costs).
+    pub fn paper_default() -> Self {
+        ScenarioConfig {
+            forum: ForumConfig::paper_default(),
+            cost_model: CostModel::default(),
+            requirements: RequirementConfig::default(),
+        }
+    }
+
+    /// A small instance for tests and examples.
+    ///
+    /// Accuracy requirements are scaled down with the response density
+    /// (~10 answers/task instead of the paper's ~20), keeping the auction
+    /// competitive — otherwise most winners would be monopolists.
+    pub fn small() -> Self {
+        ScenarioConfig {
+            forum: ForumConfig::small(),
+            requirements: RequirementConfig { theta_lo: 0.5, theta_hi: 1.5, ..RequirementConfig::default() },
+            ..ScenarioConfig::paper_default()
+        }
+    }
+
+    /// Validates all nested configuration.
+    ///
+    /// # Errors
+    /// Returns the first nested [`ValidationError`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        self.forum.validate()?;
+        self.cost_model.validate()?;
+        self.requirements.validate()
+    }
+}
+
+/// A fully realized campaign instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The observation snapshot `D`.
+    pub observations: Observations,
+    /// Latent truth per task (for measuring precision only — never shown to
+    /// the algorithms).
+    pub ground_truth: Vec<ValueId>,
+    /// Latent worker profiles.
+    pub profiles: Vec<WorkerProfile>,
+    /// `num_j` per task.
+    pub num_false: Vec<u32>,
+    /// Per-task false-value distributions, when nonuniform (§IV-B).
+    pub false_value_probs: Option<Vec<Vec<f64>>>,
+    /// Private cost `c_i` per worker.
+    pub costs: Vec<f64>,
+    /// Declared bid price `b_i` per worker (truthful by default).
+    pub bids: Vec<f64>,
+    /// Accuracy requirement `Θ_j` per task.
+    pub requirements: Vec<f64>,
+    /// Value of each task to the platform.
+    pub task_values: Vec<f64>,
+}
+
+impl Scenario {
+    /// Generates an instance deterministically from `config` and `seed`.
+    ///
+    /// Generation uses independent sub-seeds for the forum data, the costs
+    /// and the requirements, so e.g. changing the cost model does not
+    /// perturb the generated answers.
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid; call [`ScenarioConfig::validate`] first
+    /// when the configuration is untrusted.
+    pub fn generate(config: &ScenarioConfig, seed: u64) -> Scenario {
+        config.validate().expect("ScenarioConfig must be valid");
+        let seeds = SeedStream::new(seed);
+        let forum = ForumData::generate(&config.forum, &mut seeds.rng(0))
+            .expect("validated config must generate");
+        let costs = config.cost_model.sample_many(&mut seeds.rng(1), config.forum.n_workers);
+        let mut req_rng = seeds.rng(2);
+        let requirements = config.requirements.sample_requirements(&mut req_rng, config.forum.n_tasks);
+        let task_values = config.requirements.sample_values(&mut req_rng, config.forum.n_tasks);
+        let ForumData { observations, ground_truth, profiles, num_false, false_value_probs } = forum;
+        Scenario {
+            observations,
+            ground_truth,
+            profiles,
+            num_false,
+            false_value_probs,
+            costs: costs.clone(),
+            bids: costs,
+            requirements,
+            task_values,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.observations.n_workers()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.observations.n_tasks()
+    }
+
+    /// The task set `T_i` a worker bids on (the tasks it answered).
+    pub fn task_set(&self, worker: WorkerId) -> Vec<TaskId> {
+        self.observations.task_set_of_worker(worker)
+    }
+
+    /// Precision of an estimated truth vector against the latent ground
+    /// truth: `Σ_j 1[et_j = et*_j] / |T|` (§VII-A).
+    ///
+    /// Tasks with no estimate count as misses.
+    ///
+    /// # Panics
+    /// Panics if `estimate.len()` differs from the number of tasks.
+    pub fn precision_of(&self, estimate: &[Option<ValueId>]) -> f64 {
+        assert_eq!(estimate.len(), self.ground_truth.len(), "estimate length mismatch");
+        let hits = estimate
+            .iter()
+            .zip(&self.ground_truth)
+            .filter(|(e, t)| e.as_ref() == Some(t))
+            .count();
+        hits as f64 / self.ground_truth.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let s = Scenario::generate(&ScenarioConfig::paper_default(), 7);
+        assert_eq!(s.n_workers(), 120);
+        assert_eq!(s.n_tasks(), 300);
+        assert_eq!(s.costs.len(), 120);
+        assert_eq!(s.bids, s.costs);
+        assert_eq!(s.requirements.len(), 300);
+        assert_eq!(s.task_values.len(), 300);
+        for theta in &s.requirements {
+            assert!((2.0..=4.0).contains(theta));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = Scenario::generate(&ScenarioConfig::small(), 1);
+        let b = Scenario::generate(&ScenarioConfig::small(), 1);
+        let c = Scenario::generate(&ScenarioConfig::small(), 2);
+        assert_eq!(a, b);
+        assert_ne!(a.observations, c.observations);
+    }
+
+    #[test]
+    fn precision_of_perfect_estimate_is_one() {
+        let s = Scenario::generate(&ScenarioConfig::small(), 3);
+        let est: Vec<Option<ValueId>> = s.ground_truth.iter().copied().map(Some).collect();
+        assert_eq!(s.precision_of(&est), 1.0);
+    }
+
+    #[test]
+    fn precision_counts_misses_and_none() {
+        let s = Scenario::generate(&ScenarioConfig::small(), 4);
+        let est: Vec<Option<ValueId>> = vec![None; s.n_tasks()];
+        assert_eq!(s.precision_of(&est), 0.0);
+    }
+
+    #[test]
+    fn task_set_matches_observations() {
+        let s = Scenario::generate(&ScenarioConfig::small(), 5);
+        let w = WorkerId(0);
+        let set = s.task_set(w);
+        for t in &set {
+            assert!(s.observations.value_of(w, *t).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate length mismatch")]
+    fn precision_rejects_wrong_length() {
+        let s = Scenario::generate(&ScenarioConfig::small(), 6);
+        let _ = s.precision_of(&[]);
+    }
+}

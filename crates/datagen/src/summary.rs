@@ -1,0 +1,143 @@
+//! Descriptive statistics of a generated dataset.
+//!
+//! Used by examples and EXPERIMENTS.md to document what the synthetic
+//! substrate actually looks like next to the paper's quoted dataset
+//! properties (300 questions, 120 workers, 6000 comments, 30 copiers).
+
+use crate::forum::ForumData;
+use imc2_common::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape statistics of one generated campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Workers `n`.
+    pub n_workers: usize,
+    /// Tasks `m`.
+    pub n_tasks: usize,
+    /// Total recorded answers.
+    pub n_answers: usize,
+    /// Injected copiers.
+    pub n_copiers: usize,
+    /// Mean responses per task.
+    pub mean_responses_per_task: f64,
+    /// Min/max responses over tasks.
+    pub responses_range: (usize, usize),
+    /// Mean tasks answered per worker.
+    pub mean_tasks_per_worker: f64,
+    /// Mean latent reliability of independent workers.
+    pub mean_reliability: f64,
+    /// Mean number of overlapping tasks between a copier and its source.
+    pub mean_copier_overlap: f64,
+    /// Fraction of answers that are empirically correct (vs ground truth).
+    pub raw_answer_accuracy: f64,
+}
+
+impl DatasetSummary {
+    /// Computes the summary of a generated campaign.
+    pub fn of(data: &ForumData) -> DatasetSummary {
+        let obs = &data.observations;
+        let n = obs.n_workers();
+        let m = obs.n_tasks();
+        let per_task: Vec<usize> = (0..m).map(|j| obs.workers_of_task(TaskId(j)).len()).collect();
+        let per_worker: Vec<usize> = (0..n).map(|w| obs.tasks_of_worker(WorkerId(w)).len()).collect();
+        let copiers: Vec<_> = data.profiles.iter().filter(|p| p.is_copier()).collect();
+        let overlap_total: usize = copiers
+            .iter()
+            .map(|p| obs.overlap(p.worker, p.source().expect("copier has source")).len())
+            .sum();
+        let independents: Vec<_> = data.profiles.iter().filter(|p| !p.is_copier()).collect();
+        let correct: usize = (0..m)
+            .map(|j| {
+                obs.workers_of_task(TaskId(j))
+                    .iter()
+                    .filter(|&&(_, v)| v == data.ground_truth[j])
+                    .count()
+            })
+            .sum();
+        DatasetSummary {
+            n_workers: n,
+            n_tasks: m,
+            n_answers: obs.len(),
+            n_copiers: copiers.len(),
+            mean_responses_per_task: obs.len() as f64 / m.max(1) as f64,
+            responses_range: (
+                per_task.iter().copied().min().unwrap_or(0),
+                per_task.iter().copied().max().unwrap_or(0),
+            ),
+            mean_tasks_per_worker: per_worker.iter().sum::<usize>() as f64 / n.max(1) as f64,
+            mean_reliability: if independents.is_empty() {
+                0.0
+            } else {
+                independents.iter().map(|p| p.reliability).sum::<f64>() / independents.len() as f64
+            },
+            mean_copier_overlap: if copiers.is_empty() {
+                0.0
+            } else {
+                overlap_total as f64 / copiers.len() as f64
+            },
+            raw_answer_accuracy: correct as f64 / obs.len().max(1) as f64,
+        }
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} workers ({} copiers), {} tasks, {} answers",
+            self.n_workers, self.n_copiers, self.n_tasks, self.n_answers
+        )?;
+        writeln!(
+            f,
+            "responses/task: mean {:.1}, range {}..{}; tasks/worker: mean {:.1}",
+            self.mean_responses_per_task,
+            self.responses_range.0,
+            self.responses_range.1,
+            self.mean_tasks_per_worker
+        )?;
+        write!(
+            f,
+            "mean reliability {:.3}, raw answer accuracy {:.3}, copier-source overlap {:.1} tasks",
+            self.mean_reliability, self.raw_answer_accuracy, self.mean_copier_overlap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forum::ForumConfig;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn summary_matches_paper_shape_at_default() {
+        let data = ForumData::generate(&ForumConfig::paper_default(), &mut rng_from_seed(1)).unwrap();
+        let s = DatasetSummary::of(&data);
+        assert_eq!(s.n_workers, 120);
+        assert_eq!(s.n_tasks, 300);
+        assert_eq!(s.n_copiers, 30);
+        assert!((15.0..25.0).contains(&s.mean_responses_per_task), "≈20 like 6000/300");
+        assert!(s.mean_copier_overlap > 5.0, "rings need material to copy");
+        assert!((0.4..0.9).contains(&s.raw_answer_accuracy));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(2)).unwrap();
+        let text = DatasetSummary::of(&data).to_string();
+        assert!(text.contains("workers"));
+        assert!(text.contains("responses/task"));
+    }
+
+    #[test]
+    fn counts_are_internally_consistent() {
+        let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(3)).unwrap();
+        let s = DatasetSummary::of(&data);
+        let from_rate = s.mean_responses_per_task * s.n_tasks as f64;
+        assert!((from_rate - s.n_answers as f64).abs() < 1e-6);
+        let from_workers = s.mean_tasks_per_worker * s.n_workers as f64;
+        assert!((from_workers - s.n_answers as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's Table 1: the motivating example of copiers defeating voting.
+//!
+//! Five workers report the affiliations of five database researchers. Only
+//! worker 1 is entirely correct; workers 4 and 5 copy from worker 3 (with
+//! copying errors), so naive majority voting crowns the copied — wrong —
+//! values for Dewitt, Carey and Halevy.
+//!
+//! Two encodings are provided:
+//!
+//! * [`semantic`] — values are compared by meaning ("UWise" ≡ "UWisc", the
+//!   reading under which the paper's voting claim holds);
+//! * [`verbatim`] — values are distinct exactly as printed, which is the
+//!   input for the multi-presentation extension of §IV-A (a similarity
+//!   function must bridge "UWise" and "UWisc").
+
+use imc2_common::{Observations, ObservationsBuilder, TaskId, ValueId, WorkerId};
+
+/// One encoded instance of the Table 1 example.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The 5×5 observation matrix (5 workers, 5 tasks).
+    pub observations: Observations,
+    /// Researcher names, indexed by task.
+    pub tasks: Vec<&'static str>,
+    /// Value labels per task, indexed by `ValueId`.
+    pub labels: Vec<Vec<&'static str>>,
+    /// True value per task.
+    pub truth: Vec<ValueId>,
+    /// `num_j` per task (domain size − 1).
+    pub num_false: Vec<u32>,
+}
+
+impl Table1 {
+    /// The label string of a value of a task.
+    ///
+    /// # Panics
+    /// Panics if the task or value index is out of range.
+    pub fn label(&self, task: TaskId, value: ValueId) -> &'static str {
+        self.labels[task.index()][value.index()]
+    }
+
+    /// The researcher a task asks about.
+    ///
+    /// # Panics
+    /// Panics if the task index is out of range.
+    pub fn task_name(&self, task: TaskId) -> &'static str {
+        self.tasks[task.index()]
+    }
+}
+
+/// Rows of the table, exactly as printed in the paper
+/// (task, [w1, w2, w3, w4, w5], truth-label).
+const ROWS: [(&str, [&str; 5], &str); 5] = [
+    ("Stonebraker", ["MIT", "Berkeley", "MIT", "MIT", "MS"], "MIT"),
+    ("Dewitt", ["MSR", "MSR", "UWise", "UWisc", "UWisc"], "MSR"),
+    ("Bernstein", ["MSR", "MSR", "MSR", "MSR", "MSR"], "MSR"),
+    ("Carey", ["UCI", "AT&T", "BEA", "BEA", "BEA"], "UCI"),
+    ("Halevy", ["Google", "Google", "UW", "UW", "UW"], "Google"),
+];
+
+fn build(normalize: fn(&'static str) -> &'static str) -> Table1 {
+    let mut labels: Vec<Vec<&'static str>> = Vec::new();
+    let mut truth = Vec::new();
+    let mut builder = ObservationsBuilder::new(5, 5);
+    for (j, (_, answers, true_label)) in ROWS.iter().enumerate() {
+        let mut domain: Vec<&'static str> = Vec::new();
+        let id_of = |label: &'static str, domain: &mut Vec<&'static str>| -> ValueId {
+            let norm = normalize(label);
+            match domain.iter().position(|&l| normalize(l) == norm) {
+                Some(k) => ValueId(k as u32),
+                None => {
+                    domain.push(label);
+                    ValueId(domain.len() as u32 - 1)
+                }
+            }
+        };
+        let t = id_of(true_label, &mut domain);
+        truth.push(t);
+        for (i, &ans) in answers.iter().enumerate() {
+            let v = id_of(ans, &mut domain);
+            builder
+                .record(WorkerId(i), TaskId(j), v)
+                .expect("table rows are unique per worker/task");
+        }
+        labels.push(domain);
+    }
+    // Affiliation domains plausibly contain at least 2 wrong institutions;
+    // using a uniform num_j keeps the Bayesian formulas comparable across tasks.
+    let num_false: Vec<u32> = labels.iter().map(|d| (d.len() as u32 - 1).max(2)).collect();
+    // Pad label rows to the full declared domain so the similarity pipeline
+    // (which requires a label per domain value) accepts the table.
+    const PLACEHOLDERS: [&str; 4] = ["(unseen-1)", "(unseen-2)", "(unseen-3)", "(unseen-4)"];
+    for (row, &nf) in labels.iter_mut().zip(&num_false) {
+        let mut k = 0;
+        while row.len() < nf as usize + 1 {
+            row.push(PLACEHOLDERS[k]);
+            k += 1;
+        }
+    }
+    Table1 {
+        observations: builder.build(),
+        tasks: ROWS.iter().map(|r| r.0).collect(),
+        labels,
+        truth,
+        num_false,
+    }
+}
+
+/// Semantic encoding: spelling variants collapse to one value
+/// ("UWise" ≡ "UWisc").
+pub fn semantic() -> Table1 {
+    build(|label| match label {
+        "UWise" => "UWisc",
+        other => other,
+    })
+}
+
+/// Verbatim encoding: every distinct spelling is a distinct value.
+pub fn verbatim() -> Table1 {
+    build(|label| label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_by_five() {
+        for t in [semantic(), verbatim()] {
+            assert_eq!(t.observations.n_workers(), 5);
+            assert_eq!(t.observations.n_tasks(), 5);
+            assert_eq!(t.observations.len(), 25);
+            assert_eq!(t.truth.len(), 5);
+        }
+    }
+
+    #[test]
+    fn worker1_is_fully_correct() {
+        let t = semantic();
+        for j in 0..5 {
+            assert_eq!(
+                t.observations.value_of(WorkerId(0), TaskId(j)),
+                Some(t.truth[j]),
+                "worker 1 wrong on {}",
+                t.tasks[j]
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_merges_uwise_uwisc() {
+        let t = semantic();
+        // Dewitt row: workers 3, 4, 5 all share one value.
+        let v3 = t.observations.value_of(WorkerId(2), TaskId(1)).unwrap();
+        let v4 = t.observations.value_of(WorkerId(3), TaskId(1)).unwrap();
+        let v5 = t.observations.value_of(WorkerId(4), TaskId(1)).unwrap();
+        assert_eq!(v3, v4);
+        assert_eq!(v4, v5);
+    }
+
+    #[test]
+    fn verbatim_keeps_spellings_distinct() {
+        let t = verbatim();
+        let v3 = t.observations.value_of(WorkerId(2), TaskId(1)).unwrap();
+        let v4 = t.observations.value_of(WorkerId(3), TaskId(1)).unwrap();
+        assert_ne!(v3, v4, "UWise and UWisc must stay distinct verbatim");
+        assert_eq!(t.label(TaskId(1), v3), "UWise");
+        assert_eq!(t.label(TaskId(1), v4), "UWisc");
+    }
+
+    #[test]
+    fn majority_fails_on_dewitt_carey_halevy_semantically() {
+        // The core claim of the example: counting heads picks the copied
+        // false value on these rows.
+        let t = semantic();
+        for (j, name) in [(1usize, "Dewitt"), (3, "Carey"), (4, "Halevy")] {
+            let groups = t.observations.task_view(TaskId(j)).groups();
+            let (winner, count) = groups
+                .iter()
+                .map(|(v, ws)| (*v, ws.len()))
+                .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+                .unwrap();
+            assert!(count >= 3, "{name}: majority should have >= 3 votes");
+            assert_ne!(winner, t.truth[j], "{name}: majority should be wrong");
+        }
+    }
+
+    #[test]
+    fn bernstein_is_unanimous() {
+        let t = semantic();
+        let groups = t.observations.task_view(TaskId(2)).groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 5);
+        assert_eq!(groups[0].0, t.truth[2]);
+    }
+
+    #[test]
+    fn num_false_at_least_two() {
+        for t in [semantic(), verbatim()] {
+            assert!(t.num_false.iter().all(|&k| k >= 2));
+        }
+    }
+
+    #[test]
+    fn task_names_exposed() {
+        let t = semantic();
+        assert_eq!(t.task_name(TaskId(0)), "Stonebraker");
+        assert_eq!(t.label(TaskId(0), t.truth[0]), "MIT");
+    }
+}

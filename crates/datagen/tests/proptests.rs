@@ -1,0 +1,95 @@
+//! Property tests for the generators: structural invariants over random
+//! configurations.
+
+use imc2_datagen::{CopierConfig, CostModel, ForumConfig, ForumData, Scenario, ScenarioConfig};
+use imc2_common::rng_from_seed;
+use proptest::prelude::*;
+
+fn arb_forum_config() -> impl Strategy<Value = ForumConfig> {
+    (
+        4usize..40,       // workers
+        2usize..40,       // tasks
+        1u32..4,          // num_false
+        0usize..8,        // copiers (bounded below workers later)
+        1usize..6,        // ring size
+        0.0f64..1.0,      // copy prob
+        0.0f64..0.3,      // copy error
+        0.0f64..1.0,      // overlap bias
+    )
+        .prop_map(|(n, m, nf, nc, ring, cp, ce, bias)| {
+            let mut cfg = ForumConfig::small();
+            cfg.n_workers = n;
+            cfg.n_tasks = m;
+            cfg.num_false = nf;
+            cfg.copiers = CopierConfig {
+                n_copiers: nc.min(n.saturating_sub(1)),
+                ring_size: ring,
+                copy_prob: cp,
+                copy_error: ce,
+                source_overlap_bias: bias,
+            };
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_data_is_structurally_valid(cfg in arb_forum_config(), seed in 0u64..1000) {
+        let data = ForumData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+        prop_assert_eq!(data.observations.n_workers(), cfg.n_workers);
+        prop_assert_eq!(data.observations.n_tasks(), cfg.n_tasks);
+        prop_assert_eq!(data.ground_truth.len(), cfg.n_tasks);
+        prop_assert_eq!(data.profiles.len(), cfg.n_workers);
+        prop_assert_eq!(
+            data.profiles.iter().filter(|p| p.is_copier()).count(),
+            cfg.copiers.n_copiers
+        );
+        // All values (incl. ground truth) inside the declared domains.
+        for j in 0..cfg.n_tasks {
+            prop_assert!(data.ground_truth[j].0 <= cfg.num_false);
+            for &(_, v) in data.observations.workers_of_task(imc2_common::TaskId(j)) {
+                prop_assert!(v.0 <= cfg.num_false);
+            }
+        }
+        // No copier loops: every source is independent.
+        for p in data.profiles.iter().filter(|p| p.is_copier()) {
+            let source = p.source().unwrap();
+            prop_assert!(!data.profiles[source.index()].is_copier(), "copier chain generated");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in arb_forum_config(), seed in 0u64..1000) {
+        let a = ForumData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+        let b = ForumData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_models_produce_positive_finite_costs(
+        seed in 0u64..1000,
+        lo in 0.5f64..5.0,
+        spread in 0.1f64..10.0,
+    ) {
+        for model in [
+            CostModel::Uniform { lo, hi: lo + spread },
+            CostModel::EbayReplay { scale: 1.0 / 30.0 },
+            CostModel::LogNormal { mu: 1.0, sigma: 0.5, scale: 1.0, min: lo, max: lo + spread },
+        ] {
+            let costs = model.sample_many(&mut rng_from_seed(seed), 64);
+            prop_assert!(costs.iter().all(|&c| c.is_finite() && c > 0.0));
+        }
+    }
+
+    #[test]
+    fn scenario_bundles_are_aligned(seed in 0u64..500) {
+        let s = Scenario::generate(&ScenarioConfig::small(), seed);
+        prop_assert_eq!(s.costs.len(), s.n_workers());
+        prop_assert_eq!(s.bids.len(), s.n_workers());
+        prop_assert_eq!(s.requirements.len(), s.n_tasks());
+        prop_assert_eq!(s.task_values.len(), s.n_tasks());
+        prop_assert!(s.requirements.iter().all(|&t| t > 0.0));
+    }
+}

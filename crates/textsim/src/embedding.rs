@@ -1,0 +1,142 @@
+//! Deterministic pseudo word-embeddings from hashed character n-grams.
+//!
+//! Real word2vec vectors (the paper's reference \[25\]) place semantically and
+//! orthographically related strings near each other. For the mechanism of
+//! eq. (21) only that *geometry* matters, not the linguistics, so we build a
+//! cheap deterministic surrogate: each character 2–3-gram hashes to a signed
+//! bump in one of `dim` buckets; the bucket vector is L2-normalized. Shared
+//! n-grams ⇒ shared bumps ⇒ high cosine similarity, which is exactly how
+//! "UWise"/"UWisc" end up close and "UWisc"/"Google" far apart.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic embedding of strings into `R^dim` unit vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PseudoEmbedding {
+    dim: usize,
+}
+
+impl PseudoEmbedding {
+    /// Creates an embedding with `dim` buckets.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        PseudoEmbedding { dim }
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds `text` into a unit vector (all-zeros for an empty string).
+    ///
+    /// Embedding is case-insensitive and deterministic across processes.
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.dim];
+        let lower = text.to_lowercase();
+        let chars: Vec<char> = lower.chars().collect();
+        if chars.is_empty() {
+            return v;
+        }
+        // Pad virtually with boundary markers so single-char strings still
+        // produce n-grams.
+        let mut padded = Vec::with_capacity(chars.len() + 2);
+        padded.push('^');
+        padded.extend_from_slice(&chars);
+        padded.push('$');
+        for n in [2usize, 3] {
+            if padded.len() < n {
+                continue;
+            }
+            for window in padded.windows(n) {
+                let mut h = DefaultHasher::new();
+                window.hash(&mut h);
+                n.hash(&mut h);
+                let code = h.finish();
+                let bucket = (code % self.dim as u64) as usize;
+                let sign = if (code >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+                v[bucket] += sign;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+impl Default for PseudoEmbedding {
+    fn default() -> Self {
+        PseudoEmbedding::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        dot // unit vectors
+    }
+
+    #[test]
+    fn unit_norm() {
+        let e = PseudoEmbedding::default();
+        let v = e.embed("Information Technology");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = PseudoEmbedding::default();
+        assert_eq!(e.embed("Berkeley"), e.embed("Berkeley"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = PseudoEmbedding::default();
+        assert_eq!(e.embed("MIT"), e.embed("mit"));
+    }
+
+    #[test]
+    fn spelling_variants_are_closer_than_unrelated() {
+        let e = PseudoEmbedding::default();
+        let uwisc = e.embed("UWisc");
+        let uwise = e.embed("UWise");
+        let google = e.embed("Google");
+        assert!(cosine(&uwisc, &uwise) > cosine(&uwisc, &google));
+    }
+
+    #[test]
+    fn empty_string_is_zero_vector() {
+        let e = PseudoEmbedding::default();
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn single_char_still_embeds() {
+        let e = PseudoEmbedding::default();
+        let v = e.embed("a");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = PseudoEmbedding::new(0);
+    }
+
+    #[test]
+    fn dim_accessor() {
+        assert_eq!(PseudoEmbedding::new(32).dim(), 32);
+    }
+}

@@ -1,0 +1,40 @@
+//! Value-similarity substrate for multi-presentation truth discovery
+//! (paper §IV-A).
+//!
+//! When workers submit "IT" and "Information Technology", the values differ
+//! as strings but mean the same thing; the paper converts values to word
+//! vectors (citing word2vec) and compares them with Euclidean distance,
+//! Pearson correlation, asymmetric similarity or cosine similarity, feeding
+//! `sim(v, v') ∈ [0, 1]` into the adjusted support count of eq. (21).
+//!
+//! We do not ship a trained embedding; instead:
+//!
+//! * [`embedding::PseudoEmbedding`] maps strings to deterministic unit
+//!   vectors built from hashed character n-grams — spelling variants land
+//!   close together ("UWise" vs "UWisc"), unrelated strings far apart, which
+//!   is the property eq. (21) needs;
+//! * [`measures`] implements the four similarity measures named by the
+//!   paper over any pair of equal-length vectors;
+//! * [`SimilarityOracle`] is the trait the truth-discovery crate consumes,
+//!   with [`AliasTable`] (exact synonym map) and [`EmbeddingSimilarity`]
+//!   (measure over pseudo-embeddings) implementations.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_textsim::{EmbeddingSimilarity, Measure, SimilarityOracle};
+//!
+//! let sim = EmbeddingSimilarity::new(Measure::Cosine, 64);
+//! let close = sim.similarity("UWisc", "UWise");
+//! let far = sim.similarity("UWisc", "Google");
+//! assert!(close > far);
+//! assert!((0.0..=1.0).contains(&close));
+//! ```
+
+pub mod embedding;
+pub mod measures;
+pub mod oracle;
+
+pub use embedding::PseudoEmbedding;
+pub use measures::Measure;
+pub use oracle::{AliasTable, EmbeddingSimilarity, SimilarityOracle};

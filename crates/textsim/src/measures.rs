@@ -1,0 +1,182 @@
+//! The four vector-similarity measures named in §IV-A.
+//!
+//! Each measure maps a pair of equal-length vectors to `[0, 1]` (1 =
+//! identical). The paper cites Euclidean distance, Pearson correlation,
+//! asymmetric similarity and cosine similarity; distances and correlations
+//! are squashed into `[0, 1]` so they can serve directly as the
+//! `sim(v, v')` weight of eq. (21).
+
+use serde::{Deserialize, Serialize};
+
+/// Which similarity measure to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// `1 / (1 + ‖a − b‖₂)`.
+    Euclidean,
+    /// Pearson correlation rescaled from `[-1, 1]` to `[0, 1]`.
+    Pearson,
+    /// Cosine similarity clamped to `[0, 1]`.
+    Cosine,
+    /// Asymmetric containment: how much of `a`'s mass is shared with `b`
+    /// (`Σ min(|aᵢ|, |bᵢ|) / Σ |aᵢ|`).
+    Asymmetric,
+}
+
+impl Measure {
+    /// All measures, for sweeps and ablations.
+    pub const ALL: [Measure; 4] =
+        [Measure::Euclidean, Measure::Pearson, Measure::Cosine, Measure::Asymmetric];
+
+    /// Applies the measure; returns a value in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn apply(self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "similarity requires equal-length vectors");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let raw = match self {
+            Measure::Euclidean => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                1.0 / (1.0 + d2.sqrt())
+            }
+            Measure::Pearson => (pearson(a, b) + 1.0) / 2.0,
+            Measure::Cosine => cosine(a, b).max(0.0),
+            Measure::Asymmetric => {
+                let denom: f64 = a.iter().map(|x| x.abs()).sum();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    let shared: f64 = a.iter().zip(b).map(|(x, y)| x.abs().min(y.abs())).sum();
+                    shared / denom
+                }
+            }
+        };
+        raw.clamp(0.0, 1.0)
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [1.0, 0.0, 1.0, 0.0];
+    const B: [f64; 4] = [1.0, 0.0, 1.0, 0.0];
+    const C: [f64; 4] = [0.0, 1.0, 0.0, 1.0];
+
+    #[test]
+    fn identical_vectors_score_high() {
+        for m in Measure::ALL {
+            let s = m.apply(&A, &B);
+            assert!(s > 0.9, "{m:?} on identical vectors gave {s}");
+        }
+    }
+
+    #[test]
+    fn disjoint_vectors_score_low() {
+        for m in Measure::ALL {
+            let s = m.apply(&A, &C);
+            assert!(s <= 0.5, "{m:?} on disjoint vectors gave {s}");
+        }
+    }
+
+    #[test]
+    fn all_scores_in_unit_interval() {
+        let vecs = [
+            vec![0.3, -0.7, 0.2],
+            vec![-0.1, 0.9, 0.5],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        for m in Measure::ALL {
+            for a in &vecs {
+                for b in &vecs {
+                    let s = m.apply(a, b);
+                    assert!((0.0..=1.0).contains(&s), "{m:?} out of range: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_decreases_with_distance() {
+        let near = Measure::Euclidean.apply(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = Measure::Euclidean.apply(&[0.0, 0.0], &[5.0, 0.0]);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!(Measure::Pearson.apply(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert_eq!(Measure::Cosine.apply(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_is_directional() {
+        // a's mass is fully contained in b, but not vice versa.
+        let a = [1.0, 0.0];
+        let b = [1.0, 1.0];
+        let ab = Measure::Asymmetric.apply(&a, &b);
+        let ba = Measure::Asymmetric.apply(&b, &a);
+        assert!(ab > ba);
+        assert!((ab - 1.0).abs() < 1e-12);
+        assert!((ba - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vectors_handled() {
+        let z = [0.0, 0.0];
+        for m in Measure::ALL {
+            let s = m.apply(&z, &z);
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        let _ = Measure::Cosine.apply(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_vectors_score_zero() {
+        assert_eq!(Measure::Cosine.apply(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The similarity interface the truth-discovery crate consumes.
+//!
+//! Eq. (21) needs only an oracle `sim(v, v') ∈ [0, 1]` over value labels.
+//! Two implementations:
+//!
+//! * [`AliasTable`] — exact synonym classes ("IT" ≡ "Information
+//!   Technology"); similarity is 1 within a class, 0 across. Lets tests and
+//!   experiments isolate the §IV-A mechanism from embedding quality.
+//! * [`EmbeddingSimilarity`] — a [`Measure`] over [`PseudoEmbedding`]
+//!   vectors, the configurable analogue of the paper's word-vector pipeline.
+
+use crate::embedding::PseudoEmbedding;
+use crate::measures::Measure;
+use std::collections::HashMap;
+
+/// Oracle scoring how much two value labels mean the same thing.
+pub trait SimilarityOracle {
+    /// Similarity in `[0, 1]`; 1 means identical meaning.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+}
+
+/// Exact synonym classes; pairs outside any class score 0.
+///
+/// # Example
+/// ```
+/// use imc2_textsim::{AliasTable, SimilarityOracle};
+/// let mut t = AliasTable::new();
+/// t.add_class(["IT", "Information Technology", "info tech"]);
+/// assert_eq!(t.similarity("IT", "info tech"), 1.0);
+/// assert_eq!(t.similarity("IT", "Biology"), 0.0);
+/// assert_eq!(t.similarity("Biology", "Biology"), 1.0); // reflexive
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
+    class_of: HashMap<String, usize>,
+    n_classes: usize,
+}
+
+impl AliasTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AliasTable::default()
+    }
+
+    /// Registers a synonym class. Labels are matched case-insensitively.
+    ///
+    /// If a label already belongs to a class, the classes are *not* merged;
+    /// the earlier registration wins (first-writer-wins keeps the table's
+    /// behaviour order-independent for disjoint classes, the common case).
+    pub fn add_class<I, S>(&mut self, labels: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let id = self.n_classes;
+        let mut inserted = false;
+        for label in labels {
+            let key = label.as_ref().to_lowercase();
+            if !self.class_of.contains_key(&key) {
+                self.class_of.insert(key, id);
+                inserted = true;
+            }
+        }
+        if inserted {
+            self.n_classes += 1;
+        }
+    }
+
+    /// Number of registered classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl SimilarityOracle for AliasTable {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ka = a.to_lowercase();
+        let kb = b.to_lowercase();
+        if ka == kb {
+            return 1.0;
+        }
+        match (self.class_of.get(&ka), self.class_of.get(&kb)) {
+            (Some(x), Some(y)) if x == y => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A [`Measure`] applied to [`PseudoEmbedding`] vectors, with a similarity
+/// floor cut-off: scores below `threshold` snap to 0 so unrelated strings
+/// contribute nothing to eq. (21).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbeddingSimilarity {
+    measure: Measure,
+    embedding: PseudoEmbedding,
+    threshold: f64,
+}
+
+impl EmbeddingSimilarity {
+    /// Creates an oracle with the given measure and embedding dimension and
+    /// a default threshold of 0.5.
+    pub fn new(measure: Measure, dim: usize) -> Self {
+        EmbeddingSimilarity { measure, embedding: PseudoEmbedding::new(dim), threshold: 0.5 }
+    }
+
+    /// Sets the similarity floor below which scores snap to zero.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        self.threshold = threshold;
+        self
+    }
+
+    /// The configured measure.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+}
+
+impl SimilarityOracle for EmbeddingSimilarity {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a.eq_ignore_ascii_case(b) {
+            return 1.0;
+        }
+        let va = self.embedding.embed(a);
+        let vb = self.embedding.embed(b);
+        let s = self.measure.apply(&va, &vb);
+        if s < self.threshold {
+            0.0
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_table_classes() {
+        let mut t = AliasTable::new();
+        t.add_class(["UWisc", "UWise", "University of Wisconsin"]);
+        t.add_class(["MSR", "Microsoft Research"]);
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.similarity("uwise", "UWisc"), 1.0);
+        assert_eq!(t.similarity("MSR", "UWisc"), 0.0);
+        assert_eq!(t.similarity("Microsoft Research", "msr"), 1.0);
+    }
+
+    #[test]
+    fn alias_table_reflexive_for_unknown() {
+        let t = AliasTable::new();
+        assert_eq!(t.similarity("X", "x"), 1.0);
+        assert_eq!(t.similarity("X", "Y"), 0.0);
+    }
+
+    #[test]
+    fn alias_table_no_merge_on_overlap() {
+        let mut t = AliasTable::new();
+        t.add_class(["A", "B"]);
+        t.add_class(["B", "C"]);
+        // B stays in the first class; C forms its own.
+        assert_eq!(t.similarity("A", "B"), 1.0);
+        assert_eq!(t.similarity("B", "C"), 0.0);
+    }
+
+    #[test]
+    fn embedding_oracle_identical_is_one() {
+        let s = EmbeddingSimilarity::new(Measure::Cosine, 64);
+        assert_eq!(s.similarity("BEA", "bea"), 1.0);
+    }
+
+    #[test]
+    fn embedding_oracle_threshold_cuts_noise() {
+        let s = EmbeddingSimilarity::new(Measure::Cosine, 64).with_threshold(0.9);
+        assert_eq!(s.similarity("Google", "AT&T"), 0.0);
+    }
+
+    #[test]
+    fn embedding_oracle_bridges_spelling_variants() {
+        let s = EmbeddingSimilarity::new(Measure::Cosine, 64).with_threshold(0.3);
+        assert!(s.similarity("UWisc", "UWise") > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = EmbeddingSimilarity::new(Measure::Cosine, 8).with_threshold(1.5);
+    }
+
+    #[test]
+    fn oracle_is_object_safe() {
+        let mut t = AliasTable::new();
+        t.add_class(["a", "b"]);
+        let o: &dyn SimilarityOracle = &t;
+        assert_eq!(o.similarity("a", "b"), 1.0);
+    }
+}

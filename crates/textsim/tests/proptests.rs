@@ -1,0 +1,49 @@
+//! Property tests for embeddings and similarity measures.
+
+use imc2_textsim::{AliasTable, EmbeddingSimilarity, Measure, PseudoEmbedding, SimilarityOracle};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn embeddings_are_unit_or_zero(text in ".{0,32}") {
+        let e = PseudoEmbedding::new(32);
+        let v = e.embed(&text);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(norm.abs() < 1e-9 || (norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measures_stay_in_unit_interval(
+        a in proptest::collection::vec(-10.0f64..10.0, 8),
+        b in proptest::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        for m in Measure::ALL {
+            let s = m.apply(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{m:?} gave {s}");
+        }
+    }
+
+    #[test]
+    fn symmetric_measures_are_symmetric(
+        a in proptest::collection::vec(-10.0f64..10.0, 8),
+        b in proptest::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        for m in [Measure::Euclidean, Measure::Pearson, Measure::Cosine] {
+            prop_assert!((m.apply(&a, &b) - m.apply(&b, &a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_maximal_for_nonzero(text in "[a-zA-Z]{1,16}") {
+        let sim = EmbeddingSimilarity::new(Measure::Cosine, 64);
+        prop_assert_eq!(sim.similarity(&text, &text), 1.0);
+    }
+
+    #[test]
+    fn alias_table_is_reflexive_and_symmetric(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        let mut t = AliasTable::new();
+        t.add_class([a.as_str(), b.as_str()]);
+        prop_assert_eq!(t.similarity(&a, &a), 1.0);
+        prop_assert_eq!(t.similarity(&a, &b), t.similarity(&b, &a));
+    }
+}

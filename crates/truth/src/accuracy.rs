@@ -1,0 +1,125 @@
+//! Step 3b of DATE: the accuracy update (paper §III-C, eq. 17; Alg. 1
+//! lines 25–27).
+//!
+//! A worker's accuracy on a task is the average posterior probability of the
+//! value(s) it provided being true: `A_i^j = Σ_{v∈D_i^j} P(v) / |D_i^j|`.
+//! In this data model a worker provides at most one value per task, so the
+//! update is `A_i^j = P(v_i^j)` for answered tasks; unanswered cells keep
+//! their previous value (Alg. 1 only touches `t_j ∈ T_i`).
+
+use crate::posterior::TaskPosterior;
+use crate::problem::TruthProblem;
+use imc2_common::logprob::clamp_prob;
+use imc2_common::{Grid, TaskId};
+
+/// Applies eq. (17) in place: every answered `(worker, task)` cell becomes
+/// the posterior of the worker's value; other cells are left untouched.
+pub fn update_accuracy(
+    problem: &TruthProblem<'_>,
+    posteriors: &[TaskPosterior],
+    accuracy: &mut Grid<f64>,
+) {
+    let obs = problem.observations();
+    for j in 0..obs.n_tasks() {
+        let task = TaskId(j);
+        for &(w, v) in obs.workers_of_task(task) {
+            if let Some(&(_, p)) = posteriors[j].iter().find(|&&(pv, _)| pv == v) {
+                accuracy[(w, task)] = clamp_prob(p);
+            }
+        }
+    }
+}
+
+/// Mean accuracy of a worker over the tasks it answered (a summary used in
+/// reports and by the greedy-accuracy auction baseline).
+///
+/// Returns `None` for workers who answered nothing.
+pub fn mean_worker_accuracy(
+    problem: &TruthProblem<'_>,
+    accuracy: &Grid<f64>,
+    worker: imc2_common::WorkerId,
+) -> Option<f64> {
+    let rows = problem.observations().tasks_of_worker(worker);
+    if rows.is_empty() {
+        return None;
+    }
+    let sum: f64 = rows.iter().map(|&(t, _)| accuracy[(worker, t)]).sum();
+    Some(sum / rows.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::{ObservationsBuilder, ValueId, WorkerId};
+
+    fn setup() -> (imc2_common::Observations, Vec<u32>) {
+        let mut b = ObservationsBuilder::new(2, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+        (b.build(), vec![2, 2])
+    }
+
+    #[test]
+    fn answered_cells_become_posteriors() {
+        let (obs, nf) = setup();
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(2, 2, 0.5);
+        let posteriors = vec![
+            vec![(ValueId(0), 0.8), (ValueId(1), 0.2)],
+            vec![(ValueId(2), 1.0)],
+        ];
+        update_accuracy(&p, &posteriors, &mut acc);
+        assert!((acc[(WorkerId(0), TaskId(0))] - 0.8).abs() < 1e-9);
+        assert!((acc[(WorkerId(1), TaskId(0))] - 0.2).abs() < 1e-9);
+        assert!(acc[(WorkerId(0), TaskId(1))] > 0.99);
+    }
+
+    #[test]
+    fn unanswered_cells_untouched() {
+        let (obs, nf) = setup();
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(2, 2, 0.5);
+        let posteriors = vec![
+            vec![(ValueId(0), 0.8), (ValueId(1), 0.2)],
+            vec![(ValueId(2), 1.0)],
+        ];
+        update_accuracy(&p, &posteriors, &mut acc);
+        assert_eq!(acc[(WorkerId(1), TaskId(1))], 0.5, "worker 1 never answered task 1");
+    }
+
+    #[test]
+    fn accuracy_is_clamped_into_open_interval() {
+        let (obs, nf) = setup();
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(2, 2, 0.5);
+        let posteriors = vec![
+            vec![(ValueId(0), 1.0), (ValueId(1), 0.0)],
+            vec![(ValueId(2), 1.0)],
+        ];
+        update_accuracy(&p, &posteriors, &mut acc);
+        assert!(acc[(WorkerId(0), TaskId(0))] < 1.0);
+        assert!(acc[(WorkerId(1), TaskId(0))] > 0.0);
+    }
+
+    #[test]
+    fn mean_worker_accuracy_averages_answered_tasks() {
+        let (obs, nf) = setup();
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(2, 2, 0.0);
+        acc[(WorkerId(0), TaskId(0))] = 0.6;
+        acc[(WorkerId(0), TaskId(1))] = 1.0;
+        assert!((mean_worker_accuracy(&p, &acc, WorkerId(0)).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_worker_accuracy_none_for_silent_worker() {
+        let mut b = ObservationsBuilder::new(2, 1);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        let obs = b.build();
+        let nf = vec![1];
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(2, 1, 0.5);
+        assert!(mean_worker_accuracy(&p, &acc, WorkerId(1)).is_none());
+    }
+}

@@ -1,0 +1,533 @@
+//! DATE — Dependence and Accuracy based Truth Estimation (Algorithm 1).
+//!
+//! The iterative fixed point of §III: starting from majority voting and a
+//! flat accuracy prior `ε`, each round
+//!
+//! 1. recomputes the pairwise dependence posteriors (eq. 15) against the
+//!    current truth estimate ([`crate::dependence`]),
+//! 2. scores every (task, value, worker) triple for independence (eq. 16,
+//!    [`crate::independence`]),
+//! 3. re-estimates value posteriors (eq. 20, [`crate::posterior`]), worker
+//!    accuracy (eq. 17, [`crate::accuracy`]) and the truth — the value with
+//!    the largest support count `Σ_{i∈W_v} A_i^j · I_v^j(i)` (line 28),
+//!    optionally adjusted for similar presentations (eq. 21).
+//!
+//! The loop stops when the estimate reaches a fixed point or after `φ`
+//! iterations (paper default 100).
+//!
+//! One engine drives all three of the paper's iterative algorithms, chosen
+//! by [`IndependenceMode`]:
+//!
+//! * **DATE** — greedy single-order independence ([`Date::paper`]);
+//! * **ED** — order-enumerating independence, exponential in spirit
+//!   ([`Date::enumerated`], §VII-A, design note 7);
+//! * **NC** — "no copier": step 1–2 skipped, every vote fully independent
+//!   ([`Date::no_copier`]).
+
+use crate::accuracy::update_accuracy;
+use crate::dependence::{pairwise_posteriors, DependenceParams, DependencePosterior};
+use crate::independence::{enumerated_group_scores, greedy_group_scores, TaskIndependence};
+pub use crate::independence::{EdParams as EdConfig, SeedRule};
+use crate::nonuniform::FalseValueModel;
+use crate::posterior::value_posteriors;
+use crate::problem::{TruthOutcome, TruthProblem};
+use crate::similarity::Similarity;
+use crate::voting::MajorityVoting;
+use crate::TruthDiscovery;
+use imc2_common::logprob::clamp_prob;
+use imc2_common::{Grid, TaskId, ValidationError, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// How step 2 (independence probabilities) is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IndependenceMode {
+    /// Alg. 1's greedy single visiting order (the DATE of the paper).
+    Greedy(SeedRule),
+    /// Average over all/sampled visiting orders (the ED baseline).
+    Enumerate(EdConfig),
+    /// Skip dependence entirely; every vote counts fully (the NC baseline).
+    NoCopier,
+}
+
+impl Default for IndependenceMode {
+    fn default() -> Self {
+        IndependenceMode::Greedy(SeedRule::default())
+    }
+}
+
+/// Whether eq. (17) is kept per task or pooled per worker (design note 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AccuracyGranularity {
+    /// Pool the posterior of a worker's values across its answered tasks;
+    /// every answered cell of the worker carries the same pooled accuracy.
+    /// More stable on sparse data (a worker's reputation is earned globally).
+    #[default]
+    PerWorker,
+    /// Eq. (17) verbatim with `|D_i^j| = 1`: `A_i^j = P(v_i^j)`.
+    PerTask,
+}
+
+/// Full configuration of the Algorithm 1 engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DateConfig {
+    /// Assumed copy probability `r` (paper: 0.4 after the Fig. 3(b) sweep).
+    pub r: f64,
+    /// Initial accuracy `ε` (paper: 0.5 after the Fig. 3(a) sweep).
+    pub epsilon: f64,
+    /// Prior dependence probability `α` (paper: 0.2).
+    pub alpha: f64,
+    /// Iteration cap `φ` (paper: 100).
+    pub max_iterations: usize,
+    /// Pairwise posterior normalization (design note 1).
+    pub posterior: DependencePosterior,
+    /// Step-2 strategy: DATE / ED / NC.
+    pub independence: IndependenceMode,
+    /// Apply the independence discount inside `P(v)` too (design note 3).
+    pub discount_posterior: bool,
+    /// Floor accuracies at the uninformative point inside `P(v)` so no
+    /// worker counts as anti-evidence (design note 11; default true).
+    pub floor_anti_evidence: bool,
+    /// Accuracy pooling (design note 8).
+    pub granularity: AccuracyGranularity,
+    /// False-value distribution model (§III uniform or §IV-B).
+    pub false_values: FalseValueModel,
+    /// Optional §IV-A multi-presentation adjustment (needs labelled problems).
+    pub similarity: Option<Similarity>,
+}
+
+impl Default for DateConfig {
+    fn default() -> Self {
+        DateConfig {
+            r: 0.4,
+            epsilon: 0.5,
+            alpha: 0.2,
+            max_iterations: 100,
+            posterior: DependencePosterior::PaperPairwise,
+            independence: IndependenceMode::default(),
+            discount_posterior: false,
+            floor_anti_evidence: true,
+            granularity: AccuracyGranularity::default(),
+            false_values: FalseValueModel::Uniform,
+            similarity: None,
+        }
+    }
+}
+
+impl DateConfig {
+    /// Validates all parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for out-of-range `r`, `ε`, `α`, a zero
+    /// iteration cap, or an inconsistent posterior/prior combination.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(ValidationError::new("epsilon must lie in (0, 1)"));
+        }
+        if self.max_iterations == 0 {
+            return Err(ValidationError::new("max_iterations must be at least 1"));
+        }
+        self.dependence_params().validate()
+    }
+
+    fn dependence_params(&self) -> DependenceParams {
+        DependenceParams { r: self.r, alpha: self.alpha, posterior: self.posterior }
+    }
+}
+
+/// The Algorithm 1 engine. Construct via [`Date::new`] or the presets
+/// [`Date::paper`], [`Date::no_copier`], [`Date::enumerated`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Date {
+    config: DateConfig,
+}
+
+impl Date {
+    /// Creates an engine from a validated config.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the config fails validation.
+    pub fn new(config: DateConfig) -> Result<Self, ValidationError> {
+        config.validate()?;
+        Ok(Date { config })
+    }
+
+    /// The paper's DATE with default parameters (r=0.4, ε=0.5, α=0.2, φ=100).
+    pub fn paper() -> Self {
+        Date { config: DateConfig::default() }
+    }
+
+    /// The NC baseline: all workers assumed independent (step 3 only).
+    pub fn no_copier() -> Self {
+        Date {
+            config: DateConfig { independence: IndependenceMode::NoCopier, ..DateConfig::default() },
+        }
+    }
+
+    /// The ED baseline: enumerated visiting orders in step 2.
+    pub fn enumerated() -> Self {
+        Date {
+            config: DateConfig {
+                independence: IndependenceMode::Enumerate(EdConfig::default()),
+                ..DateConfig::default()
+            },
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DateConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1, also returning the final dependence matrix —
+    /// useful for inspecting who was flagged as copying from whom.
+    pub fn discover_with_dependence(
+        &self,
+        problem: &TruthProblem<'_>,
+    ) -> (TruthOutcome, Option<crate::DependenceMatrix>) {
+        let cfg = &self.config;
+        let obs = problem.observations();
+        let (n, m) = (obs.n_workers(), obs.n_tasks());
+        let mut accuracy = Grid::filled(n, m, clamp_prob(cfg.epsilon));
+        let mut et = MajorityVoting::estimate(problem);
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut last_dep = None;
+
+        while iterations < cfg.max_iterations {
+            iterations += 1;
+            // Steps 1–2: dependence and independence probabilities.
+            let independence: Vec<TaskIndependence> = match cfg.independence {
+                IndependenceMode::NoCopier => identity_independence(problem),
+                IndependenceMode::Greedy(seed_rule) => {
+                    let dep = pairwise_posteriors(
+                        problem,
+                        &accuracy,
+                        &et,
+                        &cfg.false_values,
+                        &cfg.dependence_params(),
+                    );
+                    let scores = (0..m)
+                        .map(|j| {
+                            obs.task_view(TaskId(j))
+                                .groups()
+                                .into_iter()
+                                .map(|(v, ws)| (v, greedy_group_scores(&ws, &dep, cfg.r, seed_rule)))
+                                .collect()
+                        })
+                        .collect();
+                    last_dep = Some(dep);
+                    scores
+                }
+                IndependenceMode::Enumerate(ed) => {
+                    let dep = pairwise_posteriors(
+                        problem,
+                        &accuracy,
+                        &et,
+                        &cfg.false_values,
+                        &cfg.dependence_params(),
+                    );
+                    let scores = (0..m)
+                        .map(|j| {
+                            obs.task_view(TaskId(j))
+                                .groups()
+                                .into_iter()
+                                .map(|(v, ws)| {
+                                    let key = ((j as u64) << 32) | u64::from(v.0);
+                                    (v, enumerated_group_scores(&ws, &dep, cfg.r, &ed, key))
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    last_dep = Some(dep);
+                    scores
+                }
+            };
+
+            // Step 3a: value posteriors.
+            let posteriors = value_posteriors(
+                problem,
+                &accuracy,
+                &et,
+                &cfg.false_values,
+                Some(&independence),
+                cfg.discount_posterior,
+                cfg.floor_anti_evidence,
+            );
+            // Step 3b: accuracy update (eq. 17), with optional pooling.
+            update_accuracy(problem, &posteriors, &mut accuracy);
+            if cfg.granularity == AccuracyGranularity::PerWorker {
+                pool_accuracy_per_worker(problem, &mut accuracy);
+            }
+            // Line 28: truth selection by (adjusted) support counts.
+            let new_et = select_truth(problem, &accuracy, &independence, cfg.similarity.as_ref());
+            if new_et == et {
+                converged = true;
+                break;
+            }
+            et = new_et;
+        }
+
+        (TruthOutcome { estimate: et, accuracy, iterations, converged }, last_dep)
+    }
+}
+
+impl TruthDiscovery for Date {
+    fn discover(&self, problem: &TruthProblem<'_>) -> TruthOutcome {
+        self.discover_with_dependence(problem).0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.config.independence {
+            IndependenceMode::Greedy(_) => "DATE",
+            IndependenceMode::Enumerate(_) => "ED",
+            IndependenceMode::NoCopier => "NC",
+        }
+    }
+}
+
+/// Identity independence: every supporter of every value scores 1 (NC).
+fn identity_independence(problem: &TruthProblem<'_>) -> Vec<TaskIndependence> {
+    let obs = problem.observations();
+    (0..obs.n_tasks())
+        .map(|j| {
+            obs.task_view(TaskId(j))
+                .groups()
+                .into_iter()
+                .map(|(v, ws)| (v, ws.into_iter().map(|w| (w, 1.0)).collect()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Pools each worker's accuracy across its answered tasks (design note 8).
+fn pool_accuracy_per_worker(problem: &TruthProblem<'_>, accuracy: &mut Grid<f64>) {
+    let obs = problem.observations();
+    for w in 0..obs.n_workers() {
+        let worker = imc2_common::WorkerId(w);
+        let rows = obs.tasks_of_worker(worker);
+        if rows.is_empty() {
+            continue;
+        }
+        let mean = rows.iter().map(|&(t, _)| accuracy[(worker, t)]).sum::<f64>() / rows.len() as f64;
+        let mean = clamp_prob(mean);
+        for &(t, _) in rows {
+            accuracy[(worker, t)] = mean;
+        }
+    }
+}
+
+/// Alg. 1 line 28: `et_j = argmax_v Σ_{i∈W_v^j} A_i^j · I_v^j(i)`, with the
+/// optional eq. (21) adjustment; ties break to the smallest value id.
+fn select_truth(
+    problem: &TruthProblem<'_>,
+    accuracy: &Grid<f64>,
+    independence: &[TaskIndependence],
+    similarity: Option<&Similarity>,
+) -> Vec<Option<ValueId>> {
+    let obs = problem.observations();
+    (0..obs.n_tasks())
+        .map(|j| {
+            let task = TaskId(j);
+            let supports: Vec<(ValueId, f64)> = independence[j]
+                .iter()
+                .map(|(v, scores)| {
+                    let s = scores.iter().map(|&(w, i)| accuracy[(w, task)] * i).sum();
+                    (*v, s)
+                })
+                .collect();
+            let supports = match (similarity, problem.labels()) {
+                (Some(sim), Some(_)) => sim.adjust_supports(task, &supports, |t, v| {
+                    problem.label_of(t, v).map(str::to_owned)
+                }),
+                _ => supports,
+            };
+            supports
+                .into_iter()
+                .fold(None, |best: Option<(ValueId, f64)>, (v, s)| match best {
+                    Some((bv, bs)) if bs >= s || (bs == s && bv < v) => Some((bv, bs)),
+                    _ => Some((v, s)),
+                })
+                .map(|(v, _)| v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::precision;
+    use imc2_common::rng_from_seed;
+    use imc2_datagen::{ForumConfig, ForumData};
+
+    fn forum(seed: u64) -> ForumData {
+        ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn default_config_is_paper_setting() {
+        let c = DateConfig::default();
+        assert_eq!(c.r, 0.4);
+        assert_eq!(c.epsilon, 0.5);
+        assert_eq!(c.alpha, 0.2);
+        assert_eq!(c.max_iterations, 100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Date::new(DateConfig { epsilon: 0.0, ..DateConfig::default() }).is_err());
+        assert!(Date::new(DateConfig { r: 1.0, ..DateConfig::default() }).is_err());
+        assert!(Date::new(DateConfig { alpha: 0.0, ..DateConfig::default() }).is_err());
+        assert!(Date::new(DateConfig { max_iterations: 0, ..DateConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Date::paper().name(), "DATE");
+        assert_eq!(Date::no_copier().name(), "NC");
+        assert_eq!(Date::enumerated().name(), "ED");
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let d = forum(1);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let out = Date::paper().discover(&problem);
+        assert!(out.iterations >= 1);
+        assert!(out.converged, "small instances should reach a fixed point");
+        assert_eq!(out.estimate.len(), 40);
+    }
+
+    #[test]
+    fn beats_or_matches_majority_voting_on_copier_data() {
+        // Averaged over seeds at a scale where dependence detection has
+        // signal: DATE must not lose to MV when copier rings exist.
+        let mut date_total = 0.0;
+        let mut mv_total = 0.0;
+        for seed in 0..8 {
+            let d = ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(seed)).unwrap();
+            let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+            let date = Date::paper().discover(&problem);
+            let mv = MajorityVoting::new().discover(&problem);
+            date_total += precision(&date.estimate, &d.ground_truth);
+            mv_total += precision(&mv.estimate, &d.ground_truth);
+        }
+        assert!(
+            date_total >= mv_total,
+            "DATE {date_total:.3} should beat MV {mv_total:.3} over 8 seeds"
+        );
+    }
+
+    #[test]
+    fn nc_runs_without_dependence() {
+        let d = forum(2);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let (out, dep) = Date::no_copier().discover_with_dependence(&problem);
+        assert!(dep.is_none(), "NC must never compute dependence");
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn date_exposes_dependence_matrix() {
+        let d = forum(3);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let (_, dep) = Date::paper().discover_with_dependence(&problem);
+        let dep = dep.expect("DATE computes dependence");
+        assert_eq!(dep.n_workers(), 30);
+    }
+
+    #[test]
+    fn detected_dependence_is_higher_for_real_copiers() {
+        // Average posterior over injected (copier, source) pairs should
+        // exceed the average over independent pairs.
+        let mut cfg = ForumConfig::small();
+        cfg.copiers.copy_prob = 0.9;
+        let d = ForumData::generate(&cfg, &mut rng_from_seed(11)).unwrap();
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let (_, dep) = Date::paper().discover_with_dependence(&problem);
+        let dep = dep.unwrap();
+        let mut copier_avg = 0.0;
+        let mut copier_n = 0.0;
+        for p in d.profiles.iter().filter(|p| p.is_copier()) {
+            copier_avg += dep.prob(p.worker, p.source().unwrap());
+            copier_n += 1.0;
+        }
+        copier_avg /= copier_n;
+        let mut ind_avg = 0.0;
+        let mut ind_n = 0.0;
+        for a in d.profiles.iter().filter(|p| !p.is_copier()) {
+            for b in d.profiles.iter().filter(|p| !p.is_copier()) {
+                if a.worker < b.worker {
+                    ind_avg += dep.prob(a.worker, b.worker);
+                    ind_n += 1.0;
+                }
+            }
+        }
+        ind_avg /= ind_n;
+        assert!(
+            copier_avg > ind_avg,
+            "copier pairs {copier_avg:.3} should look more dependent than independent pairs {ind_avg:.3}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let d = forum(4);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let a = Date::paper().discover(&problem);
+        let b = Date::paper().discover(&problem);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ed_variant_runs_and_is_reasonable() {
+        let d = forum(5);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let ed = Date::enumerated().discover(&problem);
+        let p = precision(&ed.estimate, &d.ground_truth);
+        assert!(p > 0.5, "ED precision {p}");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let d = forum(6);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let date = Date::new(DateConfig { max_iterations: 1, ..DateConfig::default() }).unwrap();
+        let out = date.discover(&problem);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn per_task_granularity_runs() {
+        let d = forum(7);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let date = Date::new(DateConfig {
+            granularity: AccuracyGranularity::PerTask,
+            ..DateConfig::default()
+        })
+        .unwrap();
+        let out = date.discover(&problem);
+        assert!(precision(&out.estimate, &d.ground_truth) > 0.4);
+    }
+
+    #[test]
+    fn accuracy_cells_in_unit_interval() {
+        let d = forum(8);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let out = Date::paper().discover(&problem);
+        for (_, _, &a) in out.accuracy.iter() {
+            assert!((0.0..=1.0).contains(&a), "accuracy {a} out of range");
+        }
+    }
+
+    #[test]
+    fn table1_date_not_worse_than_mv() {
+        let t = imc2_datagen::table1::semantic();
+        let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+        let mv = MajorityVoting::new().discover(&problem);
+        let date = Date::paper().discover(&problem);
+        let p_mv = precision(&mv.estimate, &t.truth);
+        let p_date = precision(&date.estimate, &t.truth);
+        assert!(p_date >= p_mv, "DATE {p_date} must not lose to MV {p_mv} on Table 1");
+    }
+}

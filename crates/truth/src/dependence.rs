@@ -1,0 +1,367 @@
+//! Step 1 of DATE: Bayesian copier detection between worker pairs
+//! (paper §III-A, eq. 7–15).
+//!
+//! For every ordered pair `(i, i')` we compare two explanations of their
+//! overlapping answers — independence versus `i` copying from `i'` — using
+//! three per-task probabilities:
+//!
+//! * `P_s` (eq. 7): both independently true, `A_i^j · A_{i'}^j`;
+//! * `P_f` (eq. 8/22): both independently the *same* false value,
+//!   `(1−A_i^j)(1−A_{i'}^j) · collision_j`;
+//! * `P_d` (eq. 9): different values, `1 − P_s − P_f`.
+//!
+//! Under `i → i'` (eq. 11–13) a shared value was copied with probability
+//! `r`, so shared-true becomes `A_{i'}·r + P_s·(1−r)`, shared-false
+//! `(1−A_{i'})·r + P_f·(1−r)`, and differing values require an independent
+//! draw, `P_d·(1−r)`.
+//!
+//! All products are accumulated in log space; the posterior is produced by
+//! either the paper's pairwise form (eq. 15) or a normalized
+//! three-hypothesis variant (see `DESIGN.md` design note 1).
+
+use crate::nonuniform::FalseValueModel;
+use crate::problem::TruthProblem;
+use imc2_common::logprob::{clamp_prob, ln_prob, log_sum_exp, sigmoid, PROB_FLOOR};
+use imc2_common::{Grid, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// How the pairwise posterior is normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DependencePosterior {
+    /// Eq. (15) verbatim: each direction is tested against independence
+    /// alone with priors `P(i→i') = α`, `P(i⊥i') = 1−α`.
+    #[default]
+    PaperPairwise,
+    /// All three hypotheses normalized together with priors `α, α, 1−2α`
+    /// (the Dong et al. VLDB'09 treatment); requires `α < 0.5`.
+    Normalized3Way,
+}
+
+/// Dense matrix of posteriors `P(i→i' | D)` for every ordered worker pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependenceMatrix {
+    n: usize,
+    p: Vec<f64>,
+}
+
+impl DependenceMatrix {
+    /// A matrix with every pairwise posterior equal to `value` (useful as
+    /// the no-dependence baseline).
+    pub fn constant(n: usize, value: f64) -> Self {
+        DependenceMatrix { n, p: vec![clamp_prob(value); n * n] }
+    }
+
+    /// `P(i → i' | D)`: the posterior that `i` copies from `i'`.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range; `i == i'` returns 0.
+    pub fn prob(&self, i: WorkerId, i2: WorkerId) -> f64 {
+        assert!(i.index() < self.n && i2.index() < self.n, "worker id out of range");
+        if i == i2 {
+            0.0
+        } else {
+            self.p[i.index() * self.n + i2.index()]
+        }
+    }
+
+    /// Total dependence involvement of `i` with `i2` in both directions —
+    /// the quantity minimized when seeding the greedy order (Alg. 1 line 16).
+    pub fn total(&self, i: WorkerId, i2: WorkerId) -> f64 {
+        self.prob(i, i2) + self.prob(i2, i)
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n
+    }
+
+    /// Overwrites one directed posterior (crate-internal; tests and the
+    /// DATE driver construct matrices through [`pairwise_posteriors`]).
+    pub(crate) fn set(&mut self, i: WorkerId, i2: WorkerId, v: f64) {
+        self.p[i.index() * self.n + i2.index()] = v;
+    }
+}
+
+/// Parameters of the dependence analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependenceParams {
+    /// Assumed copy probability `r` (paper default 0.4 after Fig. 3(b)).
+    pub r: f64,
+    /// Prior dependence probability `α` (paper default 0.2).
+    pub alpha: f64,
+    /// Posterior normalization (design note 1).
+    pub posterior: DependencePosterior,
+}
+
+impl Default for DependenceParams {
+    fn default() -> Self {
+        DependenceParams { r: 0.4, alpha: 0.2, posterior: DependencePosterior::PaperPairwise }
+    }
+}
+
+impl DependenceParams {
+    /// Validates ranges: `r, α ∈ (0, 1)`, and `α < 0.5` for the 3-way form.
+    ///
+    /// # Errors
+    /// Returns an error message describing the violated range.
+    pub fn validate(&self) -> Result<(), imc2_common::ValidationError> {
+        if !(self.r > 0.0 && self.r < 1.0) {
+            return Err(imc2_common::ValidationError::new("copy probability r must lie in (0, 1)"));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(imc2_common::ValidationError::new("prior alpha must lie in (0, 1)"));
+        }
+        if self.posterior == DependencePosterior::Normalized3Way && self.alpha >= 0.5 {
+            return Err(imc2_common::ValidationError::new(
+                "Normalized3Way requires alpha < 0.5 so the independence prior 1-2*alpha stays positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Computes `P(i→i'|D)` for all ordered pairs given the current accuracy
+/// matrix and truth reference (Alg. 1 line 13).
+pub fn pairwise_posteriors(
+    problem: &TruthProblem<'_>,
+    accuracy: &Grid<f64>,
+    truth_ref: &[Option<ValueId>],
+    false_values: &FalseValueModel,
+    params: &DependenceParams,
+) -> DependenceMatrix {
+    let n = problem.n_workers();
+    let mut out = DependenceMatrix::constant(n, params.alpha);
+    let obs = problem.observations();
+    let ln_prior_dep = ln_prob(params.alpha);
+    let ln_prior_ind_pair = ln_prob(1.0 - params.alpha);
+    let ln_prior_ind_3way = ln_prob(1.0 - 2.0 * params.alpha);
+    let r = params.r;
+
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (i, i2) = (WorkerId(a), WorkerId(b));
+            let overlap = obs.overlap(i, i2);
+            if overlap.is_empty() {
+                // No evidence: posterior stays at the prior.
+                out.set(i, i2, params.alpha);
+                out.set(i2, i, params.alpha);
+                continue;
+            }
+            // Log-likelihoods of the three hypotheses.
+            let mut ln_ind = 0.0; // i ⊥ i'
+            let mut ln_fwd = 0.0; // i → i' (i copies from i')
+            let mut ln_bwd = 0.0; // i' → i
+            for &(t, va, vb) in &overlap {
+                let aa = clamp_prob(accuracy[(i, t)]);
+                let ab = clamp_prob(accuracy[(i2, t)]);
+                let num_false = problem.num_false_of(t);
+                let collision = false_values.collision_prob(t, num_false);
+                let ps = clamp_prob(aa * ab);
+                let pf = clamp_prob((1.0 - aa) * (1.0 - ab) * collision);
+                let pd = clamp_prob(1.0 - ps - pf);
+                if va == vb {
+                    let is_true = truth_ref[t.index()] == Some(va);
+                    if is_true {
+                        ln_ind += ps.ln();
+                        ln_fwd += clamp_prob(ab * r + ps * (1.0 - r)).ln();
+                        ln_bwd += clamp_prob(aa * r + ps * (1.0 - r)).ln();
+                    } else {
+                        ln_ind += pf.ln();
+                        ln_fwd += clamp_prob((1.0 - ab) * r + pf * (1.0 - r)).ln();
+                        ln_bwd += clamp_prob((1.0 - aa) * r + pf * (1.0 - r)).ln();
+                    }
+                } else {
+                    ln_ind += pd.ln();
+                    let diff = clamp_prob(pd * (1.0 - r)).ln();
+                    ln_fwd += diff;
+                    ln_bwd += diff;
+                }
+            }
+
+            let (p_fwd, p_bwd) = match params.posterior {
+                DependencePosterior::PaperPairwise => {
+                    // Eq. (15): sigmoid of the log-odds against independence.
+                    let fwd = sigmoid(ln_prior_dep + ln_fwd - (ln_prior_ind_pair + ln_ind));
+                    let bwd = sigmoid(ln_prior_dep + ln_bwd - (ln_prior_ind_pair + ln_ind));
+                    (fwd, bwd)
+                }
+                DependencePosterior::Normalized3Way => {
+                    let terms = [
+                        ln_prior_dep + ln_fwd,
+                        ln_prior_dep + ln_bwd,
+                        ln_prior_ind_3way + ln_ind,
+                    ];
+                    let z = log_sum_exp(&terms);
+                    ((terms[0] - z).exp(), (terms[1] - z).exp())
+                }
+            };
+            out.set(i, i2, p_fwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR));
+            out.set(i2, i, p_bwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::{ObservationsBuilder, TaskId};
+
+    /// Two workers agreeing on `n_same_false` false values, `n_same_true`
+    /// true values, and `n_diff` disagreements; a third lone worker.
+    fn overlap_problem(
+        n_same_true: usize,
+        n_same_false: usize,
+        n_diff: usize,
+    ) -> (imc2_common::Observations, Vec<u32>, Vec<Option<ValueId>>) {
+        let m = n_same_true + n_same_false + n_diff;
+        let mut b = ObservationsBuilder::new(3, m);
+        let mut truth = Vec::new();
+        let mut j = 0;
+        for _ in 0..n_same_true {
+            b.record(WorkerId(0), TaskId(j), ValueId(0)).unwrap();
+            b.record(WorkerId(1), TaskId(j), ValueId(0)).unwrap();
+            truth.push(Some(ValueId(0)));
+            j += 1;
+        }
+        for _ in 0..n_same_false {
+            b.record(WorkerId(0), TaskId(j), ValueId(1)).unwrap();
+            b.record(WorkerId(1), TaskId(j), ValueId(1)).unwrap();
+            truth.push(Some(ValueId(0)));
+            j += 1;
+        }
+        for _ in 0..n_diff {
+            b.record(WorkerId(0), TaskId(j), ValueId(1)).unwrap();
+            b.record(WorkerId(1), TaskId(j), ValueId(2)).unwrap();
+            truth.push(Some(ValueId(0)));
+            j += 1;
+        }
+        (b.build(), vec![2; m], truth)
+    }
+
+    fn run(
+        obs: &imc2_common::Observations,
+        nf: &[u32],
+        truth: &[Option<ValueId>],
+        params: &DependenceParams,
+    ) -> DependenceMatrix {
+        let problem = TruthProblem::new(obs, nf).unwrap();
+        let acc = Grid::filled(problem.n_workers(), problem.n_tasks(), 0.6);
+        pairwise_posteriors(&problem, &acc, truth, &FalseValueModel::Uniform, params)
+    }
+
+    #[test]
+    fn shared_false_values_raise_dependence() {
+        let params = DependenceParams::default();
+        let (obs_f, nf_f, truth_f) = overlap_problem(2, 8, 0);
+        let (obs_t, nf_t, truth_t) = overlap_problem(8, 2, 0);
+        let dep_false = run(&obs_f, &nf_f, &truth_f, &params);
+        let dep_true = run(&obs_t, &nf_t, &truth_t, &params);
+        assert!(
+            dep_false.prob(WorkerId(0), WorkerId(1)) > dep_true.prob(WorkerId(0), WorkerId(1)),
+            "copying the same false values is stronger evidence than sharing truths"
+        );
+    }
+
+    #[test]
+    fn disagreement_lowers_dependence() {
+        let params = DependenceParams::default();
+        let (obs_a, nf_a, truth_a) = overlap_problem(2, 4, 0);
+        let (obs_b, nf_b, truth_b) = overlap_problem(2, 4, 8);
+        let dep_agree = run(&obs_a, &nf_a, &truth_a, &params);
+        let dep_mixed = run(&obs_b, &nf_b, &truth_b, &params);
+        assert!(
+            dep_agree.prob(WorkerId(0), WorkerId(1)) > dep_mixed.prob(WorkerId(0), WorkerId(1)),
+            "extra disagreements must dilute the dependence posterior"
+        );
+    }
+
+    #[test]
+    fn no_overlap_returns_prior() {
+        let params = DependenceParams::default();
+        let (obs, nf, truth) = overlap_problem(1, 1, 0);
+        let dep = run(&obs, &nf, &truth, &params);
+        // Worker 2 answered nothing: posterior with anyone stays at the prior.
+        assert!((dep.prob(WorkerId(0), WorkerId(2)) - params.alpha).abs() < 1e-12);
+        assert!((dep.prob(WorkerId(2), WorkerId(1)) - params.alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_dependence_is_zero() {
+        let (obs, nf, truth) = overlap_problem(1, 1, 0);
+        let dep = run(&obs, &nf, &truth, &DependenceParams::default());
+        assert_eq!(dep.prob(WorkerId(0), WorkerId(0)), 0.0);
+    }
+
+    #[test]
+    fn posteriors_lie_in_unit_interval() {
+        for (s, f, d) in [(10, 0, 0), (0, 10, 0), (0, 0, 10), (3, 3, 3)] {
+            let (obs, nf, truth) = overlap_problem(s, f, d);
+            let dep = run(&obs, &nf, &truth, &DependenceParams::default());
+            for a in 0..3 {
+                for b in 0..3 {
+                    let p = dep.prob(WorkerId(a), WorkerId(b));
+                    assert!((0.0..=1.0).contains(&p), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direction_asymmetry_from_accuracy() {
+        // When worker 0 is accurate and worker 1 is not, shared false values
+        // point to 1 copying from 0's *occasional* errors being unlikely —
+        // the direction posteriors must differ.
+        let (obs, nf, truth) = overlap_problem(2, 6, 2);
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(3, obs.n_tasks(), 0.9);
+        for t in 0..obs.n_tasks() {
+            acc[(WorkerId(1), TaskId(t))] = 0.3;
+        }
+        let dep = pairwise_posteriors(
+            &problem,
+            &acc,
+            &truth,
+            &FalseValueModel::Uniform,
+            &DependenceParams::default(),
+        );
+        let fwd = dep.prob(WorkerId(0), WorkerId(1));
+        let bwd = dep.prob(WorkerId(1), WorkerId(0));
+        assert_ne!(fwd, bwd, "directional posteriors should differ with asymmetric accuracy");
+    }
+
+    #[test]
+    fn three_way_normalizes() {
+        let (obs, nf, truth) = overlap_problem(3, 5, 1);
+        let params = DependenceParams {
+            posterior: DependencePosterior::Normalized3Way,
+            ..DependenceParams::default()
+        };
+        let dep = run(&obs, &nf, &truth, &params);
+        let fwd = dep.prob(WorkerId(0), WorkerId(1));
+        let bwd = dep.prob(WorkerId(1), WorkerId(0));
+        assert!(fwd + bwd <= 1.0 + 1e-9, "3-way posteriors must leave room for independence");
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(DependenceParams::default().validate().is_ok());
+        assert!(DependenceParams { r: 0.0, ..Default::default() }.validate().is_err());
+        assert!(DependenceParams { alpha: 1.0, ..Default::default() }.validate().is_err());
+        assert!(DependenceParams {
+            alpha: 0.6,
+            posterior: DependencePosterior::Normalized3Way,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn constant_matrix() {
+        let d = DependenceMatrix::constant(3, 0.2);
+        assert_eq!(d.n_workers(), 3);
+        assert!((d.prob(WorkerId(0), WorkerId(1)) - 0.2).abs() < 1e-12);
+        assert!((d.total(WorkerId(0), WorkerId(1)) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Step 2 of DATE: the probability each worker provided a value
+//! *independently* (paper §III-B, eq. 16; Alg. 1 lines 14–22).
+//!
+//! For each task `j` and value `v`, the workers in `W_v^j` are visited in a
+//! greedy order; worker `i`'s independence score is
+//! `I_v^j(i) = Π_{i' earlier} (1 − r·P(i→i'|D))` — the probability `i`
+//! copied `v` from none of the already-counted supporters. The first worker
+//! in the order contributes a full vote (`I = 1`).
+//!
+//! Ordering rules (design note 2): Alg. 1 line 16 seeds with the worker of
+//! *minimal* total dependence, while the prose says "highest"; both are
+//! implemented, line 16 is the default. Subsequent picks follow line 19:
+//! the remaining worker with the strongest dependence on an already-selected
+//! one (so heavy copiers get discounted as early as possible).
+//!
+//! The exponential **ED** baseline replaces the single greedy order by an
+//! average over *all* `k!` orders (exact up to a cap, Monte Carlo beyond),
+//! matching "enumerate all possible dependence for each worker" (§VII-A);
+//! see design note 7.
+
+use crate::dependence::DependenceMatrix;
+use imc2_common::rng::SeedStream;
+use imc2_common::{ValueId, WorkerId};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How the greedy visiting order is seeded (design note 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SeedRule {
+    /// Alg. 1 line 16: start from the worker with minimal total dependence.
+    #[default]
+    MinTotalDependence,
+    /// §III-B prose: start from the worker with maximal total dependence.
+    MaxTotalDependence,
+}
+
+/// Independence scores for one task: for each value group, the supporters
+/// paired with `I_v^j(i)`.
+pub type TaskIndependence = Vec<(ValueId, Vec<(WorkerId, f64)>)>;
+
+/// Greedy (Alg. 1) independence scores for one value group.
+///
+/// `group` is the sorted supporter list `W_v^j`; returns `(worker, I)` pairs
+/// in the same order as `group`.
+pub fn greedy_group_scores(
+    group: &[WorkerId],
+    dep: &DependenceMatrix,
+    r: f64,
+    seed_rule: SeedRule,
+) -> Vec<(WorkerId, f64)> {
+    let k = group.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return vec![(group[0], 1.0)];
+    }
+    let order = greedy_order(group, dep, seed_rule);
+    scores_for_order(&order, dep, r)
+        .into_iter()
+        .map(|(w, s)| (w, s))
+        .collect()
+}
+
+/// The greedy visiting order of Alg. 1 lines 16–21.
+fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule) -> Vec<WorkerId> {
+    let k = group.len();
+    // Seed pick: extremal total dependence with every other group member.
+    let totals: Vec<f64> = group
+        .iter()
+        .map(|&i| group.iter().filter(|&&i2| i2 != i).map(|&i2| dep.total(i, i2)).sum())
+        .collect();
+    let seed_idx = match seed_rule {
+        SeedRule::MinTotalDependence => {
+            let mut best = 0;
+            for k2 in 1..k {
+                if totals[k2] < totals[best] {
+                    best = k2;
+                }
+            }
+            best
+        }
+        SeedRule::MaxTotalDependence => {
+            let mut best = 0;
+            for k2 in 1..k {
+                if totals[k2] > totals[best] {
+                    best = k2;
+                }
+            }
+            best
+        }
+    };
+    let mut order = vec![group[seed_idx]];
+    let mut remaining: Vec<WorkerId> = group.iter().copied().filter(|&w| w != group[seed_idx]).collect();
+    // Line 19: next is the remaining worker with the strongest dependence on
+    // any already-selected worker (ties to the smallest id via stable scan).
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let score = order
+                .iter()
+                .map(|&sel| dep.prob(cand, sel))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if score > best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        order.push(remaining.remove(best_pos));
+    }
+    order
+}
+
+/// `I` scores for a fixed visiting order (eq. 16): each worker's score is
+/// the product over *earlier* workers of `(1 − r·P(i→i'))`.
+fn scores_for_order(order: &[WorkerId], dep: &DependenceMatrix, r: f64) -> Vec<(WorkerId, f64)> {
+    let mut out = Vec::with_capacity(order.len());
+    for (pos, &i) in order.iter().enumerate() {
+        let mut score = 1.0;
+        for &earlier in &order[..pos] {
+            score *= 1.0 - r * dep.prob(i, earlier);
+        }
+        out.push((i, score.clamp(0.0, 1.0)));
+    }
+    out
+}
+
+/// Configuration of the enumerating (ED) variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdParams {
+    /// Groups up to this size are enumerated exactly (`k!` orders).
+    pub exact_cap: usize,
+    /// Larger groups average this many sampled orders.
+    pub samples: usize,
+    /// Root seed of the (deterministic) order sampling.
+    pub seed: u64,
+}
+
+impl Default for EdParams {
+    fn default() -> Self {
+        EdParams { exact_cap: 6, samples: 128, seed: 0xED }
+    }
+}
+
+/// ED independence scores: the mean of `I` over all (or sampled) visiting
+/// orders of the group.
+///
+/// `group_key` must uniquely identify the (task, value) group so that the
+/// Monte Carlo fallback is deterministic per group.
+pub fn enumerated_group_scores(
+    group: &[WorkerId],
+    dep: &DependenceMatrix,
+    r: f64,
+    params: &EdParams,
+    group_key: u64,
+) -> Vec<(WorkerId, f64)> {
+    let k = group.len();
+    if k <= 1 {
+        return group.iter().map(|&w| (w, 1.0)).collect();
+    }
+    let mut sums = vec![0.0f64; k];
+    let mut count = 0usize;
+    if k <= params.exact_cap {
+        // Exact: every permutation via Heap's algorithm.
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut c = vec![0usize; k];
+        accumulate_order(group, dep, r, &perm, &mut sums);
+        count += 1;
+        let mut idx = 0;
+        while idx < k {
+            if c[idx] < idx {
+                if idx % 2 == 0 {
+                    perm.swap(0, idx);
+                } else {
+                    perm.swap(c[idx], idx);
+                }
+                accumulate_order(group, dep, r, &perm, &mut sums);
+                count += 1;
+                c[idx] += 1;
+                idx = 0;
+            } else {
+                c[idx] = 0;
+                idx += 1;
+            }
+        }
+    } else {
+        // Monte Carlo over sampled orders, deterministic per group.
+        let mut rng = SeedStream::new(params.seed).rng(group_key);
+        let mut perm: Vec<usize> = (0..k).collect();
+        for _ in 0..params.samples.max(1) {
+            perm.shuffle(&mut rng);
+            accumulate_order(group, dep, r, &perm, &mut sums);
+            count += 1;
+        }
+    }
+    group
+        .iter()
+        .enumerate()
+        .map(|(pos, &w)| (w, (sums[pos] / count as f64).clamp(0.0, 1.0)))
+        .collect()
+}
+
+fn accumulate_order(
+    group: &[WorkerId],
+    dep: &DependenceMatrix,
+    r: f64,
+    perm: &[usize],
+    sums: &mut [f64],
+) {
+    for (pos, &gi) in perm.iter().enumerate() {
+        let i = group[gi];
+        let mut score = 1.0;
+        for &gj in &perm[..pos] {
+            score *= 1.0 - r * dep.prob(i, group[gj]);
+        }
+        sums[gi] += score;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dependence matrix with one strong directed edge c→s.
+    fn dep_with_edge(n: usize, c: usize, s: usize, p: f64) -> DependenceMatrix {
+        let mut d = DependenceMatrix::constant(n, 0.01);
+        d.set(WorkerId(c), WorkerId(s), p);
+        d
+    }
+
+    #[test]
+    fn lone_worker_scores_one() {
+        let dep = DependenceMatrix::constant(3, 0.2);
+        let scores = greedy_group_scores(&[WorkerId(1)], &dep, 0.4, SeedRule::default());
+        assert_eq!(scores, vec![(WorkerId(1), 1.0)]);
+    }
+
+    #[test]
+    fn copier_gets_discounted() {
+        // Worker 2 strongly depends on worker 0.
+        let dep = dep_with_edge(3, 2, 0, 0.95);
+        let group = [WorkerId(0), WorkerId(2)];
+        let scores = greedy_group_scores(&group, &dep, 0.4, SeedRule::default());
+        let s0 = scores.iter().find(|(w, _)| *w == WorkerId(0)).unwrap().1;
+        let s2 = scores.iter().find(|(w, _)| *w == WorkerId(2)).unwrap().1;
+        assert_eq!(s0, 1.0, "the seed (least dependent) counts fully");
+        assert!((s2 - (1.0 - 0.4 * 0.95)).abs() < 1e-9, "copier discounted by 1 - r*P");
+    }
+
+    #[test]
+    fn scores_lie_in_unit_interval() {
+        let dep = DependenceMatrix::constant(5, 0.7);
+        let group: Vec<WorkerId> = (0..5).map(WorkerId).collect();
+        for (_, s) in greedy_group_scores(&group, &dep, 0.9, SeedRule::default()) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn seed_rule_changes_who_counts_fully() {
+        // Worker 2 depends heavily on both 0 and 1; totals (symmetric sums)
+        // are then: w2 highest, w1 lowest.
+        let mut dep = DependenceMatrix::constant(3, 0.01);
+        dep.set(WorkerId(2), WorkerId(0), 0.95);
+        dep.set(WorkerId(2), WorkerId(1), 0.90);
+        dep.set(WorkerId(0), WorkerId(1), 0.20);
+        let group = [WorkerId(0), WorkerId(1), WorkerId(2)];
+        let min = greedy_group_scores(&group, &dep, 0.4, SeedRule::MinTotalDependence);
+        let max = greedy_group_scores(&group, &dep, 0.4, SeedRule::MaxTotalDependence);
+        let first_full = |scores: &[(WorkerId, f64)]| {
+            scores.iter().find(|(_, s)| (*s - 1.0).abs() < 1e-12).unwrap().0
+        };
+        assert_eq!(first_full(&min), WorkerId(1), "w1 has the least total dependence");
+        assert_eq!(first_full(&max), WorkerId(2), "w2 has the most total dependence");
+    }
+
+    #[test]
+    fn enumeration_matches_greedy_for_pairs_on_average() {
+        // For a 2-group the two orders are symmetric; the ED average is
+        // (1 + (1-rP))/2 for each member when dependence is symmetric.
+        let dep = DependenceMatrix::constant(2, 0.5);
+        let group = [WorkerId(0), WorkerId(1)];
+        let ed = enumerated_group_scores(&group, &dep, 0.4, &EdParams::default(), 0);
+        for (_, s) in ed {
+            let expect = (1.0 + (1.0 - 0.4 * 0.5)) / 2.0;
+            assert!((s - expect).abs() < 1e-9, "s={s} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn enumeration_exact_is_permutation_average() {
+        // 3 workers, all pairwise dependence p: position in the order decides
+        // the discount; averaging over 3! orders gives a closed form.
+        let p = 0.6;
+        let r = 0.5;
+        let dep = DependenceMatrix::constant(3, p);
+        let group: Vec<WorkerId> = (0..3).map(WorkerId).collect();
+        let ed = enumerated_group_scores(&group, &dep, r, &EdParams::default(), 1);
+        let d = 1.0 - r * p;
+        let expect = (1.0 + d + d * d) / 3.0;
+        for (_, s) in ed {
+            assert!((s - expect).abs() < 1e-9, "s={s} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn enumeration_montecarlo_is_deterministic() {
+        let dep = DependenceMatrix::constant(10, 0.3);
+        let group: Vec<WorkerId> = (0..10).map(WorkerId).collect();
+        let params = EdParams { exact_cap: 4, samples: 16, seed: 7 };
+        let a = enumerated_group_scores(&group, &dep, 0.4, &params, 42);
+        let b = enumerated_group_scores(&group, &dep, 0.4, &params, 42);
+        assert_eq!(a, b);
+        let c = enumerated_group_scores(&group, &dep, 0.4, &params, 43);
+        assert_ne!(a, c, "different groups draw different orders");
+    }
+
+    #[test]
+    fn empty_group_is_empty() {
+        let dep = DependenceMatrix::constant(2, 0.2);
+        assert!(greedy_group_scores(&[], &dep, 0.4, SeedRule::default()).is_empty());
+        assert!(enumerated_group_scores(&[], &dep, 0.4, &EdParams::default(), 0).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Truth discovery for crowdsourcing with copiers.
+//!
+//! This crate implements the truth-discovery stage of IMC2 (paper §III–IV):
+//!
+//! * [`Date`] — **D**ependence and **A**ccuracy based **T**ruth
+//!   **E**stimation (Algorithm 1): an iterative Bayesian fixed point that
+//!   (1) detects pairwise copying from the data snapshot, (2) scores how
+//!   independently each worker provided each value, and (3) estimates value
+//!   posteriors, worker accuracy and the truth;
+//! * the paper's baselines: [`MajorityVoting`] (MV), the no-copier variant
+//!   (NC, [`Date::no_copier`]) and the enumerating variant
+//!   (ED, [`Date::enumerated`]);
+//! * the §IV generalizations: multi-presentation values via a similarity
+//!   oracle (eq. 21) and nonuniform false-value distributions (eq. 22–23)
+//!   via [`FalseValueModel`].
+//!
+//! The entry point is the [`TruthDiscovery`] trait over a [`TruthProblem`]
+//! (an observation snapshot plus per-task domain sizes).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_datagen::{ForumConfig, ForumData};
+//! use imc2_truth::{Date, MajorityVoting, TruthDiscovery, TruthProblem, precision};
+//! use imc2_common::rng_from_seed;
+//!
+//! # fn main() -> Result<(), imc2_common::ValidationError> {
+//! let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(7))?;
+//! let problem = TruthProblem::new(&data.observations, &data.num_false)?;
+//!
+//! let date = Date::paper().discover(&problem);
+//! let mv = MajorityVoting::new().discover(&problem);
+//!
+//! let p_date = precision(&date.estimate, &data.ground_truth);
+//! let p_mv = precision(&mv.estimate, &data.ground_truth);
+//! assert!(p_date > 0.5);
+//! assert!(p_mv > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accuracy;
+pub mod date;
+pub mod dependence;
+pub mod independence;
+pub mod metrics;
+pub mod nonuniform;
+pub mod posterior;
+pub mod precision;
+pub mod problem;
+pub mod similarity;
+pub mod voting;
+
+pub use date::{Date, DateConfig, EdConfig, IndependenceMode, SeedRule};
+pub use dependence::{DependenceMatrix, DependencePosterior};
+pub use nonuniform::FalseValueModel;
+pub use precision::precision;
+pub use problem::{TruthOutcome, TruthProblem};
+pub use similarity::Similarity;
+pub use voting::MajorityVoting;
+
+use imc2_common::Grid;
+
+/// A truth-discovery algorithm: estimates per-task truth and the accuracy
+/// matrix `A` from a snapshot of conflicting answers.
+pub trait TruthDiscovery {
+    /// Runs the algorithm on `problem`.
+    fn discover(&self, problem: &TruthProblem<'_>) -> TruthOutcome;
+
+    /// Short display name used by the experiment harness ("DATE", "MV", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Converts an internal accuracy grid into the auction-facing matrix: a
+/// worker contributes accuracy only on tasks it actually answered; all other
+/// cells are zero (constraint (5) of the SOAC program effectively sums over
+/// answered tasks only).
+pub fn accuracy_for_auction(problem: &TruthProblem<'_>, accuracy: &Grid<f64>) -> Grid<f64> {
+    let obs = problem.observations();
+    Grid::from_fn(obs.n_workers(), obs.n_tasks(), |w, t| {
+        if obs.value_of(w, t).is_some() {
+            accuracy[(w, t)]
+        } else {
+            0.0
+        }
+    })
+}

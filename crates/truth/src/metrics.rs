@@ -1,0 +1,160 @@
+//! Evaluation metrics beyond precision: copier-detection quality.
+//!
+//! The paper only reports truth precision, but the interesting internal
+//! quantity of DATE is the dependence posterior itself. Given oracle
+//! knowledge of who really copies (available in simulation), these metrics
+//! score the detector: ROC points over a threshold sweep and the AUC
+//! (probability a random true copier pair outranks a random independent
+//! pair).
+
+use crate::dependence::DependenceMatrix;
+use imc2_common::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Posterior threshold above which a pair is flagged as dependent.
+    pub threshold: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+}
+
+/// Copier-detection scores for a dependence matrix against oracle truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// ROC curve over the requested thresholds.
+    pub roc: Vec<RocPoint>,
+    /// Area under the ROC curve computed by the rank statistic
+    /// (Mann–Whitney U): `P(score(copier pair) > score(independent pair))`.
+    pub auc: f64,
+    /// Number of true (copier → source) pairs scored.
+    pub n_positive: usize,
+    /// Number of independent ordered pairs scored.
+    pub n_negative: usize,
+}
+
+/// Scores the detector.
+///
+/// `truth_pairs` are the oracle `(copier, source)` ordered pairs; all other
+/// ordered pairs among `workers` count as negatives. Pairs involving the
+/// same worker twice are skipped.
+///
+/// # Panics
+/// Panics if `thresholds` is empty.
+pub fn detection_report(
+    dep: &DependenceMatrix,
+    truth_pairs: &[(WorkerId, WorkerId)],
+    thresholds: &[f64],
+) -> DetectionReport {
+    assert!(!thresholds.is_empty(), "need at least one threshold");
+    let n = dep.n_workers();
+    let positive: std::collections::HashSet<(WorkerId, WorkerId)> =
+        truth_pairs.iter().copied().collect();
+    let mut pos_scores = Vec::new();
+    let mut neg_scores = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let pair = (WorkerId(a), WorkerId(b));
+            let score = dep.prob(pair.0, pair.1);
+            if positive.contains(&pair) {
+                pos_scores.push(score);
+            } else {
+                neg_scores.push(score);
+            }
+        }
+    }
+    let roc = thresholds
+        .iter()
+        .map(|&threshold| {
+            let tp = pos_scores.iter().filter(|&&s| s >= threshold).count();
+            let fp = neg_scores.iter().filter(|&&s| s >= threshold).count();
+            RocPoint {
+                threshold,
+                tpr: tp as f64 / pos_scores.len().max(1) as f64,
+                fpr: fp as f64 / neg_scores.len().max(1) as f64,
+            }
+        })
+        .collect();
+    // Rank-statistic AUC with tie correction.
+    let mut wins = 0.0;
+    for &p in &pos_scores {
+        for &q in &neg_scores {
+            if p > q {
+                wins += 1.0;
+            } else if p == q {
+                wins += 0.5;
+            }
+        }
+    }
+    let denom = (pos_scores.len() * neg_scores.len()).max(1) as f64;
+    DetectionReport {
+        roc,
+        auc: wins / denom,
+        n_positive: pos_scores.len(),
+        n_negative: neg_scores.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_with(pairs: &[(usize, usize, f64)], n: usize) -> DependenceMatrix {
+        let mut d = DependenceMatrix::constant(n, 0.05);
+        for &(a, b, p) in pairs {
+            d.set(WorkerId(a), WorkerId(b), p);
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_detector_scores_auc_one() {
+        let dep = matrix_with(&[(1, 0, 0.95), (2, 0, 0.9)], 4);
+        let truth = vec![(WorkerId(1), WorkerId(0)), (WorkerId(2), WorkerId(0))];
+        let report = detection_report(&dep, &truth, &[0.5]);
+        assert!((report.auc - 1.0).abs() < 1e-12);
+        assert_eq!(report.roc[0].tpr, 1.0);
+        assert_eq!(report.roc[0].fpr, 0.0);
+    }
+
+    #[test]
+    fn uninformative_detector_scores_half() {
+        let dep = DependenceMatrix::constant(4, 0.3);
+        let truth = vec![(WorkerId(1), WorkerId(0))];
+        let report = detection_report(&dep, &truth, &[0.5]);
+        assert!((report.auc - 0.5).abs() < 1e-12, "ties split evenly");
+    }
+
+    #[test]
+    fn roc_is_monotone_in_threshold() {
+        let dep = matrix_with(&[(1, 0, 0.9), (2, 3, 0.6)], 4);
+        let truth = vec![(WorkerId(1), WorkerId(0))];
+        let report = detection_report(&dep, &truth, &[0.1, 0.5, 0.95]);
+        for pair in report.roc.windows(2) {
+            assert!(pair[0].tpr >= pair[1].tpr, "tpr must not rise with threshold");
+            assert!(pair[0].fpr >= pair[1].fpr);
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let dep = DependenceMatrix::constant(3, 0.2);
+        let truth = vec![(WorkerId(0), WorkerId(1))];
+        let report = detection_report(&dep, &truth, &[0.5]);
+        assert_eq!(report.n_positive, 1);
+        assert_eq!(report.n_negative, 5); // 3·2 ordered pairs − 1 positive
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn empty_thresholds_panic() {
+        let dep = DependenceMatrix::constant(2, 0.2);
+        let _ = detection_report(&dep, &[], &[]);
+    }
+}

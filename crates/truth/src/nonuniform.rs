@@ -1,0 +1,197 @@
+//! False-value distribution models (§III assumption and its §IV-B removal).
+//!
+//! §III assumes an independent worker who errs picks each of the `num_j`
+//! false values uniformly. §IV-B drops that: with `f(h)` the density of
+//! false values having popularity `h`, eq. (22) replaces the collision
+//! probability `1/num_j` by `∫ h² f(h) dh`, and eq. (23) corrects the
+//! likelihood of non-supporters by `exp(|W^j∖W_v^j| · ∫ ln f(h) dh)` — i.e.
+//! a per-wrong-answer log-probability of `E[ln f]`.
+//!
+//! [`FalseValueModel`] exposes exactly the two quantities those formulas
+//! need — a per-task *collision probability* (two wrong answers agreeing)
+//! and a per-value *log-probability of a specific wrong answer* — under
+//! three knowledge models: uniform, density-only (the paper's `f(h)`), and
+//! full per-value popularity.
+
+use imc2_common::logprob::ln_prob;
+use imc2_common::{TaskId, ValidationError, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// How false values are distributed across a task's domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum FalseValueModel {
+    /// §III: each false value equally likely (`1/num_j`).
+    #[default]
+    Uniform,
+    /// §IV-B density form: only the moments of `f(h)` are known.
+    Density {
+        /// `∫ h² f(h) dh` — the probability two wrong answers collide.
+        collision: f64,
+        /// `∫ ln f(h) dh` interpreted as the mean log-probability of a
+        /// specific wrong answer.
+        mean_ln: f64,
+    },
+    /// Full knowledge: per-task popularity of each domain value as a wrong
+    /// answer (`probs[j][v]`, rows sum to 1 over the task's domain).
+    PerValue {
+        /// `probs[j][v]` = probability a wrong answer to task `j` is `v`.
+        probs: Vec<Vec<f64>>,
+    },
+}
+
+impl FalseValueModel {
+    /// Density model from samples of false-value popularity `h`.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `samples` is empty or any sample lies
+    /// outside `(0, 1]`.
+    pub fn density_from_samples(samples: &[f64]) -> Result<Self, ValidationError> {
+        if samples.is_empty() {
+            return Err(ValidationError::new("need at least one popularity sample"));
+        }
+        if samples.iter().any(|&h| !(h > 0.0 && h <= 1.0)) {
+            return Err(ValidationError::new("popularity samples must lie in (0, 1]"));
+        }
+        let n = samples.len() as f64;
+        let collision = samples.iter().map(|h| h * h).sum::<f64>() / n;
+        let mean_ln = samples.iter().map(|&h| h.ln()).sum::<f64>() / n;
+        Ok(FalseValueModel::Density { collision, mean_ln })
+    }
+
+    /// Per-value model from a popularity table.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if any row is empty, has negative
+    /// entries, or does not sum to ~1.
+    pub fn per_value(probs: Vec<Vec<f64>>) -> Result<Self, ValidationError> {
+        for (j, row) in probs.iter().enumerate() {
+            if row.is_empty() {
+                return Err(ValidationError::new(format!("task {j} has an empty popularity row")));
+            }
+            if row.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+                return Err(ValidationError::new(format!("task {j} has invalid popularity entries")));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(ValidationError::new(format!(
+                    "task {j} popularity sums to {sum}, expected 1"
+                )));
+            }
+        }
+        Ok(FalseValueModel::PerValue { probs })
+    }
+
+    /// Probability that two independent wrong answers to `task` coincide
+    /// (eq. 8's `1/num_j`, generalized by eq. 22).
+    pub fn collision_prob(&self, task: TaskId, num_false: u32) -> f64 {
+        match self {
+            FalseValueModel::Uniform => 1.0 / num_false.max(1) as f64,
+            FalseValueModel::Density { collision, .. } => *collision,
+            FalseValueModel::PerValue { probs } => {
+                let row = &probs[task.index()];
+                row.iter().map(|p| p * p).sum()
+            }
+        }
+    }
+
+    /// Log-probability that a wrong answer to `task` is specifically
+    /// `value`, given the (estimated) truth `truth_hint` — under
+    /// `PerValue`, mass on the truth is excluded and the rest renormalized.
+    pub fn ln_false_prob(
+        &self,
+        task: TaskId,
+        value: ValueId,
+        truth_hint: Option<ValueId>,
+        num_false: u32,
+    ) -> f64 {
+        match self {
+            FalseValueModel::Uniform => -(f64::from(num_false.max(1))).ln(),
+            FalseValueModel::Density { mean_ln, .. } => *mean_ln,
+            FalseValueModel::PerValue { probs } => {
+                let row = &probs[task.index()];
+                let p = row.get(value.index()).copied().unwrap_or(0.0);
+                let denom = match truth_hint {
+                    Some(t) if t.index() < row.len() => 1.0 - row[t.index()],
+                    _ => 1.0,
+                };
+                if denom <= 0.0 {
+                    ln_prob(0.0)
+                } else {
+                    ln_prob(p / denom)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_reduces_to_one_over_num() {
+        let m = FalseValueModel::Uniform;
+        assert!((m.collision_prob(TaskId(0), 4) - 0.25).abs() < 1e-12);
+        assert!((m.ln_false_prob(TaskId(0), ValueId(1), None, 4) - 0.25f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_from_samples_matches_moments() {
+        let samples = [0.5, 0.25, 0.25];
+        let m = FalseValueModel::density_from_samples(&samples).unwrap();
+        match m {
+            FalseValueModel::Density { collision, mean_ln } => {
+                let c = (0.25 + 0.0625 + 0.0625) / 3.0;
+                assert!((collision - c).abs() < 1e-12);
+                let l = (0.5f64.ln() + 0.25f64.ln() + 0.25f64.ln()) / 3.0;
+                assert!((mean_ln - l).abs() < 1e-12);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn density_rejects_bad_samples() {
+        assert!(FalseValueModel::density_from_samples(&[]).is_err());
+        assert!(FalseValueModel::density_from_samples(&[0.0]).is_err());
+        assert!(FalseValueModel::density_from_samples(&[1.5]).is_err());
+    }
+
+    #[test]
+    fn per_value_collision_is_sum_of_squares() {
+        let m = FalseValueModel::per_value(vec![vec![0.5, 0.3, 0.2]]).unwrap();
+        assert!((m.collision_prob(TaskId(0), 2) - (0.25 + 0.09 + 0.04)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_value_excludes_truth_mass() {
+        let m = FalseValueModel::per_value(vec![vec![0.5, 0.3, 0.2]]).unwrap();
+        // Truth is value 0: wrong answers split 0.3/0.5 and 0.2/0.5.
+        let l = m.ln_false_prob(TaskId(0), ValueId(1), Some(ValueId(0)), 2);
+        assert!((l - (0.3f64 / 0.5).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_value_rejects_bad_rows() {
+        assert!(FalseValueModel::per_value(vec![vec![]]).is_err());
+        assert!(FalseValueModel::per_value(vec![vec![0.9, 0.3]]).is_err());
+        assert!(FalseValueModel::per_value(vec![vec![-0.1, 1.1]]).is_err());
+    }
+
+    #[test]
+    fn skewed_collision_exceeds_uniform() {
+        // The §IV-B motivation: a popular wrong answer ("Sydney") raises the
+        // chance two wrong workers agree.
+        let skewed = FalseValueModel::per_value(vec![vec![0.0, 0.9, 0.1]]).unwrap();
+        let uniform = FalseValueModel::Uniform;
+        assert!(
+            skewed.collision_prob(TaskId(0), 2) > uniform.collision_prob(TaskId(0), 2),
+            "skew must raise collision probability"
+        );
+    }
+
+    #[test]
+    fn default_is_uniform() {
+        assert_eq!(FalseValueModel::default(), FalseValueModel::Uniform);
+    }
+}

@@ -1,0 +1,223 @@
+//! Step 3a of DATE: the posterior probability each observed value is true
+//! (paper §III-C, eq. 18–20; Alg. 1 line 23).
+//!
+//! For task `j` with candidate value `v`, the likelihood of the observed
+//! answers given `v` is true is
+//!
+//! ```text
+//! P(D^j | v) = Π_{i ∈ W_v^j} A_i^j · Π_{i ∈ W^j∖W_v^j} (1 − A_i^j)·p_j(v_i)
+//! ```
+//!
+//! where `p_j(v_i)` is the probability a wrong answer lands on `v_i`
+//! (`1/num_j` under the §III uniform assumption — recovering eq. 18/20 —
+//! or a [`FalseValueModel`] quantity under §IV-B / eq. 23). With a uniform
+//! prior over which value is true (the paper's `β`), Bayes gives
+//! `P(v) = softmax_v ln P(D^j | v)`.
+//!
+//! The optional *discounted* variant (design note 3) multiplies each
+//! supporter's log-odds contribution by its independence score `I_v^j(i)`,
+//! the Dong-et-al. treatment; Alg. 1 itself computes `P(v)` undiscounted
+//! and reserves `I` for the truth-selection support counts.
+
+use crate::independence::TaskIndependence;
+use crate::nonuniform::FalseValueModel;
+use crate::problem::TruthProblem;
+use imc2_common::logprob::{clamp_prob, normalize_log_weights};
+use imc2_common::{Grid, TaskId, ValueId};
+
+/// Value posteriors for one task: `(value, P(value is true))`, aligned with
+/// the task's observed value groups (sorted by value id).
+pub type TaskPosterior = Vec<(ValueId, f64)>;
+
+/// Computes `P(v)` for every observed value of every task.
+///
+/// * `accuracy` — current accuracy matrix `A`.
+/// * `truth_ref` — current truth estimate, used only by nonuniform
+///   false-value models to exclude the truth's popularity mass.
+/// * `independence` — per-task independence scores; only read when
+///   `discount` is true.
+/// * `discount` — apply `I_v^j(i)` inside the posterior (design note 3).
+/// * `floor_anti_evidence` — floor each worker's accuracy at the
+///   uninformative point `1/(num_j+1)` (design note 11): eq. 20 verbatim
+///   lets an assumed accuracy below random guessing count *against* the
+///   worker's own value, which destabilizes the ε ≤ 1/(num_j+1) corner of
+///   the Fig. 3(a) sweep; the paper reports insensitivity there, implying
+///   its implementation avoids the inversion.
+pub fn value_posteriors(
+    problem: &TruthProblem<'_>,
+    accuracy: &Grid<f64>,
+    truth_ref: &[Option<ValueId>],
+    false_values: &FalseValueModel,
+    independence: Option<&[TaskIndependence]>,
+    discount: bool,
+    floor_anti_evidence: bool,
+) -> Vec<TaskPosterior> {
+    let obs = problem.observations();
+    (0..obs.n_tasks())
+        .map(|j| {
+            let task = TaskId(j);
+            let groups = obs.task_view(task).groups();
+            if groups.is_empty() {
+                return Vec::new();
+            }
+            let num_false = problem.num_false_of(task);
+            let floor = 1.0 / (num_false as f64 + 1.0);
+            let mut log_liks: Vec<f64> = Vec::with_capacity(groups.len());
+            for (v, _) in &groups {
+                let mut lp = 0.0;
+                for (v2, supporters) in &groups {
+                    for &i in supporters {
+                        let mut a = clamp_prob(accuracy[(i, task)]);
+                        if floor_anti_evidence {
+                            a = a.max(floor);
+                        }
+                        if v2 == v {
+                            // Supporter of the candidate truth.
+                            let ln_true = a.ln();
+                            if discount {
+                                // Discounted log-odds: scale the supporter's
+                                // pull toward v by its independence.
+                                let ln_false = (1.0 - a).ln()
+                                    + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
+                                let iscore = independence
+                                    .and_then(|ind| independence_of(&ind[j], *v2, i))
+                                    .unwrap_or(1.0);
+                                lp += iscore * ln_true + (1.0 - iscore) * ln_false;
+                            } else {
+                                lp += ln_true;
+                            }
+                        } else {
+                            // This worker answered something else: it erred
+                            // (w.r.t. candidate v) and picked v2.
+                            lp += (1.0 - a).ln()
+                                + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
+                        }
+                    }
+                }
+                log_liks.push(lp);
+            }
+            // Uniform prior β over candidate truths cancels in normalization.
+            normalize_log_weights(&mut log_liks);
+            let _ = truth_ref; // truth_ref reserved for models needing a global hint
+            groups.iter().zip(log_liks).map(|((v, _), p)| (*v, p)).collect()
+        })
+        .collect()
+}
+
+fn independence_of(task_ind: &TaskIndependence, value: ValueId, worker: imc2_common::WorkerId) -> Option<f64> {
+    task_ind
+        .iter()
+        .find(|(v, _)| *v == value)
+        .and_then(|(_, scores)| scores.iter().find(|(w, _)| *w == worker).map(|&(_, s)| s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TruthProblem;
+    use imc2_common::{ObservationsBuilder, WorkerId};
+
+    fn setup(rows: &[(usize, usize, u32)], n: usize, m: usize) -> (imc2_common::Observations, Vec<u32>) {
+        let mut b = ObservationsBuilder::new(n, m);
+        for &(w, t, v) in rows {
+            b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
+        }
+        (b.build(), vec![2; m])
+    }
+
+    #[test]
+    fn posteriors_normalize() {
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(3, 1, 0.7);
+        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let total: f64 = post[0].iter().map(|&(_, q)| q).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_with_equal_accuracy_wins() {
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(3, 1, 0.7);
+        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let best = post[0].iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(best.0, ValueId(1));
+    }
+
+    #[test]
+    fn accurate_minority_can_outweigh() {
+        // One 0.95-accuracy worker vs two 0.4-accuracy workers.
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(3, 1, 0.4);
+        acc[(WorkerId(0), TaskId(0))] = 0.95;
+        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let best = post[0].iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(best.0, ValueId(0), "high-accuracy minority should win");
+    }
+
+    #[test]
+    fn matches_eq20_closed_form() {
+        // Uniform false values: P(v) ∝ Π_{i∈W_v} num·A/(1−A); verify against
+        // the direct likelihood computation.
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1)], 2, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let mut acc = Grid::filled(2, 1, 0.6);
+        acc[(WorkerId(1), TaskId(0))] = 0.8;
+        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let num = 2.0;
+        let w0 = num * 0.6 / 0.4; // supporter weight of value 0
+        let w1 = num * 0.8 / 0.2; // supporter weight of value 1
+        let expect0 = w0 / (w0 + w1);
+        let got0 = post[0].iter().find(|&&(v, _)| v == ValueId(0)).unwrap().1;
+        assert!((got0 - expect0).abs() < 1e-9, "got {got0}, expect {expect0}");
+    }
+
+    #[test]
+    fn unanswered_task_has_empty_posterior() {
+        let (obs, nf) = setup(&[(0, 0, 0)], 1, 2);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(1, 2, 0.6);
+        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        assert!(post[1].is_empty());
+    }
+
+    #[test]
+    fn popular_false_value_is_dampened() {
+        // Nonuniform model: value 1 is a very popular wrong answer, so
+        // its supporters are explained away more easily.
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(3, 1, 0.7);
+        let uniform = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let skewed_model =
+            FalseValueModel::per_value(vec![vec![0.05, 0.9, 0.05]]).unwrap();
+        let skewed = value_posteriors(&p, &acc, &[None], &skewed_model, None, false, true);
+        let p1_uniform = uniform[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
+        let p1_skewed = skewed[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
+        assert!(
+            p1_skewed < p1_uniform,
+            "a notoriously popular wrong answer should get less credence: {p1_skewed} vs {p1_uniform}"
+        );
+    }
+
+    #[test]
+    fn discount_reduces_copier_influence() {
+        let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let acc = Grid::filled(3, 1, 0.7);
+        // Worker 2's support of value 1 is almost surely copied.
+        let ind: Vec<TaskIndependence> = vec![vec![
+            (ValueId(0), vec![(WorkerId(0), 1.0)]),
+            (ValueId(1), vec![(WorkerId(1), 1.0), (WorkerId(2), 0.05)]),
+        ]];
+        let plain =
+            value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, Some(&ind), false, true);
+        let disc =
+            value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, Some(&ind), true, true);
+        let p1_plain = plain[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
+        let p1_disc = disc[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
+        assert!(p1_disc < p1_plain, "discounting must weaken the copied majority");
+    }
+}

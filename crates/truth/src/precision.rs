@@ -1,0 +1,62 @@
+//! The precision metric of §VII-A:
+//! `precision = Σ_j 1[et_j = et*_j] / |T|`.
+
+use imc2_common::ValueId;
+
+/// Fraction of tasks whose estimated truth matches the real truth.
+///
+/// Tasks the algorithm left unestimated (`None`) count as misses; an empty
+/// task set scores 0.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+///
+/// # Example
+/// ```
+/// use imc2_common::ValueId;
+/// use imc2_truth::precision;
+/// let est = vec![Some(ValueId(0)), Some(ValueId(1)), None];
+/// let truth = vec![ValueId(0), ValueId(2), ValueId(0)];
+/// assert!((precision(&est, &truth) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn precision(estimate: &[Option<ValueId>], truth: &[ValueId]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "estimate and truth must have equal length");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = estimate
+        .iter()
+        .zip(truth)
+        .filter(|(e, t)| e.as_ref() == Some(t))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate() {
+        let truth = vec![ValueId(0), ValueId(1)];
+        let est: Vec<_> = truth.iter().copied().map(Some).collect();
+        assert_eq!(precision(&est, &truth), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_or_missing() {
+        let truth = vec![ValueId(0), ValueId(1)];
+        assert_eq!(precision(&[Some(ValueId(1)), None], &truth), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(precision(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = precision(&[None], &[]);
+    }
+}

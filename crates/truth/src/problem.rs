@@ -1,0 +1,184 @@
+//! The input and output types shared by every truth-discovery algorithm.
+
+use imc2_common::{Grid, Observations, TaskId, ValidationError, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// A truth-discovery instance: the snapshot `D` plus what is known about
+/// each task's answer domain.
+///
+/// Borrowed, because the same (potentially large) snapshot is typically fed
+/// to several algorithms side by side (DATE vs MV vs NC vs ED).
+#[derive(Debug, Clone, Copy)]
+pub struct TruthProblem<'a> {
+    observations: &'a Observations,
+    num_false: &'a [u32],
+    labels: Option<&'a [Vec<String>]>,
+}
+
+impl<'a> TruthProblem<'a> {
+    /// Creates a problem over `observations` where task `j` has
+    /// `num_false[j]` false values (domain size `num_false[j] + 1`).
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `num_false.len()` differs from the
+    /// task count, any `num_false[j]` is zero, or any observed value index
+    /// exceeds the declared domain.
+    pub fn new(observations: &'a Observations, num_false: &'a [u32]) -> Result<Self, ValidationError> {
+        if num_false.len() != observations.n_tasks() {
+            return Err(ValidationError::new(format!(
+                "num_false has {} entries for {} tasks",
+                num_false.len(),
+                observations.n_tasks()
+            )));
+        }
+        for j in 0..observations.n_tasks() {
+            if num_false[j] == 0 {
+                return Err(ValidationError::new(format!(
+                    "task {j} declares no false values; domains need at least 2 values"
+                )));
+            }
+            if let Some(max) = observations.max_value_of_task(TaskId(j)) {
+                if max.0 > num_false[j] {
+                    return Err(ValidationError::new(format!(
+                        "task {j} observed value {max} outside its domain 0..={}",
+                        num_false[j]
+                    )));
+                }
+            }
+        }
+        Ok(TruthProblem { observations, num_false, labels: None })
+    }
+
+    /// Attaches human-readable value labels (`labels[j][v]` is the label of
+    /// value `v` of task `j`), enabling the §IV-A similarity adjustment.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the label table does not cover every
+    /// task's full domain.
+    pub fn with_labels(mut self, labels: &'a [Vec<String>]) -> Result<Self, ValidationError> {
+        if labels.len() != self.observations.n_tasks() {
+            return Err(ValidationError::new("label table must have one row per task"));
+        }
+        for (j, row) in labels.iter().enumerate() {
+            if row.len() < self.num_false[j] as usize + 1 {
+                return Err(ValidationError::new(format!(
+                    "task {j} has {} labels for a domain of {}",
+                    row.len(),
+                    self.num_false[j] + 1
+                )));
+            }
+        }
+        self.labels = Some(labels);
+        Ok(self)
+    }
+
+    /// The observation snapshot.
+    pub fn observations(&self) -> &'a Observations {
+        self.observations
+    }
+
+    /// `num_j` of task `j`.
+    pub fn num_false_of(&self, task: TaskId) -> u32 {
+        self.num_false[task.index()]
+    }
+
+    /// The full `num_false` slice.
+    pub fn num_false(&self) -> &'a [u32] {
+        self.num_false
+    }
+
+    /// Value labels, when attached.
+    pub fn labels(&self) -> Option<&'a [Vec<String>]> {
+        self.labels
+    }
+
+    /// Label of one value, when labels are attached.
+    pub fn label_of(&self, task: TaskId, value: ValueId) -> Option<&'a str> {
+        self.labels.map(|l| l[task.index()][value.index()].as_str())
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.observations.n_workers()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.observations.n_tasks()
+    }
+}
+
+/// The result of a truth-discovery run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthOutcome {
+    /// Estimated truth per task (`None` for tasks nobody answered).
+    pub estimate: Vec<Option<ValueId>>,
+    /// The accuracy matrix `A = {A_i^j}`; cells for unanswered (worker,
+    /// task) pairs hold the algorithm's internal default, use
+    /// [`crate::accuracy_for_auction`] before feeding an auction.
+    pub accuracy: Grid<f64>,
+    /// Iterations executed (1 for single-pass algorithms like MV).
+    pub iterations: usize,
+    /// Whether the estimate reached a fixed point before the iteration cap.
+    pub converged: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::{ObservationsBuilder, WorkerId};
+
+    fn obs() -> Observations {
+        let mut b = ObservationsBuilder::new(2, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(1), TaskId(1), ValueId(2)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn valid_problem_constructs() {
+        let o = obs();
+        let nf = vec![2, 2];
+        let p = TruthProblem::new(&o, &nf).unwrap();
+        assert_eq!(p.n_workers(), 2);
+        assert_eq!(p.n_tasks(), 2);
+        assert_eq!(p.num_false_of(TaskId(0)), 2);
+    }
+
+    #[test]
+    fn wrong_num_false_len_rejected() {
+        let o = obs();
+        let nf = vec![2];
+        assert!(TruthProblem::new(&o, &nf).is_err());
+    }
+
+    #[test]
+    fn zero_num_false_rejected() {
+        let o = obs();
+        let nf = vec![2, 0];
+        assert!(TruthProblem::new(&o, &nf).is_err());
+    }
+
+    #[test]
+    fn observed_value_outside_domain_rejected() {
+        let o = obs(); // task 1 observed value 2
+        let nf = vec![2, 1];
+        assert!(TruthProblem::new(&o, &nf).is_err());
+    }
+
+    #[test]
+    fn labels_validated_and_accessible() {
+        let o = obs();
+        let nf = vec![2, 2];
+        let labels = vec![
+            vec!["a".to_string(), "b".to_string(), "c".to_string()],
+            vec!["x".to_string(), "y".to_string(), "z".to_string()],
+        ];
+        let p = TruthProblem::new(&o, &nf).unwrap().with_labels(&labels).unwrap();
+        assert_eq!(p.label_of(TaskId(0), ValueId(1)), Some("b"));
+        assert!(p.labels().is_some());
+
+        let short = vec![vec!["a".to_string()], vec!["x".to_string()]];
+        assert!(TruthProblem::new(&o, &nf).unwrap().with_labels(&short).is_err());
+    }
+}

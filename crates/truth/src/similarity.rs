@@ -1,0 +1,162 @@
+//! The §IV-A multi-presentation adjustment (eq. 21).
+//!
+//! When values are different presentations of the same fact ("IT" vs
+//! "Information Technology", "UWise" vs "UWisc"), workers supporting `v'`
+//! implicitly support any similar `v`. Eq. (21) adjusts each value's support
+//! count:
+//!
+//! ```text
+//! adjusted(v) = S(v) + ρ · Σ_{v'≠v} sim(v, v') · S(v'∖v)
+//! ```
+//!
+//! where `S(v) = Σ_{i∈W_v} A_i^j · I_v^j(i)` is the Alg. 1 line 28 support
+//! and `S(v'∖v)` sums supporters of `v'` not already supporting `v` (a
+//! worker provides one value per task, so the groups are disjoint by
+//! construction).
+
+use imc2_textsim::SimilarityOracle;
+use imc2_common::{TaskId, ValueId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of the similarity adjustment.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Similarity {
+    /// Influence of similar values (`ρ ∈ [0, 1]` in eq. 21).
+    pub rho: f64,
+    /// The oracle scoring label pairs.
+    #[serde(skip, default = "default_oracle")]
+    oracle: Arc<dyn SimilarityOracle + Send + Sync>,
+}
+
+fn default_oracle() -> Arc<dyn SimilarityOracle + Send + Sync> {
+    Arc::new(imc2_textsim::AliasTable::new())
+}
+
+impl Similarity {
+    /// Creates an adjustment with influence `rho` and the given oracle.
+    ///
+    /// # Panics
+    /// Panics if `rho` is outside `[0, 1]`.
+    pub fn new(rho: f64, oracle: Arc<dyn SimilarityOracle + Send + Sync>) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+        Similarity { rho, oracle }
+    }
+
+    /// Similarity between two labels.
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        self.oracle.similarity(a, b)
+    }
+
+    /// Applies eq. (21) to raw per-value supports.
+    ///
+    /// `supports` holds `(value, S(value))`; `label_of` resolves a value to
+    /// its label for this task. Values without labels contribute and receive
+    /// nothing.
+    pub fn adjust_supports(
+        &self,
+        task: TaskId,
+        supports: &[(ValueId, f64)],
+        label_of: impl Fn(TaskId, ValueId) -> Option<String>,
+    ) -> Vec<(ValueId, f64)> {
+        let labels: Vec<Option<String>> =
+            supports.iter().map(|&(v, _)| label_of(task, v)).collect();
+        supports
+            .iter()
+            .enumerate()
+            .map(|(k, &(v, s))| {
+                let Some(ref lv) = labels[k] else {
+                    return (v, s);
+                };
+                let mut adjusted = s;
+                for (k2, &(_, s2)) in supports.iter().enumerate() {
+                    if k2 == k {
+                        continue;
+                    }
+                    if let Some(ref lv2) = labels[k2] {
+                        let sim = self.oracle.similarity(lv, lv2);
+                        if sim > 0.0 {
+                            adjusted += self.rho * sim * s2;
+                        }
+                    }
+                }
+                (v, adjusted)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Similarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Similarity").field("rho", &self.rho).field("oracle", &"<dyn>").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_textsim::AliasTable;
+
+    fn alias_similarity(rho: f64) -> Similarity {
+        let mut t = AliasTable::new();
+        t.add_class(["UWisc", "UWise"]);
+        Similarity::new(rho, Arc::new(t))
+    }
+
+    #[test]
+    fn similar_values_pool_support() {
+        let sim = alias_similarity(1.0);
+        let supports = vec![(ValueId(0), 2.0), (ValueId(1), 1.5), (ValueId(2), 3.0)];
+        let labels = ["MSR", "UWise", "UWisc"];
+        let adjusted = sim.adjust_supports(TaskId(0), &supports, |_, v| {
+            Some(labels[v.index()].to_string())
+        });
+        // UWise gains UWisc's support and vice versa; MSR unchanged.
+        assert!((adjusted[0].1 - 2.0).abs() < 1e-12);
+        assert!((adjusted[1].1 - (1.5 + 3.0)).abs() < 1e-12);
+        assert!((adjusted[2].1 - (3.0 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_scales_the_transfer() {
+        let sim = alias_similarity(0.5);
+        let supports = vec![(ValueId(0), 1.0), (ValueId(1), 2.0)];
+        let labels = ["UWise", "UWisc"];
+        let adjusted = sim.adjust_supports(TaskId(0), &supports, |_, v| {
+            Some(labels[v.index()].to_string())
+        });
+        assert!((adjusted[0].1 - (1.0 + 0.5 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_labels_pass_through() {
+        let sim = alias_similarity(1.0);
+        let supports = vec![(ValueId(0), 1.0), (ValueId(1), 2.0)];
+        let adjusted = sim.adjust_supports(TaskId(0), &supports, |_, _| None);
+        assert_eq!(adjusted, supports);
+    }
+
+    #[test]
+    fn zero_rho_is_identity() {
+        let sim = alias_similarity(0.0);
+        let supports = vec![(ValueId(0), 1.0), (ValueId(1), 2.0)];
+        let labels = ["UWise", "UWisc"];
+        let adjusted = sim.adjust_supports(TaskId(0), &supports, |_, v| {
+            Some(labels[v.index()].to_string())
+        });
+        assert_eq!(adjusted, supports);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn invalid_rho_panics() {
+        let _ = alias_similarity(1.5);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", alias_similarity(0.3));
+        assert!(s.contains("rho"));
+    }
+}

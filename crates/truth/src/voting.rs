@@ -1,0 +1,140 @@
+//! Majority voting (MV) — the paper's first baseline (§VII-A).
+//!
+//! "The truth of each task is the corresponding value that \[is\] supported by
+//! the most workers." Ties break toward the smallest value id so runs are
+//! deterministic. MV estimates no worker accuracy; its exported accuracy
+//! matrix scores an answered cell 1 when the worker agrees with the voted
+//! truth and 0 otherwise, which makes `accuracy_for_auction` usable on MV
+//! outcomes in ablation experiments.
+
+use crate::{TruthDiscovery, TruthOutcome, TruthProblem};
+use imc2_common::{Grid, TaskId, ValueId};
+
+/// The majority-voting baseline.
+///
+/// # Example
+/// ```
+/// use imc2_common::{ObservationsBuilder, WorkerId, TaskId, ValueId};
+/// use imc2_truth::{MajorityVoting, TruthDiscovery, TruthProblem};
+///
+/// # fn main() -> Result<(), imc2_common::ValidationError> {
+/// let mut b = ObservationsBuilder::new(3, 1);
+/// b.record(WorkerId(0), TaskId(0), ValueId(0))?;
+/// b.record(WorkerId(1), TaskId(0), ValueId(1))?;
+/// b.record(WorkerId(2), TaskId(0), ValueId(1))?;
+/// let obs = b.build();
+/// let nf = vec![2];
+/// let problem = TruthProblem::new(&obs, &nf)?;
+/// let outcome = MajorityVoting::new().discover(&problem);
+/// assert_eq!(outcome.estimate[0], Some(ValueId(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityVoting {
+    _private: (),
+}
+
+impl MajorityVoting {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        MajorityVoting { _private: () }
+    }
+
+    /// The voted estimate alone (no accuracy matrix), reused by DATE for its
+    /// initial truth reference.
+    pub fn estimate(problem: &TruthProblem<'_>) -> Vec<Option<ValueId>> {
+        let obs = problem.observations();
+        (0..obs.n_tasks())
+            .map(|j| {
+                let groups = obs.task_view(TaskId(j)).groups();
+                groups
+                    .iter()
+                    // max_by_key returns the *last* maximum; iterate in
+                    // descending value order so ties resolve to the smallest id.
+                    .rev()
+                    .max_by_key(|(_, ws)| ws.len())
+                    .map(|(v, _)| *v)
+            })
+            .collect()
+    }
+}
+
+impl TruthDiscovery for MajorityVoting {
+    fn discover(&self, problem: &TruthProblem<'_>) -> TruthOutcome {
+        let estimate = Self::estimate(problem);
+        let obs = problem.observations();
+        let accuracy = Grid::from_fn(obs.n_workers(), obs.n_tasks(), |w, t| {
+            match (obs.value_of(w, t), estimate[t.index()]) {
+                (Some(v), Some(e)) if v == e => 1.0,
+                _ => 0.0,
+            }
+        });
+        TruthOutcome { estimate, accuracy, iterations: 1, converged: true }
+    }
+
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::{ObservationsBuilder, WorkerId};
+
+    fn problem_of(rows: &[(usize, usize, u32)], n: usize, m: usize, nf: &[u32]) -> (imc2_common::Observations, Vec<u32>) {
+        let mut b = ObservationsBuilder::new(n, m);
+        for &(w, t, v) in rows {
+            b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
+        }
+        (b.build(), nf.to_vec())
+    }
+
+    #[test]
+    fn picks_plurality_winner() {
+        let (obs, nf) = problem_of(&[(0, 0, 2), (1, 0, 2), (2, 0, 0)], 3, 1, &[2]);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        assert_eq!(MajorityVoting::estimate(&p), vec![Some(ValueId(2))]);
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_value() {
+        let (obs, nf) = problem_of(&[(0, 0, 2), (1, 0, 1)], 3, 1, &[2]);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        assert_eq!(MajorityVoting::estimate(&p), vec![Some(ValueId(1))]);
+    }
+
+    #[test]
+    fn unanswered_task_is_none() {
+        let (obs, nf) = problem_of(&[(0, 0, 0)], 1, 2, &[1, 1]);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        assert_eq!(MajorityVoting::estimate(&p), vec![Some(ValueId(0)), None]);
+    }
+
+    #[test]
+    fn accuracy_marks_agreement() {
+        let (obs, nf) = problem_of(&[(0, 0, 1), (1, 0, 1), (2, 0, 0)], 3, 1, &[1]);
+        let p = TruthProblem::new(&obs, &nf).unwrap();
+        let out = MajorityVoting::new().discover(&p);
+        assert_eq!(out.accuracy[(WorkerId(0), TaskId(0))], 1.0);
+        assert_eq!(out.accuracy[(WorkerId(2), TaskId(0))], 0.0);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn fails_on_table1_as_the_paper_claims() {
+        // Table 1, semantic reading: MV is wrong on Dewitt, Carey, Halevy.
+        let t = imc2_datagen::table1::semantic();
+        let p = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+        let est = MajorityVoting::estimate(&p);
+        let wrong: Vec<usize> = (0..5).filter(|&j| est[j] != Some(t.truth[j])).collect();
+        assert_eq!(wrong, vec![1, 3, 4], "MV should err exactly on Dewitt, Carey, Halevy");
+    }
+
+    #[test]
+    fn name_is_mv() {
+        assert_eq!(MajorityVoting::new().name(), "MV");
+    }
+}

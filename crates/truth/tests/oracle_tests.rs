@@ -1,0 +1,154 @@
+//! Tests with oracle (generator-side) knowledge: does DATE's internal state
+//! track the latent structure the generator actually planted?
+
+use imc2_common::rng_from_seed;
+use imc2_datagen::{ForumConfig, ForumData};
+use imc2_truth::{precision, Date, DateConfig, MajorityVoting, TruthDiscovery, TruthProblem};
+
+fn medium(seed: u64) -> ForumData {
+    ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(seed)).unwrap()
+}
+
+#[test]
+fn copier_pairs_rank_above_independent_pairs() {
+    // Average detection margin over several instances: the posterior for
+    // true (copier, source) pairs must exceed independent-pair posteriors.
+    let mut copier_avg = 0.0;
+    let mut indep_avg = 0.0;
+    let mut n_runs = 0.0;
+    for seed in 0..4 {
+        let data = medium(seed);
+        let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+        let (_, dep) = Date::paper().discover_with_dependence(&problem);
+        let dep = dep.unwrap();
+        let mut c = (0.0, 0.0);
+        for p in data.profiles.iter().filter(|p| p.is_copier()) {
+            c.0 += dep.prob(p.worker, p.source().unwrap());
+            c.1 += 1.0;
+        }
+        let mut i = (0.0, 0.0);
+        let independents: Vec<_> = data.profiles.iter().filter(|p| !p.is_copier()).collect();
+        for (k, a) in independents.iter().enumerate() {
+            for b in independents.iter().skip(k + 1).take(10) {
+                i.0 += dep.prob(a.worker, b.worker);
+                i.1 += 1.0;
+            }
+        }
+        copier_avg += c.0 / c.1;
+        indep_avg += i.0 / i.1;
+        n_runs += 1.0;
+    }
+    copier_avg /= n_runs;
+    indep_avg /= n_runs;
+    assert!(
+        copier_avg > indep_avg + 0.2,
+        "detection margin too small: copiers {copier_avg:.3} vs independents {indep_avg:.3}"
+    );
+}
+
+#[test]
+fn estimated_accuracy_correlates_with_latent_reliability() {
+    // Spearman-lite: among independent workers, the top latent-reliability
+    // third must have a higher mean estimated accuracy than the bottom third.
+    let data = medium(11);
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    let out = Date::paper().discover(&problem);
+    let mut honest: Vec<(f64, f64)> = data
+        .profiles
+        .iter()
+        .filter(|p| !p.is_copier())
+        .map(|p| {
+            let tasks = data.observations.tasks_of_worker(p.worker);
+            let mean_acc = tasks
+                .iter()
+                .map(|&(t, _)| out.accuracy[(p.worker, t)])
+                .sum::<f64>()
+                / tasks.len().max(1) as f64;
+            (p.reliability, mean_acc)
+        })
+        .collect();
+    honest.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let third = honest.len() / 3;
+    let low: f64 = honest[..third].iter().map(|x| x.1).sum::<f64>() / third as f64;
+    let high: f64 = honest[honest.len() - third..].iter().map(|x| x.1).sum::<f64>() / third as f64;
+    assert!(
+        high > low + 0.1,
+        "estimated accuracy must track latent reliability: high {high:.3} vs low {low:.3}"
+    );
+}
+
+#[test]
+fn heavier_copying_widens_dates_margin_over_mv() {
+    // The paper's core story: DATE's advantage over MV appears when copier
+    // rings damage the vote (rings so large they swamp whole tasks are
+    // beyond repair for *any* method, so the comparison uses the paper-like
+    // regime of rings ≈ half a task's response count).
+    let margin = |ring: usize, n_copiers: usize| -> f64 {
+        let mut diff = 0.0;
+        for seed in 0..4 {
+            let mut cfg = ForumConfig::medium();
+            cfg.copiers.n_copiers = n_copiers;
+            cfg.copiers.ring_size = ring;
+            let data = ForumData::generate(&cfg, &mut rng_from_seed(200 + seed)).unwrap();
+            let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+            let d = precision(&Date::paper().discover(&problem).estimate, &data.ground_truth);
+            let m = precision(
+                &MajorityVoting::new().discover(&problem).estimate,
+                &data.ground_truth,
+            );
+            diff += d - m;
+        }
+        diff / 4.0
+    };
+    let none = margin(1, 0);
+    let heavy = margin(7, 15);
+    assert!(
+        heavy > none + 0.01,
+        "margin should grow with copier damage: none {none:.4}, heavy {heavy:.4}"
+    );
+}
+
+#[test]
+fn assumed_r_sweep_saturates_like_fig3b() {
+    // Precision should be notably worse at r=0.05 than at r≥0.4, and the
+    // difference between r=0.4 and r=0.8 should be comparatively small.
+    let data = medium(31);
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    let prec_at = |r: f64| {
+        let date = Date::new(DateConfig { r, ..DateConfig::default() }).unwrap();
+        precision(&date.discover(&problem).estimate, &data.ground_truth)
+    };
+    let lo = prec_at(0.05);
+    let mid = prec_at(0.4);
+    let hi = prec_at(0.8);
+    assert!(mid >= lo, "precision should not fall from r=0.05 to r=0.4 ({lo:.3} -> {mid:.3})");
+    assert!((hi - mid).abs() <= (mid - lo).abs() + 0.02, "gain should saturate after r=0.4");
+}
+
+#[test]
+fn ed_and_date_agree_closely() {
+    let mut total_diff = 0.0;
+    for seed in 40..43 {
+        let data = medium(seed);
+        let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+        let date = precision(&Date::paper().discover(&problem).estimate, &data.ground_truth);
+        let ed = precision(&Date::enumerated().discover(&problem).estimate, &data.ground_truth);
+        total_diff += (date - ed).abs();
+    }
+    assert!(total_diff / 3.0 < 0.05, "ED and DATE should track each other closely");
+}
+
+#[test]
+fn discount_posterior_ablation_is_sane() {
+    // Design note 3: the discounted-posterior variant stays a valid
+    // algorithm (not a crash/regression catch-all, just bounded behaviour).
+    let data = medium(50);
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    let base = Date::paper().discover(&problem);
+    let disc = Date::new(DateConfig { discount_posterior: true, ..DateConfig::default() })
+        .unwrap()
+        .discover(&problem);
+    let p_base = precision(&base.estimate, &data.ground_truth);
+    let p_disc = precision(&disc.estimate, &data.ground_truth);
+    assert!((p_base - p_disc).abs() < 0.2, "variants should not diverge wildly");
+}

@@ -1,0 +1,54 @@
+//! Copier-detection quality: how well does DATE's dependence posterior
+//! separate real copiers from independent workers?
+//!
+//! The paper plots only truth precision; this example scores the detector
+//! itself against the generator's oracle knowledge — ROC points and AUC —
+//! and shows how detection degrades as copies get corrupted.
+//!
+//! ```text
+//! cargo run --release --example detection_quality
+//! ```
+
+use imc2::common::{rng_from_seed, WorkerId};
+use imc2::datagen::{DatasetSummary, ForumConfig, ForumData};
+use imc2::truth::metrics::detection_report;
+use imc2::truth::{Date, TruthProblem};
+
+fn run_one(copy_error: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = ForumConfig::medium();
+    cfg.copiers.copy_error = copy_error;
+    let data = ForumData::generate(&cfg, &mut rng_from_seed(7))?;
+    let problem = TruthProblem::new(&data.observations, &data.num_false)?;
+    let (_, dep) = Date::paper().discover_with_dependence(&problem);
+    let dep = dep.expect("DATE computes dependence");
+
+    let truth_pairs: Vec<(WorkerId, WorkerId)> = data
+        .profiles
+        .iter()
+        .filter(|p| p.is_copier())
+        .map(|p| (p.worker, p.source().expect("copier has a source")))
+        .collect();
+    let report = detection_report(&dep, &truth_pairs, &[0.3, 0.5, 0.7, 0.9]);
+    println!("\ncopy_error = {copy_error}:");
+    println!("  AUC = {:.3} ({} copier pairs vs {} independent pairs)",
+        report.auc, report.n_positive, report.n_negative);
+    for pt in &report.roc {
+        println!(
+            "  threshold {:.1}: TPR {:.2}, FPR {:.3}",
+            pt.threshold, pt.tpr, pt.fpr
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(7))?;
+    println!("dataset: {}", DatasetSummary::of(&data));
+
+    // Clean copies are easy to catch; heavily corrupted copies look like
+    // independent noise and the detector (correctly) loses the signal.
+    for copy_error in [0.05, 0.3, 0.7] {
+        run_one(copy_error)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: generate a campaign, run the full IMC2 mechanism, inspect
+//! the outcome.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use imc2::core::Imc2;
+use imc2::datagen::{Scenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small crowdsourcing campaign: 30 workers (6 of them copiers),
+    // 40 tasks, truthful bids drawn from the replayed auction prices.
+    let scenario = Scenario::generate(&ScenarioConfig::small(), 42);
+    println!(
+        "campaign: {} workers ({} copiers), {} tasks, {} answers",
+        scenario.n_workers(),
+        scenario.profiles.iter().filter(|p| p.is_copier()).count(),
+        scenario.n_tasks(),
+        scenario.observations.len(),
+    );
+
+    // Run both stages: DATE truth discovery, then the greedy reverse auction.
+    let outcome = Imc2::paper().run(&scenario)?;
+
+    println!("truth discovery: precision {:.3} ({} iterations, converged: {})",
+        outcome.precision, outcome.truth.iterations, outcome.truth.converged);
+    println!("auction: {} winners, total payment {:.2}",
+        outcome.auction.winners.len(), outcome.auction.total_payment());
+    println!("social cost {:.2}, social welfare {:.2}, platform utility {:.2}",
+        outcome.social_cost, outcome.social_welfare, outcome.platform_utility);
+
+    // Every winner is paid at least its bid (individual rationality).
+    for &w in &outcome.auction.winners {
+        let paid = outcome.auction.payments[w.index()];
+        let bid = scenario.bids[w.index()];
+        assert!(paid >= bid - 1e-9, "winner {w} paid {paid} under bid {bid}");
+    }
+    println!("individual rationality checked for all {} winners ✓", outcome.auction.winners.len());
+    Ok(())
+}

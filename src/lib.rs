@@ -1,0 +1,7 @@
+//! Meta-crate: single import point for the whole IMC2 reproduction.
+pub use imc2_auction as auction;
+pub use imc2_common as common;
+pub use imc2_core as core;
+pub use imc2_datagen as datagen;
+pub use imc2_textsim as textsim;
+pub use imc2_truth as truth;

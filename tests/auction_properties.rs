@@ -1,0 +1,149 @@
+//! Property-based tests of the auction stage: individual rationality,
+//! truthfulness (Myerson's two conditions), feasibility and approximation,
+//! on randomized SOAC instances.
+
+use imc2::auction::analysis::{
+    approximation_ratio, is_individually_rational, probe_truthfulness, utilities,
+};
+use imc2::auction::{optimal, AuctionMechanism, Bid, ReverseAuction, SoacProblem};
+use imc2::common::{Grid, TaskId, WorkerId};
+use proptest::prelude::*;
+
+/// Strategy: a random feasible-ish SOAC instance with `n ≤ 10`, `m ≤ 5`.
+fn arb_problem() -> impl Strategy<Value = SoacProblem> {
+    (2usize..=10, 1usize..=5).prop_flat_map(|(n, m)| {
+        let bids = proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..m, 1..=m),
+                0.5f64..20.0,
+            ),
+            n,
+        );
+        let acc = proptest::collection::vec(0.3f64..1.0, n * m);
+        let theta = proptest::collection::vec(0.4f64..1.2, m);
+        (bids, acc, theta).prop_map(move |(bids, acc, theta)| {
+            let bids: Vec<Bid> = bids
+                .into_iter()
+                .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+                .collect();
+            let mut grid = Grid::filled(n, m, 0.0);
+            for (w, bid) in bids.iter().enumerate() {
+                for &t in bid.tasks() {
+                    grid[(WorkerId(w), t)] = acc[w * m + t.index()];
+                }
+            }
+            SoacProblem::new(bids, grid, theta).expect("generated instance is structurally valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn winners_always_cover_requirements(problem in arb_problem()) {
+        if let Ok(outcome) = ReverseAuction::new().run(&problem) {
+            prop_assert!(problem.is_feasible(&outcome.winners));
+        }
+    }
+
+    #[test]
+    fn individual_rationality_universal(problem in arb_problem()) {
+        // With truthful bids (costs = bids), winners never lose money.
+        if let Ok(outcome) = ReverseAuction::new().run(&problem) {
+            let costs: Vec<f64> = problem.bids().iter().map(|b| b.price()).collect();
+            prop_assert!(is_individually_rational(&outcome, &costs));
+        }
+    }
+
+    #[test]
+    fn losers_earn_nothing(problem in arb_problem()) {
+        if let Ok(outcome) = ReverseAuction::new().run(&problem) {
+            let costs: Vec<f64> = problem.bids().iter().map(|b| b.price()).collect();
+            let u = utilities(&outcome, &costs).unwrap();
+            for w in 0..problem.n_workers() {
+                if !outcome.is_winner(WorkerId(w)) {
+                    prop_assert_eq!(u[w], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_profitable_unilateral_deviation(problem in arb_problem()) {
+        if ReverseAuction::new().run(&problem).is_err() {
+            return Ok(());
+        }
+        let costs: Vec<f64> = problem.bids().iter().map(|b| b.price()).collect();
+        // Probe three workers with multiplicative misreports.
+        for w in 0..problem.n_workers().min(3) {
+            let report = probe_truthfulness(
+                &ReverseAuction::new(),
+                &problem,
+                &costs,
+                WorkerId(w),
+                &[0.25, 0.5, 0.9, 1.1, 2.0, 4.0],
+            );
+            prop_assert!(
+                report.truthful,
+                "worker {} gained {} by deviating",
+                w,
+                report.best_deviation_utility - report.truthful_utility
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_selection_in_bid(problem in arb_problem()) {
+        // Myerson monotonicity: a winner that lowers its bid keeps winning.
+        let Ok(outcome) = ReverseAuction::new().run(&problem) else { return Ok(()) };
+        if let Some(&w) = outcome.winners.first() {
+            let lower = problem.with_bid_price(w, problem.bid(w).price() * 0.5);
+            if let Ok(out2) = ReverseAuction::new().run(&lower) {
+                prop_assert!(out2.is_winner(w), "winner lost after lowering its bid");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_optimum(problem in arb_problem()) {
+        if let Some(ratio) = approximation_ratio(&ReverseAuction::new(), &problem) {
+            prop_assert!(ratio >= 1.0 - 1e-9, "ratio {ratio} below 1");
+            // Empirical sanity bound: greedy set-cover stays within
+            // ln(m·max coverage) ≈ small constants on these tiny instances.
+            prop_assert!(ratio < 10.0, "ratio {ratio} absurdly large");
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_feasible_and_minimal_cost(problem in arb_problem()) {
+        if let Some(sol) = optimal::solve_exact(&problem) {
+            prop_assert!(problem.is_feasible(&sol.winners));
+            let direct: f64 = sol.winners.iter().map(|&w| problem.bid(w).price()).sum();
+            prop_assert!((direct - sol.cost).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn payments_match_critical_value_semantics() {
+    // Deterministic spot check: bidding just below the payment still wins,
+    // just above loses (the definition of a critical value).
+    let bids = vec![
+        Bid::new(vec![TaskId(0)], 3.0),
+        Bid::new(vec![TaskId(0)], 5.0),
+        Bid::new(vec![TaskId(0)], 9.0),
+    ];
+    let mut acc = Grid::filled(3, 1, 0.0);
+    for w in 0..3 {
+        acc[(WorkerId(w), TaskId(0))] = 0.9;
+    }
+    let problem = SoacProblem::new(bids, acc, vec![0.8]).unwrap();
+    let outcome = ReverseAuction::new().run(&problem).unwrap();
+    assert_eq!(outcome.winners, vec![WorkerId(0)]);
+    let p = outcome.payments[0];
+    let below = problem.with_bid_price(WorkerId(0), p - 1e-6);
+    assert!(ReverseAuction::new().run(&below).unwrap().is_winner(WorkerId(0)));
+    let above = problem.with_bid_price(WorkerId(0), p + 1e-6);
+    assert!(!ReverseAuction::new().run(&above).unwrap().is_winner(WorkerId(0)));
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: the full Fig. 1 loop across all crates.
+
+use imc2::auction::{AuctionMechanism, GreedyAccuracy, GreedyBid, ReverseAuction};
+use imc2::common::WorkerId;
+use imc2::core::{check_individual_rationality, check_truthfulness, Campaign, Imc2};
+use imc2::datagen::{Scenario, ScenarioConfig};
+use imc2::truth::{precision, Date, MajorityVoting, TruthDiscovery, TruthProblem};
+
+fn medium_scenario(seed: u64) -> Scenario {
+    let mut config = ScenarioConfig::paper_default();
+    config.forum = imc2::datagen::ForumConfig::medium();
+    config.requirements.theta_lo = 1.0;
+    config.requirements.theta_hi = 2.0;
+    Scenario::generate(&config, seed)
+}
+
+#[test]
+fn full_pipeline_meets_requirements() {
+    let scenario = medium_scenario(1);
+    let outcome = Imc2::paper().run(&scenario).unwrap();
+    let soac = Imc2::paper().build_soac(&scenario, &outcome.truth).unwrap();
+    assert!(soac.is_feasible(&outcome.auction.winners), "winners must cover every Θ_j");
+    assert!(outcome.precision > 0.6, "precision {:.3} too low", outcome.precision);
+}
+
+#[test]
+fn date_beats_baselines_with_copiers_end_to_end() {
+    // The paper's headline: with copiers present, DATE > MV and NC.
+    let mut date_p = 0.0;
+    let mut mv_p = 0.0;
+    let mut nc_p = 0.0;
+    let seeds = 6;
+    for seed in 0..seeds {
+        let scenario = medium_scenario(seed);
+        let problem =
+            TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        date_p += precision(
+            &Date::paper().discover(&problem).estimate,
+            &scenario.ground_truth,
+        );
+        mv_p += precision(
+            &MajorityVoting::new().discover(&problem).estimate,
+            &scenario.ground_truth,
+        );
+        nc_p += precision(
+            &Date::no_copier().discover(&problem).estimate,
+            &scenario.ground_truth,
+        );
+    }
+    assert!(date_p > mv_p, "DATE {date_p:.3} must beat MV {mv_p:.3} over {seeds} seeds");
+    assert!(date_p > nc_p, "DATE {date_p:.3} must beat NC {nc_p:.3} over {seeds} seeds");
+}
+
+#[test]
+fn reverse_auction_has_lowest_social_cost() {
+    // Fig. 6's ordering: ReverseAuction < GB < GA on average.
+    let mut ra = 0.0;
+    let mut ga = 0.0;
+    let mut gb = 0.0;
+    for seed in 0..5 {
+        let scenario = medium_scenario(100 + seed);
+        let problem =
+            TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        let truth = Date::paper().discover(&problem);
+        let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
+        let cost = |winners: &[WorkerId]| {
+            imc2::auction::analysis::social_cost(winners, &scenario.costs)
+        };
+        ra += cost(&ReverseAuction::with_monopoly_cap(1e9).run(&soac).unwrap().winners);
+        ga += cost(&GreedyAccuracy::new().run(&soac).unwrap().winners);
+        gb += cost(&GreedyBid::new().run(&soac).unwrap().winners);
+    }
+    assert!(ra < gb, "ReverseAuction {ra:.1} must beat GB {gb:.1}");
+    assert!(gb < ga, "GB {gb:.1} must beat GA {ga:.1}");
+}
+
+#[test]
+fn mechanism_properties_hold_end_to_end() {
+    let scenario = medium_scenario(7);
+    let ir = check_individual_rationality(&Imc2::paper(), &scenario).unwrap();
+    assert!(ir.all_passed(), "IR: {ir:?}");
+    let workers: Vec<WorkerId> = (0..scenario.n_workers()).step_by(11).map(WorkerId).collect();
+    let tf = check_truthfulness(
+        &Imc2::paper(),
+        &scenario,
+        &workers,
+        &[0.3, 0.7, 1.5, 3.0],
+    )
+    .unwrap();
+    assert!(tf.all_passed(), "truthfulness: {tf:?}");
+}
+
+#[test]
+fn campaign_reports_are_consistent() {
+    let mut config = ScenarioConfig::paper_default();
+    config.forum = imc2::datagen::ForumConfig::medium();
+    config.requirements.theta_lo = 1.0;
+    config.requirements.theta_hi = 2.0;
+    let report = Campaign::new(config).run(3).unwrap();
+    assert!(report.n_winners > 0);
+    assert!(report.total_payment >= report.social_cost - 1e-9);
+    assert!(report.min_winner_utility >= -1e-9);
+    assert!(report.copier_win_share <= 0.5, "copiers should not dominate the winner set");
+}
+
+#[test]
+fn copiers_win_less_than_their_population_share() {
+    // DATE suppresses copiers' estimated accuracy, so their share among
+    // winners should fall below their 25% population share on average.
+    let mut share = 0.0;
+    let mut runs = 0.0;
+    for seed in 0..6 {
+        let mut config = ScenarioConfig::paper_default();
+        config.forum = imc2::datagen::ForumConfig::medium();
+        config.requirements.theta_lo = 1.0;
+        config.requirements.theta_hi = 2.0;
+        if let Ok(report) = Campaign::new(config).run(seed) {
+            share += report.copier_win_share;
+            runs += 1.0;
+        }
+    }
+    assert!(runs >= 4.0, "most instances must be feasible");
+    let avg = share / runs;
+    assert!(avg < 0.25, "copier win share {avg:.3} should fall below the population share 0.25");
+}

@@ -1,0 +1,149 @@
+//! Failure injection: degenerate and adversarial inputs across the stack.
+
+use imc2::auction::{AuctionError, AuctionMechanism, Bid, ReverseAuction, SoacProblem};
+use imc2::common::{Grid, ObservationsBuilder, TaskId, ValueId, WorkerId};
+use imc2::datagen::{CopierConfig, ForumConfig, ForumData, Scenario, ScenarioConfig};
+use imc2::truth::{Date, DateConfig, TruthDiscovery, TruthProblem};
+use imc2::common::rng_from_seed;
+
+#[test]
+fn empty_observation_matrix_yields_no_estimates() {
+    let obs = ObservationsBuilder::new(3, 4).build();
+    let nf = vec![2; 4];
+    let problem = TruthProblem::new(&obs, &nf).unwrap();
+    let out = Date::paper().discover(&problem);
+    assert!(out.estimate.iter().all(Option::is_none));
+    assert!(out.converged);
+}
+
+#[test]
+fn single_worker_single_task() {
+    let mut b = ObservationsBuilder::new(1, 1);
+    b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+    let obs = b.build();
+    let nf = vec![2];
+    let problem = TruthProblem::new(&obs, &nf).unwrap();
+    let out = Date::paper().discover(&problem);
+    assert_eq!(out.estimate[0], Some(ValueId(1)));
+}
+
+#[test]
+fn copier_of_copier_chains_still_converge() {
+    // Violate the paper's no-loop assumption in the *generator* by building
+    // a manual chain w2 -> w1 -> w0: DATE must still terminate and produce
+    // valid output (its model just misattributes some dependence).
+    let m = 30;
+    let mut b = ObservationsBuilder::new(3, m);
+    let mut rng_state = 7u64;
+    let mut next = || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (rng_state >> 33) as u32
+    };
+    for j in 0..m {
+        let v0 = ValueId(next() % 3);
+        b.record(WorkerId(0), TaskId(j), v0).unwrap();
+        // w1 copies w0 80% of the time, w2 copies w1 80% of the time.
+        let v1 = if next() % 10 < 8 { v0 } else { ValueId(next() % 3) };
+        b.record(WorkerId(1), TaskId(j), v1).unwrap();
+        let v2 = if next() % 10 < 8 { v1 } else { ValueId(next() % 3) };
+        b.record(WorkerId(2), TaskId(j), v2).unwrap();
+    }
+    let obs = b.build();
+    let nf = vec![2; m];
+    let problem = TruthProblem::new(&obs, &nf).unwrap();
+    let (out, dep) = Date::paper().discover_with_dependence(&problem);
+    assert!(out.iterations <= 100);
+    let dep = dep.unwrap();
+    // The chain shows up as strong pairwise dependence.
+    assert!(dep.prob(WorkerId(1), WorkerId(0)) + dep.prob(WorkerId(0), WorkerId(1)) > 0.5);
+}
+
+#[test]
+fn high_copy_error_destroys_dependence_signal() {
+    // If copies are corrupted almost always, copiers look independent.
+    let mut cfg = ForumConfig::medium();
+    cfg.copiers.copy_error = 0.95;
+    let data = ForumData::generate(&cfg, &mut rng_from_seed(5)).unwrap();
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    let (_, dep) = Date::paper().discover_with_dependence(&problem);
+    let dep = dep.unwrap();
+    let mut avg = 0.0;
+    let mut count = 0.0;
+    for p in data.profiles.iter().filter(|p| p.is_copier()) {
+        avg += dep.prob(p.worker, p.source().unwrap());
+        count += 1.0;
+    }
+    avg /= count;
+    assert!(avg < 0.6, "corrupted copies should not register as strong dependence, got {avg:.3}");
+}
+
+#[test]
+fn infeasible_auction_is_reported_not_panicked() {
+    let bids = vec![Bid::new(vec![TaskId(0)], 1.0)];
+    let acc = Grid::filled(1, 1, 0.4);
+    let problem = SoacProblem::new(bids, acc, vec![2.0]).unwrap();
+    match ReverseAuction::new().run(&problem) {
+        Err(AuctionError::Infeasible { task }) => assert_eq!(task, TaskId(0)),
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn monopolist_cap_bounds_payment() {
+    let bids = vec![Bid::new(vec![TaskId(0)], 4.0), Bid::new(vec![TaskId(1)], 1.0)];
+    let mut acc = Grid::filled(2, 2, 0.0);
+    acc[(WorkerId(0), TaskId(0))] = 1.0;
+    acc[(WorkerId(1), TaskId(1))] = 1.0;
+    let problem = SoacProblem::new(bids, acc, vec![0.9, 0.9]).unwrap();
+    assert!(matches!(
+        ReverseAuction::new().run(&problem),
+        Err(AuctionError::Monopolist { .. })
+    ));
+    let out = ReverseAuction::with_monopoly_cap(2.5).run(&problem).unwrap();
+    assert!((out.payments[0] - 10.0).abs() < 1e-9, "cap 2.5 × bid 4");
+    assert!((out.payments[1] - 2.5).abs() < 1e-9, "cap 2.5 × bid 1");
+}
+
+#[test]
+fn zero_copiers_scenario_works() {
+    let mut config = ScenarioConfig::small();
+    config.forum.copiers = CopierConfig { n_copiers: 0, ..CopierConfig::default() };
+    let scenario = Scenario::generate(&config, 3);
+    assert!(scenario.profiles.iter().all(|p| !p.is_copier()));
+    let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+    let out = Date::paper().discover(&problem);
+    assert!(imc2::truth::precision(&out.estimate, &scenario.ground_truth) > 0.5);
+}
+
+#[test]
+fn extreme_parameters_do_not_blow_up() {
+    let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(8)).unwrap();
+    let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
+    for (r, eps, alpha) in [(0.01, 0.01, 0.01), (0.99, 0.99, 0.49), (0.5, 0.99, 0.01)] {
+        let date = Date::new(DateConfig { r, epsilon: eps, alpha, ..DateConfig::default() })
+            .unwrap();
+        let out = date.discover(&problem);
+        for (_, _, &a) in out.accuracy.iter() {
+            assert!(a.is_finite());
+        }
+    }
+}
+
+#[test]
+fn all_workers_identical_answers_is_stable() {
+    // Everyone gives the same value for every task: dependence is maximal
+    // everywhere, yet the estimate is trivially the unanimous value.
+    let n = 6;
+    let m = 10;
+    let mut b = ObservationsBuilder::new(n, m);
+    for w in 0..n {
+        for t in 0..m {
+            b.record(WorkerId(w), TaskId(t), ValueId(0)).unwrap();
+        }
+    }
+    let obs = b.build();
+    let nf = vec![2; m];
+    let problem = TruthProblem::new(&obs, &nf).unwrap();
+    let out = Date::paper().discover(&problem);
+    assert!(out.estimate.iter().all(|e| *e == Some(ValueId(0))));
+}

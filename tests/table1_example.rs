@@ -1,0 +1,131 @@
+//! The paper's Table 1 claims, checked end to end.
+
+use imc2::common::{TaskId, WorkerId};
+use imc2::datagen::table1;
+use imc2::truth::{Date, DateConfig, MajorityVoting, TruthDiscovery, TruthProblem};
+
+#[test]
+fn voting_fails_exactly_where_the_paper_says() {
+    // "the naive voting method would consider them as the majority, making
+    //  wrong decisions of the truth for Dewitt, Carey, and Halevy."
+    let t = table1::semantic();
+    let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+    let est = MajorityVoting::estimate(&problem);
+    let wrong: Vec<&str> = (0..5)
+        .filter(|&j| est[j] != Some(t.truth[j]))
+        .map(|j| t.task_name(TaskId(j)))
+        .collect();
+    assert_eq!(wrong, vec!["Dewitt", "Carey", "Halevy"]);
+}
+
+#[test]
+fn date_detects_the_copiers() {
+    // Workers 4 and 5 copy from worker 3 (0-indexed: 3, 4 from 2); the
+    // posterior P(copier → source) must clearly exceed the posterior
+    // between the two honest independent workers 1 and 2 (0-indexed 0, 1).
+    let t = table1::semantic();
+    let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+    let date = Date::new(DateConfig { r: 0.8, ..DateConfig::default() }).unwrap();
+    let (_, dep) = date.discover_with_dependence(&problem);
+    let dep = dep.unwrap();
+    let copier_signal = dep.prob(WorkerId(3), WorkerId(2));
+    let honest_signal = dep.prob(WorkerId(1), WorkerId(0));
+    assert!(
+        copier_signal > honest_signal,
+        "copier posterior {copier_signal:.3} must exceed honest posterior {honest_signal:.3}"
+    );
+    assert!(copier_signal > 0.5, "the w4→w3 copy should be detected, got {copier_signal:.3}");
+}
+
+#[test]
+fn date_never_does_worse_than_voting_on_table1() {
+    let t = table1::semantic();
+    let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+    let mv = MajorityVoting::new().discover(&problem);
+    for r in [0.2, 0.4, 0.6, 0.8] {
+        let date = Date::new(DateConfig { r, ..DateConfig::default() }).unwrap();
+        let out = date.discover(&problem);
+        let mv_hits = mv
+            .estimate
+            .iter()
+            .zip(&t.truth)
+            .filter(|(e, t)| e.as_ref() == Some(t))
+            .count();
+        let date_hits = out
+            .estimate
+            .iter()
+            .zip(&t.truth)
+            .filter(|(e, t)| e.as_ref() == Some(t))
+            .count();
+        assert!(date_hits >= mv_hits, "r={r}: DATE {date_hits} < MV {mv_hits}");
+    }
+}
+
+#[test]
+fn worker1_earns_the_best_accuracy_estimate() {
+    // Worker 1 provides all correct values; with the honest pair winning
+    // Stonebraker and Bernstein, its estimated accuracy should be at least
+    // that of the ring members on the tasks everyone answered.
+    let t = table1::semantic();
+    let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
+    let out = Date::paper().discover(&problem);
+    let mean = |w: usize| -> f64 {
+        (0..5).map(|j| out.accuracy[(WorkerId(w), TaskId(j))]).sum::<f64>() / 5.0
+    };
+    assert!(
+        mean(0) >= mean(4) - 0.15,
+        "worker 1 accuracy {:.3} should be comparable to or better than copier w5 {:.3}",
+        mean(0),
+        mean(4)
+    );
+}
+
+#[test]
+fn verbatim_and_semantic_tables_agree_after_similarity() {
+    // With eq. 21 pooling UWise ≡ UWisc, the verbatim table reproduces the
+    // semantic table's estimates.
+    use imc2::textsim::AliasTable;
+    use imc2::truth::Similarity;
+    use std::sync::Arc;
+
+    let sem = table1::semantic();
+    let verb = table1::verbatim();
+    let sem_problem = TruthProblem::new(&sem.observations, &sem.num_false).unwrap();
+    let sem_out = Date::paper().discover(&sem_problem);
+
+    let labels: Vec<Vec<String>> = verb
+        .labels
+        .iter()
+        .map(|row| row.iter().map(|s| s.to_string()).collect())
+        .collect();
+    let verb_problem = TruthProblem::new(&verb.observations, &verb.num_false)
+        .unwrap()
+        .with_labels(&labels)
+        .unwrap();
+    let mut aliases = AliasTable::new();
+    aliases.add_class(["UWise", "UWisc"]);
+    let date = Date::new(DateConfig {
+        similarity: Some(Similarity::new(1.0, Arc::new(aliases))),
+        ..DateConfig::default()
+    })
+    .unwrap();
+    let verb_out = date.discover(&verb_problem);
+
+    // Compare by label (value ids differ between the encodings).
+    for j in 0..5 {
+        let sem_label = sem_out.estimate[j].map(|v| sem.labels[j][v.index()]);
+        let verb_label = verb_out.estimate[j].map(|v| verb.labels[j][v.index()]);
+        fn norm(l: Option<&str>) -> Option<&str> {
+            match l {
+                Some("UWise") => Some("UWisc"),
+                other => other,
+            }
+        }
+        assert_eq!(
+            norm(sem_label),
+            norm(verb_label),
+            "estimates diverge on {}",
+            sem.task_name(TaskId(j))
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the truth-discovery stage on randomized
+//! observation matrices.
+
+use imc2::common::{Grid, ObservationsBuilder, TaskId, ValueId, WorkerId};
+use imc2::truth::{
+    accuracy_for_auction, Date, DateConfig, MajorityVoting, TruthDiscovery, TruthProblem,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse observation matrix with `n ≤ 8` workers,
+/// `m ≤ 6` tasks, domain sizes 2–4.
+fn arb_observations() -> impl Strategy<Value = (imc2::common::Observations, Vec<u32>)> {
+    (2usize..=8, 1usize..=6).prop_flat_map(|(n, m)| {
+        let num_false = proptest::collection::vec(1u32..=3, m);
+        num_false.prop_flat_map(move |nf| {
+            let cells = proptest::collection::vec(proptest::bool::ANY, n * m);
+            let values = proptest::collection::vec(0u32..=3, n * m);
+            let nf2 = nf.clone();
+            (cells, values).prop_map(move |(cells, values)| {
+                let mut b = ObservationsBuilder::new(n, m);
+                for w in 0..n {
+                    for t in 0..m {
+                        if cells[w * m + t] {
+                            let v = values[w * m + t].min(nf2[t]);
+                            b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
+                        }
+                    }
+                }
+                (b.build(), nf2.clone())
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn date_always_terminates_and_is_valid((obs, nf) in arb_observations()) {
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let out = Date::paper().discover(&problem);
+        prop_assert!(out.iterations <= 100);
+        prop_assert_eq!(out.estimate.len(), obs.n_tasks());
+        // Estimates are observed values of the task (or None when empty).
+        for j in 0..obs.n_tasks() {
+            match out.estimate[j] {
+                Some(v) => {
+                    let observed = obs.task_view(TaskId(j)).distinct_values();
+                    prop_assert!(observed.contains(&v), "estimate must be an observed value");
+                }
+                None => prop_assert_eq!(obs.task_view(TaskId(j)).n_responses(), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_matrix_is_probabilistic((obs, nf) in arb_observations()) {
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        for algo in [Date::paper(), Date::no_copier(), Date::enumerated()] {
+            let out = algo.discover(&problem);
+            for (_, _, &a) in out.accuracy.iter() {
+                prop_assert!((0.0..=1.0).contains(&a), "accuracy {a} out of [0,1]");
+            }
+        }
+    }
+
+    #[test]
+    fn auction_export_zeroes_unanswered_cells((obs, nf) in arb_observations()) {
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let out = Date::paper().discover(&problem);
+        let export: Grid<f64> = accuracy_for_auction(&problem, &out.accuracy);
+        for w in 0..obs.n_workers() {
+            for t in 0..obs.n_tasks() {
+                let cell = export[(WorkerId(w), TaskId(t))];
+                if obs.value_of(WorkerId(w), TaskId(t)).is_none() {
+                    prop_assert_eq!(cell, 0.0);
+                } else {
+                    prop_assert!(cell >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_tasks_are_estimated_unanimously((obs, nf) in arb_observations()) {
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let out = Date::paper().discover(&problem);
+        for j in 0..obs.n_tasks() {
+            let distinct = obs.task_view(TaskId(j)).distinct_values();
+            if distinct.len() == 1 {
+                prop_assert_eq!(out.estimate[j], Some(distinct[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn mv_and_nc_agree_on_flat_accuracy_first_round((obs, nf) in arb_observations()) {
+        // A single NC iteration from a flat prior is majority voting with
+        // uniform weights: with per-task accuracy (eq. 17 verbatim) the
+        // support counts are |W_v| * P(v), monotone in the vote count, so
+        // the estimates coincide; ties resolve toward smaller value ids in
+        // both. (Per-worker pooling would already re-weight by reputation.)
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let nc = Date::new(DateConfig {
+            independence: imc2::truth::IndependenceMode::NoCopier,
+            max_iterations: 1,
+            granularity: imc2::truth::date::AccuracyGranularity::PerTask,
+            ..DateConfig::default()
+        })
+        .unwrap()
+        .discover(&problem);
+        let mv = MajorityVoting::estimate(&problem);
+        for j in 0..obs.n_tasks() {
+            // Same support counts (all accuracies equal) => same argmax.
+            prop_assert_eq!(nc.estimate[j], mv[j], "task {}", j);
+        }
+    }
+
+    #[test]
+    fn date_is_deterministic((obs, nf) in arb_observations()) {
+        let problem = TruthProblem::new(&obs, &nf).unwrap();
+        let a = Date::paper().discover(&problem);
+        let b = Date::paper().discover(&problem);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn convergence_cap_is_respected_even_when_oscillating() {
+    // A pathological 2-cycle cannot run forever.
+    let mut b = ObservationsBuilder::new(4, 2);
+    b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+    b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+    b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+    b.record(WorkerId(3), TaskId(0), ValueId(1)).unwrap();
+    b.record(WorkerId(0), TaskId(1), ValueId(1)).unwrap();
+    b.record(WorkerId(1), TaskId(1), ValueId(0)).unwrap();
+    let obs = b.build();
+    let nf = vec![2, 2];
+    let problem = TruthProblem::new(&obs, &nf).unwrap();
+    let date = Date::new(DateConfig { max_iterations: 5, ..DateConfig::default() }).unwrap();
+    let out = date.discover(&problem);
+    assert!(out.iterations <= 5);
+}
