@@ -13,14 +13,22 @@ use imc2_common::{ValidationError, WorkerId};
 /// Returns [`ValidationError`] if `costs` does not match the worker count.
 pub fn utilities(outcome: &AuctionOutcome, costs: &[f64]) -> Result<Vec<f64>, ValidationError> {
     if costs.len() != outcome.payments.len() {
-        return Err(ValidationError::new("cost vector length must equal worker count"));
+        return Err(ValidationError::new(
+            "cost vector length must equal worker count",
+        ));
     }
     Ok(outcome
         .payments
         .iter()
         .zip(costs)
         .enumerate()
-        .map(|(k, (&p, &c))| if outcome.is_winner(WorkerId(k)) { p - c } else { 0.0 })
+        .map(|(k, (&p, &c))| {
+            if outcome.is_winner(WorkerId(k)) {
+                p - c
+            } else {
+                0.0
+            }
+        })
         .collect())
 }
 
@@ -33,7 +41,9 @@ pub fn social_cost(winners: &[WorkerId], costs: &[f64]) -> f64 {
 /// Whether every winner's utility is non-negative under truthful bidding
 /// (individual rationality, Lemma 2).
 pub fn is_individually_rational(outcome: &AuctionOutcome, costs: &[f64]) -> bool {
-    utilities(outcome, costs).map(|u| u.iter().all(|&x| x >= -1e-9)).unwrap_or(false)
+    utilities(outcome, costs)
+        .map(|u| u.iter().all(|&x| x >= -1e-9))
+        .unwrap_or(false)
 }
 
 /// One point of a utility curve: the declared bid and the resulting utility.
@@ -67,8 +77,16 @@ pub fn utility_curve<M: AuctionMechanism>(
             match mechanism.run(&deviated) {
                 Ok(out) => {
                     let won = out.is_winner(w);
-                    let utility = if won { out.payments[w.index()] - costs[w.index()] } else { 0.0 };
-                    Some(UtilityPoint { bid: b, utility, won })
+                    let utility = if won {
+                        out.payments[w.index()] - costs[w.index()]
+                    } else {
+                        0.0
+                    };
+                    Some(UtilityPoint {
+                        bid: b,
+                        utility,
+                        won,
+                    })
                 }
                 Err(AuctionError::Infeasible { .. } | AuctionError::Monopolist { .. }) => None,
             }
@@ -117,9 +135,16 @@ pub fn probe_truthfulness<M: AuctionMechanism>(
 /// Greedy-vs-optimal cost ratio on one instance (≥ 1; 1 = optimal).
 ///
 /// Returns `None` when the instance is infeasible or the mechanism fails.
-pub fn approximation_ratio<M: AuctionMechanism>(mechanism: &M, problem: &SoacProblem) -> Option<f64> {
+pub fn approximation_ratio<M: AuctionMechanism>(
+    mechanism: &M,
+    problem: &SoacProblem,
+) -> Option<f64> {
     let outcome = mechanism.run(problem).ok()?;
-    let greedy_cost: f64 = outcome.winners.iter().map(|&w| problem.bid(w).price()).sum();
+    let greedy_cost: f64 = outcome
+        .winners
+        .iter()
+        .map(|&w| problem.bid(w).price())
+        .sum();
     let exact = solve_exact(problem)?;
     if exact.cost <= 0.0 {
         return None;
@@ -134,7 +159,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::{Grid, TaskId};
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -178,7 +207,10 @@ mod tests {
 
     #[test]
     fn social_cost_sums_true_costs() {
-        assert_eq!(social_cost(&[WorkerId(0), WorkerId(2)], &[1.0, 2.0, 4.0]), 5.0);
+        assert_eq!(
+            social_cost(&[WorkerId(0), WorkerId(2)], &[1.0, 2.0, 4.0]),
+            5.0
+        );
     }
 
     #[test]
@@ -222,7 +254,10 @@ mod tests {
                 WorkerId(w),
                 &[0.25, 0.5, 0.8, 1.2, 2.0, 4.0],
             );
-            assert!(rep.truthful, "worker {w} found a profitable deviation: {rep:?}");
+            assert!(
+                rep.truthful,
+                "worker {w} found a profitable deviation: {rep:?}"
+            );
         }
     }
 

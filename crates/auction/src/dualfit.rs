@@ -109,8 +109,18 @@ pub fn certify(problem: &SoacProblem) -> Result<DualCertificate, AuctionError> {
         .zip(problem.requirements())
         .map(|(&yj, &theta)| theta * yj)
         .sum();
-    let certified_ratio = if lower_bound > 0.0 { greedy_cost / lower_bound } else { f64::INFINITY };
-    Ok(DualCertificate { lower_bound, greedy_cost, certified_ratio, y, feasibility_scale: scale })
+    let certified_ratio = if lower_bound > 0.0 {
+        greedy_cost / lower_bound
+    } else {
+        f64::INFINITY
+    };
+    Ok(DualCertificate {
+        lower_bound,
+        greedy_cost,
+        certified_ratio,
+        y,
+        feasibility_scale: scale,
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +131,11 @@ mod tests {
     use imc2_common::{rng_from_seed, Grid, TaskId};
     use rand::Rng;
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -138,8 +152,19 @@ mod tests {
     #[test]
     fn certificate_bounds_are_ordered() {
         let p = problem(
-            vec![(vec![0], 3.0), (vec![0], 5.0), (vec![0, 1], 4.0), (vec![1], 2.0)],
-            &[(0, 0, 0.9), (1, 0, 0.9), (2, 0, 0.7), (2, 1, 0.7), (3, 1, 0.9)],
+            vec![
+                (vec![0], 3.0),
+                (vec![0], 5.0),
+                (vec![0, 1], 4.0),
+                (vec![1], 2.0),
+            ],
+            &[
+                (0, 0, 0.9),
+                (1, 0, 0.9),
+                (2, 0, 0.7),
+                (2, 1, 0.7),
+                (3, 1, 0.9),
+            ],
             vec![1.2, 0.8],
         );
         let cert = certify(&p).unwrap();
@@ -177,7 +202,9 @@ mod tests {
             let theta: Vec<f64> = (0..m).map(|_| rng.gen_range(0.4..1.0)).collect();
             let p = problem(bids, &cells, theta);
             let Ok(cert) = certify(&p) else { continue };
-            let Some(exact) = solve_exact(&p) else { continue };
+            let Some(exact) = solve_exact(&p) else {
+                continue;
+            };
             assert!(
                 cert.lower_bound <= exact.cost + 1e-6,
                 "dual bound {} exceeds OPT {}",
@@ -187,7 +214,10 @@ mod tests {
             assert!(cert.greedy_cost / exact.cost <= cert.certified_ratio + 1e-6);
             checked += 1;
         }
-        assert!(checked >= 10, "need enough feasible random instances, got {checked}");
+        assert!(
+            checked >= 10,
+            "need enough feasible random instances, got {checked}"
+        );
     }
 
     #[test]

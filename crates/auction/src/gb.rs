@@ -36,8 +36,8 @@ impl AuctionMechanism for GreedyBid {
             // Lowest eligible bid, runner-up for the Vickrey price.
             let mut best: Option<WorkerId> = None;
             let mut second: Option<f64> = None;
-            for k in 0..n {
-                if selected[k] {
+            for (k, &already) in selected.iter().enumerate() {
+                if already {
                     continue;
                 }
                 let w = WorkerId(k);
@@ -92,7 +92,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::{Grid, TaskId};
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -116,7 +120,10 @@ mod tests {
         let out = GreedyBid::new().run(&p).unwrap();
         // Cheap worker picked first even though it barely helps.
         assert!(out.winners.contains(&WorkerId(0)));
-        assert!(out.winners.contains(&WorkerId(1)), "still needs the accurate one to finish");
+        assert!(
+            out.winners.contains(&WorkerId(1)),
+            "still needs the accurate one to finish"
+        );
     }
 
     #[test]
@@ -128,7 +135,10 @@ mod tests {
         );
         let out = GreedyBid::new().run(&p).unwrap();
         assert_eq!(out.winners, vec![WorkerId(0)]);
-        assert!((out.payments[0] - 3.5).abs() < 1e-9, "second price expected");
+        assert!(
+            (out.payments[0] - 3.5).abs() < 1e-9,
+            "second price expected"
+        );
     }
 
     #[test]

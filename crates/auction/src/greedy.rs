@@ -60,8 +60,8 @@ pub fn select_winners(
 
     while residual.iter().sum::<f64>() > RESIDUAL_TOL {
         let mut best: Option<(f64, WorkerId, f64)> = None; // (unit cost, worker, coverage)
-        for k in 0..n {
-            if selected[k] {
+        for (k, &already) in selected.iter().enumerate() {
+            if already {
                 continue;
             }
             let w = WorkerId(k);
@@ -88,7 +88,11 @@ pub fn select_winners(
                 .expect("loop invariant: some residual remains");
             return Err(AuctionError::Infeasible { task });
         };
-        steps.push(SelectionStep { worker: w, residual_before: residual.clone(), coverage: cov });
+        steps.push(SelectionStep {
+            worker: w,
+            residual_before: residual.clone(),
+            coverage: cov,
+        });
         selected[w.index()] = true;
         for &t in problem.bid(w).tasks() {
             let cell = &mut residual[t.index()];
@@ -107,7 +111,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::{Grid, TaskId};
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -142,7 +150,11 @@ mod tests {
             vec![1.2],
         );
         let trace = select_winners(&p, None).unwrap();
-        assert_eq!(trace.winners().len(), 3, "needs all three 0.5 workers for 1.2");
+        assert_eq!(
+            trace.winners().len(),
+            3,
+            "needs all three 0.5 workers for 1.2"
+        );
         assert!(p.is_feasible(&trace.winners()));
     }
 
@@ -161,7 +173,11 @@ mod tests {
 
     #[test]
     fn infeasible_reports_task() {
-        let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.5)], vec![1.0, 1.0].into_iter().take(1).collect());
+        let p = problem(
+            vec![(vec![0], 1.0)],
+            &[(0, 0, 0.5)],
+            vec![1.0, 1.0].into_iter().take(1).collect(),
+        );
         let err = select_winners(&p, None).unwrap_err();
         match err {
             AuctionError::Infeasible { task } => assert_eq!(task, TaskId(0)),

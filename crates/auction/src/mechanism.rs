@@ -28,10 +28,16 @@ impl fmt::Display for AuctionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuctionError::Infeasible { task } => {
-                write!(f, "accuracy requirement of {task} cannot be covered by any worker subset")
+                write!(
+                    f,
+                    "accuracy requirement of {task} cannot be covered by any worker subset"
+                )
             }
             AuctionError::Monopolist { worker } => {
-                write!(f, "winner {worker} is a monopolist; its critical payment is unbounded")
+                write!(
+                    f,
+                    "winner {worker} is a monopolist; its critical payment is unbounded"
+                )
             }
         }
     }
@@ -96,7 +102,9 @@ impl ReverseAuction {
     /// Panics if `cap < 1` (a critical payment is never below the bid).
     pub fn with_monopoly_cap(cap: f64) -> Self {
         assert!(cap >= 1.0, "monopoly cap must be at least 1");
-        ReverseAuction { monopoly_cap: Some(cap) }
+        ReverseAuction {
+            monopoly_cap: Some(cap),
+        }
     }
 }
 
@@ -129,7 +137,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::Grid;
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -167,8 +179,20 @@ mod tests {
     fn payments_cover_bids() {
         // Individual rationality under truthful bidding (Lemma 2).
         let p = problem(
-            vec![(vec![0, 1], 3.0), (vec![0], 2.0), (vec![1], 2.5), (vec![0, 1], 6.0)],
-            &[(0, 0, 0.7), (0, 1, 0.7), (1, 0, 0.9), (2, 1, 0.9), (3, 0, 0.8), (3, 1, 0.8)],
+            vec![
+                (vec![0, 1], 3.0),
+                (vec![0], 2.0),
+                (vec![1], 2.5),
+                (vec![0, 1], 6.0),
+            ],
+            &[
+                (0, 0, 0.7),
+                (0, 1, 0.7),
+                (1, 0, 0.9),
+                (2, 1, 0.9),
+                (3, 0, 0.8),
+                (3, 1, 0.8),
+            ],
             vec![1.2, 1.2],
         );
         let out = ReverseAuction::new().run(&p).unwrap();
@@ -210,13 +234,18 @@ mod tests {
     fn error_display_is_informative() {
         let e = AuctionError::Infeasible { task: TaskId(3) };
         assert!(e.to_string().contains("t3"));
-        let e = AuctionError::Monopolist { worker: WorkerId(5) };
+        let e = AuctionError::Monopolist {
+            worker: WorkerId(5),
+        };
         assert!(e.to_string().contains("w5"));
     }
 
     #[test]
     fn total_payment_sums() {
-        let out = AuctionOutcome { winners: vec![WorkerId(0)], payments: vec![2.5, 0.0] };
+        let out = AuctionOutcome {
+            winners: vec![WorkerId(0)],
+            payments: vec![2.5, 0.0],
+        };
         assert_eq!(out.total_payment(), 2.5);
     }
 

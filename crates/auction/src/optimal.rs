@@ -119,22 +119,56 @@ pub fn solve_exact_with_budget(problem: &SoacProblem, node_budget: u64) -> Optio
                 }
             }
             chosen.push(w);
-            recurse(problem, order, depth + 1, cost + problem.bid(w).price(), &next, chosen, best_cost, best_set, nodes, budget);
+            recurse(
+                problem,
+                order,
+                depth + 1,
+                cost + problem.bid(w).price(),
+                &next,
+                chosen,
+                best_cost,
+                best_set,
+                nodes,
+                budget,
+            );
             chosen.pop();
         }
         // Branch 2: exclude w.
-        recurse(problem, order, depth + 1, cost, residual, chosen, best_cost, best_set, nodes, budget);
+        recurse(
+            problem,
+            order,
+            depth + 1,
+            cost,
+            residual,
+            chosen,
+            best_cost,
+            best_set,
+            nodes,
+            budget,
+        );
     }
 
     recurse(
-        problem, &order, 0, 0.0, &residual, &mut chosen, &mut best_cost, &mut best_set, &mut nodes,
+        problem,
+        &order,
+        0,
+        0.0,
+        &residual,
+        &mut chosen,
+        &mut best_cost,
+        &mut best_set,
+        &mut nodes,
         node_budget,
     );
 
     if best_cost.is_infinite() {
         None
     } else {
-        Some(ExactSolution { winners: best_set, cost: best_cost, nodes })
+        Some(ExactSolution {
+            winners: best_set,
+            cost: best_cost,
+            nodes,
+        })
     }
 }
 
@@ -150,11 +184,15 @@ mod tests {
     use super::*;
     use crate::greedy::select_winners;
     use crate::soac::Bid;
-    use imc2_common::{Grid, TaskId};
     use imc2_common::rng_from_seed;
+    use imc2_common::{Grid, TaskId};
     use rand::Rng;
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids

@@ -48,7 +48,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::{Grid, TaskId};
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -73,7 +77,10 @@ mod tests {
         let winners = select_winners(&p, None).unwrap().winners();
         assert_eq!(winners, vec![WorkerId(0)]);
         let pay = critical_payment(&p, WorkerId(0)).unwrap();
-        assert!((pay - 5.0).abs() < 1e-9, "payment {pay} should equal the replacement bid");
+        assert!(
+            (pay - 5.0).abs() < 1e-9,
+            "payment {pay} should equal the replacement bid"
+        );
         assert!(pay >= p.bid(WorkerId(0)).price());
     }
 
@@ -113,6 +120,9 @@ mod tests {
             vec![1.0, 1.0],
         );
         let pay = critical_payment(&p, WorkerId(0)).unwrap();
-        assert!((pay - 2.0).abs() < 1e-9, "the 50-bid on an unrelated task must not leak in, got {pay}");
+        assert!(
+            (pay - 2.0).abs() < 1e-9,
+            "the 50-bid on an unrelated task must not leak in, got {pay}"
+        );
     }
 }

@@ -38,7 +38,10 @@ impl Bid {
     /// A copy of this bid with a different declared price (used by
     /// truthfulness probes).
     pub fn with_price(&self, price: f64) -> Bid {
-        Bid { tasks: self.tasks.clone(), price }
+        Bid {
+            tasks: self.tasks.clone(),
+            price,
+        }
     }
 }
 
@@ -80,21 +83,34 @@ impl SoacProblem {
         let m = requirements.len();
         for (k, bid) in bids.iter().enumerate() {
             if !(bid.price.is_finite() && bid.price >= 0.0) {
-                return Err(ValidationError::new(format!("bid {k} has invalid price {}", bid.price)));
+                return Err(ValidationError::new(format!(
+                    "bid {k} has invalid price {}",
+                    bid.price
+                )));
             }
             if let Some(t) = bid.tasks.iter().find(|t| t.index() >= m) {
-                return Err(ValidationError::new(format!("bid {k} references out-of-range task {t}")));
+                return Err(ValidationError::new(format!(
+                    "bid {k} references out-of-range task {t}"
+                )));
             }
         }
         for (_, _, &a) in accuracy.iter() {
             if !(0.0..=1.0).contains(&a) {
-                return Err(ValidationError::new(format!("accuracy cell {a} outside [0, 1]")));
+                return Err(ValidationError::new(format!(
+                    "accuracy cell {a} outside [0, 1]"
+                )));
             }
         }
         if let Some(theta) = requirements.iter().find(|&&x| !(x.is_finite() && x > 0.0)) {
-            return Err(ValidationError::new(format!("requirement {theta} must be positive and finite")));
+            return Err(ValidationError::new(format!(
+                "requirement {theta} must be positive and finite"
+            )));
         }
-        Ok(SoacProblem { bids, accuracy, requirements })
+        Ok(SoacProblem {
+            bids,
+            accuracy,
+            requirements,
+        })
     }
 
     /// Number of workers `n`.
@@ -138,7 +154,11 @@ impl SoacProblem {
     pub fn with_bid_price(&self, w: WorkerId, price: f64) -> SoacProblem {
         let mut bids = self.bids.clone();
         bids[w.index()] = bids[w.index()].with_price(price);
-        SoacProblem { bids, accuracy: self.accuracy.clone(), requirements: self.requirements.clone() }
+        SoacProblem {
+            bids,
+            accuracy: self.accuracy.clone(),
+            requirements: self.requirements.clone(),
+        }
     }
 
     /// A copy with worker `w` removed from contention (its bid emptied) —
@@ -148,8 +168,15 @@ impl SoacProblem {
     /// external what-if analyses.)
     pub fn without_worker(&self, w: WorkerId) -> SoacProblem {
         let mut bids = self.bids.clone();
-        bids[w.index()] = Bid { tasks: Vec::new(), price: f64::MAX / 4.0 };
-        SoacProblem { bids, accuracy: self.accuracy.clone(), requirements: self.requirements.clone() }
+        bids[w.index()] = Bid {
+            tasks: Vec::new(),
+            price: f64::MAX / 4.0,
+        };
+        SoacProblem {
+            bids,
+            accuracy: self.accuracy.clone(),
+            requirements: self.requirements.clone(),
+        }
     }
 
     /// Marginal coverage of `worker` against a residual requirement profile:
@@ -222,11 +249,24 @@ mod tests {
     #[test]
     fn bad_values_rejected() {
         let acc = Grid::filled(1, 1, 0.5);
-        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], -1.0)], acc.clone(), vec![1.0]).is_err());
-        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(5)], 1.0)], acc.clone(), vec![1.0]).is_err());
-        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], 1.0)], acc.clone(), vec![0.0]).is_err());
-        assert!(SoacProblem::new(vec![Bid::new(vec![TaskId(0)], 1.0)], Grid::filled(1, 1, 1.5), vec![1.0])
-            .is_err());
+        assert!(SoacProblem::new(
+            vec![Bid::new(vec![TaskId(0)], -1.0)],
+            acc.clone(),
+            vec![1.0]
+        )
+        .is_err());
+        assert!(
+            SoacProblem::new(vec![Bid::new(vec![TaskId(5)], 1.0)], acc.clone(), vec![1.0]).is_err()
+        );
+        assert!(
+            SoacProblem::new(vec![Bid::new(vec![TaskId(0)], 1.0)], acc.clone(), vec![0.0]).is_err()
+        );
+        assert!(SoacProblem::new(
+            vec![Bid::new(vec![TaskId(0)], 1.0)],
+            Grid::filled(1, 1, 1.5),
+            vec![1.0]
+        )
+        .is_err());
     }
 
     #[test]
@@ -243,7 +283,10 @@ mod tests {
     fn feasibility_checks() {
         let p = simple();
         assert!(p.is_feasible(&[WorkerId(0), WorkerId(1)]));
-        assert!(!p.is_feasible(&[WorkerId(0)]), "worker 0 covers no accuracy on task 1");
+        assert!(
+            !p.is_feasible(&[WorkerId(0)]),
+            "worker 0 covers no accuracy on task 1"
+        );
         assert!(p.is_coverable());
     }
 

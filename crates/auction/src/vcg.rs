@@ -54,7 +54,10 @@ impl AuctionMechanism for ExactVcg {
             // Clarke pivot: externality on the rest of the market.
             payments[w.index()] = alt.cost - (best.cost - problem.bid(w).price());
         }
-        Ok(AuctionOutcome { winners: best.winners, payments })
+        Ok(AuctionOutcome {
+            winners: best.winners,
+            payments,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -70,7 +73,11 @@ mod tests {
     use crate::soac::Bid;
     use imc2_common::{Grid, WorkerId};
 
-    fn problem(bids: Vec<(Vec<usize>, f64)>, acc_cells: &[(usize, usize, f64)], theta: Vec<f64>) -> SoacProblem {
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
         let n = bids.len();
         let m = theta.len();
         let bids = bids
@@ -135,7 +142,10 @@ mod tests {
                 WorkerId(w),
                 &[0.3, 0.6, 0.9, 1.2, 2.0, 3.0],
             );
-            assert!(report.truthful, "VCG deviation found for worker {w}: {report:?}");
+            assert!(
+                report.truthful,
+                "VCG deviation found for worker {w}: {report:?}"
+            );
         }
     }
 
@@ -148,18 +158,27 @@ mod tests {
             o.winners.iter().map(|&w| p.bid(w).price()).sum()
         };
         assert!(cost(&greedy) >= cost(&vcg) - 1e-9, "optimum can never lose");
-        assert!(cost(&greedy) <= 2.0 * cost(&vcg), "greedy stays within small factors here");
+        assert!(
+            cost(&greedy) <= 2.0 * cost(&vcg),
+            "greedy stays within small factors here"
+        );
     }
 
     #[test]
     fn vcg_infeasible_and_monopolist_errors() {
         let p = problem(vec![(vec![0], 1.0)], &[(0, 0, 0.3)], vec![1.0]);
-        assert!(matches!(ExactVcg::new().run(&p), Err(AuctionError::Infeasible { .. })));
+        assert!(matches!(
+            ExactVcg::new().run(&p),
+            Err(AuctionError::Infeasible { .. })
+        ));
         let p = problem(
             vec![(vec![0], 1.0), (vec![1], 1.0)],
             &[(0, 0, 1.0), (1, 1, 1.0)],
             vec![0.9, 0.9],
         );
-        assert!(matches!(ExactVcg::new().run(&p), Err(AuctionError::Monopolist { .. })));
+        assert!(matches!(
+            ExactVcg::new().run(&p),
+            Err(AuctionError::Monopolist { .. })
+        ));
     }
 }

@@ -4,13 +4,12 @@
 //! (note 8), and the §IV-A similarity measures.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use imc2_datagen::{ForumConfig, ForumData};
 use imc2_common::rng_from_seed;
+use imc2_datagen::{ForumConfig, ForumData};
 use imc2_textsim::Measure;
 use imc2_truth::date::AccuracyGranularity;
 use imc2_truth::{
-    Date, DateConfig, DependencePosterior, SeedRule, IndependenceMode, TruthDiscovery,
-    TruthProblem,
+    Date, DateConfig, DependencePosterior, IndependenceMode, SeedRule, TruthDiscovery, TruthProblem,
 };
 
 fn bench(c: &mut Criterion) {
@@ -22,7 +21,10 @@ fn bench(c: &mut Criterion) {
         ("baseline", DateConfig::default()),
         (
             "posterior_3way",
-            DateConfig { posterior: DependencePosterior::Normalized3Way, ..DateConfig::default() },
+            DateConfig {
+                posterior: DependencePosterior::Normalized3Way,
+                ..DateConfig::default()
+            },
         ),
         (
             "seed_max_dependence",
@@ -31,10 +33,19 @@ fn bench(c: &mut Criterion) {
                 ..DateConfig::default()
             },
         ),
-        ("discounted_posterior", DateConfig { discount_posterior: true, ..DateConfig::default() }),
+        (
+            "discounted_posterior",
+            DateConfig {
+                discount_posterior: true,
+                ..DateConfig::default()
+            },
+        ),
         (
             "per_task_accuracy",
-            DateConfig { granularity: AccuracyGranularity::PerTask, ..DateConfig::default() },
+            DateConfig {
+                granularity: AccuracyGranularity::PerTask,
+                ..DateConfig::default()
+            },
         ),
     ];
     for (name, cfg) in variants {

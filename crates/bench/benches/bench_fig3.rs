@@ -3,8 +3,8 @@
 //! and at band edges — the cost of a single grid point.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use imc2_datagen::{ForumConfig, ForumData};
 use imc2_common::rng_from_seed;
+use imc2_datagen::{ForumConfig, ForumData};
 use imc2_truth::{Date, DateConfig, TruthDiscovery, TruthProblem};
 
 fn bench(c: &mut Criterion) {
@@ -12,8 +12,13 @@ fn bench(c: &mut Criterion) {
     let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
     let mut group = c.benchmark_group("fig3_date_gridpoint");
     for (eps, alpha) in [(0.5, 0.2), (0.1, 0.1), (0.9, 0.9)] {
-        let date = Date::new(DateConfig { r: 0.2, epsilon: eps, alpha, ..DateConfig::default() })
-            .unwrap();
+        let date = Date::new(DateConfig {
+            r: 0.2,
+            epsilon: eps,
+            alpha,
+            ..DateConfig::default()
+        })
+        .unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("eps{eps}_alpha{alpha}")),
             &date,

@@ -2,15 +2,17 @@
 //! (MV, NC, DATE, ED) on one medium instance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use imc2_datagen::{ForumConfig, ForumData};
 use imc2_common::rng_from_seed;
+use imc2_datagen::{ForumConfig, ForumData};
 use imc2_truth::{Date, MajorityVoting, TruthDiscovery, TruthProblem};
 
 fn bench(c: &mut Criterion) {
     let data = ForumData::generate(&ForumConfig::medium(), &mut rng_from_seed(4)).unwrap();
     let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
     let mut group = c.benchmark_group("fig4_truth_algorithms");
-    group.bench_function("MV", |b| b.iter(|| MajorityVoting::new().discover(&problem)));
+    group.bench_function("MV", |b| {
+        b.iter(|| MajorityVoting::new().discover(&problem))
+    });
     group.bench_function("NC", |b| b.iter(|| Date::no_copier().discover(&problem)));
     group.bench_function("DATE", |b| b.iter(|| Date::paper().discover(&problem)));
     group.bench_function("ED", |b| b.iter(|| Date::enumerated().discover(&problem)));

@@ -1,8 +1,8 @@
 //! Criterion bench for Fig. 5: DATE scaling in tasks and workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use imc2_datagen::{ForumConfig, ForumData};
 use imc2_common::rng_from_seed;
+use imc2_datagen::{ForumConfig, ForumData};
 use imc2_truth::{Date, TruthDiscovery, TruthProblem};
 
 fn bench(c: &mut Criterion) {

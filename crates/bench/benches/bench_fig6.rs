@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ReverseAuction", |b| {
         b.iter(|| ReverseAuction::with_monopoly_cap(1e9).run(&soac).unwrap())
     });
-    group.bench_function("GA", |b| b.iter(|| GreedyAccuracy::new().run(&soac).unwrap()));
+    group.bench_function("GA", |b| {
+        b.iter(|| GreedyAccuracy::new().run(&soac).unwrap())
+    });
     group.bench_function("GB", |b| b.iter(|| GreedyBid::new().run(&soac).unwrap()));
     group.finish();
 }

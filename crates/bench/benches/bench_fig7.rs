@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
         let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
         let truth = Date::paper().discover(&problem);
         let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &soac, |b, soac| {
-            b.iter(|| ReverseAuction::with_monopoly_cap(1e9).run(soac).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &soac,
+            |b, soac| b.iter(|| ReverseAuction::with_monopoly_cap(1e9).run(soac).unwrap()),
+        );
     }
     group.finish();
 }

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use imc2_auction::analysis::utility_curve;
 use imc2_auction::ReverseAuction;
+use imc2_common::WorkerId;
 use imc2_core::Imc2;
 use imc2_datagen::{Scenario, ScenarioConfig};
 use imc2_truth::{Date, TruthDiscovery, TruthProblem};
-use imc2_common::WorkerId;
 
 fn bench(c: &mut Criterion) {
     let config = ScenarioConfig::small();

@@ -29,7 +29,10 @@ fn variants() -> Vec<(&'static str, DateConfig)> {
         ("paper-default", DateConfig::default()),
         (
             "posterior-3way",
-            DateConfig { posterior: DependencePosterior::Normalized3Way, ..DateConfig::default() },
+            DateConfig {
+                posterior: DependencePosterior::Normalized3Way,
+                ..DateConfig::default()
+            },
         ),
         (
             "seed-max-dep",
@@ -38,12 +41,27 @@ fn variants() -> Vec<(&'static str, DateConfig)> {
                 ..DateConfig::default()
             },
         ),
-        ("discount-posterior", DateConfig { discount_posterior: true, ..DateConfig::default() }),
+        (
+            "discount-posterior",
+            DateConfig {
+                discount_posterior: true,
+                ..DateConfig::default()
+            },
+        ),
         (
             "per-task-accuracy",
-            DateConfig { granularity: AccuracyGranularity::PerTask, ..DateConfig::default() },
+            DateConfig {
+                granularity: AccuracyGranularity::PerTask,
+                ..DateConfig::default()
+            },
         ),
-        ("no-floor", DateConfig { floor_anti_evidence: false, ..DateConfig::default() }),
+        (
+            "no-floor",
+            DateConfig {
+                floor_anti_evidence: false,
+                ..DateConfig::default()
+            },
+        ),
     ]
 }
 
@@ -67,9 +85,17 @@ fn main() {
     let mut table = Table::new(
         "ablations",
         "DATE design-note variants at n=120, m=300 (precision / runtime ms / iterations)",
-        vec!["variant".into(), "precision".into(), "runtime_ms".into(), "iterations".into()],
+        vec![
+            "variant".into(),
+            "precision".into(),
+            "runtime_ms".into(),
+            "iterations".into(),
+        ],
     );
-    println!("{:<20} {:>10} {:>12} {:>11}", "variant", "precision", "runtime(ms)", "iterations");
+    println!(
+        "{:<20} {:>10} {:>12} {:>11}",
+        "variant", "precision", "runtime(ms)", "iterations"
+    );
     for (idx, (name, cfg)) in variants().into_iter().enumerate() {
         let date = Date::new(cfg).expect("ablation configs are valid");
         let summaries = average_vector(&run, idx as u64, 3, |seed| {
@@ -87,10 +113,18 @@ fn main() {
             "{:<20} {:>10.4} {:>12.1} {:>11.1}",
             name, summaries[0].mean, summaries[1].mean, summaries[2].mean
         );
-        table.push_row(vec![idx as f64, summaries[0].mean, summaries[1].mean, summaries[2].mean]);
+        table.push_row(vec![
+            idx as f64,
+            summaries[0].mean,
+            summaries[1].mean,
+            summaries[2].mean,
+        ]);
     }
     std::fs::create_dir_all(&out_dir).expect("can create output directory");
     let path = out_dir.join("ablations.csv");
     std::fs::write(&path, table.to_csv()).expect("can write CSV");
-    println!("\nwrote {} (variant column is the row index; names in order above)", path.display());
+    println!(
+        "\nwrote {} (variant column is the row index; names in order above)",
+        path.display()
+    );
 }

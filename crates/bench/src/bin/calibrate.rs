@@ -9,7 +9,10 @@ use imc2_truth::{precision, Date, MajorityVoting, TruthDiscovery, TruthProblem};
 use std::time::Instant;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -23,10 +26,13 @@ fn main() {
     config.forum.reliability_max = env_f64("RMAX", config.forum.reliability_max);
     config.forum.reliability_alpha = env_f64("RA", config.forum.reliability_alpha);
     config.forum.reliability_beta = env_f64("RB", config.forum.reliability_beta);
-    config.forum.copiers.ring_size = env_f64("RING", config.forum.copiers.ring_size as f64) as usize;
-    config.forum.copiers.n_copiers = env_f64("NCOP", config.forum.copiers.n_copiers as f64) as usize;
+    config.forum.copiers.ring_size =
+        env_f64("RING", config.forum.copiers.ring_size as f64) as usize;
+    config.forum.copiers.n_copiers =
+        env_f64("NCOP", config.forum.copiers.n_copiers as f64) as usize;
     config.forum.copiers.copy_prob = env_f64("CP", config.forum.copiers.copy_prob);
-    config.forum.copiers.source_overlap_bias = env_f64("BIAS", config.forum.copiers.source_overlap_bias);
+    config.forum.copiers.source_overlap_bias =
+        env_f64("BIAS", config.forum.copiers.source_overlap_bias);
 
     let algos: Vec<(&str, Box<dyn TruthDiscovery + Sync>)> = vec![
         ("MV", Box::new(MajorityVoting::new())),

@@ -35,14 +35,22 @@ fn main() {
                     .expect("--instances needs a positive integer");
             }
             "--seed" => {
-                run.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64");
+                run.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a u64");
             }
             "--threads" => {
-                run.threads =
-                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer");
+                run.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs an integer");
             }
             "--out" => {
-                out_dir = args.next().map(PathBuf::from).expect("--out needs a directory");
+                out_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .expect("--out needs a directory");
             }
             "all" => names.extend(ALL.iter().map(|s| s.to_string())),
             other if ALL.contains(&other) => names.push(other.to_string()),
@@ -138,7 +146,12 @@ fn main() {
             std::fs::write(&path, table.to_csv()).expect("can write CSV");
             markdown.push_str(&table.to_markdown());
             markdown.push('\n');
-            println!("{} -> {} ({:.1}s)", table.name, path.display(), t0.elapsed().as_secs_f64());
+            println!(
+                "{} -> {} ({:.1}s)",
+                table.name,
+                path.display(),
+                t0.elapsed().as_secs_f64()
+            );
         }
     }
     let md_path = out_dir.join("RESULTS.md");

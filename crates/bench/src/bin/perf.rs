@@ -1,0 +1,223 @@
+//! DATE fast-path performance benchmark.
+//!
+//! Times the dependence step (naive reference vs indexed engine, cold and
+//! warm) and full DATE runs across scenario sizes, then emits
+//! `BENCH_date.json` so future changes have a trajectory to beat.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p imc2-bench --bin perf                  # serial
+//! cargo run --release -p imc2-bench --features parallel --bin perf
+//! ```
+//!
+//! Environment knobs: `PERF_OUT` (output path, default `BENCH_date.json`),
+//! `PERF_REPS` (timing repetitions per measurement, default 5).
+
+use imc2_common::{rng_from_seed, Grid};
+use imc2_datagen::participation::ParticipationConfig;
+use imc2_datagen::{CopierConfig, ForumConfig, ForumData};
+use imc2_truth::dependence::{pairwise_posteriors_naive, DependenceParams};
+use imc2_truth::{Date, DependenceEngine, FalseValueModel, TruthDiscovery, TruthProblem};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark scenario: `n` workers answering `2n` tasks forum-style.
+fn scenario(n_workers: usize) -> ForumConfig {
+    ForumConfig {
+        n_workers,
+        n_tasks: 2 * n_workers,
+        num_false: 2,
+        participation: ParticipationConfig {
+            avg_responses_per_task: (n_workers as f64 / 4.0).clamp(8.0, 40.0),
+            ..ParticipationConfig::default()
+        },
+        copiers: CopierConfig {
+            n_copiers: n_workers / 4,
+            ring_size: 5,
+            ..CopierConfig::default()
+        },
+        ..ForumConfig::paper_default()
+    }
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct SizeReport {
+    n_workers: usize,
+    n_tasks: usize,
+    n_answers: usize,
+    overlap_triples: usize,
+    naive_dependence_s: f64,
+    indexed_cold_dependence_s: f64,
+    indexed_warm_dependence_s: f64,
+    index_build_s: f64,
+    speedup_cold: f64,
+    speedup_warm: f64,
+    date_full_run_s: f64,
+    date_iterations: usize,
+}
+
+fn bench_size(n: usize, reps: usize) -> SizeReport {
+    let data =
+        ForumData::generate(&scenario(n), &mut rng_from_seed(0xDA7E)).expect("scenario generates");
+    let problem = TruthProblem::new(&data.observations, &data.num_false).expect("valid problem");
+    let params = DependenceParams::default();
+    let model = FalseValueModel::Uniform;
+
+    // A mid-iteration-like state: majority-voting truth, mixed accuracies.
+    let truth = imc2_truth::MajorityVoting::estimate(&problem);
+    let mut rng = rng_from_seed(1);
+    let accuracy = Grid::from_fn(problem.n_workers(), problem.n_tasks(), |_, _| {
+        rand::Rng::gen_range(&mut rng, 0.2..0.9)
+    });
+
+    let naive_dependence_s = time_median(reps, || {
+        std::hint::black_box(pairwise_posteriors_naive(
+            &problem, &accuracy, &truth, &model, &params,
+        ));
+    });
+
+    let index_build_s = time_median(reps, || {
+        std::hint::black_box(DependenceEngine::new(&problem));
+    });
+
+    // Cold: the first posteriors() call on a fresh engine — every per-triple
+    // term computed, nothing cached yet. The index build is excluded (it is
+    // timed separately above and paid once per problem, not per iteration).
+    let mut cold_samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut engine = DependenceEngine::new(&problem);
+            let start = Instant::now();
+            std::hint::black_box(engine.posteriors(&problem, &accuracy, &truth, &model, &params));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    cold_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let indexed_cold_dependence_s = cold_samples[cold_samples.len() / 2];
+
+    // Warm: steady-state iteration with unchanged inputs — the delta
+    // tracker's best case (every cached term reused).
+    let mut engine = DependenceEngine::new(&problem);
+    engine.posteriors(&problem, &accuracy, &truth, &model, &params);
+    let indexed_warm_dependence_s = time_median(reps, || {
+        std::hint::black_box(engine.posteriors(&problem, &accuracy, &truth, &model, &params));
+    });
+
+    let date = Date::paper();
+    let mut iterations = 0;
+    let date_full_run_s = time_median(reps.min(3), || {
+        let out = date.discover(&problem);
+        iterations = out.iterations;
+        std::hint::black_box(out);
+    });
+
+    let overlap_triples = DependenceEngine::new(&problem).index().n_triples();
+    SizeReport {
+        n_workers: n,
+        n_tasks: problem.n_tasks(),
+        n_answers: data.observations.len(),
+        overlap_triples,
+        naive_dependence_s,
+        indexed_cold_dependence_s,
+        indexed_warm_dependence_s,
+        index_build_s,
+        speedup_cold: naive_dependence_s / indexed_cold_dependence_s,
+        speedup_warm: naive_dependence_s / indexed_warm_dependence_s,
+        date_full_run_s,
+        date_iterations: iterations,
+    }
+}
+
+fn main() {
+    let out_path = std::env::var("PERF_OUT").unwrap_or_else(|_| "BENCH_date.json".to_string());
+    let reps: usize = std::env::var("PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let parallel = cfg!(feature = "parallel");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"date_dependence_fast_path\",");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel},");
+    let _ = writeln!(json, "  \"reps_per_measurement\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"threads_available\": {},",
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"sizes\": [\n");
+
+    let sizes = [50usize, 200, 500];
+    for (k, &n) in sizes.iter().enumerate() {
+        eprintln!("benchmarking n={n} workers...");
+        let r = bench_size(n, reps);
+        println!(
+            "n={:>4}: naive {:>9.3} ms | indexed cold {:>9.3} ms ({:>5.1}x) | warm {:>9.3} ms ({:>5.1}x) | full DATE {:>9.3} ms / {} iters",
+            r.n_workers,
+            r.naive_dependence_s * 1e3,
+            r.indexed_cold_dependence_s * 1e3,
+            r.speedup_cold,
+            r.indexed_warm_dependence_s * 1e3,
+            r.speedup_warm,
+            r.date_full_run_s * 1e3,
+            r.date_iterations,
+        );
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"n_workers\": {},", r.n_workers);
+        let _ = writeln!(json, "      \"n_tasks\": {},", r.n_tasks);
+        let _ = writeln!(json, "      \"n_answers\": {},", r.n_answers);
+        let _ = writeln!(json, "      \"overlap_triples\": {},", r.overlap_triples);
+        let _ = writeln!(
+            json,
+            "      \"naive_dependence_ms\": {:.6},",
+            r.naive_dependence_s * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"index_build_ms\": {:.6},",
+            r.index_build_s * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"indexed_cold_dependence_ms\": {:.6},",
+            r.indexed_cold_dependence_s * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"indexed_warm_dependence_ms\": {:.6},",
+            r.indexed_warm_dependence_s * 1e3
+        );
+        let _ = writeln!(json, "      \"speedup_cold\": {:.3},", r.speedup_cold);
+        let _ = writeln!(json, "      \"speedup_warm\": {:.3},", r.speedup_warm);
+        let _ = writeln!(
+            json,
+            "      \"date_full_run_ms\": {:.6},",
+            r.date_full_run_s * 1e3
+        );
+        let _ = writeln!(json, "      \"date_iterations\": {}", r.date_iterations);
+        json.push_str(if k + 1 < sizes.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("can write benchmark output");
+    eprintln!("wrote {out_path}");
+}

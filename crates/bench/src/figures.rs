@@ -122,11 +122,17 @@ pub fn fig3a(run: &RunConfig) -> Table {
     let grid: Vec<f64> = (1..=9).map(|k| k as f64 / 10.0).collect();
     for (i, &eps) in grid.iter().enumerate() {
         for (j, &alpha) in grid.iter().enumerate() {
-            let date = Date::new(DateConfig { r: 0.2, epsilon: eps, alpha, ..DateConfig::default() })
-                .expect("grid parameters are valid");
+            let date = Date::new(DateConfig {
+                r: 0.2,
+                epsilon: eps,
+                alpha,
+                ..DateConfig::default()
+            })
+            .expect("grid parameters are valid");
             let summaries = average_vector(run, (i * 9 + j) as u64, 1, |seed| {
                 let scenario = Scenario::generate(&config, seed);
-                let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
+                let problem =
+                    TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
                 let out = date.discover(&problem);
                 Some(vec![precision(&out.estimate, &scenario.ground_truth)])
             });
@@ -146,7 +152,11 @@ pub fn fig3b(run: &RunConfig) -> Table {
     let config = scenario_config(120, 300);
     for k in 1..=9 {
         let r = k as f64 / 10.0;
-        let date = Date::new(DateConfig { r, ..DateConfig::default() }).expect("valid r");
+        let date = Date::new(DateConfig {
+            r,
+            ..DateConfig::default()
+        })
+        .expect("valid r");
         let summaries = average_vector(run, k as u64, 1, |seed| {
             let scenario = Scenario::generate(&config, seed);
             let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).ok()?;
@@ -160,19 +170,30 @@ pub fn fig3b(run: &RunConfig) -> Table {
 
 /// Standard task-count sweep of Fig. 4(a)–7(a).
 fn task_points() -> Vec<(f64, usize, usize)> {
-    [50, 100, 150, 200, 250, 300].iter().map(|&m| (m as f64, 120, m)).collect()
+    [50, 100, 150, 200, 250, 300]
+        .iter()
+        .map(|&m| (m as f64, 120, m))
+        .collect()
 }
 
 /// Standard worker-count sweep of Fig. 4(b)–7(b).
 fn worker_points() -> Vec<(f64, usize, usize)> {
-    [20, 40, 60, 80, 100, 120].iter().map(|&n| (n as f64, n, 300)).collect()
+    [20, 40, 60, 80, 100, 120]
+        .iter()
+        .map(|&n| (n as f64, n, 300))
+        .collect()
 }
 
 /// Fig. 4(a) + Fig. 5(a) in one pass: precision and running time vs tasks
 /// share the same sweep, so computing them together halves the work.
 pub fn fig45a(run: &RunConfig) -> (Table, Table) {
-    let (mut prec, mut time) =
-        truth_sweep(run, "tasks", &task_points(), "fig", "truth discovery vs number of tasks");
+    let (mut prec, mut time) = truth_sweep(
+        run,
+        "tasks",
+        &task_points(),
+        "fig",
+        "truth discovery vs number of tasks",
+    );
     prec.name = "fig4a".into();
     time.name = "fig5a".into();
     (prec, time)
@@ -180,8 +201,13 @@ pub fn fig45a(run: &RunConfig) -> (Table, Table) {
 
 /// Fig. 4(b) + Fig. 5(b) in one pass (worker sweep).
 pub fn fig45b(run: &RunConfig) -> (Table, Table) {
-    let (mut prec, mut time) =
-        truth_sweep(run, "workers", &worker_points(), "fig", "truth discovery vs number of workers");
+    let (mut prec, mut time) = truth_sweep(
+        run,
+        "workers",
+        &worker_points(),
+        "fig",
+        "truth discovery vs number of workers",
+    );
     prec.name = "fig4b".into();
     time.name = "fig5b".into();
     (prec, time)
@@ -212,7 +238,10 @@ fn auction_mechanisms() -> Vec<(&'static str, Box<dyn AuctionMechanism + Sync>)>
     vec![
         // A large cap keeps rare monopolist instances in the series; social
         // cost ignores payments entirely.
-        ("ReverseAuction", Box::new(ReverseAuction::with_monopoly_cap(1e9))),
+        (
+            "ReverseAuction",
+            Box::new(ReverseAuction::with_monopoly_cap(1e9)),
+        ),
         ("GA", Box::new(GreedyAccuracy::new())),
         ("GB", Box::new(GreedyBid::new())),
     ]
@@ -230,10 +259,16 @@ fn auction_sweep(
     let mechs = auction_mechanisms();
     let mut cols = vec![x_name.to_string()];
     cols.extend(mechs.iter().map(|(n, _)| n.to_string()));
-    let mut cost_table =
-        Table::new(format!("{name_prefix}_cost"), format!("{title} — social cost"), cols.clone());
-    let mut time_table =
-        Table::new(format!("{name_prefix}_runtime"), format!("{title} — running time (ms)"), cols);
+    let mut cost_table = Table::new(
+        format!("{name_prefix}_cost"),
+        format!("{title} — social cost"),
+        cols.clone(),
+    );
+    let mut time_table = Table::new(
+        format!("{name_prefix}_runtime"),
+        format!("{title} — running time (ms)"),
+        cols,
+    );
 
     for (p_idx, &(x, n, m)) in points.iter().enumerate() {
         let config = scenario_config(n, m);
@@ -248,8 +283,10 @@ fn auction_sweep(
                 let t0 = Instant::now();
                 let outcome = mech.run(&soac).ok()?;
                 let dt = t0.elapsed().as_secs_f64() * 1000.0;
-                metrics
-                    .push(imc2_auction::analysis::social_cost(&outcome.winners, &scenario.costs));
+                metrics.push(imc2_auction::analysis::social_cost(
+                    &outcome.winners,
+                    &scenario.costs,
+                ));
                 metrics.push(dt);
             }
             Some(metrics)
@@ -268,8 +305,13 @@ fn auction_sweep(
 
 /// Fig. 6(a) + Fig. 7(a) in one pass: social cost and running time vs tasks.
 pub fn fig67a(run: &RunConfig) -> (Table, Table) {
-    let (mut cost, mut time) =
-        auction_sweep(run, "tasks", &task_points(), "fig", "auction vs number of tasks");
+    let (mut cost, mut time) = auction_sweep(
+        run,
+        "tasks",
+        &task_points(),
+        "fig",
+        "auction vs number of tasks",
+    );
     cost.name = "fig6a".into();
     time.name = "fig7a".into();
     (cost, time)
@@ -277,8 +319,13 @@ pub fn fig67a(run: &RunConfig) -> (Table, Table) {
 
 /// Fig. 6(b) + Fig. 7(b) in one pass (worker sweep).
 pub fn fig67b(run: &RunConfig) -> (Table, Table) {
-    let (mut cost, mut time) =
-        auction_sweep(run, "workers", &worker_points(), "fig", "auction vs number of workers");
+    let (mut cost, mut time) = auction_sweep(
+        run,
+        "workers",
+        &worker_points(),
+        "fig",
+        "auction vs number of workers",
+    );
     cost.name = "fig6b".into();
     time.name = "fig7b".into();
     (cost, time)
@@ -342,11 +389,18 @@ pub fn fig8(run: &RunConfig) -> (Table, Table) {
             vec!["bid".into(), "utility".into(), "won".into()],
         );
         for point in curve {
-            table.push_row(vec![point.bid, point.utility, f64::from(u8::from(point.won))]);
+            table.push_row(vec![
+                point.bid,
+                point.utility,
+                f64::from(u8::from(point.won)),
+            ]);
         }
         table
     };
-    (build(winner, "winner", "fig8a"), build(loser, "loser", "fig8b"))
+    (
+        build(winner, "winner", "fig8a"),
+        build(loser, "loser", "fig8b"),
+    )
 }
 
 #[cfg(test)]
@@ -354,7 +408,11 @@ mod tests {
     use super::*;
 
     fn tiny_run() -> RunConfig {
-        RunConfig { instances: 2, seed: 42, threads: 0 }
+        RunConfig {
+            instances: 2,
+            seed: 42,
+            threads: 0,
+        }
     }
 
     /// Shrinks sweeps for test speed.
@@ -398,15 +456,26 @@ mod tests {
 
     #[test]
     fn fig8_curves_have_plateau_and_loss() {
-        let (winner, loser) = fig8(&RunConfig { instances: 1, seed: 7, threads: 0 });
+        let (winner, loser) = fig8(&RunConfig {
+            instances: 1,
+            seed: 7,
+            threads: 0,
+        });
         assert!(!winner.rows.is_empty());
         assert!(!loser.rows.is_empty());
         // The winner's low-bid utilities are all equal (critical payment).
-        let won_utils: Vec<f64> =
-            winner.rows.iter().filter(|r| r[2] == 1.0).map(|r| r[1]).collect();
+        let won_utils: Vec<f64> = winner
+            .rows
+            .iter()
+            .filter(|r| r[2] == 1.0)
+            .map(|r| r[1])
+            .collect();
         if won_utils.len() >= 2 {
             for u in &won_utils {
-                assert!((u - won_utils[0]).abs() < 1e-6, "winning utility must be flat");
+                assert!(
+                    (u - won_utils[0]).abs() < 1e-6,
+                    "winning utility must be flat"
+                );
             }
         }
         // Losing bids yield zero utility.

@@ -20,7 +20,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { instances: 20, seed: 0x00C2_2019, threads: 0 }
+        RunConfig {
+            instances: 20,
+            seed: 0x00C2_2019,
+            threads: 0,
+        }
     }
 }
 
@@ -30,7 +34,9 @@ impl RunConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -54,19 +60,18 @@ where
         }
     } else {
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slice) in results.chunks_mut(chunk).enumerate() {
                 let f = &f;
                 let seeds = &seeds;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, slot) in slice.iter_mut().enumerate() {
                         let k = t * chunk + off;
                         *slot = f(seeds.derive(k as u64));
                     }
                 });
             }
-        })
-        .expect("instance workers do not panic");
+        });
     }
     let stats: OnlineStats = results.into_iter().flatten().collect();
     stats.summary()
@@ -95,23 +100,26 @@ where
         }
     } else {
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slice) in results.chunks_mut(chunk).enumerate() {
                 let f = &f;
                 let seeds = &seeds;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, slot) in slice.iter_mut().enumerate() {
                         let k = t * chunk + off;
                         *slot = f(seeds.derive(k as u64));
                     }
                 });
             }
-        })
-        .expect("instance workers do not panic");
+        });
     }
     let mut stats: Vec<OnlineStats> = (0..width).map(|_| OnlineStats::new()).collect();
     for metrics in results.into_iter().flatten() {
-        assert_eq!(metrics.len(), width, "instances must report {width} metrics");
+        assert_eq!(
+            metrics.len(),
+            width,
+            "instances must report {width} metrics"
+        );
         for (s, x) in stats.iter_mut().zip(metrics) {
             s.push(x);
         }
@@ -126,8 +134,24 @@ mod tests {
     #[test]
     fn average_is_deterministic_across_thread_counts() {
         let f = |seed: u64| Some((seed % 1000) as f64);
-        let a = average(&RunConfig { instances: 64, seed: 1, threads: 1 }, 0, f);
-        let b = average(&RunConfig { instances: 64, seed: 1, threads: 4 }, 0, f);
+        let a = average(
+            &RunConfig {
+                instances: 64,
+                seed: 1,
+                threads: 1,
+            },
+            0,
+            f,
+        );
+        let b = average(
+            &RunConfig {
+                instances: 64,
+                seed: 1,
+                threads: 4,
+            },
+            0,
+            f,
+        );
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.count, b.count);
     }
@@ -135,41 +159,120 @@ mod tests {
     #[test]
     fn different_points_use_different_seeds() {
         let f = |seed: u64| Some((seed % 1000) as f64);
-        let a = average(&RunConfig { instances: 16, seed: 1, threads: 2 }, 0, f);
-        let b = average(&RunConfig { instances: 16, seed: 1, threads: 2 }, 1, f);
+        let a = average(
+            &RunConfig {
+                instances: 16,
+                seed: 1,
+                threads: 2,
+            },
+            0,
+            f,
+        );
+        let b = average(
+            &RunConfig {
+                instances: 16,
+                seed: 1,
+                threads: 2,
+            },
+            1,
+            f,
+        );
         assert_ne!(a.mean, b.mean);
     }
 
     #[test]
     fn none_instances_are_skipped() {
-        let f = |seed: u64| if seed % 2 == 0 { Some(1.0) } else { None };
-        let s = average(&RunConfig { instances: 100, seed: 3, threads: 2 }, 0, f);
+        let f = |seed: u64| {
+            if seed.is_multiple_of(2) {
+                Some(1.0)
+            } else {
+                None
+            }
+        };
+        let s = average(
+            &RunConfig {
+                instances: 100,
+                seed: 3,
+                threads: 2,
+            },
+            0,
+            f,
+        );
         assert!(s.count < 100);
         assert_eq!(s.mean, 1.0);
     }
 
     #[test]
     fn effective_threads_resolves() {
-        assert!(RunConfig { instances: 1, seed: 0, threads: 0 }.effective_threads() >= 1);
-        assert_eq!(RunConfig { instances: 1, seed: 0, threads: 3 }.effective_threads(), 3);
+        assert!(
+            RunConfig {
+                instances: 1,
+                seed: 0,
+                threads: 0
+            }
+            .effective_threads()
+                >= 1
+        );
+        assert_eq!(
+            RunConfig {
+                instances: 1,
+                seed: 0,
+                threads: 3
+            }
+            .effective_threads(),
+            3
+        );
     }
 
     #[test]
     fn average_vector_componentwise() {
         let f = |seed: u64| Some(vec![(seed % 10) as f64, 2.0]);
-        let s = average_vector(&RunConfig { instances: 32, seed: 5, threads: 2 }, 0, 2, f);
+        let s = average_vector(
+            &RunConfig {
+                instances: 32,
+                seed: 5,
+                threads: 2,
+            },
+            0,
+            2,
+            f,
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s[1].mean, 2.0);
         assert_eq!(s[0].count, 32);
         // Determinism across thread counts.
-        let s1 = average_vector(&RunConfig { instances: 32, seed: 5, threads: 1 }, 0, 2, f);
+        let s1 = average_vector(
+            &RunConfig {
+                instances: 32,
+                seed: 5,
+                threads: 1,
+            },
+            0,
+            2,
+            f,
+        );
         assert_eq!(s[0].mean, s1[0].mean);
     }
 
     #[test]
     fn average_vector_skips_none_rows() {
-        let f = |seed: u64| if seed % 3 == 0 { None } else { Some(vec![1.0]) };
-        let s = average_vector(&RunConfig { instances: 30, seed: 7, threads: 2 }, 0, 1, f);
+        let f = |seed: u64| {
+            if seed.is_multiple_of(3) {
+                None
+            } else {
+                Some(vec![1.0])
+            }
+        };
+        let s = average_vector(
+            &RunConfig {
+                instances: 30,
+                seed: 7,
+                threads: 2,
+            },
+            0,
+            1,
+            f,
+        );
         assert!(s[0].count < 30);
     }
 }

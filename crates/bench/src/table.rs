@@ -18,12 +18,13 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
-        Table { name: name.into(), title: title.into(), columns, rows: Vec::new() }
+    pub fn new(name: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            name: name.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -31,7 +32,11 @@ impl Table {
     /// # Panics
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<f64>) {
-        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
         self.rows.push(row);
     }
 
@@ -53,7 +58,15 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}\n", self.name, self.title);
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(|x| format_cell(*x)).collect();
             let _ = writeln!(out, "| {} |", cells.join(" | "));

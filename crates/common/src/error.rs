@@ -27,7 +27,9 @@ impl ValidationError {
     /// Messages follow the C-GOOD-ERR convention: lowercase, no trailing
     /// punctuation.
     pub fn new(message: impl Into<String>) -> Self {
-        ValidationError { message: message.into() }
+        ValidationError {
+            message: message.into(),
+        }
     }
 
     /// The explanatory message.

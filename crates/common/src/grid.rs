@@ -40,14 +40,22 @@ impl<T: Clone> Grid<T> {
 
 impl<T> Grid<T> {
     /// Builds a grid from a closure evaluated at every `(worker, task)` cell.
-    pub fn from_fn(n_workers: usize, n_tasks: usize, mut f: impl FnMut(WorkerId, TaskId) -> T) -> Self {
+    pub fn from_fn(
+        n_workers: usize,
+        n_tasks: usize,
+        mut f: impl FnMut(WorkerId, TaskId) -> T,
+    ) -> Self {
         let mut data = Vec::with_capacity(n_workers * n_tasks);
         for w in 0..n_workers {
             for t in 0..n_tasks {
                 data.push(f(WorkerId(w), TaskId(t)));
             }
         }
-        Grid { n_workers, n_tasks, data }
+        Grid {
+            n_workers,
+            n_tasks,
+            data,
+        }
     }
 
     /// Number of worker rows.

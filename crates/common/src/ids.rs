@@ -141,8 +141,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let w: WorkerId = serde_json::from_str(&serde_json::to_string(&WorkerId(4)).unwrap()).unwrap();
-        assert_eq!(w, WorkerId(4));
+    fn copy_semantics_preserve_identity() {
+        let w = WorkerId(4);
+        let copy = w;
+        assert_eq!(w, copy);
+        assert_eq!(copy.index(), 4);
     }
 }

@@ -35,6 +35,7 @@ pub mod grid;
 pub mod ids;
 pub mod logprob;
 pub mod observations;
+pub mod overlap;
 pub mod rng;
 pub mod stats;
 
@@ -43,6 +44,7 @@ mod error;
 pub use error::ValidationError;
 pub use grid::Grid;
 pub use ids::{TaskId, ValueId, WorkerId};
-pub use observations::{Observations, ObservationsBuilder, TaskView};
+pub use observations::{Observations, ObservationsBuilder, TaskGroups, TaskView};
+pub use overlap::{OverlapIter, OverlapTriple, PairOverlapIndex};
 pub use rng::{rng_from_seed, SeedStream};
 pub use stats::{OnlineStats, Summary};

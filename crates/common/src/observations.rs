@@ -81,7 +81,9 @@ impl Observations {
     /// Panics if either index is out of the range declared at build time.
     pub fn value_of(&self, worker: WorkerId, task: TaskId) -> Option<ValueId> {
         let row = &self.by_worker[worker.index()];
-        row.binary_search_by_key(&task, |&(t, _)| t).ok().map(|k| row[k].1)
+        row.binary_search_by_key(&task, |&(t, _)| t)
+            .ok()
+            .map(|k| row[k].1)
     }
 
     /// All `(worker, value)` answers recorded for `task`, sorted by worker id.
@@ -102,7 +104,10 @@ impl Observations {
 
     /// The task ids answered by `worker` (the bid set `T_i`), sorted.
     pub fn task_set_of_worker(&self, worker: WorkerId) -> Vec<TaskId> {
-        self.by_worker[worker.index()].iter().map(|&(t, _)| t).collect()
+        self.by_worker[worker.index()]
+            .iter()
+            .map(|&(t, _)| t)
+            .collect()
     }
 
     /// A view over one task's answers with grouping helpers.
@@ -110,7 +115,9 @@ impl Observations {
     /// # Panics
     /// Panics if `task` is out of range.
     pub fn task_view(&self, task: TaskId) -> TaskView<'_> {
-        TaskView { rows: &self.by_task[task.index()] }
+        TaskView {
+            rows: &self.by_task[task.index()],
+        }
     }
 
     /// Iterates over the tasks answered by *both* workers, yielding
@@ -119,23 +126,52 @@ impl Observations {
     /// This is the raw material for the dependence analysis of §III-A, which
     /// partitions the overlap into `T_s` (same true value), `T_f` (same false
     /// value) and `T_d` (different values).
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`Observations::overlap_iter`] (no allocation),
+    /// [`Observations::overlap_into`] (reusable buffer), or — when the same
+    /// snapshot is walked pair-by-pair repeatedly — a prebuilt
+    /// [`crate::PairOverlapIndex`].
     pub fn overlap(&self, i: WorkerId, i2: WorkerId) -> Vec<(TaskId, ValueId, ValueId)> {
-        let a = &self.by_worker[i.index()];
-        let b = &self.by_worker[i2.index()];
-        let mut out = Vec::new();
-        let (mut x, mut y) = (0, 0);
-        while x < a.len() && y < b.len() {
-            match a[x].0.cmp(&b[y].0) {
-                std::cmp::Ordering::Less => x += 1,
-                std::cmp::Ordering::Greater => y += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push((a[x].0, a[x].1, b[y].1));
-                    x += 1;
-                    y += 1;
-                }
-            }
+        self.overlap_iter(i, i2).collect()
+    }
+
+    /// Allocation-free visitor over the tasks answered by *both* workers:
+    /// yields `(task, value_of_i, value_of_i2)` in ascending task order by
+    /// merging the two sorted per-worker rows lazily.
+    ///
+    /// # Panics
+    /// Panics if either id is out of the range declared at build time.
+    pub fn overlap_iter(&self, i: WorkerId, i2: WorkerId) -> crate::overlap::OverlapIter<'_> {
+        crate::overlap::OverlapIter {
+            a: &self.by_worker[i.index()],
+            b: &self.by_worker[i2.index()],
         }
-        out
+    }
+
+    /// Like [`Observations::overlap`], but reuses `out` as scratch space
+    /// (cleared first) so a caller looping over many pairs performs no
+    /// steady-state allocations.
+    pub fn overlap_into(
+        &self,
+        i: WorkerId,
+        i2: WorkerId,
+        out: &mut Vec<(TaskId, ValueId, ValueId)>,
+    ) {
+        out.clear();
+        out.extend(self.overlap_iter(i, i2));
+    }
+
+    /// The value groups of every task, computed in one pass:
+    /// `all_groups()[j]` equals `task_view(TaskId(j)).groups()`.
+    ///
+    /// The snapshot is immutable, so callers iterating a fixed point (e.g.
+    /// DATE) compute this once and reuse it every round instead of
+    /// re-deriving the grouping per task per iteration.
+    pub fn all_groups(&self) -> Vec<TaskGroups> {
+        (0..self.n_tasks)
+            .map(|j| self.task_view(TaskId(j)).groups())
+            .collect()
     }
 
     /// Largest value index observed for `task`, or `None` if unanswered.
@@ -146,6 +182,10 @@ impl Observations {
         self.by_task[task.index()].iter().map(|&(_, v)| v).max()
     }
 }
+
+/// One task's distinct values with their supporter lists, sorted by value
+/// id (the return type of [`TaskView::groups`]).
+pub type TaskGroups = Vec<(ValueId, Vec<WorkerId>)>;
 
 /// Borrowed view over a single task's answers.
 #[derive(Debug, Clone, Copy)]
@@ -166,7 +206,7 @@ impl<'a> TaskView<'a> {
 
     /// Distinct values with their supporter lists (`W_v^j` for each `v ∈ D^j`),
     /// sorted by value id; each supporter list is sorted by worker id.
-    pub fn groups(&self) -> Vec<(ValueId, Vec<WorkerId>)> {
+    pub fn groups(&self) -> TaskGroups {
         let mut groups: Vec<(ValueId, Vec<WorkerId>)> = Vec::new();
         for &(w, v) in self.rows {
             match groups.binary_search_by_key(&v, |g| g.0) {
@@ -318,7 +358,10 @@ mod tests {
     #[test]
     fn task_set_of_worker_is_bid_set() {
         let obs = sample();
-        assert_eq!(obs.task_set_of_worker(WorkerId(0)), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(
+            obs.task_set_of_worker(WorkerId(0)),
+            vec![TaskId(0), TaskId(1)]
+        );
         assert_eq!(obs.task_set_of_worker(WorkerId(1)), vec![TaskId(0)]);
     }
 
@@ -334,7 +377,10 @@ mod tests {
     #[test]
     fn distinct_values_sorted_dedup() {
         let obs = sample();
-        assert_eq!(obs.task_view(TaskId(0)).distinct_values(), vec![ValueId(0), ValueId(1)]);
+        assert_eq!(
+            obs.task_view(TaskId(0)).distinct_values(),
+            vec![ValueId(0), ValueId(1)]
+        );
         assert_eq!(obs.task_view(TaskId(1)).distinct_values(), vec![ValueId(2)]);
     }
 

@@ -1,0 +1,328 @@
+//! Precomputed pairwise-overlap index for the DATE dependence step.
+//!
+//! The dependence analysis (paper §III-A, eq. 7–15) walks, for every worker
+//! pair `(i, i')`, the tasks both answered. [`Observations::overlap`] derives
+//! that set on demand with a sorted-merge per call — fine once, wasteful in a
+//! fixed-point loop that revisits every pair every iteration while the
+//! underlying snapshot never changes.
+//!
+//! [`PairOverlapIndex`] materializes the overlap structure once per snapshot
+//! in CSR form: all `(task, value_a, value_b)` triples of all pairs live in
+//! one contiguous buffer, a per-pair offset table slices it, and only pairs
+//! with a non-empty overlap are enumerated. Build cost is
+//! `O(Σ_j |W^j|²)` — one pass over each task's responder list — which equals
+//! the total number of stored triples and is therefore optimal. Memory is
+//! `O(n²)` for the offset table plus `O(Σ_j |W^j|²)` for the triples.
+//!
+//! Per-pair triples are stored in ascending task order, and pairs enumerate
+//! in lexicographic `(a, b)` order with `a < b` — the same visit order as the
+//! naive nested loop, so consumers that re-accumulate floating-point sums
+//! from the index reproduce the naive results bit for bit.
+
+use crate::{Observations, TaskId, ValueId, WorkerId};
+
+/// One co-answered task of a worker pair `(a, b)`: the task plus the value
+/// each worker gave (`va` from the smaller-id worker `a`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapTriple {
+    /// The co-answered task.
+    pub task: TaskId,
+    /// The value given by the pair's first worker (`a < b`).
+    pub va: ValueId,
+    /// The value given by the pair's second worker.
+    pub vb: ValueId,
+}
+
+/// CSR-style index of every worker pair's overlapping answers.
+///
+/// # Example
+/// ```
+/// use imc2_common::{ObservationsBuilder, PairOverlapIndex, WorkerId, TaskId, ValueId};
+/// # fn main() -> Result<(), imc2_common::ValidationError> {
+/// let mut b = ObservationsBuilder::new(3, 2);
+/// b.record(WorkerId(0), TaskId(0), ValueId(1))?;
+/// b.record(WorkerId(1), TaskId(0), ValueId(1))?;
+/// b.record(WorkerId(0), TaskId(1), ValueId(0))?;
+/// b.record(WorkerId(1), TaskId(1), ValueId(2))?;
+/// let index = PairOverlapIndex::build(&b.build());
+/// let triples = index.triples(WorkerId(0), WorkerId(1));
+/// assert_eq!(triples.len(), 2);
+/// assert_eq!(triples[0].task, TaskId(0));
+/// assert_eq!(index.n_nonempty_pairs(), 1); // worker 2 answered nothing
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairOverlapIndex {
+    n_workers: usize,
+    /// CSR offsets over triangular pair ids; `len = n_pairs + 1`.
+    offsets: Vec<usize>,
+    /// All overlap triples, grouped by pair, ascending task within a pair.
+    triples: Vec<OverlapTriple>,
+    /// Worker index pairs `(a, b)` with `a < b` and at least one triple,
+    /// ascending — i.e. the naive double loop minus its empty iterations.
+    nonempty: Vec<(u32, u32)>,
+}
+
+impl PairOverlapIndex {
+    /// Builds the index from a snapshot in one counting pass and one fill
+    /// pass over every task's responder list.
+    pub fn build(obs: &Observations) -> Self {
+        let n = obs.n_workers();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let mut counts = vec![0usize; n_pairs];
+        for j in 0..obs.n_tasks() {
+            let rows = obs.workers_of_task(TaskId(j));
+            for (x, &(wa, _)) in rows.iter().enumerate() {
+                for &(wb, _) in &rows[x + 1..] {
+                    counts[triangular_id(n, wa.index(), wb.index())] += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n_pairs + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        // Fill with a per-pair cursor; visiting tasks in ascending order
+        // keeps each pair's triples sorted by task.
+        let mut cursor = offsets.clone();
+        let placeholder = OverlapTriple {
+            task: TaskId(0),
+            va: ValueId(0),
+            vb: ValueId(0),
+        };
+        let mut triples = vec![placeholder; total];
+        for j in 0..obs.n_tasks() {
+            let task = TaskId(j);
+            let rows = obs.workers_of_task(task);
+            for (x, &(wa, va)) in rows.iter().enumerate() {
+                for &(wb, vb) in &rows[x + 1..] {
+                    // Task rows are sorted by worker id, so wa < wb always.
+                    let pair = triangular_id(n, wa.index(), wb.index());
+                    triples[cursor[pair]] = OverlapTriple { task, va, vb };
+                    cursor[pair] += 1;
+                }
+            }
+        }
+        let mut nonempty = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if counts[triangular_id(n, a, b)] > 0 {
+                    nonempty.push((a as u32, b as u32));
+                }
+            }
+        }
+        PairOverlapIndex {
+            n_workers: n,
+            offsets,
+            triples,
+            nonempty,
+        }
+    }
+
+    /// Number of workers the index was built for.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Total number of stored triples, `Σ_j |W^j|·(|W^j|−1)/2`.
+    #[inline]
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Number of worker pairs with at least one co-answered task.
+    #[inline]
+    pub fn n_nonempty_pairs(&self) -> usize {
+        self.nonempty.len()
+    }
+
+    /// The overlap triples of pair `(a, b)`, ascending by task.
+    ///
+    /// # Panics
+    /// Panics unless `a < b` and both are in range: the index stores each
+    /// unordered pair once, keyed by its smaller worker first (`va` belongs
+    /// to `a`). Callers needing the swapped orientation flip `va`/`vb`.
+    pub fn triples(&self, a: WorkerId, b: WorkerId) -> &[OverlapTriple] {
+        assert!(
+            a < b && b.index() < self.n_workers,
+            "pair ({a}, {b}) must satisfy a < b < n_workers"
+        );
+        let pair = triangular_id(self.n_workers, a.index(), b.index());
+        &self.triples[self.offsets[pair]..self.offsets[pair + 1]]
+    }
+
+    /// The `k`-th non-empty pair as `(a, b, triples)`; `k` ranges over
+    /// `0..n_nonempty_pairs()` in lexicographic pair order.
+    pub fn pair_at(&self, k: usize) -> (WorkerId, WorkerId, &[OverlapTriple]) {
+        let (a, b) = self.nonempty[k];
+        let pair = triangular_id(self.n_workers, a as usize, b as usize);
+        (
+            WorkerId(a as usize),
+            WorkerId(b as usize),
+            &self.triples[self.offsets[pair]..self.offsets[pair + 1]],
+        )
+    }
+
+    /// Iterates all non-empty pairs in lexicographic order.
+    pub fn pairs(&self) -> impl Iterator<Item = (WorkerId, WorkerId, &[OverlapTriple])> + '_ {
+        (0..self.nonempty.len()).map(move |k| self.pair_at(k))
+    }
+}
+
+/// Dense id of the unordered pair `(a, b)`, `a < b`, in lexicographic order:
+/// row `a` starts after the `a` preceding rows of lengths `n-1, n-2, …`.
+#[inline]
+fn triangular_id(n: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < n);
+    a * (2 * n - a - 1) / 2 + (b - a - 1)
+}
+
+/// Merge iterator over the tasks two workers both answered; yields
+/// `(task, value_of_first, value_of_second)` without allocating.
+///
+/// Created by [`Observations::overlap_iter`].
+#[derive(Debug, Clone)]
+pub struct OverlapIter<'a> {
+    pub(crate) a: &'a [(TaskId, ValueId)],
+    pub(crate) b: &'a [(TaskId, ValueId)],
+}
+
+impl Iterator for OverlapIter<'_> {
+    type Item = (TaskId, ValueId, ValueId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let (Some(&(ta, va)), Some(&(tb, vb))) = (self.a.first(), self.b.first()) {
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => self.a = &self.a[1..],
+                std::cmp::Ordering::Greater => self.b = &self.b[1..],
+                std::cmp::Ordering::Equal => {
+                    self.a = &self.a[1..];
+                    self.b = &self.b[1..];
+                    return Some((ta, va, vb));
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.a.len().min(self.b.len())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObservationsBuilder;
+
+    fn sample() -> Observations {
+        let mut b = ObservationsBuilder::new(4, 3);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(2), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(1), TaskId(2), ValueId(0)).unwrap();
+        // Worker 3 answers nothing.
+        b.build()
+    }
+
+    #[test]
+    fn index_matches_naive_overlap_for_all_pairs() {
+        let obs = sample();
+        let index = PairOverlapIndex::build(&obs);
+        for a in 0..obs.n_workers() {
+            for b in (a + 1)..obs.n_workers() {
+                let (wa, wb) = (WorkerId(a), WorkerId(b));
+                let naive = obs.overlap(wa, wb);
+                let indexed: Vec<_> = index
+                    .triples(wa, wb)
+                    .iter()
+                    .map(|t| (t.task, t.va, t.vb))
+                    .collect();
+                assert_eq!(naive, indexed, "pair ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn nonempty_pairs_skip_silent_workers() {
+        let index = PairOverlapIndex::build(&sample());
+        let pairs: Vec<(usize, usize)> = index
+            .pairs()
+            .map(|(a, b, _)| (a.index(), b.index()))
+            .collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(index.n_nonempty_pairs(), 3);
+    }
+
+    #[test]
+    fn triple_totals_are_consistent() {
+        let obs = sample();
+        let index = PairOverlapIndex::build(&obs);
+        let expected: usize = (0..obs.n_tasks())
+            .map(|j| {
+                let k = obs.workers_of_task(TaskId(j)).len();
+                k * (k - 1) / 2
+            })
+            .sum();
+        assert_eq!(index.n_triples(), expected);
+        let via_pairs: usize = index.pairs().map(|(_, _, t)| t.len()).sum();
+        assert_eq!(via_pairs, expected);
+    }
+
+    #[test]
+    fn pair_triples_sorted_by_task() {
+        let index = PairOverlapIndex::build(&sample());
+        for (_, _, triples) in index.pairs() {
+            assert!(triples.windows(2).all(|w| w[0].task < w[1].task));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn reversed_pair_rejected() {
+        let index = PairOverlapIndex::build(&sample());
+        let _ = index.triples(WorkerId(2), WorkerId(1));
+    }
+
+    #[test]
+    fn empty_observations_build_empty_index() {
+        let obs = ObservationsBuilder::new(3, 2).build();
+        let index = PairOverlapIndex::build(&obs);
+        assert_eq!(index.n_triples(), 0);
+        assert_eq!(index.n_nonempty_pairs(), 0);
+        assert!(index.triples(WorkerId(0), WorkerId(2)).is_empty());
+    }
+
+    #[test]
+    fn single_worker_index_is_empty() {
+        let mut b = ObservationsBuilder::new(1, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        let index = PairOverlapIndex::build(&b.build());
+        assert_eq!(index.n_nonempty_pairs(), 0);
+        assert_eq!(index.n_triples(), 0);
+    }
+
+    #[test]
+    fn triangular_ids_are_dense_and_ordered() {
+        let n = 5;
+        let mut last = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let id = triangular_id(n, a, b);
+                match last {
+                    None => assert_eq!(id, 0),
+                    Some(prev) => assert_eq!(id, prev + 1, "ids must be dense at ({a}, {b})"),
+                }
+                last = Some(id);
+            }
+        }
+        assert_eq!(last, Some(n * (n - 1) / 2 - 1));
+    }
+}

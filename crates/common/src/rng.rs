@@ -55,12 +55,17 @@ impl SeedStream {
 
     /// Derives the `k`-th sub-seed.
     pub fn derive(&self, k: u64) -> u64 {
-        splitmix64(self.root.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        splitmix64(
+            self.root
+                .wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// Derives a sub-stream, useful for nesting (figure → point → instance).
     pub fn substream(&self, k: u64) -> SeedStream {
-        SeedStream { root: self.derive(k) }
+        SeedStream {
+            root: self.derive(k),
+        }
     }
 
     /// Convenience: an RNG for the `k`-th sub-seed.

@@ -45,7 +45,10 @@ impl Campaign {
     /// A campaign over the given scenario configuration with the paper's
     /// mechanism.
     pub fn new(config: ScenarioConfig) -> Self {
-        Campaign { config, mechanism: Imc2::paper() }
+        Campaign {
+            config,
+            mechanism: Imc2::paper(),
+        }
     }
 
     /// Replaces the mechanism (different DATE variant, capped auction, …).
@@ -85,8 +88,12 @@ impl Campaign {
             .filter(|p| p.is_copier())
             .map(|p| p.worker)
             .collect();
-        let copier_winners =
-            outcome.auction.winners.iter().filter(|w| copiers.contains(w)).count();
+        let copier_winners = outcome
+            .auction
+            .winners
+            .iter()
+            .filter(|w| copiers.contains(w))
+            .count();
         CampaignReport {
             precision: outcome.precision,
             n_winners: outcome.auction.winners.len(),
@@ -94,7 +101,11 @@ impl Campaign {
             total_payment: outcome.auction.total_payment(),
             social_welfare: outcome.social_welfare,
             platform_utility: outcome.platform_utility,
-            min_winner_utility: if min_winner_utility.is_finite() { min_winner_utility } else { 0.0 },
+            min_winner_utility: if min_winner_utility.is_finite() {
+                min_winner_utility
+            } else {
+                0.0
+            },
             copier_win_share: if outcome.auction.winners.is_empty() {
                 0.0
             } else {
@@ -114,7 +125,10 @@ mod tests {
         assert!(report.precision > 0.3);
         assert!(report.n_winners > 0);
         assert!(report.social_cost > 0.0);
-        assert!(report.total_payment >= report.social_cost - 1e-9, "payments cover truthful bids");
+        assert!(
+            report.total_payment >= report.social_cost - 1e-9,
+            "payments cover truthful bids"
+        );
         assert!(report.min_winner_utility >= -1e-9, "individual rationality");
         assert!((0.0..=1.0).contains(&report.copier_win_share));
     }

@@ -1,7 +1,9 @@
 //! The composed mechanism `M = (e, f, p)`: truth estimation, winner
 //! selection, payment (paper §II-A).
 
-use imc2_auction::{AuctionError, AuctionMechanism, AuctionOutcome, Bid, ReverseAuction, SoacProblem};
+use imc2_auction::{
+    AuctionError, AuctionMechanism, AuctionOutcome, Bid, ReverseAuction, SoacProblem,
+};
 use imc2_common::{ValidationError, WorkerId};
 use imc2_datagen::Scenario;
 use imc2_truth::{accuracy_for_auction, Date, TruthDiscovery, TruthOutcome, TruthProblem};
@@ -37,12 +39,18 @@ impl Imc2 {
     /// IMC2 with the paper's default DATE parameters and strict monopolist
     /// handling.
     pub fn paper() -> Self {
-        Imc2 { date: Date::paper(), auction: ReverseAuction::new() }
+        Imc2 {
+            date: Date::paper(),
+            auction: ReverseAuction::new(),
+        }
     }
 
     /// IMC2 with a custom truth-discovery stage.
     pub fn with_date(date: Date) -> Self {
-        Imc2 { date, auction: ReverseAuction::new() }
+        Imc2 {
+            date,
+            auction: ReverseAuction::new(),
+        }
     }
 
     /// Replaces the auction stage (e.g. to cap monopolist payments).
@@ -103,12 +111,18 @@ impl Imc2 {
         let auction = self.auction.run(&soac)?;
 
         let precision = imc2_truth::precision(&truth.estimate, &scenario.ground_truth);
-        let social_cost =
-            imc2_auction::analysis::social_cost(&auction.winners, &scenario.costs);
+        let social_cost = imc2_auction::analysis::social_cost(&auction.winners, &scenario.costs);
         let value: f64 = scenario.task_values.iter().sum();
         let social_welfare = value - social_cost;
         let platform_utility = value - auction.total_payment();
-        Ok(Imc2Outcome { truth, auction, precision, social_cost, social_welfare, platform_utility })
+        Ok(Imc2Outcome {
+            truth,
+            auction,
+            precision,
+            social_cost,
+            social_welfare,
+            platform_utility,
+        })
     }
 }
 

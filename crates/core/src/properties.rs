@@ -39,7 +39,9 @@ fn soac_of(mechanism: &Imc2, scenario: &Scenario) -> Result<SoacProblem, Auction
     let problem = imc2_truth::TruthProblem::new(&scenario.observations, &scenario.num_false)
         .expect("scenario is well-formed");
     let truth = imc2_truth::TruthDiscovery::discover(mechanism.date(), &problem);
-    Ok(mechanism.build_soac(scenario, &truth).expect("scenario is well-formed"))
+    Ok(mechanism
+        .build_soac(scenario, &truth)
+        .expect("scenario is well-formed"))
 }
 
 /// Checks that every winner's utility is non-negative under truthful
@@ -53,8 +55,8 @@ pub fn check_individual_rationality(
 ) -> Result<PropertyReport, AuctionError> {
     let soac = soac_of(mechanism, scenario)?;
     let outcome = mechanism.auction().run(&soac)?;
-    let utilities = imc2_auction::analysis::utilities(&outcome, &scenario.costs)
-        .expect("cost vector matches");
+    let utilities =
+        imc2_auction::analysis::utilities(&outcome, &scenario.costs).expect("cost vector matches");
     let mut worst: f64 = 0.0;
     let mut passed = 0;
     for &w in &outcome.winners {
@@ -65,7 +67,11 @@ pub fn check_individual_rationality(
             worst = worst.max(-u);
         }
     }
-    Ok(PropertyReport { probed: outcome.winners.len(), passed, worst_violation: worst })
+    Ok(PropertyReport {
+        probed: outcome.winners.len(),
+        passed,
+        worst_violation: worst,
+    })
 }
 
 /// Probes `workers` (or a default spread) with bid deviations and checks
@@ -91,7 +97,11 @@ pub fn check_truthfulness(
             worst = worst.max(report.best_deviation_utility - report.truthful_utility);
         }
     }
-    Ok(PropertyReport { probed: workers.len(), passed, worst_violation: worst })
+    Ok(PropertyReport {
+        probed: workers.len(),
+        passed,
+        worst_violation: worst,
+    })
 }
 
 /// The utility-versus-bid curve of one worker (the Fig. 8 experiment),
@@ -106,7 +116,13 @@ pub fn fig8_utility_curve(
     bids: &[f64],
 ) -> Result<Vec<UtilityPoint>, AuctionError> {
     let soac = soac_of(mechanism, scenario)?;
-    Ok(utility_curve(mechanism.auction(), &soac, &scenario.costs, worker, bids))
+    Ok(utility_curve(
+        mechanism.auction(),
+        &soac,
+        &scenario.costs,
+        worker,
+        bids,
+    ))
 }
 
 #[cfg(test)]
@@ -121,9 +137,11 @@ mod tests {
     #[test]
     fn individual_rationality_holds() {
         for seed in [1, 2, 3] {
-            let report =
-                check_individual_rationality(&Imc2::paper(), &scenario(seed)).unwrap();
-            assert!(report.all_passed(), "IR violated at seed {seed}: {report:?}");
+            let report = check_individual_rationality(&Imc2::paper(), &scenario(seed)).unwrap();
+            assert!(
+                report.all_passed(),
+                "IR violated at seed {seed}: {report:?}"
+            );
         }
     }
 
@@ -138,7 +156,10 @@ mod tests {
             &[0.2, 0.5, 0.8, 1.25, 2.0, 5.0],
         )
         .unwrap();
-        assert!(report.all_passed(), "profitable deviation found: {report:?}");
+        assert!(
+            report.all_passed(),
+            "profitable deviation found: {report:?}"
+        );
     }
 
     #[test]
@@ -157,7 +178,10 @@ mod tests {
         if winning.len() >= 2 {
             let u0 = winning[0].utility;
             for p in &winning {
-                assert!((p.utility - u0).abs() < 1e-6, "winning utility must be flat");
+                assert!(
+                    (p.utility - u0).abs() < 1e-6,
+                    "winning utility must be flat"
+                );
             }
         }
         for p in curve.iter().filter(|p| !p.won) {
@@ -167,9 +191,17 @@ mod tests {
 
     #[test]
     fn report_accessors() {
-        let r = PropertyReport { probed: 3, passed: 3, worst_violation: 0.0 };
+        let r = PropertyReport {
+            probed: 3,
+            passed: 3,
+            worst_violation: 0.0,
+        };
         assert!(r.all_passed());
-        let r = PropertyReport { probed: 3, passed: 2, worst_violation: 0.5 };
+        let r = PropertyReport {
+            probed: 3,
+            passed: 2,
+            worst_violation: 0.5,
+        };
         assert!(!r.all_passed());
     }
 }

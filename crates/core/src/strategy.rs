@@ -43,9 +43,7 @@ impl BidStrategy {
             BidStrategy::Truthful => cost,
             BidStrategy::Scale { factor } => cost * factor,
             BidStrategy::Shift { offset } => cost + offset,
-            BidStrategy::Jitter { jitter } => {
-                cost * rng.gen_range(1.0 - jitter..=1.0 + jitter)
-            }
+            BidStrategy::Jitter { jitter } => cost * rng.gen_range(1.0 - jitter..=1.0 + jitter),
         };
         bid.max(1e-6)
     }
@@ -75,8 +73,8 @@ mod tests {
     use super::*;
     use crate::mechanism::Imc2;
     use imc2_auction::analysis::utilities;
-    use imc2_datagen::ScenarioConfig;
     use imc2_common::rng_from_seed;
+    use imc2_datagen::ScenarioConfig;
 
     #[test]
     fn strategies_compute_expected_bids() {
@@ -94,8 +92,7 @@ mod tests {
     fn apply_strategies_only_touches_bids() {
         let scenario = Scenario::generate(&ScenarioConfig::small(), 5);
         let w = WorkerId(3);
-        let strategic =
-            apply_strategies(&scenario, &[(w, BidStrategy::Scale { factor: 2.0 })], 9);
+        let strategic = apply_strategies(&scenario, &[(w, BidStrategy::Scale { factor: 2.0 })], 9);
         assert_eq!(strategic.costs, scenario.costs);
         assert_eq!(strategic.observations, scenario.observations);
         assert!((strategic.bids[3] - scenario.costs[3] * 2.0).abs() < 1e-12);
@@ -123,7 +120,9 @@ mod tests {
                 BidStrategy::Shift { offset: 2.0 },
             ] {
                 let strategic = apply_strategies(&scenario, &[(w, strategy)], 3);
-                let Ok(outcome) = Imc2::paper().run(&strategic) else { continue };
+                let Ok(outcome) = Imc2::paper().run(&strategic) else {
+                    continue;
+                };
                 let utils = utilities(&outcome.auction, &scenario.costs).unwrap();
                 assert!(
                     utils[k] <= truthful_utils[k] + 1e-6,

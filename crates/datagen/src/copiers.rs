@@ -103,13 +103,22 @@ impl CopierPlan {
             .validate(n_workers)
             .expect("CopierConfig must be validated before sampling");
         if config.n_copiers == 0 {
-            return CopierPlan { assignments: Vec::new() };
+            return CopierPlan {
+                assignments: Vec::new(),
+            };
         }
         let mut ids: Vec<usize> = (0..n_workers).collect();
         ids.shuffle(rng);
-        let copiers: Vec<WorkerId> = ids[..config.n_copiers].iter().copied().map(WorkerId).collect();
-        let independents: Vec<WorkerId> =
-            ids[config.n_copiers..].iter().copied().map(WorkerId).collect();
+        let copiers: Vec<WorkerId> = ids[..config.n_copiers]
+            .iter()
+            .copied()
+            .map(WorkerId)
+            .collect();
+        let independents: Vec<WorkerId> = ids[config.n_copiers..]
+            .iter()
+            .copied()
+            .map(WorkerId)
+            .collect();
 
         let mut assignments = Vec::with_capacity(config.n_copiers);
         for ring in copiers.chunks(config.ring_size) {
@@ -173,18 +182,24 @@ mod tests {
 
     #[test]
     fn too_many_copiers_rejected() {
-        let mut c = CopierConfig::default();
-        c.n_copiers = 120;
+        let c = CopierConfig {
+            n_copiers: 120,
+            ..CopierConfig::default()
+        };
         assert!(c.validate(120).is_err());
     }
 
     #[test]
     fn bad_probabilities_rejected() {
-        let mut c = CopierConfig::default();
-        c.copy_prob = 1.5;
+        let c = CopierConfig {
+            copy_prob: 1.5,
+            ..CopierConfig::default()
+        };
         assert!(c.validate(120).is_err());
-        let mut c = CopierConfig::default();
-        c.ring_size = 0;
+        let c = CopierConfig {
+            ring_size: 0,
+            ..CopierConfig::default()
+        };
         assert!(c.validate(120).is_err());
     }
 
@@ -200,40 +215,63 @@ mod tests {
         let p = plan(2, 120, &CopierConfig::default());
         let copiers: std::collections::HashSet<_> = p.copiers().into_iter().collect();
         for &(_, source) in &p.assignments {
-            assert!(!copiers.contains(&source), "source {source} is itself a copier");
+            assert!(
+                !copiers.contains(&source),
+                "source {source} is itself a copier"
+            );
         }
     }
 
     #[test]
     fn rings_share_sources() {
-        let cfg = CopierConfig { ring_size: 5, ..CopierConfig::default() };
+        let cfg = CopierConfig {
+            ring_size: 5,
+            ..CopierConfig::default()
+        };
         let p = plan(3, 120, &cfg);
         // Count distinct sources: 30 copiers in rings of 5 → at most 6 sources.
-        let distinct: std::collections::HashSet<_> = p.assignments.iter().map(|&(_, s)| s).collect();
+        let distinct: std::collections::HashSet<_> =
+            p.assignments.iter().map(|&(_, s)| s).collect();
         assert!(distinct.len() <= 6);
     }
 
     #[test]
     fn source_of_finds_assignment() {
-        let p = plan(4, 50, &CopierConfig { n_copiers: 10, ..CopierConfig::default() });
+        let p = plan(
+            4,
+            50,
+            &CopierConfig {
+                n_copiers: 10,
+                ..CopierConfig::default()
+            },
+        );
         let (c, s) = p.assignments[0];
         assert_eq!(p.source_of(c), Some(s));
         // A non-copier has no source.
         let copiers: std::collections::HashSet<_> = p.copiers().into_iter().collect();
-        let non = (0..50).map(WorkerId).find(|w| !copiers.contains(w)).unwrap();
+        let non = (0..50)
+            .map(WorkerId)
+            .find(|w| !copiers.contains(w))
+            .unwrap();
         assert_eq!(p.source_of(non), None);
     }
 
     #[test]
     fn zero_copiers_gives_empty_plan() {
-        let cfg = CopierConfig { n_copiers: 0, ..CopierConfig::default() };
+        let cfg = CopierConfig {
+            n_copiers: 0,
+            ..CopierConfig::default()
+        };
         let p = plan(5, 20, &cfg);
         assert!(p.assignments.is_empty());
     }
 
     #[test]
     fn apply_converts_profiles() {
-        let cfg = CopierConfig { n_copiers: 4, ..CopierConfig::default() };
+        let cfg = CopierConfig {
+            n_copiers: 4,
+            ..CopierConfig::default()
+        };
         let p = plan(6, 20, &cfg);
         let mut profiles: Vec<WorkerProfile> = (0..20)
             .map(|i| WorkerProfile::independent(WorkerId(i), 0.7, 1.0))

@@ -67,15 +67,27 @@ impl CostModel {
         match *self {
             CostModel::Uniform { lo, hi } => {
                 if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo) {
-                    return Err(ValidationError::new("uniform cost range must satisfy 0 < lo <= hi"));
+                    return Err(ValidationError::new(
+                        "uniform cost range must satisfy 0 < lo <= hi",
+                    ));
                 }
             }
-            CostModel::LogNormal { mu, sigma, scale, min, max } => {
+            CostModel::LogNormal {
+                mu,
+                sigma,
+                scale,
+                min,
+                max,
+            } => {
                 if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
-                    return Err(ValidationError::new("log-normal parameters must be finite, sigma >= 0"));
+                    return Err(ValidationError::new(
+                        "log-normal parameters must be finite, sigma >= 0",
+                    ));
                 }
                 if !(scale > 0.0 && min > 0.0 && max >= min) {
-                    return Err(ValidationError::new("log-normal scale/truncation must satisfy 0 < min <= max, scale > 0"));
+                    return Err(ValidationError::new(
+                        "log-normal scale/truncation must satisfy 0 < min <= max, scale > 0",
+                    ));
                 }
             }
             CostModel::EbayReplay { scale } => {
@@ -91,9 +103,13 @@ impl CostModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             CostModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-            CostModel::LogNormal { mu, sigma, scale, min, max } => {
-                (sample_log_normal(rng, mu, sigma) * scale).clamp(min, max)
-            }
+            CostModel::LogNormal {
+                mu,
+                sigma,
+                scale,
+                min,
+                max,
+            } => (sample_log_normal(rng, mu, sigma) * scale).clamp(min, max),
             CostModel::EbayReplay { scale } => {
                 let table = ebay_price_table();
                 table[rng.gen_range(0..table.len())] * scale
@@ -168,7 +184,13 @@ mod tests {
     #[test]
     fn log_normal_truncates() {
         let mut rng = rng_from_seed(22);
-        let m = CostModel::LogNormal { mu: 0.0, sigma: 2.0, scale: 1.0, min: 0.5, max: 3.0 };
+        let m = CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 2.0,
+            scale: 1.0,
+            min: 0.5,
+            max: 3.0,
+        };
         for c in m.sample_many(&mut rng, 500) {
             assert!((0.5..=3.0).contains(&c));
         }
@@ -179,9 +201,15 @@ mod tests {
         assert!(CostModel::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
         assert!(CostModel::Uniform { lo: 0.0, hi: 1.0 }.validate().is_err());
         assert!(CostModel::EbayReplay { scale: 0.0 }.validate().is_err());
-        assert!(CostModel::LogNormal { mu: 0.0, sigma: -1.0, scale: 1.0, min: 1.0, max: 2.0 }
-            .validate()
-            .is_err());
+        assert!(CostModel::LogNormal {
+            mu: 0.0,
+            sigma: -1.0,
+            scale: 1.0,
+            min: 1.0,
+            max: 2.0
+        }
+        .validate()
+        .is_err());
         assert!(CostModel::default().validate().is_ok());
     }
 

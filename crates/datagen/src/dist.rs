@@ -16,7 +16,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `shape` is not finite and positive.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive");
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive"
+    );
     if shape < 1.0 {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
@@ -58,7 +61,10 @@ pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
 /// # Panics
 /// Panics if `sigma` is negative or either parameter is non-finite.
 pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
-    assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal parameters");
+    assert!(
+        mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+        "invalid log-normal parameters"
+    );
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -74,7 +80,10 @@ pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f
 /// Panics if `n == 0` or `s` is negative/non-finite.
 pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
     assert!(n > 0, "need at least one item");
-    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+    assert!(
+        s.is_finite() && s >= 0.0,
+        "zipf exponent must be non-negative"
+    );
     let mut w: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
     let total: f64 = w.iter().sum();
     for x in &mut w {
@@ -135,7 +144,10 @@ mod tests {
         let n = 20_000;
         let shape = 3.0;
         let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
-        assert!((mean - shape).abs() < 0.1, "gamma mean {mean} vs shape {shape}");
+        assert!(
+            (mean - shape).abs() < 0.1,
+            "gamma mean {mean} vs shape {shape}"
+        );
     }
 
     #[test]
@@ -168,7 +180,9 @@ mod tests {
     #[test]
     fn log_normal_median_matches_mu() {
         let mut rng = rng_from_seed(5);
-        let mut xs: Vec<f64> = (0..9999).map(|_| sample_log_normal(&mut rng, 2.0, 0.5)).collect();
+        let mut xs: Vec<f64> = (0..9999)
+            .map(|_| sample_log_normal(&mut rng, 2.0, 0.5))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
         assert!((median.ln() - 2.0).abs() < 0.05, "median {median}");

@@ -49,9 +49,13 @@ impl ParticipationConfig {
     /// Returns [`ValidationError`] when the average is non-positive, the decay
     /// is outside `[0, 2)` (which would make some task's expectation
     /// non-positive) or the Zipf exponent is negative.
+    // Deliberate negated comparisons: `!(x > 0.0)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), ValidationError> {
         if !(self.avg_responses_per_task > 0.0) {
-            return Err(ValidationError::new("avg_responses_per_task must be positive"));
+            return Err(ValidationError::new(
+                "avg_responses_per_task must be positive",
+            ));
         }
         if !(0.0..2.0).contains(&self.index_decay) {
             return Err(ValidationError::new("index_decay must lie in [0, 2)"));
@@ -132,14 +136,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = ParticipationConfig::default();
-        c.avg_responses_per_task = 0.0;
+        let c = ParticipationConfig {
+            avg_responses_per_task: 0.0,
+            ..ParticipationConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ParticipationConfig::default();
-        c.index_decay = 2.5;
+        let c = ParticipationConfig {
+            index_decay: 2.5,
+            ..ParticipationConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ParticipationConfig::default();
-        c.activity_zipf = -1.0;
+        let c = ParticipationConfig {
+            activity_zipf: -1.0,
+            ..ParticipationConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -189,8 +199,10 @@ mod tests {
     #[test]
     fn response_count_capped_at_n_workers() {
         let mut rng = rng_from_seed(13);
-        let mut c = ParticipationConfig::default();
-        c.avg_responses_per_task = 100.0;
+        let c = ParticipationConfig {
+            avg_responses_per_task: 100.0,
+            ..ParticipationConfig::default()
+        };
         let w = activity_weights(&mut rng, 10, 0.5);
         let p = sample_participation(&mut rng, 10, 5, &c, &w);
         for task in &p {

@@ -77,7 +77,11 @@ impl WorkerProfile {
         WorkerProfile {
             worker,
             reliability,
-            kind: WorkerKind::Copier { source, copy_prob, copy_error },
+            kind: WorkerKind::Copier {
+                source,
+                copy_prob,
+                copy_error,
+            },
             activity,
         }
     }
@@ -116,10 +120,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_round_trip() {
         let p = WorkerProfile::copier(WorkerId(4), 0.6, 1.0, WorkerId(1), 0.8, 0.05);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: WorkerProfile = serde_json::from_str(&json).unwrap();
+        let back = p.clone();
         assert_eq!(p, back);
     }
 }

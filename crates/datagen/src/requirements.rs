@@ -26,7 +26,12 @@ pub struct RequirementConfig {
 
 impl Default for RequirementConfig {
     fn default() -> Self {
-        RequirementConfig { theta_lo: 2.0, theta_hi: 4.0, value_lo: 5.0, value_hi: 8.0 }
+        RequirementConfig {
+            theta_lo: 2.0,
+            theta_hi: 4.0,
+            value_lo: 5.0,
+            value_hi: 8.0,
+        }
     }
 }
 
@@ -42,22 +47,30 @@ impl RequirementConfig {
             return Err(ValidationError::new("requirement bounds must be finite"));
         }
         if !(self.theta_lo > 0.0 && self.theta_hi >= self.theta_lo) {
-            return Err(ValidationError::new("theta range must satisfy 0 < lo <= hi"));
+            return Err(ValidationError::new(
+                "theta range must satisfy 0 < lo <= hi",
+            ));
         }
         if !(self.value_lo >= 0.0 && self.value_hi >= self.value_lo) {
-            return Err(ValidationError::new("value range must satisfy 0 <= lo <= hi"));
+            return Err(ValidationError::new(
+                "value range must satisfy 0 <= lo <= hi",
+            ));
         }
         Ok(())
     }
 
     /// Draws the accuracy-requirement profile `Θ = (Θ_1 … Θ_m)`.
     pub fn sample_requirements<R: Rng + ?Sized>(&self, rng: &mut R, m: usize) -> Vec<f64> {
-        (0..m).map(|_| rng.gen_range(self.theta_lo..=self.theta_hi)).collect()
+        (0..m)
+            .map(|_| rng.gen_range(self.theta_lo..=self.theta_hi))
+            .collect()
     }
 
     /// Draws the per-task value profile.
     pub fn sample_values<R: Rng + ?Sized>(&self, rng: &mut R, m: usize) -> Vec<f64> {
-        (0..m).map(|_| rng.gen_range(self.value_lo..=self.value_hi)).collect()
+        (0..m)
+            .map(|_| rng.gen_range(self.value_lo..=self.value_hi))
+            .collect()
     }
 }
 
@@ -88,14 +101,20 @@ mod tests {
 
     #[test]
     fn invalid_ranges_rejected() {
-        let mut c = RequirementConfig::default();
-        c.theta_lo = 0.0;
+        let c = RequirementConfig {
+            theta_lo: 0.0,
+            ..RequirementConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RequirementConfig::default();
-        c.theta_hi = 1.0;
+        let c = RequirementConfig {
+            theta_hi: 1.0,
+            ..RequirementConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RequirementConfig::default();
-        c.value_hi = f64::NAN;
+        let c = RequirementConfig {
+            value_hi: f64::NAN,
+            ..RequirementConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -44,7 +44,11 @@ impl ScenarioConfig {
     pub fn small() -> Self {
         ScenarioConfig {
             forum: ForumConfig::small(),
-            requirements: RequirementConfig { theta_lo: 0.5, theta_hi: 1.5, ..RequirementConfig::default() },
+            requirements: RequirementConfig {
+                theta_lo: 0.5,
+                theta_hi: 1.5,
+                ..RequirementConfig::default()
+            },
             ..ScenarioConfig::paper_default()
         }
     }
@@ -99,11 +103,23 @@ impl Scenario {
         let seeds = SeedStream::new(seed);
         let forum = ForumData::generate(&config.forum, &mut seeds.rng(0))
             .expect("validated config must generate");
-        let costs = config.cost_model.sample_many(&mut seeds.rng(1), config.forum.n_workers);
+        let costs = config
+            .cost_model
+            .sample_many(&mut seeds.rng(1), config.forum.n_workers);
         let mut req_rng = seeds.rng(2);
-        let requirements = config.requirements.sample_requirements(&mut req_rng, config.forum.n_tasks);
-        let task_values = config.requirements.sample_values(&mut req_rng, config.forum.n_tasks);
-        let ForumData { observations, ground_truth, profiles, num_false, false_value_probs } = forum;
+        let requirements = config
+            .requirements
+            .sample_requirements(&mut req_rng, config.forum.n_tasks);
+        let task_values = config
+            .requirements
+            .sample_values(&mut req_rng, config.forum.n_tasks);
+        let ForumData {
+            observations,
+            ground_truth,
+            profiles,
+            num_false,
+            false_value_probs,
+        } = forum;
         Scenario {
             observations,
             ground_truth,
@@ -140,7 +156,11 @@ impl Scenario {
     /// # Panics
     /// Panics if `estimate.len()` differs from the number of tasks.
     pub fn precision_of(&self, estimate: &[Option<ValueId>]) -> f64 {
-        assert_eq!(estimate.len(), self.ground_truth.len(), "estimate length mismatch");
+        assert_eq!(
+            estimate.len(),
+            self.ground_truth.len(),
+            "estimate length mismatch"
+        );
         let hits = estimate
             .iter()
             .zip(&self.ground_truth)

@@ -40,12 +40,19 @@ impl DatasetSummary {
         let obs = &data.observations;
         let n = obs.n_workers();
         let m = obs.n_tasks();
-        let per_task: Vec<usize> = (0..m).map(|j| obs.workers_of_task(TaskId(j)).len()).collect();
-        let per_worker: Vec<usize> = (0..n).map(|w| obs.tasks_of_worker(WorkerId(w)).len()).collect();
+        let per_task: Vec<usize> = (0..m)
+            .map(|j| obs.workers_of_task(TaskId(j)).len())
+            .collect();
+        let per_worker: Vec<usize> = (0..n)
+            .map(|w| obs.tasks_of_worker(WorkerId(w)).len())
+            .collect();
         let copiers: Vec<_> = data.profiles.iter().filter(|p| p.is_copier()).collect();
         let overlap_total: usize = copiers
             .iter()
-            .map(|p| obs.overlap(p.worker, p.source().expect("copier has source")).len())
+            .map(|p| {
+                obs.overlap(p.worker, p.source().expect("copier has source"))
+                    .len()
+            })
             .sum();
         let independents: Vec<_> = data.profiles.iter().filter(|p| !p.is_copier()).collect();
         let correct: usize = (0..m)
@@ -113,12 +120,16 @@ mod tests {
 
     #[test]
     fn summary_matches_paper_shape_at_default() {
-        let data = ForumData::generate(&ForumConfig::paper_default(), &mut rng_from_seed(1)).unwrap();
+        let data =
+            ForumData::generate(&ForumConfig::paper_default(), &mut rng_from_seed(1)).unwrap();
         let s = DatasetSummary::of(&data);
         assert_eq!(s.n_workers, 120);
         assert_eq!(s.n_tasks, 300);
         assert_eq!(s.n_copiers, 30);
-        assert!((15.0..25.0).contains(&s.mean_responses_per_task), "≈20 like 6000/300");
+        assert!(
+            (15.0..25.0).contains(&s.mean_responses_per_task),
+            "≈20 like 6000/300"
+        );
         assert!(s.mean_copier_overlap > 5.0, "rings need material to copy");
         assert!((0.4..0.9).contains(&s.raw_answer_accuracy));
     }

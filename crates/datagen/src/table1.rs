@@ -51,7 +51,11 @@ impl Table1 {
 /// Rows of the table, exactly as printed in the paper
 /// (task, [w1, w2, w3, w4, w5], truth-label).
 const ROWS: [(&str, [&str; 5], &str); 5] = [
-    ("Stonebraker", ["MIT", "Berkeley", "MIT", "MIT", "MS"], "MIT"),
+    (
+        "Stonebraker",
+        ["MIT", "Berkeley", "MIT", "MIT", "MS"],
+        "MIT",
+    ),
     ("Dewitt", ["MSR", "MSR", "UWise", "UWisc", "UWisc"], "MSR"),
     ("Bernstein", ["MSR", "MSR", "MSR", "MSR", "MSR"], "MSR"),
     ("Carey", ["UCI", "AT&T", "BEA", "BEA", "BEA"], "UCI"),

@@ -1,20 +1,20 @@
 //! Property tests for the generators: structural invariants over random
 //! configurations.
 
-use imc2_datagen::{CopierConfig, CostModel, ForumConfig, ForumData, Scenario, ScenarioConfig};
 use imc2_common::rng_from_seed;
+use imc2_datagen::{CopierConfig, CostModel, ForumConfig, ForumData, Scenario, ScenarioConfig};
 use proptest::prelude::*;
 
 fn arb_forum_config() -> impl Strategy<Value = ForumConfig> {
     (
-        4usize..40,       // workers
-        2usize..40,       // tasks
-        1u32..4,          // num_false
-        0usize..8,        // copiers (bounded below workers later)
-        1usize..6,        // ring size
-        0.0f64..1.0,      // copy prob
-        0.0f64..0.3,      // copy error
-        0.0f64..1.0,      // overlap bias
+        4usize..40,  // workers
+        2usize..40,  // tasks
+        1u32..4,     // num_false
+        0usize..8,   // copiers (bounded below workers later)
+        1usize..6,   // ring size
+        0.0f64..1.0, // copy prob
+        0.0f64..0.3, // copy error
+        0.0f64..1.0, // overlap bias
     )
         .prop_map(|(n, m, nf, nc, ring, cp, ce, bias)| {
             let mut cfg = ForumConfig::small();

@@ -24,8 +24,12 @@ pub enum Measure {
 
 impl Measure {
     /// All measures, for sweeps and ablations.
-    pub const ALL: [Measure; 4] =
-        [Measure::Euclidean, Measure::Pearson, Measure::Cosine, Measure::Asymmetric];
+    pub const ALL: [Measure; 4] = [
+        Measure::Euclidean,
+        Measure::Pearson,
+        Measure::Cosine,
+        Measure::Asymmetric,
+    ];
 
     /// Applies the measure; returns a value in `[0, 1]`.
     ///

@@ -56,8 +56,8 @@ impl AliasTable {
         let mut inserted = false;
         for label in labels {
             let key = label.as_ref().to_lowercase();
-            if !self.class_of.contains_key(&key) {
-                self.class_of.insert(key, id);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.class_of.entry(key) {
+                e.insert(id);
                 inserted = true;
             }
         }
@@ -100,7 +100,11 @@ impl EmbeddingSimilarity {
     /// Creates an oracle with the given measure and embedding dimension and
     /// a default threshold of 0.5.
     pub fn new(measure: Measure, dim: usize) -> Self {
-        EmbeddingSimilarity { measure, embedding: PseudoEmbedding::new(dim), threshold: 0.5 }
+        EmbeddingSimilarity {
+            measure,
+            embedding: PseudoEmbedding::new(dim),
+            threshold: 0.5,
+        }
     }
 
     /// Sets the similarity floor below which scores snap to zero.
@@ -108,7 +112,10 @@ impl EmbeddingSimilarity {
     /// # Panics
     /// Panics if `threshold` is outside `[0, 1]`.
     pub fn with_threshold(mut self, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must lie in [0, 1]"
+        );
         self.threshold = threshold;
         self
     }

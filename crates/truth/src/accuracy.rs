@@ -20,10 +20,10 @@ pub fn update_accuracy(
     accuracy: &mut Grid<f64>,
 ) {
     let obs = problem.observations();
-    for j in 0..obs.n_tasks() {
+    for (j, task_posteriors) in posteriors.iter().enumerate() {
         let task = TaskId(j);
         for &(w, v) in obs.workers_of_task(task) {
-            if let Some(&(_, p)) = posteriors[j].iter().find(|&&(pv, _)| pv == v) {
+            if let Some(&(_, p)) = task_posteriors.iter().find(|&&(pv, _)| pv == v) {
                 accuracy[(w, task)] = clamp_prob(p);
             }
         }
@@ -85,7 +85,11 @@ mod tests {
             vec![(ValueId(2), 1.0)],
         ];
         update_accuracy(&p, &posteriors, &mut acc);
-        assert_eq!(acc[(WorkerId(1), TaskId(1))], 0.5, "worker 1 never answered task 1");
+        assert_eq!(
+            acc[(WorkerId(1), TaskId(1))],
+            0.5,
+            "worker 1 never answered task 1"
+        );
     }
 
     #[test]

@@ -25,17 +25,17 @@
 //!   ([`Date::no_copier`]).
 
 use crate::accuracy::update_accuracy;
-use crate::dependence::{pairwise_posteriors, DependenceParams, DependencePosterior};
+use crate::dependence::{DependenceEngine, DependenceParams, DependencePosterior};
 use crate::independence::{enumerated_group_scores, greedy_group_scores, TaskIndependence};
 pub use crate::independence::{EdParams as EdConfig, SeedRule};
 use crate::nonuniform::FalseValueModel;
-use crate::posterior::value_posteriors;
+use crate::posterior::value_posteriors_cached;
 use crate::problem::{TruthOutcome, TruthProblem};
 use crate::similarity::Similarity;
 use crate::voting::MajorityVoting;
 use crate::TruthDiscovery;
 use imc2_common::logprob::clamp_prob;
-use imc2_common::{Grid, TaskId, ValidationError, ValueId};
+use imc2_common::{Grid, TaskGroups, TaskId, ValidationError, ValueId};
 use serde::{Deserialize, Serialize};
 
 /// How step 2 (independence probabilities) is carried out.
@@ -130,7 +130,11 @@ impl DateConfig {
     }
 
     fn dependence_params(&self) -> DependenceParams {
-        DependenceParams { r: self.r, alpha: self.alpha, posterior: self.posterior }
+        DependenceParams {
+            r: self.r,
+            alpha: self.alpha,
+            posterior: self.posterior,
+        }
     }
 }
 
@@ -153,13 +157,18 @@ impl Date {
 
     /// The paper's DATE with default parameters (r=0.4, ε=0.5, α=0.2, φ=100).
     pub fn paper() -> Self {
-        Date { config: DateConfig::default() }
+        Date {
+            config: DateConfig::default(),
+        }
     }
 
     /// The NC baseline: all workers assumed independent (step 3 only).
     pub fn no_copier() -> Self {
         Date {
-            config: DateConfig { independence: IndependenceMode::NoCopier, ..DateConfig::default() },
+            config: DateConfig {
+                independence: IndependenceMode::NoCopier,
+                ..DateConfig::default()
+            },
         }
     }
 
@@ -193,59 +202,71 @@ impl Date {
         let mut converged = false;
         let mut last_dep = None;
 
+        // Per-run workspace: everything derivable from the immutable
+        // snapshot is computed once here and reused every iteration — the
+        // value groups of each task, the overlap index and term caches
+        // inside the dependence engine, and (for NC) the constant identity
+        // independence scores.
+        let groups = obs.all_groups();
+        let mut engine = match cfg.independence {
+            IndependenceMode::NoCopier => None,
+            _ => Some(DependenceEngine::new(problem)),
+        };
+        let identity = match cfg.independence {
+            IndependenceMode::NoCopier => Some(identity_independence(&groups)),
+            _ => None,
+        };
+
         while iterations < cfg.max_iterations {
             iterations += 1;
             // Steps 1–2: dependence and independence probabilities.
             let independence: Vec<TaskIndependence> = match cfg.independence {
-                IndependenceMode::NoCopier => identity_independence(problem),
+                IndependenceMode::NoCopier => identity
+                    .clone()
+                    .expect("identity scores precomputed for NC"),
                 IndependenceMode::Greedy(seed_rule) => {
-                    let dep = pairwise_posteriors(
+                    let dep = engine.as_mut().expect("engine built for DATE").posteriors(
                         problem,
                         &accuracy,
                         &et,
                         &cfg.false_values,
                         &cfg.dependence_params(),
                     );
-                    let scores = (0..m)
-                        .map(|j| {
-                            obs.task_view(TaskId(j))
-                                .groups()
-                                .into_iter()
-                                .map(|(v, ws)| (v, greedy_group_scores(&ws, &dep, cfg.r, seed_rule)))
-                                .collect()
-                        })
-                        .collect();
+                    let scores = crate::par::map_tasks(m, |j| {
+                        groups[j]
+                            .iter()
+                            .map(|(v, ws)| (*v, greedy_group_scores(ws, &dep, cfg.r, seed_rule)))
+                            .collect()
+                    });
                     last_dep = Some(dep);
                     scores
                 }
                 IndependenceMode::Enumerate(ed) => {
-                    let dep = pairwise_posteriors(
+                    let dep = engine.as_mut().expect("engine built for ED").posteriors(
                         problem,
                         &accuracy,
                         &et,
                         &cfg.false_values,
                         &cfg.dependence_params(),
                     );
-                    let scores = (0..m)
-                        .map(|j| {
-                            obs.task_view(TaskId(j))
-                                .groups()
-                                .into_iter()
-                                .map(|(v, ws)| {
-                                    let key = ((j as u64) << 32) | u64::from(v.0);
-                                    (v, enumerated_group_scores(&ws, &dep, cfg.r, &ed, key))
-                                })
-                                .collect()
-                        })
-                        .collect();
+                    let scores = crate::par::map_tasks(m, |j| {
+                        groups[j]
+                            .iter()
+                            .map(|(v, ws)| {
+                                let key = ((j as u64) << 32) | u64::from(v.0);
+                                (*v, enumerated_group_scores(ws, &dep, cfg.r, &ed, key))
+                            })
+                            .collect()
+                    });
                     last_dep = Some(dep);
                     scores
                 }
             };
 
-            // Step 3a: value posteriors.
-            let posteriors = value_posteriors(
+            // Step 3a: value posteriors (over the cached groups).
+            let posteriors = value_posteriors_cached(
                 problem,
+                &groups,
                 &accuracy,
                 &et,
                 &cfg.false_values,
@@ -267,7 +288,15 @@ impl Date {
             et = new_et;
         }
 
-        (TruthOutcome { estimate: et, accuracy, iterations, converged }, last_dep)
+        (
+            TruthOutcome {
+                estimate: et,
+                accuracy,
+                iterations,
+                converged,
+            },
+            last_dep,
+        )
     }
 }
 
@@ -286,14 +315,13 @@ impl TruthDiscovery for Date {
 }
 
 /// Identity independence: every supporter of every value scores 1 (NC).
-fn identity_independence(problem: &TruthProblem<'_>) -> Vec<TaskIndependence> {
-    let obs = problem.observations();
-    (0..obs.n_tasks())
-        .map(|j| {
-            obs.task_view(TaskId(j))
-                .groups()
-                .into_iter()
-                .map(|(v, ws)| (v, ws.into_iter().map(|w| (w, 1.0)).collect()))
+fn identity_independence(groups: &[TaskGroups]) -> Vec<TaskIndependence> {
+    groups
+        .iter()
+        .map(|task_groups| {
+            task_groups
+                .iter()
+                .map(|(v, ws)| (*v, ws.iter().map(|&w| (w, 1.0)).collect()))
                 .collect()
         })
         .collect()
@@ -308,7 +336,11 @@ fn pool_accuracy_per_worker(problem: &TruthProblem<'_>, accuracy: &mut Grid<f64>
         if rows.is_empty() {
             continue;
         }
-        let mean = rows.iter().map(|&(t, _)| accuracy[(worker, t)]).sum::<f64>() / rows.len() as f64;
+        let mean = rows
+            .iter()
+            .map(|&(t, _)| accuracy[(worker, t)])
+            .sum::<f64>()
+            / rows.len() as f64;
         let mean = clamp_prob(mean);
         for &(t, _) in rows {
             accuracy[(worker, t)] = mean;
@@ -375,10 +407,26 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(Date::new(DateConfig { epsilon: 0.0, ..DateConfig::default() }).is_err());
-        assert!(Date::new(DateConfig { r: 1.0, ..DateConfig::default() }).is_err());
-        assert!(Date::new(DateConfig { alpha: 0.0, ..DateConfig::default() }).is_err());
-        assert!(Date::new(DateConfig { max_iterations: 0, ..DateConfig::default() }).is_err());
+        assert!(Date::new(DateConfig {
+            epsilon: 0.0,
+            ..DateConfig::default()
+        })
+        .is_err());
+        assert!(Date::new(DateConfig {
+            r: 1.0,
+            ..DateConfig::default()
+        })
+        .is_err());
+        assert!(Date::new(DateConfig {
+            alpha: 0.0,
+            ..DateConfig::default()
+        })
+        .is_err());
+        assert!(Date::new(DateConfig {
+            max_iterations: 0,
+            ..DateConfig::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -492,7 +540,11 @@ mod tests {
     fn iteration_cap_respected() {
         let d = forum(6);
         let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
-        let date = Date::new(DateConfig { max_iterations: 1, ..DateConfig::default() }).unwrap();
+        let date = Date::new(DateConfig {
+            max_iterations: 1,
+            ..DateConfig::default()
+        })
+        .unwrap();
         let out = date.discover(&problem);
         assert_eq!(out.iterations, 1);
     }
@@ -528,6 +580,9 @@ mod tests {
         let date = Date::paper().discover(&problem);
         let p_mv = precision(&mv.estimate, &t.truth);
         let p_date = precision(&date.estimate, &t.truth);
-        assert!(p_date >= p_mv, "DATE {p_date} must not lose to MV {p_mv} on Table 1");
+        assert!(
+            p_date >= p_mv,
+            "DATE {p_date} must not lose to MV {p_mv} on Table 1"
+        );
     }
 }

@@ -18,11 +18,33 @@
 //! All products are accumulated in log space; the posterior is produced by
 //! either the paper's pairwise form (eq. 15) or a normalized
 //! three-hypothesis variant (see `DESIGN.md` design note 1).
+//!
+//! # Fast path
+//!
+//! Two implementations coexist:
+//!
+//! * [`pairwise_posteriors_naive`] — the reference: re-derives each pair's
+//!   overlap from the snapshot (one `Vec` allocation per pair) and
+//!   re-queries per-task collision probabilities inside the innermost loop.
+//!   Kept verbatim as the semantic ground truth for equivalence tests.
+//! * [`DependenceEngine`] — the production path: consumes a prebuilt
+//!   [`PairOverlapIndex`], hoists per-task collision probabilities and
+//!   clamped accuracies out of the pair loop, caches per-triple
+//!   log-likelihood terms across fixed-point iterations (recomputing only
+//!   terms whose task truth, worker accuracy, or parameters changed), and —
+//!   under the `parallel` feature — fans the pair loop out over scoped
+//!   threads writing disjoint slices.
+//!
+//! The engine is bit-identical to the naive path: per-pair triples arrive in
+//! the same ascending-task order the naive merge produces, cached terms are
+//! pure functions of their inputs, and re-summation always walks a pair's
+//! full term list in order, so every floating-point accumulation happens in
+//! the same sequence with the same operands.
 
 use crate::nonuniform::FalseValueModel;
 use crate::problem::TruthProblem;
 use imc2_common::logprob::{clamp_prob, ln_prob, log_sum_exp, sigmoid, PROB_FLOOR};
-use imc2_common::{Grid, ValueId, WorkerId};
+use imc2_common::{Grid, PairOverlapIndex, TaskId, ValueId, WorkerId};
 use serde::{Deserialize, Serialize};
 
 /// How the pairwise posterior is normalized.
@@ -48,7 +70,10 @@ impl DependenceMatrix {
     /// A matrix with every pairwise posterior equal to `value` (useful as
     /// the no-dependence baseline).
     pub fn constant(n: usize, value: f64) -> Self {
-        DependenceMatrix { n, p: vec![clamp_prob(value); n * n] }
+        DependenceMatrix {
+            n,
+            p: vec![clamp_prob(value); n * n],
+        }
     }
 
     /// `P(i → i' | D)`: the posterior that `i` copies from `i'`.
@@ -56,7 +81,10 @@ impl DependenceMatrix {
     /// # Panics
     /// Panics if either id is out of range; `i == i'` returns 0.
     pub fn prob(&self, i: WorkerId, i2: WorkerId) -> f64 {
-        assert!(i.index() < self.n && i2.index() < self.n, "worker id out of range");
+        assert!(
+            i.index() < self.n && i2.index() < self.n,
+            "worker id out of range"
+        );
         if i == i2 {
             0.0
         } else {
@@ -95,7 +123,11 @@ pub struct DependenceParams {
 
 impl Default for DependenceParams {
     fn default() -> Self {
-        DependenceParams { r: 0.4, alpha: 0.2, posterior: DependencePosterior::PaperPairwise }
+        DependenceParams {
+            r: 0.4,
+            alpha: 0.2,
+            posterior: DependencePosterior::PaperPairwise,
+        }
     }
 }
 
@@ -106,10 +138,14 @@ impl DependenceParams {
     /// Returns an error message describing the violated range.
     pub fn validate(&self) -> Result<(), imc2_common::ValidationError> {
         if !(self.r > 0.0 && self.r < 1.0) {
-            return Err(imc2_common::ValidationError::new("copy probability r must lie in (0, 1)"));
+            return Err(imc2_common::ValidationError::new(
+                "copy probability r must lie in (0, 1)",
+            ));
         }
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(imc2_common::ValidationError::new("prior alpha must lie in (0, 1)"));
+            return Err(imc2_common::ValidationError::new(
+                "prior alpha must lie in (0, 1)",
+            ));
         }
         if self.posterior == DependencePosterior::Normalized3Way && self.alpha >= 0.5 {
             return Err(imc2_common::ValidationError::new(
@@ -122,7 +158,28 @@ impl DependenceParams {
 
 /// Computes `P(i→i'|D)` for all ordered pairs given the current accuracy
 /// matrix and truth reference (Alg. 1 line 13).
+///
+/// One-shot convenience over [`DependenceEngine`]: builds the overlap index,
+/// runs the fast path once, and discards the caches. Callers inside an
+/// iteration loop should hold a [`DependenceEngine`] instead so the index
+/// and per-triple term caches survive across rounds.
 pub fn pairwise_posteriors(
+    problem: &TruthProblem<'_>,
+    accuracy: &Grid<f64>,
+    truth_ref: &[Option<ValueId>],
+    false_values: &FalseValueModel,
+    params: &DependenceParams,
+) -> DependenceMatrix {
+    DependenceEngine::new(problem).posteriors(problem, accuracy, truth_ref, false_values, params)
+}
+
+/// Reference implementation of the dependence step: allocates a fresh
+/// overlap `Vec` per pair and queries the collision model in the innermost
+/// loop. `O(n²)` pair visits plus `O(Σ overlap)` work, all serial.
+///
+/// Retained as the semantic ground truth; the fast path
+/// ([`DependenceEngine`]) is property-tested to be bit-identical to this.
+pub fn pairwise_posteriors_naive(
     problem: &TruthProblem<'_>,
     accuracy: &Grid<f64>,
     truth_ref: &[Option<ValueId>],
@@ -132,9 +189,6 @@ pub fn pairwise_posteriors(
     let n = problem.n_workers();
     let mut out = DependenceMatrix::constant(n, params.alpha);
     let obs = problem.observations();
-    let ln_prior_dep = ln_prob(params.alpha);
-    let ln_prior_ind_pair = ln_prob(1.0 - params.alpha);
-    let ln_prior_ind_3way = ln_prob(1.0 - 2.0 * params.alpha);
     let r = params.r;
 
     for a in 0..n {
@@ -142,9 +196,9 @@ pub fn pairwise_posteriors(
             let (i, i2) = (WorkerId(a), WorkerId(b));
             let overlap = obs.overlap(i, i2);
             if overlap.is_empty() {
-                // No evidence: posterior stays at the prior.
-                out.set(i, i2, params.alpha);
-                out.set(i2, i, params.alpha);
+                // No evidence: posterior stays at the (clamped) prior the
+                // matrix was initialized with — same policy as every other
+                // probability in this module.
                 continue;
             }
             // Log-likelihoods of the three hypotheses.
@@ -178,28 +232,455 @@ pub fn pairwise_posteriors(
                 }
             }
 
-            let (p_fwd, p_bwd) = match params.posterior {
-                DependencePosterior::PaperPairwise => {
-                    // Eq. (15): sigmoid of the log-odds against independence.
-                    let fwd = sigmoid(ln_prior_dep + ln_fwd - (ln_prior_ind_pair + ln_ind));
-                    let bwd = sigmoid(ln_prior_dep + ln_bwd - (ln_prior_ind_pair + ln_ind));
-                    (fwd, bwd)
-                }
-                DependencePosterior::Normalized3Way => {
-                    let terms = [
-                        ln_prior_dep + ln_fwd,
-                        ln_prior_dep + ln_bwd,
-                        ln_prior_ind_3way + ln_ind,
-                    ];
-                    let z = log_sum_exp(&terms);
-                    ((terms[0] - z).exp(), (terms[1] - z).exp())
-                }
-            };
-            out.set(i, i2, p_fwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR));
-            out.set(i2, i, p_bwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR));
+            let (p_fwd, p_bwd) = posterior_pair(params, ln_ind, ln_fwd, ln_bwd);
+            out.set(i, i2, p_fwd);
+            out.set(i2, i, p_bwd);
         }
     }
     out
+}
+
+/// Turns one pair's three accumulated log-likelihoods into the clamped
+/// `(P(i→i'), P(i'→i))` posteriors. Shared by the naive and indexed paths.
+#[inline]
+fn posterior_pair(params: &DependenceParams, ln_ind: f64, ln_fwd: f64, ln_bwd: f64) -> (f64, f64) {
+    let ln_prior_dep = ln_prob(params.alpha);
+    let (p_fwd, p_bwd) = match params.posterior {
+        DependencePosterior::PaperPairwise => {
+            // Eq. (15): sigmoid of the log-odds against independence.
+            let ln_prior_ind_pair = ln_prob(1.0 - params.alpha);
+            let fwd = sigmoid(ln_prior_dep + ln_fwd - (ln_prior_ind_pair + ln_ind));
+            let bwd = sigmoid(ln_prior_dep + ln_bwd - (ln_prior_ind_pair + ln_ind));
+            (fwd, bwd)
+        }
+        DependencePosterior::Normalized3Way => {
+            let ln_prior_ind_3way = ln_prob(1.0 - 2.0 * params.alpha);
+            let terms = [
+                ln_prior_dep + ln_fwd,
+                ln_prior_dep + ln_bwd,
+                ln_prior_ind_3way + ln_ind,
+            ];
+            let z = log_sum_exp(&terms);
+            ((terms[0] - z).exp(), (terms[1] - z).exp())
+        }
+    };
+    (
+        p_fwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR),
+        p_bwd.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR),
+    )
+}
+
+/// The per-task log-likelihood contribution of one overlap triple under the
+/// three hypotheses, as `[ln_ind, ln_fwd, ln_bwd]` (eq. 7–13).
+///
+/// Pure in its arguments — the engine's term cache relies on this.
+#[inline]
+fn triple_term(
+    aa: f64,
+    ab: f64,
+    collision: f64,
+    va: ValueId,
+    vb: ValueId,
+    truth: Option<ValueId>,
+    r: f64,
+) -> [f64; 3] {
+    let ps = clamp_prob(aa * ab);
+    let pf = clamp_prob((1.0 - aa) * (1.0 - ab) * collision);
+    let pd = clamp_prob(1.0 - ps - pf);
+    if va == vb {
+        if truth == Some(va) {
+            [
+                ps.ln(),
+                clamp_prob(ab * r + ps * (1.0 - r)).ln(),
+                clamp_prob(aa * r + ps * (1.0 - r)).ln(),
+            ]
+        } else {
+            [
+                pf.ln(),
+                clamp_prob((1.0 - ab) * r + pf * (1.0 - r)).ln(),
+                clamp_prob((1.0 - aa) * r + pf * (1.0 - r)).ln(),
+            ]
+        }
+    } else {
+        let diff = clamp_prob(pd * (1.0 - r)).ln();
+        [pd.ln(), diff, diff]
+    }
+}
+
+/// Reusable fast-path state for the dependence step of one snapshot.
+///
+/// Holds the [`PairOverlapIndex`] (built once), per-task invariant buffers,
+/// and the per-triple log-likelihood term cache that makes iterations after
+/// the first cheap: a term is recomputed only when the truth estimate of its
+/// task, the (clamped) accuracy of either worker, the collision probability
+/// of its task, or the copy parameter `r` changed since the previous call.
+/// All buffers are allocated up front, so steady-state calls allocate
+/// nothing beyond the returned [`DependenceMatrix`].
+///
+/// With the `parallel` feature the pair loop fans out over scoped threads in
+/// contiguous chunks; every thread writes disjoint cache slices and results
+/// are assembled in pair order, so output is bit-identical to the serial
+/// path (and to [`pairwise_posteriors_naive`]) regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct DependenceEngine {
+    index: PairOverlapIndex,
+    n_tasks: usize,
+    /// Clamped accuracy per `(worker, task)` cell, row-major; the hoisted
+    /// form of `clamp_prob(accuracy[(i, t)])`.
+    clamped_acc: Vec<f64>,
+    prev_acc: Vec<f64>,
+    /// Per-task collision probability (eq. 8 / 22), hoisted out of the
+    /// innermost loop.
+    collision: Vec<f64>,
+    prev_collision: Vec<f64>,
+    prev_truth: Vec<Option<ValueId>>,
+    prev_r: f64,
+    /// Per-triple `[ln_ind, ln_fwd, ln_bwd]`, CSR-aligned with the index's
+    /// non-empty pairs.
+    terms: Vec<[f64; 3]>,
+    /// Start of each non-empty pair's term block; `len = n_nonempty + 1`.
+    term_offsets: Vec<usize>,
+    /// Per-pair accumulated log-likelihood sums.
+    sums: Vec<[f64; 3]>,
+    dirty_worker: Vec<bool>,
+    dirty_task: Vec<bool>,
+    /// False until the first call fills the caches.
+    warm: bool,
+    #[cfg(feature = "parallel")]
+    par_tuning: ParTuning,
+}
+
+/// Tuning of the `parallel` fan-out (see
+/// [`DependenceEngine::set_parallel_tuning`]).
+#[cfg(feature = "parallel")]
+#[derive(Debug, Clone, Copy)]
+pub struct ParTuning {
+    /// Worker threads; `None` uses `std::thread::available_parallelism`.
+    pub threads: Option<usize>,
+    /// Minimum total overlap triples before fanning out (below this, thread
+    /// spawn overhead exceeds the work).
+    pub min_triples: usize,
+}
+
+#[cfg(feature = "parallel")]
+impl Default for ParTuning {
+    fn default() -> Self {
+        ParTuning {
+            threads: None,
+            min_triples: 1 << 14,
+        }
+    }
+}
+
+impl DependenceEngine {
+    /// Builds the engine (and its overlap index) for `problem`'s snapshot.
+    pub fn new(problem: &TruthProblem<'_>) -> Self {
+        Self::with_index(PairOverlapIndex::build(problem.observations()), problem)
+    }
+
+    /// Builds the engine around an already-built index (avoids a rebuild
+    /// when the caller also consumes the index elsewhere).
+    ///
+    /// # Panics
+    /// Panics if the index worker count disagrees with the problem.
+    pub fn with_index(index: PairOverlapIndex, problem: &TruthProblem<'_>) -> Self {
+        assert_eq!(
+            index.n_workers(),
+            problem.n_workers(),
+            "overlap index built for a different worker count"
+        );
+        let (n, m) = (problem.n_workers(), problem.n_tasks());
+        let n_pairs = index.n_nonempty_pairs();
+        let mut term_offsets = Vec::with_capacity(n_pairs + 1);
+        term_offsets.push(0);
+        let mut total = 0;
+        for k in 0..n_pairs {
+            total += index.pair_at(k).2.len();
+            term_offsets.push(total);
+        }
+        DependenceEngine {
+            index,
+            n_tasks: m,
+            clamped_acc: vec![0.0; n * m],
+            prev_acc: vec![0.0; n * m],
+            collision: vec![0.0; m],
+            prev_collision: vec![0.0; m],
+            prev_truth: vec![None; m],
+            prev_r: f64::NAN,
+            terms: vec![[0.0; 3]; total],
+            term_offsets,
+            sums: vec![[0.0; 3]; n_pairs],
+            dirty_worker: vec![true; n],
+            dirty_task: vec![true; m],
+            warm: false,
+            #[cfg(feature = "parallel")]
+            par_tuning: ParTuning::default(),
+        }
+    }
+
+    /// The overlap index the engine runs on.
+    pub fn index(&self) -> &PairOverlapIndex {
+        &self.index
+    }
+
+    /// Overrides the parallel fan-out heuristics — primarily for tests and
+    /// benchmarks that need the threaded path to run on small instances or
+    /// single-core boxes (`threads: Some(k)` forces `k` chunks regardless
+    /// of the machine; `min_triples: 0` removes the work floor).
+    #[cfg(feature = "parallel")]
+    pub fn set_parallel_tuning(&mut self, tuning: ParTuning) {
+        self.par_tuning = tuning;
+    }
+
+    /// Fast-path dependence step: equivalent to [`pairwise_posteriors_naive`]
+    /// bit for bit, reusing caches from the previous call where valid.
+    ///
+    /// # Panics
+    /// Panics if `problem`'s dimensions disagree with the engine's snapshot.
+    pub fn posteriors(
+        &mut self,
+        problem: &TruthProblem<'_>,
+        accuracy: &Grid<f64>,
+        truth_ref: &[Option<ValueId>],
+        false_values: &FalseValueModel,
+        params: &DependenceParams,
+    ) -> DependenceMatrix {
+        let n = self.index.n_workers();
+        let m = self.n_tasks;
+        assert_eq!(
+            problem.n_workers(),
+            n,
+            "worker count changed under the engine"
+        );
+        assert_eq!(problem.n_tasks(), m, "task count changed under the engine");
+        assert_eq!(truth_ref.len(), m, "truth reference must cover every task");
+
+        self.refresh_invariants(problem, accuracy, truth_ref, false_values, params);
+
+        let mut out = DependenceMatrix::constant(n, params.alpha);
+        self.accumulate_sums(truth_ref, params.r);
+        for k in 0..self.index.n_nonempty_pairs() {
+            let (i, i2, _) = self.index.pair_at(k);
+            let [ln_ind, ln_fwd, ln_bwd] = self.sums[k];
+            let (p_fwd, p_bwd) = posterior_pair(params, ln_ind, ln_fwd, ln_bwd);
+            out.set(i, i2, p_fwd);
+            out.set(i2, i, p_bwd);
+        }
+
+        // Snapshot the inputs the term cache is conditioned on.
+        self.prev_acc.copy_from_slice(&self.clamped_acc);
+        self.prev_collision.copy_from_slice(&self.collision);
+        self.prev_truth.copy_from_slice(truth_ref);
+        self.prev_r = params.r;
+        self.warm = true;
+        out
+    }
+
+    /// Rebuilds the hoisted per-task/per-cell invariants and derives the
+    /// dirty sets for delta tracking.
+    fn refresh_invariants(
+        &mut self,
+        problem: &TruthProblem<'_>,
+        accuracy: &Grid<f64>,
+        truth_ref: &[Option<ValueId>],
+        false_values: &FalseValueModel,
+        params: &DependenceParams,
+    ) {
+        let n = self.index.n_workers();
+        let m = self.n_tasks;
+        // A change of `r` invalidates every cached term.
+        let all_dirty = !self.warm || params.r != self.prev_r;
+
+        let acc = accuracy.as_slice();
+        for w in 0..n {
+            let row = &acc[w * m..(w + 1) * m];
+            let mut dirty = all_dirty;
+            for (t, &cell) in row.iter().enumerate() {
+                let c = clamp_prob(cell);
+                self.clamped_acc[w * m + t] = c;
+                dirty |= c != self.prev_acc[w * m + t];
+            }
+            self.dirty_worker[w] = dirty;
+        }
+        for (j, truth_j) in truth_ref.iter().enumerate() {
+            let task = TaskId(j);
+            let col = false_values.collision_prob(task, problem.num_false_of(task));
+            self.collision[j] = col;
+            self.dirty_task[j] =
+                all_dirty || *truth_j != self.prev_truth[j] || col != self.prev_collision[j];
+        }
+    }
+
+    /// Re-derives the per-pair log-likelihood sums, recomputing only dirty
+    /// per-triple terms; always re-sums each pair's full term list in task
+    /// order so accumulation matches the naive path exactly.
+    fn accumulate_sums(&mut self, truth_ref: &[Option<ValueId>], r: f64) {
+        let n_pairs = self.index.n_nonempty_pairs();
+        #[cfg(feature = "parallel")]
+        {
+            let threads = self.par_tuning.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+            });
+            // Fan out only when there is enough work to amortize spawning.
+            if threads > 1
+                && self.index.n_triples() >= self.par_tuning.min_triples
+                && n_pairs >= 2 * threads
+            {
+                self.accumulate_sums_parallel(truth_ref, r, threads);
+                return;
+            }
+        }
+        let (index, term_offsets) = (&self.index, &self.term_offsets);
+        let (clamped_acc, collision) = (&self.clamped_acc, &self.collision);
+        let (dirty_worker, dirty_task, warm) = (&self.dirty_worker, &self.dirty_task, self.warm);
+        pair_range_sums(
+            PairJobInputs {
+                index,
+                term_offsets,
+                clamped_acc,
+                collision,
+                dirty_worker,
+                dirty_task,
+                warm,
+                n_tasks: self.n_tasks,
+                truth_ref,
+                r,
+            },
+            0..n_pairs,
+            &mut self.terms,
+            &mut self.sums,
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    fn accumulate_sums_parallel(&mut self, truth_ref: &[Option<ValueId>], r: f64, threads: usize) {
+        let n_pairs = self.index.n_nonempty_pairs();
+        // Contiguous pair chunks balanced by triple count, so one heavy pair
+        // region does not serialize the fan-out.
+        let total = self.index.n_triples();
+        let per_chunk = total.div_ceil(threads).max(1);
+        let mut boundaries = vec![0usize];
+        let mut next_target = per_chunk;
+        for k in 0..n_pairs {
+            if self.term_offsets[k + 1] >= next_target && k + 1 < n_pairs {
+                boundaries.push(k + 1);
+                next_target = self.term_offsets[k + 1] + per_chunk;
+            }
+        }
+        boundaries.push(n_pairs);
+
+        let inputs = PairJobInputs {
+            index: &self.index,
+            term_offsets: &self.term_offsets,
+            clamped_acc: &self.clamped_acc,
+            collision: &self.collision,
+            dirty_worker: &self.dirty_worker,
+            dirty_task: &self.dirty_task,
+            warm: self.warm,
+            n_tasks: self.n_tasks,
+            truth_ref,
+            r,
+        };
+        let term_offsets = &self.term_offsets;
+        let mut terms_rest: &mut [[f64; 3]] = &mut self.terms;
+        let mut sums_rest: &mut [[f64; 3]] = &mut self.sums;
+        let mut terms_done = 0usize;
+        let mut sums_done = 0usize;
+        std::thread::scope(|scope| {
+            for w in boundaries.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                if lo == hi {
+                    continue;
+                }
+                let (terms_chunk, t_rest) = terms_rest.split_at_mut(term_offsets[hi] - terms_done);
+                let (sums_chunk, s_rest) = sums_rest.split_at_mut(hi - sums_done);
+                terms_rest = t_rest;
+                sums_rest = s_rest;
+                terms_done = term_offsets[hi];
+                sums_done = hi;
+                let inputs = inputs.clone();
+                scope.spawn(move || {
+                    pair_range_sums(inputs, lo..hi, terms_chunk, sums_chunk);
+                });
+            }
+        });
+    }
+}
+
+/// Shared read-only inputs of one pair-loop job.
+#[derive(Clone)]
+struct PairJobInputs<'a> {
+    index: &'a PairOverlapIndex,
+    term_offsets: &'a [usize],
+    clamped_acc: &'a [f64],
+    collision: &'a [f64],
+    dirty_worker: &'a [bool],
+    dirty_task: &'a [bool],
+    warm: bool,
+    n_tasks: usize,
+    truth_ref: &'a [Option<ValueId>],
+    r: f64,
+}
+
+/// Processes pairs `range`, writing into `terms` / `sums` slices that start
+/// at the range's first pair (chunk-local offsets).
+fn pair_range_sums(
+    inputs: PairJobInputs<'_>,
+    range: std::ops::Range<usize>,
+    terms: &mut [[f64; 3]],
+    sums: &mut [[f64; 3]],
+) {
+    let term_base = inputs.term_offsets[range.start];
+    let pair_base = range.start;
+    for k in range {
+        let (wa, wb, triples) = inputs.index.pair_at(k);
+        let pair_clean =
+            inputs.warm && !inputs.dirty_worker[wa.index()] && !inputs.dirty_worker[wb.index()];
+        let toff = inputs.term_offsets[k] - term_base;
+        let row_a = wa.index() * inputs.n_tasks;
+        let row_b = wb.index() * inputs.n_tasks;
+        let mut ln = [0.0f64; 3];
+        let pair_terms = &mut terms[toff..toff + triples.len()];
+        if pair_clean {
+            // Only triples on dirty tasks need their terms recomputed.
+            for (slot, tr) in pair_terms.iter_mut().zip(triples) {
+                let t = tr.task.index();
+                if inputs.dirty_task[t] {
+                    *slot = triple_term(
+                        inputs.clamped_acc[row_a + t],
+                        inputs.clamped_acc[row_b + t],
+                        inputs.collision[t],
+                        tr.va,
+                        tr.vb,
+                        inputs.truth_ref[t],
+                        inputs.r,
+                    );
+                }
+                ln[0] += slot[0];
+                ln[1] += slot[1];
+                ln[2] += slot[2];
+            }
+        } else {
+            for (slot, tr) in pair_terms.iter_mut().zip(triples) {
+                let t = tr.task.index();
+                *slot = triple_term(
+                    inputs.clamped_acc[row_a + t],
+                    inputs.clamped_acc[row_b + t],
+                    inputs.collision[t],
+                    tr.va,
+                    tr.vb,
+                    inputs.truth_ref[t],
+                    inputs.r,
+                );
+                ln[0] += slot[0];
+                ln[1] += slot[1];
+                ln[2] += slot[2];
+            }
+        }
+        sums[k - pair_base] = ln;
+    }
 }
 
 #[cfg(test)]
@@ -327,7 +808,10 @@ mod tests {
         );
         let fwd = dep.prob(WorkerId(0), WorkerId(1));
         let bwd = dep.prob(WorkerId(1), WorkerId(0));
-        assert_ne!(fwd, bwd, "directional posteriors should differ with asymmetric accuracy");
+        assert_ne!(
+            fwd, bwd,
+            "directional posteriors should differ with asymmetric accuracy"
+        );
     }
 
     #[test]
@@ -340,14 +824,27 @@ mod tests {
         let dep = run(&obs, &nf, &truth, &params);
         let fwd = dep.prob(WorkerId(0), WorkerId(1));
         let bwd = dep.prob(WorkerId(1), WorkerId(0));
-        assert!(fwd + bwd <= 1.0 + 1e-9, "3-way posteriors must leave room for independence");
+        assert!(
+            fwd + bwd <= 1.0 + 1e-9,
+            "3-way posteriors must leave room for independence"
+        );
     }
 
     #[test]
     fn params_validation() {
         assert!(DependenceParams::default().validate().is_ok());
-        assert!(DependenceParams { r: 0.0, ..Default::default() }.validate().is_err());
-        assert!(DependenceParams { alpha: 1.0, ..Default::default() }.validate().is_err());
+        assert!(DependenceParams {
+            r: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DependenceParams {
+            alpha: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(DependenceParams {
             alpha: 0.6,
             posterior: DependencePosterior::Normalized3Way,

@@ -56,10 +56,7 @@ pub fn greedy_group_scores(
         return vec![(group[0], 1.0)];
     }
     let order = greedy_order(group, dep, seed_rule);
-    scores_for_order(&order, dep, r)
-        .into_iter()
-        .map(|(w, s)| (w, s))
-        .collect()
+    scores_for_order(&order, dep, r).into_iter().collect()
 }
 
 /// The greedy visiting order of Alg. 1 lines 16–21.
@@ -68,7 +65,13 @@ fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule)
     // Seed pick: extremal total dependence with every other group member.
     let totals: Vec<f64> = group
         .iter()
-        .map(|&i| group.iter().filter(|&&i2| i2 != i).map(|&i2| dep.total(i, i2)).sum())
+        .map(|&i| {
+            group
+                .iter()
+                .filter(|&&i2| i2 != i)
+                .map(|&i2| dep.total(i, i2))
+                .sum()
+        })
         .collect();
     let seed_idx = match seed_rule {
         SeedRule::MinTotalDependence => {
@@ -91,7 +94,11 @@ fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule)
         }
     };
     let mut order = vec![group[seed_idx]];
-    let mut remaining: Vec<WorkerId> = group.iter().copied().filter(|&w| w != group[seed_idx]).collect();
+    let mut remaining: Vec<WorkerId> = group
+        .iter()
+        .copied()
+        .filter(|&w| w != group[seed_idx])
+        .collect();
     // Line 19: next is the remaining worker with the strongest dependence on
     // any already-selected worker (ties to the smallest id via stable scan).
     while !remaining.is_empty() {
@@ -139,7 +146,11 @@ pub struct EdParams {
 
 impl Default for EdParams {
     fn default() -> Self {
-        EdParams { exact_cap: 6, samples: 128, seed: 0xED }
+        EdParams {
+            exact_cap: 6,
+            samples: 128,
+            seed: 0xED,
+        }
     }
 }
 
@@ -245,7 +256,10 @@ mod tests {
         let s0 = scores.iter().find(|(w, _)| *w == WorkerId(0)).unwrap().1;
         let s2 = scores.iter().find(|(w, _)| *w == WorkerId(2)).unwrap().1;
         assert_eq!(s0, 1.0, "the seed (least dependent) counts fully");
-        assert!((s2 - (1.0 - 0.4 * 0.95)).abs() < 1e-9, "copier discounted by 1 - r*P");
+        assert!(
+            (s2 - (1.0 - 0.4 * 0.95)).abs() < 1e-9,
+            "copier discounted by 1 - r*P"
+        );
     }
 
     #[test]
@@ -269,10 +283,22 @@ mod tests {
         let min = greedy_group_scores(&group, &dep, 0.4, SeedRule::MinTotalDependence);
         let max = greedy_group_scores(&group, &dep, 0.4, SeedRule::MaxTotalDependence);
         let first_full = |scores: &[(WorkerId, f64)]| {
-            scores.iter().find(|(_, s)| (*s - 1.0).abs() < 1e-12).unwrap().0
+            scores
+                .iter()
+                .find(|(_, s)| (*s - 1.0).abs() < 1e-12)
+                .unwrap()
+                .0
         };
-        assert_eq!(first_full(&min), WorkerId(1), "w1 has the least total dependence");
-        assert_eq!(first_full(&max), WorkerId(2), "w2 has the most total dependence");
+        assert_eq!(
+            first_full(&min),
+            WorkerId(1),
+            "w1 has the least total dependence"
+        );
+        assert_eq!(
+            first_full(&max),
+            WorkerId(2),
+            "w2 has the most total dependence"
+        );
     }
 
     #[test]
@@ -308,7 +334,11 @@ mod tests {
     fn enumeration_montecarlo_is_deterministic() {
         let dep = DependenceMatrix::constant(10, 0.3);
         let group: Vec<WorkerId> = (0..10).map(WorkerId).collect();
-        let params = EdParams { exact_cap: 4, samples: 16, seed: 7 };
+        let params = EdParams {
+            exact_cap: 4,
+            samples: 16,
+            seed: 7,
+        };
         let a = enumerated_group_scores(&group, &dep, 0.4, &params, 42);
         let b = enumerated_group_scores(&group, &dep, 0.4, &params, 42);
         assert_eq!(a, b);

@@ -17,6 +17,32 @@
 //! The entry point is the [`TruthDiscovery`] trait over a [`TruthProblem`]
 //! (an observation snapshot plus per-task domain sizes).
 //!
+//! # Performance notes
+//!
+//! With `n` workers, `m` tasks and `O = Σ_j |W^j|²` total pairwise overlap
+//! (the number of (pair, co-answered task) combinations), one DATE
+//! iteration costs:
+//!
+//! | step | work | fast-path treatment |
+//! |------|------|---------------------|
+//! | 1. dependence (eq. 7–15) | `O(n² + O)` | [`DependenceEngine`]: prebuilt [`imc2_common::PairOverlapIndex`] (built once per snapshot, `O(O)`), per-task collision probabilities and clamped accuracies hoisted out of the pair loop, per-triple log-term cache reused across iterations (only terms touching a changed task truth / worker accuracy recompute), pair loop chunked over scoped threads under the `parallel` feature |
+//! | 2. independence (eq. 16) | `O(Σ_j Σ_v |W_v^j|²)` | task groups cached once per run; per-task loop fans out under `parallel` |
+//! | 3a. posteriors (eq. 20) | `O(Σ_j |D^j|·|W^j|)` | cached groups ([`posterior::value_posteriors_cached`]); per-task loop fans out under `parallel` |
+//! | 3b. accuracy + truth (eq. 17, line 28) | `O(Σ_j |W^j|)` | serial (negligible) |
+//!
+//! The engine is **bit-identical** to the retained reference
+//! ([`dependence::pairwise_posteriors_naive`]) with the `parallel` feature
+//! on or off — property-tested in `tests/fastpath_equivalence.rs`.
+//!
+//! Measure it with the perf bench, which emits `BENCH_date.json` (naive vs
+//! indexed cold vs indexed warm dependence-step timings plus full DATE runs
+//! at n ∈ {50, 200, 500} workers; medians over `PERF_REPS` repetitions):
+//!
+//! ```text
+//! cargo run --release -p imc2-bench --bin perf
+//! cargo run --release -p imc2-bench --features parallel --bin perf
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -51,8 +77,10 @@ pub mod problem;
 pub mod similarity;
 pub mod voting;
 
+mod par;
+
 pub use date::{Date, DateConfig, EdConfig, IndependenceMode, SeedRule};
-pub use dependence::{DependenceMatrix, DependencePosterior};
+pub use dependence::{DependenceEngine, DependenceMatrix, DependencePosterior};
 pub use nonuniform::FalseValueModel;
 pub use precision::precision;
 pub use problem::{TruthOutcome, TruthProblem};

@@ -137,7 +137,10 @@ mod tests {
         let truth = vec![(WorkerId(1), WorkerId(0))];
         let report = detection_report(&dep, &truth, &[0.1, 0.5, 0.95]);
         for pair in report.roc.windows(2) {
-            assert!(pair[0].tpr >= pair[1].tpr, "tpr must not rise with threshold");
+            assert!(
+                pair[0].tpr >= pair[1].tpr,
+                "tpr must not rise with threshold"
+            );
             assert!(pair[0].fpr >= pair[1].fpr);
         }
     }

@@ -50,7 +50,9 @@ impl FalseValueModel {
             return Err(ValidationError::new("need at least one popularity sample"));
         }
         if samples.iter().any(|&h| !(h > 0.0 && h <= 1.0)) {
-            return Err(ValidationError::new("popularity samples must lie in (0, 1]"));
+            return Err(ValidationError::new(
+                "popularity samples must lie in (0, 1]",
+            ));
         }
         let n = samples.len() as f64;
         let collision = samples.iter().map(|h| h * h).sum::<f64>() / n;
@@ -66,10 +68,14 @@ impl FalseValueModel {
     pub fn per_value(probs: Vec<Vec<f64>>) -> Result<Self, ValidationError> {
         for (j, row) in probs.iter().enumerate() {
             if row.is_empty() {
-                return Err(ValidationError::new(format!("task {j} has an empty popularity row")));
+                return Err(ValidationError::new(format!(
+                    "task {j} has an empty popularity row"
+                )));
             }
             if row.iter().any(|&p| p < 0.0 || !p.is_finite()) {
-                return Err(ValidationError::new(format!("task {j} has invalid popularity entries")));
+                return Err(ValidationError::new(format!(
+                    "task {j} has invalid popularity entries"
+                )));
             }
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > 1e-6 {

@@ -23,7 +23,7 @@ use crate::independence::TaskIndependence;
 use crate::nonuniform::FalseValueModel;
 use crate::problem::TruthProblem;
 use imc2_common::logprob::{clamp_prob, normalize_log_weights};
-use imc2_common::{Grid, TaskId, ValueId};
+use imc2_common::{Grid, TaskGroups, TaskId, ValueId};
 
 /// Value posteriors for one task: `(value, P(value is true))`, aligned with
 /// the task's observed value groups (sorted by value id).
@@ -52,59 +52,93 @@ pub fn value_posteriors(
     discount: bool,
     floor_anti_evidence: bool,
 ) -> Vec<TaskPosterior> {
-    let obs = problem.observations();
-    (0..obs.n_tasks())
-        .map(|j| {
-            let task = TaskId(j);
-            let groups = obs.task_view(task).groups();
-            if groups.is_empty() {
-                return Vec::new();
-            }
-            let num_false = problem.num_false_of(task);
-            let floor = 1.0 / (num_false as f64 + 1.0);
-            let mut log_liks: Vec<f64> = Vec::with_capacity(groups.len());
-            for (v, _) in &groups {
-                let mut lp = 0.0;
-                for (v2, supporters) in &groups {
-                    for &i in supporters {
-                        let mut a = clamp_prob(accuracy[(i, task)]);
-                        if floor_anti_evidence {
-                            a = a.max(floor);
-                        }
-                        if v2 == v {
-                            // Supporter of the candidate truth.
-                            let ln_true = a.ln();
-                            if discount {
-                                // Discounted log-odds: scale the supporter's
-                                // pull toward v by its independence.
-                                let ln_false = (1.0 - a).ln()
-                                    + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
-                                let iscore = independence
-                                    .and_then(|ind| independence_of(&ind[j], *v2, i))
-                                    .unwrap_or(1.0);
-                                lp += iscore * ln_true + (1.0 - iscore) * ln_false;
-                            } else {
-                                lp += ln_true;
-                            }
-                        } else {
-                            // This worker answered something else: it erred
-                            // (w.r.t. candidate v) and picked v2.
-                            lp += (1.0 - a).ln()
-                                + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
-                        }
-                    }
-                }
-                log_liks.push(lp);
-            }
-            // Uniform prior β over candidate truths cancels in normalization.
-            normalize_log_weights(&mut log_liks);
-            let _ = truth_ref; // truth_ref reserved for models needing a global hint
-            groups.iter().zip(log_liks).map(|((v, _), p)| (*v, p)).collect()
-        })
-        .collect()
+    let groups = problem.observations().all_groups();
+    value_posteriors_cached(
+        problem,
+        &groups,
+        accuracy,
+        truth_ref,
+        false_values,
+        independence,
+        discount,
+        floor_anti_evidence,
+    )
 }
 
-fn independence_of(task_ind: &TaskIndependence, value: ValueId, worker: imc2_common::WorkerId) -> Option<f64> {
+/// [`value_posteriors`] over precomputed task groups (`groups[j]` must equal
+/// `task_view(TaskId(j)).groups()`): the grouping of an immutable snapshot
+/// never changes, so iterative callers derive it once and pass it here every
+/// round. With the `parallel` feature the per-task loop fans out over scoped
+/// threads (deterministic: one writer per task slot).
+#[allow(clippy::too_many_arguments)]
+pub fn value_posteriors_cached(
+    problem: &TruthProblem<'_>,
+    groups_by_task: &[TaskGroups],
+    accuracy: &Grid<f64>,
+    truth_ref: &[Option<ValueId>],
+    false_values: &FalseValueModel,
+    independence: Option<&[TaskIndependence]>,
+    discount: bool,
+    floor_anti_evidence: bool,
+) -> Vec<TaskPosterior> {
+    crate::par::map_tasks(problem.n_tasks(), |j| {
+        let task = TaskId(j);
+        let groups = &groups_by_task[j];
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let num_false = problem.num_false_of(task);
+        let floor = 1.0 / (num_false as f64 + 1.0);
+        let mut log_liks: Vec<f64> = Vec::with_capacity(groups.len());
+        for (v, _) in groups.iter() {
+            let mut lp = 0.0;
+            for (v2, supporters) in groups.iter() {
+                for &i in supporters {
+                    let mut a = clamp_prob(accuracy[(i, task)]);
+                    if floor_anti_evidence {
+                        a = a.max(floor);
+                    }
+                    if v2 == v {
+                        // Supporter of the candidate truth.
+                        let ln_true = a.ln();
+                        if discount {
+                            // Discounted log-odds: scale the supporter's
+                            // pull toward v by its independence.
+                            let ln_false = (1.0 - a).ln()
+                                + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
+                            let iscore = independence
+                                .and_then(|ind| independence_of(&ind[j], *v2, i))
+                                .unwrap_or(1.0);
+                            lp += iscore * ln_true + (1.0 - iscore) * ln_false;
+                        } else {
+                            lp += ln_true;
+                        }
+                    } else {
+                        // This worker answered something else: it erred
+                        // (w.r.t. candidate v) and picked v2.
+                        lp += (1.0 - a).ln()
+                            + false_values.ln_false_prob(task, *v2, Some(*v), num_false);
+                    }
+                }
+            }
+            log_liks.push(lp);
+        }
+        // Uniform prior β over candidate truths cancels in normalization.
+        normalize_log_weights(&mut log_liks);
+        let _ = truth_ref; // truth_ref reserved for models needing a global hint
+        groups
+            .iter()
+            .zip(log_liks)
+            .map(|((v, _), p)| (*v, p))
+            .collect()
+    })
+}
+
+fn independence_of(
+    task_ind: &TaskIndependence,
+    value: ValueId,
+    worker: imc2_common::WorkerId,
+) -> Option<f64> {
     task_ind
         .iter()
         .find(|(v, _)| *v == value)
@@ -117,7 +151,11 @@ mod tests {
     use crate::problem::TruthProblem;
     use imc2_common::{ObservationsBuilder, WorkerId};
 
-    fn setup(rows: &[(usize, usize, u32)], n: usize, m: usize) -> (imc2_common::Observations, Vec<u32>) {
+    fn setup(
+        rows: &[(usize, usize, u32)],
+        n: usize,
+        m: usize,
+    ) -> (imc2_common::Observations, Vec<u32>) {
         let mut b = ObservationsBuilder::new(n, m);
         for &(w, t, v) in rows {
             b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
@@ -130,7 +168,15 @@ mod tests {
         let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let acc = Grid::filled(3, 1, 0.7);
-        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let post = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
         let total: f64 = post[0].iter().map(|&(_, q)| q).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -140,8 +186,19 @@ mod tests {
         let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let acc = Grid::filled(3, 1, 0.7);
-        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
-        let best = post[0].iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let post = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
+        let best = post[0]
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(best.0, ValueId(1));
     }
 
@@ -152,8 +209,19 @@ mod tests {
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let mut acc = Grid::filled(3, 1, 0.4);
         acc[(WorkerId(0), TaskId(0))] = 0.95;
-        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
-        let best = post[0].iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let post = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
+        let best = post[0]
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(best.0, ValueId(0), "high-accuracy minority should win");
     }
 
@@ -165,13 +233,24 @@ mod tests {
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let mut acc = Grid::filled(2, 1, 0.6);
         acc[(WorkerId(1), TaskId(0))] = 0.8;
-        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let post = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
         let num = 2.0;
         let w0 = num * 0.6 / 0.4; // supporter weight of value 0
         let w1 = num * 0.8 / 0.2; // supporter weight of value 1
         let expect0 = w0 / (w0 + w1);
         let got0 = post[0].iter().find(|&&(v, _)| v == ValueId(0)).unwrap().1;
-        assert!((got0 - expect0).abs() < 1e-9, "got {got0}, expect {expect0}");
+        assert!(
+            (got0 - expect0).abs() < 1e-9,
+            "got {got0}, expect {expect0}"
+        );
     }
 
     #[test]
@@ -179,7 +258,15 @@ mod tests {
         let (obs, nf) = setup(&[(0, 0, 0)], 1, 2);
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let acc = Grid::filled(1, 2, 0.6);
-        let post = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
+        let post = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
         assert!(post[1].is_empty());
     }
 
@@ -190,11 +277,22 @@ mod tests {
         let (obs, nf) = setup(&[(0, 0, 0), (1, 0, 1), (2, 0, 1)], 3, 1);
         let p = TruthProblem::new(&obs, &nf).unwrap();
         let acc = Grid::filled(3, 1, 0.7);
-        let uniform = value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, None, false, true);
-        let skewed_model =
-            FalseValueModel::per_value(vec![vec![0.05, 0.9, 0.05]]).unwrap();
+        let uniform = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            None,
+            false,
+            true,
+        );
+        let skewed_model = FalseValueModel::per_value(vec![vec![0.05, 0.9, 0.05]]).unwrap();
         let skewed = value_posteriors(&p, &acc, &[None], &skewed_model, None, false, true);
-        let p1_uniform = uniform[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
+        let p1_uniform = uniform[0]
+            .iter()
+            .find(|&&(v, _)| v == ValueId(1))
+            .unwrap()
+            .1;
         let p1_skewed = skewed[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
         assert!(
             p1_skewed < p1_uniform,
@@ -212,12 +310,29 @@ mod tests {
             (ValueId(0), vec![(WorkerId(0), 1.0)]),
             (ValueId(1), vec![(WorkerId(1), 1.0), (WorkerId(2), 0.05)]),
         ]];
-        let plain =
-            value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, Some(&ind), false, true);
-        let disc =
-            value_posteriors(&p, &acc, &[None], &FalseValueModel::Uniform, Some(&ind), true, true);
+        let plain = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            Some(&ind),
+            false,
+            true,
+        );
+        let disc = value_posteriors(
+            &p,
+            &acc,
+            &[None],
+            &FalseValueModel::Uniform,
+            Some(&ind),
+            true,
+            true,
+        );
         let p1_plain = plain[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
         let p1_disc = disc[0].iter().find(|&&(v, _)| v == ValueId(1)).unwrap().1;
-        assert!(p1_disc < p1_plain, "discounting must weaken the copied majority");
+        assert!(
+            p1_disc < p1_plain,
+            "discounting must weaken the copied majority"
+        );
     }
 }

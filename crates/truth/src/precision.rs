@@ -20,7 +20,11 @@ use imc2_common::ValueId;
 /// assert!((precision(&est, &truth) - 1.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn precision(estimate: &[Option<ValueId>], truth: &[ValueId]) -> f64 {
-    assert_eq!(estimate.len(), truth.len(), "estimate and truth must have equal length");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must have equal length"
+    );
     if truth.is_empty() {
         return 0.0;
     }

@@ -23,7 +23,10 @@ impl<'a> TruthProblem<'a> {
     /// Returns [`ValidationError`] if `num_false.len()` differs from the
     /// task count, any `num_false[j]` is zero, or any observed value index
     /// exceeds the declared domain.
-    pub fn new(observations: &'a Observations, num_false: &'a [u32]) -> Result<Self, ValidationError> {
+    pub fn new(
+        observations: &'a Observations,
+        num_false: &'a [u32],
+    ) -> Result<Self, ValidationError> {
         if num_false.len() != observations.n_tasks() {
             return Err(ValidationError::new(format!(
                 "num_false has {} entries for {} tasks",
@@ -31,22 +34,25 @@ impl<'a> TruthProblem<'a> {
                 observations.n_tasks()
             )));
         }
-        for j in 0..observations.n_tasks() {
-            if num_false[j] == 0 {
+        for (j, &nf) in num_false.iter().enumerate() {
+            if nf == 0 {
                 return Err(ValidationError::new(format!(
                     "task {j} declares no false values; domains need at least 2 values"
                 )));
             }
             if let Some(max) = observations.max_value_of_task(TaskId(j)) {
-                if max.0 > num_false[j] {
+                if max.0 > nf {
                     return Err(ValidationError::new(format!(
-                        "task {j} observed value {max} outside its domain 0..={}",
-                        num_false[j]
+                        "task {j} observed value {max} outside its domain 0..={nf}"
                     )));
                 }
             }
         }
-        Ok(TruthProblem { observations, num_false, labels: None })
+        Ok(TruthProblem {
+            observations,
+            num_false,
+            labels: None,
+        })
     }
 
     /// Attaches human-readable value labels (`labels[j][v]` is the label of
@@ -57,7 +63,9 @@ impl<'a> TruthProblem<'a> {
     /// task's full domain.
     pub fn with_labels(mut self, labels: &'a [Vec<String>]) -> Result<Self, ValidationError> {
         if labels.len() != self.observations.n_tasks() {
-            return Err(ValidationError::new("label table must have one row per task"));
+            return Err(ValidationError::new(
+                "label table must have one row per task",
+            ));
         }
         for (j, row) in labels.iter().enumerate() {
             if row.len() < self.num_false[j] as usize + 1 {
@@ -174,11 +182,17 @@ mod tests {
             vec!["a".to_string(), "b".to_string(), "c".to_string()],
             vec!["x".to_string(), "y".to_string(), "z".to_string()],
         ];
-        let p = TruthProblem::new(&o, &nf).unwrap().with_labels(&labels).unwrap();
+        let p = TruthProblem::new(&o, &nf)
+            .unwrap()
+            .with_labels(&labels)
+            .unwrap();
         assert_eq!(p.label_of(TaskId(0), ValueId(1)), Some("b"));
         assert!(p.labels().is_some());
 
         let short = vec![vec!["a".to_string()], vec!["x".to_string()]];
-        assert!(TruthProblem::new(&o, &nf).unwrap().with_labels(&short).is_err());
+        assert!(TruthProblem::new(&o, &nf)
+            .unwrap()
+            .with_labels(&short)
+            .is_err());
     }
 }

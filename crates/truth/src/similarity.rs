@@ -14,8 +14,8 @@
 //! worker provides one value per task, so the groups are disjoint by
 //! construction).
 
-use imc2_textsim::SimilarityOracle;
 use imc2_common::{TaskId, ValueId};
+use imc2_textsim::SimilarityOracle;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -30,6 +30,9 @@ pub struct Similarity {
     oracle: Arc<dyn SimilarityOracle + Send + Sync>,
 }
 
+// Referenced only from the `#[serde(default = ...)]` attribute, which the
+// vendored no-op serde derives do not expand.
+#[allow(dead_code)]
 fn default_oracle() -> Arc<dyn SimilarityOracle + Send + Sync> {
     Arc::new(imc2_textsim::AliasTable::new())
 }
@@ -89,7 +92,10 @@ impl Similarity {
 
 impl fmt::Debug for Similarity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Similarity").field("rho", &self.rho).field("oracle", &"<dyn>").finish()
+        f.debug_struct("Similarity")
+            .field("rho", &self.rho)
+            .field("oracle", &"<dyn>")
+            .finish()
     }
 }
 

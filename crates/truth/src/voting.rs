@@ -70,7 +70,12 @@ impl TruthDiscovery for MajorityVoting {
                 _ => 0.0,
             }
         });
-        TruthOutcome { estimate, accuracy, iterations: 1, converged: true }
+        TruthOutcome {
+            estimate,
+            accuracy,
+            iterations: 1,
+            converged: true,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -83,7 +88,12 @@ mod tests {
     use super::*;
     use imc2_common::{ObservationsBuilder, WorkerId};
 
-    fn problem_of(rows: &[(usize, usize, u32)], n: usize, m: usize, nf: &[u32]) -> (imc2_common::Observations, Vec<u32>) {
+    fn problem_of(
+        rows: &[(usize, usize, u32)],
+        n: usize,
+        m: usize,
+        nf: &[u32],
+    ) -> (imc2_common::Observations, Vec<u32>) {
         let mut b = ObservationsBuilder::new(n, m);
         for &(w, t, v) in rows {
             b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
@@ -130,7 +140,11 @@ mod tests {
         let p = TruthProblem::new(&t.observations, &t.num_false).unwrap();
         let est = MajorityVoting::estimate(&p);
         let wrong: Vec<usize> = (0..5).filter(|&j| est[j] != Some(t.truth[j])).collect();
-        assert_eq!(wrong, vec![1, 3, 4], "MV should err exactly on Dewitt, Carey, Halevy");
+        assert_eq!(
+            wrong,
+            vec![1, 3, 4],
+            "MV should err exactly on Dewitt, Carey, Halevy"
+        );
     }
 
     #[test]

@@ -30,19 +30,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = TruthProblem::new(&t.observations, &t.num_false)?;
     let mv = MajorityVoting::new().discover(&problem);
     // A high assumed copy probability suits this tiny, heavily-copied table.
-    let date = Date::new(DateConfig { r: 0.8, ..DateConfig::default() })?;
+    let date = Date::new(DateConfig {
+        r: 0.8,
+        ..DateConfig::default()
+    })?;
     let (out, dep) = date.discover_with_dependence(&problem);
     let dep = dep.expect("DATE computes dependence");
 
-    println!("\n{:>12} {:>10} {:>10} {:>10}", "task", "MV", "DATE", "truth");
+    println!(
+        "\n{:>12} {:>10} {:>10} {:>10}",
+        "task", "MV", "DATE", "truth"
+    );
     let mut mv_hits = 0;
     let mut date_hits = 0;
     for j in 0..5 {
-        let fmt = |v: Option<imc2::common::ValueId>| {
-            v.map(|v| t.label(TaskId(j), v)).unwrap_or("-")
-        };
-        if mv.estimate[j] == Some(t.truth[j]) { mv_hits += 1; }
-        if out.estimate[j] == Some(t.truth[j]) { date_hits += 1; }
+        let fmt =
+            |v: Option<imc2::common::ValueId>| v.map(|v| t.label(TaskId(j), v)).unwrap_or("-");
+        if mv.estimate[j] == Some(t.truth[j]) {
+            mv_hits += 1;
+        }
+        if out.estimate[j] == Some(t.truth[j]) {
+            date_hits += 1;
+        }
         println!(
             "{:>12} {:>10} {:>10} {:>10}",
             t.task_name(TaskId(j)),
@@ -56,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nposterior copy probabilities P(i→i'|D) toward worker 3:");
     for i in [3usize, 4] {
         println!(
-        "  P(worker {} → worker 3) = {:.3}",
+            "  P(worker {} → worker 3) = {:.3}",
             i + 1,
             dep.prob(WorkerId(i), WorkerId(2))
         );

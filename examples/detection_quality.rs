@@ -30,8 +30,10 @@ fn run_one(copy_error: f64) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let report = detection_report(&dep, &truth_pairs, &[0.3, 0.5, 0.7, 0.9]);
     println!("\ncopy_error = {copy_error}:");
-    println!("  AUC = {:.3} ({} copier pairs vs {} independent pairs)",
-        report.auc, report.n_positive, report.n_negative);
+    println!(
+        "  AUC = {:.3} ({} copier pairs vs {} independent pairs)",
+        report.auc, report.n_positive, report.n_negative
+    );
     for pt in &report.roc {
         println!(
             "  threshold {:.1}: TPR {:.2}, FPR {:.3}",

@@ -13,7 +13,10 @@ use imc2::truth::{precision, Date, MajorityVoting, TruthDiscovery, TruthProblem}
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2019);
     let scenario = Scenario::generate(&ScenarioConfig::paper_default(), seed);
     println!(
         "campaign: n={} workers, m={} tasks, {} answers, {} copiers (seed {seed})\n",
@@ -46,11 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = Date::paper().discover(&problem);
     let soac = Imc2::paper().build_soac(&scenario, &truth)?;
     let mechs: Vec<(&str, Box<dyn AuctionMechanism>)> = vec![
-        ("ReverseAuction", Box::new(ReverseAuction::with_monopoly_cap(1e9))),
+        (
+            "ReverseAuction",
+            Box::new(ReverseAuction::with_monopoly_cap(1e9)),
+        ),
         ("GA", Box::new(GreedyAccuracy::new())),
         ("GB", Box::new(GreedyBid::new())),
     ];
-    println!("\nreverse auction (Θ ~ U[2,4] over {} tasks):", scenario.n_tasks());
+    println!(
+        "\nreverse auction (Θ ~ U[2,4] over {} tasks):",
+        scenario.n_tasks()
+    );
     for (name, mech) in &mechs {
         let t0 = Instant::now();
         let out = mech.run(&soac)?;

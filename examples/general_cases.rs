@@ -40,20 +40,33 @@ fn split_presentation_demo() -> Result<(), Box<dyn std::error::Error>> {
     }
     let obs = b.build();
     let num_false = vec![2u32; m];
-    let mut labels: Vec<Vec<String>> =
-        (0..20).map(|j| vec![format!("bg{j}"), "f1".into(), "f2".into()]).collect();
-    labels.push(vec!["MSR".into(), "Microsoft Research".into(), "UWisc".into()]);
+    let mut labels: Vec<Vec<String>> = (0..20)
+        .map(|j| vec![format!("bg{j}"), "f1".into(), "f2".into()])
+        .collect();
+    labels.push(vec![
+        "MSR".into(),
+        "Microsoft Research".into(),
+        "UWisc".into(),
+    ]);
     let problem = TruthProblem::new(&obs, &num_false)?.with_labels(&labels)?;
 
     let mut aliases = AliasTable::new();
     aliases.add_class(["MSR", "Microsoft Research"]);
     for (name, similarity) in [
         ("without eq. 21", None),
-        ("with eq. 21   ", Some(Similarity::new(1.0, Arc::new(aliases)))),
+        (
+            "with eq. 21   ",
+            Some(Similarity::new(1.0, Arc::new(aliases))),
+        ),
     ] {
-        let date = Date::new(DateConfig { similarity, ..DateConfig::default() })?;
+        let date = Date::new(DateConfig {
+            similarity,
+            ..DateConfig::default()
+        })?;
         let out = date.discover(&problem);
-        let label = out.estimate[20].map(|v| labels[20][v.index()].clone()).unwrap_or_default();
+        let label = out.estimate[20]
+            .map(|v| labels[20][v.index()].clone())
+            .unwrap_or_default();
         println!("  DATE {name}: estimate = {label}");
     }
     Ok(())
@@ -79,11 +92,20 @@ fn multi_presentation() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, similarity) in [
         ("without eq. 21", None),
-        ("with eq. 21 (ρ = 1)", Some(Similarity::new(1.0, Arc::new(oracle)))),
+        (
+            "with eq. 21 (ρ = 1)",
+            Some(Similarity::new(1.0, Arc::new(oracle))),
+        ),
     ] {
-        let date = Date::new(DateConfig { r: 0.8, similarity, ..DateConfig::default() })?;
+        let date = Date::new(DateConfig {
+            r: 0.8,
+            similarity,
+            ..DateConfig::default()
+        })?;
         let out = date.discover(&problem);
-        let dewitt = out.estimate[1].map(|v| t.label(TaskId(1), v)).unwrap_or("-");
+        let dewitt = out.estimate[1]
+            .map(|v| t.label(TaskId(1), v))
+            .unwrap_or("-");
         println!(
             "  DATE {name}: precision {:.2}, Dewitt -> {dewitt}",
             precision(&out.estimate, &t.truth),
@@ -99,7 +121,10 @@ fn multi_presentation() -> Result<(), Box<dyn std::error::Error>> {
         ..DateConfig::default()
     })?;
     let out = date.discover(&problem);
-    println!("  DATE with alias table: precision {:.2}", precision(&out.estimate, &t.truth));
+    println!(
+        "  DATE with alias table: precision {:.2}",
+        precision(&out.estimate, &t.truth)
+    );
     Ok(())
 }
 
@@ -131,11 +156,20 @@ fn nonuniform_false_values() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, model) in [
         ("uniform assumption (§III)", FalseValueModel::Uniform),
-        ("known popularity (eq. 22–23)", FalseValueModel::per_value(probs)?),
+        (
+            "known popularity (eq. 22–23)",
+            FalseValueModel::per_value(probs)?,
+        ),
     ] {
-        let date = Date::new(DateConfig { false_values: model, ..DateConfig::default() })?;
+        let date = Date::new(DateConfig {
+            false_values: model,
+            ..DateConfig::default()
+        })?;
         let out = date.discover(&problem);
-        println!("  DATE with {name}: precision {:.4}", precision(&out.estimate, &data.ground_truth));
+        println!(
+            "  DATE with {name}: precision {:.4}",
+            precision(&out.estimate, &data.ground_truth)
+        );
     }
     Ok(())
 }

@@ -23,12 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run both stages: DATE truth discovery, then the greedy reverse auction.
     let outcome = Imc2::paper().run(&scenario)?;
 
-    println!("truth discovery: precision {:.3} ({} iterations, converged: {})",
-        outcome.precision, outcome.truth.iterations, outcome.truth.converged);
-    println!("auction: {} winners, total payment {:.2}",
-        outcome.auction.winners.len(), outcome.auction.total_payment());
-    println!("social cost {:.2}, social welfare {:.2}, platform utility {:.2}",
-        outcome.social_cost, outcome.social_welfare, outcome.platform_utility);
+    println!(
+        "truth discovery: precision {:.3} ({} iterations, converged: {})",
+        outcome.precision, outcome.truth.iterations, outcome.truth.converged
+    );
+    println!(
+        "auction: {} winners, total payment {:.2}",
+        outcome.auction.winners.len(),
+        outcome.auction.total_payment()
+    );
+    println!(
+        "social cost {:.2}, social welfare {:.2}, platform utility {:.2}",
+        outcome.social_cost, outcome.social_welfare, outcome.platform_utility
+    );
 
     // Every winner is paid at least its bid (individual rationality).
     for &w in &outcome.auction.winners {
@@ -36,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bid = scenario.bids[w.index()];
         assert!(paid >= bid - 1e-9, "winner {w} paid {paid} under bid {bid}");
     }
-    println!("individual rationality checked for all {} winners ✓", outcome.auction.winners.len());
+    println!(
+        "individual rationality checked for all {} winners ✓",
+        outcome.auction.winners.len()
+    );
     Ok(())
 }

@@ -15,8 +15,16 @@ use imc2::datagen::{Scenario, ScenarioConfig};
 fn plot(curve: &[imc2::auction::analysis::UtilityPoint], cost: f64) {
     let max_u = curve.iter().map(|p| p.utility).fold(0.0f64, f64::max);
     for p in curve {
-        let bar_len = if max_u > 0.0 { ((p.utility.max(0.0) / max_u) * 40.0) as usize } else { 0 };
-        let marker = if (p.bid - cost).abs() < cost / 16.0 { " <- true cost" } else { "" };
+        let bar_len = if max_u > 0.0 {
+            ((p.utility.max(0.0) / max_u) * 40.0) as usize
+        } else {
+            0
+        };
+        let marker = if (p.bid - cost).abs() < cost / 16.0 {
+            " <- true cost"
+        } else {
+            ""
+        };
         println!(
             "  bid {:6.2} | {}{} u={:+.3} {}{}",
             p.bid,
@@ -30,7 +38,10 @@ fn plot(curve: &[imc2::auction::analysis::UtilityPoint], cost: f64) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
     let scenario = Scenario::generate(&ScenarioConfig::small(), seed);
     let mechanism = Imc2::paper().with_auction(ReverseAuction::with_monopoly_cap(1e9));
     let outcome = mechanism.run(&scenario)?;

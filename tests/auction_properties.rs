@@ -13,10 +13,7 @@ use proptest::prelude::*;
 fn arb_problem() -> impl Strategy<Value = SoacProblem> {
     (2usize..=10, 1usize..=5).prop_flat_map(|(n, m)| {
         let bids = proptest::collection::vec(
-            (
-                proptest::collection::btree_set(0..m, 1..=m),
-                0.5f64..20.0,
-            ),
+            (proptest::collection::btree_set(0..m, 1..=m), 0.5f64..20.0),
             n,
         );
         let acc = proptest::collection::vec(0.3f64..1.0, n * m);
@@ -61,9 +58,9 @@ proptest! {
         if let Ok(outcome) = ReverseAuction::new().run(&problem) {
             let costs: Vec<f64> = problem.bids().iter().map(|b| b.price()).collect();
             let u = utilities(&outcome, &costs).unwrap();
-            for w in 0..problem.n_workers() {
+            for (w, &utility) in u.iter().enumerate() {
                 if !outcome.is_winner(WorkerId(w)) {
-                    prop_assert_eq!(u[w], 0.0);
+                    prop_assert_eq!(utility, 0.0);
                 }
             }
         }
@@ -143,7 +140,13 @@ fn payments_match_critical_value_semantics() {
     assert_eq!(outcome.winners, vec![WorkerId(0)]);
     let p = outcome.payments[0];
     let below = problem.with_bid_price(WorkerId(0), p - 1e-6);
-    assert!(ReverseAuction::new().run(&below).unwrap().is_winner(WorkerId(0)));
+    assert!(ReverseAuction::new()
+        .run(&below)
+        .unwrap()
+        .is_winner(WorkerId(0)));
     let above = problem.with_bid_price(WorkerId(0), p + 1e-6);
-    assert!(!ReverseAuction::new().run(&above).unwrap().is_winner(WorkerId(0)));
+    assert!(!ReverseAuction::new()
+        .run(&above)
+        .unwrap()
+        .is_winner(WorkerId(0)));
 }

@@ -39,10 +39,16 @@ fn cost_sub_seed_is_independent_of_forum_sub_seed() {
     // Changing only the cost model must not change the generated answers.
     let base = ScenarioConfig::small();
     let mut expensive = base.clone();
-    expensive.cost_model = imc2::datagen::CostModel::Uniform { lo: 100.0, hi: 200.0 };
+    expensive.cost_model = imc2::datagen::CostModel::Uniform {
+        lo: 100.0,
+        hi: 200.0,
+    };
     let a = Scenario::generate(&base, 77);
     let b = Scenario::generate(&expensive, 77);
-    assert_eq!(a.observations, b.observations, "answers must not depend on the cost model");
+    assert_eq!(
+        a.observations, b.observations,
+        "answers must not depend on the cost model"
+    );
     assert_eq!(a.ground_truth, b.ground_truth);
     assert_ne!(a.costs, b.costs);
 }

@@ -19,8 +19,15 @@ fn full_pipeline_meets_requirements() {
     let scenario = medium_scenario(1);
     let outcome = Imc2::paper().run(&scenario).unwrap();
     let soac = Imc2::paper().build_soac(&scenario, &outcome.truth).unwrap();
-    assert!(soac.is_feasible(&outcome.auction.winners), "winners must cover every Θ_j");
-    assert!(outcome.precision > 0.6, "precision {:.3} too low", outcome.precision);
+    assert!(
+        soac.is_feasible(&outcome.auction.winners),
+        "winners must cover every Θ_j"
+    );
+    assert!(
+        outcome.precision > 0.6,
+        "precision {:.3} too low",
+        outcome.precision
+    );
 }
 
 #[test]
@@ -32,8 +39,7 @@ fn date_beats_baselines_with_copiers_end_to_end() {
     let seeds = 6;
     for seed in 0..seeds {
         let scenario = medium_scenario(seed);
-        let problem =
-            TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
         date_p += precision(
             &Date::paper().discover(&problem).estimate,
             &scenario.ground_truth,
@@ -47,8 +53,14 @@ fn date_beats_baselines_with_copiers_end_to_end() {
             &scenario.ground_truth,
         );
     }
-    assert!(date_p > mv_p, "DATE {date_p:.3} must beat MV {mv_p:.3} over {seeds} seeds");
-    assert!(date_p > nc_p, "DATE {date_p:.3} must beat NC {nc_p:.3} over {seeds} seeds");
+    assert!(
+        date_p > mv_p,
+        "DATE {date_p:.3} must beat MV {mv_p:.3} over {seeds} seeds"
+    );
+    assert!(
+        date_p > nc_p,
+        "DATE {date_p:.3} must beat NC {nc_p:.3} over {seeds} seeds"
+    );
 }
 
 #[test]
@@ -59,14 +71,17 @@ fn reverse_auction_has_lowest_social_cost() {
     let mut gb = 0.0;
     for seed in 0..5 {
         let scenario = medium_scenario(100 + seed);
-        let problem =
-            TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
+        let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
         let truth = Date::paper().discover(&problem);
         let soac = Imc2::paper().build_soac(&scenario, &truth).unwrap();
-        let cost = |winners: &[WorkerId]| {
-            imc2::auction::analysis::social_cost(winners, &scenario.costs)
-        };
-        ra += cost(&ReverseAuction::with_monopoly_cap(1e9).run(&soac).unwrap().winners);
+        let cost =
+            |winners: &[WorkerId]| imc2::auction::analysis::social_cost(winners, &scenario.costs);
+        ra += cost(
+            &ReverseAuction::with_monopoly_cap(1e9)
+                .run(&soac)
+                .unwrap()
+                .winners,
+        );
         ga += cost(&GreedyAccuracy::new().run(&soac).unwrap().winners);
         gb += cost(&GreedyBid::new().run(&soac).unwrap().winners);
     }
@@ -79,14 +94,12 @@ fn mechanism_properties_hold_end_to_end() {
     let scenario = medium_scenario(7);
     let ir = check_individual_rationality(&Imc2::paper(), &scenario).unwrap();
     assert!(ir.all_passed(), "IR: {ir:?}");
-    let workers: Vec<WorkerId> = (0..scenario.n_workers()).step_by(11).map(WorkerId).collect();
-    let tf = check_truthfulness(
-        &Imc2::paper(),
-        &scenario,
-        &workers,
-        &[0.3, 0.7, 1.5, 3.0],
-    )
-    .unwrap();
+    let workers: Vec<WorkerId> = (0..scenario.n_workers())
+        .step_by(11)
+        .map(WorkerId)
+        .collect();
+    let tf =
+        check_truthfulness(&Imc2::paper(), &scenario, &workers, &[0.3, 0.7, 1.5, 3.0]).unwrap();
     assert!(tf.all_passed(), "truthfulness: {tf:?}");
 }
 
@@ -100,7 +113,10 @@ fn campaign_reports_are_consistent() {
     assert!(report.n_winners > 0);
     assert!(report.total_payment >= report.social_cost - 1e-9);
     assert!(report.min_winner_utility >= -1e-9);
-    assert!(report.copier_win_share <= 0.5, "copiers should not dominate the winner set");
+    assert!(
+        report.copier_win_share <= 0.5,
+        "copiers should not dominate the winner set"
+    );
 }
 
 #[test]
@@ -121,5 +137,8 @@ fn copiers_win_less_than_their_population_share() {
     }
     assert!(runs >= 4.0, "most instances must be feasible");
     let avg = share / runs;
-    assert!(avg < 0.25, "copier win share {avg:.3} should fall below the population share 0.25");
+    assert!(
+        avg < 0.25,
+        "copier win share {avg:.3} should fall below the population share 0.25"
+    );
 }

@@ -1,10 +1,10 @@
 //! Failure injection: degenerate and adversarial inputs across the stack.
 
 use imc2::auction::{AuctionError, AuctionMechanism, Bid, ReverseAuction, SoacProblem};
+use imc2::common::rng_from_seed;
 use imc2::common::{Grid, ObservationsBuilder, TaskId, ValueId, WorkerId};
 use imc2::datagen::{CopierConfig, ForumConfig, ForumData, Scenario, ScenarioConfig};
 use imc2::truth::{Date, DateConfig, TruthDiscovery, TruthProblem};
-use imc2::common::rng_from_seed;
 
 #[test]
 fn empty_observation_matrix_yields_no_estimates() {
@@ -43,9 +43,17 @@ fn copier_of_copier_chains_still_converge() {
         let v0 = ValueId(next() % 3);
         b.record(WorkerId(0), TaskId(j), v0).unwrap();
         // w1 copies w0 80% of the time, w2 copies w1 80% of the time.
-        let v1 = if next() % 10 < 8 { v0 } else { ValueId(next() % 3) };
+        let v1 = if next() % 10 < 8 {
+            v0
+        } else {
+            ValueId(next() % 3)
+        };
         b.record(WorkerId(1), TaskId(j), v1).unwrap();
-        let v2 = if next() % 10 < 8 { v1 } else { ValueId(next() % 3) };
+        let v2 = if next() % 10 < 8 {
+            v1
+        } else {
+            ValueId(next() % 3)
+        };
         b.record(WorkerId(2), TaskId(j), v2).unwrap();
     }
     let obs = b.build();
@@ -74,7 +82,10 @@ fn high_copy_error_destroys_dependence_signal() {
         count += 1.0;
     }
     avg /= count;
-    assert!(avg < 0.6, "corrupted copies should not register as strong dependence, got {avg:.3}");
+    assert!(
+        avg < 0.6,
+        "corrupted copies should not register as strong dependence, got {avg:.3}"
+    );
 }
 
 #[test]
@@ -90,7 +101,10 @@ fn infeasible_auction_is_reported_not_panicked() {
 
 #[test]
 fn monopolist_cap_bounds_payment() {
-    let bids = vec![Bid::new(vec![TaskId(0)], 4.0), Bid::new(vec![TaskId(1)], 1.0)];
+    let bids = vec![
+        Bid::new(vec![TaskId(0)], 4.0),
+        Bid::new(vec![TaskId(1)], 1.0),
+    ];
     let mut acc = Grid::filled(2, 2, 0.0);
     acc[(WorkerId(0), TaskId(0))] = 1.0;
     acc[(WorkerId(1), TaskId(1))] = 1.0;
@@ -99,7 +113,9 @@ fn monopolist_cap_bounds_payment() {
         ReverseAuction::new().run(&problem),
         Err(AuctionError::Monopolist { .. })
     ));
-    let out = ReverseAuction::with_monopoly_cap(2.5).run(&problem).unwrap();
+    let out = ReverseAuction::with_monopoly_cap(2.5)
+        .run(&problem)
+        .unwrap();
     assert!((out.payments[0] - 10.0).abs() < 1e-9, "cap 2.5 × bid 4");
     assert!((out.payments[1] - 2.5).abs() < 1e-9, "cap 2.5 × bid 1");
 }
@@ -107,7 +123,10 @@ fn monopolist_cap_bounds_payment() {
 #[test]
 fn zero_copiers_scenario_works() {
     let mut config = ScenarioConfig::small();
-    config.forum.copiers = CopierConfig { n_copiers: 0, ..CopierConfig::default() };
+    config.forum.copiers = CopierConfig {
+        n_copiers: 0,
+        ..CopierConfig::default()
+    };
     let scenario = Scenario::generate(&config, 3);
     assert!(scenario.profiles.iter().all(|p| !p.is_copier()));
     let problem = TruthProblem::new(&scenario.observations, &scenario.num_false).unwrap();
@@ -120,8 +139,13 @@ fn extreme_parameters_do_not_blow_up() {
     let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(8)).unwrap();
     let problem = TruthProblem::new(&data.observations, &data.num_false).unwrap();
     for (r, eps, alpha) in [(0.01, 0.01, 0.01), (0.99, 0.99, 0.49), (0.5, 0.99, 0.01)] {
-        let date = Date::new(DateConfig { r, epsilon: eps, alpha, ..DateConfig::default() })
-            .unwrap();
+        let date = Date::new(DateConfig {
+            r,
+            epsilon: eps,
+            alpha,
+            ..DateConfig::default()
+        })
+        .unwrap();
         let out = date.discover(&problem);
         for (_, _, &a) in out.accuracy.iter() {
             assert!(a.is_finite());

@@ -45,7 +45,11 @@ fn nonuniform_model_beats_uniform_on_skewed_data() {
         uniform_total += precision(&uniform.estimate, &data.ground_truth);
 
         let model = FalseValueModel::per_value(popularity_table(&data)).unwrap();
-        let date = Date::new(DateConfig { false_values: model, ..DateConfig::default() }).unwrap();
+        let date = Date::new(DateConfig {
+            false_values: model,
+            ..DateConfig::default()
+        })
+        .unwrap();
         let skewed = date.discover(&problem);
         skewed_total += precision(&skewed.estimate, &data.ground_truth);
     }
@@ -73,7 +77,11 @@ fn density_model_is_a_usable_middle_ground() {
         .filter(|&h| h > 0.0)
         .collect();
     let model = FalseValueModel::density_from_samples(&samples).unwrap();
-    let date = Date::new(DateConfig { false_values: model, ..DateConfig::default() }).unwrap();
+    let date = Date::new(DateConfig {
+        false_values: model,
+        ..DateConfig::default()
+    })
+    .unwrap();
     let out = date.discover(&problem);
     let p = precision(&out.estimate, &data.ground_truth);
     assert!(p > 0.5, "density model must stay functional, got {p:.3}");
@@ -120,7 +128,10 @@ fn similarity_oracle_types_are_interchangeable() {
             None => "-",
         }
     };
-    assert_eq!(class_of(by_alias.estimate[1]), class_of(by_embedding.estimate[1]));
+    assert_eq!(
+        class_of(by_alias.estimate[1]),
+        class_of(by_embedding.estimate[1])
+    );
 }
 
 #[test]
@@ -143,6 +154,10 @@ fn all_similarity_measures_run_end_to_end() {
         })
         .unwrap();
         let out = date.discover(&problem);
-        assert_eq!(out.estimate.len(), 5, "{measure:?} must produce a full estimate");
+        assert_eq!(
+            out.estimate.len(),
+            5,
+            "{measure:?} must produce a full estimate"
+        );
     }
 }

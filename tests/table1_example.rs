@@ -25,7 +25,11 @@ fn date_detects_the_copiers() {
     // between the two honest independent workers 1 and 2 (0-indexed 0, 1).
     let t = table1::semantic();
     let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
-    let date = Date::new(DateConfig { r: 0.8, ..DateConfig::default() }).unwrap();
+    let date = Date::new(DateConfig {
+        r: 0.8,
+        ..DateConfig::default()
+    })
+    .unwrap();
     let (_, dep) = date.discover_with_dependence(&problem);
     let dep = dep.unwrap();
     let copier_signal = dep.prob(WorkerId(3), WorkerId(2));
@@ -34,7 +38,10 @@ fn date_detects_the_copiers() {
         copier_signal > honest_signal,
         "copier posterior {copier_signal:.3} must exceed honest posterior {honest_signal:.3}"
     );
-    assert!(copier_signal > 0.5, "the w4→w3 copy should be detected, got {copier_signal:.3}");
+    assert!(
+        copier_signal > 0.5,
+        "the w4→w3 copy should be detected, got {copier_signal:.3}"
+    );
 }
 
 #[test]
@@ -43,7 +50,11 @@ fn date_never_does_worse_than_voting_on_table1() {
     let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
     let mv = MajorityVoting::new().discover(&problem);
     for r in [0.2, 0.4, 0.6, 0.8] {
-        let date = Date::new(DateConfig { r, ..DateConfig::default() }).unwrap();
+        let date = Date::new(DateConfig {
+            r,
+            ..DateConfig::default()
+        })
+        .unwrap();
         let out = date.discover(&problem);
         let mv_hits = mv
             .estimate
@@ -57,7 +68,10 @@ fn date_never_does_worse_than_voting_on_table1() {
             .zip(&t.truth)
             .filter(|(e, t)| e.as_ref() == Some(t))
             .count();
-        assert!(date_hits >= mv_hits, "r={r}: DATE {date_hits} < MV {mv_hits}");
+        assert!(
+            date_hits >= mv_hits,
+            "r={r}: DATE {date_hits} < MV {mv_hits}"
+        );
     }
 }
 
@@ -70,7 +84,10 @@ fn worker1_earns_the_best_accuracy_estimate() {
     let problem = TruthProblem::new(&t.observations, &t.num_false).unwrap();
     let out = Date::paper().discover(&problem);
     let mean = |w: usize| -> f64 {
-        (0..5).map(|j| out.accuracy[(WorkerId(w), TaskId(j))]).sum::<f64>() / 5.0
+        (0..5)
+            .map(|j| out.accuracy[(WorkerId(w), TaskId(j))])
+            .sum::<f64>()
+            / 5.0
     };
     assert!(
         mean(0) >= mean(4) - 0.15,

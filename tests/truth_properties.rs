@@ -110,9 +110,9 @@ proptest! {
         .unwrap()
         .discover(&problem);
         let mv = MajorityVoting::estimate(&problem);
-        for j in 0..obs.n_tasks() {
+        for (j, &mv_j) in mv.iter().enumerate() {
             // Same support counts (all accuracies equal) => same argmax.
-            prop_assert_eq!(nc.estimate[j], mv[j], "task {}", j);
+            prop_assert_eq!(nc.estimate[j], mv_j, "task {}", j);
         }
     }
 
@@ -138,7 +138,11 @@ fn convergence_cap_is_respected_even_when_oscillating() {
     let obs = b.build();
     let nf = vec![2, 2];
     let problem = TruthProblem::new(&obs, &nf).unwrap();
-    let date = Date::new(DateConfig { max_iterations: 5, ..DateConfig::default() }).unwrap();
+    let date = Date::new(DateConfig {
+        max_iterations: 5,
+        ..DateConfig::default()
+    })
+    .unwrap();
     let out = date.discover(&problem);
     assert!(out.iterations <= 5);
 }

@@ -1,0 +1,598 @@
+//! Minimal property-testing stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, numeric
+//! range strategies, tuples, [`collection::vec`] / [`collection::btree_set`],
+//! [`arbitrary::any`], [`bool::ANY`], [`num::f64::ANY`], and a tiny
+//! `[class]{lo,hi}` string-pattern strategy.
+//!
+//! Differences from real proptest: cases are generated from a per-test
+//! deterministic seed, and there is **no shrinking** — a failing case
+//! reports its case index instead of a minimized input.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+
+    /// The RNG driving test-case generation.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// `&'static str` patterns: a single `.` or `[class]` atom with an
+    /// optional `{lo,hi}` repetition, e.g. `"[a-z]{1,8}"` or `".{0,32}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_pattern(self);
+            let len = rand::Rng::gen_range(rng, lo..=hi);
+            (0..len)
+                .map(|_| chars[rand::Rng::gen_range(rng, 0..chars.len())])
+                .collect()
+        }
+    }
+
+    /// Parses the supported mini-pattern grammar into (alphabet, lo, hi).
+    fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut rest = pattern;
+        let chars: Vec<char> = if let Some(r) = rest.strip_prefix('.') {
+            rest = r;
+            (0x20u8..0x7F).map(char::from).collect()
+        } else if let Some(r) = rest.strip_prefix('[') {
+            let close = r
+                .find(']')
+                .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+            let class = &r[..close];
+            rest = &r[close + 1..];
+            let mut set = Vec::new();
+            let cs: Vec<char> = class.chars().collect();
+            let mut k = 0;
+            while k < cs.len() {
+                if k + 2 < cs.len() && cs[k + 1] == '-' {
+                    for c in cs[k]..=cs[k + 2] {
+                        set.push(c);
+                    }
+                    k += 3;
+                } else {
+                    set.push(cs[k]);
+                    k += 1;
+                }
+            }
+            set
+        } else {
+            panic!("unsupported string pattern {pattern:?}: expected '.' or '[class]'")
+        };
+        assert!(
+            !chars.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let (lo, hi) = if let Some(r) = rest.strip_prefix('{') {
+            let close = r
+                .find('}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let body = &r[..close];
+            assert!(
+                r[close + 1..].is_empty(),
+                "trailing garbage after repetition in pattern {pattern:?}"
+            );
+            match body.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let exact: usize = body.parse().unwrap();
+                    (exact, exact)
+                }
+            }
+        } else {
+            assert!(rest.is_empty(), "trailing garbage in pattern {pattern:?}");
+            (1, 1)
+        };
+        (chars, lo, hi)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::{Strategy, TestRng};
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen::<u64>(rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::Rng::gen::<u64>(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Any bit pattern: exercises subnormals, infinities and NaN.
+            f64::from_bits(rand::Rng::gen::<u64>(rng))
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin flip.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen::<u64>(rng) & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies beyond plain ranges.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::strategy::{Strategy, TestRng};
+
+        /// Strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Every bit pattern: finite values, ±∞, NaN, subnormals.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rand::Rng::gen::<u64>(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; bound the retries so a small element
+            // domain cannot loop forever (mirrors proptest's rejection cap).
+            let mut attempts = 0;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.size.lo,
+                "btree_set strategy could not reach minimum size {} (domain too small?)",
+                self.size.lo
+            );
+            out
+        }
+    }
+
+    /// A `BTreeSet` of `size` distinct elements drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and deterministic seeding.
+
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a of the test name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// RNG for one case of one test.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        TestRng::seed_from_u64(seed_for(test_name) ^ (u64::from(case) << 32))
+    }
+}
+
+/// Error type carried by `Err` returns inside `proptest!` bodies.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each function body runs `config.cases` times
+/// with fresh strategy-generated bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::rng_for(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::TestCaseError> { $body Ok(()) },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest {} case {case}/{} rejected: {e:?}",
+                            stringify!($name),
+                            config.cases
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "[proptest] {} failed at case {case}/{} (per-test seed {:#x})",
+                                stringify!($name),
+                                config.cases,
+                                $crate::test_runner::seed_for(stringify!($name))
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let (a, b) = (1usize..=4, -2.0f64..2.0).generate(&mut rng);
+            assert!((1..=4).contains(&a));
+            assert!((-2.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_requested_size() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = crate::collection::btree_set(0usize..8, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_alphabet() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let s = "[a-c]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = ".{0,5}".generate(&mut rng);
+            assert!(t.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_generated_values() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(5);
+        let strat = (1usize..=3).prop_flat_map(|n| crate::collection::vec(0u32..2, n));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..10, (a, b) in (0usize..4, 0usize..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 4 && b < 4);
+            if a == b {
+                return Ok(());
+            }
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Marker-trait stand-in for serde in an offline build.
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented for every type and
+//! the re-exported derives expand to nothing, so `#[derive(Serialize,
+//! Deserialize)]` compiles exactly as with real serde while no serialization
+//! machinery exists. Nothing in this workspace serializes at runtime —
+//! structured output (e.g. `BENCH_date.json`) is written by hand.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
