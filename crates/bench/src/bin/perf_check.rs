@@ -1,0 +1,167 @@
+//! Schema/sanity gate for the perf-trend CI job.
+//!
+//! Validates the `BENCH_*.json` files the perf bins emit without asserting
+//! absolute timings (CI boxes are far too noisy for that). What *is*
+//! checked holds by construction with huge margins, so a failure means the
+//! benchmark or the fast path rotted, not that the box was slow:
+//!
+//! * every required key is present (schema drift breaks the perf
+//!   trajectory tracked across PRs);
+//! * `speedup_warm >= 1.0` — a warm, fully-cached dependence step slower
+//!   than the allocating naive reference means the caches stopped working;
+//! * `speedup_dependence >= 1.0` — incremental ingestion slower than a
+//!   full rebuild means the splice path regressed;
+//! * every `bit_identical` flag is `true` — the speedups are meaningless
+//!   if the incremental outputs drifted from the rebuild outputs.
+//!
+//! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>` (defaults to
+//! those names in the working directory). Exits non-zero listing every
+//! violation. The vendored serde is a no-op stand-in, so the checks scan
+//! the JSON textually — fine for the flat, machine-written files at hand.
+
+use std::process::ExitCode;
+
+/// Every `"key": <number>` occurrence in `json`, in order.
+fn values_of(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let raw: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = raw.parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Number of `"key": <literal>` occurrences (numbers, booleans, strings).
+fn occurrences_of(json: &str, key: &str) -> usize {
+    json.matches(&format!("\"{key}\":")).count()
+}
+
+fn check_file(path: &str, required: &[&str], problems: &mut Vec<String>) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(json) => {
+            for key in required {
+                if occurrences_of(&json, key) == 0 {
+                    problems.push(format!("{path}: missing required key \"{key}\""));
+                }
+            }
+            Some(json)
+        }
+        Err(e) => {
+            problems.push(format!("{path}: unreadable ({e})"));
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let date_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_date.json");
+    let stream_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_stream.json");
+    let mut problems = Vec::new();
+
+    if let Some(json) = check_file(
+        date_path,
+        &[
+            "bench",
+            "parallel_feature",
+            "sizes",
+            "n_workers",
+            "naive_dependence_ms",
+            "index_build_ms",
+            "indexed_cold_dependence_ms",
+            "indexed_warm_dependence_ms",
+            "speedup_cold",
+            "speedup_warm",
+            "date_full_run_ms",
+            "date_iterations",
+        ],
+        &mut problems,
+    ) {
+        for (i, v) in values_of(&json, "speedup_warm").iter().enumerate() {
+            if *v < 1.0 {
+                problems.push(format!(
+                    "{date_path}: sizes[{i}] speedup_warm = {v} < 1.0 — the term cache no longer beats the naive path"
+                ));
+            }
+        }
+    }
+
+    if let Some(json) = check_file(
+        stream_path,
+        &[
+            "bench",
+            "parallel_feature",
+            "batches",
+            "n_workers",
+            "batch_size",
+            "touched_tasks",
+            "rebuild_dependence_ms",
+            "incremental_dependence_ms",
+            "speedup_dependence",
+            "bit_identical",
+            "stream_push_refine_ms",
+            "batch_date_full_ms",
+        ],
+        &mut problems,
+    ) {
+        for (i, v) in values_of(&json, "speedup_dependence").iter().enumerate() {
+            if *v < 1.0 {
+                problems.push(format!(
+                    "{stream_path}: batches[{i}] speedup_dependence = {v} < 1.0 — incremental ingestion lost to a full rebuild"
+                ));
+            }
+        }
+        let idents = occurrences_of(&json, "bit_identical");
+        let trues = json.matches("\"bit_identical\": true").count();
+        if idents == 0 || trues != idents {
+            problems.push(format!(
+                "{stream_path}: {}/{idents} bit_identical flags are true — incremental output drifted from the rebuild",
+                trues
+            ));
+        }
+    }
+
+    if problems.is_empty() {
+        println!("perf_check: {date_path} and {stream_path} pass schema and sanity checks");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("perf_check: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_of_extracts_numbers() {
+        let json = "{\"speedup_warm\": 13.5, \"x\": {\"speedup_warm\": 0.5}}";
+        assert_eq!(values_of(json, "speedup_warm"), vec![13.5, 0.5]);
+        assert!(values_of(json, "absent").is_empty());
+    }
+
+    #[test]
+    fn occurrences_counts_keys() {
+        let json = "{\"bit_identical\": true, \"b\": {\"bit_identical\": false}}";
+        assert_eq!(occurrences_of(json, "bit_identical"), 2);
+        assert_eq!(json.matches("\"bit_identical\": true").count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Streaming append batches for the observation snapshot.
+//!
+//! The paper treats the snapshot `D` as given all at once, but the
+//! production service receives answers continuously. A [`SnapshotDelta`] is
+//! one ingestion batch: a set of new `(worker, task, value)` answers to
+//! append to an existing [`crate::Observations`]. Applying a delta produces
+//! a *new* immutable snapshot ([`crate::Observations::apply_delta`]) — the
+//! old one stays valid, so in-flight readers are never invalidated — and
+//! downstream indexes can be maintained incrementally
+//! ([`crate::PairOverlapIndex::extended`]) instead of rebuilt.
+//!
+//! A delta may introduce workers the base snapshot has never seen (their
+//! ids simply extend the worker range); the task universe is fixed at
+//! snapshot creation, so task ids must stay in range. Duplicate answers —
+//! within the batch or against the base — are rejected at apply time, same
+//! as [`crate::ObservationsBuilder::record`].
+
+use crate::{TaskId, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// A batch of new answers to append to an [`crate::Observations`] snapshot.
+///
+/// Construction never fails: validation happens against the base snapshot
+/// when the delta is applied, because only the base knows the task range and
+/// which `(worker, task)` cells are already filled.
+///
+/// # Example
+/// ```
+/// use imc2_common::{ObservationsBuilder, SnapshotDelta, WorkerId, TaskId, ValueId};
+/// # fn main() -> Result<(), imc2_common::ValidationError> {
+/// let mut b = ObservationsBuilder::new(2, 2);
+/// b.record(WorkerId(0), TaskId(0), ValueId(1))?;
+/// let base = b.build();
+///
+/// let mut delta = SnapshotDelta::new();
+/// delta.push(WorkerId(1), TaskId(0), ValueId(1)); // existing worker
+/// delta.push(WorkerId(2), TaskId(1), ValueId(0)); // brand-new worker
+/// let grown = base.apply_delta(&delta)?;
+/// assert_eq!(grown.n_workers(), 3);
+/// assert_eq!(grown.len(), 3);
+/// assert_eq!(base.len(), 1); // the base snapshot is untouched
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    answers: Vec<(WorkerId, TaskId, ValueId)>,
+}
+
+impl SnapshotDelta {
+    /// An empty batch (applying it is a cheap structural copy).
+    pub fn new() -> Self {
+        SnapshotDelta::default()
+    }
+
+    /// A batch prefilled from an answer list.
+    pub fn from_answers(answers: Vec<(WorkerId, TaskId, ValueId)>) -> Self {
+        SnapshotDelta { answers }
+    }
+
+    /// Appends one answer to the batch (validated at apply time).
+    pub fn push(&mut self, worker: WorkerId, task: TaskId, value: ValueId) {
+        self.answers.push((worker, task, value));
+    }
+
+    /// The raw answers in insertion order.
+    pub fn answers(&self) -> &[(WorkerId, TaskId, ValueId)] {
+        &self.answers
+    }
+
+    /// Number of answers in the batch.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether the batch holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The distinct tasks receiving new answers, ascending — the "dirty"
+    /// task set incremental consumers must refresh.
+    pub fn touched_tasks(&self) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> = self.answers.iter().map(|&(_, t, _)| t).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks
+    }
+
+    /// The distinct workers contributing new answers, ascending.
+    pub fn touched_workers(&self) -> Vec<WorkerId> {
+        let mut workers: Vec<WorkerId> = self.answers.iter().map(|&(w, _, _)| w).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        workers
+    }
+
+    /// Worker count after applying this delta to a base with
+    /// `base_n_workers` workers: the range only ever grows.
+    pub fn n_workers_after(&self, base_n_workers: usize) -> usize {
+        self.answers
+            .iter()
+            .map(|&(w, _, _)| w.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(base_n_workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delta_reports_nothing() {
+        let d = SnapshotDelta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.touched_tasks().is_empty());
+        assert!(d.touched_workers().is_empty());
+        assert_eq!(d.n_workers_after(5), 5);
+    }
+
+    #[test]
+    fn touched_sets_are_sorted_and_deduped() {
+        let mut d = SnapshotDelta::new();
+        d.push(WorkerId(3), TaskId(2), ValueId(0));
+        d.push(WorkerId(1), TaskId(2), ValueId(1));
+        d.push(WorkerId(3), TaskId(0), ValueId(0));
+        assert_eq!(d.touched_tasks(), vec![TaskId(0), TaskId(2)]);
+        assert_eq!(d.touched_workers(), vec![WorkerId(1), WorkerId(3)]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn worker_range_grows_with_new_ids() {
+        let d = SnapshotDelta::from_answers(vec![(WorkerId(7), TaskId(0), ValueId(0))]);
+        assert_eq!(d.n_workers_after(3), 8);
+        assert_eq!(d.n_workers_after(20), 20);
+    }
+}

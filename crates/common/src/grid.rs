@@ -36,6 +36,18 @@ impl<T: Clone> Grid<T> {
             data: vec![fill; n_workers * n_tasks],
         }
     }
+
+    /// Grows the worker dimension to `n_workers`, filling new rows with
+    /// `fill`; existing rows keep their values and offsets (rows are
+    /// appended, the task stride is unchanged). Used by streaming consumers
+    /// when an answer batch introduces new workers. No-op if the grid
+    /// already has at least `n_workers` rows.
+    pub fn extend_rows(&mut self, n_workers: usize, fill: T) {
+        if n_workers > self.n_workers {
+            self.data.resize(n_workers * self.n_tasks, fill);
+            self.n_workers = n_workers;
+        }
+    }
 }
 
 impl<T> Grid<T> {
@@ -200,6 +212,18 @@ mod tests {
         for (w, t, _) in g.iter() {
             assert!(seen.insert((w, t)));
         }
+    }
+
+    #[test]
+    fn extend_rows_preserves_existing_cells() {
+        let mut g = Grid::from_fn(2, 3, |w, t| w.index() * 10 + t.index());
+        g.extend_rows(4, 99);
+        assert_eq!(g.n_workers(), 4);
+        assert_eq!(g[(WorkerId(1), TaskId(2))], 12);
+        assert_eq!(g.row(WorkerId(3)), &[99, 99, 99]);
+        // Shrinking is a no-op.
+        g.extend_rows(1, 0);
+        assert_eq!(g.n_workers(), 4);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! ([`rng`]), summary statistics for the experiment harness ([`stats`]), and
 //! the shared error vocabulary ([`ValidationError`]).
 //!
+//! For streaming workloads the snapshot also has an append path: a
+//! [`SnapshotDelta`] batch of new answers produces the next immutable
+//! snapshot ([`Observations::apply_delta`]) while the pairwise overlap
+//! index follows along incrementally instead of rebuilding
+//! ([`PairOverlapIndex::apply_delta`]; performance notes in [`overlap`]).
+//!
 //! # Example
 //!
 //! ```
@@ -31,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod delta;
 pub mod grid;
 pub mod ids;
 pub mod logprob;
@@ -41,10 +48,11 @@ pub mod stats;
 
 mod error;
 
+pub use delta::SnapshotDelta;
 pub use error::ValidationError;
 pub use grid::Grid;
 pub use ids::{TaskId, ValueId, WorkerId};
 pub use observations::{Observations, ObservationsBuilder, TaskGroups, TaskView};
-pub use overlap::{OverlapIter, OverlapTriple, PairOverlapIndex};
+pub use overlap::{OverlapDelta, OverlapIter, OverlapTriple, PairOverlapIndex};
 pub use rng::{rng_from_seed, SeedStream};
 pub use stats::{OnlineStats, Summary};

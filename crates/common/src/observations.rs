@@ -181,6 +181,61 @@ impl Observations {
     pub fn max_value_of_task(&self, task: TaskId) -> Option<ValueId> {
         self.by_task[task.index()].iter().map(|&(_, v)| v).max()
     }
+
+    /// Appends a batch of new answers, producing a new snapshot; `self` is
+    /// untouched (in-flight readers of the old snapshot stay valid).
+    ///
+    /// The result is structurally identical to rebuilding from scratch with
+    /// all answers through [`ObservationsBuilder`] — the same `Eq` value —
+    /// so every index derived from it (e.g.
+    /// [`crate::PairOverlapIndex::extended`]) can be checked against a full
+    /// rebuild. Workers unseen by the base extend the worker range; the
+    /// task universe is fixed. Cost is `O(len + |delta| · log)` — it copies
+    /// the row structure once and inserts each new answer in sorted
+    /// position.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if any answer names a task out of range
+    /// or duplicates an existing answer (in the base or within the batch).
+    pub fn apply_delta(
+        &self,
+        delta: &crate::SnapshotDelta,
+    ) -> Result<Observations, ValidationError> {
+        let n_workers = delta.n_workers_after(self.n_workers);
+        let mut by_worker = self.by_worker.clone();
+        by_worker.resize(n_workers, Vec::new());
+        let mut by_task = self.by_task.clone();
+        for &(w, t, v) in delta.answers() {
+            if t.index() >= self.n_tasks {
+                return Err(ValidationError::new(format!(
+                    "delta task index {} out of range 0..{}",
+                    t.index(),
+                    self.n_tasks
+                )));
+            }
+            let row = &mut by_worker[w.index()];
+            match row.binary_search_by_key(&t, |&(rt, _)| rt) {
+                Ok(_) => {
+                    return Err(ValidationError::new(format!(
+                        "duplicate delta observation: {w} already answered {t}"
+                    )));
+                }
+                Err(k) => row.insert(k, (t, v)),
+            }
+            let col = &mut by_task[t.index()];
+            match col.binary_search_by_key(&w, |&(cw, _)| cw) {
+                Ok(_) => unreachable!("by_worker dedup covers by_task"),
+                Err(k) => col.insert(k, (w, v)),
+            }
+        }
+        Ok(Observations {
+            n_workers,
+            n_tasks: self.n_tasks,
+            by_task,
+            by_worker,
+            len: self.len + delta.len(),
+        })
+    }
 }
 
 /// One task's distinct values with their supporter lists, sorted by value
@@ -441,6 +496,50 @@ mod tests {
         let obs = sample();
         assert_eq!(obs.max_value_of_task(TaskId(0)), Some(ValueId(1)));
         assert_eq!(obs.max_value_of_task(TaskId(1)), Some(ValueId(2)));
+    }
+
+    #[test]
+    fn apply_delta_equals_from_scratch_build() {
+        let base = sample();
+        let mut delta = crate::SnapshotDelta::new();
+        delta.push(WorkerId(1), TaskId(1), ValueId(0));
+        delta.push(WorkerId(3), TaskId(0), ValueId(2)); // new worker
+        let grown = base.apply_delta(&delta).unwrap();
+
+        let mut b = ObservationsBuilder::new(4, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(2), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(1), TaskId(1), ValueId(0)).unwrap();
+        b.record(WorkerId(3), TaskId(0), ValueId(2)).unwrap();
+        assert_eq!(grown, b.build());
+        assert_eq!(base.len(), 5, "base snapshot must stay untouched");
+    }
+
+    #[test]
+    fn apply_delta_rejects_duplicates_and_bad_tasks() {
+        let base = sample();
+        let dup_base =
+            crate::SnapshotDelta::from_answers(vec![(WorkerId(0), TaskId(0), ValueId(0))]);
+        assert!(base.apply_delta(&dup_base).is_err());
+
+        let mut dup_inner = crate::SnapshotDelta::new();
+        dup_inner.push(WorkerId(1), TaskId(1), ValueId(0));
+        dup_inner.push(WorkerId(1), TaskId(1), ValueId(2));
+        assert!(base.apply_delta(&dup_inner).is_err());
+
+        let bad_task =
+            crate::SnapshotDelta::from_answers(vec![(WorkerId(0), TaskId(9), ValueId(0))]);
+        assert!(base.apply_delta(&bad_task).is_err());
+    }
+
+    #[test]
+    fn apply_empty_delta_is_identity() {
+        let base = sample();
+        let same = base.apply_delta(&crate::SnapshotDelta::new()).unwrap();
+        assert_eq!(base, same);
     }
 
     #[test]

@@ -18,8 +18,32 @@
 //! in lexicographic `(a, b)` order with `a < b` — the same visit order as the
 //! naive nested loop, so consumers that re-accumulate floating-point sums
 //! from the index reproduce the naive results bit for bit.
+//!
+//! # Performance notes — streaming snapshots
+//!
+//! When a snapshot grows by an appended answer batch
+//! ([`Observations::apply_delta`]), the index does not need the serial full
+//! rebuild. New triples are discovered by walking only the **touched**
+//! tasks' responder lists (`O(Σ_{j touched} |W^j|²)` instead of
+//! `O(Σ_j |W^j|²)`); with the worker range unchanged,
+//! [`PairOverlapIndex::plan_delta`] then pins down the exact buffer
+//! positions the fresh triples occupy and
+//! [`PairOverlapIndex::apply_planned`] splices them in place — a backward
+//! pass of block `memmove`s over the shifted tail plus a sequential sweep
+//! of the offset table, never a per-pair walk of the whole CSR. Consumers
+//! caching per-triple derived data replay the identical splice on their own
+//! buffers via [`OverlapDelta::splice_triples_parallel`]. When the batch
+//! introduces new workers every pair id remaps, so
+//! [`PairOverlapIndex::apply_delta`] falls back to a sequential re-merge
+//! (bulk copies for untouched pairs). Either way the result is
+//! structurally equal to `PairOverlapIndex::build` on the grown snapshot
+//! (property-tested in `tests/overlap_delta.rs`), so downstream consumers
+//! cannot observe which path produced it. At n=200 workers (~326k
+//! triples), splicing in a 1–10 answer batch costs ~1 ms against a ~3 ms
+//! full rebuild — and, more importantly, it preserves downstream caches
+//! keyed to triple positions (see `BENCH_stream.json`).
 
-use crate::{Observations, TaskId, ValueId, WorkerId};
+use crate::{Observations, SnapshotDelta, TaskId, ValueId, WorkerId};
 
 /// One co-answered task of a worker pair `(a, b)`: the task plus the value
 /// each worker gave (`va` from the smaller-id worker `a`).
@@ -172,6 +196,405 @@ impl PairOverlapIndex {
     pub fn pairs(&self) -> impl Iterator<Item = (WorkerId, WorkerId, &[OverlapTriple])> + '_ {
         (0..self.nonempty.len()).map(move |k| self.pair_at(k))
     }
+
+    /// Offset into the triple buffer where non-empty pair `k`'s run starts
+    /// (`k == n_nonempty_pairs()` yields the total). Runs tile the buffer
+    /// in pair order, so consumers holding an auxiliary buffer with one
+    /// entry per triple (e.g. cached per-triple terms) address it with
+    /// these offsets.
+    ///
+    /// # Panics
+    /// Panics if `k > n_nonempty_pairs()`.
+    pub fn triple_offset_at(&self, k: usize) -> usize {
+        if k == self.nonempty.len() {
+            return self.triples.len();
+        }
+        let (a, b) = self.nonempty[k];
+        self.offsets[triangular_id(self.n_workers, a as usize, b as usize)]
+    }
+
+    /// The index of the snapshot `after = base.apply_delta(delta)`, derived
+    /// incrementally from this index (built for `base`).
+    ///
+    /// Structurally equal to `PairOverlapIndex::build(after)` — same
+    /// offsets, same triples, same non-empty pair list — but computed with
+    /// work proportional to the *touched* pairs: delta triples come from
+    /// walking only the touched tasks' responder lists. When the worker
+    /// range is unchanged this is a [`PairOverlapIndex::plan_delta`] +
+    /// [`PairOverlapIndex::apply_planned`] on a copy (in-place splices);
+    /// when the delta introduces new workers the whole pair-id space
+    /// remaps, so the buffers are re-merged sequentially instead.
+    ///
+    /// Prefer [`PairOverlapIndex::apply_delta`] when the old index is no
+    /// longer needed — it skips the copy.
+    ///
+    /// # Panics
+    /// Panics if `after`'s worker range is smaller than this index's. The
+    /// caller is responsible for `after` actually being `base + delta`;
+    /// feeding an unrelated snapshot produces an index that disagrees with
+    /// `build(after)`.
+    #[must_use = "extended() returns the new index; the original is unchanged"]
+    pub fn extended(&self, after: &Observations, delta: &SnapshotDelta) -> Self {
+        let mut out = self.clone();
+        out.apply_delta(after, delta);
+        out
+    }
+
+    /// In-place version of [`PairOverlapIndex::extended`]: rebases this
+    /// index onto `after = base.apply_delta(delta)`.
+    pub fn apply_delta(&mut self, after: &Observations, delta: &SnapshotDelta) {
+        if after.n_workers() == self.n_workers {
+            let plan = self.plan_delta(after, delta);
+            self.apply_planned(&plan);
+        } else {
+            *self = self.extended_growing(after, delta);
+        }
+    }
+
+    /// General-path rebase for deltas that grow the worker range: every
+    /// pair id remaps, so offsets are recounted and the triple buffer is
+    /// re-merged sequentially (bulk copies for untouched pairs).
+    fn extended_growing(&self, after: &Observations, delta: &SnapshotDelta) -> Self {
+        let n_old = self.n_workers;
+        let n_new = after.n_workers();
+        assert!(
+            n_new >= n_old,
+            "snapshot worker range shrank under the index ({n_old} -> {n_new})"
+        );
+
+        let delta_triples = delta_triples_of(after, delta);
+
+        // 2. Per-pair counts in the grown pair space, then prefix offsets.
+        let n_pairs = n_new * n_new.saturating_sub(1) / 2;
+        let mut counts = vec![0usize; n_pairs];
+        for &(a, b) in &self.nonempty {
+            let old_pair = triangular_id(n_old, a as usize, b as usize);
+            counts[triangular_id(n_new, a as usize, b as usize)] +=
+                self.offsets[old_pair + 1] - self.offsets[old_pair];
+        }
+        for &(a, b, _) in &delta_triples {
+            counts[triangular_id(n_new, a as usize, b as usize)] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_pairs + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+
+        // 3. Fill by walking the union of old non-empty pairs and delta
+        //    pairs in lexicographic order. Pairs enumerate in the same
+        //    order the offsets were counted in, so the output buffer is
+        //    written strictly left to right — no placeholder prefill — and
+        //    pairs untouched by the delta (the overwhelming majority for
+        //    small batches) are carried over with one bulk copy each.
+        let mut triples: Vec<OverlapTriple> = Vec::with_capacity(total);
+        let mut nonempty = Vec::with_capacity(self.nonempty.len());
+        let mut oi = 0; // cursor into self.nonempty
+        let mut di = 0; // cursor into delta_triples
+        while oi < self.nonempty.len() || di < delta_triples.len() {
+            let old_key = self.nonempty.get(oi).copied();
+            let delta_key = delta_triples.get(di).map(|&(a, b, _)| (a, b));
+            let (a, b) = match (old_key, delta_key) {
+                (Some(o), Some(d)) => o.min(d),
+                (Some(o), None) => o,
+                (None, Some(d)) => d,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let old_run: &[OverlapTriple] = if old_key == Some((a, b)) {
+                let old_pair = triangular_id(n_old, a as usize, b as usize);
+                oi += 1;
+                &self.triples[self.offsets[old_pair]..self.offsets[old_pair + 1]]
+            } else {
+                &[]
+            };
+            let delta_start = di;
+            while di < delta_triples.len() {
+                let (da, db, _) = delta_triples[di];
+                if (da, db) != (a, b) {
+                    break;
+                }
+                di += 1;
+            }
+            let delta_run = &delta_triples[delta_start..di];
+            if delta_run.is_empty() {
+                triples.extend_from_slice(old_run);
+            } else if old_run.is_empty() {
+                triples.extend(delta_run.iter().map(|&(_, _, tr)| tr));
+            } else {
+                // Task-sorted disjoint runs: standard two-pointer merge.
+                let (mut x, mut y) = (0, 0);
+                while x < old_run.len() || y < delta_run.len() {
+                    let take_old = y >= delta_run.len()
+                        || (x < old_run.len() && old_run[x].task < delta_run[y].2.task);
+                    if take_old {
+                        triples.push(old_run[x]);
+                        x += 1;
+                    } else {
+                        triples.push(delta_run[y].2);
+                        y += 1;
+                    }
+                }
+            }
+            let pair = triangular_id(n_new, a as usize, b as usize);
+            debug_assert_eq!(triples.len(), offsets[pair + 1], "pair ({a}, {b}) fill");
+            nonempty.push((a, b));
+        }
+        debug_assert_eq!(triples.len(), total);
+
+        PairOverlapIndex {
+            n_workers: n_new,
+            offsets,
+            triples,
+            nonempty,
+        }
+    }
+
+    /// Computes the exact in-place edit a batch of appended answers makes
+    /// to this index — the fixed-worker-range fast path.
+    ///
+    /// The resulting [`OverlapDelta`] pins down, in *new* coordinates, the
+    /// positions where fresh triples land in the triple buffer; everything
+    /// between those positions shifts as a contiguous block, so
+    /// [`PairOverlapIndex::apply_planned`] (and any consumer maintaining a
+    /// buffer parallel to the triples, via
+    /// [`OverlapDelta::splice_triples_parallel`]) touches memory
+    /// proportional to the shifted tail, not to a per-pair walk of the
+    /// whole CSR.
+    ///
+    /// # Panics
+    /// Panics if `after`'s worker range differs from this index's (worker
+    /// growth remaps every pair id — use
+    /// [`PairOverlapIndex::apply_delta`], which falls back to the general
+    /// re-merge path).
+    pub fn plan_delta(&self, after: &Observations, delta: &SnapshotDelta) -> OverlapDelta {
+        assert_eq!(
+            after.n_workers(),
+            self.n_workers,
+            "plan_delta requires a fixed worker range"
+        );
+        let delta_triples = delta_triples_of(after, delta);
+        let mut triple_positions = Vec::with_capacity(delta_triples.len());
+        let mut triple_values = Vec::with_capacity(delta_triples.len());
+        let mut pair_gains: Vec<(usize, usize)> = Vec::new();
+        let mut nonempty_positions = Vec::new();
+        let mut nonempty_values = Vec::new();
+        let mut cum_gain = 0usize;
+        let mut di = 0usize;
+        while di < delta_triples.len() {
+            let (a, b, _) = delta_triples[di];
+            let run_start = di;
+            while di < delta_triples.len() {
+                let (da, db, _) = delta_triples[di];
+                if (da, db) != (a, b) {
+                    break;
+                }
+                di += 1;
+            }
+            let run = &delta_triples[run_start..di];
+            let pair = triangular_id(self.n_workers, a as usize, b as usize);
+            let (old_lo, old_hi) = (self.offsets[pair], self.offsets[pair + 1]);
+            if old_lo == old_hi {
+                // Newly non-empty pair: record its ordinal insertion point
+                // (in new coordinates — earlier planned insertions shift
+                // later ordinals).
+                let ordinal = self.nonempty.partition_point(|&p| p < (a, b));
+                nonempty_positions.push(ordinal + nonempty_values.len());
+                nonempty_values.push((a, b));
+            }
+            // Interleave the delta run into the pair's (task-sorted) old
+            // triples to find each insertion's position in the merged run.
+            let mut x = old_lo;
+            for (consumed, &(_, _, tr)) in run.iter().enumerate() {
+                while x < old_hi && self.triples[x].task < tr.task {
+                    x += 1;
+                }
+                triple_positions.push(cum_gain + x + consumed);
+                triple_values.push(tr);
+            }
+            pair_gains.push((pair, run.len()));
+            cum_gain += run.len();
+        }
+        OverlapDelta {
+            n_triples_before: self.triples.len(),
+            triple_positions,
+            triple_values,
+            pair_gains,
+            nonempty_positions,
+            nonempty_values,
+        }
+    }
+
+    /// Applies a plan produced by [`PairOverlapIndex::plan_delta`] on this
+    /// exact index state. Work is `O(shifted tail + touched pairs)`: one
+    /// backward splice of the triple buffer, one sequential pass over the
+    /// (tiny) offset table, and an ordinal splice of the non-empty list.
+    ///
+    /// # Panics
+    /// Panics if this index's triple count differs from the one the plan
+    /// was made against (the plan was applied already, or to the wrong
+    /// index).
+    pub fn apply_planned(&mut self, plan: &OverlapDelta) {
+        assert_eq!(
+            self.triples.len(),
+            plan.n_triples_before,
+            "plan made for a different index state"
+        );
+        splice_insert(
+            &mut self.triples,
+            &plan.triple_positions,
+            OverlapTriple {
+                task: TaskId(0),
+                va: ValueId(0),
+                vb: ValueId(0),
+            },
+        );
+        for (&pos, &tr) in plan.triple_positions.iter().zip(&plan.triple_values) {
+            self.triples[pos] = tr;
+        }
+        if let Some(&(first_pair, _)) = plan.pair_gains.first() {
+            let mut gain = 0usize;
+            let mut gi = 0usize;
+            for pair in first_pair..self.offsets.len() - 1 {
+                self.offsets[pair] += gain;
+                if gi < plan.pair_gains.len() && plan.pair_gains[gi].0 == pair {
+                    gain += plan.pair_gains[gi].1;
+                    gi += 1;
+                }
+            }
+            *self.offsets.last_mut().expect("offsets never empty") += gain;
+        }
+        splice_insert(&mut self.nonempty, &plan.nonempty_positions, (0, 0));
+        for (&pos, &pair) in plan.nonempty_positions.iter().zip(&plan.nonempty_values) {
+            self.nonempty[pos] = pair;
+        }
+    }
+}
+
+/// A planned in-place index edit for one append batch — see
+/// [`PairOverlapIndex::plan_delta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapDelta {
+    /// Triple-buffer length the plan was made against, so applying it to a
+    /// drifted buffer (double-applied or skipped plan) fails loudly
+    /// instead of silently corrupting alignment.
+    n_triples_before: usize,
+    /// Positions (new coordinates, ascending) where fresh triples land in
+    /// the triple buffer, with the values.
+    triple_positions: Vec<usize>,
+    triple_values: Vec<OverlapTriple>,
+    /// `(pair id, inserted count)` ascending, for the offset-table pass.
+    pair_gains: Vec<(usize, usize)>,
+    /// Ordinal positions (new coordinates, ascending) of pairs that become
+    /// non-empty, with their `(a, b)` keys.
+    nonempty_positions: Vec<usize>,
+    nonempty_values: Vec<(u32, u32)>,
+}
+
+impl OverlapDelta {
+    /// Number of triples the batch inserts.
+    pub fn n_new_triples(&self) -> usize {
+        self.triple_positions.len()
+    }
+
+    /// Whether applying the plan changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.triple_positions.is_empty()
+    }
+
+    /// Splices a buffer maintained parallel to the index's triple buffer
+    /// (one element per triple, same order): inserts `fill` at every
+    /// position where [`PairOverlapIndex::apply_planned`] inserts a fresh
+    /// triple, shifting the rest identically. Callers caching per-triple
+    /// derived data (e.g. dependence log terms) stay aligned without
+    /// re-walking the CSR.
+    ///
+    /// # Panics
+    /// Panics if `buf`'s length differs from the triple count the plan was
+    /// made for.
+    pub fn splice_triples_parallel<X: Copy>(&self, buf: &mut Vec<X>, fill: X) {
+        assert_eq!(
+            buf.len(),
+            self.n_triples_before,
+            "parallel buffer out of sync with the plan's index state"
+        );
+        splice_insert(buf, &self.triple_positions, fill);
+    }
+}
+
+/// Inserts `fill` at each of `positions` (ascending, distinct, expressed in
+/// post-insertion coordinates), shifting existing elements right — a single
+/// backward pass of block `memmove`s, so cost is the shifted tail plus the
+/// insertion count, regardless of how many "pairs" the buffer models.
+fn splice_insert<X: Copy>(buf: &mut Vec<X>, positions: &[usize], fill: X) {
+    if positions.is_empty() {
+        return;
+    }
+    let old_len = buf.len();
+    buf.resize(old_len + positions.len(), fill);
+    let mut src = old_len; // exclusive end of not-yet-moved old data
+    let mut dst = old_len + positions.len(); // exclusive end of unwritten output
+    for &pos in positions.iter().rev() {
+        let tail = dst - pos - 1; // old elements landing right of this insert
+        buf.copy_within(src - tail..src, pos + 1);
+        src -= tail;
+        buf[pos] = fill;
+        dst = pos;
+    }
+    debug_assert_eq!(src, dst, "head already in place");
+}
+
+/// The fresh overlap triples an answer batch contributes, from touched
+/// tasks only, sorted by `(a, b, task)`.
+///
+/// An answer pair on a touched task contributes a *new* triple iff at least
+/// one of the two answers arrived in this delta (both-old pairs were
+/// already indexed). Each pair's run comes out in ascending task order,
+/// disjoint from its previously indexed tasks (duplicate answers are
+/// rejected at apply time). Cost is `O(Σ_{j touched} |W^j|²)`.
+fn delta_triples_of(after: &Observations, delta: &SnapshotDelta) -> Vec<(u32, u32, OverlapTriple)> {
+    let mut new_answers: Vec<(TaskId, WorkerId)> =
+        delta.answers().iter().map(|&(w, t, _)| (t, w)).collect();
+    new_answers.sort_unstable();
+    let mut delta_triples: Vec<(u32, u32, OverlapTriple)> = Vec::new();
+    let mut is_new = Vec::new();
+    let mut k = 0;
+    while k < new_answers.len() {
+        let task = new_answers[k].0;
+        let run_start = k;
+        while k < new_answers.len() && new_answers[k].0 == task {
+            k += 1;
+        }
+        let fresh = &new_answers[run_start..k];
+        let rows = after.workers_of_task(task);
+        // Mark the fresh responders by merging the two worker-sorted lists.
+        is_new.clear();
+        is_new.resize(rows.len(), false);
+        let mut fi = 0;
+        for (x, &(w, _)) in rows.iter().enumerate() {
+            while fi < fresh.len() && fresh[fi].1 < w {
+                fi += 1;
+            }
+            if fi < fresh.len() && fresh[fi].1 == w {
+                is_new[x] = true;
+                fi += 1;
+            }
+        }
+        for (x, &(wa, va)) in rows.iter().enumerate() {
+            for (y, &(wb, vb)) in rows.iter().enumerate().skip(x + 1) {
+                if is_new[x] || is_new[y] {
+                    delta_triples.push((
+                        wa.index() as u32,
+                        wb.index() as u32,
+                        OverlapTriple { task, va, vb },
+                    ));
+                }
+            }
+        }
+    }
+    delta_triples.sort_unstable_by_key(|&(a, b, tr)| (a, b, tr.task));
+    delta_triples
 }
 
 /// Dense id of the unordered pair `(a, b)`, `a < b`, in lexicographic order:
@@ -307,6 +730,83 @@ mod tests {
         let index = PairOverlapIndex::build(&b.build());
         assert_eq!(index.n_nonempty_pairs(), 0);
         assert_eq!(index.n_triples(), 0);
+    }
+
+    #[test]
+    fn extended_matches_full_rebuild() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        let mut delta = crate::SnapshotDelta::new();
+        delta.push(WorkerId(3), TaskId(0), ValueId(1)); // silent worker wakes up
+        delta.push(WorkerId(1), TaskId(1), ValueId(0)); // joins an existing overlap
+        delta.push(WorkerId(4), TaskId(2), ValueId(2)); // brand-new worker
+        let after = base.apply_delta(&delta).unwrap();
+        let incremental = index.extended(&after, &delta);
+        assert_eq!(incremental, PairOverlapIndex::build(&after));
+        assert_eq!(incremental.n_workers(), 5);
+    }
+
+    #[test]
+    fn extended_with_empty_delta_is_identity() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        let delta = crate::SnapshotDelta::new();
+        let after = base.apply_delta(&delta).unwrap();
+        assert_eq!(index.extended(&after, &delta), index);
+    }
+
+    #[test]
+    fn extended_chain_tracks_rebuilds() {
+        // Apply several small batches in sequence; after every step the
+        // incrementally-maintained index must equal a from-scratch build.
+        let mut obs = ObservationsBuilder::new(2, 4).build(); // empty start
+        let mut index = PairOverlapIndex::build(&obs);
+        let batches = [
+            vec![(WorkerId(0), TaskId(0), ValueId(1))],
+            vec![
+                (WorkerId(1), TaskId(0), ValueId(1)),
+                (WorkerId(1), TaskId(2), ValueId(0)),
+            ],
+            vec![], // empty batch mid-stream
+            vec![
+                (WorkerId(2), TaskId(0), ValueId(0)), // new worker
+                (WorkerId(2), TaskId(2), ValueId(0)),
+                (WorkerId(0), TaskId(2), ValueId(2)),
+            ],
+        ];
+        for answers in batches {
+            let delta = crate::SnapshotDelta::from_answers(answers);
+            let after = obs.apply_delta(&delta).unwrap();
+            index = index.extended(&after, &delta);
+            assert_eq!(index, PairOverlapIndex::build(&after));
+            obs = after;
+        }
+        assert_eq!(index.n_workers(), 3);
+        assert!(index.n_triples() > 0);
+    }
+
+    #[test]
+    fn planned_splice_rejects_drifted_buffers() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        let mut delta = crate::SnapshotDelta::new();
+        delta.push(WorkerId(3), TaskId(0), ValueId(1));
+        let after = base.apply_delta(&delta).unwrap();
+        let plan = index.plan_delta(&after, &delta);
+
+        let mut too_long = vec![0u8; index.n_triples() + 1];
+        let drifted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.splice_triples_parallel(&mut too_long, 0)
+        }));
+        assert!(drifted.is_err(), "length drift must panic, not corrupt");
+
+        let mut applied = index.clone();
+        applied.apply_planned(&plan);
+        let double = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            applied.apply_planned(&plan)
+        }));
+        assert!(double.is_err(), "double-apply must panic");
+        assert_eq!(applied, PairOverlapIndex::build(&after));
     }
 
     #[test]

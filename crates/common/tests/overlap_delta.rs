@@ -1,0 +1,183 @@
+//! Incremental-vs-rebuild equivalence of the snapshot append path.
+//!
+//! Two invariants, under adversarial append orders (empty batches, repeated
+//! tasks across batches, workers first appearing mid-stream):
+//!
+//! * `Observations::apply_delta` must produce the same snapshot (`Eq`) as
+//!   rebuilding from scratch with all answers;
+//! * `PairOverlapIndex::extended` must produce the same index (`Eq`) as
+//!   `PairOverlapIndex::build` on the grown snapshot.
+//!
+//! Both types derive structural equality, so "same" here is exact — no
+//! tolerance, no canonicalization.
+
+use imc2_common::{
+    Observations, ObservationsBuilder, PairOverlapIndex, SnapshotDelta, TaskId, ValueId, WorkerId,
+};
+use proptest::prelude::*;
+
+/// A randomized append schedule: every `(worker, task)` cell is assigned to
+/// one of `n_batches + 1` arrival slots (slot 0 = base snapshot) or left
+/// unanswered. Slot assignment is independent per cell, so batches freely
+/// revisit tasks and introduce workers in any order; some batches come out
+/// empty.
+#[derive(Debug, Clone)]
+struct Schedule {
+    n_workers: usize,
+    n_tasks: usize,
+    /// Per cell: `None` = never answered, `Some((slot, value))`.
+    cells: Vec<Option<(usize, u32)>>,
+    n_batches: usize,
+}
+
+impl Schedule {
+    fn answers_in_slot(&self, slot: usize) -> Vec<(WorkerId, TaskId, ValueId)> {
+        let mut out = Vec::new();
+        for w in 0..self.n_workers {
+            for t in 0..self.n_tasks {
+                if let Some((s, v)) = self.cells[w * self.n_tasks + t] {
+                    if s == slot {
+                        out.push((WorkerId(w), TaskId(t), ValueId(v)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Workers with at least one base answer define the base worker range
+    /// (mid-stream arrivals then genuinely grow it).
+    fn base(&self) -> Observations {
+        let answers = self.answers_in_slot(0);
+        let n = answers
+            .iter()
+            .map(|&(w, _, _)| w.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = ObservationsBuilder::new(n, self.n_tasks);
+        for &(w, t, v) in &answers {
+            b.record(w, t, v).unwrap();
+        }
+        b.build()
+    }
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (2usize..=8, 1usize..=6, 1usize..=5).prop_flat_map(|(n, m, n_batches)| {
+        // (answered?, arrival slot, value) per cell; the bool stands in for
+        // an Option strategy (the vendored proptest has none).
+        let cells =
+            proptest::collection::vec((proptest::bool::ANY, 0usize..=n_batches, 0u32..=3), n * m);
+        cells.prop_map(move |cells| Schedule {
+            n_workers: n,
+            n_tasks: m,
+            cells: cells
+                .into_iter()
+                .map(|(answered, slot, v)| answered.then_some((slot, v)))
+                .collect(),
+            n_batches,
+        })
+    })
+}
+
+/// Rebuild reference: every answer arriving in slots `0..=upto`, built from
+/// scratch over the worker range the stream has seen so far.
+fn rebuilt_through(schedule: &Schedule, upto: usize) -> Observations {
+    let mut answers = Vec::new();
+    for slot in 0..=upto {
+        answers.extend(schedule.answers_in_slot(slot));
+    }
+    let n = answers
+        .iter()
+        .map(|&(w, _, _)| w.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = ObservationsBuilder::new(n, schedule.n_tasks);
+    for &(w, t, v) in &answers {
+        b.record(w, t, v).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_snapshot_and_index_match_rebuild(schedule in arb_schedule()) {
+        let mut obs = schedule.base();
+        let mut index = PairOverlapIndex::build(&obs);
+        for slot in 1..=schedule.n_batches {
+            let delta = SnapshotDelta::from_answers(schedule.answers_in_slot(slot));
+            let after = obs.apply_delta(&delta).unwrap();
+            prop_assert_eq!(
+                &after,
+                &rebuilt_through(&schedule, slot),
+                "snapshot diverged at batch {}",
+                slot
+            );
+            index = index.extended(&after, &delta);
+            prop_assert_eq!(
+                &index,
+                &PairOverlapIndex::build(&after),
+                "index diverged at batch {}",
+                slot
+            );
+            obs = after;
+        }
+    }
+
+    #[test]
+    fn single_delta_split_is_order_invariant(schedule in arb_schedule()) {
+        // Applying all post-base batches as ONE delta equals applying them
+        // one by one — the grouping of arrivals into batches is immaterial.
+        let base = schedule.base();
+        let mut all = Vec::new();
+        let mut stepwise = base.clone();
+        for slot in 1..=schedule.n_batches {
+            let answers = schedule.answers_in_slot(slot);
+            all.extend(answers.clone());
+            stepwise = stepwise
+                .apply_delta(&SnapshotDelta::from_answers(answers))
+                .unwrap();
+        }
+        let oneshot = base.apply_delta(&SnapshotDelta::from_answers(all)).unwrap();
+        prop_assert_eq!(oneshot, stepwise);
+    }
+}
+
+#[test]
+fn worst_case_all_answers_arrive_one_by_one() {
+    // Fully sequential arrival: base empty, every answer its own batch.
+    let mut b = ObservationsBuilder::new(4, 3);
+    b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+    b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+    b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+    b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+    b.record(WorkerId(2), TaskId(1), ValueId(2)).unwrap();
+    b.record(WorkerId(3), TaskId(2), ValueId(0)).unwrap();
+    b.record(WorkerId(1), TaskId(2), ValueId(1)).unwrap();
+    let target = b.build();
+
+    let mut obs = ObservationsBuilder::new(0, 3).build();
+    let mut index = PairOverlapIndex::build(&obs);
+    // Arrival order deliberately interleaves tasks and introduces workers
+    // out of id order.
+    let arrivals = [
+        (WorkerId(3), TaskId(2), ValueId(0)),
+        (WorkerId(0), TaskId(1), ValueId(2)),
+        (WorkerId(1), TaskId(0), ValueId(1)),
+        (WorkerId(0), TaskId(0), ValueId(1)),
+        (WorkerId(2), TaskId(1), ValueId(2)),
+        (WorkerId(1), TaskId(2), ValueId(1)),
+        (WorkerId(2), TaskId(0), ValueId(0)),
+    ];
+    for &(w, t, v) in &arrivals {
+        let delta = SnapshotDelta::from_answers(vec![(w, t, v)]);
+        let after = obs.apply_delta(&delta).unwrap();
+        index = index.extended(&after, &delta);
+        assert_eq!(index, PairOverlapIndex::build(&after));
+        obs = after;
+    }
+    // Cell-for-cell the streamed snapshot equals the batch one.
+    assert_eq!(obs, target);
+}

@@ -44,6 +44,7 @@ pub mod participation;
 pub mod profiles;
 pub mod requirements;
 pub mod scenario;
+pub mod stream;
 pub mod summary;
 pub mod table1;
 
@@ -53,4 +54,5 @@ pub use forum::{ForumConfig, ForumData};
 pub use profiles::{WorkerKind, WorkerProfile};
 pub use requirements::RequirementConfig;
 pub use scenario::{Scenario, ScenarioConfig};
+pub use stream::{StreamConfig, StreamData};
 pub use summary::DatasetSummary;

@@ -1,0 +1,228 @@
+//! Arrival streams: a forum campaign replayed as answers arriving over time.
+//!
+//! The batch generators produce one finished snapshot; the streaming DATE
+//! engine (`imc2-truth`) consumes an *initial* snapshot plus a sequence of
+//! append batches. This module bridges the two: it generates a normal
+//! [`ForumData`] campaign, then partitions its answers into a base snapshot
+//! and [`SnapshotDelta`] batches in a randomized arrival order, so every
+//! answer of the campaign arrives exactly once and replaying the whole
+//! stream reproduces the batch snapshot (up to the declared worker range —
+//! streams only learn of a worker when its first answer arrives).
+//!
+//! The arrival order is a uniform shuffle of all answers, which naturally
+//! produces the adversarial patterns streaming consumers must survive:
+//! tasks receive answers repeatedly across many batches, and workers first
+//! appear mid-stream.
+
+use crate::forum::{ForumConfig, ForumData};
+use imc2_common::{Observations, ObservationsBuilder, SnapshotDelta, ValidationError, WorkerId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an arrival stream over a forum campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// The campaign to replay.
+    pub forum: ForumConfig,
+    /// Fraction of all answers present in the initial snapshot (`[0, 1]`).
+    pub initial_fraction: f64,
+    /// Answers per append batch (the last batch may be smaller).
+    pub batch_size: usize,
+}
+
+impl StreamConfig {
+    /// A small stream for tests: the small forum, 70% initial, batches of 5.
+    pub fn small() -> Self {
+        StreamConfig {
+            forum: ForumConfig::small(),
+            initial_fraction: 0.7,
+            batch_size: 5,
+        }
+    }
+
+    /// Validates the nested forum config and the stream parameters.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for an out-of-range fraction, a zero
+    /// batch size, or an invalid forum config.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !(0.0..=1.0).contains(&self.initial_fraction) {
+            return Err(ValidationError::new("initial_fraction must lie in [0, 1]"));
+        }
+        if self.batch_size == 0 {
+            return Err(ValidationError::new("batch_size must be at least 1"));
+        }
+        self.forum.validate()
+    }
+}
+
+/// A campaign split into an initial snapshot plus arrival batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamData {
+    /// The snapshot available before streaming starts. Its worker range
+    /// covers exactly the workers with at least one initial answer.
+    pub initial: Observations,
+    /// The append batches, in arrival order.
+    pub deltas: Vec<SnapshotDelta>,
+    /// The underlying campaign (ground truth, profiles, the full batch
+    /// snapshot for end-of-stream comparisons).
+    pub campaign: ForumData,
+}
+
+impl StreamData {
+    /// Generates a campaign and partitions it into an arrival stream.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `config` fails validation.
+    pub fn generate<R: Rng + ?Sized>(
+        config: &StreamConfig,
+        rng: &mut R,
+    ) -> Result<Self, ValidationError> {
+        config.validate()?;
+        let campaign = ForumData::generate(&config.forum, rng)?;
+        let obs = &campaign.observations;
+
+        // Flatten every answer, then shuffle into an arrival order.
+        let mut arrivals: Vec<(WorkerId, imc2_common::TaskId, imc2_common::ValueId)> = (0..obs
+            .n_workers())
+            .flat_map(|w| {
+                let worker = WorkerId(w);
+                obs.tasks_of_worker(worker)
+                    .iter()
+                    .map(move |&(t, v)| (worker, t, v))
+            })
+            .collect();
+        arrivals.shuffle(rng);
+
+        let n_initial = ((arrivals.len() as f64) * config.initial_fraction).round() as usize;
+        let n_initial = n_initial.min(arrivals.len());
+        let initial_answers = &arrivals[..n_initial];
+        // The stream has only seen workers who answered in the base.
+        let base_workers = initial_answers
+            .iter()
+            .map(|&(w, _, _)| w.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut builder = ObservationsBuilder::new(base_workers, obs.n_tasks());
+        for &(w, t, v) in initial_answers {
+            builder
+                .record(w, t, v)
+                .expect("campaign answers are unique");
+        }
+        let initial = builder.build();
+
+        let deltas = arrivals[n_initial..]
+            .chunks(config.batch_size)
+            .map(|chunk| SnapshotDelta::from_answers(chunk.to_vec()))
+            .collect();
+
+        Ok(StreamData {
+            initial,
+            deltas,
+            campaign,
+        })
+    }
+
+    /// Total answers across the initial snapshot and every batch.
+    pub fn total_answers(&self) -> usize {
+        self.initial.len() + self.deltas.iter().map(SnapshotDelta::len).sum::<usize>()
+    }
+
+    /// Replays every batch onto the initial snapshot, returning the final
+    /// one (equals the campaign snapshot except that trailing workers who
+    /// never answered are absent from the stream's worker range).
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the batches conflict — impossible for
+    /// generated streams, which partition a valid campaign.
+    pub fn replay(&self) -> Result<Observations, ValidationError> {
+        let mut obs = self.initial.clone();
+        for delta in &self.deltas {
+            obs = obs.apply_delta(delta)?;
+        }
+        Ok(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+    use imc2_common::TaskId;
+
+    #[test]
+    fn stream_partitions_every_answer_once() {
+        let s = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(1)).unwrap();
+        assert_eq!(s.total_answers(), s.campaign.observations.len());
+        assert!(!s.deltas.is_empty());
+        for delta in &s.deltas[..s.deltas.len() - 1] {
+            assert_eq!(delta.len(), 5);
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_the_campaign_snapshot() {
+        let s = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(2)).unwrap();
+        let replayed = s.replay().unwrap();
+        let full = &s.campaign.observations;
+        assert_eq!(replayed.n_tasks(), full.n_tasks());
+        assert_eq!(replayed.len(), full.len());
+        // Same answers cell by cell (worker ranges may differ if trailing
+        // workers answered nothing).
+        assert!(replayed.n_workers() <= full.n_workers());
+        for j in 0..full.n_tasks() {
+            assert_eq!(
+                replayed.workers_of_task(TaskId(j)),
+                full.workers_of_task(TaskId(j)),
+                "task {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(3)).unwrap();
+        let b = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_initial_fraction_starts_empty() {
+        let cfg = StreamConfig {
+            initial_fraction: 0.0,
+            ..StreamConfig::small()
+        };
+        let s = StreamData::generate(&cfg, &mut rng_from_seed(4)).unwrap();
+        assert!(s.initial.is_empty());
+        assert_eq!(s.initial.n_workers(), 0);
+        assert_eq!(s.replay().unwrap().len(), s.campaign.observations.len());
+    }
+
+    #[test]
+    fn workers_appear_mid_stream() {
+        // With a small initial fraction, the worker range should grow
+        // mid-stream for most arrival orders (it cannot when the highest-id
+        // worker happens to land in the base split, so check over seeds).
+        let cfg = StreamConfig {
+            initial_fraction: 0.1,
+            ..StreamConfig::small()
+        };
+        let grows_somewhere = (0..16).any(|seed| {
+            let s = StreamData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+            let base_n = s.initial.n_workers();
+            s.deltas.iter().any(|d| d.n_workers_after(base_n) > base_n)
+        });
+        assert!(grows_somewhere, "no arrival order introduced a new worker");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = StreamConfig::small();
+        cfg.batch_size = 0;
+        assert!(StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+        let mut cfg = StreamConfig::small();
+        cfg.initial_fraction = 1.5;
+        assert!(StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+    }
+}

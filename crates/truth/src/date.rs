@@ -198,105 +198,222 @@ impl Date {
         let (n, m) = (obs.n_workers(), obs.n_tasks());
         let mut accuracy = Grid::filled(n, m, clamp_prob(cfg.epsilon));
         let mut et = MajorityVoting::estimate(problem);
-        let mut iterations = 0usize;
-        let mut converged = false;
         let mut last_dep = None;
 
         // Per-run workspace: everything derivable from the immutable
         // snapshot is computed once here and reused every iteration — the
-        // value groups of each task, the overlap index and term caches
-        // inside the dependence engine, and (for NC) the constant identity
-        // independence scores.
+        // value groups of each task and the overlap index and term caches
+        // inside the dependence engine.
         let groups = obs.all_groups();
         let mut engine = match cfg.independence {
             IndependenceMode::NoCopier => None,
             _ => Some(DependenceEngine::new(problem)),
         };
-        let identity = match cfg.independence {
-            IndependenceMode::NoCopier => Some(identity_independence(&groups)),
-            _ => None,
-        };
+        let mut versions =
+            (cfg.granularity == AccuracyGranularity::PerWorker).then(|| PooledVersions::new(n));
 
-        while iterations < cfg.max_iterations {
-            iterations += 1;
-            // Steps 1–2: dependence and independence probabilities.
-            let independence: Vec<TaskIndependence> = match cfg.independence {
-                IndependenceMode::NoCopier => identity
-                    .clone()
-                    .expect("identity scores precomputed for NC"),
-                IndependenceMode::Greedy(seed_rule) => {
-                    let dep = engine.as_mut().expect("engine built for DATE").posteriors(
-                        problem,
-                        &accuracy,
-                        &et,
-                        &cfg.false_values,
-                        &cfg.dependence_params(),
-                    );
-                    let scores = crate::par::map_tasks(m, |j| {
-                        groups[j]
-                            .iter()
-                            .map(|(v, ws)| (*v, greedy_group_scores(ws, &dep, cfg.r, seed_rule)))
-                            .collect()
-                    });
-                    last_dep = Some(dep);
-                    scores
-                }
-                IndependenceMode::Enumerate(ed) => {
-                    let dep = engine.as_mut().expect("engine built for ED").posteriors(
-                        problem,
-                        &accuracy,
-                        &et,
-                        &cfg.false_values,
-                        &cfg.dependence_params(),
-                    );
-                    let scores = crate::par::map_tasks(m, |j| {
-                        groups[j]
-                            .iter()
-                            .map(|(v, ws)| {
-                                let key = ((j as u64) << 32) | u64::from(v.0);
-                                (*v, enumerated_group_scores(ws, &dep, cfg.r, &ed, key))
-                            })
-                            .collect()
-                    });
-                    last_dep = Some(dep);
-                    scores
-                }
-            };
-
-            // Step 3a: value posteriors (over the cached groups).
-            let posteriors = value_posteriors_cached(
-                problem,
-                &groups,
-                &accuracy,
-                &et,
-                &cfg.false_values,
-                Some(&independence),
-                cfg.discount_posterior,
-                cfg.floor_anti_evidence,
-            );
-            // Step 3b: accuracy update (eq. 17), with optional pooling.
-            update_accuracy(problem, &posteriors, &mut accuracy);
-            if cfg.granularity == AccuracyGranularity::PerWorker {
-                pool_accuracy_per_worker(problem, &mut accuracy);
-            }
-            // Line 28: truth selection by (adjusted) support counts.
-            let new_et = select_truth(problem, &accuracy, &independence, cfg.similarity.as_ref());
-            if new_et == et {
-                converged = true;
-                break;
-            }
-            et = new_et;
-        }
+        let fp = refine_fixed_point(
+            cfg,
+            problem,
+            &groups,
+            engine.as_mut(),
+            &mut accuracy,
+            &mut et,
+            versions.as_mut(),
+            &mut last_dep,
+        );
 
         (
             TruthOutcome {
                 estimate: et,
                 accuracy,
-                iterations,
-                converged,
+                iterations: fp.iterations,
+                converged: fp.converged,
             },
             last_dep,
         )
+    }
+}
+
+/// Result of one call to [`refine_fixed_point`].
+pub(crate) struct FixedPoint {
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// The shared Algorithm 1 iteration loop, warm-startable: runs steps 1–3
+/// from the caller-provided `(accuracy, et)` state until a fixed point or
+/// the iteration cap, mutating the state in place.
+///
+/// Both the one-shot [`Date`] driver (which seeds `et` with majority voting
+/// and `accuracy` with `ε`) and the streaming [`crate::DateStream`] driver
+/// (which seeds with the previous snapshot's fixed point) call this — so
+/// given identical inputs the two produce bit-identical trajectories, and
+/// any divergence between batch and streaming runs isolates to the engine's
+/// incremental cache maintenance (property-tested to be exact).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_fixed_point(
+    cfg: &DateConfig,
+    problem: &TruthProblem<'_>,
+    groups: &[TaskGroups],
+    mut engine: Option<&mut DependenceEngine>,
+    accuracy: &mut Grid<f64>,
+    et: &mut Vec<Option<ValueId>>,
+    mut versions: Option<&mut PooledVersions>,
+    last_dep: &mut Option<crate::DependenceMatrix>,
+) -> FixedPoint {
+    let m = problem.n_tasks();
+    let identity = match cfg.independence {
+        IndependenceMode::NoCopier => Some(identity_independence(groups)),
+        _ => None,
+    };
+    let mut iterations = 0usize;
+    let mut converged = false;
+
+    while iterations < cfg.max_iterations {
+        iterations += 1;
+        // Steps 1–2: dependence and independence probabilities.
+        let independence: Vec<TaskIndependence> = match cfg.independence {
+            IndependenceMode::NoCopier => identity
+                .clone()
+                .expect("identity scores precomputed for NC"),
+            IndependenceMode::Greedy(seed_rule) => {
+                let dep = engine
+                    .as_mut()
+                    .expect("engine built for DATE")
+                    .posteriors_with_versions(
+                        problem,
+                        accuracy,
+                        et,
+                        &cfg.false_values,
+                        &cfg.dependence_params(),
+                        versions.as_deref().map(PooledVersions::versions),
+                    );
+                let scores = crate::par::map_tasks(m, |j| {
+                    groups[j]
+                        .iter()
+                        .map(|(v, ws)| (*v, greedy_group_scores(ws, &dep, cfg.r, seed_rule)))
+                        .collect()
+                });
+                *last_dep = Some(dep);
+                scores
+            }
+            IndependenceMode::Enumerate(ed) => {
+                let dep = engine
+                    .as_mut()
+                    .expect("engine built for ED")
+                    .posteriors_with_versions(
+                        problem,
+                        accuracy,
+                        et,
+                        &cfg.false_values,
+                        &cfg.dependence_params(),
+                        versions.as_deref().map(PooledVersions::versions),
+                    );
+                let scores = crate::par::map_tasks(m, |j| {
+                    groups[j]
+                        .iter()
+                        .map(|(v, ws)| {
+                            let key = ((j as u64) << 32) | u64::from(v.0);
+                            (*v, enumerated_group_scores(ws, &dep, cfg.r, &ed, key))
+                        })
+                        .collect()
+                });
+                *last_dep = Some(dep);
+                scores
+            }
+        };
+
+        // Step 3a: value posteriors (over the cached groups).
+        let posteriors = value_posteriors_cached(
+            problem,
+            groups,
+            accuracy,
+            et,
+            &cfg.false_values,
+            Some(&independence),
+            cfg.discount_posterior,
+            cfg.floor_anti_evidence,
+        );
+        // Step 3b: accuracy update (eq. 17), with optional pooling.
+        update_accuracy(problem, &posteriors, accuracy);
+        if cfg.granularity == AccuracyGranularity::PerWorker {
+            pool_accuracy_per_worker(problem, accuracy, versions.as_deref_mut());
+        }
+        // Line 28: truth selection by (adjusted) support counts.
+        let new_et = select_truth(problem, accuracy, &independence, cfg.similarity.as_ref());
+        if new_et == *et {
+            converged = true;
+            break;
+        }
+        *et = new_et;
+    }
+
+    FixedPoint {
+        iterations,
+        converged,
+    }
+}
+
+/// Per-worker accuracy version counters for the engine's sparse
+/// change-detection fast path
+/// ([`DependenceEngine::posteriors_with_versions`]).
+///
+/// Under `PerWorker` pooling a worker's accuracy row is fully determined by
+/// one pooled scalar, so comparing that scalar's bits is enough to certify
+/// the whole row unchanged — the engine then skips its `O(m)` row scan for
+/// the worker. [`PooledVersions::observe`] bumps the version exactly when
+/// the pooled value's bits change; [`PooledVersions::invalidate`]
+/// force-bumps when the row may have changed through another path (e.g. a
+/// streaming append giving the worker new answered cells).
+#[derive(Debug, Clone)]
+pub(crate) struct PooledVersions {
+    versions: Vec<u64>,
+    /// Bits of the last observed pooled value; `SENTINEL` = unknown.
+    pooled_bits: Vec<u64>,
+}
+
+/// Not a clamped probability's bit pattern, so it never matches a real
+/// observation.
+const POOLED_SENTINEL: u64 = u64::MAX;
+
+impl PooledVersions {
+    pub fn new(n_workers: usize) -> Self {
+        PooledVersions {
+            versions: vec![0; n_workers],
+            pooled_bits: vec![POOLED_SENTINEL; n_workers],
+        }
+    }
+
+    /// The per-worker counters, suitable for
+    /// [`DependenceEngine::posteriors_with_versions`].
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Records the pooled accuracy of `worker`, bumping its version iff the
+    /// bits differ from the last observation.
+    pub fn observe(&mut self, worker: usize, pooled: f64) {
+        let bits = pooled.to_bits();
+        if self.pooled_bits[worker] != bits {
+            self.pooled_bits[worker] = bits;
+            self.versions[worker] = self.versions[worker].wrapping_add(1);
+        }
+    }
+
+    /// Force-bumps `worker`'s version (its row may have changed outside the
+    /// pooling path).
+    pub fn invalidate(&mut self, worker: usize) {
+        self.pooled_bits[worker] = POOLED_SENTINEL;
+        self.versions[worker] = self.versions[worker].wrapping_add(1);
+    }
+
+    /// Grows to `n_workers` counters (new workers start unknown).
+    pub fn grow(&mut self, n_workers: usize) {
+        if n_workers > self.versions.len() {
+            self.versions.resize(n_workers, 0);
+            self.pooled_bits.resize(n_workers, POOLED_SENTINEL);
+        }
     }
 }
 
@@ -327,8 +444,15 @@ fn identity_independence(groups: &[TaskGroups]) -> Vec<TaskIndependence> {
         .collect()
 }
 
-/// Pools each worker's accuracy across its answered tasks (design note 8).
-fn pool_accuracy_per_worker(problem: &TruthProblem<'_>, accuracy: &mut Grid<f64>) {
+/// Pools each worker's accuracy across its answered tasks (design note 8),
+/// optionally recording the pooled value in the version tracker. Workers
+/// with no answers are skipped — nothing in the loop writes their rows, so
+/// their versions legitimately stay put.
+fn pool_accuracy_per_worker(
+    problem: &TruthProblem<'_>,
+    accuracy: &mut Grid<f64>,
+    mut versions: Option<&mut PooledVersions>,
+) {
     let obs = problem.observations();
     for w in 0..obs.n_workers() {
         let worker = imc2_common::WorkerId(w);
@@ -344,6 +468,9 @@ fn pool_accuracy_per_worker(problem: &TruthProblem<'_>, accuracy: &mut Grid<f64>
         let mean = clamp_prob(mean);
         for &(t, _) in rows {
             accuracy[(worker, t)] = mean;
+        }
+        if let Some(tracker) = versions.as_deref_mut() {
+            tracker.observe(w, mean);
         }
     }
 }

@@ -44,7 +44,7 @@
 use crate::nonuniform::FalseValueModel;
 use crate::problem::TruthProblem;
 use imc2_common::logprob::{clamp_prob, ln_prob, log_sum_exp, sigmoid, PROB_FLOOR};
-use imc2_common::{Grid, PairOverlapIndex, TaskId, ValueId, WorkerId};
+use imc2_common::{Grid, Observations, PairOverlapIndex, SnapshotDelta, TaskId, ValueId, WorkerId};
 use serde::{Deserialize, Serialize};
 
 /// How the pairwise posterior is normalized.
@@ -335,15 +335,18 @@ pub struct DependenceEngine {
     prev_collision: Vec<f64>,
     prev_truth: Vec<Option<ValueId>>,
     prev_r: f64,
-    /// Per-triple `[ln_ind, ln_fwd, ln_bwd]`, CSR-aligned with the index's
-    /// non-empty pairs.
+    /// Per-triple `[ln_ind, ln_fwd, ln_bwd]`, aligned one-to-one with the
+    /// index's triple buffer (pair runs tile it in order, see
+    /// [`PairOverlapIndex::triple_offset_at`]).
     terms: Vec<[f64; 3]>,
-    /// Start of each non-empty pair's term block; `len = n_nonempty + 1`.
-    term_offsets: Vec<usize>,
     /// Per-pair accumulated log-likelihood sums.
     sums: Vec<[f64; 3]>,
     dirty_worker: Vec<bool>,
     dirty_task: Vec<bool>,
+    /// Per-worker accuracy version at the previous call, when the caller
+    /// provided one ([`DependenceEngine::posteriors_with_versions`]);
+    /// `None` means "unknown — fall back to the row comparison".
+    prev_versions: Vec<Option<u64>>,
     /// False until the first call fills the caches.
     warm: bool,
     #[cfg(feature = "parallel")]
@@ -391,13 +394,7 @@ impl DependenceEngine {
         );
         let (n, m) = (problem.n_workers(), problem.n_tasks());
         let n_pairs = index.n_nonempty_pairs();
-        let mut term_offsets = Vec::with_capacity(n_pairs + 1);
-        term_offsets.push(0);
-        let mut total = 0;
-        for k in 0..n_pairs {
-            total += index.pair_at(k).2.len();
-            term_offsets.push(total);
-        }
+        let total = index.n_triples();
         DependenceEngine {
             index,
             n_tasks: m,
@@ -408,10 +405,10 @@ impl DependenceEngine {
             prev_truth: vec![None; m],
             prev_r: f64::NAN,
             terms: vec![[0.0; 3]; total],
-            term_offsets,
             sums: vec![[0.0; 3]; n_pairs],
             dirty_worker: vec![true; n],
             dirty_task: vec![true; m],
+            prev_versions: vec![None; n],
             warm: false,
             #[cfg(feature = "parallel")]
             par_tuning: ParTuning::default(),
@@ -445,6 +442,37 @@ impl DependenceEngine {
         false_values: &FalseValueModel,
         params: &DependenceParams,
     ) -> DependenceMatrix {
+        self.posteriors_with_versions(problem, accuracy, truth_ref, false_values, params, None)
+    }
+
+    /// [`DependenceEngine::posteriors`] with sparse accuracy-change
+    /// detection: `versions[w]` is a caller-maintained counter that is
+    /// bumped whenever worker `w`'s accuracy row may have changed.
+    ///
+    /// **Contract:** if `versions[w]` equals the value passed at the
+    /// previous call, every *answered* cell of row `w` must be bitwise
+    /// unchanged since that call. The engine then skips the `O(m)` row
+    /// comparison for `w` entirely — under `PerWorker` accuracy pooling a
+    /// row is one scalar, so the DATE loop can certify this from the pooled
+    /// value alone instead of paying `O(n·m)` compares per iteration.
+    /// Workers whose version is unknown (first call, `None` passed before,
+    /// or workers added by [`DependenceEngine::apply_delta`]) fall back to
+    /// the row comparison, so a wrong *first* version is harmless; an
+    /// unbumped version after a real change violates the contract and
+    /// produces stale posteriors.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree, or `versions` is provided with a
+    /// length other than the worker count.
+    pub fn posteriors_with_versions(
+        &mut self,
+        problem: &TruthProblem<'_>,
+        accuracy: &Grid<f64>,
+        truth_ref: &[Option<ValueId>],
+        false_values: &FalseValueModel,
+        params: &DependenceParams,
+        versions: Option<&[u64]>,
+    ) -> DependenceMatrix {
         let n = self.index.n_workers();
         let m = self.n_tasks;
         assert_eq!(
@@ -454,8 +482,11 @@ impl DependenceEngine {
         );
         assert_eq!(problem.n_tasks(), m, "task count changed under the engine");
         assert_eq!(truth_ref.len(), m, "truth reference must cover every task");
+        if let Some(v) = versions {
+            assert_eq!(v.len(), n, "one version per worker");
+        }
 
-        self.refresh_invariants(problem, accuracy, truth_ref, false_values, params);
+        self.refresh_invariants(problem, accuracy, truth_ref, false_values, params, versions);
 
         let mut out = DependenceMatrix::constant(n, params.alpha);
         self.accumulate_sums(truth_ref, params.r);
@@ -472,8 +503,118 @@ impl DependenceEngine {
         self.prev_collision.copy_from_slice(&self.collision);
         self.prev_truth.copy_from_slice(truth_ref);
         self.prev_r = params.r;
+        for w in 0..n {
+            self.prev_versions[w] = versions.map(|v| v[w]);
+        }
         self.warm = true;
         out
+    }
+
+    /// Rebases the engine onto the grown snapshot `after = base +
+    /// delta`, carrying every still-valid cache forward: the overlap index
+    /// is extended incrementally ([`PairOverlapIndex::extended`]), cached
+    /// per-triple log terms of untouched pairs are merged into the new CSR
+    /// layout, and only the delta's *touched* tasks (plus any new workers)
+    /// are marked dirty — so the next [`DependenceEngine::posteriors`] call
+    /// costs work proportional to the touched pairs instead of a full cold
+    /// recompute, while staying bit-identical to a freshly built engine.
+    ///
+    /// `after` must be the snapshot the next `posteriors` call's `problem`
+    /// wraps; the task universe is fixed (`n_tasks` may not change).
+    ///
+    /// # Panics
+    /// Panics if `after`'s task count differs from the engine's, or its
+    /// worker range shrank.
+    pub fn apply_delta(&mut self, after: &Observations, delta: &SnapshotDelta) {
+        assert_eq!(
+            after.n_tasks(),
+            self.n_tasks,
+            "task universe changed under the engine"
+        );
+        let n_new = after.n_workers();
+        if n_new == self.index.n_workers() {
+            // Fast path (fixed worker range): one planned splice edits the
+            // index in place, and the *same* splice keeps the term cache
+            // aligned — fresh triples get zeroed slots, everything else is
+            // a block move. Work is proportional to the shifted tail, not
+            // to a per-pair walk of the whole CSR.
+            let plan = self.index.plan_delta(after, delta);
+            plan.splice_triples_parallel(&mut self.terms, [0.0; 3]);
+            self.index.apply_planned(&plan);
+        } else {
+            // The worker range grew: every pair id remaps, so rebuild the
+            // index via the general re-merge and carry cached terms over
+            // with a per-pair walk. Old pairs never vanish and a pair's
+            // old triples keep their relative (task) order inside the new
+            // triple run, so one two-pointer walk per pair carries every
+            // still-valid term over; slots for freshly inserted triples
+            // stay zeroed and are recomputed on the next call because
+            // their tasks are force-dirtied below.
+            let new_index = self.index.extended(after, delta);
+            let n_pairs = new_index.n_nonempty_pairs();
+            let total: usize = (0..n_pairs).map(|k| new_index.pair_at(k).2.len()).sum();
+            let mut terms: Vec<[f64; 3]> = Vec::with_capacity(total);
+            let mut ok = 0usize;
+            for k in 0..n_pairs {
+                let (a, b, new_triples) = new_index.pair_at(k);
+                let key = (a.index() as u32, b.index() as u32);
+                let old_entry =
+                    (ok < self.index.n_nonempty_pairs()).then(|| self.index.pair_at(ok));
+                match old_entry {
+                    // Cursors stay aligned: either the current new pair IS
+                    // the next old pair, or it is delta-only.
+                    Some((oa, ob, old_triples))
+                        if (oa.index() as u32, ob.index() as u32) == key =>
+                    {
+                        let old_lo = self.index.triple_offset_at(ok);
+                        let old_terms = &self.terms[old_lo..old_lo + old_triples.len()];
+                        if old_triples.len() == new_triples.len() {
+                            // Untouched pair (old triples ⊆ new and same
+                            // count ⇒ identical): one bulk copy.
+                            terms.extend_from_slice(old_terms);
+                        } else {
+                            let mut x = 0usize;
+                            for tr in new_triples {
+                                if x < old_triples.len() && old_triples[x].task == tr.task {
+                                    terms.push(old_terms[x]);
+                                    x += 1;
+                                } else {
+                                    terms.push([0.0; 3]);
+                                }
+                            }
+                            debug_assert_eq!(x, old_triples.len(), "old terms carried over");
+                        }
+                        ok += 1;
+                    }
+                    _ => terms.resize(terms.len() + new_triples.len(), [0.0; 3]),
+                }
+            }
+            debug_assert_eq!(ok, self.index.n_nonempty_pairs(), "old pairs all visited");
+            self.index = new_index;
+            self.terms = terms;
+        }
+
+        // Re-derive the per-pair bookkeeping from the updated index.
+        debug_assert_eq!(
+            self.index.n_triples(),
+            self.terms.len(),
+            "terms aligned with triples"
+        );
+        self.sums = vec![[0.0; 3]; self.index.n_nonempty_pairs()];
+        // Grow the per-worker buffers; new rows get NaN previous
+        // accuracies, which compare unequal to everything and therefore
+        // mark the new workers dirty on the next call.
+        let m = self.n_tasks;
+        self.clamped_acc.resize(n_new * m, 0.0);
+        self.prev_acc.resize(n_new * m, f64::NAN);
+        self.dirty_worker.resize(n_new, true);
+        self.prev_versions.resize(n_new, None);
+        // Same NaN trick per touched task: the collision comparison in
+        // refresh_invariants forces the task dirty exactly once, so every
+        // fresh triple (all of which sit on touched tasks) is recomputed.
+        for t in delta.touched_tasks() {
+            self.prev_collision[t.index()] = f64::NAN;
+        }
     }
 
     /// Rebuilds the hoisted per-task/per-cell invariants and derives the
@@ -485,6 +626,7 @@ impl DependenceEngine {
         truth_ref: &[Option<ValueId>],
         false_values: &FalseValueModel,
         params: &DependenceParams,
+        versions: Option<&[u64]>,
     ) {
         let n = self.index.n_workers();
         let m = self.n_tasks;
@@ -493,6 +635,18 @@ impl DependenceEngine {
 
         let acc = accuracy.as_slice();
         for w in 0..n {
+            // Version fast path: an unchanged caller version certifies the
+            // row is bitwise what the engine already hoisted into
+            // `clamped_acc` last call, so both the copy and the compare can
+            // be skipped (`O(1)` instead of `O(m)` per clean worker).
+            if !all_dirty {
+                if let (Some(v), Some(prev)) = (versions, self.prev_versions[w]) {
+                    if v[w] == prev {
+                        self.dirty_worker[w] = false;
+                        continue;
+                    }
+                }
+            }
             let row = &acc[w * m..(w + 1) * m];
             let mut dirty = all_dirty;
             for (t, &cell) in row.iter().enumerate() {
@@ -532,13 +686,12 @@ impl DependenceEngine {
                 return;
             }
         }
-        let (index, term_offsets) = (&self.index, &self.term_offsets);
+        let index = &self.index;
         let (clamped_acc, collision) = (&self.clamped_acc, &self.collision);
         let (dirty_worker, dirty_task, warm) = (&self.dirty_worker, &self.dirty_task, self.warm);
         pair_range_sums(
             PairJobInputs {
                 index,
-                term_offsets,
                 clamped_acc,
                 collision,
                 dirty_worker,
@@ -564,16 +717,15 @@ impl DependenceEngine {
         let mut boundaries = vec![0usize];
         let mut next_target = per_chunk;
         for k in 0..n_pairs {
-            if self.term_offsets[k + 1] >= next_target && k + 1 < n_pairs {
+            if self.index.triple_offset_at(k + 1) >= next_target && k + 1 < n_pairs {
                 boundaries.push(k + 1);
-                next_target = self.term_offsets[k + 1] + per_chunk;
+                next_target = self.index.triple_offset_at(k + 1) + per_chunk;
             }
         }
         boundaries.push(n_pairs);
 
         let inputs = PairJobInputs {
             index: &self.index,
-            term_offsets: &self.term_offsets,
             clamped_acc: &self.clamped_acc,
             collision: &self.collision,
             dirty_worker: &self.dirty_worker,
@@ -583,7 +735,7 @@ impl DependenceEngine {
             truth_ref,
             r,
         };
-        let term_offsets = &self.term_offsets;
+        let index = &self.index;
         let mut terms_rest: &mut [[f64; 3]] = &mut self.terms;
         let mut sums_rest: &mut [[f64; 3]] = &mut self.sums;
         let mut terms_done = 0usize;
@@ -594,11 +746,12 @@ impl DependenceEngine {
                 if lo == hi {
                     continue;
                 }
-                let (terms_chunk, t_rest) = terms_rest.split_at_mut(term_offsets[hi] - terms_done);
+                let hi_off = index.triple_offset_at(hi);
+                let (terms_chunk, t_rest) = terms_rest.split_at_mut(hi_off - terms_done);
                 let (sums_chunk, s_rest) = sums_rest.split_at_mut(hi - sums_done);
                 terms_rest = t_rest;
                 sums_rest = s_rest;
-                terms_done = term_offsets[hi];
+                terms_done = hi_off;
                 sums_done = hi;
                 let inputs = inputs.clone();
                 scope.spawn(move || {
@@ -613,7 +766,6 @@ impl DependenceEngine {
 #[derive(Clone)]
 struct PairJobInputs<'a> {
     index: &'a PairOverlapIndex,
-    term_offsets: &'a [usize],
     clamped_acc: &'a [f64],
     collision: &'a [f64],
     dirty_worker: &'a [bool],
@@ -632,13 +784,14 @@ fn pair_range_sums(
     terms: &mut [[f64; 3]],
     sums: &mut [[f64; 3]],
 ) {
-    let term_base = inputs.term_offsets[range.start];
     let pair_base = range.start;
+    // Pair runs tile the term buffer in order, so a running cursor replaces
+    // any offset-table lookup.
+    let mut toff = 0usize;
     for k in range {
         let (wa, wb, triples) = inputs.index.pair_at(k);
         let pair_clean =
             inputs.warm && !inputs.dirty_worker[wa.index()] && !inputs.dirty_worker[wb.index()];
-        let toff = inputs.term_offsets[k] - term_base;
         let row_a = wa.index() * inputs.n_tasks;
         let row_b = wb.index() * inputs.n_tasks;
         let mut ln = [0.0f64; 3];
@@ -680,6 +833,7 @@ fn pair_range_sums(
             }
         }
         sums[k - pair_base] = ln;
+        toff += triples.len();
     }
 }
 

@@ -34,13 +34,38 @@
 //! ([`dependence::pairwise_posteriors_naive`]) with the `parallel` feature
 //! on or off — property-tested in `tests/fastpath_equivalence.rs`.
 //!
-//! Measure it with the perf bench, which emits `BENCH_date.json` (naive vs
-//! indexed cold vs indexed warm dependence-step timings plus full DATE runs
-//! at n ∈ {50, 200, 500} workers; medians over `PERF_REPS` repetitions):
+//! Under `PerWorker` accuracy pooling the engine additionally accepts
+//! per-worker version counters
+//! ([`DependenceEngine::posteriors_with_versions`]): a worker whose pooled
+//! accuracy bits are unchanged is certified clean in `O(1)` instead of an
+//! `O(m)` row comparison, so the per-iteration change scan costs `O(n)`
+//! rather than `O(n·m)`.
+//!
+//! # Performance notes — streaming
+//!
+//! When answers arrive over time, [`DateStream`] keeps all of the above
+//! warm across ingestion batches instead of rerunning batch DATE per
+//! batch: the snapshot grows immutably
+//! ([`imc2_common::Observations::apply_delta`]), the overlap index and the
+//! per-triple term cache are spliced in place
+//! ([`DependenceEngine::apply_delta`]) so the next dependence step
+//! recomputes only terms on the batch's *touched* tasks (plus pairs of
+//! new workers), and refinement warm-starts from the previous fixed point.
+//! The incremental engine is bit-identical to one rebuilt from scratch at
+//! every batch — property-tested in `tests/streaming_equivalence.rs`,
+//! serial and parallel.
+//!
+//! Measure both with the perf benches — `perf` emits `BENCH_date.json`
+//! (naive vs indexed cold vs indexed warm dependence-step timings plus full
+//! DATE runs at n ∈ {50, 200, 500} workers), `perf_stream` emits
+//! `BENCH_stream.json` (batch-rebuild vs incremental ingestion at several
+//! batch sizes, with bit-identity verified per measurement):
 //!
 //! ```text
 //! cargo run --release -p imc2-bench --bin perf
+//! cargo run --release -p imc2-bench --bin perf_stream
 //! cargo run --release -p imc2-bench --features parallel --bin perf
+//! cargo run --release -p imc2-bench --features parallel --bin perf_stream
 //! ```
 //!
 //! # Example
@@ -75,6 +100,7 @@ pub mod posterior;
 pub mod precision;
 pub mod problem;
 pub mod similarity;
+pub mod stream;
 pub mod voting;
 
 mod par;
@@ -85,6 +111,7 @@ pub use nonuniform::FalseValueModel;
 pub use precision::precision;
 pub use problem::{TruthOutcome, TruthProblem};
 pub use similarity::Similarity;
+pub use stream::DateStream;
 pub use voting::MajorityVoting;
 
 use imc2_common::Grid;

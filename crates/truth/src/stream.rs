@@ -1,0 +1,450 @@
+//! Streaming DATE: incremental truth refinement over arriving answers.
+//!
+//! The paper's Algorithm 1 consumes one fixed snapshot `D`. In the
+//! production setting answers arrive continuously (mobile crowd-sensing,
+//! rolling campaigns), and rerunning batch DATE from scratch after every
+//! ingestion batch repeats almost all of its work: the overlap index is
+//! rebuilt, every per-triple dependence term is recomputed, and the fixed
+//! point is re-approached from the majority-voting cold start.
+//!
+//! [`DateStream`] keeps the whole pipeline warm across batches:
+//!
+//! * the snapshot grows immutably via
+//!   [`imc2_common::Observations::apply_delta`] (old snapshots stay valid);
+//! * the [`DependenceEngine`] is rebased with
+//!   [`DependenceEngine::apply_delta`] — the overlap index extends
+//!   incrementally and cached per-triple log terms survive, so the first
+//!   dependence step after a batch recomputes only terms on *touched*
+//!   tasks and pairs involving *new* workers;
+//! * each [`DateStream::refine`] warm-starts the fixed point from the
+//!   previous estimate and accuracy instead of majority voting, so a small
+//!   batch typically converges in 1–2 iterations;
+//! * under `PerWorker` accuracy pooling, per-worker version counters spare
+//!   the engine its `O(n·m)` row comparisons (see
+//!   [`DependenceEngine::posteriors_with_versions`]).
+//!
+//! # Equivalence guarantee
+//!
+//! The incremental engine maintenance is *exact*: after any sequence of
+//! pushes, `refine()` produces bit-identical output to the same stream
+//! driven with [`DateStream::rebuild_engine`] called before every
+//! refinement (which drops all caches and rebuilds the index from the
+//! current snapshot). This is property-tested in
+//! `tests/streaming_equivalence.rs` under both feature states. Note the
+//! warm start means a stream's estimate is *not* defined to equal a cold
+//! batch run on the final snapshot — fixed points of Algorithm 1 are not
+//! unique — but each refinement is a genuine Algorithm 1 fixed point of
+//! the current snapshot from the previous state.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_common::{SnapshotDelta, TaskId, ValueId, WorkerId};
+//! use imc2_datagen::{ForumConfig, ForumData};
+//! use imc2_common::rng_from_seed;
+//! use imc2_truth::{Date, DateStream};
+//!
+//! # fn main() -> Result<(), imc2_common::ValidationError> {
+//! let data = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(7))?;
+//! let mut stream = DateStream::new(
+//!     &Date::paper(),
+//!     data.observations.clone(),
+//!     data.num_false.clone(),
+//! )?;
+//! let first = stream.refine();
+//! assert!(first.converged);
+//!
+//! let mut batch = SnapshotDelta::new();
+//! batch.push(WorkerId(data.observations.n_workers()), TaskId(0), ValueId(1));
+//! stream.push(&batch)?;
+//! let refined = stream.refine();
+//! assert_eq!(refined.estimate.len(), data.observations.n_tasks());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::date::{refine_fixed_point, AccuracyGranularity, Date, DateConfig, PooledVersions};
+use crate::dependence::DependenceEngine;
+use crate::problem::{TruthOutcome, TruthProblem};
+use crate::voting::MajorityVoting;
+use crate::IndependenceMode;
+use imc2_common::logprob::clamp_prob;
+use imc2_common::{Grid, Observations, SnapshotDelta, TaskGroups, ValidationError, ValueId};
+
+/// Incremental DATE over a growing snapshot. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DateStream {
+    config: DateConfig,
+    observations: Observations,
+    num_false: Vec<u32>,
+    /// Cached value groups per task, refreshed only for touched tasks.
+    groups: Vec<TaskGroups>,
+    /// `None` for the NC variant (no dependence step to accelerate).
+    engine: Option<DependenceEngine>,
+    /// Warm-start state: the previous refinement's fixed point.
+    accuracy: Grid<f64>,
+    estimate: Vec<Option<ValueId>>,
+    versions: Option<PooledVersions>,
+    /// Reject worker ids `>= limit` at ingestion
+    /// ([`DateStream::set_worker_limit`]); `None` = unbounded.
+    worker_limit: Option<usize>,
+    /// Answers ingested via [`DateStream::push`] since construction.
+    appended_answers: usize,
+    /// Total iterations across all [`DateStream::refine`] calls.
+    total_iterations: usize,
+}
+
+impl DateStream {
+    /// Opens a stream over an initial snapshot (which may be empty) using
+    /// `date`'s configuration. The first [`DateStream::refine`] starts from
+    /// majority voting and a flat `ε` accuracy prior, exactly like batch
+    /// DATE; later refinements warm-start.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the snapshot and `num_false` disagree
+    /// (see [`TruthProblem::new`]).
+    pub fn new(
+        date: &Date,
+        observations: Observations,
+        num_false: Vec<u32>,
+    ) -> Result<Self, ValidationError> {
+        let config = date.config().clone();
+        let problem = TruthProblem::new(&observations, &num_false)?;
+        let n = problem.n_workers();
+        let engine = match config.independence {
+            IndependenceMode::NoCopier => None,
+            _ => Some(DependenceEngine::new(&problem)),
+        };
+        let estimate = MajorityVoting::estimate(&problem);
+        let accuracy = Grid::filled(n, problem.n_tasks(), clamp_prob(config.epsilon));
+        let versions =
+            (config.granularity == AccuracyGranularity::PerWorker).then(|| PooledVersions::new(n));
+        let groups = observations.all_groups();
+        Ok(DateStream {
+            config,
+            observations,
+            num_false,
+            groups,
+            engine,
+            accuracy,
+            estimate,
+            versions,
+            worker_limit: None,
+            appended_answers: 0,
+            total_iterations: 0,
+        })
+    }
+
+    /// Ingests one batch of new answers without refining. Cost is
+    /// proportional to the batch's touched pairs: the snapshot copy, the
+    /// incremental index extension, the term-cache merge, and the group
+    /// refresh of touched tasks.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if an answer names a task out of range,
+    /// a value outside its task's declared domain, a worker id at or above
+    /// the limit set with [`DateStream::set_worker_limit`], or duplicates
+    /// an existing answer; on error the stream is unchanged.
+    pub fn push(&mut self, delta: &SnapshotDelta) -> Result<(), ValidationError> {
+        for &(w, t, v) in delta.answers() {
+            if let Some(limit) = self.worker_limit {
+                if w.index() >= limit {
+                    return Err(ValidationError::new(format!(
+                        "delta worker index {} at or above the stream's worker limit {limit}",
+                        w.index()
+                    )));
+                }
+            }
+            if t.index() >= self.num_false.len() {
+                return Err(ValidationError::new(format!(
+                    "delta task index {} out of range 0..{}",
+                    t.index(),
+                    self.num_false.len()
+                )));
+            }
+            if v.0 > self.num_false[t.index()] {
+                return Err(ValidationError::new(format!(
+                    "delta value {v} outside domain 0..={} of {t}",
+                    self.num_false[t.index()]
+                )));
+            }
+        }
+        let after = self.observations.apply_delta(delta)?;
+        if let Some(engine) = &mut self.engine {
+            engine.apply_delta(&after, delta);
+        }
+        // Grow warm-start state for workers first seen in this batch; their
+        // rows start at the flat prior, like batch DATE's initialization.
+        let n_new = after.n_workers();
+        self.accuracy
+            .extend_rows(n_new, clamp_prob(self.config.epsilon));
+        if let Some(versions) = &mut self.versions {
+            versions.grow(n_new);
+            // A touched worker's answered set changed, so its pooled value
+            // no longer certifies the whole row: force the engine to rescan
+            // it once.
+            for w in delta.touched_workers() {
+                versions.invalidate(w.index());
+            }
+        }
+        for t in delta.touched_tasks() {
+            self.groups[t.index()] = after.task_view(t).groups();
+        }
+        self.appended_answers += delta.len();
+        self.observations = after;
+        Ok(())
+    }
+
+    /// Runs Algorithm 1 to a fixed point from the current warm state and
+    /// returns the outcome (`iterations` counts this call only).
+    pub fn refine(&mut self) -> TruthOutcome {
+        let problem = TruthProblem::new(&self.observations, &self.num_false)
+            .expect("stream invariants maintained by push");
+        let mut last_dep = None;
+        let fp = refine_fixed_point(
+            &self.config,
+            &problem,
+            &self.groups,
+            self.engine.as_mut(),
+            &mut self.accuracy,
+            &mut self.estimate,
+            self.versions.as_mut(),
+            &mut last_dep,
+        );
+        self.total_iterations += fp.iterations;
+        TruthOutcome {
+            estimate: self.estimate.clone(),
+            accuracy: self.accuracy.clone(),
+            iterations: fp.iterations,
+            converged: fp.converged,
+        }
+    }
+
+    /// [`DateStream::push`] followed by [`DateStream::refine`].
+    ///
+    /// # Errors
+    /// Propagates [`DateStream::push`] errors (without refining).
+    pub fn push_and_refine(
+        &mut self,
+        delta: &SnapshotDelta,
+    ) -> Result<TruthOutcome, ValidationError> {
+        self.push(delta)?;
+        Ok(self.refine())
+    }
+
+    /// Caps the worker ids [`DateStream::push`] accepts: answers naming a
+    /// worker `>= limit` are rejected with a [`ValidationError`] instead
+    /// of growing the range. Worker ids drive every per-worker buffer's
+    /// size, so a production ingestion path should set the registry's
+    /// capacity here — otherwise one answer with a stray huge id commits
+    /// the stream to allocations proportional to that id. `None` (the
+    /// default) trusts the caller's ids.
+    pub fn set_worker_limit(&mut self, limit: Option<usize>) {
+        self.worker_limit = limit;
+    }
+
+    /// Discards the incremental engine and rebuilds it from the current
+    /// snapshot (the "batch rebuild" baseline; also reclaims any slack
+    /// memory after very long streams). Refinement results are unaffected
+    /// — bit for bit — because the incremental caches are exact.
+    pub fn rebuild_engine(&mut self) {
+        if self.engine.is_some() {
+            let problem = TruthProblem::new(&self.observations, &self.num_false)
+                .expect("stream invariants maintained by push");
+            self.engine = Some(DependenceEngine::new(&problem));
+        }
+    }
+
+    /// The current snapshot.
+    pub fn observations(&self) -> &Observations {
+        &self.observations
+    }
+
+    /// The per-task domain sizes (`num_false`).
+    pub fn num_false(&self) -> &[u32] {
+        &self.num_false
+    }
+
+    /// The latest truth estimate (from the last [`DateStream::refine`], or
+    /// majority voting if never refined).
+    pub fn estimate(&self) -> &[Option<ValueId>] {
+        &self.estimate
+    }
+
+    /// The latest accuracy matrix.
+    pub fn accuracy(&self) -> &Grid<f64> {
+        &self.accuracy
+    }
+
+    /// The dependence engine, when the configuration has a dependence step
+    /// (`None` for NC).
+    pub fn engine(&self) -> Option<&DependenceEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Answers ingested through [`DateStream::push`] so far.
+    pub fn appended_answers(&self) -> usize {
+        self.appended_answers
+    }
+
+    /// Iterations summed over every [`DateStream::refine`] call.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::precision;
+    use crate::TruthDiscovery;
+    use imc2_common::{rng_from_seed, TaskId, WorkerId};
+    use imc2_datagen::{ForumConfig, ForumData};
+
+    fn forum(seed: u64) -> ForumData {
+        ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn first_refine_matches_batch_date() {
+        // With no pushes, a stream's first refinement is exactly batch DATE
+        // (same initialization, same loop).
+        let d = forum(1);
+        let problem = TruthProblem::new(&d.observations, &d.num_false).unwrap();
+        let batch = Date::paper().discover(&problem);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        let out = stream.refine();
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn push_grows_snapshot_and_refines() {
+        let d = forum(2);
+        let n = d.observations.n_workers();
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        stream.refine();
+
+        let mut delta = SnapshotDelta::new();
+        // A brand-new worker answers two tasks; an existing worker answers
+        // a task it had skipped.
+        delta.push(WorkerId(n), TaskId(0), ValueId(1));
+        delta.push(WorkerId(n), TaskId(1), ValueId(0));
+        let skipped = (0..d.observations.n_tasks())
+            .find(|&j| d.observations.value_of(WorkerId(0), TaskId(j)).is_none())
+            .expect("worker 0 does not answer everything");
+        delta.push(WorkerId(0), TaskId(skipped), ValueId(0));
+        let out = stream.push_and_refine(&delta).unwrap();
+
+        assert_eq!(stream.observations().n_workers(), n + 1);
+        assert_eq!(stream.appended_answers(), 3);
+        assert_eq!(out.accuracy.n_workers(), n + 1);
+        assert!(out.iterations >= 1);
+        let p = precision(&out.estimate, &d.ground_truth);
+        assert!(p > 0.5, "precision {p} after streaming append");
+    }
+
+    #[test]
+    fn push_validates_domain_and_duplicates() {
+        let d = forum(3);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        let out_of_domain = SnapshotDelta::from_answers(vec![(
+            WorkerId(0),
+            TaskId(0),
+            ValueId(d.num_false[0] + 1),
+        )]);
+        assert!(stream.push(&out_of_domain).is_err());
+        let bad_task = SnapshotDelta::from_answers(vec![(
+            WorkerId(0),
+            TaskId(d.observations.n_tasks()),
+            ValueId(0),
+        )]);
+        assert!(stream.push(&bad_task).is_err());
+        // With a worker limit set, a stray huge id is rejected instead of
+        // committing the stream to allocations proportional to the id.
+        stream.set_worker_limit(Some(d.observations.n_workers() + 8));
+        let huge_worker =
+            SnapshotDelta::from_answers(vec![(WorkerId(1_000_000_000), TaskId(0), ValueId(0))]);
+        assert!(stream.push(&huge_worker).is_err());
+        // In-range growth still works under the limit.
+        let ok_worker = SnapshotDelta::from_answers(vec![(
+            WorkerId(d.observations.n_workers()),
+            TaskId(0),
+            ValueId(0),
+        )]);
+        stream.push(&ok_worker).unwrap();
+        stream.set_worker_limit(None);
+        // Duplicate of an existing answer.
+        let (t, v) = d.observations.tasks_of_worker(WorkerId(0))[0];
+        let dup = SnapshotDelta::from_answers(vec![(WorkerId(0), t, v)]);
+        assert!(stream.push(&dup).is_err());
+        // Errors leave the stream usable: only the one valid push landed.
+        assert_eq!(stream.appended_answers(), 1);
+        assert!(stream.refine().converged);
+    }
+
+    #[test]
+    fn empty_push_changes_nothing() {
+        let d = forum(4);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        let a = stream.refine();
+        stream.push(&SnapshotDelta::new()).unwrap();
+        let b = stream.refine();
+        // Already at a fixed point of an unchanged snapshot: one iteration
+        // confirms convergence with the same estimate.
+        assert_eq!(a.estimate, b.estimate);
+        assert!(b.converged);
+        assert_eq!(b.iterations, 1);
+    }
+
+    #[test]
+    fn nc_stream_runs_without_engine() {
+        let d = forum(5);
+        let mut stream = DateStream::new(
+            &Date::no_copier(),
+            d.observations.clone(),
+            d.num_false.clone(),
+        )
+        .unwrap();
+        assert!(stream.engine().is_none());
+        let out = stream.refine();
+        assert!(out.converged);
+        let delta = SnapshotDelta::from_answers(vec![(
+            WorkerId(d.observations.n_workers()),
+            TaskId(0),
+            ValueId(0),
+        )]);
+        stream.push(&delta).unwrap();
+        assert!(stream.refine().converged);
+    }
+
+    #[test]
+    fn stream_from_empty_snapshot() {
+        // Cold open: no answers at all, then the first batch arrives.
+        let obs = imc2_common::ObservationsBuilder::new(0, 3).build();
+        let mut stream = DateStream::new(&Date::paper(), obs, vec![2, 2, 2]).unwrap();
+        let empty = stream.refine();
+        assert!(empty.estimate.iter().all(Option::is_none));
+        let delta = SnapshotDelta::from_answers(vec![
+            (WorkerId(0), TaskId(0), ValueId(1)),
+            (WorkerId(1), TaskId(0), ValueId(1)),
+            (WorkerId(1), TaskId(2), ValueId(0)),
+        ]);
+        let out = stream.push_and_refine(&delta).unwrap();
+        assert_eq!(out.estimate[0], Some(ValueId(1)));
+        assert_eq!(stream.observations().n_workers(), 2);
+    }
+
+    #[test]
+    fn total_iterations_accumulate() {
+        let d = forum(6);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        let a = stream.refine();
+        let b = stream.refine();
+        assert_eq!(stream.total_iterations(), a.iterations + b.iterations);
+    }
+}

@@ -1,0 +1,57 @@
+//! Streaming truth discovery: answers arrive in batches, DATE refines
+//! incrementally instead of recomputing from scratch.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+
+use imc2::common::rng_from_seed;
+use imc2::datagen::{StreamConfig, StreamData};
+use imc2::truth::{precision, Date, DateStream};
+
+fn main() {
+    // A forum campaign replayed as an arrival stream: 70% of answers in the
+    // initial snapshot, the rest in batches of 25.
+    let config = StreamConfig {
+        initial_fraction: 0.7,
+        batch_size: 25,
+        ..StreamConfig::small()
+    };
+    let data = StreamData::generate(&config, &mut rng_from_seed(7)).expect("valid stream config");
+    let truth: Vec<_> = data.campaign.ground_truth.clone();
+
+    let mut stream = DateStream::new(
+        &Date::paper(),
+        data.initial.clone(),
+        data.campaign.num_false.clone(),
+    )
+    .expect("valid initial snapshot");
+
+    let first = stream.refine();
+    println!(
+        "initial snapshot: {} answers, precision {:.3} ({} iterations)",
+        data.initial.len(),
+        precision(&first.estimate, &truth),
+        first.iterations,
+    );
+
+    for (k, delta) in data.deltas.iter().enumerate() {
+        let out = stream.push_and_refine(delta).expect("valid batch");
+        println!(
+            "batch {:>2}: +{} answers -> {} total, precision {:.3} ({} iteration{})",
+            k + 1,
+            delta.len(),
+            stream.observations().len(),
+            precision(&out.estimate, &truth),
+            out.iterations,
+            if out.iterations == 1 { "" } else { "s" },
+        );
+    }
+
+    println!(
+        "stream done: {} answers ingested over {} batches, {} refinement iterations total",
+        stream.observations().len(),
+        data.deltas.len(),
+        stream.total_iterations(),
+    );
+}
