@@ -52,11 +52,13 @@ pub mod greedy;
 pub mod mechanism;
 pub mod optimal;
 pub mod payment;
+pub mod round;
 pub mod soac;
 pub mod vcg;
 
 pub use ga::GreedyAccuracy;
 pub use gb::GreedyBid;
 pub use mechanism::{AuctionError, AuctionMechanism, AuctionOutcome, ReverseAuction};
+pub use round::{RoundBid, RoundInstance, UncoverablePolicy};
 pub use soac::{Bid, SoacProblem};
 pub use vcg::ExactVcg;

@@ -106,15 +106,38 @@ impl ReverseAuction {
             monopoly_cap: Some(cap),
         }
     }
-}
 
-impl AuctionMechanism for ReverseAuction {
-    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+    /// Winner-selection phase alone (Algorithm 2 lines 1–8): the greedy
+    /// cover, with winners returned sorted by id. Exposed separately so
+    /// stage-timed drivers (the campaign runtime's latency budget) can
+    /// meter selection and payment independently;
+    /// [`AuctionMechanism::run`] is exactly [`ReverseAuction::select`]
+    /// followed by [`ReverseAuction::payments`].
+    ///
+    /// # Errors
+    /// Returns [`AuctionError::Infeasible`] when no worker subset covers
+    /// some task's requirement.
+    pub fn select(&self, problem: &SoacProblem) -> Result<Vec<WorkerId>, AuctionError> {
         let trace = select_winners(problem, None)?;
         let mut winners = trace.winners();
         winners.sort_unstable();
+        Ok(winners)
+    }
+
+    /// Payment phase alone (Algorithm 2 lines 9–20): each winner's critical
+    /// value, with this mechanism's monopolist handling applied. `winners`
+    /// must come from [`ReverseAuction::select`] on the same problem.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError::Monopolist`] for an uncapped monopolist
+    /// winner.
+    pub fn payments(
+        &self,
+        problem: &SoacProblem,
+        winners: &[WorkerId],
+    ) -> Result<Vec<f64>, AuctionError> {
         let mut payments = vec![0.0; problem.n_workers()];
-        for &w in &winners {
+        for &w in winners {
             payments[w.index()] = match critical_payment(problem, w) {
                 Ok(p) => p,
                 Err(AuctionError::Monopolist { .. }) if self.monopoly_cap.is_some() => {
@@ -123,6 +146,14 @@ impl AuctionMechanism for ReverseAuction {
                 Err(e) => return Err(e),
             };
         }
+        Ok(payments)
+    }
+}
+
+impl AuctionMechanism for ReverseAuction {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let winners = self.select(problem)?;
+        let payments = self.payments(problem, &winners)?;
         Ok(AuctionOutcome { winners, payments })
     }
 

@@ -1,0 +1,470 @@
+//! Per-round SOAC construction for rolling campaigns.
+//!
+//! The paper's auction (§V) runs once over a complete snapshot. An *online*
+//! campaign (Fig. 1 looped) runs a small auction every round: the bidders
+//! are the workers arriving with fresh answers, their accuracies are the
+//! platform's current reputation estimates from streaming truth discovery,
+//! and the requirement profile is the *residual* of `Θ` left uncovered by
+//! previously paid winners.
+//!
+//! [`RoundInstance`] compresses one such round into a well-formed
+//! [`SoacProblem`]:
+//!
+//! * workers and tasks are remapped to dense local ids (the round usually
+//!   touches a small slice of the campaign universe);
+//! * tasks whose residual requirement is already met are dropped;
+//! * under [`UncoverablePolicy::Defer`], tasks this round's bidders cannot
+//!   jointly cover are *deferred* (left in the residual for later rounds)
+//!   instead of poisoning the instance with an
+//!   [`AuctionError::Infeasible`](crate::AuctionError::Infeasible)
+//!   — the resulting instance is feasible by construction;
+//! * under [`UncoverablePolicy::Strict`] every positive-residual task is
+//!   kept, reproducing the one-shot mechanism's error behaviour exactly
+//!   (the batch `Campaign` delegates through this path).
+
+use crate::soac::{Bid, SoacProblem};
+use imc2_common::{Grid, TaskId, ValidationError, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Residual mass below which a task's requirement counts as satisfied —
+/// the same tolerance the greedy selection uses internally.
+pub const ROUND_RESIDUAL_TOL: f64 = 1e-9;
+
+/// One worker's offer in a round: the tasks it volunteers to serve this
+/// round and its declared price for serving all of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundBid {
+    /// Global worker id.
+    pub worker: WorkerId,
+    /// Global task ids offered (deduplicated at instance build).
+    pub tasks: Vec<TaskId>,
+    /// Declared price `b_i` for the round.
+    pub price: f64,
+}
+
+/// What to do with a positive-residual task the round's bidders cannot
+/// jointly cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UncoverablePolicy {
+    /// Drop it from this round's requirements; it stays in the caller's
+    /// residual and waits for a later round. Rounds are feasible by
+    /// construction.
+    Defer,
+    /// Keep it; the auction will surface [`AuctionError::Infeasible`]
+    /// exactly like the one-shot mechanism does.
+    ///
+    /// [`AuctionError::Infeasible`]: crate::AuctionError::Infeasible
+    Strict,
+}
+
+/// A round's auction instance in local coordinates, plus the maps back to
+/// the campaign universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundInstance {
+    /// Global ids of this round's bidders, ascending; row `k` of the local
+    /// problem is `bidders[k]`.
+    bidders: Vec<WorkerId>,
+    /// Global ids of this round's active tasks, ascending; column `j` of
+    /// the local problem is `active_tasks[j]`.
+    active_tasks: Vec<TaskId>,
+    /// Positive-residual tasks deferred to later rounds (empty under
+    /// [`UncoverablePolicy::Strict`]).
+    deferred_tasks: Vec<TaskId>,
+    soac: SoacProblem,
+}
+
+impl RoundInstance {
+    /// Builds the round's local [`SoacProblem`] from the offers, the
+    /// platform's current accuracy estimates (`accuracy(w, t)` is clamped
+    /// into `[0, 1]`), and the campaign's residual requirement profile.
+    ///
+    /// Returns `Ok(None)` when there is nothing to auction: no bidders, or
+    /// no task with both a positive residual and (under
+    /// [`UncoverablePolicy::Defer`]) enough joint bidder accuracy to cover
+    /// it. Coverability demands a strict [`ROUND_RESIDUAL_TOL`] margin so
+    /// the greedy selection's sequential clamped subtraction cannot land an
+    /// "exactly coverable" task on the infeasible side of a rounding error.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for duplicate bidders, out-of-range
+    /// task ids, or a non-finite/negative price.
+    pub fn build(
+        offers: &[RoundBid],
+        accuracy: &dyn Fn(WorkerId, TaskId) -> f64,
+        residual: &[f64],
+        policy: UncoverablePolicy,
+    ) -> Result<Option<RoundInstance>, ValidationError> {
+        let m = residual.len();
+        let mut bidders: Vec<WorkerId> = offers.iter().map(|o| o.worker).collect();
+        bidders.sort_unstable();
+        if bidders.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ValidationError::new(
+                "a worker may place at most one offer per round",
+            ));
+        }
+        for offer in offers {
+            if !(offer.price.is_finite() && offer.price >= 0.0) {
+                return Err(ValidationError::new(format!(
+                    "offer of {} has invalid price {}",
+                    offer.worker, offer.price
+                )));
+            }
+            if let Some(t) = offer.tasks.iter().find(|t| t.index() >= m) {
+                return Err(ValidationError::new(format!(
+                    "offer of {} references out-of-range task {t}",
+                    offer.worker
+                )));
+            }
+        }
+        if bidders.is_empty() {
+            return Ok(None);
+        }
+
+        // Joint offered accuracy per task, to classify coverability.
+        let mut offered = vec![0.0f64; m];
+        for offer in offers {
+            // Duplicate task ids within one offer are deduplicated by
+            // `Bid::new` below; count them once here too.
+            let mut tasks = offer.tasks.clone();
+            tasks.sort_unstable();
+            tasks.dedup();
+            for t in tasks {
+                offered[t.index()] += accuracy(offer.worker, t).clamp(0.0, 1.0);
+            }
+        }
+        let mut active_tasks = Vec::new();
+        let mut deferred_tasks = Vec::new();
+        for (j, &r) in residual.iter().enumerate() {
+            match policy {
+                // Strict reproduces the one-shot mechanism exactly, so it
+                // keeps every positive requirement — even sub-tolerance
+                // ones, which the batch SOAC would also carry.
+                UncoverablePolicy::Strict => {
+                    if r > 0.0 {
+                        active_tasks.push(TaskId(j));
+                    }
+                }
+                UncoverablePolicy::Defer => {
+                    if r <= ROUND_RESIDUAL_TOL {
+                        continue; // already satisfied
+                    }
+                    if offered[j] >= r + ROUND_RESIDUAL_TOL {
+                        active_tasks.push(TaskId(j));
+                    } else {
+                        deferred_tasks.push(TaskId(j));
+                    }
+                }
+            }
+        }
+        if active_tasks.is_empty() {
+            return Ok(None);
+        }
+
+        // Dense local remap: task_local[global] = Some(local column).
+        let mut task_local = vec![None; m];
+        for (local, t) in active_tasks.iter().enumerate() {
+            task_local[t.index()] = Some(local);
+        }
+        let mut acc = Grid::filled(bidders.len(), active_tasks.len(), 0.0);
+        let mut bids = vec![Bid::new(Vec::new(), 0.0); bidders.len()];
+        for offer in offers {
+            let k = bidders
+                .binary_search(&offer.worker)
+                .expect("bidder list built from offers");
+            let local_tasks: Vec<TaskId> = offer
+                .tasks
+                .iter()
+                .filter_map(|t| task_local[t.index()].map(TaskId))
+                .collect();
+            for &lt in &local_tasks {
+                let gt = active_tasks[lt.index()];
+                acc[(WorkerId(k), lt)] = accuracy(offer.worker, gt).clamp(0.0, 1.0);
+            }
+            bids[k] = Bid::new(local_tasks, offer.price);
+        }
+        let requirements: Vec<f64> = active_tasks.iter().map(|t| residual[t.index()]).collect();
+        let soac = SoacProblem::new(bids, acc, requirements)?;
+        Ok(Some(RoundInstance {
+            bidders,
+            active_tasks,
+            deferred_tasks,
+            soac,
+        }))
+    }
+
+    /// The local SOAC problem the auction mechanism runs on.
+    pub fn soac(&self) -> &SoacProblem {
+        &self.soac
+    }
+
+    /// Global ids of this round's bidders (row order of the local problem).
+    pub fn bidders(&self) -> &[WorkerId] {
+        &self.bidders
+    }
+
+    /// Global ids of this round's active tasks (column order of the local
+    /// problem).
+    pub fn active_tasks(&self) -> &[TaskId] {
+        &self.active_tasks
+    }
+
+    /// Positive-residual tasks this round deferred.
+    pub fn deferred_tasks(&self) -> &[TaskId] {
+        &self.deferred_tasks
+    }
+
+    /// Maps a local winner id back to the campaign universe.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    pub fn global_worker(&self, local: WorkerId) -> WorkerId {
+        self.bidders[local.index()]
+    }
+
+    /// Maps local winners back to global ids, preserving order.
+    pub fn global_winners(&self, local: &[WorkerId]) -> Vec<WorkerId> {
+        local.iter().map(|&w| self.global_worker(w)).collect()
+    }
+
+    /// Subtracts the local winners' accuracy coverage from the campaign
+    /// residual, mirroring the greedy selection's clamped update (so a
+    /// task the auction considers covered is covered here too, snapping
+    /// sub-tolerance residue to zero).
+    ///
+    /// # Panics
+    /// Panics if `residual` is shorter than the campaign task universe the
+    /// instance was built from.
+    pub fn apply_coverage(&self, local_winners: &[WorkerId], residual: &mut [f64]) {
+        for &w in local_winners {
+            for &lt in self.soac.bid(w).tasks() {
+                let global = self.active_tasks[lt.index()];
+                let cell = &mut residual[global.index()];
+                *cell = (*cell - self.soac.accuracy()[(w, lt)]).max(0.0);
+                if *cell < ROUND_RESIDUAL_TOL {
+                    *cell = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offers() -> Vec<RoundBid> {
+        vec![
+            RoundBid {
+                worker: WorkerId(4),
+                tasks: vec![TaskId(0), TaskId(2)],
+                price: 2.0,
+            },
+            RoundBid {
+                worker: WorkerId(1),
+                tasks: vec![TaskId(2)],
+                price: 1.0,
+            },
+        ]
+    }
+
+    fn flat_accuracy(v: f64) -> impl Fn(WorkerId, TaskId) -> f64 {
+        move |_, _| v
+    }
+
+    #[test]
+    fn remaps_workers_and_tasks_densely() {
+        // Task 1 is already covered; tasks 0 and 2 are active.
+        let residual = vec![0.5, 0.0, 0.9];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Defer,
+        )
+        .unwrap()
+        .expect("coverable round");
+        assert_eq!(inst.bidders(), &[WorkerId(1), WorkerId(4)]);
+        assert_eq!(inst.active_tasks(), &[TaskId(0), TaskId(2)]);
+        assert!(inst.deferred_tasks().is_empty());
+        let soac = inst.soac();
+        assert_eq!(soac.n_workers(), 2);
+        assert_eq!(soac.n_tasks(), 2);
+        // Worker 4 (local 1) offers local tasks {0, 1}; worker 1 (local 0)
+        // offers local task {1}.
+        assert_eq!(soac.bid(WorkerId(1)).tasks(), &[TaskId(0), TaskId(1)]);
+        assert_eq!(soac.bid(WorkerId(0)).tasks(), &[TaskId(1)]);
+        assert_eq!(soac.requirements(), &[0.5, 0.9]);
+        assert_eq!(
+            inst.global_winners(&[WorkerId(0), WorkerId(1)]),
+            vec![WorkerId(1), WorkerId(4)]
+        );
+    }
+
+    #[test]
+    fn defer_drops_uncoverable_tasks_and_instance_is_feasible() {
+        // Task 0 needs 1.5 but only worker 4 (0.8) offers it → deferred.
+        let residual = vec![1.5, 0.0, 0.9];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Defer,
+        )
+        .unwrap()
+        .expect("task 2 remains coverable");
+        assert_eq!(inst.active_tasks(), &[TaskId(2)]);
+        assert_eq!(inst.deferred_tasks(), &[TaskId(0)]);
+        assert!(inst.soac().is_coverable());
+    }
+
+    #[test]
+    fn strict_keeps_uncoverable_tasks() {
+        let residual = vec![1.5, 0.0, 0.9];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Strict,
+        )
+        .unwrap()
+        .expect("instance built");
+        assert_eq!(inst.active_tasks(), &[TaskId(0), TaskId(2)]);
+        assert!(!inst.soac().is_coverable());
+    }
+
+    #[test]
+    fn strict_keeps_sub_tolerance_requirements() {
+        // The batch SOAC carries any positive requirement; Strict must not
+        // quietly drop one below the rolling coverage tolerance, or the
+        // one-shot delegation would drift from the direct mechanism.
+        let residual = vec![1e-12, 0.0, 0.9];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Strict,
+        )
+        .unwrap()
+        .expect("instance built");
+        assert_eq!(inst.active_tasks(), &[TaskId(0), TaskId(2)]);
+        assert_eq!(inst.soac().requirements(), &[1e-12, 0.9]);
+        // Defer still treats it as satisfied.
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Defer,
+        )
+        .unwrap()
+        .expect("task 2 active");
+        assert_eq!(inst.active_tasks(), &[TaskId(2)]);
+    }
+
+    #[test]
+    fn nothing_to_auction_returns_none() {
+        // All residuals satisfied.
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &[0.0, 0.0, 1e-12],
+            UncoverablePolicy::Defer,
+        )
+        .unwrap();
+        assert!(inst.is_none());
+        // No bidders.
+        let inst = RoundInstance::build(&[], &flat_accuracy(0.8), &[1.0], UncoverablePolicy::Defer)
+            .unwrap();
+        assert!(inst.is_none());
+        // Bidders exist but every open task is uncoverable.
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.1),
+            &[1.0, 1.0, 1.0],
+            UncoverablePolicy::Defer,
+        )
+        .unwrap();
+        assert!(inst.is_none());
+    }
+
+    #[test]
+    fn apply_coverage_mirrors_greedy_subtraction() {
+        let residual_init = vec![0.5, 0.0, 0.9];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual_init,
+            UncoverablePolicy::Defer,
+        )
+        .unwrap()
+        .unwrap();
+        let mut residual = residual_init.clone();
+        // Both local workers win.
+        inst.apply_coverage(&[WorkerId(0), WorkerId(1)], &mut residual);
+        assert_eq!(residual[0], 0.0, "0.5 - 0.8 clamps to zero");
+        assert_eq!(residual[1], 0.0, "untouched");
+        assert_eq!(residual[2], 0.0, "0.9 - 1.6 clamps to zero");
+        // Partial win leaves residue.
+        let mut residual = residual_init;
+        inst.apply_coverage(&[WorkerId(0)], &mut residual);
+        assert!((residual[2] - 0.1).abs() < 1e-9, "0.9 - 0.8 remains");
+        assert_eq!(residual[0], 0.5, "worker 1 does not cover task 0");
+    }
+
+    #[test]
+    fn invalid_offers_rejected() {
+        let dup = vec![
+            RoundBid {
+                worker: WorkerId(3),
+                tasks: vec![TaskId(0)],
+                price: 1.0,
+            },
+            RoundBid {
+                worker: WorkerId(3),
+                tasks: vec![TaskId(0)],
+                price: 2.0,
+            },
+        ];
+        assert!(
+            RoundInstance::build(&dup, &flat_accuracy(0.5), &[1.0], UncoverablePolicy::Defer)
+                .is_err()
+        );
+        let bad_task = vec![RoundBid {
+            worker: WorkerId(0),
+            tasks: vec![TaskId(9)],
+            price: 1.0,
+        }];
+        assert!(RoundInstance::build(
+            &bad_task,
+            &flat_accuracy(0.5),
+            &[1.0],
+            UncoverablePolicy::Defer
+        )
+        .is_err());
+        let bad_price = vec![RoundBid {
+            worker: WorkerId(0),
+            tasks: vec![TaskId(0)],
+            price: f64::NAN,
+        }];
+        assert!(RoundInstance::build(
+            &bad_price,
+            &flat_accuracy(0.5),
+            &[1.0],
+            UncoverablePolicy::Defer
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accuracy_cells_are_clamped() {
+        let one = vec![RoundBid {
+            worker: WorkerId(0),
+            tasks: vec![TaskId(0)],
+            price: 1.0,
+        }];
+        let inst =
+            RoundInstance::build(&one, &flat_accuracy(7.5), &[0.9], UncoverablePolicy::Defer)
+                .unwrap()
+                .unwrap();
+        assert_eq!(inst.soac().accuracy()[(WorkerId(0), TaskId(0))], 1.0);
+    }
+}

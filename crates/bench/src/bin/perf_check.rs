@@ -14,10 +14,17 @@
 //! * every `bit_identical` flag is `true` — the speedups are meaningless
 //!   if the incremental outputs drifted from the rebuild outputs.
 //!
-//! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>` (defaults to
-//! those names in the working directory). Exits non-zero listing every
-//! violation. The vendored serde is a no-op stand-in, so the checks scan
-//! the JSON textually — fine for the flat, machine-written files at hand.
+//! * `speedup_refine >= 1.0` (pipeline) — the warm campaign runtime's
+//!   refine stage slower than re-running cold DATE from scratch every
+//!   round means the streaming reuse collapsed;
+//! * `budget_never_overspent` is `true` — the runtime paid past its
+//!   budget, a correctness bug regardless of timings.
+//!
+//! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
+//! <BENCH_pipeline.json>` (defaults to those names in the working
+//! directory). Exits non-zero listing every violation. The vendored serde
+//! is a no-op stand-in, so the checks scan the JSON textually — fine for
+//! the flat, machine-written files at hand.
 
 use std::process::ExitCode;
 
@@ -72,6 +79,10 @@ fn main() -> ExitCode {
         .get(1)
         .map(String::as_str)
         .unwrap_or("BENCH_stream.json");
+    let pipeline_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json");
     let mut problems = Vec::new();
 
     if let Some(json) = check_file(
@@ -136,8 +147,53 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(json) = check_file(
+        pipeline_path,
+        &[
+            "bench",
+            "parallel_feature",
+            "n_rounds",
+            "rounds_run",
+            "auction_ms",
+            "payment_ms",
+            "ingest_ms",
+            "refine_ms",
+            "stages_warm",
+            "stages_cold_date",
+            "speedup_refine",
+            "speedup_end_to_end",
+            "bit_identical",
+            "budget_never_overspent",
+        ],
+        &mut problems,
+    ) {
+        for v in values_of(&json, "speedup_refine") {
+            if v < 1.0 {
+                problems.push(format!(
+                    "{pipeline_path}: speedup_refine = {v} < 1.0 — the warm runtime lost to cold per-round DATE"
+                ));
+            }
+        }
+        let idents = occurrences_of(&json, "bit_identical");
+        let trues = json.matches("\"bit_identical\": true").count();
+        if idents == 0 || trues != idents {
+            problems.push(format!(
+                "{pipeline_path}: {trues}/{idents} bit_identical flags are true — the warm runtime drifted from the rebuild reference"
+            ));
+        }
+        let budgets = occurrences_of(&json, "budget_never_overspent");
+        let budget_oks = json.matches("\"budget_never_overspent\": true").count();
+        if budgets == 0 || budget_oks != budgets {
+            problems.push(format!(
+                "{pipeline_path}: {budget_oks}/{budgets} budget_never_overspent flags are true — the runtime overspent its budget"
+            ));
+        }
+    }
+
     if problems.is_empty() {
-        println!("perf_check: {date_path} and {stream_path} pass schema and sanity checks");
+        println!(
+            "perf_check: {date_path}, {stream_path} and {pipeline_path} pass schema and sanity checks"
+        );
         ExitCode::SUCCESS
     } else {
         for p in &problems {

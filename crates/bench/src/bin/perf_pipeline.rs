@@ -1,0 +1,242 @@
+//! End-to-end latency budget of the online campaign runtime.
+//!
+//! Runs one rolling campaign (auction → payment → ingest → refine per
+//! round) under three drivers — the warm streaming runtime, the rebuild
+//! reference (engine rebuilt every round; bit-identical to warm by the
+//! streaming guarantee, verified here per repetition), and the cold-DATE
+//! baseline (full truth discovery from scratch every round: the system one
+//! would run without streaming) — and emits `BENCH_pipeline.json` with
+//! per-stage wall-clock totals, the warm-vs-cold refine speedup, the
+//! bit-identity verdict, and a budget-respect check from a separate
+//! budget-capped run.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p imc2-bench --bin perf_pipeline
+//! cargo run --release -p imc2-bench --features parallel --bin perf_pipeline
+//! ```
+//!
+//! Environment knobs: `PERF_OUT` (output path, default
+//! `BENCH_pipeline.json`), `PERF_REPS` (repetitions, default 5). Per-stage
+//! numbers are the per-metric minima over the repetitions (interference on
+//! shared boxes only ever adds time); results are identical across reps by
+//! construction, which is asserted.
+
+use imc2_datagen::participation::ParticipationConfig;
+use imc2_datagen::{
+    CopierConfig, CostModel, ForumConfig, RequirementConfig, RoundTrace, RoundTraceConfig,
+    StreamConfig,
+};
+use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StageTimings, StopReason};
+use std::fmt::Write as _;
+
+/// The perf campaign at `n` workers: same crowd shape as the `perf` /
+/// `perf_stream` bins, streamed from a half-warm snapshot in rounds of 20
+/// offered answers, capped at 64 rounds so cold-driver runs stay CI-sized.
+fn config(n_workers: usize) -> (RoundTraceConfig, PipelineConfig) {
+    let trace = RoundTraceConfig {
+        stream: StreamConfig {
+            forum: ForumConfig {
+                n_workers,
+                n_tasks: 2 * n_workers,
+                num_false: 2,
+                participation: ParticipationConfig {
+                    avg_responses_per_task: (n_workers as f64 / 4.0).clamp(8.0, 40.0),
+                    ..ParticipationConfig::default()
+                },
+                copiers: CopierConfig {
+                    n_copiers: n_workers / 4,
+                    ring_size: 5,
+                    ..CopierConfig::default()
+                },
+                ..ForumConfig::paper_default()
+            },
+            initial_fraction: 0.5,
+            batch_size: 20,
+        },
+        cost_model: CostModel::default(),
+        requirements: RequirementConfig {
+            theta_lo: 0.5,
+            theta_hi: 1.5,
+            ..RequirementConfig::default()
+        },
+    };
+    let pipeline = PipelineConfig {
+        max_rounds: Some(64),
+        ..PipelineConfig::default()
+    };
+    (trace, pipeline)
+}
+
+fn stop_name(stop: StopReason) -> &'static str {
+    match stop {
+        StopReason::BudgetExhausted => "BudgetExhausted",
+        StopReason::AllCovered => "AllCovered",
+        StopReason::MaxRounds => "MaxRounds",
+        StopReason::TraceExhausted => "TraceExhausted",
+    }
+}
+
+/// Everything observable must match between the warm and cold drivers —
+/// the speedup below is only meaningful because of this.
+fn bit_identical(a: &RollingOutcome, b: &RollingOutcome) -> bool {
+    if a.stop != b.stop
+        || a.rounds != b.rounds
+        || a.final_estimate != b.final_estimate
+        || a.total_payment.to_bits() != b.total_payment.to_bits()
+    {
+        return false;
+    }
+    let (sa, sb) = (a.final_accuracy.as_slice(), b.final_accuracy.as_slice());
+    sa.len() == sb.len() && sa.iter().zip(sb).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Per-metric minimum over repetitions.
+fn best(stages: &[StageTimings]) -> StageTimings {
+    let min = |f: fn(&StageTimings) -> f64| stages.iter().map(f).fold(f64::INFINITY, f64::min);
+    StageTimings {
+        auction_s: min(|s| s.auction_s),
+        payment_s: min(|s| s.payment_s),
+        ingest_s: min(|s| s.ingest_s),
+        refine_s: min(|s| s.refine_s),
+    }
+}
+
+fn stage_json(json: &mut String, key: &str, s: &StageTimings, trailing_comma: bool) {
+    let _ = writeln!(json, "  \"{key}\": {{");
+    let _ = writeln!(json, "    \"auction_ms\": {:.6},", s.auction_s * 1e3);
+    let _ = writeln!(json, "    \"payment_ms\": {:.6},", s.payment_s * 1e3);
+    let _ = writeln!(json, "    \"ingest_ms\": {:.6},", s.ingest_s * 1e3);
+    let _ = writeln!(json, "    \"refine_ms\": {:.6},", s.refine_s * 1e3);
+    let _ = writeln!(json, "    \"total_ms\": {:.6}", s.total_s() * 1e3);
+    json.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
+
+fn main() {
+    let out_path = std::env::var("PERF_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    // Clamped to >= 1 so every driver (including the rep-capped cold
+    // baseline) runs at least once — otherwise the speedups would divide
+    // by an empty minimum.
+    let reps: usize = std::env::var("PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let parallel = cfg!(feature = "parallel");
+    let n = 200usize;
+
+    let (trace_cfg, pipe_cfg) = config(n);
+    let trace = RoundTrace::generate(&trace_cfg, 0x9017).expect("trace generates");
+    let runtime = CampaignRuntime::new(pipe_cfg.clone());
+
+    let mut warm_stages = Vec::new();
+    let mut rebuild_stages = Vec::new();
+    let mut cold_stages = Vec::new();
+    let mut warm_ref: Option<RollingOutcome> = None;
+    let mut identical = true;
+    for rep in 0..reps {
+        eprintln!("rep {rep}: warm runtime...");
+        let warm = runtime.run(&trace).expect("campaign runs");
+        eprintln!("rep {rep}: rebuild reference...");
+        let rebuild = runtime.run_reference(&trace).expect("campaign runs");
+        identical &= bit_identical(&warm, &rebuild);
+        if let Some(first) = &warm_ref {
+            identical &= bit_identical(first, &warm);
+        }
+        warm_stages.push(warm.timings);
+        rebuild_stages.push(rebuild.timings);
+        warm_ref.get_or_insert(warm);
+        // The cold-DATE baseline re-runs full truth discovery per round —
+        // expensive by design, so cap its repetitions.
+        if rep < reps.min(2) {
+            eprintln!("rep {rep}: cold-DATE baseline...");
+            let cold = runtime.run_cold_baseline(&trace).expect("campaign runs");
+            cold_stages.push(cold.timings);
+        }
+    }
+    let warm_out = warm_ref.expect("at least one repetition");
+    let wbest = best(&warm_stages);
+    let rbest = best(&rebuild_stages);
+    let cbest = best(&cold_stages);
+    let speedup_refine = cbest.refine_s / wbest.refine_s;
+    let speedup_refine_vs_rebuild = rbest.refine_s / wbest.refine_s;
+    let speedup_end_to_end = cbest.total_s() / wbest.total_s();
+
+    // Budget-capped run: the runtime must stop without overspending.
+    let budget = warm_out.total_payment * 0.5;
+    let capped = CampaignRuntime::new(PipelineConfig {
+        budget: Some(budget),
+        ..pipe_cfg
+    })
+    .run(&trace)
+    .expect("capped campaign runs");
+    let budget_never_overspent =
+        capped.total_payment <= budget + 1e-9 && capped.stop == StopReason::BudgetExhausted;
+
+    println!(
+        "rounds {:>3} | warm: auction {:>6.2} ms, payment {:>6.2} ms, ingest {:>6.2} ms, refine {:>8.2} ms | rebuild refine {:>8.2} ms ({:>4.2}x) | cold-DATE refine {:>9.2} ms ({:>5.2}x, end-to-end {:>5.2}x) | bit-identical {} | budget ok {}",
+        warm_out.rounds.len(),
+        wbest.auction_s * 1e3,
+        wbest.payment_s * 1e3,
+        wbest.ingest_s * 1e3,
+        wbest.refine_s * 1e3,
+        rbest.refine_s * 1e3,
+        speedup_refine_vs_rebuild,
+        cbest.refine_s * 1e3,
+        speedup_refine,
+        speedup_end_to_end,
+        identical,
+        budget_never_overspent,
+    );
+
+    let ingested: usize = warm_out.rounds.iter().map(|r| r.ingested_answers).sum();
+    let rounds_run = warm_out.rounds.len();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"rolling_campaign_pipeline\",");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel},");
+    let _ = writeln!(json, "  \"reps_per_measurement\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"threads_available\": {},",
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"n_workers\": {n},");
+    let _ = writeln!(json, "  \"n_tasks\": {},", trace.n_tasks());
+    let _ = writeln!(json, "  \"n_rounds\": {},", trace.n_rounds());
+    let _ = writeln!(json, "  \"rounds_run\": {rounds_run},");
+    let _ = writeln!(json, "  \"answers_ingested\": {ingested},");
+    let _ = writeln!(
+        json,
+        "  \"total_refine_iterations\": {},",
+        warm_out.total_refine_iterations
+    );
+    let _ = writeln!(json, "  \"stop\": \"{}\",", stop_name(warm_out.stop));
+    let _ = writeln!(
+        json,
+        "  \"final_precision\": {:.6},",
+        warm_out.final_precision
+    );
+    let _ = writeln!(json, "  \"covered_tasks\": {},", warm_out.covered_tasks);
+    stage_json(&mut json, "stages_warm", &wbest, true);
+    stage_json(&mut json, "stages_rebuild", &rbest, true);
+    stage_json(&mut json, "stages_cold_date", &cbest, true);
+    let _ = writeln!(json, "  \"speedup_refine\": {speedup_refine:.3},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_refine_vs_rebuild\": {speedup_refine_vs_rebuild:.3},"
+    );
+    let _ = writeln!(json, "  \"speedup_end_to_end\": {speedup_end_to_end:.3},");
+    let _ = writeln!(json, "  \"bit_identical\": {identical},");
+    let _ = writeln!(
+        json,
+        "  \"budget_never_overspent\": {budget_never_overspent}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("can write benchmark output");
+    eprintln!("wrote {out_path}");
+}

@@ -159,6 +159,16 @@ impl PairOverlapIndex {
         self.triples.len()
     }
 
+    /// Allocated capacity of the triple buffer. A freshly built index is
+    /// exact (`capacity == len`); a long run of in-place splices
+    /// ([`PairOverlapIndex::apply_planned`]) grows the buffer with the
+    /// allocator's amortized doubling, so capacity can exceed the live
+    /// triple count — the slack that streaming compaction policies watch.
+    #[inline]
+    pub fn triple_capacity(&self) -> usize {
+        self.triples.capacity()
+    }
+
     /// Number of worker pairs with at least one co-answered task.
     #[inline]
     pub fn n_nonempty_pairs(&self) -> usize {

@@ -5,11 +5,20 @@
 //! single instance: precision, social cost, payments, utilities, copier
 //! detection quality. The figure harness (`imc2-bench`) averages these over
 //! many seeds.
+//!
+//! The one-shot path delegates to the online campaign runtime's
+//! single-round construction ([`imc2_pipeline::one_shot`]), and
+//! [`Campaign::run_rolling`] drives the full rolling loop
+//! ([`imc2_pipeline::CampaignRuntime`]) producing a
+//! [`RollingCampaignReport`] — a [`CampaignReport`] per executed round plus
+//! the cumulative one — so batch and rolling campaigns share one
+//! construction path and their reports cannot drift apart.
 
 use crate::mechanism::{Imc2, Imc2Outcome};
 use imc2_auction::AuctionError;
 use imc2_common::WorkerId;
-use imc2_datagen::{Scenario, ScenarioConfig};
+use imc2_datagen::{RoundTrace, Scenario, ScenarioConfig};
+use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StopReason};
 use serde::{Deserialize, Serialize};
 
 /// A reproducible campaign: configuration plus mechanism.
@@ -41,6 +50,95 @@ pub struct CampaignReport {
     pub copier_win_share: f64,
 }
 
+/// A rolling campaign's results: one [`CampaignReport`] per executed round
+/// plus the cumulative report, mirroring the batch report so figure
+/// harnesses can consume either.
+///
+/// Per-round value accounting: a task's value is earned exactly once, in
+/// the round its accuracy requirement becomes covered, so per-round
+/// `social_welfare` / `platform_utility` use the round's newly covered
+/// value and the cumulative report sums to the covered-value total (for a
+/// fully covered campaign, exactly the batch formula).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RollingCampaignReport {
+    /// Reports for each executed round, in order.
+    pub per_round: Vec<CampaignReport>,
+    /// The campaign-level rollup (precision is the final estimate's;
+    /// `n_winners` counts winner slots across rounds).
+    pub cumulative: CampaignReport,
+    /// Rounds actually executed (idle rounds included, abandoned rounds
+    /// not).
+    pub rounds_run: usize,
+    /// Why the runtime stopped.
+    pub stop: StopReason,
+    /// Budget left unspent, when the runtime had one.
+    pub budget_remaining: Option<f64>,
+    /// Tasks whose requirement is covered at stop time.
+    pub covered_tasks: usize,
+    /// Total tasks in the campaign.
+    pub n_tasks: usize,
+}
+
+impl RollingCampaignReport {
+    /// Builds the per-round and cumulative reports from a runtime outcome.
+    pub fn from_outcome(trace: &RoundTrace, outcome: &RollingOutcome) -> Self {
+        let per_round: Vec<CampaignReport> = outcome
+            .rounds
+            .iter()
+            .map(|r| CampaignReport {
+                precision: r.precision,
+                n_winners: r.winners.len(),
+                social_cost: r.social_cost,
+                total_payment: r.payment,
+                social_welfare: r.new_value_covered - r.social_cost,
+                platform_utility: r.new_value_covered - r.payment,
+                min_winner_utility: r.min_winner_utility,
+                copier_win_share: if r.winners.is_empty() {
+                    0.0
+                } else {
+                    r.n_copier_winners as f64 / r.winners.len() as f64
+                },
+            })
+            .collect();
+        let value_covered: f64 = outcome.rounds.iter().map(|r| r.new_value_covered).sum();
+        let winner_slots = outcome.total_winner_slots();
+        let copier_slots: usize = outcome.rounds.iter().map(|r| r.n_copier_winners).sum();
+        let min_winner_utility = outcome
+            .rounds
+            .iter()
+            .filter(|r| !r.winners.is_empty())
+            .map(|r| r.min_winner_utility)
+            .fold(f64::INFINITY, f64::min);
+        let cumulative = CampaignReport {
+            precision: outcome.final_precision,
+            n_winners: winner_slots,
+            social_cost: outcome.total_social_cost,
+            total_payment: outcome.total_payment,
+            social_welfare: value_covered - outcome.total_social_cost,
+            platform_utility: value_covered - outcome.total_payment,
+            min_winner_utility: if min_winner_utility.is_finite() {
+                min_winner_utility
+            } else {
+                0.0
+            },
+            copier_win_share: if winner_slots == 0 {
+                0.0
+            } else {
+                copier_slots as f64 / winner_slots as f64
+            },
+        };
+        RollingCampaignReport {
+            per_round,
+            cumulative,
+            rounds_run: outcome.rounds.len(),
+            stop: outcome.stop,
+            budget_remaining: outcome.budget_remaining,
+            covered_tasks: outcome.covered_tasks,
+            n_tasks: trace.n_tasks(),
+        }
+    }
+}
+
 impl Campaign {
     /// A campaign over the given scenario configuration with the paper's
     /// mechanism.
@@ -68,8 +166,48 @@ impl Campaign {
     /// Returns [`AuctionError`] when the generated instance cannot be served.
     pub fn run(&self, seed: u64) -> Result<CampaignReport, AuctionError> {
         let scenario = Scenario::generate(&self.config, seed);
-        let outcome = self.mechanism.run(&scenario)?;
+        let outcome = self.outcome(&scenario)?;
         Ok(Self::report(&scenario, &outcome))
+    }
+
+    /// The one-shot mechanism outcome for an explicit scenario, computed
+    /// through the online runtime's single-round path
+    /// ([`imc2_pipeline::one_shot`]) — bit-identical to
+    /// [`Imc2::run`] (guarded by `one_shot_path_matches_mechanism_run`),
+    /// but sharing the round construction with [`Campaign::run_rolling`].
+    ///
+    /// # Errors
+    /// Returns [`AuctionError`] when the instance cannot be served.
+    pub fn outcome(&self, scenario: &Scenario) -> Result<Imc2Outcome, AuctionError> {
+        let one =
+            imc2_pipeline::one_shot(self.mechanism.date(), self.mechanism.auction(), scenario)?;
+        Ok(Imc2Outcome::from_stages(scenario, one.truth, one.auction))
+    }
+
+    /// Runs the rolling campaign loop over a round-aligned trace with this
+    /// campaign's truth-discovery stage and the default runtime settings.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError::Monopolist`] for an uncapped monopolist
+    /// round winner.
+    pub fn run_rolling(&self, trace: &RoundTrace) -> Result<RollingCampaignReport, AuctionError> {
+        self.run_rolling_with(trace, PipelineConfig::default())
+    }
+
+    /// [`Campaign::run_rolling`] with explicit runtime settings (budget,
+    /// round cap, monopolist cap, compaction). The campaign's mechanism
+    /// supplies the truth-discovery stage; `config.date` is overridden.
+    ///
+    /// # Errors
+    /// As [`Campaign::run_rolling`].
+    pub fn run_rolling_with(
+        &self,
+        trace: &RoundTrace,
+        mut config: PipelineConfig,
+    ) -> Result<RollingCampaignReport, AuctionError> {
+        config.date = self.mechanism.date().clone();
+        let outcome = CampaignRuntime::new(config).run(trace)?;
+        Ok(RollingCampaignReport::from_outcome(trace, &outcome))
     }
 
     /// Builds the report for an already-computed outcome.
@@ -157,5 +295,85 @@ mod tests {
             report.platform_utility <= report.social_welfare + 1e-9,
             "payments >= costs implies platform utility <= welfare"
         );
+    }
+
+    /// The anti-drift guard: the one-shot path through the online runtime
+    /// must reproduce the directly composed mechanism bit for bit.
+    #[test]
+    fn one_shot_path_matches_mechanism_run() {
+        for seed in [1u64, 7, 13, 29] {
+            let campaign = Campaign::new(ScenarioConfig::small());
+            let scenario = Scenario::generate(campaign.config(), seed);
+            let via_runtime = campaign.outcome(&scenario).unwrap();
+            let direct = campaign.mechanism.run(&scenario).unwrap();
+            assert_eq!(via_runtime.auction, direct.auction, "seed {seed}");
+            assert_eq!(
+                via_runtime.truth.estimate, direct.truth.estimate,
+                "seed {seed}"
+            );
+            let (a, b) = (
+                via_runtime.truth.accuracy.as_slice(),
+                direct.truth.accuracy.as_slice(),
+            );
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} accuracy");
+            }
+            assert_eq!(
+                via_runtime.precision.to_bits(),
+                direct.precision.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                via_runtime.social_cost.to_bits(),
+                direct.social_cost.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                via_runtime.social_welfare.to_bits(),
+                direct.social_welfare.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                via_runtime.platform_utility.to_bits(),
+                direct.platform_utility.to_bits(),
+                "seed {seed}"
+            );
+            let ra = Campaign::report(&scenario, &via_runtime);
+            let rb = Campaign::report(&scenario, &direct);
+            assert_eq!(ra.total_payment.to_bits(), rb.total_payment.to_bits());
+            assert_eq!(ra.copier_win_share, rb.copier_win_share);
+        }
+    }
+
+    #[test]
+    fn rolling_report_mirrors_rounds_and_cumulative() {
+        use imc2_datagen::RoundTraceConfig;
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 5).unwrap();
+        let report = Campaign::new(ScenarioConfig::small())
+            .run_rolling(&trace)
+            .unwrap();
+        assert_eq!(report.per_round.len(), report.rounds_run);
+        assert!(report.rounds_run > 0);
+        let pay: f64 = report.per_round.iter().map(|r| r.total_payment).sum();
+        assert!((pay - report.cumulative.total_payment).abs() < 1e-9);
+        let cost: f64 = report.per_round.iter().map(|r| r.social_cost).sum();
+        assert!((cost - report.cumulative.social_cost).abs() < 1e-9);
+        let welfare: f64 = report.per_round.iter().map(|r| r.social_welfare).sum();
+        assert!((welfare - report.cumulative.social_welfare).abs() < 1e-9);
+        assert!(report.cumulative.min_winner_utility >= -1e-9, "IR");
+        assert!((0.0..=1.0).contains(&report.cumulative.copier_win_share));
+        assert!(report.covered_tasks <= report.n_tasks);
+        // The runtime respects an explicit budget through the core wrapper.
+        let capped = Campaign::new(ScenarioConfig::small())
+            .run_rolling_with(
+                &trace,
+                PipelineConfig {
+                    budget: Some(report.cumulative.total_payment * 0.5),
+                    ..PipelineConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(capped.stop, StopReason::BudgetExhausted);
+        assert!(capped.cumulative.total_payment <= report.cumulative.total_payment * 0.5 + 1e-9);
     }
 }

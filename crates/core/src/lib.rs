@@ -12,7 +12,12 @@
 //!
 //! This crate wires the stages together ([`Imc2`]), runs full campaigns
 //! over generated scenarios ([`campaign`]), and checks the §VI properties
-//! empirically ([`properties`]).
+//! empirically ([`properties`]). Both campaign shapes share one round
+//! construction (`imc2-pipeline`): the batch [`Campaign::run`] is the
+//! online runtime's single-round degenerate case, and
+//! [`Campaign::run_rolling`] drives the full Fig. 1 loop — rolling auction
+//! rounds over streaming truth discovery with budget/coverage stopping —
+//! reported per round and cumulatively ([`RollingCampaignReport`]).
 //!
 //! # Example
 //!
@@ -34,7 +39,10 @@ pub mod mechanism;
 pub mod properties;
 pub mod strategy;
 
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignReport, RollingCampaignReport};
 pub use mechanism::{Imc2, Imc2Outcome};
+// Rolling-campaign runtime surface, re-exported so campaign drivers need
+// only this crate (the runtime itself lives in `imc2_pipeline`).
+pub use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StopReason};
 pub use properties::{check_individual_rationality, check_truthfulness, PropertyReport};
 pub use strategy::{apply_strategies, BidStrategy};

@@ -109,20 +109,33 @@ impl Imc2 {
             .build_soac(scenario, &truth)
             .expect("scenario dimensions are consistent by construction");
         let auction = self.auction.run(&soac)?;
+        Ok(Imc2Outcome::from_stages(scenario, truth, auction))
+    }
+}
 
+impl Imc2Outcome {
+    /// Derives the §II metrics (eq. 2–3 plus precision and social cost)
+    /// from the two stage outputs — the single source of these formulas,
+    /// shared by [`Imc2::run`] and the runtime-delegating
+    /// [`crate::Campaign`] path so the two cannot drift apart.
+    pub fn from_stages(
+        scenario: &Scenario,
+        truth: imc2_truth::TruthOutcome,
+        auction: imc2_auction::AuctionOutcome,
+    ) -> Self {
         let precision = imc2_truth::precision(&truth.estimate, &scenario.ground_truth);
         let social_cost = imc2_auction::analysis::social_cost(&auction.winners, &scenario.costs);
         let value: f64 = scenario.task_values.iter().sum();
         let social_welfare = value - social_cost;
         let platform_utility = value - auction.total_payment();
-        Ok(Imc2Outcome {
+        Imc2Outcome {
             truth,
             auction,
             precision,
             social_cost,
             social_welfare,
             platform_utility,
-        })
+        }
     }
 }
 

@@ -54,5 +54,5 @@ pub use forum::{ForumConfig, ForumData};
 pub use profiles::{WorkerKind, WorkerProfile};
 pub use requirements::RequirementConfig;
 pub use scenario::{Scenario, ScenarioConfig};
-pub use stream::{StreamConfig, StreamData};
+pub use stream::{RoundTrace, RoundTraceConfig, StreamConfig, StreamData, WorkerOffer};
 pub use summary::DatasetSummary;

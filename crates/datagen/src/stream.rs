@@ -14,8 +14,13 @@
 //! tasks receive answers repeatedly across many batches, and workers first
 //! appear mid-stream.
 
+use crate::costs::CostModel;
 use crate::forum::{ForumConfig, ForumData};
-use imc2_common::{Observations, ObservationsBuilder, SnapshotDelta, ValidationError, WorkerId};
+use crate::requirements::RequirementConfig;
+use imc2_common::{
+    Observations, ObservationsBuilder, SeedStream, SnapshotDelta, TaskId, ValidationError, ValueId,
+    WorkerId,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -145,6 +150,177 @@ impl StreamData {
     }
 }
 
+/// Configuration of a *round-aligned* campaign trace: an arrival stream
+/// ([`StreamConfig`]) plus the auction substrate the online campaign
+/// runtime needs every round — worker costs (truthful bids) and the
+/// campaign's accuracy requirements / task values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTraceConfig {
+    /// The arrival stream; each [`StreamData`] delta becomes one auction
+    /// round's worth of offers (`batch_size` answers per round).
+    pub stream: StreamConfig,
+    /// Private per-worker costs; bids are truthful (`price = cost` per
+    /// round a worker participates in).
+    pub cost_model: CostModel,
+    /// Accuracy requirements `Θ_j` and per-task values.
+    pub requirements: RequirementConfig,
+}
+
+impl RoundTraceConfig {
+    /// A small trace for tests and examples: the small forum streamed in
+    /// rounds of 25 answers from a 40% warm-up snapshot, with requirements
+    /// scaled to the small forum's response density.
+    pub fn small() -> Self {
+        RoundTraceConfig {
+            stream: StreamConfig {
+                initial_fraction: 0.4,
+                batch_size: 25,
+                ..StreamConfig::small()
+            },
+            cost_model: CostModel::default(),
+            requirements: RequirementConfig {
+                theta_lo: 0.5,
+                theta_hi: 1.5,
+                ..RequirementConfig::default()
+            },
+        }
+    }
+
+    /// Validates the nested configurations.
+    ///
+    /// # Errors
+    /// Returns the first nested [`ValidationError`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        self.stream.validate()?;
+        self.cost_model.validate()?;
+        self.requirements.validate()
+    }
+}
+
+/// One worker's arrival in a round: the answers it offers to sell this
+/// round and its (truthful) declared price for the bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerOffer {
+    /// Global worker id.
+    pub worker: WorkerId,
+    /// Offered answers, ascending by task (each campaign answer is offered
+    /// in exactly one round).
+    pub answers: Vec<(TaskId, ValueId)>,
+    /// Declared price for the bundle.
+    pub price: f64,
+}
+
+impl WorkerOffer {
+    /// The offered task ids, ascending.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        self.answers.iter().map(|&(t, _)| t).collect()
+    }
+}
+
+/// A full online campaign trace: warm-up snapshot, per-round worker offers,
+/// and the auction substrate. Produced by [`RoundTrace::generate`]; the
+/// `rounds` field is deliberately plain data so adversarial tests can
+/// splice in empty rounds or reorder cohorts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Answers available before the first round (bootstraps reputation).
+    pub initial: Observations,
+    /// Per-round offers, grouped by worker, workers ascending.
+    pub rounds: Vec<Vec<WorkerOffer>>,
+    /// Private cost per worker over the full campaign range.
+    pub costs: Vec<f64>,
+    /// Accuracy requirement `Θ_j` per task.
+    pub requirements: Vec<f64>,
+    /// Value of each task to the platform.
+    pub task_values: Vec<f64>,
+    /// The underlying campaign (ground truth, profiles, full snapshot).
+    pub campaign: ForumData,
+}
+
+impl RoundTrace {
+    /// Generates a campaign and partitions it into round-aligned offers,
+    /// deterministically from `seed` (independent sub-seeds for the
+    /// arrival stream, the costs and the requirements, mirroring
+    /// [`crate::Scenario::generate`]).
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `config` fails validation.
+    pub fn generate(config: &RoundTraceConfig, seed: u64) -> Result<Self, ValidationError> {
+        config.validate()?;
+        let seeds = SeedStream::new(seed);
+        let stream = StreamData::generate(&config.stream, &mut seeds.rng(0))?;
+        let n = stream.campaign.observations.n_workers();
+        let m = stream.campaign.observations.n_tasks();
+        let costs = config.cost_model.sample_many(&mut seeds.rng(1), n);
+        let mut req_rng = seeds.rng(2);
+        let requirements = config.requirements.sample_requirements(&mut req_rng, m);
+        let task_values = config.requirements.sample_values(&mut req_rng, m);
+
+        let rounds = stream
+            .deltas
+            .iter()
+            .map(|delta| {
+                let mut answers: Vec<(WorkerId, TaskId, ValueId)> = delta.answers().to_vec();
+                answers.sort_unstable();
+                let mut offers: Vec<WorkerOffer> = Vec::new();
+                for (w, t, v) in answers {
+                    match offers.last_mut() {
+                        Some(offer) if offer.worker == w => offer.answers.push((t, v)),
+                        _ => offers.push(WorkerOffer {
+                            worker: w,
+                            answers: vec![(t, v)],
+                            price: costs[w.index()],
+                        }),
+                    }
+                }
+                offers
+            })
+            .collect();
+
+        Ok(RoundTrace {
+            initial: stream.initial,
+            rounds,
+            costs,
+            requirements,
+            task_values,
+            campaign: stream.campaign,
+        })
+    }
+
+    /// Number of rounds in the trace.
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of workers in the campaign universe (offer ids stay below
+    /// this, so it doubles as the streaming ingestion worker limit).
+    pub fn n_workers(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.requirements.len()
+    }
+
+    /// Total answers offered across all rounds (the initial snapshot is
+    /// not an offer — it is already the platform's).
+    pub fn total_offered_answers(&self) -> usize {
+        self.rounds.iter().flatten().map(|o| o.answers.len()).sum()
+    }
+
+    /// One round's offers flattened into an ingestion batch (what the
+    /// runtime pushes when *every* offer wins).
+    pub fn round_delta(&self, round: usize) -> SnapshotDelta {
+        SnapshotDelta::from_answers(
+            self.rounds[round]
+                .iter()
+                .flat_map(|o| o.answers.iter().map(move |&(t, v)| (o.worker, t, v)))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +400,70 @@ mod tests {
         let mut cfg = StreamConfig::small();
         cfg.initial_fraction = 1.5;
         assert!(StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+    }
+
+    #[test]
+    fn round_trace_partitions_offers_once() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 1).unwrap();
+        assert!(trace.n_rounds() > 0);
+        assert_eq!(
+            trace.initial.len() + trace.total_offered_answers(),
+            trace.campaign.observations.len(),
+            "every campaign answer is in the warm-up or exactly one offer"
+        );
+        assert_eq!(trace.costs.len(), trace.campaign.observations.n_workers());
+        assert_eq!(trace.requirements.len(), trace.n_tasks());
+        assert_eq!(trace.task_values.len(), trace.n_tasks());
+        for round in &trace.rounds {
+            for pair in round.windows(2) {
+                assert!(pair[0].worker < pair[1].worker, "offers sorted by worker");
+            }
+            for offer in round {
+                assert!(!offer.answers.is_empty());
+                assert_eq!(offer.price, trace.costs[offer.worker.index()], "truthful");
+                for pair in offer.answers.windows(2) {
+                    assert!(pair[0].0 < pair[1].0, "answers ascending by task");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trace_is_deterministic_and_seed_sensitive() {
+        let a = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+        let b = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+        let c = RoundTrace::generate(&RoundTraceConfig::small(), 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.rounds, c.rounds);
+    }
+
+    #[test]
+    fn round_delta_flattens_a_round() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 3).unwrap();
+        let delta = trace.round_delta(0);
+        assert_eq!(
+            delta.len(),
+            trace.rounds[0]
+                .iter()
+                .map(|o| o.answers.len())
+                .sum::<usize>()
+        );
+        // Replaying warm-up + every round's delta reconstructs the campaign
+        // snapshot's answers.
+        let mut obs = trace.initial.clone();
+        for r in 0..trace.n_rounds() {
+            obs = obs.apply_delta(&trace.round_delta(r)).unwrap();
+        }
+        assert_eq!(obs.len(), trace.campaign.observations.len());
+    }
+
+    #[test]
+    fn round_trace_rejects_invalid_config() {
+        let mut cfg = RoundTraceConfig::small();
+        cfg.stream.batch_size = 0;
+        assert!(RoundTrace::generate(&cfg, 1).is_err());
+        let mut cfg = RoundTraceConfig::small();
+        cfg.requirements.theta_lo = -1.0;
+        assert!(RoundTrace::generate(&cfg, 1).is_err());
     }
 }

@@ -1,0 +1,75 @@
+//! Online campaign runtime: rolling auction rounds driving streaming DATE.
+//!
+//! The paper presents one pass of the Fig. 1 loop — the platform
+//! publicizes tasks with accuracy requirements `Θ`, workers submit sealed
+//! bids `B_i = (T_i, b_i, D_i)`, truth discovery estimates accuracies
+//! (§III–IV), and the reverse auction selects and pays winners (§V). A
+//! production crowdsensing platform runs that loop *continuously*: worker
+//! cohorts arrive over time, reputations come from data already bought, and
+//! the campaign stops when the budget runs dry or every requirement is met.
+//!
+//! [`CampaignRuntime`] is that steady-state loop. Each round `r`:
+//!
+//! 1. **recruit** — the round's arriving cohort offers answer bundles at
+//!    bid prices ([`imc2_datagen::RoundTrace`]);
+//! 2. **auction** — the platform prices each offer with its *current*
+//!    accuracy estimates from the warm [`imc2_truth::DateStream`]
+//!    (reputation earned in earlier rounds; the `ε` prior for the unseen)
+//!    and runs the paper's greedy winner selection over the *residual*
+//!    requirement profile ([`imc2_auction::RoundInstance`],
+//!    [`imc2_auction::ReverseAuction::select`]);
+//! 3. **pay** — winners receive their critical payments
+//!    ([`imc2_auction::ReverseAuction::payments`]), accrued against the
+//!    campaign budget;
+//! 4. **collect** — the winners' bundles are ingested as a
+//!    [`imc2_common::SnapshotDelta`];
+//! 5. **truth discovery** — the stream refines incrementally from the
+//!    previous fixed point, updating every reputation for the next round.
+//!
+//! The loop stops when the budget cannot cover the next round's payments,
+//! every requirement is covered, a round cap is hit, or the trace ends
+//! ([`StopReason`]).
+//!
+//! # Warm by construction, bit-identical by guarantee
+//!
+//! The runtime's point is *reuse*: one [`imc2_truth::DateStream`] spans the
+//! whole campaign, so each round's refinement costs work proportional to
+//! the round's touched tasks instead of a cold Algorithm 1 run. Because the
+//! stream's incremental maintenance is exact, the warm runtime is
+//! **bit-identical** to a reference driver that rebuilds the dependence
+//! engine before every round ([`CampaignRuntime::run_reference`]) —
+//! property-tested in `tests/rolling_equivalence.rs` under both feature
+//! states, and measured (with per-stage latencies) by the `perf_pipeline`
+//! bench. A [`imc2_truth::CompactionPolicy`] hook bounds cache slack on
+//! unbounded streams without perturbing a single bit.
+//!
+//! The batch mechanism is the degenerate case: [`one_shot`] runs the same
+//! construction with a single round holding every worker's full bundle,
+//! the full requirement profile and strict infeasibility/monopolist
+//! handling — `imc2_core::Campaign` delegates through it, so the batch and
+//! rolling code paths cannot drift apart.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_datagen::{RoundTrace, RoundTraceConfig};
+//! use imc2_pipeline::{CampaignRuntime, PipelineConfig, StopReason};
+//!
+//! # fn main() -> Result<(), imc2_auction::AuctionError> {
+//! let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+//! let runtime = CampaignRuntime::new(PipelineConfig {
+//!     budget: Some(400.0),
+//!     ..PipelineConfig::default()
+//! });
+//! let outcome = runtime.run(&trace)?;
+//! assert!(outcome.total_payment <= 400.0 + 1e-9, "budget is never overspent");
+//! assert!(!outcome.rounds.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod report;
+pub mod runtime;
+
+pub use report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
+pub use runtime::{one_shot, CampaignRuntime, OneShotOutcome, PipelineConfig};

@@ -1,0 +1,135 @@
+//! Round-by-round and cumulative accounting of a rolling campaign.
+
+use imc2_common::{Grid, TaskId, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Residual mass below which a task counts as covered — matches the
+/// auction's internal tolerance. Shared by the runtime's coverage
+/// bookkeeping and [`RollingOutcome::uncovered_tasks`] so the two can
+/// never disagree about sub-tolerance residuals.
+pub(crate) const COVER_TOL: f64 = 1e-9;
+
+/// Why the campaign loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The next round's critical payments would have exceeded the
+    /// remaining budget; the round was not executed, so the budget is
+    /// never overspent.
+    BudgetExhausted,
+    /// Every task's accuracy requirement is covered.
+    AllCovered,
+    /// The configured round cap was reached.
+    MaxRounds,
+    /// The arrival trace ran out of rounds.
+    TraceExhausted,
+}
+
+/// The measured result of one executed round (mirrors the fields of the
+/// batch `CampaignReport`, per round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index in the trace (0-based).
+    pub round: usize,
+    /// Workers that arrived with offers this round.
+    pub n_bidders: usize,
+    /// Auction winners (global ids, ascending; empty for idle rounds).
+    pub winners: Vec<WorkerId>,
+    /// Winners that are injected copiers (their win share is the paper's
+    /// copier-suppression metric).
+    pub n_copier_winners: usize,
+    /// Total critical payments disbursed this round.
+    pub payment: f64,
+    /// `Σ c_i` of the winners under their true costs.
+    pub social_cost: f64,
+    /// Minimum winner utility (`payment − cost`); 0.0 for idle rounds.
+    pub min_winner_utility: f64,
+    /// Answers ingested from the winners' bundles.
+    pub ingested_answers: usize,
+    /// Fixed-point iterations the streaming refinement took.
+    pub refine_iterations: usize,
+    /// Truth-discovery precision against the latent ground truth after
+    /// this round's refinement.
+    pub precision: f64,
+    /// Tasks whose requirement became covered during this round.
+    pub newly_covered_tasks: usize,
+    /// Platform value of the newly covered tasks (their task values are
+    /// earned exactly once, when coverage completes).
+    pub new_value_covered: f64,
+    /// Cumulative covered tasks after this round.
+    pub covered_tasks: usize,
+    /// Positive-residual tasks this round's cohort could not cover
+    /// (deferred to later rounds).
+    pub deferred_tasks: usize,
+}
+
+/// Wall-clock seconds spent in each stage of the loop, summed over the
+/// campaign — the end-to-end latency budget the ROADMAP asked for. Stage
+/// timings never influence results; two runs with different timings but
+/// equal inputs produce bit-identical records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Reputation lookup, round-instance construction and winner selection.
+    pub auction_s: f64,
+    /// Critical-payment determination.
+    pub payment_s: f64,
+    /// Snapshot delta construction and `DateStream::push`.
+    pub ingest_s: f64,
+    /// Streaming refinement (plus engine rebuilds in the reference driver
+    /// and any policy-triggered compaction).
+    pub refine_s: f64,
+}
+
+impl StageTimings {
+    /// Total across all stages.
+    pub fn total_s(&self) -> f64 {
+        self.auction_s + self.payment_s + self.ingest_s + self.refine_s
+    }
+}
+
+/// Everything a finished rolling campaign produced.
+#[derive(Debug, Clone)]
+pub struct RollingOutcome {
+    /// One record per executed round, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+    /// Total payments across all rounds.
+    pub total_payment: f64,
+    /// Total true cost of all winners.
+    pub total_social_cost: f64,
+    /// Budget minus payments, when a budget was configured.
+    pub budget_remaining: Option<f64>,
+    /// The final truth estimate.
+    pub final_estimate: Vec<Option<ValueId>>,
+    /// The final accuracy matrix (over the stream's worker range).
+    pub final_accuracy: Grid<f64>,
+    /// Precision of the final estimate.
+    pub final_precision: f64,
+    /// The residual requirement profile at stop time.
+    pub residual: Vec<f64>,
+    /// Tasks covered at stop time.
+    pub covered_tasks: usize,
+    /// Refinement iterations summed over the campaign (including the
+    /// warm-up refinement).
+    pub total_refine_iterations: usize,
+    /// Per-stage wall-clock totals.
+    pub timings: StageTimings,
+}
+
+impl RollingOutcome {
+    /// Tasks still uncovered at stop time, ascending.
+    pub fn uncovered_tasks(&self) -> Vec<TaskId> {
+        self.residual
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > COVER_TOL)
+            .map(|(j, _)| TaskId(j))
+            .collect()
+    }
+
+    /// Total winners across rounds (a worker winning in several rounds is
+    /// counted once per win, matching per-round payment accounting).
+    pub fn total_winner_slots(&self) -> usize {
+        self.rounds.iter().map(|r| r.winners.len()).sum()
+    }
+}

@@ -1,0 +1,589 @@
+//! The rolling campaign loop and the one-shot (batch) degenerate case.
+
+use crate::report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
+use imc2_auction::{
+    AuctionError, AuctionOutcome, ReverseAuction, RoundBid, RoundInstance, UncoverablePolicy,
+};
+use imc2_common::logprob::clamp_prob;
+use imc2_common::{SnapshotDelta, TaskId, WorkerId};
+use imc2_datagen::{RoundTrace, Scenario, WorkerOffer};
+use imc2_truth::{
+    accuracy_for_auction, CompactionPolicy, Date, DateStream, TruthOutcome, TruthProblem,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+pub(crate) use crate::report::COVER_TOL;
+
+/// How a round's refinement treats the streaming state (see the three
+/// `CampaignRuntime::run*` entry points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefineMode {
+    /// Production: one warm stream spans every round.
+    Warm,
+    /// Correctness reference: warm state, engine rebuilt every round.
+    RebuildEngine,
+    /// Perf baseline: full cold DATE on the snapshot every round.
+    ColdRestart,
+}
+
+/// Configuration of the online campaign runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Truth-discovery configuration driving the warm stream.
+    pub date: Date,
+    /// Campaign budget; `None` is unbounded. The loop stops *before* any
+    /// round whose critical payments would overspend it.
+    pub budget: Option<f64>,
+    /// Maximum rounds to execute; `None` runs the whole trace.
+    pub max_rounds: Option<usize>,
+    /// Monopolist handling for round auctions: `Some(cap)` pays a
+    /// monopolist `cap × bid` ([`ReverseAuction::with_monopoly_cap`]);
+    /// `None` aborts the campaign with [`AuctionError::Monopolist`].
+    /// Small arriving cohorts make monopolists routine, so the default
+    /// caps.
+    pub monopoly_cap: Option<f64>,
+    /// Slack-reclaim policy consulted after every refinement; `None`
+    /// never compacts.
+    pub compaction: Option<CompactionPolicy>,
+}
+
+impl Default for PipelineConfig {
+    /// Paper DATE, unbounded budget, whole trace, 3× monopoly cap, default
+    /// compaction policy.
+    fn default() -> Self {
+        PipelineConfig {
+            date: Date::paper(),
+            budget: None,
+            max_rounds: None,
+            monopoly_cap: Some(3.0),
+            compaction: Some(CompactionPolicy::default()),
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn auction(&self) -> ReverseAuction {
+        match self.monopoly_cap {
+            Some(cap) => ReverseAuction::with_monopoly_cap(cap),
+            None => ReverseAuction::new(),
+        }
+    }
+}
+
+/// The online campaign runtime. See the [crate docs](crate) for the loop.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRuntime {
+    config: PipelineConfig,
+}
+
+impl CampaignRuntime {
+    /// A runtime with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        CampaignRuntime { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the campaign with the warm streaming engine — the production
+    /// path: one [`DateStream`] spans every round.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError::Monopolist`] when a round produces an
+    /// uncapped monopolist (configure [`PipelineConfig::monopoly_cap`] to
+    /// cap instead).
+    pub fn run(&self, trace: &RoundTrace) -> Result<RollingOutcome, AuctionError> {
+        self.run_inner(trace, RefineMode::Warm)
+    }
+
+    /// The rebuild reference driver: identical loop and identical
+    /// warm-start state, but the dependence engine is rebuilt from scratch
+    /// before every round's refinement. This is the correctness baseline —
+    /// the warm path is property-tested **bit-identical** to it
+    /// (`tests/rolling_equivalence.rs`).
+    ///
+    /// # Errors
+    /// As [`CampaignRuntime::run`].
+    pub fn run_reference(&self, trace: &RoundTrace) -> Result<RollingOutcome, AuctionError> {
+        self.run_inner(trace, RefineMode::RebuildEngine)
+    }
+
+    /// The cold-DATE baseline driver: every round runs truth discovery
+    /// from scratch on the grown snapshot — fresh engine, majority-voting
+    /// estimate, flat `ε` accuracies — i.e. the system one would build
+    /// *without* streaming DATE. Unlike [`CampaignRuntime::run_reference`]
+    /// this is **not** bit-identical to the warm runtime (Algorithm 1
+    /// fixed points are not unique, and each round re-approaches one from
+    /// cold), so it serves only as the `perf_pipeline` latency baseline;
+    /// its campaign is still deterministic and valid.
+    ///
+    /// # Errors
+    /// As [`CampaignRuntime::run`].
+    pub fn run_cold_baseline(&self, trace: &RoundTrace) -> Result<RollingOutcome, AuctionError> {
+        self.run_inner(trace, RefineMode::ColdRestart)
+    }
+
+    fn run_inner(
+        &self,
+        trace: &RoundTrace,
+        mode: RefineMode,
+    ) -> Result<RollingOutcome, AuctionError> {
+        let cfg = &self.config;
+        let auction = cfg.auction();
+        let epsilon = clamp_prob(cfg.date.config().epsilon);
+        let n_workers = trace.n_workers();
+        let copiers: std::collections::HashSet<WorkerId> = trace
+            .campaign
+            .profiles
+            .iter()
+            .filter(|p| p.is_copier())
+            .map(|p| p.worker)
+            .collect();
+
+        let mut timings = StageTimings::default();
+        let mut stream = DateStream::new(
+            &cfg.date,
+            trace.initial.clone(),
+            trace.campaign.num_false.clone(),
+        )
+        .expect("round traces carry consistent snapshots");
+        // Stray ids in a malformed trace fail fast instead of growing
+        // every per-worker buffer.
+        stream.set_worker_limit(Some(n_workers));
+
+        // Warm-up refinement: reputation for round 0 comes from the
+        // initial snapshot (or stays at the ε prior when it is empty).
+        let t = Instant::now();
+        let mut refine_iterations = stream.refine().iterations;
+        timings.refine_s += t.elapsed().as_secs_f64();
+
+        let mut residual = trace.requirements.clone();
+        let mut covered: Vec<bool> = residual.iter().map(|&r| r <= COVER_TOL).collect();
+        let mut covered_tasks = covered.iter().filter(|&&c| c).count();
+        let mut rounds: Vec<RoundRecord> = Vec::new();
+        let mut total_payment = 0.0;
+        let mut total_social_cost = 0.0;
+        let mut stop = StopReason::TraceExhausted;
+
+        for (round, offers) in trace.rounds.iter().enumerate() {
+            if cfg.max_rounds.is_some_and(|cap| rounds.len() >= cap) {
+                stop = StopReason::MaxRounds;
+                break;
+            }
+
+            // Stage 1 — auction: live reputations → round instance →
+            // greedy winner selection.
+            let t = Instant::now();
+            let reputation = reputations(&stream, offers, epsilon);
+            let bids: Vec<RoundBid> = offers
+                .iter()
+                .map(|o| RoundBid {
+                    worker: o.worker,
+                    tasks: o.tasks(),
+                    price: o.price,
+                })
+                .collect();
+            let instance = RoundInstance::build(
+                &bids,
+                &|w, _| reputation[&w],
+                &residual,
+                UncoverablePolicy::Defer,
+            )
+            .expect("generated round offers are valid");
+            let selected = match &instance {
+                Some(inst) => auction
+                    .select(inst.soac())
+                    .expect("deferred instances are feasible by construction"),
+                None => Vec::new(),
+            };
+            timings.auction_s += t.elapsed().as_secs_f64();
+
+            // Stage 2 — payment: critical values, gated by the budget.
+            let t = Instant::now();
+            let local_payments = match (&instance, selected.is_empty()) {
+                (Some(inst), false) => auction.payments(inst.soac(), &selected)?,
+                _ => Vec::new(),
+            };
+            let round_payment: f64 = local_payments.iter().sum();
+            timings.payment_s += t.elapsed().as_secs_f64();
+            if cfg
+                .budget
+                .is_some_and(|b| total_payment + round_payment > b + COVER_TOL)
+            {
+                // The round is abandoned unexecuted: winners unpaid, data
+                // not ingested, residual untouched.
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+
+            // Stage 3 — ingest: the winners' bundles enter the snapshot.
+            let t = Instant::now();
+            let inst = instance.as_ref();
+            let winners: Vec<WorkerId> = inst
+                .map(|i| i.global_winners(&selected))
+                .unwrap_or_default();
+            let delta = winning_bundle(offers, &winners);
+            let ingested_answers = delta.len();
+            if !delta.is_empty() {
+                stream
+                    .push(&delta)
+                    .expect("trace answers are unique and in range");
+            }
+            timings.ingest_s += t.elapsed().as_secs_f64();
+
+            // Stage 4 — truth discovery: incremental refinement (the
+            // reference driver pays a full engine rebuild first).
+            let t = Instant::now();
+            // Idle rounds (no winners, nothing ingested) skip refinement —
+            // the stream is already at a fixed point of an unchanged
+            // snapshot, in every driver mode.
+            let iterations = if ingested_answers > 0 {
+                match mode {
+                    RefineMode::Warm => {}
+                    RefineMode::RebuildEngine => stream.rebuild_engine(),
+                    RefineMode::ColdRestart => {
+                        stream = DateStream::new(
+                            &cfg.date,
+                            stream.observations().clone(),
+                            trace.campaign.num_false.clone(),
+                        )
+                        .expect("round traces carry consistent snapshots");
+                        stream.set_worker_limit(Some(n_workers));
+                    }
+                }
+                stream.refine().iterations
+            } else {
+                0
+            };
+            if let Some(policy) = &cfg.compaction {
+                stream.compact(policy);
+            }
+            timings.refine_s += t.elapsed().as_secs_f64();
+            refine_iterations += iterations;
+
+            // Bookkeeping: payments, coverage, the round record.
+            if let Some(inst) = inst {
+                inst.apply_coverage(&selected, &mut residual);
+            }
+            let mut newly_covered_tasks = 0usize;
+            let mut new_value_covered = 0.0;
+            for (j, c) in covered.iter_mut().enumerate() {
+                if !*c && residual[j] <= COVER_TOL {
+                    *c = true;
+                    newly_covered_tasks += 1;
+                    new_value_covered += trace.task_values[j];
+                }
+            }
+            covered_tasks += newly_covered_tasks;
+            let social_cost: f64 = winners.iter().map(|w| trace.costs[w.index()]).sum();
+            let min_winner_utility = winners
+                .iter()
+                .zip(&selected)
+                .map(|(w, &l)| local_payments[l.index()] - trace.costs[w.index()])
+                .fold(f64::INFINITY, f64::min);
+            total_payment += round_payment;
+            total_social_cost += social_cost;
+            rounds.push(RoundRecord {
+                round,
+                n_bidders: offers.len(),
+                n_copier_winners: winners.iter().filter(|w| copiers.contains(w)).count(),
+                winners,
+                payment: round_payment,
+                social_cost,
+                min_winner_utility: if min_winner_utility.is_finite() {
+                    min_winner_utility
+                } else {
+                    0.0
+                },
+                ingested_answers,
+                refine_iterations: iterations,
+                precision: imc2_truth::precision(stream.estimate(), &trace.campaign.ground_truth),
+                newly_covered_tasks,
+                new_value_covered,
+                covered_tasks,
+                deferred_tasks: inst.map_or(0, |i| i.deferred_tasks().len()),
+            });
+
+            if covered_tasks == trace.n_tasks() {
+                stop = StopReason::AllCovered;
+                break;
+            }
+        }
+
+        let final_precision =
+            imc2_truth::precision(stream.estimate(), &trace.campaign.ground_truth);
+        Ok(RollingOutcome {
+            rounds,
+            stop,
+            total_payment,
+            total_social_cost,
+            budget_remaining: cfg.budget.map(|b| b - total_payment),
+            final_estimate: stream.estimate().to_vec(),
+            final_accuracy: stream.accuracy().clone(),
+            final_precision,
+            residual,
+            covered_tasks,
+            total_refine_iterations: refine_iterations,
+            timings,
+        })
+    }
+}
+
+/// The platform's accuracy estimate of one worker for auction pricing:
+/// the mean of the worker's accuracy over its answered tasks (under the
+/// default `PerWorker` pooling this *is* the pooled reputation), or the
+/// clamped `ε` prior for workers the stream has not seen answer yet.
+fn reputation_of(stream: &DateStream, worker: WorkerId, epsilon: f64) -> f64 {
+    let obs = stream.observations();
+    if worker.index() < obs.n_workers() {
+        let rows = obs.tasks_of_worker(worker);
+        if !rows.is_empty() {
+            let acc = stream.accuracy();
+            let sum: f64 = rows.iter().map(|&(t, _)| acc[(worker, t)]).sum();
+            return clamp_prob(sum / rows.len() as f64);
+        }
+    }
+    epsilon
+}
+
+/// Reputations of exactly this round's bidders (only they are priced, so
+/// the sweep stays proportional to the cohort, not the campaign universe).
+fn reputations(
+    stream: &DateStream,
+    offers: &[WorkerOffer],
+    epsilon: f64,
+) -> std::collections::HashMap<WorkerId, f64> {
+    offers
+        .iter()
+        .map(|o| (o.worker, reputation_of(stream, o.worker, epsilon)))
+        .collect()
+}
+
+/// The ingestion batch of a round: the full offered bundles of the winning
+/// workers. `winners` come from the round instance, whose bidders were
+/// built from `offers`, but the offer list's order is caller-controlled
+/// (adversarial tests reorder cohorts) — so match by scan, not by sort
+/// order.
+fn winning_bundle(offers: &[WorkerOffer], winners: &[WorkerId]) -> SnapshotDelta {
+    let mut answers = Vec::new();
+    for &w in winners {
+        let offer = offers
+            .iter()
+            .find(|o| o.worker == w)
+            .expect("winners come from this round's offers");
+        answers.extend(offer.answers.iter().map(|&(t, v)| (w, t, v)));
+    }
+    SnapshotDelta::from_answers(answers)
+}
+
+/// Result of the batch (single-round) path: exactly what the paper's
+/// one-shot mechanism produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneShotOutcome {
+    /// Truth-discovery output (estimate + accuracy matrix).
+    pub truth: TruthOutcome,
+    /// Auction output in campaign coordinates.
+    pub auction: AuctionOutcome,
+}
+
+/// The batch mechanism as a single runtime round: every worker offers its
+/// full answered bundle at its scenario bid, the data is already ingested
+/// (truth discovery runs first, exactly like §II-A's mechanism order), the
+/// requirement profile is the full `Θ`, uncoverable tasks are *not*
+/// deferred, and monopolist handling is whatever `auction` says.
+///
+/// With the identity worker/task mapping this builds the *same*
+/// [`imc2_auction::SoacProblem`] as the batch mechanism, so
+/// `imc2_core::Campaign` delegates here — batch and rolling campaigns
+/// share one construction path and cannot drift apart.
+///
+/// # Errors
+/// Returns [`AuctionError::Infeasible`] / [`AuctionError::Monopolist`]
+/// exactly as the batch mechanism does.
+pub fn one_shot(
+    date: &Date,
+    auction: &ReverseAuction,
+    scenario: &Scenario,
+) -> Result<OneShotOutcome, AuctionError> {
+    let mut stream = DateStream::new(
+        date,
+        scenario.observations.clone(),
+        scenario.num_false.clone(),
+    )
+    .expect("scenario dimensions are consistent by construction");
+    // A fresh stream's first refinement is bit-identical to batch DATE
+    // (same initialization, same fixed-point loop).
+    let truth = stream.refine();
+
+    let problem = TruthProblem::new(&scenario.observations, &scenario.num_false)
+        .expect("scenario dimensions are consistent by construction");
+    let masked = accuracy_for_auction(&problem, &truth.accuracy);
+    let offers: Vec<RoundBid> = (0..scenario.n_workers())
+        .map(|k| {
+            let w = WorkerId(k);
+            RoundBid {
+                worker: w,
+                tasks: scenario.task_set(w),
+                price: scenario.bids[k],
+            }
+        })
+        .collect();
+    let instance = RoundInstance::build(
+        &offers,
+        &|w, t: TaskId| masked[(w, t)],
+        &scenario.requirements,
+        UncoverablePolicy::Strict,
+    )
+    .expect("scenario bids are valid");
+    let auction_outcome = match instance {
+        Some(inst) => {
+            let selected = auction.select(inst.soac())?;
+            let payments_local = auction.payments(inst.soac(), &selected)?;
+            let winners = inst.global_winners(&selected);
+            let mut payments = vec![0.0; scenario.n_workers()];
+            for &l in &selected {
+                payments[inst.global_worker(l).index()] = payments_local[l.index()];
+            }
+            AuctionOutcome { winners, payments }
+        }
+        // Degenerate: no workers or no positive requirement — nothing to
+        // buy (unreachable for generated scenarios).
+        None => AuctionOutcome {
+            winners: Vec::new(),
+            payments: vec![0.0; scenario.n_workers()],
+        },
+    };
+    Ok(OneShotOutcome {
+        truth,
+        auction: auction_outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_datagen::RoundTraceConfig;
+
+    fn trace(seed: u64) -> RoundTrace {
+        RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_and_accounts_consistently() {
+        let t = trace(1);
+        let out = CampaignRuntime::default().run(&t).unwrap();
+        assert!(!out.rounds.is_empty());
+        let sum_pay: f64 = out.rounds.iter().map(|r| r.payment).sum();
+        assert!((sum_pay - out.total_payment).abs() < 1e-9);
+        let sum_cost: f64 = out.rounds.iter().map(|r| r.social_cost).sum();
+        assert!((sum_cost - out.total_social_cost).abs() < 1e-9);
+        assert!(out.total_payment >= out.total_social_cost - 1e-9, "IR");
+        assert!(
+            out.final_precision > 0.4,
+            "precision {}",
+            out.final_precision
+        );
+        assert_eq!(
+            out.covered_tasks,
+            out.residual.iter().filter(|&&r| r <= COVER_TOL).count()
+        );
+        assert_eq!(out.uncovered_tasks().len(), t.n_tasks() - out.covered_tasks);
+        // Winners pay-per-round accounting matches winner slots.
+        for r in &out.rounds {
+            assert!(r.n_copier_winners <= r.winners.len());
+            assert!(r.min_winner_utility >= -1e-9, "IR per round");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let t = trace(2);
+        let runtime = CampaignRuntime::default();
+        let a = runtime.run(&t).unwrap();
+        let b = runtime.run(&t).unwrap();
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.final_estimate, b.final_estimate);
+        assert_eq!(a.stop, b.stop);
+    }
+
+    #[test]
+    fn budget_is_never_overspent() {
+        let t = trace(3);
+        let unbounded = CampaignRuntime::default().run(&t).unwrap();
+        assert!(unbounded.total_payment > 0.0);
+        // A budget below the unbounded spend must stop the loop early,
+        // strictly within budget.
+        let budget = unbounded.total_payment * 0.4;
+        let runtime = CampaignRuntime::new(PipelineConfig {
+            budget: Some(budget),
+            ..PipelineConfig::default()
+        });
+        let out = runtime.run(&t).unwrap();
+        assert_eq!(out.stop, StopReason::BudgetExhausted);
+        assert!(out.total_payment <= budget + 1e-9);
+        assert_eq!(out.budget_remaining.unwrap(), budget - out.total_payment);
+        assert!(out.rounds.len() < unbounded.rounds.len());
+    }
+
+    #[test]
+    fn max_rounds_caps_the_loop() {
+        let t = trace(4);
+        let runtime = CampaignRuntime::new(PipelineConfig {
+            max_rounds: Some(2),
+            ..PipelineConfig::default()
+        });
+        let out = runtime.run(&t).unwrap();
+        assert_eq!(out.rounds.len(), 2);
+        assert_eq!(out.stop, StopReason::MaxRounds);
+    }
+
+    #[test]
+    fn coverage_progress_is_monotone() {
+        let t = trace(5);
+        let out = CampaignRuntime::default().run(&t).unwrap();
+        let mut last = 0usize;
+        for r in &out.rounds {
+            assert!(r.covered_tasks >= last);
+            last = r.covered_tasks;
+        }
+        assert_eq!(out.covered_tasks, last.max(out.covered_tasks));
+        if out.stop == StopReason::AllCovered {
+            assert_eq!(out.covered_tasks, t.n_tasks());
+        }
+    }
+
+    #[test]
+    fn cold_baseline_runs_a_valid_campaign() {
+        let t = trace(6);
+        let cold = CampaignRuntime::default().run_cold_baseline(&t).unwrap();
+        assert!(!cold.rounds.is_empty());
+        assert!(cold.final_precision > 0.4);
+        assert!(cold.total_payment >= cold.total_social_cost - 1e-9);
+        // Cold restarts re-approach a fixed point from majority voting
+        // every round, so the campaign burns far more iterations than the
+        // warm stream does.
+        let warm = CampaignRuntime::default().run(&t).unwrap();
+        assert!(
+            cold.total_refine_iterations > warm.total_refine_iterations,
+            "cold {} should out-iterate warm {}",
+            cold.total_refine_iterations,
+            warm.total_refine_iterations
+        );
+        // Determinism holds for the baseline too.
+        let again = CampaignRuntime::default().run_cold_baseline(&t).unwrap();
+        assert_eq!(cold.rounds, again.rounds);
+    }
+
+    #[test]
+    fn one_shot_handles_degenerate_scenarios() {
+        use imc2_datagen::ScenarioConfig;
+        let s = Scenario::generate(&ScenarioConfig::small(), 9);
+        let out = one_shot(&Date::paper(), &ReverseAuction::new(), &s).unwrap();
+        assert!(!out.auction.winners.is_empty());
+        assert_eq!(out.truth.estimate.len(), s.n_tasks());
+        assert_eq!(out.auction.payments.len(), s.n_workers());
+    }
+}

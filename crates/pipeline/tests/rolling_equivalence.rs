@@ -1,0 +1,186 @@
+//! Warm-runtime ⇔ cold-reference equivalence: the production loop reusing
+//! one `DateStream` across rounds must match, bit for bit, the reference
+//! driver that rebuilds the dependence engine before every round's
+//! refinement — across adversarial traces: empty rounds, workers joining
+//! mid-campaign (empty warm-up snapshot), budget exhaustion mid-campaign,
+//! round caps and forced compaction. Runs under both feature states via
+//! the CI matrix.
+
+use imc2_datagen::{RoundTrace, RoundTraceConfig, StreamConfig};
+use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StopReason};
+use imc2_truth::CompactionPolicy;
+use proptest::prelude::*;
+
+fn assert_outcomes_bit_identical(a: &RollingOutcome, b: &RollingOutcome, context: &str) {
+    assert_eq!(a.stop, b.stop, "{context}: stop reason");
+    assert_eq!(a.rounds, b.rounds, "{context}: round records");
+    assert_eq!(a.final_estimate, b.final_estimate, "{context}: estimates");
+    assert_eq!(a.covered_tasks, b.covered_tasks, "{context}: coverage");
+    assert_eq!(
+        a.total_refine_iterations, b.total_refine_iterations,
+        "{context}: iterations"
+    );
+    assert_eq!(
+        a.total_payment.to_bits(),
+        b.total_payment.to_bits(),
+        "{context}: payments"
+    );
+    let (sa, sb) = (a.final_accuracy.as_slice(), b.final_accuracy.as_slice());
+    assert_eq!(sa.len(), sb.len(), "{context}: accuracy shape");
+    for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{context}: accuracy cell {i}: {x:e} vs {y:e}"
+        );
+    }
+    for (i, (x, y)) in a.residual.iter().zip(&b.residual).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{context}: residual {i}: {x:e} vs {y:e}"
+        );
+    }
+}
+
+fn check_trace(trace: &RoundTrace, config: PipelineConfig, context: &str) {
+    let runtime = CampaignRuntime::new(config);
+    let warm = runtime.run(trace).unwrap();
+    let cold = runtime.run_reference(trace).unwrap();
+    assert_outcomes_bit_identical(&warm, &cold, context);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated traces across warm-up fractions (0.0 forces every worker
+    /// to join mid-campaign) and round sizes, with and without a budget.
+    #[test]
+    fn warm_runtime_matches_cold_reference(
+        seed in 0u64..200,
+        frac_idx in 0usize..3,
+        batch_idx in 0usize..3,
+        budget_idx in 0usize..3,
+    ) {
+        let initial_fraction = [0.0f64, 0.15, 0.5][frac_idx];
+        let batch_size = [7usize, 25, 60][batch_idx];
+        let budget_factor = [None, Some(0.35f64), Some(0.8)][budget_idx];
+        let mut cfg = RoundTraceConfig::small();
+        cfg.stream = StreamConfig { initial_fraction, batch_size, ..cfg.stream };
+        let trace = RoundTrace::generate(&cfg, seed).unwrap();
+        let budget = budget_factor.map(|f| {
+            // Scale against the unbounded spend so Some(_) budgets really
+            // bite mid-campaign.
+            let full = CampaignRuntime::default().run(&trace).unwrap().total_payment;
+            (full * f).max(1.0)
+        });
+        let config = PipelineConfig { budget, ..PipelineConfig::default() };
+        check_trace(&trace, config, &format!(
+            "seed {seed} frac {initial_fraction} batch {batch_size} budget {budget:?}"
+        ));
+    }
+}
+
+#[test]
+fn empty_and_idle_rounds_are_equivalent() {
+    let mut trace = RoundTrace::generate(&RoundTraceConfig::small(), 11).unwrap();
+    // Splice empty rounds at the front, middle and back.
+    trace.rounds.insert(0, Vec::new());
+    let mid = trace.rounds.len() / 2;
+    trace.rounds.insert(mid, Vec::new());
+    trace.rounds.push(Vec::new());
+    check_trace(&trace, PipelineConfig::default(), "spliced empty rounds");
+
+    // A trace of only empty rounds runs zero auctions and stays at the
+    // warm-up estimate.
+    let mut idle = trace.clone();
+    idle.rounds = vec![Vec::new(); 4];
+    let out = CampaignRuntime::default().run(&idle).unwrap();
+    assert_eq!(out.stop, StopReason::TraceExhausted);
+    assert_eq!(out.total_payment, 0.0);
+    assert!(out.rounds.iter().all(|r| r.winners.is_empty()));
+    check_trace(&idle, PipelineConfig::default(), "all-idle trace");
+}
+
+#[test]
+fn reordered_cohorts_are_equivalent() {
+    // The trace's rounds are plain data; a caller may hand-build cohorts
+    // in any worker order. The runtime must not rely on sortedness.
+    let mut trace = RoundTrace::generate(&RoundTraceConfig::small(), 41).unwrap();
+    let baseline = CampaignRuntime::default().run(&trace).unwrap();
+    for round in &mut trace.rounds {
+        round.reverse();
+    }
+    let reordered = CampaignRuntime::default().run(&trace).unwrap();
+    // Same offers, same auction — order within a cohort is irrelevant.
+    assert_eq!(baseline.rounds, reordered.rounds);
+    check_trace(&trace, PipelineConfig::default(), "reversed cohorts");
+}
+
+#[test]
+fn workers_joining_mid_campaign_are_equivalent() {
+    // Cold open: nothing known before round 0, every worker id first
+    // appears mid-campaign and the accuracy buffers grow round by round.
+    let mut cfg = RoundTraceConfig::small();
+    cfg.stream.initial_fraction = 0.0;
+    cfg.stream.batch_size = 11;
+    for seed in [0u64, 1, 2] {
+        let trace = RoundTrace::generate(&cfg, seed).unwrap();
+        assert!(trace.initial.is_empty());
+        check_trace(
+            &trace,
+            PipelineConfig::default(),
+            &format!("cold-open seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_mid_campaign_is_equivalent() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 21).unwrap();
+    let full = CampaignRuntime::default().run(&trace).unwrap();
+    assert!(full.total_payment > 0.0);
+    for frac in [0.2, 0.5, 0.9] {
+        let config = PipelineConfig {
+            budget: Some(full.total_payment * frac),
+            ..PipelineConfig::default()
+        };
+        let runtime = CampaignRuntime::new(config.clone());
+        let out = runtime.run(&trace).unwrap();
+        assert_eq!(out.stop, StopReason::BudgetExhausted, "frac {frac}");
+        assert!(
+            out.total_payment <= full.total_payment * frac + 1e-9,
+            "frac {frac}: budget overspent"
+        );
+        check_trace(&trace, config, &format!("budget frac {frac}"));
+    }
+}
+
+#[test]
+fn max_rounds_and_forced_compaction_are_equivalent() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 31).unwrap();
+    check_trace(
+        &trace,
+        PipelineConfig {
+            max_rounds: Some(3),
+            ..PipelineConfig::default()
+        },
+        "max rounds",
+    );
+    // Compacting after every single round must change nothing.
+    check_trace(
+        &trace,
+        PipelineConfig {
+            compaction: Some(CompactionPolicy::always()),
+            ..PipelineConfig::default()
+        },
+        "forced compaction",
+    );
+    // And so must never compacting.
+    check_trace(
+        &trace,
+        PipelineConfig {
+            compaction: None,
+            ..PipelineConfig::default()
+        },
+        "no compaction",
+    );
+}

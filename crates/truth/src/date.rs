@@ -26,7 +26,9 @@
 
 use crate::accuracy::update_accuracy;
 use crate::dependence::{DependenceEngine, DependenceParams, DependencePosterior};
-use crate::independence::{enumerated_group_scores, greedy_group_scores, TaskIndependence};
+use crate::independence::{
+    enumerated_group_scores, greedy_group_scores_cached, GreedyOrderCache, TaskIndependence,
+};
 pub use crate::independence::{EdParams as EdConfig, SeedRule};
 use crate::nonuniform::FalseValueModel;
 use crate::posterior::value_posteriors_cached;
@@ -211,6 +213,8 @@ impl Date {
         };
         let mut versions =
             (cfg.granularity == AccuracyGranularity::PerWorker).then(|| PooledVersions::new(n));
+        let mut order_cache = matches!(cfg.independence, IndependenceMode::Greedy(_))
+            .then(|| GreedyOrderCache::new(m));
 
         let fp = refine_fixed_point(
             cfg,
@@ -220,6 +224,7 @@ impl Date {
             &mut accuracy,
             &mut et,
             versions.as_mut(),
+            order_cache.as_mut(),
             &mut last_dep,
         );
 
@@ -260,6 +265,7 @@ pub(crate) fn refine_fixed_point(
     accuracy: &mut Grid<f64>,
     et: &mut Vec<Option<ValueId>>,
     mut versions: Option<&mut PooledVersions>,
+    mut order_cache: Option<&mut GreedyOrderCache>,
     last_dep: &mut Option<crate::DependenceMatrix>,
 ) -> FixedPoint {
     let m = problem.n_tasks();
@@ -289,12 +295,41 @@ pub(crate) fn refine_fixed_point(
                         &cfg.dependence_params(),
                         versions.as_deref().map(PooledVersions::versions),
                     );
-                let scores = crate::par::map_tasks(m, |j| {
-                    groups[j]
-                        .iter()
-                        .map(|(v, ws)| (*v, greedy_group_scores(ws, &dep, cfg.r, seed_rule)))
-                        .collect()
-                });
+                let scores = match order_cache.as_deref_mut() {
+                    // Per-group visiting orders survive across iterations;
+                    // a group re-sorts only when its dependence entries
+                    // changed (self-validating, bit-identical — see
+                    // `greedy_group_scores_cached`).
+                    Some(cache) => {
+                        let task_slots = cache.task_slots(m);
+                        crate::par::map_tasks_with(m, task_slots, |j, slots| {
+                            let tg = &groups[j];
+                            slots.resize_with(tg.len(), || None);
+                            tg.iter()
+                                .zip(slots.iter_mut())
+                                .map(|((v, ws), slot)| {
+                                    let scores = greedy_group_scores_cached(
+                                        ws, &dep, cfg.r, seed_rule, slot,
+                                    );
+                                    (*v, scores)
+                                })
+                                .collect()
+                        })
+                    }
+                    None => crate::par::map_tasks(m, |j| {
+                        groups[j]
+                            .iter()
+                            .map(|(v, ws)| {
+                                (
+                                    *v,
+                                    crate::independence::greedy_group_scores(
+                                        ws, &dep, cfg.r, seed_rule,
+                                    ),
+                                )
+                            })
+                            .collect()
+                    }),
+                };
                 *last_dep = Some(dep);
                 scores
             }

@@ -353,6 +353,28 @@ pub struct DependenceEngine {
     par_tuning: ParTuning,
 }
 
+/// Capacity bookkeeping of an engine's triple-aligned buffers
+/// ([`DependenceEngine::cache_slack`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSlack {
+    /// Live overlap triples (index and term cache are one-to-one).
+    pub n_triples: usize,
+    /// Allocated capacity of the index's triple buffer.
+    pub triple_capacity: usize,
+    /// Allocated capacity of the per-triple term cache.
+    pub term_capacity: usize,
+}
+
+impl EngineSlack {
+    /// Dead capacity as a fraction of the live triple count: the largest
+    /// buffer's unused tail over `n_triples` (0.0 when exact; unbounded for
+    /// a near-empty engine, which is why policies also carry a size floor).
+    pub fn slack_ratio(&self) -> f64 {
+        let cap = self.triple_capacity.max(self.term_capacity);
+        (cap - self.n_triples) as f64 / self.n_triples.max(1) as f64
+    }
+}
+
 /// Tuning of the `parallel` fan-out (see
 /// [`DependenceEngine::set_parallel_tuning`]).
 #[cfg(feature = "parallel")]
@@ -418,6 +440,18 @@ impl DependenceEngine {
     /// The overlap index the engine runs on.
     pub fn index(&self) -> &PairOverlapIndex {
         &self.index
+    }
+
+    /// Size accounting of the triple-aligned caches, for streaming
+    /// compaction decisions (see [`crate::stream::CompactionPolicy`]): the
+    /// live triple count against the capacities the index splices and term
+    /// splices have grown to. A freshly built engine has zero slack.
+    pub fn cache_slack(&self) -> EngineSlack {
+        EngineSlack {
+            n_triples: self.index.n_triples(),
+            triple_capacity: self.index.triple_capacity(),
+            term_capacity: self.terms.capacity(),
+        }
     }
 
     /// Overrides the parallel fan-out heuristics — primarily for tests and

@@ -41,7 +41,7 @@ pub type TaskIndependence = Vec<(ValueId, Vec<(WorkerId, f64)>)>;
 /// Greedy (Alg. 1) independence scores for one value group.
 ///
 /// `group` is the sorted supporter list `W_v^j`; returns `(worker, I)` pairs
-/// in the same order as `group`.
+/// in greedy visiting order (the seed worker first), not in `group` order.
 pub fn greedy_group_scores(
     group: &[WorkerId],
     dep: &DependenceMatrix,
@@ -60,9 +60,54 @@ pub fn greedy_group_scores(
 }
 
 /// The greedy visiting order of Alg. 1 lines 16–21.
+///
+/// `O(k²)`: each candidate's "strongest dependence on an already-selected
+/// worker" is maintained incrementally as a running maximum instead of
+/// being re-folded over the whole prefix at every step. The running
+/// maximum visits exactly the same operand set as the fold, and `f64::max`
+/// over clamped probabilities (no NaN, no −0.0) is order-insensitive in
+/// its result, so the produced order — including the strict-`>`
+/// first-scanned tie-break over candidates in group order — is
+/// bit-identical to the quadratic-rescan reference retained in the tests.
 fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule) -> Vec<WorkerId> {
     let k = group.len();
-    // Seed pick: extremal total dependence with every other group member.
+    let seed_idx = greedy_seed_index(group, dep, seed_rule);
+    let mut order = Vec::with_capacity(k);
+    order.push(group[seed_idx]);
+    // Per-candidate (group-position) strongest dependence on the selected
+    // prefix; candidates are scanned in group order, which is the order the
+    // reference's shrinking `remaining` vector preserves.
+    let mut best = vec![f64::NEG_INFINITY; k];
+    let mut used = vec![false; k];
+    used[seed_idx] = true;
+    let mut last = group[seed_idx];
+    for _ in 1..k {
+        let mut best_pos = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        for (pos, &cand) in group.iter().enumerate() {
+            if used[pos] {
+                continue;
+            }
+            let to_last = dep.prob(cand, last);
+            if to_last > best[pos] {
+                best[pos] = to_last;
+            }
+            if best[pos] > best_score {
+                best_score = best[pos];
+                best_pos = pos;
+            }
+        }
+        used[best_pos] = true;
+        last = group[best_pos];
+        order.push(last);
+    }
+    order
+}
+
+/// Line 16 seed pick: the group position with extremal total dependence
+/// against every other member.
+fn greedy_seed_index(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule) -> usize {
+    let k = group.len();
     let totals: Vec<f64> = group
         .iter()
         .map(|&i| {
@@ -73,7 +118,7 @@ fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule)
                 .sum()
         })
         .collect();
-    let seed_idx = match seed_rule {
+    match seed_rule {
         SeedRule::MinTotalDependence => {
             let mut best = 0;
             for k2 in 1..k {
@@ -92,31 +137,128 @@ fn greedy_order(group: &[WorkerId], dep: &DependenceMatrix, seed_rule: SeedRule)
             }
             best
         }
-    };
-    let mut order = vec![group[seed_idx]];
-    let mut remaining: Vec<WorkerId> = group
-        .iter()
-        .copied()
-        .filter(|&w| w != group[seed_idx])
-        .collect();
-    // Line 19: next is the remaining worker with the strongest dependence on
-    // any already-selected worker (ties to the smallest id via stable scan).
-    while !remaining.is_empty() {
-        let mut best_pos = 0;
-        let mut best_score = f64::NEG_INFINITY;
-        for (pos, &cand) in remaining.iter().enumerate() {
-            let score = order
-                .iter()
-                .map(|&sel| dep.prob(cand, sel))
-                .fold(f64::NEG_INFINITY, f64::max);
-            if score > best_score {
-                best_score = score;
-                best_pos = pos;
-            }
-        }
-        order.push(remaining.remove(best_pos));
     }
-    order
+}
+
+/// Cached greedy visiting order of one `(task, value)` supporter group,
+/// reused across fixed-point iterations (ROADMAP "greedy-order
+/// independence step" item).
+///
+/// The order is a pure function of the group members and the dependence
+/// submatrix they induce. Between iterations most of that submatrix is
+/// bitwise unchanged (the engine's term cache reproduces clean pairs'
+/// posteriors exactly), so the cache stores the members, the submatrix
+/// bits, and the order; [`greedy_group_scores_cached`] re-derives the order
+/// only when an entry actually changed — a conservative, exact
+/// over-approximation of "the group's dependence entries crossed" (entries
+/// may change value without crossing, costing a spurious `O(k²)` re-sort
+/// but never a wrong reuse). Membership changes (streaming appends) and
+/// seed-rule changes invalidate the slot the same way.
+#[derive(Debug, Clone)]
+pub struct GroupOrderCache {
+    seed_rule: SeedRule,
+    members: Vec<WorkerId>,
+    /// `dep.prob(a, b).to_bits()` for all ordered member pairs `a != b`,
+    /// row-major in member order (`k·(k−1)` entries).
+    dep_bits: Vec<u64>,
+    order: Vec<WorkerId>,
+}
+
+/// [`greedy_group_scores`] with order reuse: `slot` persists across calls
+/// (typically one slot per `(task, value)` group held by the DATE driver).
+///
+/// Bit-identical to the uncached path by construction — the cached order is
+/// only reused when every dependence entry of the group is bitwise
+/// unchanged, and the `I` scores are always recomputed from the current
+/// matrix (they are cheap `O(k²)` multiply-accumulates; the order
+/// derivation is what the cache elides).
+pub fn greedy_group_scores_cached(
+    group: &[WorkerId],
+    dep: &DependenceMatrix,
+    r: f64,
+    seed_rule: SeedRule,
+    slot: &mut Option<GroupOrderCache>,
+) -> Vec<(WorkerId, f64)> {
+    let k = group.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return vec![(group[0], 1.0)];
+    }
+    let reusable = match slot {
+        Some(cache) if cache.seed_rule == seed_rule && cache.members == group => {
+            // Refresh the stored bits while checking them; the loop runs to
+            // completion so the cache is coherent for the *next* call even
+            // when this one misses.
+            let mut same = true;
+            let mut idx = 0;
+            for &a in group {
+                for &b in group {
+                    if a == b {
+                        continue;
+                    }
+                    let bits = dep.prob(a, b).to_bits();
+                    if cache.dep_bits[idx] != bits {
+                        cache.dep_bits[idx] = bits;
+                        same = false;
+                    }
+                    idx += 1;
+                }
+            }
+            same
+        }
+        _ => {
+            let mut dep_bits = Vec::with_capacity(k * (k - 1));
+            for &a in group {
+                for &b in group {
+                    if a != b {
+                        dep_bits.push(dep.prob(a, b).to_bits());
+                    }
+                }
+            }
+            *slot = Some(GroupOrderCache {
+                seed_rule,
+                members: group.to_vec(),
+                dep_bits,
+                order: Vec::new(),
+            });
+            false
+        }
+    };
+    let cache = slot.as_mut().expect("slot filled above");
+    if !reusable {
+        cache.order = greedy_order(group, dep, seed_rule);
+    }
+    scores_for_order(&cache.order, dep, r)
+}
+
+/// Per-task greedy-order cache slots for a whole problem, aligned with the
+/// driver's cached [`imc2_common::TaskGroups`] (one slot per value group,
+/// in group order). Held across iterations by the batch DATE driver and
+/// across refinements by [`crate::DateStream`]; slots self-validate against
+/// membership and dependence changes, so no external invalidation is
+/// needed.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyOrderCache {
+    tasks: Vec<Vec<Option<GroupOrderCache>>>,
+}
+
+impl GreedyOrderCache {
+    /// An empty cache for `n_tasks` tasks.
+    pub fn new(n_tasks: usize) -> Self {
+        GreedyOrderCache {
+            tasks: (0..n_tasks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Mutable per-task slot lists, growing the task dimension if needed.
+    pub(crate) fn task_slots(&mut self, n_tasks: usize) -> &mut [Vec<Option<GroupOrderCache>>] {
+        if self.tasks.len() < n_tasks {
+            self.tasks.resize_with(n_tasks, Vec::new);
+        }
+        &mut self.tasks[..n_tasks]
+    }
 }
 
 /// `I` scores for a fixed visiting order (eq. 16): each worker's score is
@@ -351,5 +493,125 @@ mod tests {
         let dep = DependenceMatrix::constant(2, 0.2);
         assert!(greedy_group_scores(&[], &dep, 0.4, SeedRule::default()).is_empty());
         assert!(enumerated_group_scores(&[], &dep, 0.4, &EdParams::default(), 0).is_empty());
+    }
+
+    /// The pre-optimization `O(k³)` order construction, verbatim: re-folds
+    /// every candidate's score over the whole selected prefix each step and
+    /// removes picks from a shrinking `remaining` vector. Kept as the
+    /// semantic reference for the incremental rewrite.
+    fn greedy_order_reference(
+        group: &[WorkerId],
+        dep: &DependenceMatrix,
+        seed_rule: SeedRule,
+    ) -> Vec<WorkerId> {
+        let seed_idx = greedy_seed_index(group, dep, seed_rule);
+        let mut order = vec![group[seed_idx]];
+        let mut remaining: Vec<WorkerId> = group
+            .iter()
+            .copied()
+            .filter(|&w| w != group[seed_idx])
+            .collect();
+        while !remaining.is_empty() {
+            let mut best_pos = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for (pos, &cand) in remaining.iter().enumerate() {
+                let score = order
+                    .iter()
+                    .map(|&sel| dep.prob(cand, sel))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if score > best_score {
+                    best_score = score;
+                    best_pos = pos;
+                }
+            }
+            order.push(remaining.remove(best_pos));
+        }
+        order
+    }
+
+    /// A deterministic pseudo-random dependence matrix (no RNG dependency:
+    /// a splitmix64 hash of the pair id).
+    fn scrambled_dep(n: usize, salt: u64) -> DependenceMatrix {
+        let mut d = DependenceMatrix::constant(n, 0.1);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let mut z = salt ^ (((a as u64) << 32) | b as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                // Coarse quantization produces plenty of exact ties, which
+                // is where the tie-break equivalence actually bites.
+                let p = (z % 16) as f64 / 16.0 * 0.9 + 0.05;
+                d.set(WorkerId(a), WorkerId(b), p);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn incremental_order_matches_reference() {
+        for n in [2usize, 3, 5, 9, 14] {
+            for salt in 0..8u64 {
+                let dep = scrambled_dep(n, salt);
+                let group: Vec<WorkerId> = (0..n).map(WorkerId).collect();
+                for rule in [SeedRule::MinTotalDependence, SeedRule::MaxTotalDependence] {
+                    assert_eq!(
+                        greedy_order(&group, &dep, rule),
+                        greedy_order_reference(&group, &dep, rule),
+                        "n={n} salt={salt} rule={rule:?}"
+                    );
+                }
+                // Sparse subgroup too (non-contiguous ids).
+                let sub: Vec<WorkerId> = (0..n).step_by(2).map(WorkerId).collect();
+                if sub.len() >= 2 {
+                    assert_eq!(
+                        greedy_order(&sub, &dep, SeedRule::default()),
+                        greedy_order_reference(&sub, &dep, SeedRule::default()),
+                        "sub n={n} salt={salt}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_scores_match_uncached_across_mutations() {
+        let group: Vec<WorkerId> = (0..7).map(WorkerId).collect();
+        let mut slot = None;
+        for salt in 0..12u64 {
+            // Every other round reuses the same matrix, exercising the
+            // bitwise-unchanged reuse path; the rest force re-sorts.
+            let dep = scrambled_dep(7, salt / 2);
+            let fresh = greedy_group_scores(&group, &dep, 0.4, SeedRule::default());
+            let cached =
+                greedy_group_scores_cached(&group, &dep, 0.4, SeedRule::default(), &mut slot);
+            assert_eq!(fresh.len(), cached.len(), "salt {salt}");
+            for ((wf, sf), (wc, sc)) in fresh.iter().zip(&cached) {
+                assert_eq!(wf, wc, "salt {salt}");
+                assert_eq!(sf.to_bits(), sc.to_bits(), "salt {salt}: {sf:e} vs {sc:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_on_membership_and_rule_change() {
+        let dep = scrambled_dep(6, 3);
+        let mut slot = None;
+        let g1: Vec<WorkerId> = (0..5).map(WorkerId).collect();
+        let a = greedy_group_scores_cached(&g1, &dep, 0.4, SeedRule::default(), &mut slot);
+        assert_eq!(a, greedy_group_scores(&g1, &dep, 0.4, SeedRule::default()));
+        // Group grows (a streaming append added a supporter).
+        let g2: Vec<WorkerId> = (0..6).map(WorkerId).collect();
+        let b = greedy_group_scores_cached(&g2, &dep, 0.4, SeedRule::default(), &mut slot);
+        assert_eq!(b, greedy_group_scores(&g2, &dep, 0.4, SeedRule::default()));
+        // Seed rule flips.
+        let c = greedy_group_scores_cached(&g2, &dep, 0.4, SeedRule::MaxTotalDependence, &mut slot);
+        assert_eq!(
+            c,
+            greedy_group_scores(&g2, &dep, 0.4, SeedRule::MaxTotalDependence)
+        );
     }
 }

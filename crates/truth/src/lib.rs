@@ -106,12 +106,13 @@ pub mod voting;
 mod par;
 
 pub use date::{Date, DateConfig, EdConfig, IndependenceMode, SeedRule};
-pub use dependence::{DependenceEngine, DependenceMatrix, DependencePosterior};
+pub use dependence::{DependenceEngine, DependenceMatrix, DependencePosterior, EngineSlack};
+pub use independence::{GreedyOrderCache, GroupOrderCache};
 pub use nonuniform::FalseValueModel;
 pub use precision::precision;
 pub use problem::{TruthOutcome, TruthProblem};
 pub use similarity::Similarity;
-pub use stream::DateStream;
+pub use stream::{CompactionPolicy, DateStream};
 pub use voting::MajorityVoting;
 
 use imc2_common::Grid;

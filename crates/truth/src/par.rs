@@ -43,9 +43,55 @@ where
     (0..n).map(f).collect()
 }
 
+/// [`map_tasks`] with one mutable state slot per task (`state[i]` is handed
+/// to the closure computing slot `i`): serially in order by default, over
+/// scoped threads in contiguous chunks under `parallel`. State and output
+/// chunks are split identically, so each state slot is touched by exactly
+/// one closure invocation and results are bit-identical to the serial pass.
+pub(crate) fn map_tasks_with<T, S, F>(n: usize, state: &mut [S], f: F) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    assert_eq!(state.len(), n, "one state slot per task");
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        // Same work floor as `map_tasks`: micro-scale per-task closures
+        // cannot amortize a thread spawn below ~128 tasks per chunk.
+        let threads = threads.min(n / 128);
+        if threads > 1 {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for ((c, slice), states) in out
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .zip(state.chunks_mut(chunk))
+                {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for ((off, slot), s) in slice.iter_mut().enumerate().zip(states) {
+                            *slot = Some(f(c * chunk + off, s));
+                        }
+                    });
+                }
+            });
+            return out
+                .into_iter()
+                .map(|slot| slot.expect("every task slot filled"))
+                .collect();
+        }
+    }
+    state.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect()
+}
+
 #[cfg(test)]
 mod tests {
-    use super::map_tasks;
+    use super::{map_tasks, map_tasks_with};
 
     #[test]
     fn preserves_order_and_covers_range() {
@@ -59,5 +105,25 @@ mod tests {
     #[test]
     fn zero_tasks_is_empty() {
         assert!(map_tasks(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn stateful_map_updates_each_slot_once() {
+        let mut state = vec![0usize; 300];
+        let out = map_tasks_with(300, &mut state, |i, s| {
+            *s += i;
+            i * 3
+        });
+        for (i, (v, s)) in out.iter().zip(&state).enumerate() {
+            assert_eq!(*v, i * 3);
+            assert_eq!(*s, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one state slot per task")]
+    fn stateful_map_rejects_mismatched_state() {
+        let mut state = vec![0u8; 2];
+        let _ = map_tasks_with(3, &mut state, |_, _| ());
     }
 }

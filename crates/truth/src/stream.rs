@@ -65,11 +65,53 @@
 
 use crate::date::{refine_fixed_point, AccuracyGranularity, Date, DateConfig, PooledVersions};
 use crate::dependence::DependenceEngine;
+use crate::independence::GreedyOrderCache;
 use crate::problem::{TruthOutcome, TruthProblem};
 use crate::voting::MajorityVoting;
 use crate::IndependenceMode;
 use imc2_common::logprob::clamp_prob;
 use imc2_common::{Grid, Observations, SnapshotDelta, TaskGroups, ValidationError, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// When to reclaim the slack an unbounded stream of in-place splices leaves
+/// in the engine's triple-aligned buffers ([`DateStream::compact`]).
+///
+/// Automates the ROADMAP's manual `rebuild_engine` slack-reclaim: the
+/// stream (or the campaign runtime driving it) consults the policy after
+/// refinements and rebuilds the engine — an exact, bit-identical operation
+/// — once the dead capacity is worth the rebuild cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Rebuild when dead capacity exceeds this fraction of the live triple
+    /// count ([`crate::dependence::EngineSlack::slack_ratio`]). Negative
+    /// forces a rebuild unconditionally (useful in tests).
+    pub max_slack_ratio: f64,
+    /// Ignore engines whose largest buffer is below this many triples — for
+    /// tiny indexes the slack is bytes, not memory pressure.
+    pub min_triples: usize,
+}
+
+impl Default for CompactionPolicy {
+    /// Rebuild once half the largest buffer is dead, for buffers past 64k
+    /// triples (≈ several MiB of terms).
+    fn default() -> Self {
+        CompactionPolicy {
+            max_slack_ratio: 0.5,
+            min_triples: 1 << 16,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that always compacts — the test hook for exercising the
+    /// rebuild path deterministically.
+    pub fn always() -> Self {
+        CompactionPolicy {
+            max_slack_ratio: -1.0,
+            min_triples: 0,
+        }
+    }
+}
 
 /// Incremental DATE over a growing snapshot. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -85,6 +127,10 @@ pub struct DateStream {
     accuracy: Grid<f64>,
     estimate: Vec<Option<ValueId>>,
     versions: Option<PooledVersions>,
+    /// Greedy visiting orders reused across refinements (`None` for the
+    /// ED/NC variants, which have no greedy order to cache). Slots
+    /// self-validate, so pushes need no explicit invalidation.
+    order_cache: Option<GreedyOrderCache>,
     /// Reject worker ids `>= limit` at ingestion
     /// ([`DateStream::set_worker_limit`]); `None` = unbounded.
     worker_limit: Option<usize>,
@@ -119,6 +165,8 @@ impl DateStream {
         let accuracy = Grid::filled(n, problem.n_tasks(), clamp_prob(config.epsilon));
         let versions =
             (config.granularity == AccuracyGranularity::PerWorker).then(|| PooledVersions::new(n));
+        let order_cache = matches!(config.independence, IndependenceMode::Greedy(_))
+            .then(|| GreedyOrderCache::new(problem.n_tasks()));
         let groups = observations.all_groups();
         Ok(DateStream {
             config,
@@ -129,6 +177,7 @@ impl DateStream {
             accuracy,
             estimate,
             versions,
+            order_cache,
             worker_limit: None,
             appended_answers: 0,
             total_iterations: 0,
@@ -209,6 +258,7 @@ impl DateStream {
             &mut self.accuracy,
             &mut self.estimate,
             self.versions.as_mut(),
+            self.order_cache.as_mut(),
             &mut last_dep,
         );
         self.total_iterations += fp.iterations;
@@ -253,6 +303,35 @@ impl DateStream {
                 .expect("stream invariants maintained by push");
             self.engine = Some(DependenceEngine::new(&problem));
         }
+    }
+
+    /// Policy-gated [`DateStream::rebuild_engine`]: rebuilds when the
+    /// engine's dead buffer capacity crosses the policy's slack threshold
+    /// (and size floor), returning whether a rebuild happened. Estimates
+    /// are preserved bit for bit either way — the rebuild only trades the
+    /// warm term cache (recomputed cold on the next refinement) for exact
+    /// allocations. Streams without an engine (NC) never compact.
+    pub fn compact(&mut self, policy: &CompactionPolicy) -> bool {
+        let Some(engine) = &self.engine else {
+            return false;
+        };
+        let slack = engine.cache_slack();
+        let big_enough = slack.triple_capacity.max(slack.term_capacity) >= policy.min_triples;
+        if big_enough && slack.slack_ratio() > policy.max_slack_ratio {
+            self.rebuild_engine();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dead-capacity fraction of the engine's triple-aligned buffers (0.0
+    /// for engineless NC streams); the quantity [`DateStream::compact`]
+    /// thresholds on.
+    pub fn slack_ratio(&self) -> f64 {
+        self.engine
+            .as_ref()
+            .map_or(0.0, |e| e.cache_slack().slack_ratio())
     }
 
     /// The current snapshot.
@@ -436,6 +515,66 @@ mod tests {
         let out = stream.push_and_refine(&delta).unwrap();
         assert_eq!(out.estimate[0], Some(ValueId(1)));
         assert_eq!(stream.observations().n_workers(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_the_estimate_bit_identically() {
+        use imc2_datagen::{StreamConfig, StreamData};
+        let data = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(31)).unwrap();
+        let nf = data.campaign.num_false.clone();
+        let mut compacted =
+            DateStream::new(&Date::paper(), data.initial.clone(), nf.clone()).unwrap();
+        let mut plain = DateStream::new(&Date::paper(), data.initial.clone(), nf).unwrap();
+        compacted.refine();
+        plain.refine();
+        for (k, delta) in data.deltas.iter().enumerate() {
+            let a = compacted.push_and_refine(delta).unwrap();
+            let b = plain.push_and_refine(delta).unwrap();
+            assert_eq!(a.estimate, b.estimate, "batch {k} before compaction");
+            // Force a compaction on one stream only; everything observable
+            // must stay bitwise equal.
+            assert!(compacted.compact(&CompactionPolicy::always()));
+            assert_eq!(compacted.estimate(), plain.estimate(), "batch {k}");
+            let (sa, sb) = (compacted.accuracy().as_slice(), plain.accuracy().as_slice());
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "batch {k} accuracy");
+            }
+        }
+        // One more refinement from the freshly compacted state.
+        let a = compacted.refine();
+        let b = plain.refine();
+        assert_eq!(a, b, "post-compaction refinement diverged");
+        // A fresh build is exact, so the compacted stream carries no slack.
+        assert_eq!(compacted.slack_ratio(), 0.0);
+    }
+
+    #[test]
+    fn compaction_respects_policy_thresholds() {
+        let d = forum(9);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        stream.refine();
+        // An impossible threshold never rebuilds.
+        let never = CompactionPolicy {
+            max_slack_ratio: f64::INFINITY,
+            min_triples: 0,
+        };
+        assert!(!stream.compact(&never));
+        // A huge size floor keeps small engines untouched even at ratio 0.
+        let floored = CompactionPolicy {
+            max_slack_ratio: -1.0,
+            min_triples: usize::MAX,
+        };
+        assert!(!stream.compact(&floored));
+        // NC streams have no engine and never compact.
+        let mut nc = DateStream::new(
+            &Date::no_copier(),
+            d.observations.clone(),
+            d.num_false.clone(),
+        )
+        .unwrap();
+        assert!(!nc.compact(&CompactionPolicy::always()));
+        assert_eq!(nc.slack_ratio(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! An online campaign: rolling auction rounds over streaming truth
+//! discovery, with a budget.
+//!
+//! ```text
+//! cargo run --release --example rolling_campaign
+//! ```
+
+use imc2::core::{Campaign, PipelineConfig, StopReason};
+use imc2::datagen::{RoundTrace, RoundTraceConfig, ScenarioConfig};
+
+fn main() {
+    // A round-aligned trace: 40% of the campaign's answers form the warm-up
+    // snapshot, the rest arrive as per-round offers priced at the workers'
+    // private costs.
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).expect("valid trace config");
+    println!(
+        "campaign: {} workers, {} tasks, {} answers warm-up + {} offered over {} rounds",
+        trace.n_workers(),
+        trace.n_tasks(),
+        trace.initial.len(),
+        trace.total_offered_answers(),
+        trace.n_rounds(),
+    );
+
+    let campaign = Campaign::new(ScenarioConfig::small());
+    let report = campaign
+        .run_rolling_with(
+            &trace,
+            PipelineConfig {
+                budget: Some(300.0),
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("campaign runs");
+
+    for (round, r) in report.per_round.iter().enumerate() {
+        println!(
+            "round {:>2}: {:>2} winners paid {:>7.2} | precision {:.3} | welfare {:>7.2} | copier share {:.2}",
+            round, r.n_winners, r.total_payment, r.precision, r.social_welfare, r.copier_win_share,
+        );
+    }
+    let stop = match report.stop {
+        StopReason::BudgetExhausted => "budget exhausted",
+        StopReason::AllCovered => "all requirements covered",
+        StopReason::MaxRounds => "round cap reached",
+        StopReason::TraceExhausted => "trace exhausted",
+    };
+    println!(
+        "stopped after {} rounds ({stop}): paid {:.2} total (budget left {:.2}), covered {}/{} tasks, final precision {:.3}",
+        report.rounds_run,
+        report.cumulative.total_payment,
+        report.budget_remaining.unwrap_or(f64::NAN),
+        report.covered_tasks,
+        report.n_tasks,
+        report.cumulative.precision,
+    );
+}

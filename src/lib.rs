@@ -3,5 +3,6 @@ pub use imc2_auction as auction;
 pub use imc2_common as common;
 pub use imc2_core as core;
 pub use imc2_datagen as datagen;
+pub use imc2_pipeline as pipeline;
 pub use imc2_textsim as textsim;
 pub use imc2_truth as truth;
