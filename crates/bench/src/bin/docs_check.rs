@@ -1,0 +1,137 @@
+//! Dangling-link check for the prose documentation layer.
+//!
+//! Scans `README.md`, `docs/*.md` and `vendor/README.md` for Markdown
+//! links and verifies that every **relative** target resolves to an
+//! existing file or directory. External links (`http://`, `https://`,
+//! `mailto:`) and pure in-page anchors (`#…`) are skipped; a `#fragment`
+//! suffix on a relative link is stripped before the existence check.
+//!
+//! Usage: `docs_check [repo_root]` (default: the current directory).
+//! Exits non-zero listing every dangling link — CI runs this in the docs
+//! job so a renamed crate directory or a moved doc page fails loudly
+//! instead of rotting silently.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Every `](target)` of a Markdown inline link in `text`, with the
+/// 1-based line number it starts on.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => line += 1,
+            b']' if i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                if let Some(close) = text[i + 2..].find(')') {
+                    let target = &text[i + 2..i + 2 + close];
+                    // Skip images with titles: take up to the first space.
+                    let target = target.split_whitespace().next().unwrap_or("");
+                    out.push((line, target.to_string()));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether `target` is a relative path this checker should resolve.
+fn is_relative(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#'))
+}
+
+fn check_file(root: &Path, doc: &Path, problems: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(doc) else {
+        problems.push(format!("{}: unreadable", doc.display()));
+        return;
+    };
+    let dir = doc.parent().unwrap_or(root);
+    for (line, target) in link_targets(&text) {
+        if !is_relative(&target) {
+            continue;
+        }
+        let path_part = target.split('#').next().unwrap_or("");
+        let resolved = dir.join(path_part);
+        if !resolved.exists() {
+            problems.push(format!(
+                "{}:{line}: dangling link `{target}` (resolved to {})",
+                doc.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".to_string()));
+    let mut docs: Vec<PathBuf> = vec![root.join("README.md"), root.join("vendor/README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        let mut pages: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        pages.sort();
+        docs.extend(pages);
+    } else {
+        eprintln!("docs_check: no docs/ directory under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for doc in &docs {
+        if doc.exists() {
+            checked += 1;
+            check_file(&root, doc, &mut problems);
+        } else if doc.ends_with("README.md") && doc.parent() == Some(root.as_path()) {
+            problems.push(format!("{}: missing", doc.display()));
+        }
+    }
+
+    if problems.is_empty() {
+        println!("docs_check: {checked} documents, all relative links resolve");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("docs_check: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_targets_with_lines() {
+        let text = "intro [a](x.md)\nsecond [b](docs/y.md#frag) and [c](https://e.com)\n";
+        let links = link_targets(text);
+        assert_eq!(
+            links,
+            vec![
+                (1, "x.md".to_string()),
+                (2, "docs/y.md#frag".to_string()),
+                (2, "https://e.com".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn relative_filter() {
+        assert!(is_relative("docs/STREAMING.md"));
+        assert!(is_relative("../PAPER.md"));
+        assert!(!is_relative("https://example.com"));
+        assert!(!is_relative("#anchor"));
+        assert!(!is_relative(""));
+    }
+}

@@ -11,6 +11,9 @@
 //!   than the allocating naive reference means the caches stopped working;
 //! * `speedup_dependence >= 1.0` — incremental ingestion slower than a
 //!   full rebuild means the splice path regressed;
+//! * `speedup_revise >= 1.0` — a revision/retraction batch spliced into a
+//!   warm engine slower than a full rebuild means the mutable splice
+//!   regressed;
 //! * every `bit_identical` flag is `true` — the speedups are meaningless
 //!   if the incremental outputs drifted from the rebuild outputs.
 //!
@@ -127,6 +130,10 @@ fn main() -> ExitCode {
             "bit_identical",
             "stream_push_refine_ms",
             "batch_date_full_ms",
+            "revise_batches",
+            "n_revisions",
+            "n_retractions",
+            "speedup_revise",
         ],
         &mut problems,
     ) {
@@ -134,6 +141,13 @@ fn main() -> ExitCode {
             if *v < 1.0 {
                 problems.push(format!(
                     "{stream_path}: batches[{i}] speedup_dependence = {v} < 1.0 — incremental ingestion lost to a full rebuild"
+                ));
+            }
+        }
+        for (i, v) in values_of(&json, "speedup_revise").iter().enumerate() {
+            if *v < 1.0 {
+                problems.push(format!(
+                    "{stream_path}: revise_batches[{i}] speedup_revise = {v} < 1.0 — the mutation splice lost to a full rebuild"
                 ));
             }
         }

@@ -54,6 +54,8 @@ fn config(n_workers: usize) -> (RoundTraceConfig, PipelineConfig) {
             },
             initial_fraction: 0.5,
             batch_size: 20,
+            revise_fraction: 0.0,
+            retract_fraction: 0.0,
         },
         cost_model: CostModel::default(),
         requirements: RequirementConfig {

@@ -4,9 +4,12 @@
 //! path (`DependenceEngine::apply_delta` + warm posteriors on a
 //! `DateStream`-style state) versus the batch-rebuild baseline (fresh
 //! engine: index rebuilt, cold posteriors), at several batch sizes, and
-//! emits `BENCH_stream.json`. The incremental and rebuilt dependence
-//! matrices are compared bit for bit on every measurement — the speedup
-//! numbers are only meaningful because the outputs are exactly equal.
+//! emits `BENCH_stream.json`. A second `revise` stage measures *mutation*
+//! batches — answer revisions and retractions spliced into the warm
+//! engine — against the same rebuild baseline. The incremental and rebuilt
+//! dependence matrices are compared bit for bit on every measurement — the
+//! speedup numbers are only meaningful because the outputs are exactly
+//! equal.
 //!
 //! Run with:
 //!
@@ -19,7 +22,8 @@
 //! `PERF_REPS` (timing repetitions per measurement, default 5).
 
 use imc2_common::{
-    rng_from_seed, Grid, Observations, ObservationsBuilder, SnapshotDelta, WorkerId,
+    rng_from_seed, Grid, Observations, ObservationsBuilder, SnapshotDelta, TaskId, ValueId,
+    WorkerId,
 };
 use imc2_datagen::participation::ParticipationConfig;
 use imc2_datagen::{CopierConfig, ForumConfig, ForumData};
@@ -215,6 +219,99 @@ fn bench_batch(data: &ForumData, batch: usize, reps: usize) -> BatchReport {
     }
 }
 
+struct ReviseReport {
+    n_revisions: usize,
+    n_retractions: usize,
+    touched_tasks: usize,
+    rebuild_dependence_s: f64,
+    incremental_dependence_s: f64,
+    speedup_revise: f64,
+    bit_identical: bool,
+}
+
+/// A mutation batch over the full campaign snapshot: `n_revise` answers
+/// flip to another in-domain value and `n_retract` distinct answers are
+/// withdrawn, picked in a deterministic shuffled order.
+fn mutation_delta(data: &ForumData, n_revise: usize, n_retract: usize) -> SnapshotDelta {
+    let obs = &data.observations;
+    let mut all: Vec<(WorkerId, TaskId, ValueId)> = (0..obs.n_workers())
+        .flat_map(|w| {
+            let worker = WorkerId(w);
+            obs.tasks_of_worker(worker)
+                .iter()
+                .map(move |&(t, v)| (worker, t, v))
+        })
+        .collect();
+    all.shuffle(&mut rng_from_seed(0xC0FFEE));
+    let mut delta = SnapshotDelta::new();
+    for &(w, t, v) in all.iter().take(n_revise) {
+        let domain = data.num_false[t.index()];
+        delta.revise(w, t, ValueId((v.0 + 1) % (domain + 1)));
+    }
+    for &(w, t, _) in all.iter().skip(n_revise).take(n_retract) {
+        delta.retract(w, t);
+    }
+    delta
+}
+
+/// The revise stage: a warm engine ingests a revision/retraction batch via
+/// the planned splice versus rebuilding the engine on the mutated snapshot.
+fn bench_revise(data: &ForumData, n_revise: usize, n_retract: usize, reps: usize) -> ReviseReport {
+    let base = &data.observations;
+    let nf = &data.num_false;
+    let params = DependenceParams::default();
+    let model = FalseValueModel::Uniform;
+    let delta = mutation_delta(data, n_revise, n_retract);
+
+    let base_problem = TruthProblem::new(base, nf).expect("valid base problem");
+    let after = base.apply_delta(&delta).expect("valid mutation delta");
+    let after_problem = TruthProblem::new(&after, nf).expect("valid mutated problem");
+
+    let truth = imc2_truth::MajorityVoting::estimate(&base_problem);
+    let mut rng = rng_from_seed(2);
+    let accuracy = Grid::from_fn(base.n_workers(), base.n_tasks(), |_, _| {
+        rand::Rng::gen_range(&mut rng, 0.2..0.9)
+    });
+
+    let mut warm = DependenceEngine::new(&base_problem);
+    warm.posteriors(&base_problem, &accuracy, &truth, &model, &params);
+
+    let mut incremental_out = None;
+    let incremental_dependence_s = time_best(
+        reps,
+        || warm.clone(),
+        |engine| {
+            engine.apply_delta(&after, &delta);
+            let out = engine.posteriors(&after_problem, &accuracy, &truth, &model, &params);
+            incremental_out = Some(std::hint::black_box(out));
+        },
+    );
+    let mut rebuild_out = None;
+    let rebuild_dependence_s = time_best(
+        reps,
+        || (),
+        |_| {
+            let mut engine = DependenceEngine::new(&after_problem);
+            let out = engine.posteriors(&after_problem, &accuracy, &truth, &model, &params);
+            rebuild_out = Some(std::hint::black_box(out));
+        },
+    );
+    let bit_identical = match (&incremental_out, &rebuild_out) {
+        (Some(a), Some(b)) => assert_bit_identical(a, b),
+        _ => false,
+    };
+
+    ReviseReport {
+        n_revisions: n_revise,
+        n_retractions: n_retract,
+        touched_tasks: delta.touched_tasks().len(),
+        rebuild_dependence_s,
+        incremental_dependence_s,
+        speedup_revise: rebuild_dependence_s / incremental_dependence_s,
+        bit_identical,
+    }
+}
+
 fn main() {
     let out_path = std::env::var("PERF_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
     let reps: usize = std::env::var("PERF_REPS")
@@ -297,6 +394,46 @@ fn main() {
             r.speedup_end_to_end
         );
         json.push_str(if k + 1 < batches.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+
+    // The revise stage: mutation batches (revisions + retractions) spliced
+    // into a warm engine versus an engine rebuild on the mutated snapshot.
+    json.push_str("  \"revise_batches\": [\n");
+    let revise_shapes = [(1usize, 1usize), (5, 5), (50, 50)];
+    for (k, &(n_revise, n_retract)) in revise_shapes.iter().enumerate() {
+        eprintln!("benchmarking revise={n_revise} retract={n_retract}...");
+        let r = bench_revise(&data, n_revise, n_retract, reps);
+        println!(
+            "revise={:>3} retract={:>3}: rebuild {:>9.3} ms | incremental {:>9.3} ms ({:>5.1}x) | bit-identical {}",
+            r.n_revisions,
+            r.n_retractions,
+            r.rebuild_dependence_s * 1e3,
+            r.incremental_dependence_s * 1e3,
+            r.speedup_revise,
+            r.bit_identical,
+        );
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"n_revisions\": {},", r.n_revisions);
+        let _ = writeln!(json, "      \"n_retractions\": {},", r.n_retractions);
+        let _ = writeln!(json, "      \"touched_tasks\": {},", r.touched_tasks);
+        let _ = writeln!(
+            json,
+            "      \"rebuild_dependence_ms\": {:.6},",
+            r.rebuild_dependence_s * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"incremental_dependence_ms\": {:.6},",
+            r.incremental_dependence_s * 1e3
+        );
+        let _ = writeln!(json, "      \"speedup_revise\": {:.3},", r.speedup_revise);
+        let _ = writeln!(json, "      \"bit_identical\": {}", r.bit_identical);
+        json.push_str(if k + 1 < revise_shapes.len() {
             "    },\n"
         } else {
             "    }\n"

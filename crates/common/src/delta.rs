@@ -1,28 +1,84 @@
-//! Streaming append batches for the observation snapshot.
+//! Streaming mutation batches for the observation snapshot.
 //!
 //! The paper treats the snapshot `D` as given all at once, but the
-//! production service receives answers continuously. A [`SnapshotDelta`] is
-//! one ingestion batch: a set of new `(worker, task, value)` answers to
-//! append to an existing [`crate::Observations`]. Applying a delta produces
-//! a *new* immutable snapshot ([`crate::Observations::apply_delta`]) — the
-//! old one stays valid, so in-flight readers are never invalidated — and
-//! downstream indexes can be maintained incrementally
-//! ([`crate::PairOverlapIndex::extended`]) instead of rebuilt.
+//! production service receives answers continuously — and workers *change
+//! their minds*: they correct an earlier answer or withdraw it entirely. A
+//! [`SnapshotDelta`] is one ingestion batch: an **ordered log** of
+//! [`DeltaOp`]s — appends, revisions and retractions — applied to an
+//! existing [`crate::Observations`]. Applying a delta produces a *new*
+//! immutable snapshot ([`crate::Observations::apply_delta`]) — the old one
+//! stays valid, so in-flight readers are never invalidated — and downstream
+//! indexes can be maintained incrementally
+//! ([`crate::PairOverlapIndex::apply_delta`]) instead of rebuilt.
 //!
 //! A delta may introduce workers the base snapshot has never seen (their
-//! ids simply extend the worker range); the task universe is fixed at
-//! snapshot creation, so task ids must stay in range. Duplicate answers —
-//! within the batch or against the base — are rejected at apply time, same
-//! as [`crate::ObservationsBuilder::record`].
+//! ids simply extend the worker range; the range never shrinks, even when
+//! a worker's last answer is retracted); the task universe is fixed at
+//! snapshot creation, so task ids must stay in range. Validation happens at
+//! apply time: appending an already-answered cell, or revising/retracting a
+//! cell nobody answered, is rejected the same way
+//! [`crate::ObservationsBuilder::record`] rejects duplicates.
+//!
+//! The full lifecycle of a delta — and how every downstream cache follows
+//! it without a rebuild — is documented in `docs/STREAMING.md`.
 
-use crate::{TaskId, ValueId, WorkerId};
+use crate::{TaskId, ValidationError, ValueId, WorkerId};
 use serde::{Deserialize, Serialize};
 
-/// A batch of new answers to append to an [`crate::Observations`] snapshot.
+/// One mutation in a [`SnapshotDelta`] log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// A new answer: `worker` answers `task` (which it must not have
+    /// answered yet) with `value`. The only op that may name a worker
+    /// outside the base snapshot's range.
+    Append(WorkerId, TaskId, ValueId),
+    /// A correction: `worker` replaces its existing answer on `task` with
+    /// `value` (possibly the same value — a no-op revision is legal).
+    Revise(WorkerId, TaskId, ValueId),
+    /// A withdrawal: `worker`'s existing answer on `task` is removed.
+    Retract(WorkerId, TaskId),
+}
+
+impl DeltaOp {
+    /// The worker this op concerns.
+    #[inline]
+    pub fn worker(&self) -> WorkerId {
+        match *self {
+            DeltaOp::Append(w, _, _) | DeltaOp::Revise(w, _, _) | DeltaOp::Retract(w, _) => w,
+        }
+    }
+
+    /// The task this op concerns.
+    #[inline]
+    pub fn task(&self) -> TaskId {
+        match *self {
+            DeltaOp::Append(_, t, _) | DeltaOp::Revise(_, t, _) | DeltaOp::Retract(_, t) => t,
+        }
+    }
+}
+
+/// The *net* effect of a delta on one `(worker, task)` cell, after
+/// collapsing the op log (see [`SnapshotDelta::net_changes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetChange {
+    /// The cell was empty in the base and holds `value` afterwards.
+    Added(ValueId),
+    /// The cell was filled in the base and holds `value` afterwards
+    /// (`value` may equal the base value — the planner treats that as a
+    /// harmless overwrite).
+    Changed(ValueId),
+    /// The cell was filled in the base and is empty afterwards.
+    Removed,
+}
+
+/// A batch of snapshot mutations to apply to an [`crate::Observations`].
 ///
 /// Construction never fails: validation happens against the base snapshot
 /// when the delta is applied, because only the base knows the task range and
-/// which `(worker, task)` cells are already filled.
+/// which `(worker, task)` cells are already filled. Within one delta, ops on
+/// the same cell compose **in order**: an appended answer may be revised or
+/// retracted later in the same batch, a retracted answer re-appended, and so
+/// on ([`SnapshotDelta::net_changes`] collapses the log).
 ///
 /// # Example
 /// ```
@@ -30,21 +86,26 @@ use serde::{Deserialize, Serialize};
 /// # fn main() -> Result<(), imc2_common::ValidationError> {
 /// let mut b = ObservationsBuilder::new(2, 2);
 /// b.record(WorkerId(0), TaskId(0), ValueId(1))?;
+/// b.record(WorkerId(1), TaskId(1), ValueId(0))?;
 /// let base = b.build();
 ///
 /// let mut delta = SnapshotDelta::new();
-/// delta.push(WorkerId(1), TaskId(0), ValueId(1)); // existing worker
+/// delta.push(WorkerId(1), TaskId(0), ValueId(1)); // new answer
 /// delta.push(WorkerId(2), TaskId(1), ValueId(0)); // brand-new worker
-/// let grown = base.apply_delta(&delta)?;
-/// assert_eq!(grown.n_workers(), 3);
-/// assert_eq!(grown.len(), 3);
-/// assert_eq!(base.len(), 1); // the base snapshot is untouched
+/// delta.revise(WorkerId(0), TaskId(0), ValueId(0)); // correct an answer
+/// delta.retract(WorkerId(1), TaskId(1)); // withdraw an answer
+/// let next = base.apply_delta(&delta)?;
+/// assert_eq!(next.n_workers(), 3);
+/// assert_eq!(next.len(), 3); // 2 + 2 appends - 1 retraction
+/// assert_eq!(next.value_of(WorkerId(0), TaskId(0)), Some(ValueId(0)));
+/// assert_eq!(next.value_of(WorkerId(1), TaskId(1)), None);
+/// assert_eq!(base.len(), 2); // the base snapshot is untouched
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotDelta {
-    answers: Vec<(WorkerId, TaskId, ValueId)>,
+    ops: Vec<DeltaOp>,
 }
 
 impl SnapshotDelta {
@@ -53,58 +114,203 @@ impl SnapshotDelta {
         SnapshotDelta::default()
     }
 
-    /// A batch prefilled from an answer list.
+    /// A batch prefilled from an answer list (appends only).
     pub fn from_answers(answers: Vec<(WorkerId, TaskId, ValueId)>) -> Self {
-        SnapshotDelta { answers }
+        SnapshotDelta {
+            ops: answers
+                .into_iter()
+                .map(|(w, t, v)| DeltaOp::Append(w, t, v))
+                .collect(),
+        }
     }
 
-    /// Appends one answer to the batch (validated at apply time).
+    /// A batch prefilled from an op log.
+    pub fn from_ops(ops: Vec<DeltaOp>) -> Self {
+        SnapshotDelta { ops }
+    }
+
+    /// Appends one new answer to the batch (validated at apply time).
     pub fn push(&mut self, worker: WorkerId, task: TaskId, value: ValueId) {
-        self.answers.push((worker, task, value));
+        self.ops.push(DeltaOp::Append(worker, task, value));
     }
 
-    /// The raw answers in insertion order.
-    pub fn answers(&self) -> &[(WorkerId, TaskId, ValueId)] {
-        &self.answers
+    /// Records a revision: `worker`'s answer on `task` becomes `value`.
+    pub fn revise(&mut self, worker: WorkerId, task: TaskId, value: ValueId) {
+        self.ops.push(DeltaOp::Revise(worker, task, value));
     }
 
-    /// Number of answers in the batch.
+    /// Records a retraction: `worker`'s answer on `task` is withdrawn.
+    pub fn retract(&mut self, worker: WorkerId, task: TaskId) {
+        self.ops.push(DeltaOp::Retract(worker, task));
+    }
+
+    /// The raw op log in insertion order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// The appended answers, in insertion order (revisions and retractions
+    /// excluded).
+    pub fn appends(&self) -> impl Iterator<Item = (WorkerId, TaskId, ValueId)> + '_ {
+        self.ops.iter().filter_map(|op| match *op {
+            DeltaOp::Append(w, t, v) => Some((w, t, v)),
+            _ => None,
+        })
+    }
+
+    /// Number of ops in the batch.
     pub fn len(&self) -> usize {
-        self.answers.len()
+        self.ops.len()
     }
 
-    /// Whether the batch holds no answers.
+    /// Whether the batch holds no ops.
     pub fn is_empty(&self) -> bool {
-        self.answers.is_empty()
+        self.ops.is_empty()
     }
 
-    /// The distinct tasks receiving new answers, ascending — the "dirty"
-    /// task set incremental consumers must refresh.
+    /// Number of [`DeltaOp::Append`] ops.
+    pub fn n_appends(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Append(..)))
+            .count()
+    }
+
+    /// Number of [`DeltaOp::Revise`] ops.
+    pub fn n_revisions(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Revise(..)))
+            .count()
+    }
+
+    /// Number of [`DeltaOp::Retract`] ops.
+    pub fn n_retractions(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Retract(..)))
+            .count()
+    }
+
+    /// The distinct tasks any op touches, ascending — the "dirty" task set
+    /// incremental consumers must refresh.
     pub fn touched_tasks(&self) -> Vec<TaskId> {
-        let mut tasks: Vec<TaskId> = self.answers.iter().map(|&(_, t, _)| t).collect();
+        let mut tasks: Vec<TaskId> = self.ops.iter().map(DeltaOp::task).collect();
         tasks.sort_unstable();
         tasks.dedup();
         tasks
     }
 
-    /// The distinct workers contributing new answers, ascending.
+    /// The distinct workers any op concerns, ascending.
     pub fn touched_workers(&self) -> Vec<WorkerId> {
-        let mut workers: Vec<WorkerId> = self.answers.iter().map(|&(w, _, _)| w).collect();
+        let mut workers: Vec<WorkerId> = self.ops.iter().map(DeltaOp::worker).collect();
         workers.sort_unstable();
         workers.dedup();
         workers
     }
 
     /// Worker count after applying this delta to a base with
-    /// `base_n_workers` workers: the range only ever grows.
+    /// `base_n_workers` workers: the range grows with appends naming new
+    /// ids and never shrinks (a retraction leaves an empty row behind).
     pub fn n_workers_after(&self, base_n_workers: usize) -> usize {
-        self.answers
+        self.ops
             .iter()
-            .map(|&(w, _, _)| w.index() + 1)
+            .filter_map(|op| match *op {
+                DeltaOp::Append(w, _, _) => Some(w.index() + 1),
+                _ => None,
+            })
             .max()
             .unwrap_or(0)
             .max(base_n_workers)
     }
+
+    /// Collapses the op log into one [`NetChange`] per touched cell, sorted
+    /// by `(task, worker)`. Cells whose ops cancel out (append then retract
+    /// in the same batch) are omitted entirely.
+    ///
+    /// The log itself determines whether each cell was filled in the base:
+    /// a cell's *first* op must be an append iff the base left it empty.
+    /// Later ops then compose sequentially (revise-then-retract nets to
+    /// [`NetChange::Removed`], retract-then-append to [`NetChange::Changed`],
+    /// …).
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for an internally inconsistent log —
+    /// appending a cell twice without an intervening retraction, or
+    /// revising/retracting a cell already retracted in this batch. (Whether
+    /// the base agrees with the log's presence assumptions is checked by
+    /// [`crate::Observations::apply_delta`].)
+    pub fn net_changes(&self) -> Result<Vec<(WorkerId, TaskId, NetChange)>, ValidationError> {
+        // Replay each cell's ops in log order; sort by (task, worker) with
+        // the log position as tiebreaker so grouping preserves op order.
+        let mut keyed: Vec<(TaskId, WorkerId, usize)> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(k, op)| (op.task(), op.worker(), k))
+            .collect();
+        keyed.sort_unstable();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let (t, w, _) = keyed[i];
+            let mut state: Option<CellState> = None;
+            while i < keyed.len() && keyed[i].0 == t && keyed[i].1 == w {
+                let op = &self.ops[keyed[i].2];
+                state = Some(step_cell(state, op)?);
+                i += 1;
+            }
+            match state.expect("at least one op per group") {
+                CellState::Added(v) => out.push((w, t, NetChange::Added(v))),
+                CellState::Changed(v) => out.push((w, t, NetChange::Changed(v))),
+                CellState::GoneFromBase => out.push((w, t, NetChange::Removed)),
+                CellState::GoneFromDelta => {} // net no-op
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-cell replay state for [`SnapshotDelta::net_changes`].
+#[derive(Debug, Clone, Copy)]
+enum CellState {
+    /// Empty in the base, filled by this delta.
+    Added(ValueId),
+    /// Filled in the base, value replaced by this delta.
+    Changed(ValueId),
+    /// Filled in the base, empty after this delta.
+    GoneFromBase,
+    /// Empty in the base, appended and retracted within this delta.
+    GoneFromDelta,
+}
+
+fn step_cell(state: Option<CellState>, op: &DeltaOp) -> Result<CellState, ValidationError> {
+    use CellState::*;
+    let next = match (state, op) {
+        // First op on a cell decides what the base must hold.
+        (None, DeltaOp::Append(_, _, v)) => Added(*v),
+        (None, DeltaOp::Revise(_, _, v)) => Changed(*v),
+        (None, DeltaOp::Retract(_, _)) => GoneFromBase,
+        // The cell is currently filled by this delta.
+        (Some(Added(_)), DeltaOp::Revise(_, _, v)) => Added(*v),
+        (Some(Added(_)), DeltaOp::Retract(_, _)) => GoneFromDelta,
+        (Some(Changed(_)), DeltaOp::Revise(_, _, v)) => Changed(*v),
+        (Some(Changed(_)), DeltaOp::Retract(_, _)) => GoneFromBase,
+        // The cell is currently empty (retracted earlier in this delta).
+        (Some(GoneFromBase), DeltaOp::Append(_, _, v)) => Changed(*v),
+        (Some(GoneFromDelta), DeltaOp::Append(_, _, v)) => Added(*v),
+        (Some(Added(_) | Changed(_)), DeltaOp::Append(w, t, _)) => {
+            return Err(ValidationError::new(format!(
+                "delta appends {t} for {w} twice without an intervening retraction"
+            )));
+        }
+        (Some(GoneFromBase | GoneFromDelta), DeltaOp::Revise(w, t, _) | DeltaOp::Retract(w, t)) => {
+            return Err(ValidationError::new(format!(
+                "delta revises or retracts {t} for {w} after retracting it in the same batch"
+            )));
+        }
+    };
+    Ok(next)
 }
 
 #[cfg(test)]
@@ -119,23 +325,89 @@ mod tests {
         assert!(d.touched_tasks().is_empty());
         assert!(d.touched_workers().is_empty());
         assert_eq!(d.n_workers_after(5), 5);
+        assert!(d.net_changes().unwrap().is_empty());
     }
 
     #[test]
     fn touched_sets_are_sorted_and_deduped() {
         let mut d = SnapshotDelta::new();
         d.push(WorkerId(3), TaskId(2), ValueId(0));
-        d.push(WorkerId(1), TaskId(2), ValueId(1));
-        d.push(WorkerId(3), TaskId(0), ValueId(0));
+        d.revise(WorkerId(1), TaskId(2), ValueId(1));
+        d.retract(WorkerId(3), TaskId(0));
         assert_eq!(d.touched_tasks(), vec![TaskId(0), TaskId(2)]);
         assert_eq!(d.touched_workers(), vec![WorkerId(1), WorkerId(3)]);
         assert_eq!(d.len(), 3);
+        assert_eq!(d.n_appends(), 1);
+        assert_eq!(d.n_revisions(), 1);
+        assert_eq!(d.n_retractions(), 1);
     }
 
     #[test]
-    fn worker_range_grows_with_new_ids() {
+    fn worker_range_grows_with_appended_ids_only() {
         let d = SnapshotDelta::from_answers(vec![(WorkerId(7), TaskId(0), ValueId(0))]);
         assert_eq!(d.n_workers_after(3), 8);
         assert_eq!(d.n_workers_after(20), 20);
+        // Revisions and retractions reference existing workers — they never
+        // extend the range (an out-of-range id fails at apply time).
+        let mut d = SnapshotDelta::new();
+        d.revise(WorkerId(9), TaskId(0), ValueId(0));
+        d.retract(WorkerId(9), TaskId(1));
+        assert_eq!(d.n_workers_after(3), 3);
+    }
+
+    #[test]
+    fn net_changes_collapse_in_log_order() {
+        let mut d = SnapshotDelta::new();
+        d.push(WorkerId(0), TaskId(0), ValueId(1));
+        d.revise(WorkerId(0), TaskId(0), ValueId(2)); // append then revise
+        d.revise(WorkerId(1), TaskId(0), ValueId(0));
+        d.retract(WorkerId(1), TaskId(0)); // revise then retract => removed
+        d.push(WorkerId(2), TaskId(1), ValueId(0));
+        d.retract(WorkerId(2), TaskId(1)); // append then retract => nothing
+        d.retract(WorkerId(3), TaskId(1));
+        d.push(WorkerId(3), TaskId(1), ValueId(3)); // retract then append => changed
+        let net = d.net_changes().unwrap();
+        assert_eq!(
+            net,
+            vec![
+                (WorkerId(0), TaskId(0), NetChange::Added(ValueId(2))),
+                (WorkerId(1), TaskId(0), NetChange::Removed),
+                (WorkerId(3), TaskId(1), NetChange::Changed(ValueId(3))),
+            ]
+        );
+    }
+
+    #[test]
+    fn net_changes_reject_inconsistent_logs() {
+        let mut d = SnapshotDelta::new();
+        d.push(WorkerId(0), TaskId(0), ValueId(0));
+        d.push(WorkerId(0), TaskId(0), ValueId(1));
+        assert!(d.net_changes().is_err(), "double append");
+
+        let mut d = SnapshotDelta::new();
+        d.retract(WorkerId(0), TaskId(0));
+        d.revise(WorkerId(0), TaskId(0), ValueId(1));
+        assert!(d.net_changes().is_err(), "revise after retract");
+
+        let mut d = SnapshotDelta::new();
+        d.retract(WorkerId(0), TaskId(0));
+        d.retract(WorkerId(0), TaskId(0));
+        assert!(d.net_changes().is_err(), "double retract");
+    }
+
+    #[test]
+    fn ops_accessors_roundtrip() {
+        let ops = vec![
+            DeltaOp::Append(WorkerId(0), TaskId(1), ValueId(2)),
+            DeltaOp::Retract(WorkerId(1), TaskId(0)),
+        ];
+        let d = SnapshotDelta::from_ops(ops.clone());
+        assert_eq!(d.ops(), &ops[..]);
+        assert_eq!(
+            d.appends().collect::<Vec<_>>(),
+            vec![(WorkerId(0), TaskId(1), ValueId(2))]
+        );
+        assert_eq!(ops[0].worker(), WorkerId(0));
+        assert_eq!(ops[1].task(), TaskId(0));
     }
 }

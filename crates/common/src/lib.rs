@@ -14,11 +14,15 @@
 //! ([`rng`]), summary statistics for the experiment harness ([`stats`]), and
 //! the shared error vocabulary ([`ValidationError`]).
 //!
-//! For streaming workloads the snapshot also has an append path: a
-//! [`SnapshotDelta`] batch of new answers produces the next immutable
+//! For streaming workloads the snapshot also has a mutation path: a
+//! [`SnapshotDelta`] batch of ops — appended answers, *revisions*,
+//! *retractions*, mid-stream worker joins — produces the next immutable
 //! snapshot ([`Observations::apply_delta`]) while the pairwise overlap
-//! index follows along incrementally instead of rebuilding
+//! index follows along with an in-place splice instead of rebuilding
 //! ([`PairOverlapIndex::apply_delta`]; performance notes in [`overlap`]).
+//! The full delta lifecycle — op composition, the worker-growth splice,
+//! warm-vs-rebuild guarantees, compaction — is documented in
+//! `docs/STREAMING.md` at the repository root.
 //!
 //! # Example
 //!
@@ -48,7 +52,7 @@ pub mod stats;
 
 mod error;
 
-pub use delta::SnapshotDelta;
+pub use delta::{DeltaOp, NetChange, SnapshotDelta};
 pub use error::ValidationError;
 pub use grid::Grid;
 pub use ids::{TaskId, ValueId, WorkerId};

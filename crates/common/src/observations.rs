@@ -182,30 +182,35 @@ impl Observations {
         self.by_task[task.index()].iter().map(|&(_, v)| v).max()
     }
 
-    /// Appends a batch of new answers, producing a new snapshot; `self` is
-    /// untouched (in-flight readers of the old snapshot stay valid).
+    /// Applies a batch of mutations — appends, revisions, retractions —
+    /// producing a new snapshot; `self` is untouched (in-flight readers of
+    /// the old snapshot stay valid).
     ///
     /// The result is structurally identical to rebuilding from scratch with
-    /// all answers through [`ObservationsBuilder`] — the same `Eq` value —
-    /// so every index derived from it (e.g.
-    /// [`crate::PairOverlapIndex::extended`]) can be checked against a full
-    /// rebuild. Workers unseen by the base extend the worker range; the
-    /// task universe is fixed. Cost is `O(len + |delta| · log)` — it copies
-    /// the row structure once and inserts each new answer in sorted
-    /// position.
+    /// the surviving answers through [`ObservationsBuilder`] (over the same
+    /// worker range) — the same `Eq` value — so every index derived from it
+    /// (e.g. [`crate::PairOverlapIndex::extended`]) can be checked against a
+    /// full rebuild. Workers appended by the delta extend the worker range;
+    /// the range never shrinks (retracting a worker's last answer leaves an
+    /// empty row) and the task universe is fixed. Cost is
+    /// `O(len + |delta| · log)` — one structural copy of the rows plus a
+    /// binary-searched edit per net cell change.
     ///
     /// # Errors
-    /// Returns [`ValidationError`] if any answer names a task out of range
-    /// or duplicates an existing answer (in the base or within the batch).
+    /// Returns [`ValidationError`] if any op names a task out of range,
+    /// appends an already-answered cell, revises/retracts a cell nobody
+    /// answered, or the op log is internally inconsistent
+    /// ([`crate::SnapshotDelta::net_changes`]).
     pub fn apply_delta(
         &self,
         delta: &crate::SnapshotDelta,
     ) -> Result<Observations, ValidationError> {
-        let n_workers = delta.n_workers_after(self.n_workers);
-        let mut by_worker = self.by_worker.clone();
-        by_worker.resize(n_workers, Vec::new());
-        let mut by_task = self.by_task.clone();
-        for &(w, t, v) in delta.answers() {
+        // Task range is validated over the *raw* ops: a cell whose ops
+        // cancel out (append then retract in one batch) vanishes from the
+        // net view but must still not smuggle an out-of-range task into
+        // `touched_tasks()` consumers.
+        for op in delta.ops() {
+            let t = op.task();
             if t.index() >= self.n_tasks {
                 return Err(ValidationError::new(format!(
                     "delta task index {} out of range 0..{}",
@@ -213,19 +218,61 @@ impl Observations {
                     self.n_tasks
                 )));
             }
-            let row = &mut by_worker[w.index()];
-            match row.binary_search_by_key(&t, |&(rt, _)| rt) {
-                Ok(_) => {
-                    return Err(ValidationError::new(format!(
-                        "duplicate delta observation: {w} already answered {t}"
-                    )));
-                }
-                Err(k) => row.insert(k, (t, v)),
+        }
+        let net = delta.net_changes()?;
+        let n_workers = delta.n_workers_after(self.n_workers);
+        let mut by_worker = self.by_worker.clone();
+        by_worker.resize(n_workers, Vec::new());
+        let mut by_task = self.by_task.clone();
+        let mut len = self.len;
+        for &(w, t, change) in &net {
+            if w.index() >= n_workers {
+                return Err(ValidationError::new(format!(
+                    "delta revises or retracts an answer of {w}, outside the worker range 0..{n_workers}"
+                )));
             }
+            let row = &mut by_worker[w.index()];
+            let row_slot = row.binary_search_by_key(&t, |&(rt, _)| rt);
             let col = &mut by_task[t.index()];
-            match col.binary_search_by_key(&w, |&(cw, _)| cw) {
-                Ok(_) => unreachable!("by_worker dedup covers by_task"),
-                Err(k) => col.insert(k, (w, v)),
+            match change {
+                crate::NetChange::Added(v) => {
+                    let Err(k) = row_slot else {
+                        return Err(ValidationError::new(format!(
+                            "duplicate delta observation: {w} already answered {t}"
+                        )));
+                    };
+                    row.insert(k, (t, v));
+                    let ck = col
+                        .binary_search_by_key(&w, |&(cw, _)| cw)
+                        .expect_err("by_worker presence mirrors by_task");
+                    col.insert(ck, (w, v));
+                    len += 1;
+                }
+                crate::NetChange::Changed(v) => {
+                    let Ok(k) = row_slot else {
+                        return Err(ValidationError::new(format!(
+                            "delta revises a missing answer: {w} never answered {t}"
+                        )));
+                    };
+                    row[k].1 = v;
+                    let ck = col
+                        .binary_search_by_key(&w, |&(cw, _)| cw)
+                        .expect("by_worker presence mirrors by_task");
+                    col[ck].1 = v;
+                }
+                crate::NetChange::Removed => {
+                    let Ok(k) = row_slot else {
+                        return Err(ValidationError::new(format!(
+                            "delta retracts a missing answer: {w} never answered {t}"
+                        )));
+                    };
+                    row.remove(k);
+                    let ck = col
+                        .binary_search_by_key(&w, |&(cw, _)| cw)
+                        .expect("by_worker presence mirrors by_task");
+                    col.remove(ck);
+                    len -= 1;
+                }
             }
         }
         Ok(Observations {
@@ -233,7 +280,7 @@ impl Observations {
             n_tasks: self.n_tasks,
             by_task,
             by_worker,
-            len: self.len + delta.len(),
+            len,
         })
     }
 }
@@ -533,6 +580,92 @@ mod tests {
         let bad_task =
             crate::SnapshotDelta::from_answers(vec![(WorkerId(0), TaskId(9), ValueId(0))]);
         assert!(base.apply_delta(&bad_task).is_err());
+    }
+
+    #[test]
+    fn apply_delta_revises_and_retracts() {
+        let base = sample();
+        let mut delta = crate::SnapshotDelta::new();
+        delta.revise(WorkerId(0), TaskId(0), ValueId(0));
+        delta.retract(WorkerId(2), TaskId(1));
+        delta.push(WorkerId(1), TaskId(1), ValueId(2));
+        let next = base.apply_delta(&delta).unwrap();
+        assert_eq!(next.len(), 5); // 5 + 1 append - 1 retraction
+        assert_eq!(next.value_of(WorkerId(0), TaskId(0)), Some(ValueId(0)));
+        assert_eq!(next.value_of(WorkerId(2), TaskId(1)), None);
+
+        // Same Eq value as building the surviving answers from scratch.
+        let mut b = ObservationsBuilder::new(3, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(2), TaskId(0), ValueId(0)).unwrap();
+        b.record(WorkerId(0), TaskId(1), ValueId(2)).unwrap();
+        b.record(WorkerId(1), TaskId(1), ValueId(2)).unwrap();
+        assert_eq!(next, b.build());
+        assert_eq!(base.len(), 5, "base snapshot must stay untouched");
+    }
+
+    #[test]
+    fn apply_delta_can_empty_a_task_and_a_worker() {
+        let base = sample();
+        let mut delta = crate::SnapshotDelta::new();
+        delta.retract(WorkerId(0), TaskId(1));
+        delta.retract(WorkerId(2), TaskId(1)); // task 1 now unanswered
+        let next = base.apply_delta(&delta).unwrap();
+        assert!(next.workers_of_task(TaskId(1)).is_empty());
+        assert_eq!(next.max_value_of_task(TaskId(1)), None);
+        // Retracting a worker's only answer keeps the worker range.
+        let mut delta = crate::SnapshotDelta::new();
+        delta.retract(WorkerId(1), TaskId(0));
+        let next = base.apply_delta(&delta).unwrap();
+        assert_eq!(next.n_workers(), 3);
+        assert!(next.tasks_of_worker(WorkerId(1)).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_mutations() {
+        let base = sample();
+        // Revising an unanswered cell.
+        let mut d = crate::SnapshotDelta::new();
+        d.revise(WorkerId(1), TaskId(1), ValueId(0));
+        assert!(base.apply_delta(&d).is_err());
+        // Retracting an unanswered cell.
+        let mut d = crate::SnapshotDelta::new();
+        d.retract(WorkerId(1), TaskId(1));
+        assert!(base.apply_delta(&d).is_err());
+        // Revising for a worker outside the range.
+        let mut d = crate::SnapshotDelta::new();
+        d.revise(WorkerId(9), TaskId(0), ValueId(0));
+        assert!(base.apply_delta(&d).is_err());
+        // Retracting on a task outside the universe.
+        let mut d = crate::SnapshotDelta::new();
+        d.retract(WorkerId(0), TaskId(9));
+        assert!(base.apply_delta(&d).is_err());
+        // An out-of-range task stays rejected even when the cell's ops
+        // cancel out of the net view (append then retract in one batch).
+        let mut d = crate::SnapshotDelta::new();
+        d.push(WorkerId(9), TaskId(99), ValueId(0));
+        d.retract(WorkerId(9), TaskId(99));
+        assert!(base.apply_delta(&d).is_err());
+    }
+
+    #[test]
+    fn apply_delta_composes_ops_on_one_cell() {
+        let base = sample();
+        // Revise then retract in one delta nets to a retraction.
+        let mut d = crate::SnapshotDelta::new();
+        d.revise(WorkerId(0), TaskId(0), ValueId(0));
+        d.retract(WorkerId(0), TaskId(0));
+        let next = base.apply_delta(&d).unwrap();
+        assert_eq!(next.value_of(WorkerId(0), TaskId(0)), None);
+        assert_eq!(next.len(), 4);
+        // Append then retract nets to nothing, but still grows the range.
+        let mut d = crate::SnapshotDelta::new();
+        d.push(WorkerId(5), TaskId(0), ValueId(1));
+        d.retract(WorkerId(5), TaskId(0));
+        let next = base.apply_delta(&d).unwrap();
+        assert_eq!(next.len(), base.len());
+        assert_eq!(next.n_workers(), 6);
     }
 
     #[test]

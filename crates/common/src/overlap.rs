@@ -21,29 +21,37 @@
 //!
 //! # Performance notes — streaming snapshots
 //!
-//! When a snapshot grows by an appended answer batch
-//! ([`Observations::apply_delta`]), the index does not need the serial full
-//! rebuild. New triples are discovered by walking only the **touched**
-//! tasks' responder lists (`O(Σ_{j touched} |W^j|²)` instead of
-//! `O(Σ_j |W^j|²)`); with the worker range unchanged,
-//! [`PairOverlapIndex::plan_delta`] then pins down the exact buffer
-//! positions the fresh triples occupy and
-//! [`PairOverlapIndex::apply_planned`] splices them in place — a backward
-//! pass of block `memmove`s over the shifted tail plus a sequential sweep
-//! of the offset table, never a per-pair walk of the whole CSR. Consumers
-//! caching per-triple derived data replay the identical splice on their own
-//! buffers via [`OverlapDelta::splice_triples_parallel`]. When the batch
-//! introduces new workers every pair id remaps, so
-//! [`PairOverlapIndex::apply_delta`] falls back to a sequential re-merge
-//! (bulk copies for untouched pairs). Either way the result is
-//! structurally equal to `PairOverlapIndex::build` on the grown snapshot
-//! (property-tested in `tests/overlap_delta.rs`), so downstream consumers
-//! cannot observe which path produced it. At n=200 workers (~326k
-//! triples), splicing in a 1–10 answer batch costs ~1 ms against a ~3 ms
-//! full rebuild — and, more importantly, it preserves downstream caches
-//! keyed to triple positions (see `BENCH_stream.json`).
+//! When a snapshot mutates by a [`SnapshotDelta`] batch
+//! ([`Observations::apply_delta`]) — appended answers, **revisions**,
+//! **retractions**, even batches introducing brand-new workers — the index
+//! never needs the serial full rebuild. Affected triples are discovered by
+//! walking only the **touched** tasks' responder lists
+//! (`O(Σ_{j touched} |W^j|²)` instead of `O(Σ_j |W^j|²)`);
+//! [`PairOverlapIndex::plan_delta`] then pins down the exact buffer edits —
+//! positions of deleted triples, overwritten triples and fresh triples —
+//! and [`PairOverlapIndex::apply_planned`] splices them in place: one
+//! forward pass of block `memmove`s compacts shrinking pair runs, one
+//! backward pass expands growing ones, and the offset table is adjusted
+//! with a sequential sweep — never a per-pair walk of the whole CSR. When
+//! the batch introduces new workers, every triangular pair id remaps, but
+//! the remap is order-preserving *within* the old id space: old rows keep
+//! their relative order and new workers' pairs splice in at each row's
+//! boundary, so the triple buffer takes the same block-move treatment and
+//! only the offset table is rebuilt, in one `O(pairs)` pass — the worker
+//! growth splice. Consumers caching per-triple derived data replay the
+//! identical splice on their own buffers via
+//! [`OverlapDelta::splice_triples_parallel`] (and dirty overwritten slots
+//! via [`OverlapDelta::overwritten_positions`]).
+//!
+//! Whatever the batch's shape, the result is structurally equal to
+//! `PairOverlapIndex::build` on the mutated snapshot (property-tested in
+//! `tests/overlap_delta.rs`), so downstream consumers cannot observe which
+//! path produced it. At n=200 workers (~326k triples), splicing in a 1–10
+//! answer batch costs ~1 ms against a ~3 ms full rebuild — and, more
+//! importantly, it preserves downstream caches keyed to triple positions
+//! (see `BENCH_stream.json` and `docs/STREAMING.md`).
 
-use crate::{Observations, SnapshotDelta, TaskId, ValueId, WorkerId};
+use crate::{NetChange, Observations, SnapshotDelta, TaskId, ValueId, WorkerId};
 
 /// One co-answered task of a worker pair `(a, b)`: the task plus the value
 /// each worker gave (`va` from the smaller-id worker `a`).
@@ -228,12 +236,12 @@ impl PairOverlapIndex {
     ///
     /// Structurally equal to `PairOverlapIndex::build(after)` — same
     /// offsets, same triples, same non-empty pair list — but computed with
-    /// work proportional to the *touched* pairs: delta triples come from
-    /// walking only the touched tasks' responder lists. When the worker
-    /// range is unchanged this is a [`PairOverlapIndex::plan_delta`] +
-    /// [`PairOverlapIndex::apply_planned`] on a copy (in-place splices);
-    /// when the delta introduces new workers the whole pair-id space
-    /// remaps, so the buffers are re-merged sequentially instead.
+    /// work proportional to the *touched* pairs plus the shifted buffer
+    /// tail: affected triples come from walking only the touched tasks'
+    /// responder lists, and the edit is a planned splice on a copy
+    /// ([`PairOverlapIndex::plan_delta`] then
+    /// [`PairOverlapIndex::apply_planned`]). Appends, revisions,
+    /// retractions and worker growth all take this one path.
     ///
     /// Prefer [`PairOverlapIndex::apply_delta`] when the old index is no
     /// longer needed — it skips the copy.
@@ -253,236 +261,275 @@ impl PairOverlapIndex {
     /// In-place version of [`PairOverlapIndex::extended`]: rebases this
     /// index onto `after = base.apply_delta(delta)`.
     pub fn apply_delta(&mut self, after: &Observations, delta: &SnapshotDelta) {
-        if after.n_workers() == self.n_workers {
-            let plan = self.plan_delta(after, delta);
-            self.apply_planned(&plan);
-        } else {
-            *self = self.extended_growing(after, delta);
-        }
+        let plan = self.plan_delta(after, delta);
+        self.apply_planned(&plan);
     }
 
-    /// General-path rebase for deltas that grow the worker range: every
-    /// pair id remaps, so offsets are recounted and the triple buffer is
-    /// re-merged sequentially (bulk copies for untouched pairs).
-    fn extended_growing(&self, after: &Observations, delta: &SnapshotDelta) -> Self {
-        let n_old = self.n_workers;
-        let n_new = after.n_workers();
-        assert!(
-            n_new >= n_old,
-            "snapshot worker range shrank under the index ({n_old} -> {n_new})"
-        );
-
-        let delta_triples = delta_triples_of(after, delta);
-
-        // 2. Per-pair counts in the grown pair space, then prefix offsets.
-        let n_pairs = n_new * n_new.saturating_sub(1) / 2;
-        let mut counts = vec![0usize; n_pairs];
-        for &(a, b) in &self.nonempty {
-            let old_pair = triangular_id(n_old, a as usize, b as usize);
-            counts[triangular_id(n_new, a as usize, b as usize)] +=
-                self.offsets[old_pair + 1] - self.offsets[old_pair];
-        }
-        for &(a, b, _) in &delta_triples {
-            counts[triangular_id(n_new, a as usize, b as usize)] += 1;
-        }
-        let mut offsets = Vec::with_capacity(n_pairs + 1);
-        let mut total = 0usize;
-        offsets.push(0);
-        for &c in &counts {
-            total += c;
-            offsets.push(total);
-        }
-
-        // 3. Fill by walking the union of old non-empty pairs and delta
-        //    pairs in lexicographic order. Pairs enumerate in the same
-        //    order the offsets were counted in, so the output buffer is
-        //    written strictly left to right — no placeholder prefill — and
-        //    pairs untouched by the delta (the overwhelming majority for
-        //    small batches) are carried over with one bulk copy each.
-        let mut triples: Vec<OverlapTriple> = Vec::with_capacity(total);
-        let mut nonempty = Vec::with_capacity(self.nonempty.len());
-        let mut oi = 0; // cursor into self.nonempty
-        let mut di = 0; // cursor into delta_triples
-        while oi < self.nonempty.len() || di < delta_triples.len() {
-            let old_key = self.nonempty.get(oi).copied();
-            let delta_key = delta_triples.get(di).map(|&(a, b, _)| (a, b));
-            let (a, b) = match (old_key, delta_key) {
-                (Some(o), Some(d)) => o.min(d),
-                (Some(o), None) => o,
-                (None, Some(d)) => d,
-                (None, None) => unreachable!("loop condition"),
-            };
-            let old_run: &[OverlapTriple] = if old_key == Some((a, b)) {
-                let old_pair = triangular_id(n_old, a as usize, b as usize);
-                oi += 1;
-                &self.triples[self.offsets[old_pair]..self.offsets[old_pair + 1]]
-            } else {
-                &[]
-            };
-            let delta_start = di;
-            while di < delta_triples.len() {
-                let (da, db, _) = delta_triples[di];
-                if (da, db) != (a, b) {
-                    break;
-                }
-                di += 1;
-            }
-            let delta_run = &delta_triples[delta_start..di];
-            if delta_run.is_empty() {
-                triples.extend_from_slice(old_run);
-            } else if old_run.is_empty() {
-                triples.extend(delta_run.iter().map(|&(_, _, tr)| tr));
-            } else {
-                // Task-sorted disjoint runs: standard two-pointer merge.
-                let (mut x, mut y) = (0, 0);
-                while x < old_run.len() || y < delta_run.len() {
-                    let take_old = y >= delta_run.len()
-                        || (x < old_run.len() && old_run[x].task < delta_run[y].2.task);
-                    if take_old {
-                        triples.push(old_run[x]);
-                        x += 1;
-                    } else {
-                        triples.push(delta_run[y].2);
-                        y += 1;
-                    }
-                }
-            }
-            let pair = triangular_id(n_new, a as usize, b as usize);
-            debug_assert_eq!(triples.len(), offsets[pair + 1], "pair ({a}, {b}) fill");
-            nonempty.push((a, b));
-        }
-        debug_assert_eq!(triples.len(), total);
-
-        PairOverlapIndex {
-            n_workers: n_new,
-            offsets,
-            triples,
-            nonempty,
-        }
-    }
-
-    /// Computes the exact in-place edit a batch of appended answers makes
-    /// to this index — the fixed-worker-range fast path.
+    /// Computes the exact in-place edit a mutation batch makes to this
+    /// index — appends, revisions, retractions and worker growth alike.
     ///
-    /// The resulting [`OverlapDelta`] pins down, in *new* coordinates, the
-    /// positions where fresh triples land in the triple buffer; everything
-    /// between those positions shifts as a contiguous block, so
+    /// The resulting [`OverlapDelta`] pins down the old-coordinate
+    /// positions of triples a retraction deletes, the final-coordinate
+    /// positions where fresh triples land, and the final-coordinate
+    /// positions of triples a revision overwrites; everything between those
+    /// positions shifts as a contiguous block, so
     /// [`PairOverlapIndex::apply_planned`] (and any consumer maintaining a
     /// buffer parallel to the triples, via
     /// [`OverlapDelta::splice_triples_parallel`]) touches memory
     /// proportional to the shifted tail, not to a per-pair walk of the
     /// whole CSR.
     ///
+    /// When the delta appends answers from workers beyond this index's
+    /// range, every triangular pair id remaps — but the remap preserves the
+    /// buffer order of old pairs and splices each new worker's pairs at
+    /// row boundaries, so the plan stays a pure block-move edit; only the
+    /// offset table is rebuilt (one `O(pairs)` pass at apply time).
+    ///
     /// # Panics
-    /// Panics if `after`'s worker range differs from this index's (worker
-    /// growth remaps every pair id — use
-    /// [`PairOverlapIndex::apply_delta`], which falls back to the general
-    /// re-merge path).
+    /// Panics if `after`'s worker range is smaller than this index's, or if
+    /// `after` and `delta` disagree with the snapshot this index was built
+    /// on (debug builds assert the edit positions line up; the caller is
+    /// responsible for `after` actually being `base + delta`).
     pub fn plan_delta(&self, after: &Observations, delta: &SnapshotDelta) -> OverlapDelta {
-        assert_eq!(
-            after.n_workers(),
-            self.n_workers,
-            "plan_delta requires a fixed worker range"
+        let n_old = self.n_workers;
+        let n_new = after.n_workers();
+        assert!(
+            n_new >= n_old,
+            "snapshot worker range shrank under the index ({n_old} -> {n_new})"
         );
-        let delta_triples = delta_triples_of(after, delta);
-        let mut triple_positions = Vec::with_capacity(delta_triples.len());
-        let mut triple_values = Vec::with_capacity(delta_triples.len());
-        let mut pair_gains: Vec<(usize, usize)> = Vec::new();
-        let mut nonempty_positions = Vec::new();
-        let mut nonempty_values = Vec::new();
-        let mut cum_gain = 0usize;
-        let mut di = 0usize;
-        while di < delta_triples.len() {
-            let (a, b, _) = delta_triples[di];
-            let run_start = di;
-            while di < delta_triples.len() {
-                let (da, db, _) = delta_triples[di];
-                if (da, db) != (a, b) {
-                    break;
-                }
-                di += 1;
+        let edits = pair_edits_of(after, delta);
+        let mut plan = OverlapDelta {
+            n_triples_before: self.triples.len(),
+            n_workers_before: n_old,
+            n_workers_after: n_new,
+            removed_positions: Vec::new(),
+            inserted_positions: Vec::new(),
+            inserted_values: Vec::new(),
+            overwritten_positions: Vec::new(),
+            overwritten_values: Vec::new(),
+            pair_deltas: Vec::new(),
+            nonempty_removed: Vec::new(),
+            nonempty_inserted_positions: Vec::new(),
+            nonempty_inserted_values: Vec::new(),
+        };
+        // Cumulative inserted/removed triple counts at positions left of
+        // the current pair, translating old coordinates into final ones.
+        let (mut cum_ins, mut cum_rem) = (0usize, 0usize);
+        let (mut ne_ins, mut ne_rem) = (0usize, 0usize);
+        let mut ei = 0;
+        while ei < edits.len() {
+            let (a, b, _) = edits[ei];
+            let run_start = ei;
+            while ei < edits.len() && edits[ei].0 == a && edits[ei].1 == b {
+                ei += 1;
             }
-            let run = &delta_triples[run_start..di];
-            let pair = triangular_id(self.n_workers, a as usize, b as usize);
-            let (old_lo, old_hi) = (self.offsets[pair], self.offsets[pair + 1]);
-            if old_lo == old_hi {
-                // Newly non-empty pair: record its ordinal insertion point
-                // (in new coordinates — earlier planned insertions shift
-                // later ordinals).
-                let ordinal = self.nonempty.partition_point(|&p| p < (a, b));
-                nonempty_positions.push(ordinal + nonempty_values.len());
-                nonempty_values.push((a, b));
-            }
-            // Interleave the delta run into the pair's (task-sorted) old
-            // triples to find each insertion's position in the merged run.
+            let run = &edits[run_start..ei];
+            // Old-coordinate span of this pair's triples. Pairs with a
+            // partner beyond the old range have no old run; their triples
+            // splice in at the end of worker `a`'s old row, which is where
+            // the remapped pair-id order puts them.
+            let (old_lo, old_hi) = if (b as usize) < n_old {
+                let p = triangular_id(n_old, a as usize, b as usize);
+                (self.offsets[p], self.offsets[p + 1])
+            } else {
+                let anchor = self.row_end_anchor(a as usize);
+                (anchor, anchor)
+            };
             let mut x = old_lo;
-            for (consumed, &(_, _, tr)) in run.iter().enumerate() {
-                while x < old_hi && self.triples[x].task < tr.task {
+            let (mut ins, mut rem) = (0usize, 0usize);
+            for &(_, _, edit) in run {
+                while x < old_hi && self.triples[x].task < edit.task() {
                     x += 1;
                 }
-                triple_positions.push(cum_gain + x + consumed);
-                triple_values.push(tr);
+                match edit {
+                    PairEdit::Remove(t) => {
+                        debug_assert!(
+                            x < old_hi && self.triples[x].task == t,
+                            "retracted triple must be indexed"
+                        );
+                        plan.removed_positions.push(x);
+                        rem += 1;
+                        x += 1;
+                    }
+                    PairEdit::Overwrite(tr) => {
+                        debug_assert!(
+                            x < old_hi && self.triples[x].task == tr.task,
+                            "revised triple must be indexed"
+                        );
+                        plan.overwritten_positions
+                            .push(x + cum_ins + ins - cum_rem - rem);
+                        plan.overwritten_values.push(tr);
+                        x += 1;
+                    }
+                    PairEdit::Insert(tr) => {
+                        debug_assert!(
+                            x >= old_hi || self.triples[x].task > tr.task,
+                            "inserted triple must be fresh"
+                        );
+                        plan.inserted_positions
+                            .push(x + cum_ins + ins - cum_rem - rem);
+                        plan.inserted_values.push(tr);
+                        ins += 1;
+                    }
+                }
             }
-            pair_gains.push((pair, run.len()));
-            cum_gain += run.len();
+            let old_len = old_hi - old_lo;
+            let new_len = old_len + ins - rem;
+            if ins != rem {
+                plan.pair_deltas.push((
+                    triangular_id(n_new, a as usize, b as usize),
+                    ins as isize - rem as isize,
+                ));
+            }
+            if old_len == 0 && new_len > 0 {
+                let ordinal = self.nonempty.partition_point(|&p| p < (a, b));
+                plan.nonempty_inserted_positions
+                    .push(ordinal + ne_ins - ne_rem);
+                plan.nonempty_inserted_values.push((a, b));
+                ne_ins += 1;
+            } else if old_len > 0 && new_len == 0 {
+                let ordinal = self.nonempty.partition_point(|&p| p < (a, b));
+                debug_assert_eq!(
+                    self.nonempty.get(ordinal),
+                    Some(&(a, b)),
+                    "emptied pair must be listed"
+                );
+                plan.nonempty_removed.push(ordinal);
+                ne_rem += 1;
+            }
+            cum_ins += ins;
+            cum_rem += rem;
         }
-        OverlapDelta {
-            n_triples_before: self.triples.len(),
-            triple_positions,
-            triple_values,
-            pair_gains,
-            nonempty_positions,
-            nonempty_values,
-        }
+        plan
     }
 
     /// Applies a plan produced by [`PairOverlapIndex::plan_delta`] on this
     /// exact index state. Work is `O(shifted tail + touched pairs)`: one
-    /// backward splice of the triple buffer, one sequential pass over the
-    /// (tiny) offset table, and an ordinal splice of the non-empty list.
+    /// forward compaction pass for deleted triples, one backward expansion
+    /// pass for fresh ones, in-place value overwrites for revised ones, a
+    /// sequential sweep (or, under worker growth, an `O(pairs)` remap
+    /// rebuild) of the offset table, and an ordinal splice of the
+    /// non-empty list.
     ///
     /// # Panics
-    /// Panics if this index's triple count differs from the one the plan
-    /// was made against (the plan was applied already, or to the wrong
-    /// index).
+    /// Panics if this index's triple count or worker range differs from
+    /// the state the plan was made against (the plan was applied already,
+    /// or to the wrong index).
     pub fn apply_planned(&mut self, plan: &OverlapDelta) {
         assert_eq!(
             self.triples.len(),
             plan.n_triples_before,
             "plan made for a different index state"
         );
+        assert_eq!(
+            self.n_workers, plan.n_workers_before,
+            "plan made for a different worker range"
+        );
+        splice_remove(&mut self.triples, &plan.removed_positions);
         splice_insert(
             &mut self.triples,
-            &plan.triple_positions,
+            &plan.inserted_positions,
             OverlapTriple {
                 task: TaskId(0),
                 va: ValueId(0),
                 vb: ValueId(0),
             },
         );
-        for (&pos, &tr) in plan.triple_positions.iter().zip(&plan.triple_values) {
+        for (&pos, &tr) in plan.inserted_positions.iter().zip(&plan.inserted_values) {
             self.triples[pos] = tr;
         }
-        if let Some(&(first_pair, _)) = plan.pair_gains.first() {
-            let mut gain = 0usize;
+        for (&pos, &tr) in plan
+            .overwritten_positions
+            .iter()
+            .zip(&plan.overwritten_values)
+        {
+            self.triples[pos] = tr;
+        }
+
+        if plan.n_workers_after == self.n_workers {
+            // Fixed range: one sweep from the first touched pair, shifting
+            // offsets by the cumulative net triple delta.
+            if let Some(&(first_pair, _)) = plan.pair_deltas.first() {
+                let mut shift = 0isize;
+                let mut gi = 0usize;
+                for pair in first_pair..self.offsets.len() - 1 {
+                    self.offsets[pair] = (self.offsets[pair] as isize + shift) as usize;
+                    if gi < plan.pair_deltas.len() && plan.pair_deltas[gi].0 == pair {
+                        shift += plan.pair_deltas[gi].1;
+                        gi += 1;
+                    }
+                }
+                let last = self.offsets.last_mut().expect("offsets never empty");
+                *last = (*last as isize + shift) as usize;
+            }
+        } else {
+            // Worker growth: remap the triangular id space in one O(pairs)
+            // pass — old pairs carry their (possibly delta-shifted) run
+            // lengths to their new ids, new-worker pairs pick theirs up
+            // from the plan.
+            let n_old = self.n_workers;
+            let n_new = plan.n_workers_after;
+            let n_pairs_new = n_new * (n_new - 1) / 2;
+            let mut offsets = Vec::with_capacity(n_pairs_new + 1);
+            offsets.push(0);
+            let mut total = 0usize;
             let mut gi = 0usize;
-            for pair in first_pair..self.offsets.len() - 1 {
-                self.offsets[pair] += gain;
-                if gi < plan.pair_gains.len() && plan.pair_gains[gi].0 == pair {
-                    gain += plan.pair_gains[gi].1;
-                    gi += 1;
+            for a in 0..n_new {
+                for b in (a + 1)..n_new {
+                    let mut count: isize = if b < n_old {
+                        let p = triangular_id(n_old, a, b);
+                        (self.offsets[p + 1] - self.offsets[p]) as isize
+                    } else {
+                        0
+                    };
+                    let new_pair = offsets.len() - 1;
+                    if gi < plan.pair_deltas.len() && plan.pair_deltas[gi].0 == new_pair {
+                        count += plan.pair_deltas[gi].1;
+                        gi += 1;
+                    }
+                    total = (total as isize + count) as usize;
+                    offsets.push(total);
                 }
             }
-            *self.offsets.last_mut().expect("offsets never empty") += gain;
+            debug_assert_eq!(gi, plan.pair_deltas.len(), "every pair delta consumed");
+            self.offsets = offsets;
+            self.n_workers = n_new;
         }
-        splice_insert(&mut self.nonempty, &plan.nonempty_positions, (0, 0));
-        for (&pos, &pair) in plan.nonempty_positions.iter().zip(&plan.nonempty_values) {
+
+        splice_remove(&mut self.nonempty, &plan.nonempty_removed);
+        splice_insert(
+            &mut self.nonempty,
+            &plan.nonempty_inserted_positions,
+            (0, 0),
+        );
+        for (&pos, &pair) in plan
+            .nonempty_inserted_positions
+            .iter()
+            .zip(&plan.nonempty_inserted_values)
+        {
             self.nonempty[pos] = pair;
         }
+        debug_assert_eq!(
+            self.triples.len(),
+            *self.offsets.last().expect("offsets never empty"),
+            "offset total tracks the triple buffer"
+        );
+    }
+
+    /// Old-buffer position where worker `a`'s pair runs end — the splice
+    /// anchor for pairs whose partner lies beyond the old worker range
+    /// (their remapped ids sit between row `a`'s old pairs and row `a+1`).
+    fn row_end_anchor(&self, a: usize) -> usize {
+        if self.n_workers < 2 || a + 1 >= self.n_workers {
+            return self.triples.len();
+        }
+        // One past the pair id of (a, n_workers - 1).
+        let e = a * (2 * self.n_workers - a - 1) / 2 + (self.n_workers - a - 1);
+        self.offsets[e]
     }
 }
 
-/// A planned in-place index edit for one append batch — see
+/// A planned in-place index edit for one mutation batch — see
 /// [`PairOverlapIndex::plan_delta`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlapDelta {
@@ -490,35 +537,66 @@ pub struct OverlapDelta {
     /// drifted buffer (double-applied or skipped plan) fails loudly
     /// instead of silently corrupting alignment.
     n_triples_before: usize,
-    /// Positions (new coordinates, ascending) where fresh triples land in
-    /// the triple buffer, with the values.
-    triple_positions: Vec<usize>,
-    triple_values: Vec<OverlapTriple>,
-    /// `(pair id, inserted count)` ascending, for the offset-table pass.
-    pair_gains: Vec<(usize, usize)>,
-    /// Ordinal positions (new coordinates, ascending) of pairs that become
-    /// non-empty, with their `(a, b)` keys.
-    nonempty_positions: Vec<usize>,
-    nonempty_values: Vec<(u32, u32)>,
+    /// Worker range the plan was made against, and the range afterwards
+    /// (growth triggers the offset-table remap at apply time).
+    n_workers_before: usize,
+    n_workers_after: usize,
+    /// Positions (old coordinates, ascending) of triples a retraction
+    /// deletes from the triple buffer.
+    removed_positions: Vec<usize>,
+    /// Positions (final coordinates, ascending) where fresh triples land
+    /// in the triple buffer, with the values.
+    inserted_positions: Vec<usize>,
+    inserted_values: Vec<OverlapTriple>,
+    /// Positions (final coordinates, ascending) of triples whose values a
+    /// revision replaces, with the new values.
+    overwritten_positions: Vec<usize>,
+    overwritten_values: Vec<OverlapTriple>,
+    /// `(pair id in the *after* id space, net triple delta)` ascending,
+    /// for the offset-table pass; pairs with a zero net delta are omitted.
+    pair_deltas: Vec<(usize, isize)>,
+    /// Ordinal positions (old coordinates, ascending) of pairs that become
+    /// empty, and (final coordinates, ascending) of pairs that become
+    /// non-empty with their `(a, b)` keys.
+    nonempty_removed: Vec<usize>,
+    nonempty_inserted_positions: Vec<usize>,
+    nonempty_inserted_values: Vec<(u32, u32)>,
 }
 
 impl OverlapDelta {
     /// Number of triples the batch inserts.
     pub fn n_new_triples(&self) -> usize {
-        self.triple_positions.len()
+        self.inserted_positions.len()
+    }
+
+    /// Number of triples the batch deletes.
+    pub fn n_removed_triples(&self) -> usize {
+        self.removed_positions.len()
     }
 
     /// Whether applying the plan changes nothing.
     pub fn is_noop(&self) -> bool {
-        self.triple_positions.is_empty()
+        self.inserted_positions.is_empty()
+            && self.removed_positions.is_empty()
+            && self.overwritten_positions.is_empty()
+            && self.n_workers_after == self.n_workers_before
+    }
+
+    /// Final-coordinate positions of triples whose values a revision
+    /// replaces — consumers caching per-triple derived data must dirty
+    /// these slots after [`OverlapDelta::splice_triples_parallel`].
+    pub fn overwritten_positions(&self) -> &[usize] {
+        &self.overwritten_positions
     }
 
     /// Splices a buffer maintained parallel to the index's triple buffer
-    /// (one element per triple, same order): inserts `fill` at every
-    /// position where [`PairOverlapIndex::apply_planned`] inserts a fresh
-    /// triple, shifting the rest identically. Callers caching per-triple
-    /// derived data (e.g. dependence log terms) stay aligned without
-    /// re-walking the CSR.
+    /// (one element per triple, same order): deletes the element of every
+    /// triple [`PairOverlapIndex::apply_planned`] removes and inserts
+    /// `fill` wherever it inserts a fresh triple, shifting the rest
+    /// identically. Callers caching per-triple derived data (e.g.
+    /// dependence log terms) stay aligned without re-walking the CSR; the
+    /// slots named by [`OverlapDelta::overwritten_positions`] keep their
+    /// old (now stale) values and must be dirtied by the caller.
     ///
     /// # Panics
     /// Panics if `buf`'s length differs from the triple count the plan was
@@ -529,7 +607,8 @@ impl OverlapDelta {
             self.n_triples_before,
             "parallel buffer out of sync with the plan's index state"
         );
-        splice_insert(buf, &self.triple_positions, fill);
+        splice_remove(buf, &self.removed_positions);
+        splice_insert(buf, &self.inserted_positions, fill);
     }
 }
 
@@ -555,56 +634,128 @@ fn splice_insert<X: Copy>(buf: &mut Vec<X>, positions: &[usize], fill: X) {
     debug_assert_eq!(src, dst, "head already in place");
 }
 
-/// The fresh overlap triples an answer batch contributes, from touched
-/// tasks only, sorted by `(a, b, task)`.
+/// Deletes the elements at `positions` (ascending, distinct, expressed in
+/// pre-deletion coordinates) — a single forward pass of block `memmove`s,
+/// so cost is the shifted tail plus the deletion count.
+fn splice_remove<X: Copy>(buf: &mut Vec<X>, positions: &[usize]) {
+    if positions.is_empty() {
+        return;
+    }
+    let mut dst = positions[0];
+    for (k, &pos) in positions.iter().enumerate() {
+        let next = positions.get(k + 1).copied().unwrap_or(buf.len());
+        buf.copy_within(pos + 1..next, dst);
+        dst += next - pos - 1;
+    }
+    buf.truncate(dst);
+}
+
+/// One planned edit of a pair's triple run (see [`pair_edits_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairEdit {
+    /// A fresh triple: both workers answer the task afterwards, and at
+    /// least one of the answers is newly appended.
+    Insert(OverlapTriple),
+    /// An existing triple whose values change: both workers answer before
+    /// and after, and at least one revised.
+    Overwrite(OverlapTriple),
+    /// An existing triple to delete: at least one answer was retracted.
+    Remove(TaskId),
+}
+
+impl PairEdit {
+    fn task(&self) -> TaskId {
+        match *self {
+            PairEdit::Insert(tr) | PairEdit::Overwrite(tr) => tr.task,
+            PairEdit::Remove(t) => t,
+        }
+    }
+}
+
+/// The per-pair triple edits a mutation batch causes, from touched tasks
+/// only, sorted by `(a, b, task)`.
 ///
-/// An answer pair on a touched task contributes a *new* triple iff at least
-/// one of the two answers arrived in this delta (both-old pairs were
-/// already indexed). Each pair's run comes out in ascending task order,
-/// disjoint from its previously indexed tasks (duplicate answers are
-/// rejected at apply time). Cost is `O(Σ_{j touched} |W^j|²)`.
-fn delta_triples_of(after: &Observations, delta: &SnapshotDelta) -> Vec<(u32, u32, OverlapTriple)> {
-    let mut new_answers: Vec<(TaskId, WorkerId)> =
-        delta.answers().iter().map(|&(w, t, _)| (t, w)).collect();
-    new_answers.sort_unstable();
-    let mut delta_triples: Vec<(u32, u32, OverlapTriple)> = Vec::new();
-    let mut is_new = Vec::new();
+/// For each touched task the responder set *before* the delta is recovered
+/// from the after-rows and the delta's net cell changes
+/// ([`SnapshotDelta::net_changes`]); every pair over the old ∪ new
+/// responder union then classifies as kept / inserted / overwritten /
+/// removed. Cost is `O(Σ_{j touched} |W^j ∪ W'^j|²)` plus the
+/// `O(|ops| log |ops|)` net-change collapse — the latter is also paid by
+/// `Observations::apply_delta`, but batches are tiny next to the splice
+/// work, so the planner recomputes it rather than widening the public API
+/// to thread the net view through.
+///
+/// # Panics
+/// Panics on an internally inconsistent op log. `plan_delta`'s contract
+/// already requires `after == base.apply_delta(delta)`, and `apply_delta`
+/// rejects such logs with an error — so a caller can only hit this by
+/// skipping that validation.
+fn pair_edits_of(after: &Observations, delta: &SnapshotDelta) -> Vec<(u32, u32, PairEdit)> {
+    let net = delta
+        .net_changes()
+        .expect("op log validated by Observations::apply_delta before planning");
+    let mut edits: Vec<(u32, u32, PairEdit)> = Vec::new();
+    // Union member: (worker, value after, in old set, in new set, revised).
+    let mut union: Vec<(WorkerId, ValueId, bool, bool, bool)> = Vec::new();
     let mut k = 0;
-    while k < new_answers.len() {
-        let task = new_answers[k].0;
+    while k < net.len() {
+        let task = net[k].1;
         let run_start = k;
-        while k < new_answers.len() && new_answers[k].0 == task {
+        while k < net.len() && net[k].1 == task {
             k += 1;
         }
-        let fresh = &new_answers[run_start..k];
+        // Net changes are sorted by (task, worker): one worker-sorted merge
+        // against the task's after-rows classifies every responder.
+        let changes = &net[run_start..k];
         let rows = after.workers_of_task(task);
-        // Mark the fresh responders by merging the two worker-sorted lists.
-        is_new.clear();
-        is_new.resize(rows.len(), false);
-        let mut fi = 0;
-        for (x, &(w, _)) in rows.iter().enumerate() {
-            while fi < fresh.len() && fresh[fi].1 < w {
-                fi += 1;
+        union.clear();
+        let mut ci = 0;
+        for &(w, v) in rows {
+            while ci < changes.len() && changes[ci].0 < w {
+                // A change for a worker absent from the after-rows: a
+                // retraction — the worker responded only before the delta.
+                debug_assert!(matches!(changes[ci].2, NetChange::Removed));
+                union.push((changes[ci].0, ValueId(0), true, false, false));
+                ci += 1;
             }
-            if fi < fresh.len() && fresh[fi].1 == w {
-                is_new[x] = true;
-                fi += 1;
-            }
-        }
-        for (x, &(wa, va)) in rows.iter().enumerate() {
-            for (y, &(wb, vb)) in rows.iter().enumerate().skip(x + 1) {
-                if is_new[x] || is_new[y] {
-                    delta_triples.push((
-                        wa.index() as u32,
-                        wb.index() as u32,
-                        OverlapTriple { task, va, vb },
-                    ));
+            let (in_old, revised) = if ci < changes.len() && changes[ci].0 == w {
+                let change = changes[ci].2;
+                ci += 1;
+                match change {
+                    NetChange::Added(_) => (false, false),
+                    NetChange::Changed(_) => (true, true),
+                    NetChange::Removed => {
+                        unreachable!("removed workers are absent from the after-rows")
+                    }
                 }
+            } else {
+                (true, false) // untouched responder
+            };
+            union.push((w, v, in_old, true, revised));
+        }
+        while ci < changes.len() {
+            debug_assert!(matches!(changes[ci].2, NetChange::Removed));
+            union.push((changes[ci].0, ValueId(0), true, false, false));
+            ci += 1;
+        }
+        for (x, &(wa, va, a_old, a_new, a_rev)) in union.iter().enumerate() {
+            for &(wb, vb, b_old, b_new, b_rev) in &union[x + 1..] {
+                let existed = a_old && b_old;
+                let exists = a_new && b_new;
+                let edit = match (existed, exists) {
+                    (true, true) if a_rev || b_rev => {
+                        PairEdit::Overwrite(OverlapTriple { task, va, vb })
+                    }
+                    (false, true) => PairEdit::Insert(OverlapTriple { task, va, vb }),
+                    (true, false) => PairEdit::Remove(task),
+                    _ => continue, // kept untouched, or never existed
+                };
+                edits.push((wa.index() as u32, wb.index() as u32, edit));
             }
         }
     }
-    delta_triples.sort_unstable_by_key(|&(a, b, tr)| (a, b, tr.task));
-    delta_triples
+    edits.sort_unstable_by_key(|&(a, b, e)| (a, b, e.task()));
+    edits
 }
 
 /// Dense id of the unordered pair `(a, b)`, `a < b`, in lexicographic order:
@@ -793,6 +944,81 @@ mod tests {
         }
         assert_eq!(index.n_workers(), 3);
         assert!(index.n_triples() > 0);
+    }
+
+    #[test]
+    fn revisions_overwrite_triples_in_place() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        let mut delta = crate::SnapshotDelta::new();
+        delta.revise(WorkerId(0), TaskId(0), ValueId(0)); // touches pairs (0,1), (0,2)
+        let after = base.apply_delta(&delta).unwrap();
+        let plan = index.plan_delta(&after, &delta);
+        assert_eq!(plan.n_new_triples(), 0);
+        assert_eq!(plan.n_removed_triples(), 0);
+        assert_eq!(plan.overwritten_positions().len(), 2);
+        assert!(!plan.is_noop());
+        let mut spliced = index.clone();
+        spliced.apply_planned(&plan);
+        assert_eq!(spliced, PairOverlapIndex::build(&after));
+        // A same-value revision is still an overwrite, and still exact.
+        let mut delta = crate::SnapshotDelta::new();
+        delta.revise(WorkerId(1), TaskId(0), ValueId(1));
+        let after2 = after.apply_delta(&delta).unwrap();
+        let rebased = spliced.extended(&after2, &delta);
+        assert_eq!(rebased, PairOverlapIndex::build(&after2));
+    }
+
+    #[test]
+    fn retractions_shrink_pair_runs_and_empty_pairs() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        // Retract worker 1's only answers: pairs (0,1) and (1,2) vanish.
+        let mut delta = crate::SnapshotDelta::new();
+        delta.retract(WorkerId(1), TaskId(0));
+        delta.retract(WorkerId(1), TaskId(2));
+        let after = base.apply_delta(&delta).unwrap();
+        let shrunk = index.extended(&after, &delta);
+        assert_eq!(shrunk, PairOverlapIndex::build(&after));
+        assert_eq!(shrunk.n_nonempty_pairs(), 1);
+        assert!(shrunk.triples(WorkerId(0), WorkerId(1)).is_empty());
+        assert_eq!(shrunk.triples(WorkerId(0), WorkerId(2)).len(), 2);
+        // Worker range is retained even though worker 1 answered nothing.
+        assert_eq!(shrunk.n_workers(), 4);
+    }
+
+    #[test]
+    fn mixed_mutation_with_worker_growth_matches_rebuild() {
+        let base = sample();
+        let index = PairOverlapIndex::build(&base);
+        let mut delta = crate::SnapshotDelta::new();
+        delta.push(WorkerId(4), TaskId(0), ValueId(1)); // brand-new worker
+        delta.push(WorkerId(4), TaskId(2), ValueId(0));
+        delta.retract(WorkerId(2), TaskId(0)); // shrink pairs (0,2), (1,2)
+        delta.revise(WorkerId(0), TaskId(1), ValueId(0)); // overwrite (0,2)
+        delta.push(WorkerId(3), TaskId(1), ValueId(2)); // silent worker wakes
+        let after = base.apply_delta(&delta).unwrap();
+        let incremental = index.extended(&after, &delta);
+        assert_eq!(incremental, PairOverlapIndex::build(&after));
+        assert_eq!(incremental.n_workers(), 5);
+    }
+
+    #[test]
+    fn retract_to_empty_index_matches_rebuild() {
+        // Retracting every answer leaves a structurally valid empty index.
+        let mut b = ObservationsBuilder::new(2, 2);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(1), TaskId(0), ValueId(0)).unwrap();
+        let base = b.build();
+        let index = PairOverlapIndex::build(&base);
+        let mut delta = crate::SnapshotDelta::new();
+        delta.retract(WorkerId(0), TaskId(0));
+        delta.retract(WorkerId(1), TaskId(0));
+        let after = base.apply_delta(&delta).unwrap();
+        let emptied = index.extended(&after, &delta);
+        assert_eq!(emptied, PairOverlapIndex::build(&after));
+        assert_eq!(emptied.n_triples(), 0);
+        assert_eq!(emptied.n_nonempty_pairs(), 0);
     }
 
     #[test]

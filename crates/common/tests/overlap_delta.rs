@@ -1,146 +1,255 @@
-//! Incremental-vs-rebuild equivalence of the snapshot append path.
+//! Incremental-vs-rebuild equivalence of the snapshot mutation path.
 //!
-//! Two invariants, under adversarial append orders (empty batches, repeated
-//! tasks across batches, workers first appearing mid-stream):
+//! Two invariants, under adversarial mutation schedules (empty batches,
+//! repeated tasks across batches, workers first appearing mid-stream,
+//! answers revised after delivery, retracted permanently, or withdrawn
+//! and resubmitted):
 //!
 //! * `Observations::apply_delta` must produce the same snapshot (`Eq`) as
-//!   rebuilding from scratch with all answers;
+//!   rebuilding from scratch with the surviving answers;
 //! * `PairOverlapIndex::extended` must produce the same index (`Eq`) as
-//!   `PairOverlapIndex::build` on the grown snapshot.
+//!   `PairOverlapIndex::build` on the mutated snapshot.
 //!
 //! Both types derive structural equality, so "same" here is exact — no
 //! tolerance, no canonicalization.
 
 use imc2_common::{
-    Observations, ObservationsBuilder, PairOverlapIndex, SnapshotDelta, TaskId, ValueId, WorkerId,
+    DeltaOp, Observations, ObservationsBuilder, PairOverlapIndex, SnapshotDelta, TaskId, ValueId,
+    WorkerId,
 };
 use proptest::prelude::*;
+use proptest::TestCaseError;
 
-/// A randomized append schedule: every `(worker, task)` cell is assigned to
-/// one of `n_batches + 1` arrival slots (slot 0 = base snapshot) or left
-/// unanswered. Slot assignment is independent per cell, so batches freely
-/// revisit tasks and introduce workers in any order; some batches come out
-/// empty.
+/// How one delivered answer mutates later in the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mutation {
+    /// The answer stands as delivered.
+    None,
+    /// The value is replaced at `slot` (strictly after the delivery slot).
+    Revise { slot: usize, value: u32 },
+    /// The answer is withdrawn at `slot`; `resubmit` re-appends the
+    /// original value even later (`None` = permanent retraction).
+    Retract {
+        slot: usize,
+        resubmit: Option<usize>,
+    },
+}
+
+/// A randomized mutation schedule: every `(worker, task)` cell is assigned
+/// to one of `n_batches + 1` arrival slots (slot 0 = base snapshot) or left
+/// unanswered, plus an optional later mutation. Slot assignment is
+/// independent per cell, so batches freely revisit tasks and introduce
+/// workers in any order; some batches come out empty.
 #[derive(Debug, Clone)]
 struct Schedule {
     n_workers: usize,
     n_tasks: usize,
-    /// Per cell: `None` = never answered, `Some((slot, value))`.
-    cells: Vec<Option<(usize, u32)>>,
+    /// Per cell: `None` = never answered, `Some((slot, value, mutation))`.
+    cells: Vec<Option<(usize, u32, Mutation)>>,
     n_batches: usize,
 }
 
 impl Schedule {
-    fn answers_in_slot(&self, slot: usize) -> Vec<(WorkerId, TaskId, ValueId)> {
-        let mut out = Vec::new();
+    fn cell(&self, w: usize, t: usize) -> Option<(usize, u32, Mutation)> {
+        self.cells[w * self.n_tasks + t]
+    }
+
+    /// The delta ops of batch `slot` (1-based), in `(worker, task)` order.
+    fn delta_for_slot(&self, slot: usize) -> SnapshotDelta {
+        let mut ops = Vec::new();
         for w in 0..self.n_workers {
             for t in 0..self.n_tasks {
-                if let Some((s, v)) = self.cells[w * self.n_tasks + t] {
-                    if s == slot {
-                        out.push((WorkerId(w), TaskId(t), ValueId(v)));
+                let Some((s0, v, m)) = self.cell(w, t) else {
+                    continue;
+                };
+                let (worker, task) = (WorkerId(w), TaskId(t));
+                if s0 == slot {
+                    ops.push(DeltaOp::Append(worker, task, ValueId(v)));
+                }
+                match m {
+                    Mutation::None => {}
+                    Mutation::Revise { slot: s1, value } => {
+                        if s1 == slot {
+                            ops.push(DeltaOp::Revise(worker, task, ValueId(value)));
+                        }
+                    }
+                    Mutation::Retract { slot: s1, resubmit } => {
+                        if s1 == slot {
+                            ops.push(DeltaOp::Retract(worker, task));
+                        }
+                        if resubmit == Some(slot) {
+                            ops.push(DeltaOp::Append(worker, task, ValueId(v)));
+                        }
                     }
                 }
             }
         }
-        out
+        SnapshotDelta::from_ops(ops)
     }
 
-    /// Workers with at least one base answer define the base worker range
-    /// (mid-stream arrivals then genuinely grow it).
-    fn base(&self) -> Observations {
-        let answers = self.answers_in_slot(0);
-        let n = answers
-            .iter()
-            .map(|&(w, _, _)| w.index() + 1)
-            .max()
-            .unwrap_or(0);
-        let mut b = ObservationsBuilder::new(n, self.n_tasks);
-        for &(w, t, v) in &answers {
-            b.record(w, t, v).unwrap();
+    /// Worker range after replaying slots `0..=upto`: grows with every
+    /// append (including appends whose answer is later retracted).
+    fn worker_range_through(&self, upto: usize) -> usize {
+        let mut n = 0;
+        for w in 0..self.n_workers {
+            for t in 0..self.n_tasks {
+                if let Some((s0, _, m)) = self.cell(w, t) {
+                    let appended = s0 <= upto
+                        || matches!(m, Mutation::Retract { resubmit: Some(s2), .. } if s2 <= upto);
+                    if appended {
+                        n = n.max(w + 1);
+                    }
+                }
+            }
         }
-        b.build()
+        n
+    }
+
+    /// The value cell `(w, t)` holds after replaying slots `0..=upto`,
+    /// or `None` if absent.
+    fn value_through(&self, w: usize, t: usize, upto: usize) -> Option<u32> {
+        let (s0, v, m) = self.cell(w, t)?;
+        if s0 > upto {
+            return None;
+        }
+        match m {
+            Mutation::None => Some(v),
+            Mutation::Revise { slot, value } => Some(if slot <= upto { value } else { v }),
+            Mutation::Retract { slot, resubmit } => {
+                if slot > upto {
+                    Some(v)
+                } else {
+                    match resubmit {
+                        Some(s2) if s2 <= upto => Some(v),
+                        _ => None,
+                    }
+                }
+            }
+        }
+    }
+
+    fn base(&self) -> Observations {
+        rebuilt_through(self, 0)
     }
 }
 
-fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    (2usize..=8, 1usize..=6, 1usize..=5).prop_flat_map(|(n, m, n_batches)| {
-        // (answered?, arrival slot, value) per cell; the bool stands in for
-        // an Option strategy (the vendored proptest has none).
-        let cells =
-            proptest::collection::vec((proptest::bool::ANY, 0usize..=n_batches, 0u32..=3), n * m);
+fn arb_schedule(mutable: bool) -> impl Strategy<Value = Schedule> {
+    (2usize..=8, 1usize..=6, 1usize..=5).prop_flat_map(move |(n, m, n_batches)| {
+        // Per cell: (answered?, arrival slot, value, mutation kind,
+        // mutation delay, resubmit delay, revised value). The bool stands
+        // in for an Option strategy (the vendored proptest has none).
+        let cells = proptest::collection::vec(
+            (
+                proptest::bool::ANY,
+                0usize..=n_batches,
+                0u32..=3,
+                0u8..=(if mutable { 2 } else { 0 }),
+                1usize..=2,
+                0usize..=2,
+                0u32..=3,
+            ),
+            n * m,
+        );
         cells.prop_map(move |cells| Schedule {
             n_workers: n,
             n_tasks: m,
             cells: cells
                 .into_iter()
-                .map(|(answered, slot, v)| answered.then_some((slot, v)))
+                .map(|(answered, slot, v, kind, off1, off2, alt)| {
+                    if !answered {
+                        return None;
+                    }
+                    // Mutations need a strictly later slot; cells arriving
+                    // in the last batch stay unmutated.
+                    let mutation = match kind {
+                        1 if slot < n_batches => Mutation::Revise {
+                            slot: (slot + off1).min(n_batches),
+                            value: alt,
+                        },
+                        2 if slot < n_batches => {
+                            let s1 = (slot + off1).min(n_batches);
+                            let s2 = s1 + off2;
+                            Mutation::Retract {
+                                slot: s1,
+                                resubmit: (off2 > 0 && s2 <= n_batches).then_some(s2),
+                            }
+                        }
+                        _ => Mutation::None,
+                    };
+                    Some((slot, v, mutation))
+                })
                 .collect(),
             n_batches,
         })
     })
 }
 
-/// Rebuild reference: every answer arriving in slots `0..=upto`, built from
-/// scratch over the worker range the stream has seen so far.
+/// Rebuild reference: the surviving answers after slots `0..=upto`, built
+/// from scratch over the worker range the stream has seen so far.
 fn rebuilt_through(schedule: &Schedule, upto: usize) -> Observations {
-    let mut answers = Vec::new();
-    for slot in 0..=upto {
-        answers.extend(schedule.answers_in_slot(slot));
-    }
-    let n = answers
-        .iter()
-        .map(|&(w, _, _)| w.index() + 1)
-        .max()
-        .unwrap_or(0);
+    let n = schedule.worker_range_through(upto);
     let mut b = ObservationsBuilder::new(n, schedule.n_tasks);
-    for &(w, t, v) in &answers {
-        b.record(w, t, v).unwrap();
+    for w in 0..schedule.n_workers {
+        for t in 0..schedule.n_tasks {
+            if let Some(v) = schedule.value_through(w, t, upto) {
+                b.record(WorkerId(w), TaskId(t), ValueId(v)).unwrap();
+            }
+        }
     }
     b.build()
+}
+
+fn check_schedule(schedule: &Schedule) -> Result<(), TestCaseError> {
+    let mut obs = schedule.base();
+    let mut index = PairOverlapIndex::build(&obs);
+    for slot in 1..=schedule.n_batches {
+        let delta = schedule.delta_for_slot(slot);
+        let after = obs.apply_delta(&delta).unwrap();
+        prop_assert_eq!(
+            &after,
+            &rebuilt_through(schedule, slot),
+            "snapshot diverged at batch {}",
+            slot
+        );
+        index = index.extended(&after, &delta);
+        prop_assert_eq!(
+            &index,
+            &PairOverlapIndex::build(&after),
+            "index diverged at batch {}",
+            slot
+        );
+        obs = after;
+    }
+    Ok(())
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
-    fn incremental_snapshot_and_index_match_rebuild(schedule in arb_schedule()) {
-        let mut obs = schedule.base();
-        let mut index = PairOverlapIndex::build(&obs);
-        for slot in 1..=schedule.n_batches {
-            let delta = SnapshotDelta::from_answers(schedule.answers_in_slot(slot));
-            let after = obs.apply_delta(&delta).unwrap();
-            prop_assert_eq!(
-                &after,
-                &rebuilt_through(&schedule, slot),
-                "snapshot diverged at batch {}",
-                slot
-            );
-            index = index.extended(&after, &delta);
-            prop_assert_eq!(
-                &index,
-                &PairOverlapIndex::build(&after),
-                "index diverged at batch {}",
-                slot
-            );
-            obs = after;
-        }
+    fn incremental_snapshot_and_index_match_rebuild(schedule in arb_schedule(false)) {
+        check_schedule(&schedule)?;
     }
 
     #[test]
-    fn single_delta_split_is_order_invariant(schedule in arb_schedule()) {
+    fn mutable_incremental_snapshot_and_index_match_rebuild(schedule in arb_schedule(true)) {
+        check_schedule(&schedule)?;
+    }
+
+    #[test]
+    fn single_delta_split_is_order_invariant(schedule in arb_schedule(true)) {
         // Applying all post-base batches as ONE delta equals applying them
-        // one by one — the grouping of arrivals into batches is immaterial.
+        // one by one — the grouping of ops into batches is immaterial as
+        // long as their order is preserved (ops on one cell compose).
         let base = schedule.base();
         let mut all = Vec::new();
         let mut stepwise = base.clone();
         for slot in 1..=schedule.n_batches {
-            let answers = schedule.answers_in_slot(slot);
-            all.extend(answers.clone());
-            stepwise = stepwise
-                .apply_delta(&SnapshotDelta::from_answers(answers))
-                .unwrap();
+            let delta = schedule.delta_for_slot(slot);
+            all.extend(delta.ops().iter().copied());
+            stepwise = stepwise.apply_delta(&delta).unwrap();
         }
-        let oneshot = base.apply_delta(&SnapshotDelta::from_answers(all)).unwrap();
+        let oneshot = base.apply_delta(&SnapshotDelta::from_ops(all)).unwrap();
         prop_assert_eq!(oneshot, stepwise);
     }
 }
@@ -180,4 +289,46 @@ fn worst_case_all_answers_arrive_one_by_one() {
     }
     // Cell-for-cell the streamed snapshot equals the batch one.
     assert_eq!(obs, target);
+}
+
+#[test]
+fn worst_case_every_answer_is_retracted_one_by_one() {
+    // The mirror image: a full snapshot drained answer by answer, each
+    // retraction its own batch, down to an empty matrix.
+    let mut b = ObservationsBuilder::new(4, 3);
+    let answers = [
+        (WorkerId(0), TaskId(0), ValueId(1)),
+        (WorkerId(1), TaskId(0), ValueId(1)),
+        (WorkerId(2), TaskId(0), ValueId(0)),
+        (WorkerId(0), TaskId(1), ValueId(2)),
+        (WorkerId(2), TaskId(1), ValueId(2)),
+        (WorkerId(3), TaskId(2), ValueId(0)),
+        (WorkerId(1), TaskId(2), ValueId(1)),
+    ];
+    for &(w, t, v) in &answers {
+        b.record(w, t, v).unwrap();
+    }
+    let mut obs = b.build();
+    let mut index = PairOverlapIndex::build(&obs);
+    // Drain in an order that interleaves tasks and workers.
+    let drain = [
+        (WorkerId(1), TaskId(0)),
+        (WorkerId(0), TaskId(1)),
+        (WorkerId(3), TaskId(2)),
+        (WorkerId(2), TaskId(0)),
+        (WorkerId(1), TaskId(2)),
+        (WorkerId(0), TaskId(0)),
+        (WorkerId(2), TaskId(1)),
+    ];
+    for &(w, t) in &drain {
+        let mut delta = SnapshotDelta::new();
+        delta.retract(w, t);
+        let after = obs.apply_delta(&delta).unwrap();
+        index = index.extended(&after, &delta);
+        assert_eq!(index, PairOverlapIndex::build(&after));
+        obs = after;
+    }
+    assert!(obs.is_empty());
+    assert_eq!(obs.n_workers(), 4, "the worker range never shrinks");
+    assert_eq!(index.n_triples(), 0);
 }

@@ -1,25 +1,42 @@
-//! Arrival streams: a forum campaign replayed as answers arriving over time.
+//! Arrival streams: a forum campaign replayed as answers arriving —
+//! and mutating — over time.
 //!
 //! The batch generators produce one finished snapshot; the streaming DATE
 //! engine (`imc2-truth`) consumes an *initial* snapshot plus a sequence of
-//! append batches. This module bridges the two: it generates a normal
-//! [`ForumData`] campaign, then partitions its answers into a base snapshot
-//! and [`SnapshotDelta`] batches in a randomized arrival order, so every
-//! answer of the campaign arrives exactly once and replaying the whole
+//! [`SnapshotDelta`] batches. This module bridges the two: it generates a
+//! normal [`ForumData`] campaign, then partitions its answers into a base
+//! snapshot and delta batches in a randomized arrival order, so every
+//! answer of the campaign arrives at least once and replaying the whole
 //! stream reproduces the batch snapshot (up to the declared worker range —
 //! streams only learn of a worker when its first answer arrives).
 //!
+//! Beyond appends, the stream models workers *changing their minds*:
+//!
+//! * with probability [`StreamConfig::revise_fraction`] an answer is first
+//!   delivered with a perturbed value and **revised** to its final
+//!   (campaign) value in a later batch;
+//! * with probability [`StreamConfig::retract_fraction`] an answer is
+//!   delivered, **retracted** in a later batch, and re-appended even later
+//!   (a withdraw-then-resubmit cycle).
+//!
+//! Both mutation shapes end at the campaign value, so
+//! [`StreamData::replay`] still reconstructs the batch snapshot exactly —
+//! the invariant every equivalence test leans on. When either rate is
+//! positive, two trailing correction batches are appended so every
+//! mutation has room to land after its append.
+//!
 //! The arrival order is a uniform shuffle of all answers, which naturally
 //! produces the adversarial patterns streaming consumers must survive:
-//! tasks receive answers repeatedly across many batches, and workers first
-//! appear mid-stream.
+//! tasks receive answers repeatedly across many batches, workers first
+//! appear mid-stream, and mutations hit both the initial snapshot and
+//! mid-stream arrivals.
 
 use crate::costs::CostModel;
 use crate::forum::{ForumConfig, ForumData};
 use crate::requirements::RequirementConfig;
 use imc2_common::{
-    Observations, ObservationsBuilder, SeedStream, SnapshotDelta, TaskId, ValidationError, ValueId,
-    WorkerId,
+    DeltaOp, Observations, ObservationsBuilder, SeedStream, SnapshotDelta, TaskId, ValidationError,
+    ValueId, WorkerId,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -32,17 +49,38 @@ pub struct StreamConfig {
     pub forum: ForumConfig,
     /// Fraction of all answers present in the initial snapshot (`[0, 1]`).
     pub initial_fraction: f64,
-    /// Answers per append batch (the last batch may be smaller).
+    /// Appended answers per batch (the last append batch may be smaller).
     pub batch_size: usize,
+    /// Probability that an answer is first delivered wrong and later
+    /// revised to its campaign value (`[0, 1]`).
+    pub revise_fraction: f64,
+    /// Probability that an answer is retracted in a later batch and
+    /// re-appended after that (`[0, 1]`; `revise_fraction +
+    /// retract_fraction` must stay `<= 1` — each answer draws at most one
+    /// mutation).
+    pub retract_fraction: f64,
 }
 
 impl StreamConfig {
-    /// A small stream for tests: the small forum, 70% initial, batches of 5.
+    /// A small append-only stream for tests: the small forum, 70% initial,
+    /// batches of 5.
     pub fn small() -> Self {
         StreamConfig {
             forum: ForumConfig::small(),
             initial_fraction: 0.7,
             batch_size: 5,
+            revise_fraction: 0.0,
+            retract_fraction: 0.0,
+        }
+    }
+
+    /// [`StreamConfig::small`] with mutations switched on: 15% of answers
+    /// delivered wrong then revised, 10% withdrawn then resubmitted.
+    pub fn small_mutable() -> Self {
+        StreamConfig {
+            revise_fraction: 0.15,
+            retract_fraction: 0.1,
+            ..StreamConfig::small()
         }
     }
 
@@ -58,6 +96,14 @@ impl StreamConfig {
         if self.batch_size == 0 {
             return Err(ValidationError::new("batch_size must be at least 1"));
         }
+        if !(0.0..=1.0).contains(&self.revise_fraction)
+            || !(0.0..=1.0).contains(&self.retract_fraction)
+            || self.revise_fraction + self.retract_fraction > 1.0
+        {
+            return Err(ValidationError::new(
+                "revise_fraction and retract_fraction must lie in [0, 1] and sum to at most 1",
+            ));
+        }
         self.forum.validate()
     }
 }
@@ -68,7 +114,8 @@ pub struct StreamData {
     /// The snapshot available before streaming starts. Its worker range
     /// covers exactly the workers with at least one initial answer.
     pub initial: Observations,
-    /// The append batches, in arrival order.
+    /// The mutation batches, in arrival order (appends, revisions and
+    /// retractions; pure appends when both mutation rates are zero).
     pub deltas: Vec<SnapshotDelta>,
     /// The underlying campaign (ground truth, profiles, the full batch
     /// snapshot for end-of-stream comparisons).
@@ -76,7 +123,9 @@ pub struct StreamData {
 }
 
 impl StreamData {
-    /// Generates a campaign and partitions it into an arrival stream.
+    /// Generates a campaign and partitions it into an arrival stream,
+    /// optionally weaving in revision and retraction events (see the
+    /// [module docs](self)).
     ///
     /// # Errors
     /// Returns [`ValidationError`] if `config` fails validation.
@@ -89,8 +138,7 @@ impl StreamData {
         let obs = &campaign.observations;
 
         // Flatten every answer, then shuffle into an arrival order.
-        let mut arrivals: Vec<(WorkerId, imc2_common::TaskId, imc2_common::ValueId)> = (0..obs
-            .n_workers())
+        let mut arrivals: Vec<(WorkerId, TaskId, ValueId)> = (0..obs.n_workers())
             .flat_map(|w| {
                 let worker = WorkerId(w);
                 obs.tasks_of_worker(worker)
@@ -102,25 +150,65 @@ impl StreamData {
 
         let n_initial = ((arrivals.len() as f64) * config.initial_fraction).round() as usize;
         let n_initial = n_initial.min(arrivals.len());
-        let initial_answers = &arrivals[..n_initial];
+        let n_append_batches = arrivals[n_initial..].len().div_ceil(config.batch_size);
+
+        // Mutation events: each answer draws at most one. The last slot
+        // index is `n_slots`; two trailing correction batches guarantee a
+        // retract cycle always finds two strictly later slots, wherever
+        // the answer itself arrives.
+        let mutable = config.revise_fraction + config.retract_fraction > 0.0;
+        let n_slots = n_append_batches + if mutable { 2 } else { 0 };
+        let mut delivered: Vec<ValueId> = arrivals.iter().map(|&(_, _, v)| v).collect();
+        // Ops per slot (slot `s` in `1..=n_slots` is `batches[s - 1]`).
+        let mut batches: Vec<Vec<DeltaOp>> = vec![Vec::new(); n_slots];
+        for (i, &(w, t, v)) in arrivals.iter().enumerate() {
+            let s0 = if i < n_initial {
+                0
+            } else {
+                1 + (i - n_initial) / config.batch_size
+            };
+            if mutable {
+                let u: f64 = rng.gen();
+                if u < config.revise_fraction {
+                    // Delivered wrong, corrected later: perturb the
+                    // delivered value (uniform over the other domain
+                    // values) and revise to the campaign value in a
+                    // strictly later slot.
+                    let domain = campaign.num_false[t.index()];
+                    if domain > 0 {
+                        delivered[i] = ValueId((v.0 + 1 + rng.gen_range(0..domain)) % (domain + 1));
+                    }
+                    let s1 = rng.gen_range(s0 + 1..=n_slots);
+                    batches[s1 - 1].push(DeltaOp::Revise(w, t, v));
+                } else if u < config.revise_fraction + config.retract_fraction {
+                    // Withdrawn, resubmitted even later, same value.
+                    let s1 = rng.gen_range(s0 + 1..=n_slots - 1);
+                    let s2 = rng.gen_range(s1 + 1..=n_slots);
+                    batches[s1 - 1].push(DeltaOp::Retract(w, t));
+                    batches[s2 - 1].push(DeltaOp::Append(w, t, v));
+                }
+            }
+            if s0 > 0 {
+                batches[s0 - 1].push(DeltaOp::Append(w, t, delivered[i]));
+            }
+        }
+
         // The stream has only seen workers who answered in the base.
+        let initial_answers = &arrivals[..n_initial];
         let base_workers = initial_answers
             .iter()
             .map(|&(w, _, _)| w.index() + 1)
             .max()
             .unwrap_or(0);
         let mut builder = ObservationsBuilder::new(base_workers, obs.n_tasks());
-        for &(w, t, v) in initial_answers {
+        for (i, &(w, t, _)) in initial_answers.iter().enumerate() {
             builder
-                .record(w, t, v)
+                .record(w, t, delivered[i])
                 .expect("campaign answers are unique");
         }
         let initial = builder.build();
 
-        let deltas = arrivals[n_initial..]
-            .chunks(config.batch_size)
-            .map(|chunk| SnapshotDelta::from_answers(chunk.to_vec()))
-            .collect();
+        let deltas = batches.into_iter().map(SnapshotDelta::from_ops).collect();
 
         Ok(StreamData {
             initial,
@@ -129,9 +217,23 @@ impl StreamData {
         })
     }
 
-    /// Total answers across the initial snapshot and every batch.
+    /// Net answers across the initial snapshot and every batch — appends
+    /// minus retractions, i.e. the final snapshot's answer count (equals
+    /// the campaign snapshot's). Summed stream-wide before subtracting:
+    /// a single correction batch may retract more than it appends.
     pub fn total_answers(&self) -> usize {
-        self.initial.len() + self.deltas.iter().map(SnapshotDelta::len).sum::<usize>()
+        let appends: usize = self.deltas.iter().map(SnapshotDelta::n_appends).sum();
+        self.initial.len() + appends - self.total_retractions()
+    }
+
+    /// Revision ops across every batch.
+    pub fn total_revisions(&self) -> usize {
+        self.deltas.iter().map(SnapshotDelta::n_revisions).sum()
+    }
+
+    /// Retraction ops across every batch.
+    pub fn total_retractions(&self) -> usize {
+        self.deltas.iter().map(SnapshotDelta::n_retractions).sum()
     }
 
     /// Replays every batch onto the initial snapshot, returning the final
@@ -186,6 +288,15 @@ impl RoundTraceConfig {
         }
     }
 
+    /// [`RoundTraceConfig::small`] with revision/retraction corrections
+    /// switched on ([`StreamConfig::small_mutable`]'s rates).
+    pub fn small_mutable() -> Self {
+        let mut cfg = RoundTraceConfig::small();
+        cfg.stream.revise_fraction = 0.15;
+        cfg.stream.retract_fraction = 0.1;
+        cfg
+    }
+
     /// Validates the nested configurations.
     ///
     /// # Errors
@@ -227,6 +338,12 @@ pub struct RoundTrace {
     pub initial: Observations,
     /// Per-round offers, grouped by worker, workers ascending.
     pub rounds: Vec<Vec<WorkerOffer>>,
+    /// Per-round correction batches (revisions/retractions of previously
+    /// delivered answers, aligned with `rounds`). Corrections are not
+    /// auctioned — workers amending data the platform may already hold —
+    /// so the runtime ingests whichever of them apply to answers it
+    /// actually bought. Empty for append-only traces.
+    pub corrections: Vec<SnapshotDelta>,
     /// Private cost per worker over the full campaign range.
     pub costs: Vec<f64>,
     /// Accuracy requirement `Θ_j` per task.
@@ -260,7 +377,7 @@ impl RoundTrace {
             .deltas
             .iter()
             .map(|delta| {
-                let mut answers: Vec<(WorkerId, TaskId, ValueId)> = delta.answers().to_vec();
+                let mut answers: Vec<(WorkerId, TaskId, ValueId)> = delta.appends().collect();
                 answers.sort_unstable();
                 let mut offers: Vec<WorkerOffer> = Vec::new();
                 for (w, t, v) in answers {
@@ -276,10 +393,26 @@ impl RoundTrace {
                 offers
             })
             .collect();
+        // Revisions and retractions ride along as per-round corrections.
+        let corrections = stream
+            .deltas
+            .iter()
+            .map(|delta| {
+                SnapshotDelta::from_ops(
+                    delta
+                        .ops()
+                        .iter()
+                        .filter(|op| !matches!(op, DeltaOp::Append(..)))
+                        .copied()
+                        .collect(),
+                )
+            })
+            .collect();
 
         Ok(RoundTrace {
             initial: stream.initial,
             rounds,
+            corrections,
             costs,
             requirements,
             task_values,
@@ -400,6 +533,92 @@ mod tests {
         let mut cfg = StreamConfig::small();
         cfg.initial_fraction = 1.5;
         assert!(StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+        let mut cfg = StreamConfig::small();
+        cfg.revise_fraction = 0.8;
+        cfg.retract_fraction = 0.4;
+        assert!(
+            StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err(),
+            "rates summing past 1 must be rejected"
+        );
+        let mut cfg = StreamConfig::small();
+        cfg.retract_fraction = -0.1;
+        assert!(StreamData::generate(&cfg, &mut rng_from_seed(1)).is_err());
+    }
+
+    #[test]
+    fn mutable_stream_replays_to_the_campaign_snapshot() {
+        // Revisions end at the campaign value and retract cycles resubmit,
+        // so the full replay still reconstructs the batch snapshot. Seeds
+        // wide enough to cover correction batches that retract more than
+        // they append (a former usize-underflow in total_answers).
+        for seed in 0..10 {
+            let s = StreamData::generate(&StreamConfig::small_mutable(), &mut rng_from_seed(seed))
+                .unwrap();
+            assert!(
+                s.total_revisions() > 0 || s.total_retractions() > 0,
+                "seed {seed}: mutable config produced an append-only stream"
+            );
+            assert_eq!(
+                s.total_retractions(),
+                s.deltas.iter().map(|d| d.n_appends()).sum::<usize>() + s.initial.len()
+                    - s.campaign.observations.len(),
+                "every retraction is matched by exactly one resubmission"
+            );
+            let replayed = s.replay().unwrap();
+            let full = &s.campaign.observations;
+            assert_eq!(replayed.len(), full.len());
+            for j in 0..full.n_tasks() {
+                assert_eq!(
+                    replayed.workers_of_task(TaskId(j)),
+                    full.workers_of_task(TaskId(j)),
+                    "seed {seed}, task {j}"
+                );
+            }
+            assert_eq!(s.total_answers(), full.len());
+        }
+    }
+
+    #[test]
+    fn mutable_generation_is_deterministic() {
+        let a =
+            StreamData::generate(&StreamConfig::small_mutable(), &mut rng_from_seed(5)).unwrap();
+        let b =
+            StreamData::generate(&StreamConfig::small_mutable(), &mut rng_from_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn append_only_streams_are_unchanged_by_the_mutation_plumbing() {
+        // Zero rates draw nothing extra from the RNG, so the stream is the
+        // pure-append partition: no trailing correction batches, no ops
+        // besides appends.
+        let s = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(6)).unwrap();
+        assert_eq!(s.total_revisions(), 0);
+        assert_eq!(s.total_retractions(), 0);
+        for d in &s.deltas {
+            assert_eq!(d.n_appends(), d.len());
+        }
+    }
+
+    #[test]
+    fn mutable_round_trace_carries_corrections() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small_mutable(), 2).unwrap();
+        assert_eq!(trace.corrections.len(), trace.n_rounds());
+        let n_corr: usize = trace.corrections.iter().map(SnapshotDelta::len).sum();
+        assert!(n_corr > 0, "mutable trace produced no corrections");
+        for corr in &trace.corrections {
+            assert_eq!(corr.n_appends(), 0, "corrections never append");
+        }
+        // Conservation: warm-up + offered appends - retractions = campaign.
+        let retractions: usize = trace
+            .corrections
+            .iter()
+            .map(SnapshotDelta::n_retractions)
+            .sum();
+        assert_eq!(
+            trace.initial.len() + trace.total_offered_answers() - retractions,
+            trace.campaign.observations.len()
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct RoundRecord {
     pub min_winner_utility: f64,
     /// Answers ingested from the winners' bundles.
     pub ingested_answers: usize,
+    /// Correction ops (revisions/retractions of previously bought answers)
+    /// applied this round — corrections for answers the platform never
+    /// bought are dropped before ingestion.
+    pub correction_ops: usize,
     /// Fixed-point iterations the streaming refinement took.
     pub refine_iterations: usize,
     /// Truth-discovery precision against the latent ground truth after

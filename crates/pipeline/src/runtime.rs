@@ -5,7 +5,7 @@ use imc2_auction::{
     AuctionError, AuctionOutcome, ReverseAuction, RoundBid, RoundInstance, UncoverablePolicy,
 };
 use imc2_common::logprob::clamp_prob;
-use imc2_common::{SnapshotDelta, TaskId, WorkerId};
+use imc2_common::{DeltaOp, SnapshotDelta, TaskId, WorkerId};
 use imc2_datagen::{RoundTrace, Scenario, WorkerOffer};
 use imc2_truth::{
     accuracy_for_auction, CompactionPolicy, Date, DateStream, TruthOutcome, TruthProblem,
@@ -219,7 +219,10 @@ impl CampaignRuntime {
                 break;
             }
 
-            // Stage 3 — ingest: the winners' bundles enter the snapshot.
+            // Stage 3 — ingest: the winners' bundles enter the snapshot,
+            // followed by this round's applicable corrections (workers
+            // revising or withdrawing answers the platform already holds;
+            // corrections for never-bought answers are dropped).
             let t = Instant::now();
             let inst = instance.as_ref();
             let winners: Vec<WorkerId> = inst
@@ -232,15 +235,26 @@ impl CampaignRuntime {
                     .push(&delta)
                     .expect("trace answers are unique and in range");
             }
+            let corrections = trace
+                .corrections
+                .get(round)
+                .map(|c| applicable_corrections(&stream, c))
+                .unwrap_or_default();
+            let correction_ops = corrections.len();
+            if !corrections.is_empty() {
+                stream
+                    .push(&corrections)
+                    .expect("filtered corrections reference held answers");
+            }
             timings.ingest_s += t.elapsed().as_secs_f64();
 
             // Stage 4 — truth discovery: incremental refinement (the
             // reference driver pays a full engine rebuild first).
             let t = Instant::now();
-            // Idle rounds (no winners, nothing ingested) skip refinement —
-            // the stream is already at a fixed point of an unchanged
-            // snapshot, in every driver mode.
-            let iterations = if ingested_answers > 0 {
+            // Idle rounds (no winners, nothing ingested, no corrections)
+            // skip refinement — the stream is already at a fixed point of
+            // an unchanged snapshot, in every driver mode.
+            let iterations = if ingested_answers + correction_ops > 0 {
                 match mode {
                     RefineMode::Warm => {}
                     RefineMode::RebuildEngine => stream.rebuild_engine(),
@@ -299,6 +313,7 @@ impl CampaignRuntime {
                     0.0
                 },
                 ingested_answers,
+                correction_ops,
                 refine_iterations: iterations,
                 precision: imc2_truth::precision(stream.estimate(), &trace.campaign.ground_truth),
                 newly_covered_tasks,
@@ -360,6 +375,28 @@ fn reputations(
         .iter()
         .map(|o| (o.worker, reputation_of(stream, o.worker, epsilon)))
         .collect()
+}
+
+/// A round's correction batch restricted to answers the stream actually
+/// holds: losers' bundles are never ingested, so revisions/retractions of
+/// their answers have nothing to amend and are dropped. A resubmission
+/// after an applied retraction arrives as a regular offer in a later
+/// round, so corrections themselves never append.
+fn applicable_corrections(stream: &DateStream, corrections: &SnapshotDelta) -> SnapshotDelta {
+    let obs = stream.observations();
+    SnapshotDelta::from_ops(
+        corrections
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                DeltaOp::Append(..) => true,
+                DeltaOp::Revise(w, t, _) | DeltaOp::Retract(w, t) => {
+                    w.index() < obs.n_workers() && obs.value_of(*w, *t).is_some()
+                }
+            })
+            .copied()
+            .collect(),
+    )
 }
 
 /// The ingestion batch of a round: the full offered bundles of the winning

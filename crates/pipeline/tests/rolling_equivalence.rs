@@ -155,6 +155,55 @@ fn budget_exhaustion_mid_campaign_is_equivalent() {
 }
 
 #[test]
+fn correction_traces_are_equivalent() {
+    // Traces with revision/retraction corrections: the warm runtime must
+    // stay bit-identical to the rebuild-per-round reference while answers
+    // it bought earlier are amended or withdrawn under it.
+    for seed in [3u64, 13, 23] {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small_mutable(), seed).unwrap();
+        let n_corr: usize = trace.corrections.iter().map(|c| c.len()).sum();
+        assert!(n_corr > 0, "seed {seed}: mutable trace has no corrections");
+        check_trace(
+            &trace,
+            PipelineConfig::default(),
+            &format!("corrections seed {seed}"),
+        );
+        // Corrections survive forced compaction after every round too.
+        check_trace(
+            &trace,
+            PipelineConfig {
+                compaction: Some(CompactionPolicy::always()),
+                ..PipelineConfig::default()
+            },
+            &format!("corrections + compaction seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn corrections_for_unbought_answers_are_dropped() {
+    // Under a tight budget most offers lose, so many corrections reference
+    // answers the platform never ingested — the runtime must drop those
+    // and still run the campaign to a valid, equivalent end.
+    let trace = RoundTrace::generate(&RoundTraceConfig::small_mutable(), 7).unwrap();
+    let full = CampaignRuntime::default().run(&trace).unwrap();
+    let applied: usize = full.rounds.iter().map(|r| r.correction_ops).sum();
+    let offered: usize = trace.corrections.iter().map(|c| c.len()).sum();
+    assert!(applied <= offered);
+    let config = PipelineConfig {
+        budget: Some(full.total_payment * 0.3),
+        ..PipelineConfig::default()
+    };
+    let tight = CampaignRuntime::new(config.clone()).run(&trace).unwrap();
+    let tight_applied: usize = tight.rounds.iter().map(|r| r.correction_ops).sum();
+    assert!(
+        tight_applied <= applied,
+        "fewer bought answers can only shrink the applicable corrections"
+    );
+    check_trace(&trace, config, "corrections under a tight budget");
+}
+
+#[test]
 fn max_rounds_and_forced_compaction_are_equivalent() {
     let trace = RoundTrace::generate(&RoundTraceConfig::small(), 31).unwrap();
     check_trace(

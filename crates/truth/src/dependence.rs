@@ -544,14 +544,20 @@ impl DependenceEngine {
         out
     }
 
-    /// Rebases the engine onto the grown snapshot `after = base +
-    /// delta`, carrying every still-valid cache forward: the overlap index
-    /// is extended incrementally ([`PairOverlapIndex::extended`]), cached
-    /// per-triple log terms of untouched pairs are merged into the new CSR
-    /// layout, and only the delta's *touched* tasks (plus any new workers)
-    /// are marked dirty — so the next [`DependenceEngine::posteriors`] call
-    /// costs work proportional to the touched pairs instead of a full cold
+    /// Rebases the engine onto the mutated snapshot `after = base +
+    /// delta` — appends, revisions, retractions and mid-stream worker
+    /// joins alike — carrying every still-valid cache forward: one planned
+    /// splice ([`PairOverlapIndex::plan_delta`]) edits the overlap index
+    /// in place, and the *same* splice keeps the per-triple term cache
+    /// aligned. Slots of freshly inserted triples and of triples a
+    /// revision overwrote are NaN-dirtied (NaN compares unequal to
+    /// everything, so a stale read would surface loudly in the output),
+    /// and the delta's *touched* tasks (plus any new workers) are marked
+    /// dirty — so the next [`DependenceEngine::posteriors`] call
+    /// recomputes exactly the touched terms instead of a full cold
     /// recompute, while staying bit-identical to a freshly built engine.
+    /// Worker growth costs one extra `O(pairs)` offset-table remap, never
+    /// the old sequential re-merge of the whole CSR.
     ///
     /// `after` must be the snapshot the next `posteriors` call's `problem`
     /// wraps; the task universe is fixed (`n_tasks` may not change).
@@ -566,67 +572,12 @@ impl DependenceEngine {
             "task universe changed under the engine"
         );
         let n_new = after.n_workers();
-        if n_new == self.index.n_workers() {
-            // Fast path (fixed worker range): one planned splice edits the
-            // index in place, and the *same* splice keeps the term cache
-            // aligned — fresh triples get zeroed slots, everything else is
-            // a block move. Work is proportional to the shifted tail, not
-            // to a per-pair walk of the whole CSR.
-            let plan = self.index.plan_delta(after, delta);
-            plan.splice_triples_parallel(&mut self.terms, [0.0; 3]);
-            self.index.apply_planned(&plan);
-        } else {
-            // The worker range grew: every pair id remaps, so rebuild the
-            // index via the general re-merge and carry cached terms over
-            // with a per-pair walk. Old pairs never vanish and a pair's
-            // old triples keep their relative (task) order inside the new
-            // triple run, so one two-pointer walk per pair carries every
-            // still-valid term over; slots for freshly inserted triples
-            // stay zeroed and are recomputed on the next call because
-            // their tasks are force-dirtied below.
-            let new_index = self.index.extended(after, delta);
-            let n_pairs = new_index.n_nonempty_pairs();
-            let total: usize = (0..n_pairs).map(|k| new_index.pair_at(k).2.len()).sum();
-            let mut terms: Vec<[f64; 3]> = Vec::with_capacity(total);
-            let mut ok = 0usize;
-            for k in 0..n_pairs {
-                let (a, b, new_triples) = new_index.pair_at(k);
-                let key = (a.index() as u32, b.index() as u32);
-                let old_entry =
-                    (ok < self.index.n_nonempty_pairs()).then(|| self.index.pair_at(ok));
-                match old_entry {
-                    // Cursors stay aligned: either the current new pair IS
-                    // the next old pair, or it is delta-only.
-                    Some((oa, ob, old_triples))
-                        if (oa.index() as u32, ob.index() as u32) == key =>
-                    {
-                        let old_lo = self.index.triple_offset_at(ok);
-                        let old_terms = &self.terms[old_lo..old_lo + old_triples.len()];
-                        if old_triples.len() == new_triples.len() {
-                            // Untouched pair (old triples ⊆ new and same
-                            // count ⇒ identical): one bulk copy.
-                            terms.extend_from_slice(old_terms);
-                        } else {
-                            let mut x = 0usize;
-                            for tr in new_triples {
-                                if x < old_triples.len() && old_triples[x].task == tr.task {
-                                    terms.push(old_terms[x]);
-                                    x += 1;
-                                } else {
-                                    terms.push([0.0; 3]);
-                                }
-                            }
-                            debug_assert_eq!(x, old_triples.len(), "old terms carried over");
-                        }
-                        ok += 1;
-                    }
-                    _ => terms.resize(terms.len() + new_triples.len(), [0.0; 3]),
-                }
-            }
-            debug_assert_eq!(ok, self.index.n_nonempty_pairs(), "old pairs all visited");
-            self.index = new_index;
-            self.terms = terms;
+        let plan = self.index.plan_delta(after, delta);
+        plan.splice_triples_parallel(&mut self.terms, [f64::NAN; 3]);
+        for &pos in plan.overwritten_positions() {
+            self.terms[pos] = [f64::NAN; 3];
         }
+        self.index.apply_planned(&plan);
 
         // Re-derive the per-pair bookkeeping from the updated index.
         debug_assert_eq!(

@@ -45,15 +45,19 @@
 //!
 //! When answers arrive over time, [`DateStream`] keeps all of the above
 //! warm across ingestion batches instead of rerunning batch DATE per
-//! batch: the snapshot grows immutably
-//! ([`imc2_common::Observations::apply_delta`]), the overlap index and the
-//! per-triple term cache are spliced in place
-//! ([`DependenceEngine::apply_delta`]) so the next dependence step
-//! recomputes only terms on the batch's *touched* tasks (plus pairs of
-//! new workers), and refinement warm-starts from the previous fixed point.
-//! The incremental engine is bit-identical to one rebuilt from scratch at
-//! every batch — property-tested in `tests/streaming_equivalence.rs`,
-//! serial and parallel.
+//! batch: the snapshot mutates immutably
+//! ([`imc2_common::Observations::apply_delta`] — appends, revisions,
+//! retractions and mid-stream worker joins alike), the overlap index and
+//! the per-triple term cache are spliced in place
+//! ([`DependenceEngine::apply_delta`]: shrinking pair runs compact,
+//! growing runs expand, worker growth remaps pair ids in one `O(pairs)`
+//! pass) so the next dependence step recomputes only terms on the batch's
+//! *touched* tasks (plus pairs of new workers), and refinement warm-starts
+//! from the previous fixed point. The incremental engine is bit-identical
+//! to one rebuilt from scratch at every batch — property-tested in
+//! `tests/streaming_equivalence.rs`, serial and parallel. The delta
+//! lifecycle end to end (op composition, splice mechanics, compaction) is
+//! documented in `docs/STREAMING.md` at the repository root.
 //!
 //! Measure both with the perf benches — `perf` emits `BENCH_date.json`
 //! (naive vs indexed cold vs indexed warm dependence-step timings plus full

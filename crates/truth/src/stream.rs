@@ -7,15 +7,20 @@
 //! rebuilt, every per-triple dependence term is recomputed, and the fixed
 //! point is re-approached from the majority-voting cold start.
 //!
-//! [`DateStream`] keeps the whole pipeline warm across batches:
+//! [`DateStream`] keeps the whole pipeline warm across batches — and the
+//! batches are fully *mutable*: beyond appended answers, workers may
+//! revise or retract earlier answers, and brand-new workers may join
+//! mid-stream, all on the same incremental path (the delta lifecycle is
+//! documented in `docs/STREAMING.md`):
 //!
-//! * the snapshot grows immutably via
+//! * the snapshot mutates immutably via
 //!   [`imc2_common::Observations::apply_delta`] (old snapshots stay valid);
 //! * the [`DependenceEngine`] is rebased with
-//!   [`DependenceEngine::apply_delta`] — the overlap index extends
-//!   incrementally and cached per-triple log terms survive, so the first
-//!   dependence step after a batch recomputes only terms on *touched*
-//!   tasks and pairs involving *new* workers;
+//!   [`DependenceEngine::apply_delta`] — the overlap index splices
+//!   in place (shrinking runs compact, growing runs expand, worker growth
+//!   remaps pair ids in one `O(pairs)` pass) and cached per-triple log
+//!   terms survive, so the first dependence step after a batch recomputes
+//!   only terms on *touched* tasks and pairs involving *new* workers;
 //! * each [`DateStream::refine`] warm-starts the fixed point from the
 //!   previous estimate and accuracy instead of majority voting, so a small
 //!   batch typically converges in 1–2 iterations;
@@ -134,8 +139,12 @@ pub struct DateStream {
     /// Reject worker ids `>= limit` at ingestion
     /// ([`DateStream::set_worker_limit`]); `None` = unbounded.
     worker_limit: Option<usize>,
-    /// Answers ingested via [`DateStream::push`] since construction.
+    /// Answers appended via [`DateStream::push`] since construction.
     appended_answers: usize,
+    /// Answers revised via [`DateStream::push`] since construction.
+    revised_answers: usize,
+    /// Answers retracted via [`DateStream::push`] since construction.
+    retracted_answers: usize,
     /// Total iterations across all [`DateStream::refine`] calls.
     total_iterations: usize,
 }
@@ -180,22 +189,29 @@ impl DateStream {
             order_cache,
             worker_limit: None,
             appended_answers: 0,
+            revised_answers: 0,
+            retracted_answers: 0,
             total_iterations: 0,
         })
     }
 
-    /// Ingests one batch of new answers without refining. Cost is
-    /// proportional to the batch's touched pairs: the snapshot copy, the
-    /// incremental index extension, the term-cache merge, and the group
-    /// refresh of touched tasks.
+    /// Ingests one batch of snapshot mutations — appended answers,
+    /// revisions, retractions — without refining. Cost is proportional to
+    /// the batch's touched pairs plus the spliced buffer tails: the
+    /// snapshot copy, the in-place index splice, the term-cache splice,
+    /// and the group refresh of touched tasks. Mid-stream worker joins
+    /// stay on the same path (the splice remaps pair ids in one `O(pairs)`
+    /// pass — see `docs/STREAMING.md`).
     ///
     /// # Errors
-    /// Returns [`ValidationError`] if an answer names a task out of range,
-    /// a value outside its task's declared domain, a worker id at or above
-    /// the limit set with [`DateStream::set_worker_limit`], or duplicates
-    /// an existing answer; on error the stream is unchanged.
+    /// Returns [`ValidationError`] if an op names a task out of range, a
+    /// value outside its task's declared domain, a worker id at or above
+    /// the limit set with [`DateStream::set_worker_limit`], appends a
+    /// duplicate answer, or revises/retracts an answer that does not
+    /// exist; on error the stream is unchanged.
     pub fn push(&mut self, delta: &SnapshotDelta) -> Result<(), ValidationError> {
-        for &(w, t, v) in delta.answers() {
+        for op in delta.ops() {
+            let (w, t) = (op.worker(), op.task());
             if let Some(limit) = self.worker_limit {
                 if w.index() >= limit {
                     return Err(ValidationError::new(format!(
@@ -211,9 +227,13 @@ impl DateStream {
                     self.num_false.len()
                 )));
             }
-            if v.0 > self.num_false[t.index()] {
+            let value = match *op {
+                imc2_common::DeltaOp::Append(_, _, v) | imc2_common::DeltaOp::Revise(_, _, v) => v,
+                imc2_common::DeltaOp::Retract(_, _) => continue,
+            };
+            if value.0 > self.num_false[t.index()] {
                 return Err(ValidationError::new(format!(
-                    "delta value {v} outside domain 0..={} of {t}",
+                    "delta value {value} outside domain 0..={} of {t}",
                     self.num_false[t.index()]
                 )));
             }
@@ -239,7 +259,9 @@ impl DateStream {
         for t in delta.touched_tasks() {
             self.groups[t.index()] = after.task_view(t).groups();
         }
-        self.appended_answers += delta.len();
+        self.appended_answers += delta.n_appends();
+        self.revised_answers += delta.n_revisions();
+        self.retracted_answers += delta.n_retractions();
         self.observations = after;
         Ok(())
     }
@@ -361,9 +383,19 @@ impl DateStream {
         self.engine.as_ref()
     }
 
-    /// Answers ingested through [`DateStream::push`] so far.
+    /// Answers appended through [`DateStream::push`] so far.
     pub fn appended_answers(&self) -> usize {
         self.appended_answers
+    }
+
+    /// Answers revised through [`DateStream::push`] so far.
+    pub fn revised_answers(&self) -> usize {
+        self.revised_answers
+    }
+
+    /// Answers retracted through [`DateStream::push`] so far.
+    pub fn retracted_answers(&self) -> usize {
+        self.retracted_answers
     }
 
     /// Iterations summed over every [`DateStream::refine`] call.

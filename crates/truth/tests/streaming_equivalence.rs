@@ -1,18 +1,19 @@
 //! Streaming-vs-rebuild equivalence: the incremental engine maintenance
 //! (`DependenceEngine::apply_delta`) and the streaming driver
 //! (`DateStream`) must be *bit-identical* to rebuilding from scratch after
-//! every append batch.
+//! every mutation batch — appends, revisions, retractions and mid-stream
+//! worker joins, interleaved.
 //!
 //! "Rebuild" here means: same warm-start state, same inputs, but a freshly
 //! built engine (index rebuilt, all term caches cold). Any difference would
 //! expose a stale or misplaced cache entry. These tests run under both the
 //! serial and `parallel` builds (CI runs the feature matrix), and the
-//! forced-fan-out test additionally pins down the chunked scoped-thread
-//! path on post-delta (grown, partially cached) engines.
+//! forced-fan-out tests additionally pin down the chunked scoped-thread
+//! path on post-delta (grown, shrunk, partially cached) engines.
 
 use imc2_common::{
-    rng_from_seed, Grid, Observations, ObservationsBuilder, SnapshotDelta, TaskId, ValueId,
-    WorkerId,
+    rng_from_seed, DeltaOp, Grid, Observations, ObservationsBuilder, SnapshotDelta, TaskId,
+    ValueId, WorkerId,
 };
 use imc2_datagen::{StreamConfig, StreamData};
 use imc2_truth::dependence::{pairwise_posteriors_naive, DependenceParams};
@@ -75,6 +76,120 @@ fn arb_streamed_observations() -> impl Strategy<
                         SnapshotDelta::from_answers(answers)
                     })
                     .collect();
+                (b.build(), deltas, nf2.clone())
+            })
+        })
+    })
+}
+
+/// Like [`arb_streamed_observations`], but the batches interleave appends
+/// with revisions, permanent retractions, withdraw-then-resubmit cycles,
+/// and mid-stream worker joins. Validity holds by construction: each cell
+/// arrives once and mutates at most once, at a strictly later slot.
+fn arb_mutable_streamed_observations() -> impl Strategy<
+    Value = (
+        Observations,
+        Vec<SnapshotDelta>,
+        Vec<u32>, // num_false
+    ),
+> {
+    (2usize..=9, 1usize..=7, 2usize..=4).prop_flat_map(|(n, m, n_batches)| {
+        let num_false = proptest::collection::vec(1u32..=3, m);
+        num_false.prop_flat_map(move |nf| {
+            // Per cell: (answered?, arrival slot, value, mutation kind,
+            // mutation delay, resubmit delay, revised value).
+            let cells = proptest::collection::vec(
+                (
+                    proptest::bool::ANY,
+                    0usize..=n_batches,
+                    0u32..=3,
+                    0u8..=2,
+                    1usize..=2,
+                    0usize..=2,
+                    0u32..=3,
+                ),
+                n * m,
+            );
+            let nf2 = nf.clone();
+            cells.prop_map(move |cells| {
+                // Resolve each cell's lifecycle: delivery slot + value,
+                // and an optional (slot, op) mutation pair.
+                struct Cell {
+                    slot: usize,
+                    value: u32,
+                    revise: Option<(usize, u32)>,
+                    retract: Option<usize>,
+                    resubmit: Option<usize>,
+                }
+                let cell_of = |w: usize, t: usize| -> Option<Cell> {
+                    let (answered, slot, v, kind, off1, off2, alt) = cells[w * m + t];
+                    if !answered {
+                        return None;
+                    }
+                    let (value, alt) = (v.min(nf2[t]), alt.min(nf2[t]));
+                    let mut cell = Cell {
+                        slot,
+                        value,
+                        revise: None,
+                        retract: None,
+                        resubmit: None,
+                    };
+                    if slot < n_batches {
+                        match kind {
+                            1 => cell.revise = Some(((slot + off1).min(n_batches), alt)),
+                            2 => {
+                                let s1 = (slot + off1).min(n_batches);
+                                cell.retract = Some(s1);
+                                let s2 = s1 + off2;
+                                if off2 > 0 && s2 <= n_batches {
+                                    cell.resubmit = Some(s2);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    Some(cell)
+                };
+                let mut base_answers = Vec::new();
+                let mut batch_ops: Vec<Vec<DeltaOp>> = vec![Vec::new(); n_batches];
+                for w in 0..n {
+                    for t in 0..m {
+                        let Some(cell) = cell_of(w, t) else { continue };
+                        let (worker, task) = (WorkerId(w), TaskId(t));
+                        if cell.slot == 0 {
+                            base_answers.push((worker, task, ValueId(cell.value)));
+                        } else {
+                            batch_ops[cell.slot - 1].push(DeltaOp::Append(
+                                worker,
+                                task,
+                                ValueId(cell.value),
+                            ));
+                        }
+                        if let Some((s, v)) = cell.revise {
+                            batch_ops[s - 1].push(DeltaOp::Revise(worker, task, ValueId(v)));
+                        }
+                        if let Some(s) = cell.retract {
+                            batch_ops[s - 1].push(DeltaOp::Retract(worker, task));
+                        }
+                        if let Some(s) = cell.resubmit {
+                            batch_ops[s - 1].push(DeltaOp::Append(
+                                worker,
+                                task,
+                                ValueId(cell.value),
+                            ));
+                        }
+                    }
+                }
+                let base_n = base_answers
+                    .iter()
+                    .map(|&(w, _, _)| w.index() + 1)
+                    .max()
+                    .unwrap_or(0);
+                let mut b = ObservationsBuilder::new(base_n, m);
+                for &(w, t, v) in &base_answers {
+                    b.record(w, t, v).unwrap();
+                }
+                let deltas = batch_ops.into_iter().map(SnapshotDelta::from_ops).collect();
                 (b.build(), deltas, nf2.clone())
             })
         })
@@ -188,6 +303,18 @@ proptest! {
         check_engine_across_batches(&base, &deltas, &nf, seed, |_| {});
     }
 
+    /// The acceptance property for mutable streams: interleaved appends,
+    /// revisions, retractions and mid-stream worker joins keep the
+    /// incrementally maintained engine bit-identical to a cold rebuild at
+    /// every refine point (CI runs this under both feature states).
+    #[test]
+    fn mutable_engine_apply_delta_matches_fresh_and_naive(
+        (base, deltas, nf) in arb_mutable_streamed_observations(),
+        seed in 0u64..1000,
+    ) {
+        check_engine_across_batches(&base, &deltas, &nf, seed, |_| {});
+    }
+
     #[test]
     fn versioned_posteriors_match_naive(
         (base, deltas, nf) in arb_streamed_observations(),
@@ -282,6 +409,165 @@ fn date_stream_bit_identical_to_engine_rebuild() {
     }
 }
 
+/// The mutable-stream driver check: a `DateStream` fed interleaved
+/// appends, revisions, retractions and worker joins with incremental
+/// engine maintenance must match, bit for bit, an identical stream that
+/// rebuilds its engine from scratch before every refinement.
+#[test]
+fn mutable_date_stream_bit_identical_to_engine_rebuild() {
+    for seed in 0..4 {
+        let cfg = StreamConfig {
+            initial_fraction: if seed % 2 == 0 { 0.5 } else { 0.0 },
+            batch_size: 7,
+            ..StreamConfig::small_mutable()
+        };
+        let data = StreamData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+        assert!(
+            data.total_revisions() + data.total_retractions() > 0,
+            "seed {seed}: mutable stream carried no mutations"
+        );
+        let nf = data.campaign.num_false.clone();
+        let date = Date::paper();
+        let mut incremental = DateStream::new(&date, data.initial.clone(), nf.clone()).unwrap();
+        let mut rebuilt = DateStream::new(&date, data.initial.clone(), nf.clone()).unwrap();
+        assert_eq!(
+            incremental.refine(),
+            rebuilt.refine(),
+            "seed {seed}: warmup"
+        );
+        for (k, delta) in data.deltas.iter().enumerate() {
+            incremental.push(delta).unwrap();
+            rebuilt.push(delta).unwrap();
+            if k % 3 == 0 || k + 1 == data.deltas.len() {
+                rebuilt.rebuild_engine();
+                let a = incremental.refine();
+                let b = rebuilt.refine();
+                assert_eq!(
+                    a.estimate, b.estimate,
+                    "seed {seed}, batch {k}: estimates diverged"
+                );
+                assert_eq!(a.iterations, b.iterations, "seed {seed}, batch {k}");
+                let (sa, sb) = (a.accuracy.as_slice(), b.accuracy.as_slice());
+                assert_eq!(sa.len(), sb.len());
+                for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "seed {seed}, batch {k}: accuracy cell {i}: {x:e} vs {y:e}"
+                    );
+                }
+            }
+        }
+        assert_eq!(incremental.revised_answers(), data.total_revisions());
+        assert_eq!(incremental.retracted_answers(), data.total_retractions());
+        // End of stream: replaying all mutations reconstructs the campaign.
+        assert_eq!(
+            incremental.observations().len(),
+            data.campaign.observations.len()
+        );
+    }
+}
+
+/// Retracting every answer of a task empties its group: the estimate must
+/// fall back to `None` for that task, identically on the incremental and
+/// rebuilt paths.
+#[test]
+fn retract_to_empty_task_estimates_none() {
+    let data = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(51)).unwrap();
+    let nf = data.campaign.num_false.clone();
+    let mut stream = DateStream::new(
+        &Date::paper(),
+        data.campaign.observations.clone(),
+        nf.clone(),
+    )
+    .unwrap();
+    let mut rebuilt =
+        DateStream::new(&Date::paper(), data.campaign.observations.clone(), nf).unwrap();
+    stream.refine();
+    rebuilt.refine();
+    // Drain task 0 completely.
+    let rows: Vec<WorkerId> = stream
+        .observations()
+        .workers_of_task(TaskId(0))
+        .iter()
+        .map(|&(w, _)| w)
+        .collect();
+    assert!(!rows.is_empty());
+    let mut delta = SnapshotDelta::new();
+    for w in &rows {
+        delta.retract(*w, TaskId(0));
+    }
+    let a = stream.push_and_refine(&delta).unwrap();
+    rebuilt.push(&delta).unwrap();
+    rebuilt.rebuild_engine();
+    let b = rebuilt.refine();
+    assert_eq!(a.estimate[0], None, "unanswered task estimates to None");
+    assert_eq!(a, b, "retract-to-empty diverged from the rebuild path");
+    assert_eq!(stream.retracted_answers(), rows.len());
+}
+
+/// Revising and then retracting the same answer within one delta nets to
+/// a retraction — and stays bit-identical to the rebuild path.
+#[test]
+fn revise_then_retract_same_answer_in_one_delta() {
+    let data = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(52)).unwrap();
+    let nf = data.campaign.num_false.clone();
+    let mut stream = DateStream::new(
+        &Date::paper(),
+        data.campaign.observations.clone(),
+        nf.clone(),
+    )
+    .unwrap();
+    let mut rebuilt =
+        DateStream::new(&Date::paper(), data.campaign.observations.clone(), nf).unwrap();
+    stream.refine();
+    rebuilt.refine();
+    let (w, t) = {
+        let rows = stream.observations().workers_of_task(TaskId(1));
+        (rows[0].0, TaskId(1))
+    };
+    let mut delta = SnapshotDelta::new();
+    delta.revise(w, t, ValueId(0));
+    delta.retract(w, t);
+    let a = stream.push_and_refine(&delta).unwrap();
+    rebuilt.push(&delta).unwrap();
+    rebuilt.rebuild_engine();
+    let b = rebuilt.refine();
+    assert_eq!(a, b);
+    assert_eq!(stream.observations().value_of(w, t), None);
+    // The op log counts both ops even though the net effect is one removal.
+    assert_eq!(stream.revised_answers(), 1);
+    assert_eq!(stream.retracted_answers(), 1);
+}
+
+/// A worker that joins mid-stream and then retracts its only answer: the
+/// worker range keeps the id, every per-worker buffer stays sized, and the
+/// incremental path matches the rebuild path bit for bit.
+#[test]
+fn retraction_of_mid_stream_joiners_only_answer() {
+    let data = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(53)).unwrap();
+    let nf = data.campaign.num_false.clone();
+    let mut stream = DateStream::new(&Date::paper(), data.initial.clone(), nf.clone()).unwrap();
+    let mut rebuilt = DateStream::new(&Date::paper(), data.initial.clone(), nf).unwrap();
+    stream.refine();
+    rebuilt.refine();
+    let joiner = WorkerId(stream.observations().n_workers());
+    let join = SnapshotDelta::from_answers(vec![(joiner, TaskId(0), ValueId(1))]);
+    let a = stream.push_and_refine(&join).unwrap();
+    rebuilt.push(&join).unwrap();
+    rebuilt.rebuild_engine();
+    assert_eq!(a, rebuilt.refine(), "join step diverged");
+    let mut leave = SnapshotDelta::new();
+    leave.retract(joiner, TaskId(0));
+    let a = stream.push_and_refine(&leave).unwrap();
+    rebuilt.push(&leave).unwrap();
+    rebuilt.rebuild_engine();
+    let b = rebuilt.refine();
+    assert_eq!(a, b, "retraction of the joiner's only answer diverged");
+    assert_eq!(stream.observations().n_workers(), joiner.index() + 1);
+    assert!(stream.observations().tasks_of_worker(joiner).is_empty());
+    assert_eq!(a.accuracy.n_workers(), joiner.index() + 1);
+}
+
 /// Pushing every batch then refining once must equal refining a fresh
 /// stream opened directly on the final snapshot — both are cold starts of
 /// the same Algorithm 1 on the same data (the warm path has refined
@@ -312,27 +598,45 @@ fn unrefined_stream_matches_cold_open_on_final_snapshot() {
     assert_eq!(out, batch);
 }
 
-/// Forces the chunked scoped-thread fan-out on engines that have been grown
-/// by deltas (the chunk boundaries and term offsets are freshly merged) —
-/// threading must still change nothing.
+/// Forces the chunked scoped-thread fan-out on engines that have been
+/// edited by deltas (the chunk boundaries and term offsets are freshly
+/// spliced) — threading must still change nothing, for append-only and
+/// fully mutable streams alike.
 #[cfg(feature = "parallel")]
 #[test]
 fn forced_parallel_fanout_matches_after_deltas() {
     use imc2_truth::dependence::ParTuning;
-    let data = StreamData::generate(
-        &StreamConfig {
-            batch_size: 11,
-            ..StreamConfig::small()
-        },
-        &mut rng_from_seed(21),
-    )
-    .unwrap();
-    let nf = data.campaign.num_false.clone();
-    let deltas: Vec<SnapshotDelta> = data.deltas.clone();
-    check_engine_across_batches(&data.initial, &deltas, &nf, 99, |e| {
-        e.set_parallel_tuning(ParTuning {
-            threads: Some(4),
-            min_triples: 0,
+    for (cfg, seed) in [
+        (
+            StreamConfig {
+                batch_size: 11,
+                ..StreamConfig::small()
+            },
+            21,
+        ),
+        (
+            StreamConfig {
+                batch_size: 11,
+                ..StreamConfig::small_mutable()
+            },
+            22,
+        ),
+    ] {
+        let mutable = cfg.revise_fraction > 0.0;
+        let data = StreamData::generate(&cfg, &mut rng_from_seed(seed)).unwrap();
+        if mutable {
+            assert!(
+                data.total_revisions() + data.total_retractions() > 0,
+                "mutable config produced an append-only stream"
+            );
+        }
+        let nf = data.campaign.num_false.clone();
+        let deltas: Vec<SnapshotDelta> = data.deltas.clone();
+        check_engine_across_batches(&data.initial, &deltas, &nf, 99, |e| {
+            e.set_parallel_tuning(ParTuning {
+                threads: Some(4),
+                min_triples: 0,
+            });
         });
-    });
+    }
 }

@@ -1,5 +1,5 @@
-//! Streaming truth discovery: answers arrive in batches, DATE refines
-//! incrementally instead of recomputing from scratch.
+//! Streaming truth discovery: answers arrive — and mutate — in batches,
+//! DATE refines incrementally instead of recomputing from scratch.
 //!
 //! ```text
 //! cargo run --release --example streaming
@@ -10,12 +10,14 @@ use imc2::datagen::{StreamConfig, StreamData};
 use imc2::truth::{precision, Date, DateStream};
 
 fn main() {
-    // A forum campaign replayed as an arrival stream: 70% of answers in the
-    // initial snapshot, the rest in batches of 25.
+    // A forum campaign replayed as a *mutable* arrival stream: 70% of
+    // answers in the initial snapshot, the rest in batches of 25 — with
+    // 15% of answers delivered wrong then revised, and 10% withdrawn and
+    // resubmitted later (see docs/STREAMING.md for the delta lifecycle).
     let config = StreamConfig {
         initial_fraction: 0.7,
         batch_size: 25,
-        ..StreamConfig::small()
+        ..StreamConfig::small_mutable()
     };
     let data = StreamData::generate(&config, &mut rng_from_seed(7)).expect("valid stream config");
     let truth: Vec<_> = data.campaign.ground_truth.clone();
@@ -38,9 +40,11 @@ fn main() {
     for (k, delta) in data.deltas.iter().enumerate() {
         let out = stream.push_and_refine(delta).expect("valid batch");
         println!(
-            "batch {:>2}: +{} answers -> {} total, precision {:.3} ({} iteration{})",
+            "batch {:>2}: +{} answers, {} revised, {} retracted -> {} total, precision {:.3} ({} iteration{})",
             k + 1,
-            delta.len(),
+            delta.n_appends(),
+            delta.n_revisions(),
+            delta.n_retractions(),
             stream.observations().len(),
             precision(&out.estimate, &truth),
             out.iterations,
@@ -49,9 +53,12 @@ fn main() {
     }
 
     println!(
-        "stream done: {} answers ingested over {} batches, {} refinement iterations total",
+        "stream done: {} answers live after {} batches ({} appends / {} revisions / {} retractions), {} refinement iterations total",
         stream.observations().len(),
         data.deltas.len(),
+        stream.appended_answers(),
+        stream.revised_answers(),
+        stream.retracted_answers(),
         stream.total_iterations(),
     );
 }
