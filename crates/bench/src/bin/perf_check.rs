@@ -21,7 +21,12 @@
 //!   refine stage slower than re-running cold DATE from scratch every
 //!   round means the streaming reuse collapsed;
 //! * `budget_never_overspent` is `true` — the runtime paid past its
-//!   budget, a correctness bug regardless of timings.
+//!   budget, a correctness bug regardless of timings;
+//! * `speedup_recovery >= 1.0` (pipeline) — checkpointed crash recovery
+//!   slower than replaying the whole journal cold means the checkpoint
+//!   restore path rotted;
+//! * `recovered_bit_identical` is `true` — a recovered campaign that
+//!   drifts from the uninterrupted one breaks the durability contract.
 //!
 //! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
 //! <BENCH_pipeline.json>` (defaults to those names in the working
@@ -176,6 +181,14 @@ fn main() -> ExitCode {
             "stages_cold_date",
             "speedup_refine",
             "speedup_end_to_end",
+            "durable_run_ms",
+            "durable_overhead",
+            "wal_frames",
+            "checkpoints_written",
+            "recovery_ms",
+            "replay_from_scratch_ms",
+            "speedup_recovery",
+            "recovered_bit_identical",
             "bit_identical",
             "budget_never_overspent",
         ],
@@ -200,6 +213,20 @@ fn main() -> ExitCode {
         if budgets == 0 || budget_oks != budgets {
             problems.push(format!(
                 "{pipeline_path}: {budget_oks}/{budgets} budget_never_overspent flags are true — the runtime overspent its budget"
+            ));
+        }
+        for v in values_of(&json, "speedup_recovery") {
+            if v < 1.0 {
+                problems.push(format!(
+                    "{pipeline_path}: speedup_recovery = {v} < 1.0 — checkpointed recovery lost to a cold full-journal replay"
+                ));
+            }
+        }
+        let recovereds = occurrences_of(&json, "recovered_bit_identical");
+        let recovered_oks = json.matches("\"recovered_bit_identical\": true").count();
+        if recovereds == 0 || recovered_oks != recovereds {
+            problems.push(format!(
+                "{pipeline_path}: {recovered_oks}/{recovereds} recovered_bit_identical flags are true — crash recovery drifted from the uninterrupted campaign"
             ));
         }
     }

@@ -23,13 +23,18 @@
 //! shared boxes only ever adds time); results are identical across reps by
 //! construction, which is asserted.
 
+use imc2_common::{MemStorage, Storage};
 use imc2_datagen::participation::ParticipationConfig;
 use imc2_datagen::{
     CopierConfig, CostModel, ForumConfig, RequirementConfig, RoundTrace, RoundTraceConfig,
     StreamConfig,
 };
-use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StageTimings, StopReason};
+use imc2_pipeline::{
+    CampaignRuntime, DurabilityConfig, DurableRuntime, PipelineConfig, RollingOutcome,
+    StageTimings, StopReason,
+};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// The perf campaign at `n` workers: same crowd shape as the `perf` /
 /// `perf_stream` bins, streamed from a half-warm snapshot in rounds of 20
@@ -165,6 +170,54 @@ fn main() {
     let speedup_refine_vs_rebuild = rbest.refine_s / wbest.refine_s;
     let speedup_end_to_end = cbest.total_s() / wbest.total_s();
 
+    // Durability: journal the same campaign through the WAL + checkpoint
+    // runtime, then time (a) the journaling overhead against a plain warm
+    // run, (b) checkpointed recovery over the finished journal, and (c) a
+    // cold full-journal replay with every checkpoint object stripped.
+    let durable_rt = DurableRuntime::new(pipe_cfg.clone(), DurabilityConfig::default());
+    let mut warm_wall_s = f64::INFINITY;
+    let mut durable_wall_s = f64::INFINITY;
+    let mut recovery_wall_s = f64::INFINITY;
+    let mut replay_wall_s = f64::INFINITY;
+    let mut durable_identical = true;
+    let mut checkpoints_written = 0usize;
+    let mut wal_frames = 0usize;
+    for rep in 0..reps {
+        eprintln!("rep {rep}: durable runtime...");
+        let t0 = Instant::now();
+        let plain = runtime.run(&trace).expect("campaign runs");
+        warm_wall_s = warm_wall_s.min(t0.elapsed().as_secs_f64());
+        durable_identical &= bit_identical(&plain, &warm_out);
+
+        let mut storage = MemStorage::new();
+        let t0 = Instant::now();
+        let durable = durable_rt.run(&mut storage, &trace).expect("durable runs");
+        durable_wall_s = durable_wall_s.min(t0.elapsed().as_secs_f64());
+        durable_identical &= bit_identical(&durable.outcome, &warm_out);
+        checkpoints_written = durable.checkpoints_written;
+        wal_frames = durable.wal_frames_appended;
+
+        // Checkpointed recovery: absorb the journal, restore the newest
+        // checkpoint, replay only the WAL suffix.
+        let t0 = Instant::now();
+        let recovered = durable_rt.run(&mut storage, &trace).expect("recovery runs");
+        recovery_wall_s = recovery_wall_s.min(t0.elapsed().as_secs_f64());
+        durable_identical &= bit_identical(&recovered.outcome, &warm_out);
+        assert!(recovered.recovery.is_some(), "a finished journal recovers");
+
+        // Cold replay: same journal, checkpoints gone — warm-up from
+        // scratch plus a full-journal replay.
+        let wal = storage.read("wal.bin").expect("mem read").expect("wal");
+        let mut stripped = MemStorage::new();
+        stripped.append("wal.bin", &wal).expect("mem append");
+        let t0 = Instant::now();
+        let replayed = durable_rt.run(&mut stripped, &trace).expect("replay runs");
+        replay_wall_s = replay_wall_s.min(t0.elapsed().as_secs_f64());
+        durable_identical &= bit_identical(&replayed.outcome, &warm_out);
+    }
+    let durable_overhead = durable_wall_s / warm_wall_s;
+    let speedup_recovery = replay_wall_s / recovery_wall_s;
+
     // Budget-capped run: the runtime must stop without overspending.
     let budget = warm_out.total_payment * 0.5;
     let capped = CampaignRuntime::new(PipelineConfig {
@@ -190,6 +243,17 @@ fn main() {
         speedup_end_to_end,
         identical,
         budget_never_overspent,
+    );
+    println!(
+        "durable: run {:>7.2} ms ({:.2}x warm), {} WAL frames, {} checkpoints | recovery {:>6.2} ms vs cold replay {:>7.2} ms ({:>5.2}x) | recovered bit-identical {}",
+        durable_wall_s * 1e3,
+        durable_overhead,
+        wal_frames,
+        checkpoints_written,
+        recovery_wall_s * 1e3,
+        replay_wall_s * 1e3,
+        speedup_recovery,
+        durable_identical,
     );
 
     let ingested: usize = warm_out.rounds.iter().map(|r| r.ingested_answers).sum();
@@ -232,6 +296,18 @@ fn main() {
         "  \"speedup_refine_vs_rebuild\": {speedup_refine_vs_rebuild:.3},"
     );
     let _ = writeln!(json, "  \"speedup_end_to_end\": {speedup_end_to_end:.3},");
+    let _ = writeln!(json, "  \"durable_run_ms\": {:.6},", durable_wall_s * 1e3);
+    let _ = writeln!(json, "  \"durable_overhead\": {durable_overhead:.3},");
+    let _ = writeln!(json, "  \"wal_frames\": {wal_frames},");
+    let _ = writeln!(json, "  \"checkpoints_written\": {checkpoints_written},");
+    let _ = writeln!(json, "  \"recovery_ms\": {:.6},", recovery_wall_s * 1e3);
+    let _ = writeln!(
+        json,
+        "  \"replay_from_scratch_ms\": {:.6},",
+        replay_wall_s * 1e3
+    );
+    let _ = writeln!(json, "  \"speedup_recovery\": {speedup_recovery:.3},");
+    let _ = writeln!(json, "  \"recovered_bit_identical\": {durable_identical},");
     let _ = writeln!(json, "  \"bit_identical\": {identical},");
     let _ = writeln!(
         json,

@@ -1,0 +1,868 @@
+//! Hand-rolled versioned binary codec with checksummed frames.
+//!
+//! The vendored `serde` stand-in derives nothing (see `vendor/README.md`),
+//! so durability cannot lean on it: everything the write-ahead log and the
+//! checkpoint layer persist goes through this module instead. The format
+//! is deliberately boring — fixed-width little-endian integers, `f64`s as
+//! raw bit patterns (recovered state must be **bit-identical**, so no
+//! text round-trips), and length-prefixed sequences — wrapped in
+//! self-describing *frames*:
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────┬─────────────┬───────────┬───────────┐
+//! │ magic   │ version │ kind   │ payload_len │ crc32     │ payload   │
+//! │ u32 LE  │ u16 LE  │ u16 LE │ u32 LE      │ u32 LE    │ len bytes │
+//! └─────────┴─────────┴────────┴─────────────┴───────────┴───────────┘
+//! ```
+//!
+//! A frame is the unit of durability: it either decodes in full (magic,
+//! version, declared length and CRC-32 all check out) or it is rejected
+//! with a typed [`CodecError`] — a torn tail, a bit flip, or a truncated
+//! header can never yield half a record. `docs/DURABILITY.md` documents
+//! how the WAL and checkpoint layers build on frames.
+//!
+//! Types serialize via the [`Codec`] trait. Implementations for the
+//! foundational types live here; downstream crates implement it for their
+//! own state (e.g. the truth engine's recoverable stream state).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_common::codec::{decode_frame, encode_frame, Codec, Decoder, Encoder};
+//! use imc2_common::{SnapshotDelta, TaskId, ValueId, WorkerId};
+//!
+//! let mut delta = SnapshotDelta::new();
+//! delta.push(WorkerId(3), TaskId(1), ValueId(0));
+//! delta.retract(WorkerId(0), TaskId(2));
+//!
+//! let mut enc = Encoder::new();
+//! delta.encode(&mut enc);
+//! let frame = encode_frame(7, enc.as_bytes());
+//!
+//! let (decoded, consumed) = decode_frame(&frame).unwrap();
+//! assert_eq!(consumed, frame.len());
+//! assert_eq!(decoded.kind, 7);
+//! let mut dec = Decoder::new(decoded.payload);
+//! let back = SnapshotDelta::decode(&mut dec).unwrap();
+//! assert_eq!(back, delta);
+//! ```
+
+use crate::{
+    DeltaOp, Grid, Observations, ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId,
+};
+use std::error::Error;
+use std::fmt;
+
+/// First bytes of every frame: `"IMC2"` little-endian.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"IMC2");
+
+/// Current frame-format version. Decoders reject anything newer; older
+/// versions would be migrated here when the format evolves.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Bytes of a frame header preceding the payload.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Typed decoding failure. Every variant names what broke so callers can
+/// distinguish graceful-degradation cases (a torn tail is [`Truncated`],
+/// a bit flip is [`ChecksumMismatch`]) from programming errors.
+///
+/// [`Truncated`]: CodecError::Truncated
+/// [`ChecksumMismatch`]: CodecError::ChecksumMismatch
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the declared structure was complete (the
+    /// signature of a torn write).
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The frame does not start with [`FRAME_MAGIC`].
+    BadMagic(u32),
+    /// The frame was written by a newer (or unknown) format version.
+    UnsupportedVersion(u16),
+    /// The payload's CRC-32 does not match the header (bit rot or an
+    /// overwritten region).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The bytes decoded structurally but violate the type's invariants
+    /// (out-of-range id, impossible length, …).
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated input: needed {needed} more bytes, {remaining} remaining"
+            ),
+            CodecError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported codec version {v}"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            CodecError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+// --- CRC-32 (IEEE 802.3, the zlib polynomial) ---------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum stored in every frame header.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- Frames -------------------------------------------------------------
+
+/// One decoded frame borrowing its payload from the input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Application-defined record kind (WAL round, checkpoint, …).
+    pub kind: u16,
+    /// The checksummed payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Wraps `payload` in a checksummed [`CODEC_VERSION`] frame of `kind`.
+pub fn encode_frame(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes the frame at the start of `bytes`, returning it and the number
+/// of bytes it occupies (so callers can walk a log of frames).
+///
+/// # Errors
+/// Returns a typed [`CodecError`]: [`CodecError::Truncated`] when `bytes`
+/// ends inside the header or payload (torn write),
+/// [`CodecError::ChecksumMismatch`] when the payload was corrupted, and
+/// [`CodecError::BadMagic`] / [`CodecError::UnsupportedVersion`] when the
+/// header itself is foreign.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), CodecError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(CodecError::Truncated {
+            needed: FRAME_HEADER_LEN,
+            remaining: bytes.len(),
+        });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version == 0 || version > CODEC_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let expected = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let total = FRAME_HEADER_LEN + len;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated {
+            needed: total,
+            remaining: bytes.len(),
+        });
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..total];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(CodecError::ChecksumMismatch { expected, actual });
+    }
+    Ok((Frame { kind, payload }, total))
+}
+
+// --- Encoder / Decoder --------------------------------------------------
+
+/// Append-only byte sink the [`Codec`] trait writes into.
+#[derive(Debug, Clone, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the on-disk format is
+    /// architecture-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw bit pattern — recovery must reproduce
+    /// floats bit for bit, so floats never round-trip through text.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (no length prefix; pair with [`Encoder::put_usize`]).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Cursor over untrusted bytes the [`Codec`] trait reads from.
+///
+/// Every `take_*` is bounds-checked and returns [`CodecError::Truncated`]
+/// instead of panicking; sequence lengths are validated against the bytes
+/// actually remaining before any allocation, so a corrupted length prefix
+/// cannot commit the decoder to a huge allocation.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed — checkpoint/WAL decoding
+    /// requires this so trailing garbage inside a valid checksum (a
+    /// same-length overwrite) is still rejected.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless the decoder consumed its input exactly.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Malformed`] naming the leftover byte count.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed(format!(
+                "{} trailing bytes after the decoded value",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn take_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    ///
+    /// # Errors
+    /// [`CodecError::Malformed`] if the value does not fit this
+    /// architecture's `usize`; [`CodecError::Truncated`] at end of input.
+    pub fn take_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| CodecError::Malformed("usize overflow".to_string()))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length prefix for a sequence whose elements occupy at least
+    /// `min_element_bytes` each, rejecting lengths the remaining input
+    /// cannot possibly hold (the allocation guard for corrupted prefixes).
+    ///
+    /// # Errors
+    /// [`CodecError::Malformed`] for an impossible length;
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn take_seq_len(&mut self, min_element_bytes: usize) -> Result<usize, CodecError> {
+        let len = self.take_usize()?;
+        let floor = min_element_bytes.max(1);
+        if len > self.remaining() / floor {
+            return Err(CodecError::Malformed(format!(
+                "sequence length {len} cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+/// Binary serialization through [`Encoder`] / [`Decoder`].
+///
+/// Implementations must be *total* on encode and *validating* on decode:
+/// `decode` may fail with [`CodecError`] but must never panic on arbitrary
+/// input, and a successful decode of trusted bytes round-trips exactly
+/// (`decode(encode(x)) == x`, floats bit for bit).
+pub trait Codec: Sized {
+    /// Appends `self` to the buffer.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one value, validating structure and invariants.
+    ///
+    /// # Errors
+    /// Returns a typed [`CodecError`] on truncated, corrupt, or
+    /// invariant-violating input.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+}
+
+/// Convenience: encodes `value` into a fresh buffer.
+pub fn encode_to_vec<T: Codec>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Convenience: decodes a value that must span `bytes` exactly.
+///
+/// # Errors
+/// Propagates the value's [`CodecError`]; trailing bytes are
+/// [`CodecError::Malformed`].
+pub fn decode_from_slice<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut dec = Decoder::new(bytes);
+    let v = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(v)
+}
+
+impl Codec for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.take_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.take_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.take_usize()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.take_f64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self as u8);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::Malformed(format!("bool byte {b}"))),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            b => Err(CodecError::Malformed(format!("option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.take_seq_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl Codec for WorkerId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(WorkerId(dec.take_usize()?))
+    }
+}
+
+impl Codec for TaskId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(TaskId(dec.take_usize()?))
+    }
+}
+
+impl Codec for ValueId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ValueId(dec.take_u32()?))
+    }
+}
+
+impl Codec for DeltaOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match *self {
+            DeltaOp::Append(w, t, v) => {
+                enc.put_u8(0);
+                w.encode(enc);
+                t.encode(enc);
+                v.encode(enc);
+            }
+            DeltaOp::Revise(w, t, v) => {
+                enc.put_u8(1);
+                w.encode(enc);
+                t.encode(enc);
+                v.encode(enc);
+            }
+            DeltaOp::Retract(w, t) => {
+                enc.put_u8(2);
+                w.encode(enc);
+                t.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.take_u8()? {
+            0 => Ok(DeltaOp::Append(
+                WorkerId::decode(dec)?,
+                TaskId::decode(dec)?,
+                ValueId::decode(dec)?,
+            )),
+            1 => Ok(DeltaOp::Revise(
+                WorkerId::decode(dec)?,
+                TaskId::decode(dec)?,
+                ValueId::decode(dec)?,
+            )),
+            2 => Ok(DeltaOp::Retract(
+                WorkerId::decode(dec)?,
+                TaskId::decode(dec)?,
+            )),
+            tag => Err(CodecError::Malformed(format!("delta op tag {tag}"))),
+        }
+    }
+}
+
+impl Codec for SnapshotDelta {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.ops().len());
+        for op in self.ops() {
+            op.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.take_seq_len(1)?;
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            ops.push(DeltaOp::decode(dec)?);
+        }
+        Ok(SnapshotDelta::from_ops(ops))
+    }
+}
+
+impl Codec for Observations {
+    /// Encodes the declared dimensions and the per-worker rows; decoding
+    /// replays the rows through [`ObservationsBuilder`], so a decoded
+    /// snapshot passes exactly the validation a freshly built one does and
+    /// is `Eq`-identical to the encoded original.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_workers());
+        enc.put_usize(self.n_tasks());
+        for w in 0..self.n_workers() {
+            let row = self.tasks_of_worker(WorkerId(w));
+            enc.put_usize(row.len());
+            for &(t, v) in row {
+                t.encode(enc);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n_workers = dec.take_seq_len(8)?;
+        let n_tasks = dec.take_usize()?;
+        let mut builder = ObservationsBuilder::new(n_workers, n_tasks);
+        for w in 0..n_workers {
+            let row_len = dec.take_seq_len(12)?;
+            for _ in 0..row_len {
+                let t = TaskId::decode(dec)?;
+                let v = ValueId::decode(dec)?;
+                builder
+                    .record(WorkerId(w), t, v)
+                    .map_err(|e| CodecError::Malformed(e.to_string()))?;
+            }
+        }
+        Ok(builder.build())
+    }
+}
+
+impl Codec for Grid<f64> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_workers());
+        enc.put_usize(self.n_tasks());
+        for v in self.as_slice() {
+            enc.put_f64(*v);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n_workers = dec.take_seq_len(8)?;
+        let n_tasks = dec.take_usize()?;
+        let cells = n_workers
+            .checked_mul(n_tasks)
+            .ok_or_else(|| CodecError::Malformed("grid dimension overflow".to_string()))?;
+        if cells > dec.remaining() / 8 {
+            return Err(CodecError::Malformed(format!(
+                "grid of {cells} cells cannot fit in {} remaining bytes",
+                dec.remaining()
+            )));
+        }
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            data.push(dec.take_f64()?);
+        }
+        let mut iter = data.into_iter();
+        Ok(Grid::from_fn(n_workers, n_tasks, |_, _| {
+            iter.next().expect("cells counted above")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(3, b"hello");
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + 5);
+        let (decoded, used) = decode_frame(&frame).unwrap();
+        assert_eq!(decoded.kind, 3);
+        assert_eq!(decoded.payload, b"hello");
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn frame_rejects_torn_and_corrupt_input() {
+        let frame = encode_frame(1, b"payload");
+        // Torn anywhere: header or payload.
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        // A flipped payload bit is a checksum mismatch.
+        let mut flipped = frame.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&flipped).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+        // A foreign magic is rejected before anything else.
+        let mut foreign = frame.clone();
+        foreign[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&foreign).unwrap_err(),
+            CodecError::BadMagic(_)
+        ));
+        // A future version is refused, not misread.
+        let mut future = frame;
+        future[4] = 0xFF;
+        assert!(matches!(
+            decode_frame(&future).unwrap_err(),
+            CodecError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        42u32.encode(&mut enc);
+        7u64.encode(&mut enc);
+        123usize.encode(&mut enc);
+        (-0.0f64).encode(&mut enc);
+        f64::NAN.encode(&mut enc);
+        true.encode(&mut enc);
+        Some(ValueId(9)).encode(&mut enc);
+        Option::<u32>::None.encode(&mut enc);
+        vec![TaskId(1), TaskId(2)].encode(&mut enc);
+
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert_eq!(u32::decode(&mut dec).unwrap(), 42);
+        assert_eq!(u64::decode(&mut dec).unwrap(), 7);
+        assert_eq!(usize::decode(&mut dec).unwrap(), 123);
+        assert_eq!(
+            f64::decode(&mut dec).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert!(f64::decode(&mut dec).unwrap().is_nan());
+        assert!(bool::decode(&mut dec).unwrap());
+        assert_eq!(
+            Option::<ValueId>::decode(&mut dec).unwrap(),
+            Some(ValueId(9))
+        );
+        assert_eq!(Option::<u32>::decode(&mut dec).unwrap(), None);
+        assert_eq!(
+            Vec::<TaskId>::decode(&mut dec).unwrap(),
+            vec![TaskId(1), TaskId(2)]
+        );
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn sequence_length_guard_rejects_huge_prefixes() {
+        // A length prefix claiming billions of elements must fail fast
+        // instead of allocating.
+        let mut enc = Encoder::new();
+        enc.put_usize(u32::MAX as usize);
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert!(matches!(
+            Vec::<u64>::decode(&mut dec).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn observations_roundtrip_is_eq_identical() {
+        let mut b = ObservationsBuilder::new(4, 3);
+        b.record(WorkerId(0), TaskId(0), ValueId(1)).unwrap();
+        b.record(WorkerId(0), TaskId(2), ValueId(0)).unwrap();
+        b.record(WorkerId(2), TaskId(1), ValueId(2)).unwrap();
+        // Worker 3 answers nothing: empty rows must survive the roundtrip.
+        let obs = b.build();
+        let bytes = encode_to_vec(&obs);
+        let back: Observations = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, obs);
+        assert_eq!(back.n_workers(), 4);
+    }
+
+    #[test]
+    fn observations_decode_validates() {
+        let mut b = ObservationsBuilder::new(1, 1);
+        b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+        let mut bytes = encode_to_vec(&b.build());
+        // Shrink the declared task universe to 0: the recorded answer is
+        // now out of range and the builder must reject it.
+        bytes[8..16].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            decode_from_slice::<Observations>(&bytes).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn grid_roundtrip_preserves_bits() {
+        let mut g = Grid::filled(2, 3, 0.5f64);
+        g[(WorkerId(1), TaskId(2))] = f64::from_bits(0x7FF0_0000_0000_0001); // signaling NaN pattern
+        g[(WorkerId(0), TaskId(0))] = -0.0;
+        let bytes = encode_to_vec(&g);
+        let back: Grid<f64> = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.n_workers(), 2);
+        assert_eq!(back.n_tasks(), 3);
+        for (a, b) in g.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_decode_guards_dimensions() {
+        let mut enc = Encoder::new();
+        enc.put_usize(1 << 30);
+        enc.put_usize(1 << 30);
+        assert!(matches!(
+            decode_from_slice::<Grid<f64>>(enc.as_bytes()).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let mut d = SnapshotDelta::new();
+        d.push(WorkerId(5), TaskId(0), ValueId(2));
+        d.revise(WorkerId(1), TaskId(3), ValueId(0));
+        d.retract(WorkerId(2), TaskId(1));
+        let bytes = encode_to_vec(&d);
+        let back: SnapshotDelta = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_and_trailing_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_usize(1);
+        enc.put_u8(9); // no such DeltaOp tag
+        assert!(matches!(
+            decode_from_slice::<SnapshotDelta>(enc.as_bytes()).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+
+        let mut enc = Encoder::new();
+        1u32.encode(&mut enc);
+        enc.put_u8(0xAA);
+        assert!(matches!(
+            decode_from_slice::<u32>(enc.as_bytes()).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+}

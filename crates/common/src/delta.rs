@@ -216,7 +216,10 @@ impl SnapshotDelta {
         self.ops
             .iter()
             .filter_map(|op| match *op {
-                DeltaOp::Append(w, _, _) => Some(w.index() + 1),
+                // Saturate rather than overflow on an adversarial
+                // `usize::MAX` id; `apply_delta` rejects such ids before
+                // the saturated range is ever used for sizing.
+                DeltaOp::Append(w, _, _) => Some(w.index().saturating_add(1)),
                 _ => None,
             })
             .max()

@@ -46,6 +46,63 @@ impl fmt::Display for ValidationError {
 
 impl Error for ValidationError {}
 
+/// Unified error for code spanning the validation, codec, and storage
+/// layers — the durability stack returns this so callers can distinguish
+/// "your input is bad" from "your bytes are corrupt" from "the disk
+/// failed" with one `match`.
+///
+/// Layer-local APIs keep their precise error types
+/// ([`ValidationError`], [`crate::codec::CodecError`],
+/// [`crate::storage::StorageError`]); `ImcError` is the `From`-glued
+/// union for the paths that traverse all three.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImcError {
+    /// Structurally invalid input to a constructor or mutation.
+    Validation(ValidationError),
+    /// Undecodable or corrupt persisted bytes.
+    Codec(crate::codec::CodecError),
+    /// A storage backend failure (or injected fault).
+    Storage(crate::storage::StorageError),
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::Validation(e) => write!(f, "validation: {e}"),
+            ImcError::Codec(e) => write!(f, "codec: {e}"),
+            ImcError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl Error for ImcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImcError::Validation(e) => Some(e),
+            ImcError::Codec(e) => Some(e),
+            ImcError::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidationError> for ImcError {
+    fn from(e: ValidationError) -> Self {
+        ImcError::Validation(e)
+    }
+}
+
+impl From<crate::codec::CodecError> for ImcError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        ImcError::Codec(e)
+    }
+}
+
+impl From<crate::storage::StorageError> for ImcError {
+    fn from(e: crate::storage::StorageError) -> Self {
+        ImcError::Storage(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +118,19 @@ mod tests {
     fn is_std_error_send_sync() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ValidationError>();
+        assert_err::<ImcError>();
+    }
+
+    #[test]
+    fn imc_error_wraps_each_layer() {
+        let v: ImcError = ValidationError::new("bad input").into();
+        assert!(v.to_string().starts_with("validation:"));
+        assert!(v.source().is_some());
+
+        let c: ImcError = crate::codec::CodecError::BadMagic(7).into();
+        assert!(c.to_string().starts_with("codec:"));
+
+        let s: ImcError = crate::storage::StorageError::InvalidName("..".into()).into();
+        assert!(s.to_string().starts_with("storage:"));
     }
 }

@@ -24,6 +24,12 @@
 //! warm-vs-rebuild guarantees, compaction — is documented in
 //! `docs/STREAMING.md` at the repository root.
 //!
+//! The durability stack also lives here: a hand-rolled checksummed binary
+//! codec ([`codec`]), pluggable object storage with in-memory and file
+//! backends ([`storage`]), a frame-structured write-ahead log ([`wal`]),
+//! and a fault-injection decorator for crash testing ([`fault`]). See
+//! `docs/DURABILITY.md` for the format and recovery guarantees.
+//!
 //! # Example
 //!
 //! ```
@@ -41,7 +47,9 @@
 //! # }
 //! ```
 
+pub mod codec;
 pub mod delta;
+pub mod fault;
 pub mod grid;
 pub mod ids;
 pub mod logprob;
@@ -49,14 +57,20 @@ pub mod observations;
 pub mod overlap;
 pub mod rng;
 pub mod stats;
+pub mod storage;
+pub mod wal;
 
 mod error;
 
+pub use codec::{Codec, CodecError, Decoder, Encoder};
 pub use delta::{DeltaOp, NetChange, SnapshotDelta};
-pub use error::ValidationError;
+pub use error::{ImcError, ValidationError};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultStorage};
 pub use grid::Grid;
 pub use ids::{TaskId, ValueId, WorkerId};
 pub use observations::{Observations, ObservationsBuilder, TaskGroups, TaskView};
 pub use overlap::{OverlapDelta, OverlapIter, OverlapTriple, PairOverlapIndex};
 pub use rng::{rng_from_seed, SeedStream};
 pub use stats::{OnlineStats, Summary};
+pub use storage::{FileStorage, MemStorage, Storage, StorageError};
+pub use wal::{OwnedFrame, TailStatus, Wal, WalRepair, WalScan};

@@ -218,6 +218,13 @@ impl Observations {
                     self.n_tasks
                 )));
             }
+            // `usize::MAX` cannot name a worker: the grown range would be
+            // `index + 1`, which saturates in `n_workers_after`.
+            if op.worker().index() == usize::MAX {
+                return Err(ValidationError::new(
+                    "delta worker index usize::MAX is unrepresentable",
+                ));
+            }
         }
         let net = delta.net_changes()?;
         let n_workers = delta.n_workers_after(self.n_workers);
@@ -647,6 +654,15 @@ mod tests {
         d.push(WorkerId(9), TaskId(99), ValueId(0));
         d.retract(WorkerId(9), TaskId(99));
         assert!(base.apply_delta(&d).is_err());
+    }
+
+    #[test]
+    fn apply_delta_rejects_unrepresentable_worker_id() {
+        let base = sample();
+        let huge =
+            crate::SnapshotDelta::from_answers(vec![(WorkerId(usize::MAX), TaskId(0), ValueId(0))]);
+        // Must reject (not overflow) in both debug and release builds.
+        assert!(base.apply_delta(&huge).is_err());
     }
 
     #[test]

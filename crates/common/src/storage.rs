@@ -1,0 +1,379 @@
+//! Durable object storage behind a small trait, with in-memory and
+//! file-system backends.
+//!
+//! The WAL and checkpoint layers ([`crate::wal`], and the durable runtime
+//! in `imc2-pipeline`) never touch the file system directly — they speak
+//! to a [`Storage`] of named byte objects. That indirection is what makes
+//! the fault-injection harness possible: [`crate::fault::FaultStorage`]
+//! wraps any backend and fails, tears, or corrupts specific operations,
+//! so crash-recovery tests run against [`MemStorage`] at full speed while
+//! production uses [`FileStorage`].
+//!
+//! The contract is deliberately minimal — whole-object atomic writes and
+//! appends — because that is all a frame-structured log needs. Atomicity
+//! of [`Storage::write_atomic`] means "readers never observe a partial
+//! object under a *clean* shutdown"; a torn append is expected after a
+//! crash and is exactly what the frame checksums in [`crate::codec`]
+//! detect.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Typed failure of a storage operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The backend failed (disk error, permission, …).
+    Io {
+        /// Operation that failed (`"read"`, `"append"`, …).
+        op: &'static str,
+        /// Object name involved.
+        name: String,
+        /// Backend-specific detail.
+        detail: String,
+    },
+    /// An object name outside the allowed alphabet (defense against path
+    /// traversal through the file backend).
+    InvalidName(String),
+    /// A failure injected by [`crate::fault::FaultStorage`]; never
+    /// produced by real backends.
+    InjectedFault {
+        /// Operation that was failed.
+        op: &'static str,
+        /// Object name involved.
+        name: String,
+        /// Which fault fired.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, name, detail } => {
+                write!(f, "storage {op} of {name:?} failed: {detail}")
+            }
+            StorageError::InvalidName(name) => write!(f, "invalid object name {name:?}"),
+            StorageError::InjectedFault { op, name, detail } => {
+                write!(f, "injected fault during {op} of {name:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+/// Validates an object name: non-empty, ASCII alphanumeric plus `-._`,
+/// not starting with a dot. Keeps the file backend confined to its root
+/// directory by construction.
+///
+/// # Errors
+/// Returns [`StorageError::InvalidName`] otherwise.
+pub fn validate_name(name: &str) -> Result<(), StorageError> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_');
+    if ok {
+        Ok(())
+    } else {
+        Err(StorageError::InvalidName(name.to_string()))
+    }
+}
+
+/// A flat namespace of named byte objects with atomic whole-object writes
+/// and appends.
+///
+/// Implementations validate names with [`validate_name`] and return typed
+/// [`StorageError`]s; they never panic on missing objects ([`Storage::read`]
+/// returns `Ok(None)`).
+pub trait Storage {
+    /// Reads an object in full, `Ok(None)` if it does not exist.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure or invalid name.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Replaces (or creates) an object so that no reader ever observes a
+    /// partial state under clean operation — the file backend writes a
+    /// temporary and renames it into place.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure or invalid name.
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Appends bytes to an object, creating it if missing. Appends are
+    /// *not* atomic across a crash — that is the WAL's job to detect.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure or invalid name.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Shrinks an object to `len` bytes (used to drop a torn WAL tail).
+    /// A no-op if the object is already at most `len` bytes or missing.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure or invalid name.
+    fn truncate(&mut self, name: &str, len: usize) -> Result<(), StorageError>;
+
+    /// Deletes an object; deleting a missing object is not an error.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure or invalid name.
+    fn remove(&mut self, name: &str) -> Result<(), StorageError>;
+
+    /// All object names, sorted ascending.
+    ///
+    /// # Errors
+    /// [`StorageError`] on backend failure.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+}
+
+/// In-memory [`Storage`] — the default for tests and fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    objects: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Direct mutable access to an object's bytes, for tests that corrupt
+    /// storage out-of-band (simulating bit rot between runs).
+    pub fn object_mut(&mut self, name: &str) -> Option<&mut Vec<u8>> {
+        self.objects.get_mut(name)
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        validate_name(name)?;
+        Ok(self.objects.get(name).cloned())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        validate_name(name)?;
+        self.objects.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        validate_name(name)?;
+        self.objects
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: usize) -> Result<(), StorageError> {
+        validate_name(name)?;
+        if let Some(obj) = self.objects.get_mut(name) {
+            if obj.len() > len {
+                obj.truncate(len);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        validate_name(name)?;
+        self.objects.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(self.objects.keys().cloned().collect())
+    }
+}
+
+/// File-system [`Storage`]: each object is one file directly under a root
+/// directory. [`FileStorage::write_atomic`] goes through a temporary file
+/// plus rename, so a clean-shutdown reader never sees a half-written
+/// object; appends map to `O_APPEND` writes.
+#[derive(Debug, Clone)]
+pub struct FileStorage {
+    root: PathBuf,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::Io {
+            op: "open",
+            name: root.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(FileStorage { root })
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, StorageError> {
+        validate_name(name)?;
+        Ok(self.root.join(name))
+    }
+
+    fn io_err(op: &'static str, name: &str, e: std::io::Error) -> StorageError {
+        StorageError::Io {
+            op,
+            name: name.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        let path = self.path_of(name)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Self::io_err("read", name, e)),
+        }
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        let tmp = self.root.join(format!("{name}.tmp"));
+        std::fs::write(&tmp, bytes).map_err(|e| Self::io_err("write", name, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| Self::io_err("rename", name, e))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write;
+        let path = self.path_of(name)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| Self::io_err("append", name, e))?;
+        file.write_all(bytes)
+            .map_err(|e| Self::io_err("append", name, e))
+    }
+
+    fn truncate(&mut self, name: &str, len: usize) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        let file = match std::fs::OpenOptions::new().write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(Self::io_err("truncate", name, e)),
+        };
+        let cur = file
+            .metadata()
+            .map_err(|e| Self::io_err("truncate", name, e))?
+            .len();
+        if cur > len as u64 {
+            file.set_len(len as u64)
+                .map_err(|e| Self::io_err("truncate", name, e))?;
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io_err("remove", name, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let entries = std::fs::read_dir(&self.root).map_err(|e| StorageError::Io {
+            op: "list",
+            name: self.root.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StorageError::Io {
+                op: "list",
+                name: self.root.display().to_string(),
+                detail: e.to_string(),
+            })?;
+            if let Some(name) = entry.file_name().to_str() {
+                // Skip leftovers from interrupted atomic writes and
+                // anything that would not validate as an object name.
+                if validate_name(name).is_ok() && !name.ends_with(".tmp") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &mut dyn Storage) {
+        assert_eq!(storage.read("log").unwrap(), None);
+        storage.append("log", b"ab").unwrap();
+        storage.append("log", b"cd").unwrap();
+        assert_eq!(storage.read("log").unwrap().unwrap(), b"abcd");
+        storage.truncate("log", 3).unwrap();
+        assert_eq!(storage.read("log").unwrap().unwrap(), b"abc");
+        // Truncating longer than the object, or a missing object, is a no-op.
+        storage.truncate("log", 100).unwrap();
+        assert_eq!(storage.read("log").unwrap().unwrap(), b"abc");
+        storage.truncate("ghost", 0).unwrap();
+
+        storage.write_atomic("ckpt-1.bin", b"state").unwrap();
+        storage.write_atomic("ckpt-1.bin", b"state2").unwrap();
+        assert_eq!(storage.read("ckpt-1.bin").unwrap().unwrap(), b"state2");
+        assert_eq!(storage.list().unwrap(), vec!["ckpt-1.bin", "log"]);
+
+        storage.remove("log").unwrap();
+        storage.remove("log").unwrap(); // idempotent
+        assert_eq!(storage.read("log").unwrap(), None);
+        assert_eq!(storage.list().unwrap(), vec!["ckpt-1.bin"]);
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(&mut MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_contract() {
+        let dir = std::env::temp_dir().join(format!("imc2-storage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut storage = FileStorage::open(&dir).unwrap();
+        exercise(&mut storage);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let mut s = MemStorage::new();
+        for bad in ["", "../evil", "a/b", ".hidden", "sp ace"] {
+            assert!(
+                matches!(s.read(bad), Err(StorageError::InvalidName(_))),
+                "{bad:?} accepted"
+            );
+            assert!(s.write_atomic(bad, b"x").is_err());
+            assert!(s.append(bad, b"x").is_err());
+        }
+        // Dots inside a name are fine (extension-style).
+        assert!(s.write_atomic("wal.bin", b"x").is_ok());
+    }
+
+    #[test]
+    fn object_mut_allows_out_of_band_corruption() {
+        let mut s = MemStorage::new();
+        s.append("wal.bin", b"abcd").unwrap();
+        s.object_mut("wal.bin").unwrap()[1] ^= 0xFF;
+        assert_ne!(s.read("wal.bin").unwrap().unwrap(), b"abcd");
+        assert!(s.object_mut("ghost").is_none());
+    }
+}

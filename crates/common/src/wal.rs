@@ -1,0 +1,293 @@
+//! A write-ahead log of checksummed frames over a [`Storage`] object.
+//!
+//! The WAL is the commit point of the durable runtime: a record is
+//! *committed* exactly when its frame's append returns. Each append is
+//! one [`crate::codec`] frame — magic, version, kind, length, CRC-32 —
+//! so a crash mid-append leaves a *torn tail* that scanning detects
+//! (truncated or checksum-failing trailing bytes) rather than a
+//! half-record that parses.
+//!
+//! [`Wal::scan`] walks the log frame by frame and classifies the tail:
+//! [`TailStatus::Clean`] when the bytes end exactly on a frame boundary,
+//! [`TailStatus::Corrupt`] otherwise (with the offset and the typed
+//! [`CodecError`]). Every frame *before* the corruption is intact — the
+//! per-frame checksums guarantee it — so recovery keeps the prefix and
+//! [`Wal::repair`] truncates the rest, returning how many bytes were
+//! dropped. Nothing here panics on arbitrary bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_common::storage::{MemStorage, Storage};
+//! use imc2_common::wal::{TailStatus, Wal};
+//!
+//! let mut storage = MemStorage::new();
+//! let wal = Wal::new("wal.bin");
+//! wal.append(&mut storage, 2, b"round-0").unwrap();
+//! wal.append(&mut storage, 2, b"round-1").unwrap();
+//! // A crash tears the third append mid-frame:
+//! storage.append("wal.bin", &[0x57, 0x43]).unwrap();
+//!
+//! let scan = wal.scan(&storage).unwrap();
+//! assert_eq!(scan.frames.len(), 2);
+//! assert!(matches!(scan.tail, TailStatus::Corrupt { .. }));
+//!
+//! let repair = wal.repair(&mut storage).unwrap();
+//! assert_eq!(repair.dropped_bytes, 2);
+//! assert!(matches!(wal.scan(&storage).unwrap().tail, TailStatus::Clean));
+//! ```
+
+use crate::codec::{decode_frame, encode_frame, CodecError};
+use crate::storage::{Storage, StorageError};
+
+/// One frame read back from the log, owning its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedFrame {
+    /// Application-defined record kind.
+    pub kind: u16,
+    /// The verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// What the bytes after the last intact frame look like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailStatus {
+    /// The log ends exactly on a frame boundary.
+    Clean,
+    /// Trailing bytes at `offset` fail to decode — a torn or corrupted
+    /// tail. `error` says how (truncation vs checksum vs foreign bytes).
+    Corrupt {
+        /// Byte offset of the first undecodable frame.
+        offset: usize,
+        /// Why it failed to decode.
+        error: CodecError,
+    },
+}
+
+/// Result of [`Wal::scan`]: the intact frame prefix plus tail diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every frame that decoded, in append order.
+    pub frames: Vec<OwnedFrame>,
+    /// Byte length of the intact prefix (where a repair would cut).
+    pub valid_len: usize,
+    /// State of the bytes beyond `valid_len`.
+    pub tail: TailStatus,
+}
+
+/// Result of [`Wal::repair`]: the typed "warning" that a tail was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRepair {
+    /// Bytes removed (0 when the log was already clean).
+    pub dropped_bytes: usize,
+    /// The decode error that condemned the tail, when one was dropped.
+    pub error: Option<CodecError>,
+}
+
+/// A frame log stored under one object name.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    name: String,
+}
+
+impl Wal {
+    /// A log over the object `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Wal { name: name.into() }
+    }
+
+    /// The underlying object name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one frame of `kind` wrapping `payload`. When this returns
+    /// `Ok`, the record is committed.
+    ///
+    /// # Errors
+    /// Propagates the backend's [`StorageError`]; on error the append may
+    /// be torn, which the next [`Wal::scan`] will detect.
+    pub fn append<S: Storage + ?Sized>(
+        &self,
+        storage: &mut S,
+        kind: u16,
+        payload: &[u8],
+    ) -> Result<(), StorageError> {
+        storage.append(&self.name, &encode_frame(kind, payload))
+    }
+
+    /// Reads and verifies the whole log. A missing object is an empty,
+    /// clean log. Never fails on corrupt *content* — corruption is data,
+    /// reported in [`WalScan::tail`].
+    ///
+    /// # Errors
+    /// Only backend [`StorageError`]s (the read itself failing).
+    pub fn scan<S: Storage + ?Sized>(&self, storage: &S) -> Result<WalScan, StorageError> {
+        let bytes = storage.read(&self.name)?.unwrap_or_default();
+        let mut frames = Vec::new();
+        let mut offset = 0;
+        let tail = loop {
+            if offset == bytes.len() {
+                break TailStatus::Clean;
+            }
+            match decode_frame(&bytes[offset..]) {
+                Ok((frame, used)) => {
+                    frames.push(OwnedFrame {
+                        kind: frame.kind,
+                        payload: frame.payload.to_vec(),
+                    });
+                    offset += used;
+                }
+                Err(error) => break TailStatus::Corrupt { offset, error },
+            }
+        };
+        Ok(WalScan {
+            frames,
+            valid_len: offset,
+            tail,
+        })
+    }
+
+    /// Truncates any corrupt tail found by [`Wal::scan`], leaving a clean
+    /// log of intact frames. Records committed before the corruption are
+    /// untouched.
+    ///
+    /// # Errors
+    /// Backend [`StorageError`]s from the scan or the truncation.
+    pub fn repair<S: Storage + ?Sized>(&self, storage: &mut S) -> Result<WalRepair, StorageError> {
+        let scan = self.scan(storage)?;
+        match scan.tail {
+            TailStatus::Clean => Ok(WalRepair {
+                dropped_bytes: 0,
+                error: None,
+            }),
+            TailStatus::Corrupt { error, .. } => {
+                let total = storage.read(&self.name)?.map_or(0, |b| b.len());
+                storage.truncate(&self.name, scan.valid_len)?;
+                Ok(WalRepair {
+                    dropped_bytes: total - scan.valid_len,
+                    error: Some(error),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FRAME_HEADER_LEN;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn empty_or_missing_log_is_clean() {
+        let storage = MemStorage::new();
+        let scan = Wal::new("wal").scan(&storage).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.tail, TailStatus::Clean);
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let mut storage = MemStorage::new();
+        let wal = Wal::new("wal");
+        wal.append(&mut storage, 1, b"genesis").unwrap();
+        wal.append(&mut storage, 2, b"round").unwrap();
+        let scan = wal.scan(&storage).unwrap();
+        assert_eq!(scan.tail, TailStatus::Clean);
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[0].kind, 1);
+        assert_eq!(scan.frames[0].payload, b"genesis");
+        assert_eq!(scan.frames[1].kind, 2);
+        assert_eq!(
+            scan.valid_len,
+            2 * FRAME_HEADER_LEN + b"genesis".len() + b"round".len()
+        );
+    }
+
+    #[test]
+    fn torn_tail_at_every_cut_keeps_intact_prefix() {
+        // Build a 3-frame log, then for every possible tear position of
+        // the last frame verify the scan keeps exactly the intact prefix.
+        let mut storage = MemStorage::new();
+        let wal = Wal::new("wal");
+        wal.append(&mut storage, 2, b"alpha").unwrap();
+        wal.append(&mut storage, 2, b"beta").unwrap();
+        let two_frames = storage.read("wal").unwrap().unwrap().len();
+        wal.append(&mut storage, 2, b"gamma").unwrap();
+        let full = storage.read("wal").unwrap().unwrap();
+
+        for cut in two_frames..full.len() {
+            let mut s = MemStorage::new();
+            s.append("wal", &full[..cut]).unwrap();
+            let scan = wal.scan(&s).unwrap();
+            assert_eq!(scan.frames.len(), 2, "cut at {cut}");
+            assert_eq!(scan.valid_len, two_frames);
+            if cut == two_frames {
+                assert_eq!(scan.tail, TailStatus::Clean);
+            } else {
+                assert!(
+                    matches!(scan.tail, TailStatus::Corrupt { offset, .. } if offset == two_frames)
+                );
+                // Repair drops exactly the torn bytes.
+                let repair = wal.repair(&mut s).unwrap();
+                assert_eq!(repair.dropped_bytes, cut - two_frames);
+                assert!(repair.error.is_some());
+                let rescanned = wal.scan(&s).unwrap();
+                assert_eq!(rescanned.tail, TailStatus::Clean);
+                assert_eq!(rescanned.frames.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_condemns_only_the_hit_frame_onward() {
+        let mut storage = MemStorage::new();
+        let wal = Wal::new("wal");
+        wal.append(&mut storage, 2, b"alpha").unwrap();
+        let one_frame = storage.read("wal").unwrap().unwrap().len();
+        wal.append(&mut storage, 2, b"beta").unwrap();
+        // Corrupt a payload byte of the second frame.
+        storage.object_mut("wal").unwrap()[one_frame + FRAME_HEADER_LEN] ^= 0x01;
+        let scan = wal.scan(&storage).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.frames[0].payload, b"alpha");
+        assert!(matches!(
+            scan.tail,
+            TailStatus::Corrupt {
+                offset,
+                error: CodecError::ChecksumMismatch { .. }
+            } if offset == one_frame
+        ));
+    }
+
+    #[test]
+    fn repair_of_clean_log_is_noop() {
+        let mut storage = MemStorage::new();
+        let wal = Wal::new("wal");
+        wal.append(&mut storage, 2, b"alpha").unwrap();
+        let before = storage.read("wal").unwrap().unwrap();
+        let repair = wal.repair(&mut storage).unwrap();
+        assert_eq!(repair.dropped_bytes, 0);
+        assert!(repair.error.is_none());
+        assert_eq!(storage.read("wal").unwrap().unwrap(), before);
+    }
+
+    #[test]
+    fn foreign_bytes_in_tail_are_reported_as_bad_magic() {
+        let mut storage = MemStorage::new();
+        let wal = Wal::new("wal");
+        wal.append(&mut storage, 2, b"alpha").unwrap();
+        let good = storage.read("wal").unwrap().unwrap().len();
+        storage.append("wal", &[0u8; 32]).unwrap();
+        let scan = wal.scan(&storage).unwrap();
+        assert!(matches!(
+            scan.tail,
+            TailStatus::Corrupt {
+                offset,
+                error: CodecError::BadMagic(_)
+            } if offset == good
+        ));
+    }
+}

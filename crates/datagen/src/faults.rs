@@ -1,0 +1,163 @@
+//! Randomized fault schedules for the durability harness.
+//!
+//! The fault *mechanism* lives in `imc2-common`
+//! ([`imc2_common::FaultStorage`] executes a [`FaultPlan`] against any
+//! storage backend); this module is the *generator* side: seeded,
+//! reproducible schedules shaped like real incidents — possibly a
+//! transient IO error, possibly silent bit rot, and always one terminal
+//! crash (clean crash-after-write or a torn write mid-frame). The
+//! pipeline's `tests/durability.rs` drives recovery under thousands of
+//! these schedules and requires bit-identical outcomes.
+
+use imc2_common::{Fault, FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shape of a sampled fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScheduleConfig {
+    /// The terminal crash lands on a mutating-op index in `0..horizon`
+    /// (clamped to at least 1). Size it to the expected operation count of
+    /// the run under test so crashes cover the whole campaign.
+    pub horizon: usize,
+    /// Probability the terminal crash is a torn write (a prefix of the
+    /// frame lands) instead of a clean crash-after-write.
+    pub torn_probability: f64,
+    /// Torn writes keep `0..=torn_keep_max` bytes of the new data.
+    pub torn_keep_max: usize,
+    /// Probability of one transient [`FaultKind::IoError`] strictly before
+    /// the crash.
+    pub transient_probability: f64,
+    /// Probability of one silent [`FaultKind::FlipBit`] strictly before
+    /// the crash.
+    pub flip_probability: f64,
+}
+
+impl FaultScheduleConfig {
+    /// A schedule sized for the small round-trace campaigns the test
+    /// suites use: crash within the first 24 mutating ops, half the
+    /// crashes torn, occasional transient error or bit flip beforehand.
+    pub fn small() -> Self {
+        FaultScheduleConfig {
+            horizon: 24,
+            torn_probability: 0.5,
+            torn_keep_max: 40,
+            transient_probability: 0.25,
+            flip_probability: 0.15,
+        }
+    }
+
+    /// A schedule that only ever produces clean crash-after-write faults —
+    /// the pure crash-at-boundary regime.
+    pub fn crash_only(horizon: usize) -> Self {
+        FaultScheduleConfig {
+            horizon,
+            torn_probability: 0.0,
+            torn_keep_max: 0,
+            transient_probability: 0.0,
+            flip_probability: 0.0,
+        }
+    }
+}
+
+/// Samples one fault schedule: a terminal crash at a uniform op index,
+/// preceded (with the configured probabilities, when the crash index
+/// leaves room) by at most one transient IO error and one bit flip on
+/// distinct earlier ops. Deterministic in `rng`.
+pub fn sample_fault_plan(cfg: &FaultScheduleConfig, rng: &mut StdRng) -> FaultPlan {
+    let horizon = cfg.horizon.max(1);
+    let crash_op = rng.gen_range(0..horizon);
+    let kind = if rng.gen_range(0.0..1.0) < cfg.torn_probability {
+        FaultKind::TornWrite {
+            keep_bytes: rng.gen_range(0..=cfg.torn_keep_max),
+        }
+    } else {
+        FaultKind::CrashAfterWrite
+    };
+    let mut faults = vec![Fault {
+        op_index: crash_op,
+        kind,
+    }];
+    // Pre-crash nuisances, each on its own op so the plan stays one fault
+    // per index (FaultPlan keeps the last fault for a duplicated index).
+    let mut taken = vec![crash_op];
+    let mut nuisance = |kind: FaultKind, p: f64, rng: &mut StdRng, faults: &mut Vec<Fault>| {
+        if crash_op == 0 || rng.gen_range(0.0..1.0) >= p {
+            return;
+        }
+        let op_index = rng.gen_range(0..crash_op);
+        if !taken.contains(&op_index) {
+            taken.push(op_index);
+            faults.push(Fault { op_index, kind });
+        }
+    };
+    nuisance(
+        FaultKind::IoError,
+        cfg.transient_probability,
+        rng,
+        &mut faults,
+    );
+    let flip = FaultKind::FlipBit {
+        byte_offset: rng.gen_range(0..4096),
+        mask: rng.gen_range(0..=u8::MAX),
+    };
+    nuisance(flip, cfg.flip_probability, rng, &mut faults);
+    FaultPlan::new(faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::rng_from_seed;
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let cfg = FaultScheduleConfig::small();
+        let a = sample_fault_plan(&cfg, &mut rng_from_seed(9));
+        let b = sample_fault_plan(&cfg, &mut rng_from_seed(9));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn crash_only_schedules_exactly_one_clean_crash() {
+        let cfg = FaultScheduleConfig::crash_only(10);
+        for seed in 0..50 {
+            let plan = sample_fault_plan(&cfg, &mut rng_from_seed(seed));
+            assert_eq!(plan.len(), 1);
+            let op = (0..10)
+                .find(|&i| plan.fault_at(i).is_some())
+                .expect("crash within horizon");
+            assert_eq!(plan.fault_at(op), Some(FaultKind::CrashAfterWrite));
+        }
+    }
+
+    #[test]
+    fn schedules_have_one_terminal_crash_and_only_earlier_nuisances() {
+        let cfg = FaultScheduleConfig {
+            transient_probability: 1.0,
+            flip_probability: 1.0,
+            ..FaultScheduleConfig::small()
+        };
+        for seed in 0..100 {
+            let plan = sample_fault_plan(&cfg, &mut rng_from_seed(seed));
+            let ops: Vec<usize> = (0..cfg.horizon)
+                .filter(|&i| plan.fault_at(i).is_some())
+                .collect();
+            assert_eq!(ops.len(), plan.len());
+            // Exactly one crash-kind fault, and it is the last scheduled op.
+            let crashes: Vec<usize> = ops
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    matches!(
+                        plan.fault_at(i),
+                        Some(FaultKind::CrashAfterWrite | FaultKind::TornWrite { .. })
+                    )
+                })
+                .collect();
+            assert_eq!(crashes.len(), 1, "seed {seed}");
+            assert_eq!(crashes[0], *ops.last().unwrap(), "seed {seed}");
+        }
+    }
+}

@@ -39,6 +39,7 @@
 pub mod copiers;
 pub mod costs;
 pub mod dist;
+pub mod faults;
 pub mod forum;
 pub mod participation;
 pub mod profiles;
@@ -50,6 +51,7 @@ pub mod table1;
 
 pub use copiers::{CopierConfig, CopierPlan};
 pub use costs::CostModel;
+pub use faults::{sample_fault_plan, FaultScheduleConfig};
 pub use forum::{ForumConfig, ForumData};
 pub use profiles::{WorkerKind, WorkerProfile};
 pub use requirements::RequirementConfig;

@@ -1,0 +1,830 @@
+//! Crash-safe execution of a rolling campaign: WAL + checkpoints +
+//! recovery replay.
+//!
+//! [`DurableRuntime`] wraps the same per-round step the in-memory
+//! [`crate::CampaignRuntime`] executes (shared via the crate-private
+//! `CampaignState`, so the two cannot drift) and journals every executed
+//! round to a write-ahead log before its payout is registered in the
+//! idempotent [`PaymentLedger`]. The WAL append is the **commit point**:
+//!
+//! * crash *before* the append — the round never happened; recovery
+//!   re-executes it deterministically and pays it once;
+//! * crash *during* the append — the torn frame fails its checksum;
+//!   recovery truncates it (with a typed [`imc2_common::wal::WalRepair`]
+//!   warning surfaced in the [`RecoveryReport`]) and the round is
+//!   re-executed, paid once;
+//! * crash *after* the append — the round is committed; recovery absorbs
+//!   its journaled record (payout re-asserted into the ledger, never
+//!   repeated) and replays its journaled deltas through the stream.
+//!
+//! Periodic checkpoints bound replay work: every
+//! [`DurabilityConfig::checkpoint_interval`] rounds the exported
+//! [`StreamState`] is written as its own atomic object, and recovery
+//! restores the newest *valid* checkpoint and replays only the WAL
+//! suffix. A corrupted checkpoint is skipped — recovery falls back to the
+//! previous one (or a cold rebuild) at the cost of a longer replay, and
+//! reports how many were skipped. Because the stream's incremental
+//! maintenance is property-tested bit-identical to a rebuild, a recovered
+//! campaign finishes **bit-identical** to one that never crashed —
+//! estimates, accuracies, payments and records alike
+//! (`tests/durability.rs` proves it by crashing at every WAL byte).
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_common::storage::MemStorage;
+//! use imc2_datagen::{RoundTrace, RoundTraceConfig};
+//! use imc2_pipeline::{DurabilityConfig, DurableRuntime, PipelineConfig};
+//!
+//! let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+//! let runtime = DurableRuntime::new(PipelineConfig::default(), DurabilityConfig::default());
+//! let mut storage = MemStorage::new();
+//! let first = runtime.run(&mut storage, &trace).unwrap();
+//! assert!(first.recovery.is_none(), "fresh log, nothing to recover");
+//!
+//! // Re-running over the same storage finds the finished journal: every
+//! // round is absorbed, none re-executed, nothing paid twice.
+//! let again = runtime.run(&mut storage, &trace).unwrap();
+//! let recovery = again.recovery.unwrap();
+//! assert_eq!(recovery.journaled_rounds, first.outcome.rounds.len());
+//! assert_eq!(again.ledger.len(), first.outcome.rounds.len());
+//! assert_eq!(again.outcome.total_payment, first.outcome.total_payment);
+//! ```
+
+use crate::ledger::{LedgerError, PaymentLedger};
+use crate::report::{RollingOutcome, RoundRecord, StopReason};
+use crate::runtime::PipelineConfig;
+use crate::state::{CampaignState, RefineMode, RoundStep};
+use imc2_auction::AuctionError;
+use imc2_common::codec::crc32;
+use imc2_common::codec::{
+    decode_frame, decode_from_slice, encode_frame, encode_to_vec, Codec, CodecError, Decoder,
+    Encoder,
+};
+use imc2_common::storage::{Storage, StorageError};
+use imc2_common::wal::{TailStatus, Wal};
+use imc2_common::{SnapshotDelta, ValidationError};
+use imc2_datagen::RoundTrace;
+use imc2_truth::StreamState;
+use std::fmt;
+
+/// WAL frame kind: the campaign's genesis record (shape fingerprint,
+/// budget, reputation prior) — always the first frame.
+pub const KIND_GENESIS: u16 = 1;
+/// WAL frame kind: one committed round (record + journaled deltas +
+/// post-round residual).
+pub const KIND_ROUND: u16 = 2;
+/// Frame kind of a checkpoint object (stored outside the WAL).
+pub const KIND_CHECKPOINT: u16 = 3;
+
+/// Object name of the write-ahead log.
+pub const WAL_OBJECT: &str = "wal.bin";
+
+fn checkpoint_name(next_round: usize) -> String {
+    format!("ckpt-{next_round:08}.bin")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<usize> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+/// Durability knobs of [`DurableRuntime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Executed rounds between checkpoints; `0` disables checkpointing
+    /// (recovery then replays the whole WAL from a cold warm-up).
+    pub checkpoint_interval: usize,
+    /// Newest checkpoints retained; older ones are pruned after each new
+    /// checkpoint lands. At least 2 keeps a fallback when the newest one
+    /// is corrupted.
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityConfig {
+    /// Checkpoint every 4 executed rounds, keep the newest 2.
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_interval: 4,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// Why a durable run (or its recovery) failed. Every layer keeps its own
+/// typed error; nothing is stringly collapsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// The campaign itself failed (uncapped monopolist).
+    Auction(AuctionError),
+    /// The storage backend failed (or an injected fault crashed it).
+    Storage(StorageError),
+    /// A journal or checkpoint record did not decode.
+    Codec(CodecError),
+    /// A decoded record no longer applies to the stream — a
+    /// checksum-valid but semantically corrupt journal.
+    State(ValidationError),
+    /// A payout would have been registered twice.
+    Ledger(LedgerError),
+    /// The journal belongs to a different campaign (shape, trace
+    /// fingerprint, or budget disagree with the supplied config/trace).
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Auction(e) => write!(f, "auction: {e}"),
+            DurabilityError::Storage(e) => write!(f, "storage: {e}"),
+            DurabilityError::Codec(e) => write!(f, "journal: {e}"),
+            DurabilityError::State(e) => write!(f, "state: {e}"),
+            DurabilityError::Ledger(e) => write!(f, "ledger: {e}"),
+            DurabilityError::ConfigMismatch(msg) => write!(f, "config mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Auction(e) => Some(e),
+            DurabilityError::Storage(e) => Some(e),
+            DurabilityError::Codec(e) => Some(e),
+            DurabilityError::State(e) => Some(e),
+            DurabilityError::Ledger(e) => Some(e),
+            DurabilityError::ConfigMismatch(_) => None,
+        }
+    }
+}
+
+impl From<AuctionError> for DurabilityError {
+    fn from(e: AuctionError) -> Self {
+        DurabilityError::Auction(e)
+    }
+}
+impl From<StorageError> for DurabilityError {
+    fn from(e: StorageError) -> Self {
+        DurabilityError::Storage(e)
+    }
+}
+impl From<CodecError> for DurabilityError {
+    fn from(e: CodecError) -> Self {
+        DurabilityError::Codec(e)
+    }
+}
+impl From<LedgerError> for DurabilityError {
+    fn from(e: LedgerError) -> Self {
+        DurabilityError::Ledger(e)
+    }
+}
+
+/// What recovery found and did before live execution resumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Committed rounds absorbed from the journal.
+    pub journaled_rounds: usize,
+    /// `next_round` of the checkpoint actually used; `None` means cold
+    /// warm-up plus full replay.
+    pub checkpoint_round: Option<usize>,
+    /// Journaled rounds whose deltas were replayed through the stream
+    /// (those at or past the checkpoint).
+    pub replayed_rounds: usize,
+    /// Bytes of torn/corrupt WAL tail truncated before replay.
+    pub torn_tail_dropped: usize,
+    /// The typed decode error that condemned the dropped tail.
+    pub tail_error: Option<CodecError>,
+    /// Checkpoints that existed but were skipped (corrupt, undecodable,
+    /// or ahead of the journal).
+    pub checkpoints_skipped: usize,
+    /// The reputation prior journaled at genesis and used from here on —
+    /// pricing survives the crash even if the live config drifted.
+    pub adopted_reputation_prior: f64,
+}
+
+/// Result of a [`DurableRuntime::run`].
+#[derive(Debug, Clone)]
+pub struct DurableOutcome {
+    /// The campaign outcome — bit-identical to an uninterrupted
+    /// [`crate::CampaignRuntime::run`] over the same trace and config.
+    pub outcome: RollingOutcome,
+    /// Present when the run started from a non-empty journal.
+    pub recovery: Option<RecoveryReport>,
+    /// The per-round payout register (absorbed + newly paid rounds).
+    pub ledger: PaymentLedger,
+    /// Checkpoints written during *this* run.
+    pub checkpoints_written: usize,
+    /// WAL frames appended during *this* run (genesis included).
+    pub wal_frames_appended: usize,
+}
+
+// --- Journal record types ------------------------------------------------
+
+/// A cheap content fingerprint of the trace a journal belongs to: CRC-32
+/// over the initial snapshot, the requirement/cost profiles and the round
+/// count. Not cryptographic — it catches "wrong trace supplied to
+/// recovery", not tampering (the per-frame checksums handle corruption).
+fn trace_digest(trace: &RoundTrace) -> u32 {
+    let mut enc = Encoder::new();
+    trace.initial.encode(&mut enc);
+    trace.requirements.encode(&mut enc);
+    trace.costs.encode(&mut enc);
+    enc.put_usize(trace.rounds.len());
+    crc32(enc.as_bytes())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Genesis {
+    n_workers: usize,
+    n_tasks: usize,
+    n_rounds: usize,
+    trace_digest: u32,
+    budget: Option<f64>,
+    prior: f64,
+}
+
+impl Codec for Genesis {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_workers);
+        enc.put_usize(self.n_tasks);
+        enc.put_usize(self.n_rounds);
+        enc.put_u32(self.trace_digest);
+        self.budget.encode(enc);
+        enc.put_f64(self.prior);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Genesis {
+            n_workers: dec.take_usize()?,
+            n_tasks: dec.take_usize()?,
+            n_rounds: dec.take_usize()?,
+            trace_digest: dec.take_u32()?,
+            budget: Option::<f64>::decode(dec)?,
+            prior: dec.take_f64()?,
+        })
+    }
+}
+
+impl Codec for RoundRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.round);
+        enc.put_usize(self.n_bidders);
+        self.winners.encode(enc);
+        enc.put_usize(self.n_copier_winners);
+        enc.put_f64(self.payment);
+        enc.put_f64(self.social_cost);
+        enc.put_f64(self.min_winner_utility);
+        enc.put_usize(self.ingested_answers);
+        enc.put_usize(self.correction_ops);
+        enc.put_usize(self.refine_iterations);
+        enc.put_f64(self.precision);
+        enc.put_usize(self.newly_covered_tasks);
+        enc.put_f64(self.new_value_covered);
+        enc.put_usize(self.covered_tasks);
+        enc.put_usize(self.deferred_tasks);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RoundRecord {
+            round: dec.take_usize()?,
+            n_bidders: dec.take_usize()?,
+            winners: Vec::decode(dec)?,
+            n_copier_winners: dec.take_usize()?,
+            payment: dec.take_f64()?,
+            social_cost: dec.take_f64()?,
+            min_winner_utility: dec.take_f64()?,
+            ingested_answers: dec.take_usize()?,
+            correction_ops: dec.take_usize()?,
+            refine_iterations: dec.take_usize()?,
+            precision: dec.take_f64()?,
+            newly_covered_tasks: dec.take_usize()?,
+            new_value_covered: dec.take_f64()?,
+            covered_tasks: dec.take_usize()?,
+            deferred_tasks: dec.take_usize()?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RoundFrame {
+    record: RoundRecord,
+    ingest: SnapshotDelta,
+    corrections: SnapshotDelta,
+    /// Residual requirement profile *after* this round — recovery adopts
+    /// the last committed round's profile instead of re-deriving coverage.
+    residual: Vec<f64>,
+}
+
+impl Codec for RoundFrame {
+    fn encode(&self, enc: &mut Encoder) {
+        self.record.encode(enc);
+        self.ingest.encode(enc);
+        self.corrections.encode(enc);
+        self.residual.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RoundFrame {
+            record: RoundRecord::decode(dec)?,
+            ingest: SnapshotDelta::decode(dec)?,
+            corrections: SnapshotDelta::decode(dec)?,
+            residual: Vec::decode(dec)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CheckpointFrame {
+    /// First round *not* reflected in `state` — replay starts here.
+    next_round: usize,
+    state: StreamState,
+}
+
+impl Codec for CheckpointFrame {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.next_round);
+        self.state.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointFrame {
+            next_round: dec.take_usize()?,
+            state: StreamState::decode(dec)?,
+        })
+    }
+}
+
+// --- The runtime ---------------------------------------------------------
+
+/// The crash-safe campaign driver. See the [module docs](self) for the
+/// commit protocol and the recovery path.
+#[derive(Debug, Clone, Default)]
+pub struct DurableRuntime {
+    config: PipelineConfig,
+    durability: DurabilityConfig,
+}
+
+impl DurableRuntime {
+    /// A durable runtime over the given campaign and durability configs.
+    pub fn new(config: PipelineConfig, durability: DurabilityConfig) -> Self {
+        DurableRuntime { config, durability }
+    }
+
+    /// The campaign configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The durability knobs in use.
+    pub fn durability(&self) -> &DurabilityConfig {
+        &self.durability
+    }
+
+    /// Runs (or resumes) the campaign over `storage`. An empty WAL starts
+    /// fresh; a non-empty one is recovered first — torn tail truncated,
+    /// newest valid checkpoint restored, journal suffix replayed — and
+    /// execution continues from the first uncommitted round. The result is
+    /// bit-identical to an uninterrupted in-memory run.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Storage`] when the backend (or an injected
+    /// fault) fails — the caller treats this as the crash and re-invokes
+    /// `run` on the surviving storage; [`DurabilityError::ConfigMismatch`]
+    /// when the journal belongs to a different campaign; the other
+    /// variants for corrupt-but-plausible journals and auction failures.
+    pub fn run<S: Storage + ?Sized>(
+        &self,
+        storage: &mut S,
+        trace: &RoundTrace,
+    ) -> Result<DurableOutcome, DurabilityError> {
+        let cfg = &self.config;
+        let wal = Wal::new(WAL_OBJECT);
+
+        // Recovery phase 1 — make the log clean: truncate any torn tail,
+        // remembering the typed warning for the report.
+        let repair = wal.repair(storage)?;
+        let scan = wal.scan(storage)?;
+        debug_assert!(matches!(scan.tail, TailStatus::Clean));
+
+        let mut ledger = PaymentLedger::new();
+        let mut wal_frames_appended = 0usize;
+        let genesis = Genesis {
+            n_workers: trace.n_workers(),
+            n_tasks: trace.n_tasks(),
+            n_rounds: trace.rounds.len(),
+            trace_digest: trace_digest(trace),
+            budget: cfg.budget,
+            prior: cfg.effective_prior(),
+        };
+
+        let (mut state, start_round, recovery) = if scan.frames.is_empty() {
+            // Fresh campaign: the genesis frame is committed before any
+            // round so recovery can always validate what it is resuming.
+            wal.append(storage, KIND_GENESIS, &encode_to_vec(&genesis))?;
+            wal_frames_appended += 1;
+            (CampaignState::new(cfg, trace), 0, None)
+        } else {
+            let (state, start_round, mut report) =
+                self.recover(storage, trace, &scan.frames, &genesis, &mut ledger)?;
+            report.torn_tail_dropped = repair.dropped_bytes;
+            report.tail_error = repair.error;
+            (state, start_round, Some(report))
+        };
+
+        // Live phase — the shared per-round step, with the WAL append as
+        // the commit point and the ledger as the payout register.
+        let n_tasks = trace.n_tasks();
+        let mut checkpoints_written = 0usize;
+        let mut rounds_since_ckpt = 0usize;
+        let mut stop = StopReason::TraceExhausted;
+        // A journal that already covered every task had stopped right
+        // after its last committed round; execute nothing more.
+        let halted = start_round > 0 && state.covered_tasks == n_tasks;
+        if halted {
+            stop = StopReason::AllCovered;
+        } else {
+            for round in start_round..trace.rounds.len() {
+                if cfg.max_rounds.is_some_and(|cap| state.rounds.len() >= cap) {
+                    stop = StopReason::MaxRounds;
+                    break;
+                }
+                match state.execute_round(cfg, trace, RefineMode::Warm, round)? {
+                    RoundStep::BudgetStop => {
+                        // Never journaled: an abandoned round left no
+                        // state to recover, and a crash here simply
+                        // re-derives the same stop.
+                        stop = StopReason::BudgetExhausted;
+                        break;
+                    }
+                    RoundStep::Executed {
+                        ingest,
+                        corrections,
+                    } => {
+                        let record = state.rounds.last().expect("just executed").clone();
+                        let payment = record.payment;
+                        let frame = RoundFrame {
+                            record,
+                            ingest,
+                            corrections,
+                            residual: state.residual.clone(),
+                        };
+                        // Commit point: after this append returns, the
+                        // round (and its payout) exists.
+                        wal.append(storage, KIND_ROUND, &encode_to_vec(&frame))?;
+                        wal_frames_appended += 1;
+                        ledger.record(round, payment)?;
+
+                        rounds_since_ckpt += 1;
+                        if self.durability.checkpoint_interval > 0
+                            && rounds_since_ckpt >= self.durability.checkpoint_interval
+                        {
+                            self.write_checkpoint(storage, &state, round + 1)?;
+                            checkpoints_written += 1;
+                            rounds_since_ckpt = 0;
+                        }
+                    }
+                }
+                if state.covered_tasks == n_tasks {
+                    stop = StopReason::AllCovered;
+                    break;
+                }
+            }
+        }
+
+        Ok(DurableOutcome {
+            outcome: state.into_outcome(cfg, trace, stop),
+            recovery,
+            ledger,
+            checkpoints_written,
+            wal_frames_appended,
+        })
+    }
+
+    /// Rebuilds the campaign state from a clean journal: validate genesis,
+    /// absorb every committed round into ledger + bookkeeping, restore the
+    /// newest usable checkpoint and replay the journal suffix through the
+    /// stream.
+    fn recover<S: Storage + ?Sized>(
+        &self,
+        storage: &mut S,
+        trace: &RoundTrace,
+        frames: &[imc2_common::wal::OwnedFrame],
+        expected: &Genesis,
+        ledger: &mut PaymentLedger,
+    ) -> Result<(CampaignState, usize, RecoveryReport), DurabilityError> {
+        let cfg = &self.config;
+        let first = &frames[0];
+        if first.kind != KIND_GENESIS {
+            return Err(CodecError::Malformed(format!(
+                "journal starts with frame kind {} instead of genesis",
+                first.kind
+            ))
+            .into());
+        }
+        let genesis: Genesis = decode_from_slice(&first.payload)?;
+        for (what, ours, theirs) in [
+            ("worker count", expected.n_workers, genesis.n_workers),
+            ("task count", expected.n_tasks, genesis.n_tasks),
+            ("trace length", expected.n_rounds, genesis.n_rounds),
+            (
+                "trace fingerprint",
+                expected.trace_digest as usize,
+                genesis.trace_digest as usize,
+            ),
+        ] {
+            if ours != theirs {
+                return Err(DurabilityError::ConfigMismatch(format!(
+                    "journal {what} is {theirs}, supplied campaign has {ours}"
+                )));
+            }
+        }
+        if expected.budget.map(f64::to_bits) != genesis.budget.map(f64::to_bits) {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal budget {:?} differs from configured {:?}",
+                genesis.budget, expected.budget
+            )));
+        }
+
+        // Decode the committed rounds; they are consecutive by
+        // construction (every executed round appends exactly one frame).
+        let mut journaled: Vec<RoundFrame> = Vec::with_capacity(frames.len() - 1);
+        for (i, f) in frames[1..].iter().enumerate() {
+            if f.kind != KIND_ROUND {
+                return Err(CodecError::Malformed(format!(
+                    "unexpected frame kind {} at journal position {}",
+                    f.kind,
+                    i + 1
+                ))
+                .into());
+            }
+            let rf: RoundFrame = decode_from_slice(&f.payload)?;
+            if rf.record.round != i {
+                return Err(CodecError::Malformed(format!(
+                    "journal position {} holds round {}",
+                    i, rf.record.round
+                ))
+                .into());
+            }
+            if rf.residual.len() != trace.n_tasks() {
+                return Err(CodecError::Malformed(format!(
+                    "journaled residual has {} tasks, campaign has {}",
+                    rf.residual.len(),
+                    trace.n_tasks()
+                ))
+                .into());
+            }
+            journaled.push(rf);
+        }
+        let committed = journaled.len();
+
+        // The payout register comes back first: a buggy replay that
+        // re-executed a committed round would now be a typed
+        // DuplicatePayment, not a silent double spend.
+        for rf in &journaled {
+            ledger.record(rf.record.round, rf.record.payment)?;
+        }
+
+        // Newest usable checkpoint: valid frame, decodable state, not
+        // ahead of the committed journal (a checkpoint that outran a
+        // truncated WAL would put the stream ahead of the ledger).
+        let mut names: Vec<(usize, String)> = storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_checkpoint_name(&n).map(|r| (r, n)))
+            .collect();
+        names.sort_unstable_by_key(|n| std::cmp::Reverse(n.0));
+        let mut checkpoints_skipped = 0usize;
+        let mut restored: Option<(usize, CampaignState)> = None;
+        for (round, name) in &names {
+            if *round > committed || *round == 0 {
+                checkpoints_skipped += 1;
+                continue;
+            }
+            let usable = storage
+                .read(name)?
+                .as_deref()
+                .and_then(|bytes| match decode_frame(bytes) {
+                    Ok((frame, used)) if frame.kind == KIND_CHECKPOINT && used == bytes.len() => {
+                        decode_from_slice::<CheckpointFrame>(frame.payload).ok()
+                    }
+                    _ => None,
+                })
+                .filter(|ckpt| ckpt.next_round == *round)
+                .and_then(|ckpt| CampaignState::restore(cfg, trace, ckpt.state).ok());
+            match usable {
+                Some(state) => {
+                    restored = Some((*round, state));
+                    break;
+                }
+                // Corrupt, torn, misnamed or inapplicable: fall back to
+                // the next-older checkpoint and pay a longer replay.
+                None => checkpoints_skipped += 1,
+            }
+        }
+        let (checkpoint_round, mut state) = match restored {
+            Some((round, state)) => (Some(round), state),
+            // Cold fallback: rebuild from the trace's initial snapshot
+            // (including the warm-up refinement) and replay everything.
+            None => (None, CampaignState::new(cfg, trace)),
+        };
+
+        // Pricing must survive the crash: unseen workers are priced with
+        // the *journaled* prior from here on, whatever the live config says.
+        state.prior = genesis.prior;
+
+        // Bookkeeping replay: totals accumulate in round order, records
+        // rejoin as journaled, and the residual profile is adopted from
+        // the last committed round.
+        for rf in &journaled {
+            state.absorb_record(rf.record.clone());
+        }
+        if let Some(last) = journaled.last() {
+            state.adopt_residual(last.residual.clone());
+        }
+
+        // Stream replay: only the journal suffix the checkpoint has not
+        // seen. Each replayed round is the deterministic push+refine of
+        // its journaled deltas — bit-identical to original execution.
+        let replay_from = checkpoint_round.unwrap_or(0);
+        for rf in &journaled[replay_from..] {
+            state
+                .replay_round(cfg, &rf.ingest, &rf.corrections)
+                .map_err(DurabilityError::State)?;
+        }
+
+        let report = RecoveryReport {
+            journaled_rounds: committed,
+            checkpoint_round,
+            replayed_rounds: committed - replay_from,
+            torn_tail_dropped: 0,
+            tail_error: None,
+            checkpoints_skipped,
+            adopted_reputation_prior: genesis.prior,
+        };
+        Ok((state, committed, report))
+    }
+
+    /// Writes the checkpoint object for `next_round` atomically and prunes
+    /// everything older than the retention window.
+    fn write_checkpoint<S: Storage + ?Sized>(
+        &self,
+        storage: &mut S,
+        state: &CampaignState,
+        next_round: usize,
+    ) -> Result<(), StorageError> {
+        let frame = CheckpointFrame {
+            next_round,
+            state: state.stream.export_state(),
+        };
+        storage.write_atomic(
+            &checkpoint_name(next_round),
+            &encode_frame(KIND_CHECKPOINT, &encode_to_vec(&frame)),
+        )?;
+
+        let mut rounds: Vec<(usize, String)> = storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_checkpoint_name(&n).map(|r| (r, n)))
+            .collect();
+        rounds.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
+        for (_, name) in rounds.iter().skip(self.durability.keep_checkpoints.max(1)) {
+            storage.remove(name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::CampaignRuntime;
+    use imc2_common::storage::MemStorage;
+    use imc2_datagen::RoundTraceConfig;
+
+    fn trace(seed: u64) -> RoundTrace {
+        RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap()
+    }
+
+    fn bit_eq(a: &RollingOutcome, b: &RollingOutcome) {
+        assert_eq!(a.stop, b.stop);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.final_estimate, b.final_estimate);
+        assert_eq!(a.total_payment.to_bits(), b.total_payment.to_bits());
+        assert_eq!(a.total_social_cost.to_bits(), b.total_social_cost.to_bits());
+        for (x, y) in a
+            .final_accuracy
+            .as_slice()
+            .iter()
+            .zip(b.final_accuracy.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.residual.iter().zip(&b.residual) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn uninterrupted_durable_run_matches_the_in_memory_runtime_bit_for_bit() {
+        let t = trace(11);
+        let cfg = PipelineConfig::default();
+        let plain = CampaignRuntime::new(cfg.clone()).run(&t).unwrap();
+        let mut storage = MemStorage::new();
+        let durable = DurableRuntime::new(cfg, DurabilityConfig::default())
+            .run(&mut storage, &t)
+            .unwrap();
+        bit_eq(&durable.outcome, &plain);
+        assert!(durable.recovery.is_none());
+        // Genesis + one frame per executed round.
+        assert_eq!(durable.wal_frames_appended, 1 + plain.rounds.len());
+        // Every executed round is paid exactly once.
+        assert_eq!(durable.ledger.len(), plain.rounds.len());
+        for r in &plain.rounds {
+            assert_eq!(
+                durable.ledger.paid(r.round).unwrap().to_bits(),
+                r.payment.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn rerun_over_a_finished_journal_absorbs_everything_and_pays_nothing_new() {
+        let t = trace(12);
+        let runtime = DurableRuntime::new(PipelineConfig::default(), DurabilityConfig::default());
+        let mut storage = MemStorage::new();
+        let first = runtime.run(&mut storage, &t).unwrap();
+        let frames_before = first.wal_frames_appended;
+
+        let second = runtime.run(&mut storage, &t).unwrap();
+        let recovery = second.recovery.as_ref().unwrap();
+        assert_eq!(recovery.journaled_rounds, first.outcome.rounds.len());
+        assert_eq!(recovery.torn_tail_dropped, 0);
+        assert!(second.wal_frames_appended == 0 || frames_before == 1);
+        bit_eq(&second.outcome, &first.outcome);
+        // The checkpoint bounded the replay.
+        if recovery.checkpoint_round.is_some() {
+            assert!(recovery.replayed_rounds < recovery.journaled_rounds);
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_pruned_to_the_retention_window() {
+        let t = trace(13);
+        let runtime = DurableRuntime::new(
+            PipelineConfig::default(),
+            DurabilityConfig {
+                checkpoint_interval: 1,
+                keep_checkpoints: 2,
+            },
+        );
+        let mut storage = MemStorage::new();
+        let out = runtime.run(&mut storage, &t).unwrap();
+        assert!(
+            out.checkpoints_written >= 3,
+            "interval 1 writes one per round"
+        );
+        let kept: Vec<usize> = storage
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter_map(|n| parse_checkpoint_name(&n))
+            .collect();
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&out.outcome.rounds.len()));
+    }
+
+    #[test]
+    fn journal_from_a_different_campaign_is_refused() {
+        let runtime = DurableRuntime::new(PipelineConfig::default(), DurabilityConfig::default());
+        let mut storage = MemStorage::new();
+        runtime.run(&mut storage, &trace(14)).unwrap();
+        let err = runtime.run(&mut storage, &trace(15)).unwrap_err();
+        assert!(matches!(err, DurabilityError::ConfigMismatch(_)), "{err}");
+
+        // Same trace, different budget: also refused (payout semantics
+        // would silently change).
+        let other = DurableRuntime::new(
+            PipelineConfig {
+                budget: Some(1.0),
+                ..PipelineConfig::default()
+            },
+            DurabilityConfig::default(),
+        );
+        let err = other.run(&mut storage, &trace(14)).unwrap_err();
+        assert!(matches!(err, DurabilityError::ConfigMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_names_roundtrip() {
+        assert_eq!(parse_checkpoint_name(&checkpoint_name(7)), Some(7));
+        assert_eq!(parse_checkpoint_name("ckpt-00000042.bin"), Some(42));
+        assert_eq!(parse_checkpoint_name("wal.bin"), None);
+        assert_eq!(parse_checkpoint_name("ckpt-x.bin"), None);
+    }
+
+    #[test]
+    fn durability_error_display_is_prefixed_and_sourced() {
+        let e = DurabilityError::from(CodecError::BadMagic(7));
+        assert!(e.to_string().starts_with("journal:"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = DurabilityError::ConfigMismatch("x".into());
+        assert!(std::error::Error::source(&m).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Idempotent payment accounting for the durable runtime.
+//!
+//! Real money leaves the platform when a round's winners are paid, so the
+//! one disaster a crash must never cause is paying the same round twice.
+//! [`PaymentLedger`] makes double payment *structurally* impossible: a
+//! payout is keyed by its round index, recording a round that is already
+//! present is a typed error, and recovery rebuilds the ledger from the
+//! journal before any new round executes — so a replayed journal entry
+//! can only ever *re-assert* a payment, never repeat it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A payment-ledger violation. There is exactly one way to violate the
+/// ledger: trying to pay a round twice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// `record` was called for a round that already has a payout.
+    DuplicatePayment {
+        /// The round that was about to be paid again.
+        round: usize,
+        /// What the ledger already holds for it.
+        existing: f64,
+        /// What the duplicate attempt tried to pay.
+        attempted: f64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::DuplicatePayment {
+                round,
+                existing,
+                attempted,
+            } => write!(
+                f,
+                "round {round} is already paid ({existing}); refusing duplicate payout ({attempted})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Append-only, per-round payout register. Totals accumulate in round
+/// order, so a ledger rebuilt from a journal reproduces the original
+/// floating-point total bit for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PaymentLedger {
+    paid: BTreeMap<usize, f64>,
+    total: f64,
+}
+
+impl PaymentLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        PaymentLedger::default()
+    }
+
+    /// Registers round `round`'s payout.
+    ///
+    /// # Errors
+    /// [`LedgerError::DuplicatePayment`] if the round is already paid —
+    /// the amount is *not* added again.
+    pub fn record(&mut self, round: usize, amount: f64) -> Result<(), LedgerError> {
+        if let Some(&existing) = self.paid.get(&round) {
+            return Err(LedgerError::DuplicatePayment {
+                round,
+                existing,
+                attempted: amount,
+            });
+        }
+        self.paid.insert(round, amount);
+        self.total += amount;
+        Ok(())
+    }
+
+    /// The payout of one round, if it was paid.
+    pub fn paid(&self, round: usize) -> Option<f64> {
+        self.paid.get(&round).copied()
+    }
+
+    /// Total paid out, accumulated in insertion (= round) order.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of paid rounds.
+    pub fn len(&self) -> usize {
+        self.paid.len()
+    }
+
+    /// Whether nothing has been paid yet.
+    pub fn is_empty(&self) -> bool {
+        self.paid.is_empty()
+    }
+
+    /// Paid rounds in ascending round order.
+    pub fn rounds(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.paid.iter().map(|(&r, &p)| (r, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals_in_round_order() {
+        let mut ledger = PaymentLedger::new();
+        ledger.record(0, 1.5).unwrap();
+        ledger.record(1, 0.25).unwrap();
+        ledger.record(2, 3.0).unwrap();
+        assert_eq!(ledger.total().to_bits(), (1.5f64 + 0.25 + 3.0).to_bits());
+        assert_eq!(ledger.paid(1), Some(0.25));
+        assert_eq!(ledger.paid(3), None);
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(
+            ledger.rounds().collect::<Vec<_>>(),
+            vec![(0, 1.5), (1, 0.25), (2, 3.0)]
+        );
+    }
+
+    #[test]
+    fn duplicate_payout_is_refused_and_not_added() {
+        let mut ledger = PaymentLedger::new();
+        ledger.record(4, 2.0).unwrap();
+        let err = ledger.record(4, 5.0).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::DuplicatePayment {
+                round: 4,
+                existing: 2.0,
+                attempted: 5.0
+            }
+        );
+        assert!(err.to_string().contains("round 4"));
+        // The total still reflects exactly one payout.
+        assert_eq!(ledger.total(), 2.0);
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn zero_payouts_are_still_idempotency_guarded() {
+        // Idle rounds pay 0.0 but are journaled; they must still be
+        // single-entry so replay accounting can trust the ledger length.
+        let mut ledger = PaymentLedger::new();
+        ledger.record(0, 0.0).unwrap();
+        assert!(ledger.record(0, 0.0).is_err());
+        assert!(!ledger.is_empty());
+    }
+}

@@ -68,8 +68,16 @@
 //! # }
 //! ```
 
+pub mod durable;
+pub mod ledger;
 pub mod report;
 pub mod runtime;
 
+mod state;
+
+pub use durable::{
+    DurabilityConfig, DurabilityError, DurableOutcome, DurableRuntime, RecoveryReport,
+};
+pub use ledger::{LedgerError, PaymentLedger};
 pub use report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
 pub use runtime::{one_shot, CampaignRuntime, OneShotOutcome, PipelineConfig};

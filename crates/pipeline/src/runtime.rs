@@ -1,31 +1,17 @@
 //! The rolling campaign loop and the one-shot (batch) degenerate case.
 
-use crate::report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
+use crate::report::{RollingOutcome, StopReason};
+use crate::state::{CampaignState, RefineMode, RoundStep};
 use imc2_auction::{
     AuctionError, AuctionOutcome, ReverseAuction, RoundBid, RoundInstance, UncoverablePolicy,
 };
 use imc2_common::logprob::clamp_prob;
-use imc2_common::{DeltaOp, SnapshotDelta, TaskId, WorkerId};
-use imc2_datagen::{RoundTrace, Scenario, WorkerOffer};
+use imc2_common::{TaskId, WorkerId};
+use imc2_datagen::{RoundTrace, Scenario};
 use imc2_truth::{
     accuracy_for_auction, CompactionPolicy, Date, DateStream, TruthOutcome, TruthProblem,
 };
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-
-pub(crate) use crate::report::COVER_TOL;
-
-/// How a round's refinement treats the streaming state (see the three
-/// `CampaignRuntime::run*` entry points).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RefineMode {
-    /// Production: one warm stream spans every round.
-    Warm,
-    /// Correctness reference: warm state, engine rebuilt every round.
-    RebuildEngine,
-    /// Perf baseline: full cold DATE on the snapshot every round.
-    ColdRestart,
-}
 
 /// Configuration of the online campaign runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +32,14 @@ pub struct PipelineConfig {
     /// Slack-reclaim policy consulted after every refinement; `None`
     /// never compacts.
     pub compaction: Option<CompactionPolicy>,
+    /// Reputation prior for workers the stream has not seen answer yet
+    /// (clamped into the open unit interval at use). `None` falls back to
+    /// the DATE `ε` of [`PipelineConfig::date`] — the historical behavior,
+    /// now an explicit, durable pricing input: the durable runtime journals
+    /// the effective prior at genesis and recovery re-prices unseen
+    /// workers with the *journaled* value, so a post-crash round pays
+    /// exactly what the uninterrupted campaign would have.
+    pub reputation_prior: Option<f64>,
 }
 
 impl Default for PipelineConfig {
@@ -58,16 +52,24 @@ impl Default for PipelineConfig {
             max_rounds: None,
             monopoly_cap: Some(3.0),
             compaction: Some(CompactionPolicy::default()),
+            reputation_prior: None,
         }
     }
 }
 
 impl PipelineConfig {
-    fn auction(&self) -> ReverseAuction {
+    pub(crate) fn auction(&self) -> ReverseAuction {
         match self.monopoly_cap {
             Some(cap) => ReverseAuction::with_monopoly_cap(cap),
             None => ReverseAuction::new(),
         }
+    }
+
+    /// The prior actually used to price workers the stream has not seen
+    /// answer yet: [`PipelineConfig::reputation_prior`] if set, else the
+    /// DATE `ε`, clamped into the open unit interval either way.
+    pub fn effective_prior(&self) -> f64 {
+        clamp_prob(self.reputation_prior.unwrap_or(self.date.config().epsilon))
     }
 }
 
@@ -132,288 +134,29 @@ impl CampaignRuntime {
         mode: RefineMode,
     ) -> Result<RollingOutcome, AuctionError> {
         let cfg = &self.config;
-        let auction = cfg.auction();
-        let epsilon = clamp_prob(cfg.date.config().epsilon);
-        let n_workers = trace.n_workers();
-        let copiers: std::collections::HashSet<WorkerId> = trace
-            .campaign
-            .profiles
-            .iter()
-            .filter(|p| p.is_copier())
-            .map(|p| p.worker)
-            .collect();
-
-        let mut timings = StageTimings::default();
-        let mut stream = DateStream::new(
-            &cfg.date,
-            trace.initial.clone(),
-            trace.campaign.num_false.clone(),
-        )
-        .expect("round traces carry consistent snapshots");
-        // Stray ids in a malformed trace fail fast instead of growing
-        // every per-worker buffer.
-        stream.set_worker_limit(Some(n_workers));
-
-        // Warm-up refinement: reputation for round 0 comes from the
-        // initial snapshot (or stays at the ε prior when it is empty).
-        let t = Instant::now();
-        let mut refine_iterations = stream.refine().iterations;
-        timings.refine_s += t.elapsed().as_secs_f64();
-
-        let mut residual = trace.requirements.clone();
-        let mut covered: Vec<bool> = residual.iter().map(|&r| r <= COVER_TOL).collect();
-        let mut covered_tasks = covered.iter().filter(|&&c| c).count();
-        let mut rounds: Vec<RoundRecord> = Vec::new();
-        let mut total_payment = 0.0;
-        let mut total_social_cost = 0.0;
+        let mut state = CampaignState::new(cfg, trace);
         let mut stop = StopReason::TraceExhausted;
 
-        for (round, offers) in trace.rounds.iter().enumerate() {
-            if cfg.max_rounds.is_some_and(|cap| rounds.len() >= cap) {
+        for round in 0..trace.rounds.len() {
+            if cfg.max_rounds.is_some_and(|cap| state.rounds.len() >= cap) {
                 stop = StopReason::MaxRounds;
                 break;
             }
-
-            // Stage 1 — auction: live reputations → round instance →
-            // greedy winner selection.
-            let t = Instant::now();
-            let reputation = reputations(&stream, offers, epsilon);
-            let bids: Vec<RoundBid> = offers
-                .iter()
-                .map(|o| RoundBid {
-                    worker: o.worker,
-                    tasks: o.tasks(),
-                    price: o.price,
-                })
-                .collect();
-            let instance = RoundInstance::build(
-                &bids,
-                &|w, _| reputation[&w],
-                &residual,
-                UncoverablePolicy::Defer,
-            )
-            .expect("generated round offers are valid");
-            let selected = match &instance {
-                Some(inst) => auction
-                    .select(inst.soac())
-                    .expect("deferred instances are feasible by construction"),
-                None => Vec::new(),
-            };
-            timings.auction_s += t.elapsed().as_secs_f64();
-
-            // Stage 2 — payment: critical values, gated by the budget.
-            let t = Instant::now();
-            let local_payments = match (&instance, selected.is_empty()) {
-                (Some(inst), false) => auction.payments(inst.soac(), &selected)?,
-                _ => Vec::new(),
-            };
-            let round_payment: f64 = local_payments.iter().sum();
-            timings.payment_s += t.elapsed().as_secs_f64();
-            if cfg
-                .budget
-                .is_some_and(|b| total_payment + round_payment > b + COVER_TOL)
-            {
-                // The round is abandoned unexecuted: winners unpaid, data
-                // not ingested, residual untouched.
-                stop = StopReason::BudgetExhausted;
-                break;
-            }
-
-            // Stage 3 — ingest: the winners' bundles enter the snapshot,
-            // followed by this round's applicable corrections (workers
-            // revising or withdrawing answers the platform already holds;
-            // corrections for never-bought answers are dropped).
-            let t = Instant::now();
-            let inst = instance.as_ref();
-            let winners: Vec<WorkerId> = inst
-                .map(|i| i.global_winners(&selected))
-                .unwrap_or_default();
-            let delta = winning_bundle(offers, &winners);
-            let ingested_answers = delta.len();
-            if !delta.is_empty() {
-                stream
-                    .push(&delta)
-                    .expect("trace answers are unique and in range");
-            }
-            let corrections = trace
-                .corrections
-                .get(round)
-                .map(|c| applicable_corrections(&stream, c))
-                .unwrap_or_default();
-            let correction_ops = corrections.len();
-            if !corrections.is_empty() {
-                stream
-                    .push(&corrections)
-                    .expect("filtered corrections reference held answers");
-            }
-            timings.ingest_s += t.elapsed().as_secs_f64();
-
-            // Stage 4 — truth discovery: incremental refinement (the
-            // reference driver pays a full engine rebuild first).
-            let t = Instant::now();
-            // Idle rounds (no winners, nothing ingested, no corrections)
-            // skip refinement — the stream is already at a fixed point of
-            // an unchanged snapshot, in every driver mode.
-            let iterations = if ingested_answers + correction_ops > 0 {
-                match mode {
-                    RefineMode::Warm => {}
-                    RefineMode::RebuildEngine => stream.rebuild_engine(),
-                    RefineMode::ColdRestart => {
-                        stream = DateStream::new(
-                            &cfg.date,
-                            stream.observations().clone(),
-                            trace.campaign.num_false.clone(),
-                        )
-                        .expect("round traces carry consistent snapshots");
-                        stream.set_worker_limit(Some(n_workers));
-                    }
+            match state.execute_round(cfg, trace, mode, round)? {
+                RoundStep::BudgetStop => {
+                    stop = StopReason::BudgetExhausted;
+                    break;
                 }
-                stream.refine().iterations
-            } else {
-                0
-            };
-            if let Some(policy) = &cfg.compaction {
-                stream.compact(policy);
+                RoundStep::Executed { .. } => {}
             }
-            timings.refine_s += t.elapsed().as_secs_f64();
-            refine_iterations += iterations;
-
-            // Bookkeeping: payments, coverage, the round record.
-            if let Some(inst) = inst {
-                inst.apply_coverage(&selected, &mut residual);
-            }
-            let mut newly_covered_tasks = 0usize;
-            let mut new_value_covered = 0.0;
-            for (j, c) in covered.iter_mut().enumerate() {
-                if !*c && residual[j] <= COVER_TOL {
-                    *c = true;
-                    newly_covered_tasks += 1;
-                    new_value_covered += trace.task_values[j];
-                }
-            }
-            covered_tasks += newly_covered_tasks;
-            let social_cost: f64 = winners.iter().map(|w| trace.costs[w.index()]).sum();
-            let min_winner_utility = winners
-                .iter()
-                .zip(&selected)
-                .map(|(w, &l)| local_payments[l.index()] - trace.costs[w.index()])
-                .fold(f64::INFINITY, f64::min);
-            total_payment += round_payment;
-            total_social_cost += social_cost;
-            rounds.push(RoundRecord {
-                round,
-                n_bidders: offers.len(),
-                n_copier_winners: winners.iter().filter(|w| copiers.contains(w)).count(),
-                winners,
-                payment: round_payment,
-                social_cost,
-                min_winner_utility: if min_winner_utility.is_finite() {
-                    min_winner_utility
-                } else {
-                    0.0
-                },
-                ingested_answers,
-                correction_ops,
-                refine_iterations: iterations,
-                precision: imc2_truth::precision(stream.estimate(), &trace.campaign.ground_truth),
-                newly_covered_tasks,
-                new_value_covered,
-                covered_tasks,
-                deferred_tasks: inst.map_or(0, |i| i.deferred_tasks().len()),
-            });
-
-            if covered_tasks == trace.n_tasks() {
+            if state.covered_tasks == trace.n_tasks() {
                 stop = StopReason::AllCovered;
                 break;
             }
         }
 
-        let final_precision =
-            imc2_truth::precision(stream.estimate(), &trace.campaign.ground_truth);
-        Ok(RollingOutcome {
-            rounds,
-            stop,
-            total_payment,
-            total_social_cost,
-            budget_remaining: cfg.budget.map(|b| b - total_payment),
-            final_estimate: stream.estimate().to_vec(),
-            final_accuracy: stream.accuracy().clone(),
-            final_precision,
-            residual,
-            covered_tasks,
-            total_refine_iterations: refine_iterations,
-            timings,
-        })
+        Ok(state.into_outcome(cfg, trace, stop))
     }
-}
-
-/// The platform's accuracy estimate of one worker for auction pricing:
-/// the mean of the worker's accuracy over its answered tasks (under the
-/// default `PerWorker` pooling this *is* the pooled reputation), or the
-/// clamped `ε` prior for workers the stream has not seen answer yet.
-fn reputation_of(stream: &DateStream, worker: WorkerId, epsilon: f64) -> f64 {
-    let obs = stream.observations();
-    if worker.index() < obs.n_workers() {
-        let rows = obs.tasks_of_worker(worker);
-        if !rows.is_empty() {
-            let acc = stream.accuracy();
-            let sum: f64 = rows.iter().map(|&(t, _)| acc[(worker, t)]).sum();
-            return clamp_prob(sum / rows.len() as f64);
-        }
-    }
-    epsilon
-}
-
-/// Reputations of exactly this round's bidders (only they are priced, so
-/// the sweep stays proportional to the cohort, not the campaign universe).
-fn reputations(
-    stream: &DateStream,
-    offers: &[WorkerOffer],
-    epsilon: f64,
-) -> std::collections::HashMap<WorkerId, f64> {
-    offers
-        .iter()
-        .map(|o| (o.worker, reputation_of(stream, o.worker, epsilon)))
-        .collect()
-}
-
-/// A round's correction batch restricted to answers the stream actually
-/// holds: losers' bundles are never ingested, so revisions/retractions of
-/// their answers have nothing to amend and are dropped. A resubmission
-/// after an applied retraction arrives as a regular offer in a later
-/// round, so corrections themselves never append.
-fn applicable_corrections(stream: &DateStream, corrections: &SnapshotDelta) -> SnapshotDelta {
-    let obs = stream.observations();
-    SnapshotDelta::from_ops(
-        corrections
-            .ops()
-            .iter()
-            .filter(|op| match op {
-                DeltaOp::Append(..) => true,
-                DeltaOp::Revise(w, t, _) | DeltaOp::Retract(w, t) => {
-                    w.index() < obs.n_workers() && obs.value_of(*w, *t).is_some()
-                }
-            })
-            .copied()
-            .collect(),
-    )
-}
-
-/// The ingestion batch of a round: the full offered bundles of the winning
-/// workers. `winners` come from the round instance, whose bidders were
-/// built from `offers`, but the offer list's order is caller-controlled
-/// (adversarial tests reorder cohorts) — so match by scan, not by sort
-/// order.
-fn winning_bundle(offers: &[WorkerOffer], winners: &[WorkerId]) -> SnapshotDelta {
-    let mut answers = Vec::new();
-    for &w in winners {
-        let offer = offers
-            .iter()
-            .find(|o| o.worker == w)
-            .expect("winners come from this round's offers");
-        answers.extend(offer.answers.iter().map(|&(t, v)| (w, t, v)));
-    }
-    SnapshotDelta::from_answers(answers)
 }
 
 /// Result of the batch (single-round) path: exactly what the paper's
@@ -502,6 +245,7 @@ pub fn one_shot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::COVER_TOL;
     use imc2_datagen::RoundTraceConfig;
 
     fn trace(seed: u64) -> RoundTrace {
@@ -612,6 +356,42 @@ mod tests {
         // Determinism holds for the baseline too.
         let again = CampaignRuntime::default().run_cold_baseline(&t).unwrap();
         assert_eq!(cold.rounds, again.rounds);
+    }
+
+    #[test]
+    fn reputation_prior_defaults_to_epsilon_and_overrides_are_clamped() {
+        let default_cfg = PipelineConfig::default();
+        let epsilon = default_cfg.date.config().epsilon;
+        assert_eq!(
+            default_cfg.effective_prior().to_bits(),
+            clamp_prob(epsilon).to_bits()
+        );
+        let set = PipelineConfig {
+            reputation_prior: Some(0.4),
+            ..PipelineConfig::default()
+        };
+        assert_eq!(set.effective_prior(), 0.4);
+        let wild = PipelineConfig {
+            reputation_prior: Some(7.0),
+            ..PipelineConfig::default()
+        };
+        assert!(wild.effective_prior() < 1.0);
+
+        // Spelling out `Some(ε)` is bit-identical to the historical `None`
+        // fallback across a whole campaign.
+        let t = trace(7);
+        let implicit = CampaignRuntime::default().run(&t).unwrap();
+        let explicit = CampaignRuntime::new(PipelineConfig {
+            reputation_prior: Some(epsilon),
+            ..PipelineConfig::default()
+        })
+        .run(&t)
+        .unwrap();
+        assert_eq!(implicit.rounds, explicit.rounds);
+        assert_eq!(
+            implicit.total_payment.to_bits(),
+            explicit.total_payment.to_bits()
+        );
     }
 
     #[test]

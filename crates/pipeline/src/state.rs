@@ -1,0 +1,482 @@
+//! The mutable heart of a rolling campaign: one round's
+//! auction→payment→ingest→refine step over explicit state.
+//!
+//! [`CampaignState`] is everything the loop in
+//! [`crate::CampaignRuntime::run`] mutates, pulled out of the loop so two
+//! drivers can share it: the in-memory runtime iterates
+//! [`CampaignState::execute_round`] directly, while the durable runtime
+//! ([`crate::DurableRuntime`]) interleaves the same steps with journaling
+//! and rebuilds the state after a crash from a checkpoint plus journal
+//! replay ([`CampaignState::restore`], [`CampaignState::absorb_record`],
+//! [`CampaignState::replay_round`]). Keeping both drivers on one
+//! `execute_round` is what makes "recovered run ≡ uninterrupted run" a
+//! property of the state, not a hope about two loop bodies staying in
+//! sync.
+
+use crate::report::{RollingOutcome, RoundRecord, StageTimings, StopReason, COVER_TOL};
+use crate::runtime::PipelineConfig;
+use imc2_auction::{AuctionError, RoundBid, RoundInstance, UncoverablePolicy};
+use imc2_common::logprob::clamp_prob;
+use imc2_common::{DeltaOp, SnapshotDelta, ValidationError, WorkerId};
+use imc2_datagen::{RoundTrace, WorkerOffer};
+use imc2_truth::{DateStream, StreamState};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// How a round's refinement treats the streaming state (see the three
+/// `CampaignRuntime::run*` entry points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefineMode {
+    /// Production: one warm stream spans every round.
+    Warm,
+    /// Correctness reference: warm state, engine rebuilt every round.
+    RebuildEngine,
+    /// Perf baseline: full cold DATE on the snapshot every round.
+    ColdRestart,
+}
+
+/// What one [`CampaignState::execute_round`] call did.
+#[derive(Debug, Clone)]
+pub(crate) enum RoundStep {
+    /// The round ran; its [`RoundRecord`] is the last entry of
+    /// [`CampaignState::rounds`]. The deltas are handed back so a durable
+    /// driver can journal exactly what was ingested.
+    Executed {
+        /// The winners' ingested bundles (empty for idle rounds).
+        ingest: SnapshotDelta,
+        /// The applicable corrections pushed after the bundles.
+        corrections: SnapshotDelta,
+    },
+    /// The round's critical payments would overspend the budget; nothing
+    /// was executed and the campaign must stop with
+    /// [`StopReason::BudgetExhausted`].
+    BudgetStop,
+}
+
+/// The complete mutable state of a rolling campaign between rounds.
+#[derive(Debug, Clone)]
+pub(crate) struct CampaignState {
+    /// The warm truth-discovery stream.
+    pub stream: DateStream,
+    /// Reputation prior for workers the stream has not seen answer yet
+    /// (clamped; see [`PipelineConfig::effective_prior`]).
+    pub prior: f64,
+    /// Injected copiers, for the per-round copier-win metric.
+    pub copiers: HashSet<WorkerId>,
+    /// Remaining per-task accuracy requirements.
+    pub residual: Vec<f64>,
+    /// Coverage flags (`residual[j] <= COVER_TOL`, monotone).
+    pub covered: Vec<bool>,
+    /// Count of `true` flags in `covered`.
+    pub covered_tasks: usize,
+    /// Records of executed rounds, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Payments summed in round order (bit-reproducible on replay).
+    pub total_payment: f64,
+    /// True winner costs summed in round order.
+    pub total_social_cost: f64,
+    /// Refinement iterations including the warm-up.
+    pub refine_iterations: usize,
+    /// Wall-clock per stage (never influences results).
+    pub timings: StageTimings,
+}
+
+impl CampaignState {
+    /// Opens a campaign over `trace`: builds the stream on the initial
+    /// snapshot and runs the warm-up refinement (reputation for round 0
+    /// comes from the initial snapshot, or stays at the prior when empty).
+    pub fn new(cfg: &PipelineConfig, trace: &RoundTrace) -> Self {
+        let mut stream = DateStream::new(
+            &cfg.date,
+            trace.initial.clone(),
+            trace.campaign.num_false.clone(),
+        )
+        .expect("round traces carry consistent snapshots");
+        // Stray ids in a malformed trace fail fast instead of growing
+        // every per-worker buffer.
+        stream.set_worker_limit(Some(trace.n_workers()));
+        let mut timings = StageTimings::default();
+        let t = Instant::now();
+        let refine_iterations = stream.refine().iterations;
+        timings.refine_s += t.elapsed().as_secs_f64();
+        let residual = trace.requirements.clone();
+        let covered: Vec<bool> = residual.iter().map(|&r| r <= COVER_TOL).collect();
+        let covered_tasks = covered.iter().filter(|&&c| c).count();
+        CampaignState {
+            stream,
+            prior: cfg.effective_prior(),
+            copiers: copiers_of(trace),
+            residual,
+            covered,
+            covered_tasks,
+            rounds: Vec::new(),
+            total_payment: 0.0,
+            total_social_cost: 0.0,
+            refine_iterations,
+            timings,
+        }
+    }
+
+    /// Reopens a campaign from a checkpointed stream state — no warm-up
+    /// refinement (the exported state already is the post-refinement fixed
+    /// point). Bookkeeping starts empty; the durable driver rebuilds it
+    /// from the journal via [`CampaignState::absorb_record`] and
+    /// [`CampaignState::adopt_residual`].
+    ///
+    /// # Errors
+    /// Propagates [`DateStream::from_state`] validation of the decoded
+    /// state.
+    pub fn restore(
+        cfg: &PipelineConfig,
+        trace: &RoundTrace,
+        state: StreamState,
+    ) -> Result<Self, ValidationError> {
+        let mut stream = DateStream::from_state(&cfg.date, state)?;
+        stream.set_worker_limit(Some(trace.n_workers()));
+        let refine_iterations = stream.total_iterations();
+        let residual = trace.requirements.clone();
+        let covered: Vec<bool> = residual.iter().map(|&r| r <= COVER_TOL).collect();
+        let covered_tasks = covered.iter().filter(|&&c| c).count();
+        Ok(CampaignState {
+            stream,
+            prior: cfg.effective_prior(),
+            copiers: copiers_of(trace),
+            residual,
+            covered,
+            covered_tasks,
+            rounds: Vec::new(),
+            total_payment: 0.0,
+            total_social_cost: 0.0,
+            refine_iterations,
+            timings: StageTimings::default(),
+        })
+    }
+
+    /// Folds a journaled round record into the bookkeeping exactly as the
+    /// original execution did: totals accumulate in round order (so the
+    /// floating-point sums reproduce bit for bit) and the record joins
+    /// [`CampaignState::rounds`]. The stream is *not* touched — journaled
+    /// deltas go through [`CampaignState::replay_round`] separately.
+    pub fn absorb_record(&mut self, record: RoundRecord) {
+        self.total_payment += record.payment;
+        self.total_social_cost += record.social_cost;
+        self.covered_tasks = record.covered_tasks;
+        self.rounds.push(record);
+    }
+
+    /// Installs a journaled residual profile, rederiving the coverage
+    /// flags (`covered` is definitionally `residual <= COVER_TOL`; the
+    /// loop keeps that invariant, so recovery can rederive instead of
+    /// journaling the flags).
+    pub fn adopt_residual(&mut self, residual: Vec<f64>) {
+        self.covered = residual.iter().map(|&r| r <= COVER_TOL).collect();
+        self.covered_tasks = self.covered.iter().filter(|&&c| c).count();
+        self.residual = residual;
+    }
+
+    /// Replays one journaled round's stream effects: push the ingested
+    /// bundle, push the corrections, refine (skipped for idle rounds,
+    /// matching execution), compact per policy. Determinism of
+    /// `push`+`refine` makes this bit-identical to the original round.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if a journaled delta no longer applies
+    /// — the signature of a corrupted-but-checksum-valid journal; the
+    /// stream is left unchanged by the failing push.
+    pub fn replay_round(
+        &mut self,
+        cfg: &PipelineConfig,
+        ingest: &SnapshotDelta,
+        corrections: &SnapshotDelta,
+    ) -> Result<(), ValidationError> {
+        let t = Instant::now();
+        if !ingest.is_empty() {
+            self.stream.push(ingest)?;
+        }
+        if !corrections.is_empty() {
+            self.stream.push(corrections)?;
+        }
+        self.timings.ingest_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        if !ingest.is_empty() || !corrections.is_empty() {
+            self.refine_iterations += self.stream.refine().iterations;
+        }
+        if let Some(policy) = &cfg.compaction {
+            self.stream.compact(policy);
+        }
+        self.timings.refine_s += t.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Executes round `round` of `trace`: auction, payment (gated by the
+    /// budget), ingestion, refinement, bookkeeping. On
+    /// [`RoundStep::Executed`] the new record is
+    /// `self.rounds.last().unwrap()`.
+    ///
+    /// # Errors
+    /// Returns [`AuctionError::Monopolist`] when the round produces an
+    /// uncapped monopolist (see [`PipelineConfig::monopoly_cap`]).
+    pub fn execute_round(
+        &mut self,
+        cfg: &PipelineConfig,
+        trace: &RoundTrace,
+        mode: RefineMode,
+        round: usize,
+    ) -> Result<RoundStep, AuctionError> {
+        let auction = cfg.auction();
+        let offers = &trace.rounds[round];
+
+        // Stage 1 — auction: live reputations → round instance → greedy
+        // winner selection.
+        let t = Instant::now();
+        let reputation = reputations(&self.stream, offers, self.prior);
+        let bids: Vec<RoundBid> = offers
+            .iter()
+            .map(|o| RoundBid {
+                worker: o.worker,
+                tasks: o.tasks(),
+                price: o.price,
+            })
+            .collect();
+        let instance = RoundInstance::build(
+            &bids,
+            &|w, _| reputation[&w],
+            &self.residual,
+            UncoverablePolicy::Defer,
+        )
+        .expect("generated round offers are valid");
+        let selected = match &instance {
+            Some(inst) => auction
+                .select(inst.soac())
+                .expect("deferred instances are feasible by construction"),
+            None => Vec::new(),
+        };
+        self.timings.auction_s += t.elapsed().as_secs_f64();
+
+        // Stage 2 — payment: critical values, gated by the budget.
+        let t = Instant::now();
+        let local_payments = match (&instance, selected.is_empty()) {
+            (Some(inst), false) => auction.payments(inst.soac(), &selected)?,
+            _ => Vec::new(),
+        };
+        let round_payment: f64 = local_payments.iter().sum();
+        self.timings.payment_s += t.elapsed().as_secs_f64();
+        if cfg
+            .budget
+            .is_some_and(|b| self.total_payment + round_payment > b + COVER_TOL)
+        {
+            // The round is abandoned unexecuted: winners unpaid, data not
+            // ingested, residual untouched.
+            return Ok(RoundStep::BudgetStop);
+        }
+
+        // Stage 3 — ingest: the winners' bundles enter the snapshot,
+        // followed by this round's applicable corrections (workers
+        // revising or withdrawing answers the platform already holds;
+        // corrections for never-bought answers are dropped).
+        let t = Instant::now();
+        let inst = instance.as_ref();
+        let winners: Vec<WorkerId> = inst
+            .map(|i| i.global_winners(&selected))
+            .unwrap_or_default();
+        let ingest = winning_bundle(offers, &winners);
+        let ingested_answers = ingest.len();
+        if !ingest.is_empty() {
+            self.stream
+                .push(&ingest)
+                .expect("trace answers are unique and in range");
+        }
+        let corrections = trace
+            .corrections
+            .get(round)
+            .map(|c| applicable_corrections(&self.stream, c))
+            .unwrap_or_default();
+        let correction_ops = corrections.len();
+        if !corrections.is_empty() {
+            self.stream
+                .push(&corrections)
+                .expect("filtered corrections reference held answers");
+        }
+        self.timings.ingest_s += t.elapsed().as_secs_f64();
+
+        // Stage 4 — truth discovery: incremental refinement (the
+        // reference driver pays a full engine rebuild first).
+        let t = Instant::now();
+        // Idle rounds (no winners, nothing ingested, no corrections) skip
+        // refinement — the stream is already at a fixed point of an
+        // unchanged snapshot, in every driver mode.
+        let iterations = if ingested_answers + correction_ops > 0 {
+            match mode {
+                RefineMode::Warm => {}
+                RefineMode::RebuildEngine => self.stream.rebuild_engine(),
+                RefineMode::ColdRestart => {
+                    let mut cold = DateStream::new(
+                        &cfg.date,
+                        self.stream.observations().clone(),
+                        trace.campaign.num_false.clone(),
+                    )
+                    .expect("round traces carry consistent snapshots");
+                    cold.set_worker_limit(Some(trace.n_workers()));
+                    self.stream = cold;
+                }
+            }
+            self.stream.refine().iterations
+        } else {
+            0
+        };
+        if let Some(policy) = &cfg.compaction {
+            self.stream.compact(policy);
+        }
+        self.timings.refine_s += t.elapsed().as_secs_f64();
+        self.refine_iterations += iterations;
+
+        // Bookkeeping: payments, coverage, the round record.
+        if let Some(inst) = inst {
+            inst.apply_coverage(&selected, &mut self.residual);
+        }
+        let mut newly_covered_tasks = 0usize;
+        let mut new_value_covered = 0.0;
+        for (j, c) in self.covered.iter_mut().enumerate() {
+            if !*c && self.residual[j] <= COVER_TOL {
+                *c = true;
+                newly_covered_tasks += 1;
+                new_value_covered += trace.task_values[j];
+            }
+        }
+        self.covered_tasks += newly_covered_tasks;
+        let social_cost: f64 = winners.iter().map(|w| trace.costs[w.index()]).sum();
+        let min_winner_utility = winners
+            .iter()
+            .zip(&selected)
+            .map(|(w, &l)| local_payments[l.index()] - trace.costs[w.index()])
+            .fold(f64::INFINITY, f64::min);
+        self.total_payment += round_payment;
+        self.total_social_cost += social_cost;
+        self.rounds.push(RoundRecord {
+            round,
+            n_bidders: offers.len(),
+            n_copier_winners: winners.iter().filter(|w| self.copiers.contains(w)).count(),
+            winners,
+            payment: round_payment,
+            social_cost,
+            min_winner_utility: if min_winner_utility.is_finite() {
+                min_winner_utility
+            } else {
+                0.0
+            },
+            ingested_answers,
+            correction_ops,
+            refine_iterations: iterations,
+            precision: imc2_truth::precision(self.stream.estimate(), &trace.campaign.ground_truth),
+            newly_covered_tasks,
+            new_value_covered,
+            covered_tasks: self.covered_tasks,
+            deferred_tasks: inst.map_or(0, |i| i.deferred_tasks().len()),
+        });
+        Ok(RoundStep::Executed {
+            ingest,
+            corrections,
+        })
+    }
+
+    /// Finalizes into a [`RollingOutcome`].
+    pub fn into_outcome(
+        self,
+        cfg: &PipelineConfig,
+        trace: &RoundTrace,
+        stop: StopReason,
+    ) -> RollingOutcome {
+        let final_precision =
+            imc2_truth::precision(self.stream.estimate(), &trace.campaign.ground_truth);
+        RollingOutcome {
+            rounds: self.rounds,
+            stop,
+            total_payment: self.total_payment,
+            total_social_cost: self.total_social_cost,
+            budget_remaining: cfg.budget.map(|b| b - self.total_payment),
+            final_estimate: self.stream.estimate().to_vec(),
+            final_accuracy: self.stream.accuracy().clone(),
+            final_precision,
+            residual: self.residual,
+            covered_tasks: self.covered_tasks,
+            total_refine_iterations: self.refine_iterations,
+            timings: self.timings,
+        }
+    }
+}
+
+fn copiers_of(trace: &RoundTrace) -> HashSet<WorkerId> {
+    trace
+        .campaign
+        .profiles
+        .iter()
+        .filter(|p| p.is_copier())
+        .map(|p| p.worker)
+        .collect()
+}
+
+/// The platform's accuracy estimate of one worker for auction pricing:
+/// the mean of the worker's accuracy over its answered tasks (under the
+/// default `PerWorker` pooling this *is* the pooled reputation), or the
+/// configured prior for workers the stream has not seen answer yet
+/// ([`PipelineConfig::effective_prior`]).
+fn reputation_of(stream: &DateStream, worker: WorkerId, prior: f64) -> f64 {
+    let obs = stream.observations();
+    if worker.index() < obs.n_workers() {
+        let rows = obs.tasks_of_worker(worker);
+        if !rows.is_empty() {
+            let acc = stream.accuracy();
+            let sum: f64 = rows.iter().map(|&(t, _)| acc[(worker, t)]).sum();
+            return clamp_prob(sum / rows.len() as f64);
+        }
+    }
+    prior
+}
+
+/// Reputations of exactly this round's bidders (only they are priced, so
+/// the sweep stays proportional to the cohort, not the campaign universe).
+fn reputations(stream: &DateStream, offers: &[WorkerOffer], prior: f64) -> HashMap<WorkerId, f64> {
+    offers
+        .iter()
+        .map(|o| (o.worker, reputation_of(stream, o.worker, prior)))
+        .collect()
+}
+
+/// A round's correction batch restricted to answers the stream actually
+/// holds: losers' bundles are never ingested, so revisions/retractions of
+/// their answers have nothing to amend and are dropped. A resubmission
+/// after an applied retraction arrives as a regular offer in a later
+/// round, so corrections themselves never append.
+fn applicable_corrections(stream: &DateStream, corrections: &SnapshotDelta) -> SnapshotDelta {
+    let obs = stream.observations();
+    SnapshotDelta::from_ops(
+        corrections
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                DeltaOp::Append(..) => true,
+                DeltaOp::Revise(w, t, _) | DeltaOp::Retract(w, t) => {
+                    w.index() < obs.n_workers() && obs.value_of(*w, *t).is_some()
+                }
+            })
+            .copied()
+            .collect(),
+    )
+}
+
+/// The ingestion batch of a round: the full offered bundles of the winning
+/// workers. `winners` come from the round instance, whose bidders were
+/// built from `offers`, but the offer list's order is caller-controlled
+/// (adversarial tests reorder cohorts) — so match by scan, not by sort
+/// order.
+fn winning_bundle(offers: &[WorkerOffer], winners: &[WorkerId]) -> SnapshotDelta {
+    let mut answers = Vec::new();
+    for &w in winners {
+        let offer = offers
+            .iter()
+            .find(|o| o.worker == w)
+            .expect("winners come from this round's offers");
+        answers.extend(offer.answers.iter().map(|&(t, v)| (w, t, v)));
+    }
+    SnapshotDelta::from_answers(answers)
+}

@@ -116,7 +116,7 @@ pub use nonuniform::FalseValueModel;
 pub use precision::precision;
 pub use problem::{TruthOutcome, TruthProblem};
 pub use similarity::Similarity;
-pub use stream::{CompactionPolicy, DateStream};
+pub use stream::{CompactionPolicy, DateStream, StreamState};
 pub use voting::MajorityVoting;
 
 use imc2_common::Grid;

@@ -74,6 +74,7 @@ use crate::independence::GreedyOrderCache;
 use crate::problem::{TruthOutcome, TruthProblem};
 use crate::voting::MajorityVoting;
 use crate::IndependenceMode;
+use imc2_common::codec::{Codec, CodecError, Decoder, Encoder};
 use imc2_common::logprob::clamp_prob;
 use imc2_common::{Grid, Observations, SnapshotDelta, TaskGroups, ValidationError, ValueId};
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,71 @@ impl CompactionPolicy {
             max_slack_ratio: -1.0,
             min_triples: 0,
         }
+    }
+}
+
+/// The complete recoverable state of a [`DateStream`]: everything that
+/// determines future refinements, minus the caches that are pure
+/// optimizations (dependence engine, pooled-version counters, greedy-order
+/// cache — all rebuilt exactly on restore, see
+/// [`DateStream::rebuild_engine`]'s bit-identity guarantee).
+///
+/// This is what the checkpoint layer persists: it round-trips through the
+/// [`Codec`] in `imc2-common` with floats as raw bit patterns, so a stream
+/// restored via [`DateStream::from_state`] refines **bit-identically** to
+/// the stream that exported it (property-tested in
+/// `tests/recovery_equivalence.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    /// The snapshot at export time.
+    pub observations: Observations,
+    /// Per-task domain sizes.
+    pub num_false: Vec<u32>,
+    /// Warm-start accuracy matrix (the previous fixed point's `A`).
+    pub accuracy: Grid<f64>,
+    /// Warm-start truth estimate.
+    pub estimate: Vec<Option<ValueId>>,
+    /// Lifetime append counter ([`DateStream::appended_answers`]).
+    pub appended_answers: usize,
+    /// Lifetime revision counter.
+    pub revised_answers: usize,
+    /// Lifetime retraction counter.
+    pub retracted_answers: usize,
+    /// Lifetime refinement-iteration counter.
+    pub total_iterations: usize,
+}
+
+impl Codec for StreamState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.observations.encode(enc);
+        self.num_false.encode(enc);
+        self.accuracy.encode(enc);
+        self.estimate.encode(enc);
+        self.appended_answers.encode(enc);
+        self.revised_answers.encode(enc);
+        self.retracted_answers.encode(enc);
+        self.total_iterations.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let observations = Observations::decode(dec)?;
+        let num_false = Vec::<u32>::decode(dec)?;
+        let accuracy = Grid::<f64>::decode(dec)?;
+        let estimate = Vec::<Option<ValueId>>::decode(dec)?;
+        let appended_answers = usize::decode(dec)?;
+        let revised_answers = usize::decode(dec)?;
+        let retracted_answers = usize::decode(dec)?;
+        let total_iterations = usize::decode(dec)?;
+        Ok(StreamState {
+            observations,
+            num_false,
+            accuracy,
+            estimate,
+            appended_answers,
+            revised_answers,
+            retracted_answers,
+            total_iterations,
+        })
     }
 }
 
@@ -192,6 +258,90 @@ impl DateStream {
             revised_answers: 0,
             retracted_answers: 0,
             total_iterations: 0,
+        })
+    }
+
+    /// Exports the stream's recoverable state (a deep copy; the stream
+    /// keeps running). See [`StreamState`] for what is and is not included.
+    pub fn export_state(&self) -> StreamState {
+        StreamState {
+            observations: self.observations.clone(),
+            num_false: self.num_false.clone(),
+            accuracy: self.accuracy.clone(),
+            estimate: self.estimate.clone(),
+            appended_answers: self.appended_answers,
+            revised_answers: self.revised_answers,
+            retracted_answers: self.retracted_answers,
+            total_iterations: self.total_iterations,
+        }
+    }
+
+    /// Reopens a stream from exported (or decoded) state under `date`'s
+    /// configuration, rebuilding the optimization caches from scratch.
+    /// Because the caches are exact, the restored stream's refinements are
+    /// bit-identical to the exporting stream's — the foundation of the
+    /// checkpoint/recovery guarantee.
+    ///
+    /// The worker limit is *not* part of the state; callers that had one
+    /// must reapply it with [`DateStream::set_worker_limit`].
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if the state is internally inconsistent
+    /// — snapshot vs `num_false` disagreement, accuracy grid of the wrong
+    /// shape, estimate of the wrong length or naming an out-of-domain
+    /// value. Decoded-from-disk state gets exactly the validation a
+    /// freshly built one does.
+    pub fn from_state(date: &Date, state: StreamState) -> Result<Self, ValidationError> {
+        let config = date.config().clone();
+        let problem = TruthProblem::new(&state.observations, &state.num_false)?;
+        let (n, m) = (problem.n_workers(), problem.n_tasks());
+        if state.accuracy.n_workers() != n || state.accuracy.n_tasks() != m {
+            return Err(ValidationError::new(format!(
+                "state accuracy grid is {}x{}, snapshot is {n}x{m}",
+                state.accuracy.n_workers(),
+                state.accuracy.n_tasks()
+            )));
+        }
+        if state.estimate.len() != m {
+            return Err(ValidationError::new(format!(
+                "state estimate has {} entries for {m} tasks",
+                state.estimate.len()
+            )));
+        }
+        for (j, e) in state.estimate.iter().enumerate() {
+            if let Some(v) = e {
+                if v.0 > state.num_false[j] {
+                    return Err(ValidationError::new(format!(
+                        "state estimate value {v} outside domain 0..={} of task {j}",
+                        state.num_false[j]
+                    )));
+                }
+            }
+        }
+        let engine = match config.independence {
+            IndependenceMode::NoCopier => None,
+            _ => Some(DependenceEngine::new(&problem)),
+        };
+        let versions =
+            (config.granularity == AccuracyGranularity::PerWorker).then(|| PooledVersions::new(n));
+        let order_cache = matches!(config.independence, IndependenceMode::Greedy(_))
+            .then(|| GreedyOrderCache::new(m));
+        let groups = state.observations.all_groups();
+        Ok(DateStream {
+            config,
+            observations: state.observations,
+            num_false: state.num_false,
+            groups,
+            engine,
+            accuracy: state.accuracy,
+            estimate: state.estimate,
+            versions,
+            order_cache,
+            worker_limit: None,
+            appended_answers: state.appended_answers,
+            revised_answers: state.revised_answers,
+            retracted_answers: state.retracted_answers,
+            total_iterations: state.total_iterations,
         })
     }
 
@@ -607,6 +757,70 @@ mod tests {
         .unwrap();
         assert!(!nc.compact(&CompactionPolicy::always()));
         assert_eq!(nc.slack_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_restore_refines_bit_identically() {
+        use imc2_datagen::{StreamConfig, StreamData};
+        let data = StreamData::generate(&StreamConfig::small(), &mut rng_from_seed(17)).unwrap();
+        let nf = data.campaign.num_false.clone();
+        let mut warm = DateStream::new(&Date::paper(), data.initial.clone(), nf).unwrap();
+        warm.refine();
+        for (k, delta) in data.deltas.iter().enumerate() {
+            warm.push_and_refine(delta).unwrap();
+            // Snapshot mid-stream, restore, and drive both copies forward.
+            let state = warm.export_state();
+            let mut restored = DateStream::from_state(&Date::paper(), state.clone()).unwrap();
+            assert_eq!(restored.export_state(), state, "restore loses state at {k}");
+            assert_eq!(restored.total_iterations(), warm.total_iterations());
+            let a = warm.clone().refine();
+            let b = restored.refine();
+            assert_eq!(a.estimate, b.estimate, "estimate diverged at {k}");
+            for (x, y) in a.accuracy.as_slice().iter().zip(b.accuracy.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "accuracy bits diverged at {k}");
+            }
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_the_codec() {
+        let d = forum(12);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        stream.refine();
+        let state = stream.export_state();
+        let bytes = imc2_common::codec::encode_to_vec(&state);
+        let back: StreamState = imc2_common::codec::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, state);
+        // And the decoded state opens a working stream.
+        let mut restored = DateStream::from_state(&Date::paper(), back).unwrap();
+        assert!(restored.refine().converged);
+    }
+
+    #[test]
+    fn from_state_validates_shape_and_domain() {
+        let d = forum(13);
+        let mut stream =
+            DateStream::new(&Date::paper(), d.observations.clone(), d.num_false.clone()).unwrap();
+        stream.refine();
+        let good = stream.export_state();
+
+        let mut wrong_grid = good.clone();
+        wrong_grid.accuracy = Grid::filled(1, 1, 0.5);
+        assert!(DateStream::from_state(&Date::paper(), wrong_grid).is_err());
+
+        let mut wrong_len = good.clone();
+        wrong_len.estimate.pop();
+        assert!(DateStream::from_state(&Date::paper(), wrong_len).is_err());
+
+        let mut bad_value = good.clone();
+        bad_value.estimate[0] = Some(ValueId(d.num_false[0] + 1));
+        assert!(DateStream::from_state(&Date::paper(), bad_value).is_err());
+
+        let mut bad_nf = good;
+        bad_nf.num_false.pop();
+        assert!(DateStream::from_state(&Date::paper(), bad_nf).is_err());
     }
 
     #[test]

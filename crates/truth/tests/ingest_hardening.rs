@@ -1,0 +1,147 @@
+//! Adversarial ingestion: `DateStream::push` must treat a `DeltaOp` log as
+//! untrusted input. Whatever the log contains — out-of-range ids,
+//! out-of-domain values, duplicate appends, retractions of answers nobody
+//! gave, internally inconsistent compositions — the stream either applies
+//! the batch or rejects it with a typed error, and a rejected batch leaves
+//! the stream *exactly* as it was (no poisoned engine, no half-applied
+//! snapshot). No input may panic.
+//!
+//! This is the ingest-boundary contract the durable runtime relies on when
+//! it replays journaled deltas: replay goes through the same `push`, so a
+//! corrupted-but-checksum-valid record can fail closed, never crash.
+
+use imc2_common::{
+    rng_from_seed, DeltaOp, ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId,
+};
+use imc2_datagen::{ForumConfig, ForumData};
+use imc2_truth::{Date, DateStream};
+use proptest::prelude::*;
+
+/// An op log with ids and values straddling the valid ranges: workers in
+/// `0..n+2` (the stream's limit is `n+1`), tasks in `0..m+1`, values in
+/// `0..=max_domain+1` — every op has a real chance of being valid or
+/// invalid, and compositions on the same cell exercise the net-change
+/// state machine.
+fn arb_adversarial_ops(
+    n_workers: usize,
+    n_tasks: usize,
+    max_value: u32,
+) -> impl Strategy<Value = Vec<DeltaOp>> {
+    let op = (
+        0usize..3,
+        0..n_workers + 2,
+        0..n_tasks + 1,
+        0..=max_value + 1,
+    )
+        .prop_map(|(tag, w, t, v)| match tag {
+            0 => DeltaOp::Append(WorkerId(w), TaskId(t), ValueId(v)),
+            1 => DeltaOp::Revise(WorkerId(w), TaskId(t), ValueId(v)),
+            _ => DeltaOp::Retract(WorkerId(w), TaskId(t)),
+        });
+    proptest::collection::vec(op, 0..12)
+}
+
+fn base_stream(seed: u64) -> (DateStream, usize, usize, u32) {
+    let d = ForumData::generate(&ForumConfig::small(), &mut rng_from_seed(seed)).unwrap();
+    let n = d.observations.n_workers();
+    let m = d.observations.n_tasks();
+    let max_value = d.num_false.iter().copied().max().unwrap_or(0);
+    let mut stream = DateStream::new(&Date::paper(), d.observations, d.num_false).unwrap();
+    stream.set_worker_limit(Some(n + 1));
+    stream.refine();
+    (stream, n, m, max_value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn push_never_panics_and_errors_leave_the_stream_untouched(
+        seed in 0u64..4,
+        ops in arb_adversarial_ops(12, 10, 4),
+    ) {
+        let (mut stream, _, _, _) = base_stream(seed);
+        let before = stream.export_state();
+        let delta = SnapshotDelta::from_ops(ops);
+        match stream.push(&delta) {
+            Ok(()) => {
+                // Accepted batches must actually be applied and leave a
+                // refinable stream.
+                let out = stream.refine();
+                prop_assert_eq!(out.estimate.len(), before.num_false.len());
+            }
+            Err(err) => {
+                // Typed rejection: message present, stream bit-identical.
+                prop_assert!(!err.message().is_empty());
+                prop_assert_eq!(&stream.export_state(), &before);
+                // And still fully functional afterwards.
+                prop_assert!(stream.refine().converged);
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_batches_never_disturb_later_valid_pushes(
+        seed in 0u64..4,
+        bad_ops in arb_adversarial_ops(12, 10, 4),
+    ) {
+        // Poison attempt followed by a legitimate batch: results must equal
+        // a stream that never saw the poison.
+        let (mut poked, n, _, _) = base_stream(seed);
+        let (mut clean, _, _, _) = base_stream(seed);
+        let bad = SnapshotDelta::from_ops(bad_ops);
+        let _ = poked.push(&bad);
+        if poked.export_state() != clean.export_state() {
+            // The adversarial batch happened to be valid — the other
+            // property covers that path.
+            return Ok(());
+        }
+
+        let good = SnapshotDelta::from_answers(vec![(WorkerId(n), TaskId(0), ValueId(0))]);
+        let a = poked.push_and_refine(&good).unwrap();
+        let b = clean.push_and_refine(&good).unwrap();
+        prop_assert_eq!(a.estimate, b.estimate);
+        for (x, y) in a.accuracy.as_slice().iter().zip(b.accuracy.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn unrepresentable_worker_id_is_rejected_without_a_limit() {
+    // Even with no worker limit configured, the one id that cannot size a
+    // worker range is rejected instead of overflowing.
+    let mut b = ObservationsBuilder::new(2, 2);
+    b.record(WorkerId(0), TaskId(0), ValueId(0)).unwrap();
+    b.record(WorkerId(1), TaskId(1), ValueId(1)).unwrap();
+    let mut stream = DateStream::new(&Date::paper(), b.build(), vec![1, 1]).unwrap();
+    let huge = SnapshotDelta::from_answers(vec![(WorkerId(usize::MAX), TaskId(0), ValueId(0))]);
+    assert!(stream.push(&huge).is_err());
+    assert!(stream.refine().converged);
+}
+
+#[test]
+fn worker_limit_bounds_allocations_from_stray_ids() {
+    let (mut stream, n, _, _) = base_stream(0);
+    // One answer with a stray billion-scale id must be rejected by the
+    // limit, not committed to a billion-row allocation.
+    let stray = SnapshotDelta::from_answers(vec![(WorkerId(1 << 30), TaskId(0), ValueId(0))]);
+    assert!(stream.push(&stray).is_err());
+    assert_eq!(stream.observations().n_workers(), n);
+}
+
+#[test]
+fn inconsistent_op_compositions_are_rejected_whole() {
+    let (mut stream, n, _, _) = base_stream(1);
+    let before = stream.export_state();
+    // Retract-then-revise of a never-answered cell on a new worker: the
+    // per-cell state machine must reject the log, and nothing of the
+    // batch — including the valid-looking first op — may land.
+    let delta = SnapshotDelta::from_ops(vec![
+        DeltaOp::Append(WorkerId(n), TaskId(0), ValueId(0)),
+        DeltaOp::Retract(WorkerId(n), TaskId(1)),
+        DeltaOp::Revise(WorkerId(n), TaskId(1), ValueId(0)),
+    ]);
+    assert!(stream.push(&delta).is_err());
+    assert_eq!(stream.export_state(), before);
+}
