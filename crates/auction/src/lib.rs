@@ -52,6 +52,7 @@ pub mod greedy;
 pub mod mechanism;
 pub mod optimal;
 pub mod payment;
+pub mod reoffer;
 pub mod round;
 pub mod soac;
 pub mod vcg;
@@ -59,6 +60,7 @@ pub mod vcg;
 pub use ga::GreedyAccuracy;
 pub use gb::GreedyBid;
 pub use mechanism::{AuctionError, AuctionMechanism, AuctionOutcome, ReverseAuction};
-pub use round::{RoundBid, RoundInstance, UncoverablePolicy};
+pub use reoffer::ReofferPolicy;
+pub use round::{DeferReason, Deferral, RoundBid, RoundInstance, UncoverablePolicy};
 pub use soac::{Bid, SoacProblem};
 pub use vcg::ExactVcg;

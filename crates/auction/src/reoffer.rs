@@ -1,0 +1,140 @@
+//! Capped exponential-backoff policy for re-offering losing bundles.
+//!
+//! In the rolling campaign a worker whose bundle loses round `k` may try
+//! again later. Unbounded immediate retries would let a single loser spam
+//! every subsequent auction (and, combined with duplicated submissions,
+//! open a double-payment window), so re-offers follow a capped
+//! exponential backoff: attempt `a` (1-based) re-enters after
+//! `min(base_delay · 2^(a-1), max_delay)` rounds, and after
+//! `max_attempts` failed re-offers the bundle is abandoned.
+//!
+//! The policy is pure scheduling arithmetic — the pipeline's
+//! `SubmissionGuard` owns the queue, idempotence (a re-offered bundle
+//! that already won is never paid twice) and the budget interaction (a
+//! re-offer due after `BudgetExhausted` is never selected).
+
+use imc2_common::ValidationError;
+use serde::{Deserialize, Serialize};
+
+/// Capped exponential backoff for losing bundles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReofferPolicy {
+    /// Rounds to wait before the first re-offer (≥ 1).
+    pub base_delay: usize,
+    /// Ceiling on the backoff delay (≥ `base_delay`).
+    pub max_delay: usize,
+    /// Re-offer attempts before the bundle is abandoned; 0 disables
+    /// re-offers entirely.
+    pub max_attempts: usize,
+}
+
+impl Default for ReofferPolicy {
+    fn default() -> Self {
+        ReofferPolicy {
+            base_delay: 1,
+            max_delay: 8,
+            max_attempts: 3,
+        }
+    }
+}
+
+impl ReofferPolicy {
+    /// Validates the policy shape.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if `base_delay` is zero or exceeds
+    /// `max_delay`.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if self.base_delay == 0 {
+            return Err(ValidationError::new("base_delay must be at least 1"));
+        }
+        if self.max_delay < self.base_delay {
+            return Err(ValidationError::new(
+                "max_delay must be at least base_delay",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Backoff delay (in rounds) before re-offer attempt `attempt`
+    /// (1-based), or `None` once the attempt budget is spent.
+    pub fn delay(&self, attempt: usize) -> Option<usize> {
+        if attempt == 0 || attempt > self.max_attempts {
+            return None;
+        }
+        let backoff = if attempt > usize::BITS as usize {
+            self.max_delay
+        } else {
+            self.base_delay
+                .saturating_mul(1usize << (attempt - 1))
+                .min(self.max_delay)
+        };
+        Some(backoff)
+    }
+
+    /// Total rounds a bundle can stay in flight: the sum of every
+    /// backoff delay.
+    pub fn horizon(&self) -> usize {
+        (1..=self.max_attempts).filter_map(|a| self.delay(a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backoff_doubles_until_the_cap() {
+        let p = ReofferPolicy {
+            base_delay: 1,
+            max_delay: 8,
+            max_attempts: 6,
+        };
+        let delays: Vec<_> = (1..=6).map(|a| p.delay(a).unwrap()).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 8, 8]);
+        assert_eq!(p.delay(0), None);
+        assert_eq!(p.delay(7), None);
+    }
+
+    #[test]
+    fn zero_attempts_disables_reoffers() {
+        let p = ReofferPolicy {
+            max_attempts: 0,
+            ..ReofferPolicy::default()
+        };
+        assert_eq!(p.delay(1), None);
+        assert_eq!(p.horizon(), 0);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let p = ReofferPolicy {
+            base_delay: 2,
+            max_delay: 100,
+            max_attempts: 200,
+        };
+        assert_eq!(p.delay(200), Some(100));
+        assert_eq!(p.delay(70), Some(100));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_shapes() {
+        assert!(ReofferPolicy::default().validate().is_ok());
+        let bad = ReofferPolicy {
+            base_delay: 0,
+            ..ReofferPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ReofferPolicy {
+            base_delay: 4,
+            max_delay: 2,
+            max_attempts: 1,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn horizon_sums_the_delays() {
+        assert_eq!(ReofferPolicy::default().horizon(), 1 + 2 + 4);
+    }
+}

@@ -57,6 +57,28 @@ pub enum UncoverablePolicy {
     Strict,
 }
 
+/// Why a positive-residual task was deferred under
+/// [`UncoverablePolicy::Defer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeferReason {
+    /// No bidder offered the task this round at all — re-offering the
+    /// same cohort cannot help; recruitment must change.
+    NotOffered,
+    /// The task was offered, but the bidders' joint accuracy falls short
+    /// of the residual requirement — more (or better) offers for the
+    /// same task could cover it in a later round.
+    InsufficientAccuracy,
+}
+
+/// A deferred task together with the typed reason it was deferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deferral {
+    /// Global id of the deferred task.
+    pub task: TaskId,
+    /// Why the task could not be auctioned this round.
+    pub reason: DeferReason,
+}
+
 /// A round's auction instance in local coordinates, plus the maps back to
 /// the campaign universe.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,9 +89,9 @@ pub struct RoundInstance {
     /// Global ids of this round's active tasks, ascending; column `j` of
     /// the local problem is `active_tasks[j]`.
     active_tasks: Vec<TaskId>,
-    /// Positive-residual tasks deferred to later rounds (empty under
-    /// [`UncoverablePolicy::Strict`]).
-    deferred_tasks: Vec<TaskId>,
+    /// Positive-residual tasks deferred to later rounds with the reason
+    /// each was deferred (empty under [`UncoverablePolicy::Strict`]).
+    deferrals: Vec<Deferral>,
     soac: SoacProblem,
 }
 
@@ -120,8 +142,12 @@ impl RoundInstance {
             return Ok(None);
         }
 
-        // Joint offered accuracy per task, to classify coverability.
+        // Joint offered accuracy per task, to classify coverability. A
+        // zero-accuracy offer still marks the task as *offered* so the
+        // defer reason distinguishes "nobody volunteered" from "the
+        // volunteers are too weak".
         let mut offered = vec![0.0f64; m];
+        let mut any_offer = vec![false; m];
         for offer in offers {
             // Duplicate task ids within one offer are deduplicated by
             // `Bid::new` below; count them once here too.
@@ -130,10 +156,11 @@ impl RoundInstance {
             tasks.dedup();
             for t in tasks {
                 offered[t.index()] += accuracy(offer.worker, t).clamp(0.0, 1.0);
+                any_offer[t.index()] = true;
             }
         }
         let mut active_tasks = Vec::new();
-        let mut deferred_tasks = Vec::new();
+        let mut deferrals = Vec::new();
         for (j, &r) in residual.iter().enumerate() {
             match policy {
                 // Strict reproduces the one-shot mechanism exactly, so it
@@ -151,7 +178,15 @@ impl RoundInstance {
                     if offered[j] >= r + ROUND_RESIDUAL_TOL {
                         active_tasks.push(TaskId(j));
                     } else {
-                        deferred_tasks.push(TaskId(j));
+                        let reason = if any_offer[j] {
+                            DeferReason::InsufficientAccuracy
+                        } else {
+                            DeferReason::NotOffered
+                        };
+                        deferrals.push(Deferral {
+                            task: TaskId(j),
+                            reason,
+                        });
                     }
                 }
             }
@@ -187,7 +222,7 @@ impl RoundInstance {
         Ok(Some(RoundInstance {
             bidders,
             active_tasks,
-            deferred_tasks,
+            deferrals,
             soac,
         }))
     }
@@ -208,9 +243,15 @@ impl RoundInstance {
         &self.active_tasks
     }
 
+    /// Positive-residual tasks this round deferred, with the typed
+    /// reason each was deferred.
+    pub fn deferrals(&self) -> &[Deferral] {
+        &self.deferrals
+    }
+
     /// Positive-residual tasks this round deferred.
-    pub fn deferred_tasks(&self) -> &[TaskId] {
-        &self.deferred_tasks
+    pub fn deferred_tasks(&self) -> Vec<TaskId> {
+        self.deferrals.iter().map(|d| d.task).collect()
     }
 
     /// Maps a local winner id back to the campaign universe.
@@ -314,7 +355,41 @@ mod tests {
         .expect("task 2 remains coverable");
         assert_eq!(inst.active_tasks(), &[TaskId(2)]);
         assert_eq!(inst.deferred_tasks(), &[TaskId(0)]);
+        assert_eq!(
+            inst.deferrals(),
+            &[Deferral {
+                task: TaskId(0),
+                reason: DeferReason::InsufficientAccuracy,
+            }]
+        );
         assert!(inst.soac().is_coverable());
+    }
+
+    #[test]
+    fn defer_reason_distinguishes_unoffered_from_weak() {
+        // Task 1 open but nobody offers it; task 0 offered but too weak.
+        let residual = vec![1.5, 0.7, 0.5];
+        let inst = RoundInstance::build(
+            &offers(),
+            &flat_accuracy(0.8),
+            &residual,
+            UncoverablePolicy::Defer,
+        )
+        .unwrap()
+        .expect("task 2 coverable");
+        assert_eq!(
+            inst.deferrals(),
+            &[
+                Deferral {
+                    task: TaskId(0),
+                    reason: DeferReason::InsufficientAccuracy,
+                },
+                Deferral {
+                    task: TaskId(1),
+                    reason: DeferReason::NotOffered,
+                },
+            ]
+        );
     }
 
     #[test]

@@ -26,7 +26,23 @@
 //!   slower than replaying the whole journal cold means the checkpoint
 //!   restore path rotted;
 //! * `recovered_bit_identical` is `true` — a recovered campaign that
-//!   drifts from the uninterrupted one breaks the durability contract.
+//!   drifts from the uninterrupted one breaks the durability contract;
+//! * `accuracy_under_attack > accuracy_unguarded` (pipeline) — the
+//!   quarantine must strictly improve on running unguarded against the
+//!   seeded 20% sybil/coalition load (the scenario is deterministic, so
+//!   this is not a flaky timing check);
+//! * `accuracy_under_attack >= accuracy_clean - 0.15` — the documented
+//!   graceful-degradation bound from `docs/ROBUSTNESS.md`;
+//! * `guard_overhead_ratio <= 12.0` — the guard re-runs dependence
+//!   discovery for its quarantine sweeps, so it is expected to cost a few
+//!   multiples of an unguarded campaign (~6.5x measured), but an order of
+//!   magnitude past that means the sweep scheduling rotted; the ratio
+//!   compares two runs in the same process, so box speed cancels out;
+//! * `quarantined_workers >= 1` — a guard that flags nobody under a 20%
+//!   coalition load went blind;
+//! * `no_double_pay` and `no_overspend` are `true` — payment idempotence
+//!   under duplicated wins and budget safety under re-offers are
+//!   correctness bugs regardless of timings.
 //!
 //! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
 //! <BENCH_pipeline.json>` (defaults to those names in the working
@@ -191,6 +207,14 @@ fn main() -> ExitCode {
             "recovered_bit_identical",
             "bit_identical",
             "budget_never_overspent",
+            "accuracy_clean",
+            "accuracy_unguarded",
+            "accuracy_under_attack",
+            "guard_overhead_ratio",
+            "quarantined_workers",
+            "adversarial_workers",
+            "no_double_pay",
+            "no_overspend",
         ],
         &mut problems,
     ) {
@@ -228,6 +252,46 @@ fn main() -> ExitCode {
             problems.push(format!(
                 "{pipeline_path}: {recovered_oks}/{recovereds} recovered_bit_identical flags are true — crash recovery drifted from the uninterrupted campaign"
             ));
+        }
+        let clean = values_of(&json, "accuracy_clean");
+        let unguarded = values_of(&json, "accuracy_unguarded");
+        let guarded = values_of(&json, "accuracy_under_attack");
+        if let (Some(&c), Some(&u), Some(&g)) = (clean.first(), unguarded.first(), guarded.first())
+        {
+            if g <= u {
+                problems.push(format!(
+                    "{pipeline_path}: accuracy_under_attack = {g} <= accuracy_unguarded = {u} — the quarantine no longer improves on running unguarded"
+                ));
+            }
+            if g < c - 0.15 {
+                problems.push(format!(
+                    "{pipeline_path}: accuracy_under_attack = {g} < accuracy_clean - 0.15 = {} — the guard broke its documented degradation bound",
+                    c - 0.15
+                ));
+            }
+        }
+        for v in values_of(&json, "guard_overhead_ratio") {
+            if !(0.0..=12.0).contains(&v) {
+                problems.push(format!(
+                    "{pipeline_path}: guard_overhead_ratio = {v} outside (0, 12] — the quarantine sweep scheduling rotted"
+                ));
+            }
+        }
+        for v in values_of(&json, "quarantined_workers") {
+            if v < 1.0 {
+                problems.push(format!(
+                    "{pipeline_path}: quarantined_workers = {v} — the guard flagged nobody under a 20% coalition load"
+                ));
+            }
+        }
+        for flag in ["no_double_pay", "no_overspend"] {
+            let n = occurrences_of(&json, flag);
+            let oks = json.matches(&format!("\"{flag}\": true")).count();
+            if n == 0 || oks != n {
+                problems.push(format!(
+                    "{pipeline_path}: {oks}/{n} {flag} flags are true — payment safety under faults regressed"
+                ));
+            }
         }
     }
 

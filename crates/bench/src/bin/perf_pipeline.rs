@@ -26,11 +26,11 @@
 use imc2_common::{MemStorage, Storage};
 use imc2_datagen::participation::ParticipationConfig;
 use imc2_datagen::{
-    CopierConfig, CostModel, ForumConfig, RequirementConfig, RoundTrace, RoundTraceConfig,
-    StreamConfig,
+    inject_trace, AdversaryConfig, CopierConfig, CostModel, ForumConfig, RequirementConfig,
+    RoundTrace, RoundTraceConfig, StreamConfig,
 };
 use imc2_pipeline::{
-    CampaignRuntime, DurabilityConfig, DurableRuntime, PipelineConfig, RollingOutcome,
+    CampaignRuntime, DurabilityConfig, DurableRuntime, GuardConfig, PipelineConfig, RollingOutcome,
     StageTimings, StopReason,
 };
 use std::fmt::Write as _;
@@ -229,6 +229,50 @@ fn main() {
     let budget_never_overspent =
         capped.total_payment <= budget + 1e-9 && capped.stop == StopReason::BudgetExhausted;
 
+    // Adversarial stage: the acceptance-scale attack scenario — 20% of the
+    // crowd is a poisoned copier coalition plus a sybil cluster. Runs at
+    // the `small()` scale the quarantine policy defaults are calibrated
+    // for (each sweep re-runs truth discovery over the submission view, so
+    // this stage measures robustness metrics, not throughput): the
+    // accuracy triangle (clean / attacked-unguarded / attacked-guarded),
+    // the guard's end-to-end overhead on a clean campaign, and the
+    // payment-idempotence flags.
+    let adv_trace = RoundTrace::generate(&RoundTraceConfig::small(), 42).expect("trace generates");
+    let adv_runtime = CampaignRuntime::default();
+    let adversary = AdversaryConfig::pollution(adv_trace.n_workers(), 0.2);
+    let (attacked, labels) = inject_trace(&adv_trace, &adversary, 7).expect("attack injects");
+    let guard = GuardConfig::full();
+    let mut plain_wall_s = f64::INFINITY;
+    let mut guarded_wall_s = f64::INFINITY;
+    for rep in 0..reps {
+        eprintln!("rep {rep}: adversarial stage...");
+        let t0 = Instant::now();
+        let _ = adv_runtime.run(&adv_trace).expect("clean campaign runs");
+        plain_wall_s = plain_wall_s.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let _ = adv_runtime
+            .run_guarded(&adv_trace, &guard)
+            .expect("guarded campaign runs");
+        guarded_wall_s = guarded_wall_s.min(t0.elapsed().as_secs_f64());
+    }
+    let guard_overhead_ratio = guarded_wall_s / plain_wall_s;
+    let adv_clean = adv_runtime.run(&adv_trace).expect("clean campaign runs");
+    let adv_unguarded = adv_runtime.run(&attacked).expect("attacked campaign runs");
+    let adv_guarded = adv_runtime
+        .run_guarded(&attacked, &guard)
+        .expect("guarded campaign runs");
+    let no_double_pay = adv_guarded.report.double_pay_refused == 0
+        && adv_guarded.ledger.n_bundles() == adv_guarded.outcome.total_winner_slots();
+    let adv_budget = adv_unguarded.total_payment * 0.5;
+    let adv_capped = CampaignRuntime::new(PipelineConfig {
+        budget: Some(adv_budget),
+        ..PipelineConfig::default()
+    })
+    .run_guarded(&attacked, &guard)
+    .expect("capped guarded campaign runs");
+    let no_overspend = adv_capped.outcome.total_payment <= adv_budget + 1e-9
+        && adv_capped.ledger.total() <= adv_budget + 1e-9;
+
     println!(
         "rounds {:>3} | warm: auction {:>6.2} ms, payment {:>6.2} ms, ingest {:>6.2} ms, refine {:>8.2} ms | rebuild refine {:>8.2} ms ({:>4.2}x) | cold-DATE refine {:>9.2} ms ({:>5.2}x, end-to-end {:>5.2}x) | bit-identical {} | budget ok {}",
         warm_out.rounds.len(),
@@ -254,6 +298,17 @@ fn main() {
         replay_wall_s * 1e3,
         speedup_recovery,
         durable_identical,
+    );
+    println!(
+        "adversarial: accuracy clean {:.3} / unguarded {:.3} / guarded {:.3} | quarantined {} of {} planted | guard overhead {:.2}x | no double pay {} | no overspend {}",
+        adv_clean.final_precision,
+        adv_unguarded.final_precision,
+        adv_guarded.outcome.final_precision,
+        adv_guarded.report.quarantined.len(),
+        labels.colluders().len(),
+        guard_overhead_ratio,
+        no_double_pay,
+        no_overspend,
     );
 
     let ingested: usize = warm_out.rounds.iter().map(|r| r.ingested_answers).sum();
@@ -311,8 +366,39 @@ fn main() {
     let _ = writeln!(json, "  \"bit_identical\": {identical},");
     let _ = writeln!(
         json,
-        "  \"budget_never_overspent\": {budget_never_overspent}"
+        "  \"budget_never_overspent\": {budget_never_overspent},"
     );
+    let _ = writeln!(
+        json,
+        "  \"accuracy_clean\": {:.6},",
+        adv_clean.final_precision
+    );
+    let _ = writeln!(
+        json,
+        "  \"accuracy_unguarded\": {:.6},",
+        adv_unguarded.final_precision
+    );
+    let _ = writeln!(
+        json,
+        "  \"accuracy_under_attack\": {:.6},",
+        adv_guarded.outcome.final_precision
+    );
+    let _ = writeln!(
+        json,
+        "  \"guard_overhead_ratio\": {guard_overhead_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"quarantined_workers\": {},",
+        adv_guarded.report.quarantined.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"adversarial_workers\": {},",
+        labels.colluders().len()
+    );
+    let _ = writeln!(json, "  \"no_double_pay\": {no_double_pay},");
+    let _ = writeln!(json, "  \"no_overspend\": {no_overspend}");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("can write benchmark output");

@@ -1,0 +1,895 @@
+//! Adversarial worker populations: coalitions, sybils, misreporters and
+//! withholders planted into a generated campaign.
+//!
+//! The paper's copier model (§II-B, [`crate::copiers`]) is *generative*:
+//! copiers answer task-by-task with probability `r` and the rest of the
+//! pipeline is truthful by construction. This module plants *strategic*
+//! adversaries into an already-generated [`Scenario`] or [`RoundTrace`]
+//! as a seeded post-pass, with ground-truth labels retained so robustness
+//! tests can measure exactly what the admission and quarantine layers
+//! caught:
+//!
+//! * **coalitions** — rings of workers rewriting their offered values to a
+//!   shared script (a designated source worker's answers, or — in poison
+//!   mode — a coordinated wrong value per task) with configurable noise;
+//! * **sybil clusters** — one principal behind `k` fabricated identities
+//!   that mirror the principal's bundles at undercut prices, growing the
+//!   worker universe;
+//! * **cost misreporters** — workers whose declared prices deviate from
+//!   their private costs by a fixed factor (untruthful bidding);
+//! * **strategic withholders** — workers who drop a fraction of their
+//!   answers from every offer, starving coverage.
+//!
+//! Labels never reach the algorithms; they exist so evaluations can
+//! compare quarantine decisions against the planted population.
+
+use crate::scenario::Scenario;
+use crate::stream::{RoundTrace, WorkerOffer};
+use imc2_common::{rng_from_seed, ObservationsBuilder, TaskId, ValidationError, ValueId, WorkerId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration of the planted adversary population. All counts default
+/// to zero; [`AdversaryConfig::none`] is the identity post-pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryConfig {
+    /// Number of copier coalitions to plant.
+    pub n_coalitions: usize,
+    /// Members per coalition (at least 2 when `n_coalitions > 0`).
+    pub coalition_size: usize,
+    /// Probability a scripted value is corrupted to a random other domain
+    /// value when a member delivers it (`[0, 1]`).
+    pub coalition_noise: f64,
+    /// Poison mode: instead of copying a source worker, every member
+    /// coordinates on a fixed *wrong* value per task — the damaging
+    /// attack quarantine must bound.
+    pub coalition_poison: bool,
+    /// Number of shared tasks each coalition coordinates on: every
+    /// member's bundles are extended to cover them with script values, so
+    /// the ring concentrates its agreement where it can flip estimates —
+    /// and where dependence posteriors can see it. Clamped to the
+    /// script's support at injection; `0` leaves bundle shapes untouched
+    /// (members only rewrite values they already offer, which scatters
+    /// the attack thin).
+    pub coalition_targets: usize,
+    /// Number of sybil clusters to plant.
+    pub n_sybil_clusters: usize,
+    /// Fabricated identities per cluster (at least 1 when
+    /// `n_sybil_clusters > 0`); each identity is appended to the worker
+    /// universe.
+    pub sybil_identities: usize,
+    /// Price multiplier of sybil identities relative to their principal's
+    /// declared price (`(0, 1]`; below 1 undercuts).
+    pub sybil_undercut: f64,
+    /// Number of cost misreporters.
+    pub n_misreporters: usize,
+    /// Declared price = true cost × this factor (finite, positive).
+    pub misreport_factor: f64,
+    /// Number of strategic withholders.
+    pub n_withholders: usize,
+    /// Probability each offered answer of a withholder is dropped
+    /// (`[0, 1]`); offers left empty are withdrawn entirely.
+    pub withhold_fraction: f64,
+}
+
+impl AdversaryConfig {
+    /// No adversaries: the post-pass returns the input unchanged (modulo
+    /// a structural rebuild of the warm-up snapshot).
+    pub fn none() -> Self {
+        AdversaryConfig {
+            n_coalitions: 0,
+            coalition_size: 0,
+            coalition_noise: 0.0,
+            coalition_poison: false,
+            coalition_targets: 0,
+            n_sybil_clusters: 0,
+            sybil_identities: 0,
+            sybil_undercut: 1.0,
+            n_misreporters: 0,
+            misreport_factor: 1.0,
+            n_withholders: 0,
+            withhold_fraction: 0.0,
+        }
+    }
+
+    /// A pollution profile targeting roughly `fraction` of an
+    /// `n_workers`-strong crowd: one poisoned coalition takes ~60% of the
+    /// adversarial head-count, one sybil cluster the rest.
+    pub fn pollution(n_workers: usize, fraction: f64) -> Self {
+        let planted = ((n_workers as f64) * fraction).round().max(3.0) as usize;
+        let coalition = (planted * 3 / 5).max(3);
+        let sybils = (planted - coalition.min(planted)).max(1);
+        AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: coalition,
+            coalition_noise: 0.02,
+            coalition_poison: true,
+            coalition_targets: 8,
+            n_sybil_clusters: 1,
+            sybil_identities: sybils,
+            sybil_undercut: 0.8,
+            ..AdversaryConfig::none()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for out-of-range probabilities or
+    /// degenerate group sizes.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if self.n_coalitions > 0 && self.coalition_size < 2 {
+            return Err(ValidationError::new(
+                "coalition_size must be at least 2 when coalitions are planted",
+            ));
+        }
+        if self.n_sybil_clusters > 0 && self.sybil_identities == 0 {
+            return Err(ValidationError::new(
+                "sybil_identities must be at least 1 when clusters are planted",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.coalition_noise) {
+            return Err(ValidationError::new("coalition_noise must lie in [0, 1]"));
+        }
+        if !(self.sybil_undercut > 0.0 && self.sybil_undercut <= 1.0) {
+            return Err(ValidationError::new("sybil_undercut must lie in (0, 1]"));
+        }
+        if !(self.misreport_factor.is_finite() && self.misreport_factor > 0.0) {
+            return Err(ValidationError::new(
+                "misreport_factor must be finite and positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.withhold_fraction) {
+            return Err(ValidationError::new("withhold_fraction must lie in [0, 1]"));
+        }
+        Ok(())
+    }
+
+    fn planted_principals(&self) -> usize {
+        self.n_coalitions * (self.coalition_size + 1)
+            + self.n_sybil_clusters
+            + self.n_misreporters
+            + self.n_withholders
+    }
+}
+
+/// One planted coalition: the members whose values were rewritten, and the
+/// source they copy (`None` in poison mode — the script is synthetic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coalition {
+    /// Workers whose delivered values follow the shared script.
+    pub members: Vec<WorkerId>,
+    /// The copied source worker; `None` for a poisoned script.
+    pub source: Option<WorkerId>,
+}
+
+/// One planted sybil cluster: a real principal and its fabricated
+/// identities (appended to the worker universe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SybilCluster {
+    /// The real worker operating the cluster.
+    pub principal: WorkerId,
+    /// Fabricated identities mirroring the principal's bundles.
+    pub identities: Vec<WorkerId>,
+}
+
+/// Ground-truth labels of the planted adversary population.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdversaryLabels {
+    /// Planted coalitions.
+    pub coalitions: Vec<Coalition>,
+    /// Planted sybil clusters.
+    pub sybils: Vec<SybilCluster>,
+    /// Workers declaring misreported prices.
+    pub misreporters: Vec<WorkerId>,
+    /// Workers withholding answers.
+    pub withholders: Vec<WorkerId>,
+}
+
+impl AdversaryLabels {
+    /// Workers whose *data* is adversarial — coalition members and sybil
+    /// identities. These are the workers a dependence-based quarantine is
+    /// expected to flag.
+    pub fn colluders(&self) -> BTreeSet<WorkerId> {
+        let mut set = BTreeSet::new();
+        for c in &self.coalitions {
+            set.extend(c.members.iter().copied());
+        }
+        for s in &self.sybils {
+            set.extend(s.identities.iter().copied());
+        }
+        set
+    }
+
+    /// Every worker playing any strategic role (colluders plus sybil
+    /// principals, misreporters and withholders).
+    pub fn planted_workers(&self) -> BTreeSet<WorkerId> {
+        let mut set = self.colluders();
+        set.extend(self.sybils.iter().map(|s| s.principal));
+        set.extend(self.misreporters.iter().copied());
+        set.extend(self.withholders.iter().copied());
+        set
+    }
+
+    /// Whether no adversary was planted.
+    pub fn is_empty(&self) -> bool {
+        self.coalitions.is_empty()
+            && self.sybils.is_empty()
+            && self.misreporters.is_empty()
+            && self.withholders.is_empty()
+    }
+}
+
+/// Per-task script a coalition delivers: `scripts[j]` is the value every
+/// member reports for task `j` (before noise), or `None` to leave the
+/// member's own value.
+type Script = Vec<Option<ValueId>>;
+
+fn poison_script(truth: &[ValueId], num_false: &[u32]) -> Script {
+    truth
+        .iter()
+        .zip(num_false)
+        .map(|(&t, &domain)| {
+            // The first wrong value of the domain; tasks with a single
+            // domain value cannot be answered wrongly.
+            (domain > 0).then(|| ValueId((t.0 + 1) % (domain + 1)))
+        })
+        .collect()
+}
+
+fn source_script(trace_obs: &imc2_common::Observations, source: WorkerId, m: usize) -> Script {
+    let mut script = vec![None; m];
+    for &(t, v) in trace_obs.tasks_of_worker(source) {
+        script[t.index()] = Some(v);
+    }
+    script
+}
+
+/// Draws each coalition's shared target tasks from its script's support,
+/// seeded and sorted. Empty when `count == 0`.
+fn coalition_targets<R: Rng + ?Sized>(
+    scripts: &[Script],
+    count: usize,
+    m: usize,
+    rng: &mut R,
+) -> Vec<Vec<TaskId>> {
+    scripts
+        .iter()
+        .map(|script| {
+            let mut ts: Vec<TaskId> = (0..m)
+                .map(TaskId)
+                .filter(|t| script[t.index()].is_some())
+                .collect();
+            ts.shuffle(rng);
+            ts.truncate(count);
+            ts.sort_unstable();
+            ts
+        })
+        .collect()
+}
+
+fn deliver<R: Rng + ?Sized>(
+    script_value: ValueId,
+    domain: u32,
+    noise: f64,
+    rng: &mut R,
+) -> ValueId {
+    if domain > 0 && noise > 0.0 && rng.gen::<f64>() < noise {
+        ValueId((script_value.0 + 1 + rng.gen_range(0..domain)) % (domain + 1))
+    } else {
+        script_value
+    }
+}
+
+/// Plants the configured adversary population into a [`RoundTrace`],
+/// returning the attacked trace and the ground-truth labels.
+///
+/// Roles are drawn (seeded, disjoint) from the workers that place at
+/// least one offer. Coalition members' delivered values — in the warm-up
+/// snapshot and in every offer — are rewritten to the coalition script;
+/// sybil identities extend `costs` (growing [`RoundTrace::n_workers`])
+/// and mirror their principal's offers at undercut prices; misreporters
+/// scale their declared prices away from `costs`; withholders drop a
+/// fraction of every bundle. `campaign` (ground truth, the honest batch
+/// snapshot) is left untouched for evaluation.
+///
+/// # Errors
+/// Returns [`ValidationError`] if `config` fails validation or the trace
+/// has too few offering workers for the requested disjoint roles.
+pub fn inject_trace(
+    trace: &RoundTrace,
+    config: &AdversaryConfig,
+    seed: u64,
+) -> Result<(RoundTrace, AdversaryLabels), ValidationError> {
+    config.validate()?;
+    let mut rng = rng_from_seed(seed);
+    let mut out = trace.clone();
+    let m = trace.n_tasks();
+    let num_false = &trace.campaign.num_false;
+
+    // Role pool: workers that actually offer something, shuffled.
+    let mut active: Vec<WorkerId> = (0..trace.n_workers())
+        .map(WorkerId)
+        .filter(|&w| {
+            trace
+                .rounds
+                .iter()
+                .any(|round| round.iter().any(|o| o.worker == w))
+        })
+        .collect();
+    if active.len() < config.planted_principals() {
+        return Err(ValidationError::new(format!(
+            "{} offering workers cannot host {} disjoint adversary roles",
+            active.len(),
+            config.planted_principals()
+        )));
+    }
+    active.shuffle(&mut rng);
+    let mut pool = active.into_iter();
+    let mut take = |k: usize| -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = pool.by_ref().take(k).collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut labels = AdversaryLabels::default();
+    // Coalition scripts, member → (script index).
+    let mut member_script: HashMap<WorkerId, usize> = HashMap::new();
+    let mut scripts: Vec<Script> = Vec::new();
+    for _ in 0..config.n_coalitions {
+        let (source, script) = if config.coalition_poison {
+            // Poison mode still consumes a pool slot so role counts are
+            // config-shape-stable, but the slot worker stays honest.
+            let _ = take(1);
+            (None, poison_script(&trace.campaign.ground_truth, num_false))
+        } else {
+            let source = take(1)[0];
+            (
+                Some(source),
+                source_script(&trace.campaign.observations, source, m),
+            )
+        };
+        let members = take(config.coalition_size);
+        for &w in &members {
+            member_script.insert(w, scripts.len());
+        }
+        scripts.push(script);
+        labels.coalitions.push(Coalition { members, source });
+    }
+    let principals = take(config.n_sybil_clusters);
+    labels.misreporters = take(config.n_misreporters);
+    labels.withholders = take(config.n_withholders);
+    let targets = coalition_targets(&scripts, config.coalition_targets, m, &mut rng);
+
+    // Rewrite coalition members' delivered values: every offer first (in
+    // round order), then the warm-up snapshot. Bundles are also extended
+    // to the coalition's shared target tasks — the ring coordinates where
+    // its agreement counts.
+    let rewrite = |w: WorkerId,
+                   t: TaskId,
+                   v: ValueId,
+                   member_script: &HashMap<WorkerId, usize>,
+                   scripts: &[Script],
+                   rng: &mut StdRng| {
+        match member_script.get(&w).and_then(|&s| scripts[s][t.index()]) {
+            Some(sv) => deliver(sv, num_false[t.index()], config.coalition_noise, rng),
+            None => v,
+        }
+    };
+    // Tasks each member already delivers somewhere (warm-up row or any
+    // offer): target extensions must not break the trace's append-only
+    // contract — each (worker, task) answer appears at most once.
+    let mut delivered: HashMap<WorkerId, BTreeSet<TaskId>> = HashMap::new();
+    for &w in member_script.keys() {
+        let mut tasks: BTreeSet<TaskId> = BTreeSet::new();
+        if w.index() < out.initial.n_workers() {
+            tasks.extend(out.initial.tasks_of_worker(w).iter().map(|&(t, _)| t));
+        }
+        for round in &out.rounds {
+            for offer in round.iter().filter(|o| o.worker == w) {
+                tasks.extend(offer.answers.iter().map(|&(t, _)| t));
+            }
+        }
+        delivered.insert(w, tasks);
+    }
+    let mut extended: BTreeSet<WorkerId> = BTreeSet::new();
+    for round in &mut out.rounds {
+        for offer in round.iter_mut() {
+            let Some(&s) = member_script.get(&offer.worker) else {
+                continue;
+            };
+            for (t, v) in offer.answers.iter_mut() {
+                *v = rewrite(offer.worker, *t, *v, &member_script, &scripts, &mut rng);
+            }
+            // The member's first offer grows to cover the coalition's
+            // shared targets it doesn't already deliver elsewhere.
+            if extended.insert(offer.worker) {
+                for &t in &targets[s] {
+                    if delivered[&offer.worker].contains(&t) {
+                        continue;
+                    }
+                    let sv = scripts[s][t.index()].expect("targets lie in the script support");
+                    offer.answers.push((
+                        t,
+                        deliver(sv, num_false[t.index()], config.coalition_noise, &mut rng),
+                    ));
+                }
+                offer.answers.sort_unstable_by_key(|&(t, _)| t);
+            }
+        }
+    }
+    if !member_script.is_empty() {
+        let mut builder = ObservationsBuilder::new(out.initial.n_workers(), m);
+        for w in 0..out.initial.n_workers() {
+            let worker = WorkerId(w);
+            for &(t, v) in out.initial.tasks_of_worker(worker) {
+                let v = rewrite(worker, t, v, &member_script, &scripts, &mut rng);
+                builder
+                    .record(worker, t, v)
+                    .expect("rewritten warm-up keeps its shape");
+            }
+        }
+        out.initial = builder.build();
+    }
+
+    // Withholders: drop a fraction of every bundle; empty offers are
+    // withdrawn.
+    if !labels.withholders.is_empty() && config.withhold_fraction > 0.0 {
+        let withholders: BTreeSet<WorkerId> = labels.withholders.iter().copied().collect();
+        for round in &mut out.rounds {
+            for offer in round.iter_mut() {
+                if withholders.contains(&offer.worker) {
+                    offer
+                        .answers
+                        .retain(|_| rng.gen::<f64>() >= config.withhold_fraction);
+                }
+            }
+            round.retain(|o| !o.answers.is_empty());
+        }
+    }
+
+    // Misreporters: declared price deviates from the true cost.
+    if !labels.misreporters.is_empty() {
+        let misreporters: BTreeSet<WorkerId> = labels.misreporters.iter().copied().collect();
+        for round in &mut out.rounds {
+            for offer in round.iter_mut() {
+                if misreporters.contains(&offer.worker) {
+                    offer.price *= config.misreport_factor;
+                }
+            }
+        }
+    }
+
+    // Sybil clusters: fabricated identities mirror the principal's offers
+    // at undercut prices. Ids are appended to the universe, so each round
+    // stays sorted by pushing them at the back in id order.
+    for &principal in &principals {
+        let mut identities = Vec::with_capacity(config.sybil_identities);
+        for _ in 0..config.sybil_identities {
+            let id = WorkerId(out.costs.len());
+            out.costs
+                .push(trace.costs[principal.index()] * config.sybil_undercut);
+            identities.push(id);
+        }
+        for round in &mut out.rounds {
+            let principal_offer = round.iter().find(|o| o.worker == principal).cloned();
+            if let Some(offer) = principal_offer {
+                for &id in &identities {
+                    round.push(WorkerOffer {
+                        worker: id,
+                        answers: offer.answers.clone(),
+                        price: offer.price * config.sybil_undercut,
+                    });
+                }
+            }
+        }
+        labels.sybils.push(SybilCluster {
+            principal,
+            identities,
+        });
+    }
+
+    Ok((out, labels))
+}
+
+/// Plants the adversary population into a batch [`Scenario`]: coalition
+/// values are rewritten in the snapshot, sybil identities append
+/// duplicate rows and undercut bids, misreporters' declared bids deviate
+/// from costs, withholders lose a fraction of their snapshot rows.
+///
+/// # Errors
+/// As [`inject_trace`].
+pub fn inject_scenario(
+    scenario: &Scenario,
+    config: &AdversaryConfig,
+    seed: u64,
+) -> Result<(Scenario, AdversaryLabels), ValidationError> {
+    config.validate()?;
+    let mut rng = rng_from_seed(seed);
+    let n = scenario.n_workers();
+    let m = scenario.n_tasks();
+    if n < config.planted_principals() {
+        return Err(ValidationError::new(format!(
+            "{n} workers cannot host {} disjoint adversary roles",
+            config.planted_principals()
+        )));
+    }
+    let mut ids: Vec<WorkerId> = (0..n).map(WorkerId).collect();
+    ids.shuffle(&mut rng);
+    let mut pool = ids.into_iter();
+    let mut take = |k: usize| -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = pool.by_ref().take(k).collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut labels = AdversaryLabels::default();
+    let mut member_script: HashMap<WorkerId, usize> = HashMap::new();
+    let mut scripts: Vec<Script> = Vec::new();
+    for _ in 0..config.n_coalitions {
+        let (source, script) = if config.coalition_poison {
+            let _ = take(1);
+            (
+                None,
+                poison_script(&scenario.ground_truth, &scenario.num_false),
+            )
+        } else {
+            let source = take(1)[0];
+            (
+                Some(source),
+                source_script(&scenario.observations, source, m),
+            )
+        };
+        let members = take(config.coalition_size);
+        for &w in &members {
+            member_script.insert(w, scripts.len());
+        }
+        scripts.push(script);
+        labels.coalitions.push(Coalition { members, source });
+    }
+    let principals = take(config.n_sybil_clusters);
+    labels.misreporters = take(config.n_misreporters);
+    labels.withholders = take(config.n_withholders);
+    let withholders: BTreeSet<WorkerId> = labels.withholders.iter().copied().collect();
+    let targets = coalition_targets(&scripts, config.coalition_targets, m, &mut rng);
+
+    let total_identities = principals.len() * config.sybil_identities;
+    let mut out = scenario.clone();
+    let mut builder = ObservationsBuilder::new(n + total_identities, m);
+    for w in 0..n {
+        let worker = WorkerId(w);
+        for &(t, v) in scenario.observations.tasks_of_worker(worker) {
+            if withholders.contains(&worker) && rng.gen::<f64>() < config.withhold_fraction {
+                continue;
+            }
+            let v = match member_script
+                .get(&worker)
+                .and_then(|&s| scripts[s][t.index()])
+            {
+                Some(sv) => deliver(
+                    sv,
+                    scenario.num_false[t.index()],
+                    config.coalition_noise,
+                    &mut rng,
+                ),
+                None => v,
+            };
+            builder.record(worker, t, v).expect("rewrite keeps shape");
+        }
+        // Coalition members extend their rows to the shared target tasks.
+        if let Some(&s) = member_script.get(&worker) {
+            for &t in &targets[s] {
+                if scenario.observations.value_of(worker, t).is_some() {
+                    continue;
+                }
+                let sv = scripts[s][t.index()].expect("targets lie in the script support");
+                builder
+                    .record(
+                        worker,
+                        t,
+                        deliver(
+                            sv,
+                            scenario.num_false[t.index()],
+                            config.coalition_noise,
+                            &mut rng,
+                        ),
+                    )
+                    .expect("target rows are new");
+            }
+        }
+    }
+    for &principal in &principals {
+        let mut identities = Vec::with_capacity(config.sybil_identities);
+        for _ in 0..config.sybil_identities {
+            let id = WorkerId(out.costs.len());
+            for &(t, v) in scenario.observations.tasks_of_worker(principal) {
+                builder.record(id, t, v).expect("fresh sybil rows are new");
+            }
+            out.costs
+                .push(scenario.costs[principal.index()] * config.sybil_undercut);
+            out.bids
+                .push(scenario.bids[principal.index()] * config.sybil_undercut);
+            let mut profile = scenario.profiles[principal.index()].clone();
+            profile.worker = id;
+            out.profiles.push(profile);
+            identities.push(id);
+        }
+        labels.sybils.push(SybilCluster {
+            principal,
+            identities,
+        });
+    }
+    out.observations = builder.build();
+    for &w in &labels.misreporters {
+        out.bids[w.index()] = scenario.costs[w.index()] * config.misreport_factor;
+    }
+
+    Ok((out, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use crate::stream::RoundTraceConfig;
+
+    fn trace(seed: u64) -> RoundTrace {
+        RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap()
+    }
+
+    #[test]
+    fn none_is_identity_up_to_labels() {
+        let t = trace(1);
+        let (out, labels) = inject_trace(&t, &AdversaryConfig::none(), 9).unwrap();
+        assert!(labels.is_empty());
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let t = trace(2);
+        let cfg = AdversaryConfig::pollution(t.n_workers(), 0.2);
+        let (a, la) = inject_trace(&t, &cfg, 5).unwrap();
+        let (b, lb) = inject_trace(&t, &cfg, 5).unwrap();
+        let (c, lc) = inject_trace(&t, &cfg, 6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert!(lc != la || c != a, "seed must matter");
+    }
+
+    #[test]
+    fn roles_are_disjoint_and_sized() {
+        let t = trace(3);
+        let cfg = AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: 3,
+            coalition_noise: 0.0,
+            n_sybil_clusters: 1,
+            sybil_identities: 2,
+            n_misreporters: 2,
+            misreport_factor: 1.5,
+            n_withholders: 2,
+            withhold_fraction: 0.5,
+            ..AdversaryConfig::none()
+        };
+        let (_, labels) = inject_trace(&t, &cfg, 7).unwrap();
+        assert_eq!(labels.coalitions.len(), 1);
+        assert_eq!(labels.coalitions[0].members.len(), 3);
+        assert_eq!(labels.sybils.len(), 1);
+        assert_eq!(labels.sybils[0].identities.len(), 2);
+        assert_eq!(labels.misreporters.len(), 2);
+        assert_eq!(labels.withholders.len(), 2);
+        // Real-worker roles are pairwise disjoint (sybil identities are
+        // fresh ids, trivially disjoint).
+        let mut seen = BTreeSet::new();
+        let source = labels.coalitions[0].source;
+        for w in labels.coalitions[0]
+            .members
+            .iter()
+            .chain(source.iter())
+            .chain(labels.sybils.iter().map(|s| &s.principal))
+            .chain(&labels.misreporters)
+            .chain(&labels.withholders)
+        {
+            assert!(seen.insert(*w), "role overlap at {w}");
+        }
+    }
+
+    #[test]
+    fn coalition_members_follow_the_source_script() {
+        let t = trace(4);
+        let cfg = AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: 3,
+            coalition_noise: 0.0,
+            ..AdversaryConfig::none()
+        };
+        let (out, labels) = inject_trace(&t, &cfg, 11).unwrap();
+        let source = labels.coalitions[0].source.expect("copy mode has a source");
+        let mut rewritten = 0usize;
+        for round in &out.rounds {
+            for offer in round {
+                if labels.coalitions[0].members.contains(&offer.worker) {
+                    for &(task, v) in &offer.answers {
+                        if let Some(sv) = t.campaign.observations.value_of(source, task) {
+                            assert_eq!(v, sv, "member answer must equal the source's");
+                            rewritten += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(rewritten > 0, "script never overlapped the members' tasks");
+    }
+
+    #[test]
+    fn poisoned_coalition_answers_wrongly() {
+        let t = trace(5);
+        let cfg = AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: 4,
+            coalition_noise: 0.0,
+            coalition_poison: true,
+            ..AdversaryConfig::none()
+        };
+        let (out, labels) = inject_trace(&t, &cfg, 13).unwrap();
+        assert!(labels.coalitions[0].source.is_none());
+        for round in &out.rounds {
+            for offer in round {
+                if labels.coalitions[0].members.contains(&offer.worker) {
+                    for &(task, v) in &offer.answers {
+                        if t.campaign.num_false[task.index()] > 0 {
+                            assert_ne!(
+                                v,
+                                t.campaign.ground_truth[task.index()],
+                                "poison script must answer wrongly"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sybils_extend_the_universe_and_mirror_their_principal() {
+        let t = trace(6);
+        let cfg = AdversaryConfig {
+            n_sybil_clusters: 1,
+            sybil_identities: 3,
+            sybil_undercut: 0.5,
+            ..AdversaryConfig::none()
+        };
+        let (out, labels) = inject_trace(&t, &cfg, 17).unwrap();
+        assert_eq!(out.n_workers(), t.n_workers() + 3);
+        let cluster = &labels.sybils[0];
+        for round in out.rounds.iter() {
+            let principal = round.iter().find(|o| o.worker == cluster.principal);
+            for &id in &cluster.identities {
+                let clone = round.iter().find(|o| o.worker == id);
+                match (principal, clone) {
+                    (Some(p), Some(c)) => {
+                        assert_eq!(c.answers, p.answers);
+                        assert!((c.price - p.price * 0.5).abs() < 1e-12);
+                    }
+                    (None, None) => {}
+                    _ => panic!("sybil offers must track the principal's rounds"),
+                }
+            }
+            // Rounds stay sorted by worker id.
+            for pair in round.windows(2) {
+                assert!(pair[0].worker < pair[1].worker);
+            }
+        }
+    }
+
+    #[test]
+    fn misreporters_and_withholders_deviate() {
+        let t = trace(7);
+        let cfg = AdversaryConfig {
+            n_misreporters: 2,
+            misreport_factor: 2.5,
+            n_withholders: 2,
+            withhold_fraction: 0.6,
+            ..AdversaryConfig::none()
+        };
+        let (out, labels) = inject_trace(&t, &cfg, 19).unwrap();
+        let mut misreported = 0usize;
+        for round in &out.rounds {
+            for offer in round {
+                if labels.misreporters.contains(&offer.worker) {
+                    let cost = t.costs[offer.worker.index()];
+                    assert!((offer.price - cost * 2.5).abs() < 1e-12);
+                    misreported += 1;
+                }
+                assert!(!offer.answers.is_empty(), "empty offers are withdrawn");
+            }
+        }
+        assert!(misreported > 0);
+        let offered = |tr: &RoundTrace, w: WorkerId| -> usize {
+            tr.rounds
+                .iter()
+                .flatten()
+                .filter(|o| o.worker == w)
+                .map(|o| o.answers.len())
+                .sum()
+        };
+        let before: usize = labels.withholders.iter().map(|&w| offered(&t, w)).sum();
+        let after: usize = labels.withholders.iter().map(|&w| offered(&out, w)).sum();
+        assert!(
+            after < before,
+            "withholders must offer less ({after} < {before})"
+        );
+    }
+
+    #[test]
+    fn scenario_injection_mirrors_trace_semantics() {
+        let s = Scenario::generate(&ScenarioConfig::small(), 8);
+        let cfg = AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: 3,
+            coalition_noise: 0.0,
+            n_sybil_clusters: 1,
+            sybil_identities: 2,
+            sybil_undercut: 0.5,
+            n_misreporters: 1,
+            misreport_factor: 3.0,
+            ..AdversaryConfig::none()
+        };
+        let (out, labels) = inject_scenario(&s, &cfg, 23).unwrap();
+        assert_eq!(out.n_workers(), s.n_workers() + 2);
+        assert_eq!(out.costs.len(), out.n_workers());
+        assert_eq!(out.bids.len(), out.n_workers());
+        assert_eq!(out.profiles.len(), out.n_workers());
+        let w = labels.misreporters[0];
+        assert!((out.bids[w.index()] - s.costs[w.index()] * 3.0).abs() < 1e-12);
+        let cluster = &labels.sybils[0];
+        for &id in &cluster.identities {
+            assert_eq!(
+                out.observations.tasks_of_worker(id),
+                s.observations.tasks_of_worker(cluster.principal)
+            );
+        }
+        let source = labels.coalitions[0].source.unwrap();
+        let member = labels.coalitions[0].members[0];
+        let mut matched = 0usize;
+        for &(t, v) in out.observations.tasks_of_worker(member) {
+            if let Some(sv) = s.observations.value_of(source, t) {
+                assert_eq!(v, sv);
+                matched += 1;
+            }
+        }
+        assert!(matched > 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let t = trace(9);
+        let bad = AdversaryConfig {
+            n_coalitions: 1,
+            coalition_size: 1,
+            ..AdversaryConfig::none()
+        };
+        assert!(inject_trace(&t, &bad, 1).is_err());
+        let bad = AdversaryConfig {
+            sybil_undercut: 0.0,
+            ..AdversaryConfig::none()
+        };
+        assert!(inject_trace(&t, &bad, 1).is_err());
+        let bad = AdversaryConfig {
+            misreport_factor: f64::NAN,
+            ..AdversaryConfig::none()
+        };
+        assert!(inject_trace(&t, &bad, 1).is_err());
+        // Too many roles for the crowd.
+        let bad = AdversaryConfig {
+            n_coalitions: 40,
+            coalition_size: 40,
+            ..AdversaryConfig::none()
+        };
+        assert!(inject_trace(&t, &bad, 1).is_err());
+    }
+}

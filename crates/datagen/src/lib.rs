@@ -36,6 +36,7 @@
 //! assert_eq!(scenario.profiles.iter().filter(|p| p.is_copier()).count(), 30);
 //! ```
 
+pub mod adversary;
 pub mod copiers;
 pub mod costs;
 pub mod dist;
@@ -48,7 +49,11 @@ pub mod scenario;
 pub mod stream;
 pub mod summary;
 pub mod table1;
+pub mod trace_faults;
 
+pub use adversary::{
+    inject_scenario, inject_trace, AdversaryConfig, AdversaryLabels, Coalition, SybilCluster,
+};
 pub use copiers::{CopierConfig, CopierPlan};
 pub use costs::CostModel;
 pub use faults::{sample_fault_plan, FaultScheduleConfig};
@@ -58,3 +63,6 @@ pub use requirements::RequirementConfig;
 pub use scenario::{Scenario, ScenarioConfig};
 pub use stream::{RoundTrace, RoundTraceConfig, StreamConfig, StreamData, WorkerOffer};
 pub use summary::DatasetSummary;
+pub use trace_faults::{
+    apply_trace_faults, sample_trace_faults, OfferFault, TraceFaultConfig, TraceFaultPlan,
+};

@@ -1,0 +1,421 @@
+//! Runtime fault injection over [`RoundTrace`] round events.
+//!
+//! [`crate::faults`] injects faults into *storage operations* (WAL
+//! appends, checkpoint writes). This module generalizes the idea one
+//! layer up: faults over the **round events themselves** — worker offers
+//! and correction deltas — modelling a lossy, retrying submission
+//! channel between workers and the platform:
+//!
+//! * **drop** — an offer never arrives;
+//! * **duplicate** — a retry lands a second copy of an offer in the same
+//!   or a later round;
+//! * **delay** — an offer arrives some rounds late;
+//! * **reorder** — the arrival order within a round is scrambled;
+//! * correction deltas can independently be dropped or re-delivered.
+//!
+//! A [`TraceFaultPlan`] is sampled up front (seeded, deterministic) and
+//! applied as a pure function by [`apply_trace_faults`], mirroring the
+//! `sample_fault_plan` / storage `FaultPlan` split. The faulted trace is
+//! *not* guaranteed to satisfy the clean-trace invariants (an offer may
+//! appear twice, a round may hold two offers from one worker) — that is
+//! the point: the pipeline's `SubmissionGuard` must absorb such traces
+//! without panicking, and under duplicates/reorders only must produce
+//! bit-identical outcomes to the clean trace.
+
+use crate::stream::RoundTrace;
+use imc2_common::{rng_from_seed, SnapshotDelta, ValidationError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fault applied to one offer of the clean trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OfferFault {
+    /// The offer never arrives.
+    Drop,
+    /// The offer arrives `rounds` rounds late (the trace grows if it
+    /// lands past the final round).
+    Delay {
+        /// How many rounds late the offer lands (≥ 1).
+        rounds: usize,
+    },
+    /// A retry delivers a second copy of the offer into `round` (which
+    /// may equal the original round). Targets past the final round are
+    /// clamped to it: the campaign stops listening when the trace ends,
+    /// so a late retry can never extend the horizon.
+    DuplicateInto {
+        /// Absolute round index receiving the duplicate copy.
+        round: usize,
+    },
+}
+
+/// A sampled, deterministic schedule of round-event faults.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceFaultPlan {
+    /// Per-offer faults, addressed by `(round, offer index, fault)` in
+    /// the *clean* trace.
+    pub offer_faults: Vec<(usize, usize, OfferFault)>,
+    /// Rounds whose arrival order is rotated left by the given amount
+    /// after offer faults are applied.
+    pub reorders: Vec<(usize, usize)>,
+    /// Correction deltas (by round) that never arrive.
+    pub correction_drops: Vec<usize>,
+    /// Correction deltas (by round) delivered twice back-to-back: the
+    /// delta's op list is doubled.
+    pub correction_duplicates: Vec<usize>,
+}
+
+impl TraceFaultPlan {
+    /// Whether the plan injects no fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.offer_faults.is_empty()
+            && self.reorders.is_empty()
+            && self.correction_drops.is_empty()
+            && self.correction_duplicates.is_empty()
+    }
+
+    /// Whether every injected fault is content-preserving — duplicates
+    /// and reorders only, no drops, delays or correction drops. Guarded
+    /// ingest of such a faulted trace must be bit-identical to the clean
+    /// trace.
+    pub fn is_content_preserving(&self) -> bool {
+        self.correction_drops.is_empty()
+            && self
+                .offer_faults
+                .iter()
+                .all(|(_, _, f)| matches!(f, OfferFault::DuplicateInto { .. }))
+    }
+}
+
+/// Sampling rates for [`sample_trace_faults`]. All probabilities are per
+/// offer (or per correction delta) and must lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFaultConfig {
+    /// Probability an offer is dropped.
+    pub drop_prob: f64,
+    /// Probability an offer is duplicated into a round within
+    /// `max_shift` of the original.
+    pub duplicate_prob: f64,
+    /// Probability an offer is delayed by `1..=max_shift` rounds.
+    pub delay_prob: f64,
+    /// Probability a round's arrival order is rotated.
+    pub reorder_prob: f64,
+    /// Maximum round shift for delays and duplicates (≥ 1).
+    pub max_shift: usize,
+    /// Probability a correction delta is dropped.
+    pub correction_drop_prob: f64,
+    /// Probability a correction delta is delivered twice.
+    pub correction_duplicate_prob: f64,
+}
+
+impl Default for TraceFaultConfig {
+    fn default() -> Self {
+        TraceFaultConfig {
+            drop_prob: 0.05,
+            duplicate_prob: 0.1,
+            delay_prob: 0.05,
+            reorder_prob: 0.25,
+            max_shift: 2,
+            correction_drop_prob: 0.05,
+            correction_duplicate_prob: 0.1,
+        }
+    }
+}
+
+impl TraceFaultConfig {
+    /// A content-preserving profile: only duplicates and reorders, so a
+    /// guarded run must match the clean trace bit for bit.
+    pub fn duplicates_and_reorders() -> Self {
+        TraceFaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.25,
+            delay_prob: 0.0,
+            reorder_prob: 0.5,
+            max_shift: 2,
+            correction_drop_prob: 0.0,
+            correction_duplicate_prob: 0.25,
+        }
+    }
+
+    /// Validates probability ranges.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] for out-of-range probabilities or a
+    /// zero `max_shift` with nonzero shift-based rates.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("delay_prob", self.delay_prob),
+            ("reorder_prob", self.reorder_prob),
+            ("correction_drop_prob", self.correction_drop_prob),
+            ("correction_duplicate_prob", self.correction_duplicate_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ValidationError::new(format!("{name} must lie in [0, 1]")));
+            }
+        }
+        if self.max_shift == 0 && (self.duplicate_prob > 0.0 || self.delay_prob > 0.0) {
+            return Err(ValidationError::new(
+                "max_shift must be at least 1 when duplicates or delays are sampled",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Samples a [`TraceFaultPlan`] for `trace` under `config`, deterministic
+/// in `seed`.
+///
+/// # Errors
+/// Returns [`ValidationError`] if `config` fails validation.
+pub fn sample_trace_faults(
+    trace: &RoundTrace,
+    config: &TraceFaultConfig,
+    seed: u64,
+) -> Result<TraceFaultPlan, ValidationError> {
+    config.validate()?;
+    let mut rng: StdRng = rng_from_seed(seed);
+    let mut plan = TraceFaultPlan::default();
+    for (round, offers) in trace.rounds.iter().enumerate() {
+        for index in 0..offers.len() {
+            let roll = rng.gen::<f64>();
+            if roll < config.drop_prob {
+                plan.offer_faults.push((round, index, OfferFault::Drop));
+            } else if roll < config.drop_prob + config.delay_prob {
+                let rounds = rng.gen_range(1..=config.max_shift);
+                plan.offer_faults
+                    .push((round, index, OfferFault::Delay { rounds }));
+            } else if roll < config.drop_prob + config.delay_prob + config.duplicate_prob {
+                let target =
+                    (round + rng.gen_range(0..=config.max_shift)).min(trace.rounds.len() - 1);
+                plan.offer_faults
+                    .push((round, index, OfferFault::DuplicateInto { round: target }));
+            }
+        }
+        if offers.len() > 1 && rng.gen::<f64>() < config.reorder_prob {
+            plan.reorders.push((round, rng.gen_range(1..offers.len())));
+        }
+    }
+    for (round, delta) in trace.corrections.iter().enumerate() {
+        if delta.is_empty() {
+            continue;
+        }
+        let roll = rng.gen::<f64>();
+        if roll < config.correction_drop_prob {
+            plan.correction_drops.push(round);
+        } else if roll < config.correction_drop_prob + config.correction_duplicate_prob {
+            plan.correction_duplicates.push(round);
+        }
+    }
+    Ok(plan)
+}
+
+/// Applies `plan` to `trace` as a pure function, returning the faulted
+/// trace. Rounds grow at the tail when a delay lands past the clean
+/// horizon (the corrections list is padded with empty deltas to keep
+/// both in step); duplicate targets are clamped to the final round.
+pub fn apply_trace_faults(trace: &RoundTrace, plan: &TraceFaultPlan) -> RoundTrace {
+    let mut out = trace.clone();
+    // Collect arrivals: (target round, source round, source index) so
+    // late copies keep deterministic order.
+    let mut dropped = vec![Vec::new(); trace.rounds.len()];
+    let mut arrivals: Vec<(usize, usize, usize)> = Vec::new();
+    for &(round, index, fault) in &plan.offer_faults {
+        if round >= trace.rounds.len() || index >= trace.rounds[round].len() {
+            continue;
+        }
+        match fault {
+            OfferFault::Drop => dropped[round].push(index),
+            OfferFault::Delay { rounds } => {
+                dropped[round].push(index);
+                arrivals.push((round + rounds.max(1), round, index));
+            }
+            OfferFault::DuplicateInto { round: target } => {
+                arrivals.push((target.min(trace.rounds.len() - 1), round, index));
+            }
+        }
+    }
+    for (round, gone) in dropped.iter().enumerate() {
+        if gone.is_empty() {
+            continue;
+        }
+        let mut keep = 0usize;
+        out.rounds[round].retain(|_| {
+            let hit = gone.contains(&keep);
+            keep += 1;
+            !hit
+        });
+    }
+    arrivals.sort_by_key(|&(target, source, index)| (target, source, index));
+    for (target, source, index) in arrivals {
+        while out.rounds.len() <= target {
+            out.rounds.push(Vec::new());
+        }
+        let offer = trace.rounds[source][index].clone();
+        out.rounds[target].push(offer);
+    }
+    while out.corrections.len() < out.rounds.len() {
+        out.corrections.push(SnapshotDelta::new());
+    }
+    for &(round, rotation) in &plan.reorders {
+        if round < out.rounds.len() && !out.rounds[round].is_empty() {
+            let len = out.rounds[round].len();
+            out.rounds[round].rotate_left(rotation % len);
+        }
+    }
+    for &round in &plan.correction_drops {
+        if round < out.corrections.len() {
+            out.corrections[round] = SnapshotDelta::new();
+        }
+    }
+    for &round in &plan.correction_duplicates {
+        if round < out.corrections.len() && !out.corrections[round].is_empty() {
+            let doubled: Vec<_> = out.corrections[round]
+                .ops()
+                .iter()
+                .chain(out.corrections[round].ops())
+                .cloned()
+                .collect();
+            out.corrections[round] = SnapshotDelta::from_ops(doubled);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::RoundTraceConfig;
+
+    fn trace(seed: u64) -> RoundTrace {
+        RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_identity_up_to_correction_padding() {
+        let t = trace(1);
+        let out = apply_trace_faults(&t, &TraceFaultPlan::default());
+        assert_eq!(out.rounds, t.rounds);
+        assert_eq!(out.initial, t.initial);
+        assert!(out.corrections.len() >= t.corrections.len());
+        for (i, c) in out.corrections.iter().enumerate() {
+            match t.corrections.get(i) {
+                Some(orig) => assert_eq!(c, orig),
+                None => assert!(c.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        let t = trace(2);
+        let cfg = TraceFaultConfig::default();
+        let a = sample_trace_faults(&t, &cfg, 7).unwrap();
+        let b = sample_trace_faults(&t, &cfg, 7).unwrap();
+        assert_eq!(a, b);
+        for &(round, index, _) in &a.offer_faults {
+            assert!(round < t.rounds.len());
+            assert!(index < t.rounds[round].len());
+        }
+    }
+
+    #[test]
+    fn drop_removes_and_duplicate_adds() {
+        let t = trace(3);
+        let count = |tr: &RoundTrace| tr.rounds.iter().map(Vec::len).sum::<usize>();
+        let clean = count(&t);
+        let plan = TraceFaultPlan {
+            offer_faults: vec![(0, 0, OfferFault::Drop)],
+            ..TraceFaultPlan::default()
+        };
+        assert_eq!(count(&apply_trace_faults(&t, &plan)), clean - 1);
+        let plan = TraceFaultPlan {
+            offer_faults: vec![(0, 0, OfferFault::DuplicateInto { round: 1 })],
+            ..TraceFaultPlan::default()
+        };
+        let dup = apply_trace_faults(&t, &plan);
+        assert_eq!(count(&dup), clean + 1);
+        assert_eq!(dup.rounds[1].last(), t.rounds[0].first());
+    }
+
+    #[test]
+    fn delay_moves_an_offer_and_grows_the_trace() {
+        let t = trace(4);
+        let last = t.rounds.len() - 1;
+        let plan = TraceFaultPlan {
+            offer_faults: vec![(last, 0, OfferFault::Delay { rounds: 3 })],
+            ..TraceFaultPlan::default()
+        };
+        let out = apply_trace_faults(&t, &plan);
+        assert_eq!(out.rounds.len(), last + 4);
+        assert_eq!(out.rounds[last + 3][0], t.rounds[last][0]);
+        assert_eq!(out.rounds[last].len(), t.rounds[last].len() - 1);
+        assert_eq!(out.corrections.len(), out.rounds.len());
+    }
+
+    #[test]
+    fn reorder_permutes_content() {
+        let t = trace(5);
+        let round = (0..t.rounds.len())
+            .find(|&r| t.rounds[r].len() > 1)
+            .expect("small trace has a multi-offer round");
+        let plan = TraceFaultPlan {
+            reorders: vec![(round, 1)],
+            ..TraceFaultPlan::default()
+        };
+        let out = apply_trace_faults(&t, &plan);
+        assert_ne!(out.rounds[round], t.rounds[round]);
+        let mut a = out.rounds[round].clone();
+        let mut b = t.rounds[round].clone();
+        let key = |o: &crate::stream::WorkerOffer| o.worker;
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn correction_faults_drop_or_double() {
+        let t = RoundTrace::generate(&RoundTraceConfig::small_mutable(), 6).unwrap();
+        let round = (0..t.corrections.len())
+            .find(|&r| !t.corrections[r].is_empty())
+            .expect("mutable trace has corrections");
+        let plan = TraceFaultPlan {
+            correction_drops: vec![round],
+            ..TraceFaultPlan::default()
+        };
+        assert!(apply_trace_faults(&t, &plan).corrections[round].is_empty());
+        let plan = TraceFaultPlan {
+            correction_duplicates: vec![round],
+            ..TraceFaultPlan::default()
+        };
+        assert_eq!(
+            apply_trace_faults(&t, &plan).corrections[round].len(),
+            t.corrections[round].len() * 2
+        );
+    }
+
+    #[test]
+    fn content_preserving_profile_only_duplicates_and_reorders() {
+        let t = RoundTrace::generate(&RoundTraceConfig::small_mutable(), 7).unwrap();
+        let cfg = TraceFaultConfig::duplicates_and_reorders();
+        let plan = sample_trace_faults(&t, &cfg, 11).unwrap();
+        assert!(plan.is_content_preserving());
+        assert!(plan.correction_drops.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let t = trace(8);
+        let bad = TraceFaultConfig {
+            drop_prob: 1.5,
+            ..TraceFaultConfig::default()
+        };
+        assert!(sample_trace_faults(&t, &bad, 1).is_err());
+        let bad = TraceFaultConfig {
+            max_shift: 0,
+            ..TraceFaultConfig::default()
+        };
+        assert!(sample_trace_faults(&t, &bad, 1).is_err());
+    }
+}

@@ -55,7 +55,7 @@ use crate::ledger::{LedgerError, PaymentLedger};
 use crate::report::{RollingOutcome, RoundRecord, StopReason};
 use crate::runtime::PipelineConfig;
 use crate::state::{CampaignState, RefineMode, RoundStep};
-use imc2_auction::AuctionError;
+use imc2_auction::{AuctionError, DeferReason, Deferral};
 use imc2_common::codec::crc32;
 use imc2_common::codec::{
     decode_frame, decode_from_slice, encode_frame, encode_to_vec, Codec, CodecError, Decoder,
@@ -63,7 +63,7 @@ use imc2_common::codec::{
 };
 use imc2_common::storage::{Storage, StorageError};
 use imc2_common::wal::{TailStatus, Wal};
-use imc2_common::{SnapshotDelta, ValidationError};
+use imc2_common::{SnapshotDelta, TaskId, ValidationError};
 use imc2_datagen::RoundTrace;
 use imc2_truth::StreamState;
 use std::fmt;
@@ -281,7 +281,17 @@ impl Codec for RoundRecord {
         enc.put_usize(self.newly_covered_tasks);
         enc.put_f64(self.new_value_covered);
         enc.put_usize(self.covered_tasks);
-        enc.put_usize(self.deferred_tasks);
+        // `Deferral` lives in imc2-auction (orphan rule bars a Codec
+        // impl), so the list is flattened here: length, then per entry
+        // the task id and a reason tag.
+        enc.put_usize(self.deferrals.len());
+        for d in &self.deferrals {
+            d.task.encode(enc);
+            enc.put_u32(match d.reason {
+                DeferReason::NotOffered => 0,
+                DeferReason::InsufficientAccuracy => 1,
+            });
+        }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(RoundRecord {
@@ -299,7 +309,24 @@ impl Codec for RoundRecord {
             newly_covered_tasks: dec.take_usize()?,
             new_value_covered: dec.take_f64()?,
             covered_tasks: dec.take_usize()?,
-            deferred_tasks: dec.take_usize()?,
+            deferrals: {
+                let len = dec.take_usize()?;
+                let mut deferrals = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    let task = TaskId::decode(dec)?;
+                    let reason = match dec.take_u32()? {
+                        0 => DeferReason::NotOffered,
+                        1 => DeferReason::InsufficientAccuracy,
+                        tag => {
+                            return Err(CodecError::Malformed(format!(
+                                "unknown defer-reason tag {tag}"
+                            )))
+                        }
+                    };
+                    deferrals.push(Deferral { task, reason });
+                }
+                deferrals
+            },
         })
     }
 }

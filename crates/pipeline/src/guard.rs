@@ -1,0 +1,823 @@
+//! Submission admission, quarantine and re-offer: the adversarial
+//! robustness layer in front of the rolling campaign.
+//!
+//! The clean drivers ([`crate::CampaignRuntime::run`] and friends) trust
+//! their input: every offer arrives exactly once, in order, well-formed.
+//! A real submission channel — and a strategic crowd — breaks all of
+//! that. [`SubmissionGuard`] sits between the raw [`RoundTrace`] and the
+//! round body (`CampaignState::execute_round_with`) and restores the
+//! clean-trace invariants it relies on:
+//!
+//! * **Admission** — every arriving offer is screened before it can
+//!   reach the auction. Malformed bundles (empty, duplicate tasks,
+//!   out-of-range ids), out-of-domain values, unknown workers, invalid
+//!   prices, repeated offers within a round, content-identical
+//!   duplicates (a retrying channel) and replays of answers the platform
+//!   already bought are rejected with a typed [`RejectReason`] — never a
+//!   panic. Admitted cohorts are emitted **sorted by worker id**, so a
+//!   reordered arrival schedule cannot perturb downstream float
+//!   accumulation: guarded ingest under duplicate/reorder faults is
+//!   bit-identical to the clean trace.
+//! * **Quarantine** — every [`QuarantinePolicy::interval`] rounds the
+//!   guard recomputes the paper's pairwise dependence posteriors
+//!   (§III-B) over the *bought* snapshot and finds high-collision worker
+//!   groups: connected components under "dependence posterior ≥
+//!   threshold with enough task overlap" of at least
+//!   [`QuarantinePolicy::min_group`] members. Flagged workers are
+//!   quarantined: their held answers are retracted from refinement (kept
+//!   in the audit log), and their future submissions are rejected at
+//!   admission — the zero-weight limiting case of clamping their
+//!   reputation in pricing. Coverage already bought and payments already
+//!   made are *not* clawed back; quarantine bounds future poisoning, the
+//!   audit log preserves the evidence.
+//! * **Re-offer** — losers' bundles re-enter later rounds under the
+//!   capped exponential backoff of
+//!   [`ReofferPolicy`]. Payments stay
+//!   idempotent end-to-end: a winning bundle is registered in the
+//!   [`PaymentLedger`] under its `(worker, fingerprint)` key, so a
+//!   re-offered-then-duplicated win can never be paid twice, and a
+//!   re-offer that comes due after [`StopReason::BudgetExhausted`] is
+//!   never auctioned at all (the loop has already stopped).
+
+use crate::ledger::PaymentLedger;
+use crate::report::{RollingOutcome, StopReason};
+use crate::runtime::PipelineConfig;
+use crate::state::{CampaignState, RefineMode, RoundStep};
+use imc2_auction::{AuctionError, ReofferPolicy};
+use imc2_common::{ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId};
+use imc2_datagen::{RoundTrace, WorkerOffer};
+use imc2_truth::dependence::{pairwise_posteriors, DependenceParams};
+use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Why a submission (or correction op) was rejected at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Content-identical to a bundle already admitted in round
+    /// `first_round` — the signature of a retrying/duplicating channel.
+    DuplicateSubmission {
+        /// Round whose admitted bundle this one duplicates.
+        first_round: usize,
+    },
+    /// The worker already has an admitted offer in this round.
+    RepeatOfferInRound,
+    /// The bundle re-offers an answer the platform already bought.
+    Replay,
+    /// An answer value lies outside its task's domain.
+    OutOfDomain,
+    /// The worker id is outside the campaign universe.
+    UnknownWorker,
+    /// The declared price is non-finite or negative.
+    InvalidPrice,
+    /// The bundle is empty, repeats a task, or references a task outside
+    /// the campaign.
+    MalformedBundle,
+    /// The worker is quarantined.
+    Quarantined,
+    /// A correction op referencing an answer the platform never bought
+    /// (or already retracted) — nothing to amend.
+    UnknownBundle,
+}
+
+/// One rejected submission, for the audit trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectedSubmission {
+    /// Round the submission arrived in.
+    pub round: usize,
+    /// The submitting worker.
+    pub worker: WorkerId,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Dependence-based quarantine of high-collision worker groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinePolicy {
+    /// Minimum two-sided dependence posterior
+    /// ([`DependenceMatrix::total`](imc2_truth::DependenceMatrix::total))
+    /// for an edge between two workers. `total` sums both copy
+    /// directions, so it ranges over `[0, 2]`: requiring ≥ 1.6 demands
+    /// near-certain dependence in *both* directions, which honest workers
+    /// only reach through sustained agreement on shared false values.
+    pub threshold: f64,
+    /// Minimum number of *minority collisions* for an edge: co-answered
+    /// tasks where the pair agrees on a value held by at most half of
+    /// that task's answerers. Honest pairs mostly agree on majority
+    /// values (the truth — even when a coalition has bent the running
+    /// estimate, which is exactly when the raw posterior starts
+    /// mislabelling honest agreement as shared-false); copiers agree on
+    /// their script's planted minority values. Requiring several such
+    /// collisions keeps attack-corrupted estimates from dragging honest
+    /// workers into a component.
+    pub min_collisions: usize,
+    /// Minimum connected-component size to quarantine — pairs collide by
+    /// chance, rings don't.
+    pub min_group: usize,
+    /// Sweep every this many rounds (≥ 1).
+    pub interval: usize,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            threshold: 1.6,
+            min_collisions: 4,
+            min_group: 3,
+            interval: 1,
+        }
+    }
+}
+
+/// Configuration of the guarded runtime.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Dependence-based quarantine; `None` disables it.
+    pub quarantine: Option<QuarantinePolicy>,
+    /// Loser re-offer backoff; `None` disables re-offers.
+    pub reoffer: Option<ReofferPolicy>,
+}
+
+impl GuardConfig {
+    /// Admission screening plus quarantine plus re-offers — the full
+    /// guard (also what a plain `GuardConfig::default()`... is *not*:
+    /// `Default` derives to both `None`, i.e. [`GuardConfig::admission_only`]).
+    pub fn full() -> Self {
+        GuardConfig {
+            quarantine: Some(QuarantinePolicy::default()),
+            reoffer: Some(ReofferPolicy::default()),
+        }
+    }
+
+    /// Admission screening only: no quarantine sweeps, no re-offers.
+    /// On a clean trace this runs the exact unguarded campaign.
+    pub fn admission_only() -> Self {
+        GuardConfig {
+            quarantine: None,
+            reoffer: None,
+        }
+    }
+}
+
+/// A quarantined worker's retracted answers, retained for audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Round after which the quarantine sweep fired.
+    pub round: usize,
+    /// The quarantined worker.
+    pub worker: WorkerId,
+    /// The answers retracted from refinement (still bought and paid).
+    pub answers: Vec<(TaskId, ValueId)>,
+}
+
+/// What the guard saw and did across the campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuardReport {
+    /// Every rejected submission/correction, in order.
+    pub rejections: Vec<RejectedSubmission>,
+    /// All quarantined workers.
+    pub quarantined: BTreeSet<WorkerId>,
+    /// Retracted answers of quarantined workers, for audit.
+    pub audit: Vec<QuarantineRecord>,
+    /// Loser bundles scheduled for a later round.
+    pub reoffers_scheduled: usize,
+    /// Re-offers that re-entered an auction.
+    pub reoffers_admitted: usize,
+    /// Bundles abandoned after exhausting their attempt budget.
+    pub reoffers_abandoned: usize,
+    /// Re-offers still queued when the campaign stopped (a bundle due
+    /// after `BudgetExhausted` is never auctioned).
+    pub reoffers_pending_at_stop: usize,
+    /// Times the ledger refused a second payout for an already-paid
+    /// bundle. Admission makes this structurally unreachable; a nonzero
+    /// count means the no-double-pay invariant would have been violated
+    /// without the ledger.
+    pub double_pay_refused: usize,
+}
+
+impl GuardReport {
+    /// Rejections counted per reason, for quick assertions.
+    pub fn rejection_count(&self, reason: RejectReason) -> usize {
+        self.rejections
+            .iter()
+            .filter(|r| r.reason == reason)
+            .count()
+    }
+}
+
+/// A guarded campaign's outcome: the rolling outcome, the payment ledger
+/// (round- and bundle-idempotent), and the guard's report.
+#[derive(Debug, Clone)]
+pub struct GuardedOutcome {
+    /// The campaign outcome, identical in shape to the clean drivers'.
+    pub outcome: RollingOutcome,
+    /// Round payouts and winning-bundle registrations.
+    pub ledger: PaymentLedger,
+    /// Admissions, rejections, quarantines, re-offers.
+    pub report: GuardReport,
+}
+
+/// FNV-1a over the bundle's canonical content: worker id, answers sorted
+/// by task, price bits. Deterministic across runs and platforms (no
+/// per-process hash seeds), so fingerprints can be journaled or compared
+/// between processes.
+fn fingerprint(offer: &WorkerOffer) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    mix(offer.worker.index() as u64);
+    let mut answers = offer.answers.clone();
+    answers.sort_unstable();
+    for (t, v) in answers {
+        mix(t.index() as u64);
+        mix(u64::from(v.0));
+    }
+    mix(offer.price.to_bits());
+    h
+}
+
+/// A loser bundle waiting out its backoff.
+#[derive(Debug, Clone)]
+struct ReofferEntry {
+    offer: WorkerOffer,
+    fingerprint: u64,
+    /// Re-offer attempts already consumed (0 = fresh loser).
+    attempts: usize,
+    /// Round the bundle re-enters.
+    due: usize,
+}
+
+/// The admission/quarantine/re-offer state machine. Drives one campaign;
+/// see the [module docs](self) for the semantics.
+#[derive(Debug, Clone)]
+pub struct SubmissionGuard {
+    config: GuardConfig,
+    n_workers: usize,
+    num_false: Vec<u32>,
+    /// `(content fingerprint, submission epoch)` → round first admitted.
+    /// The epoch is the worker's retraction count at admission time: a
+    /// redelivered copy of an admitted bundle is a duplicate, but once a
+    /// retraction frees the worker's answers, identical content is a
+    /// legitimate *resubmission* (the mutable-trace retract-then-resubmit
+    /// flow) and admits — and pays — as a fresh bundle.
+    fingerprints: HashMap<(u64, u64), usize>,
+    /// Per-worker retraction count (bumped by applied retract ops and by
+    /// quarantine retractions).
+    epochs: HashMap<WorkerId, u64>,
+    /// Quarantined workers (their submissions are rejected).
+    quarantined: BTreeSet<WorkerId>,
+    /// Loser bundles waiting for their backoff to elapse.
+    queue: Vec<ReofferEntry>,
+    /// This round's admitted cohort: worker → (fingerprint, attempts).
+    current: HashMap<WorkerId, (u64, usize)>,
+    /// Every answer the guard has seen pass admission (warm-up snapshot
+    /// plus admitted bundles, winners or not) — the *submission view* the
+    /// quarantine sweep mines for collisions. Losers cost nothing but
+    /// still leave evidence.
+    submitted: Vec<(WorkerId, TaskId, ValueId)>,
+    report: GuardReport,
+}
+
+impl SubmissionGuard {
+    /// A fresh guard for one campaign over `trace`.
+    pub fn new(trace: &RoundTrace, config: GuardConfig) -> Self {
+        let mut submitted = Vec::new();
+        for w in 0..trace.initial.n_workers() {
+            for &(t, v) in trace.initial.tasks_of_worker(WorkerId(w)) {
+                submitted.push((WorkerId(w), t, v));
+            }
+        }
+        SubmissionGuard {
+            config,
+            n_workers: trace.n_workers(),
+            num_false: trace.campaign.num_false.clone(),
+            fingerprints: HashMap::new(),
+            epochs: HashMap::new(),
+            quarantined: BTreeSet::new(),
+            queue: Vec::new(),
+            current: HashMap::new(),
+            submitted,
+            report: GuardReport::default(),
+        }
+    }
+
+    /// Workers currently quarantined.
+    pub fn quarantined(&self) -> &BTreeSet<WorkerId> {
+        &self.quarantined
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &GuardReport {
+        &self.report
+    }
+
+    /// Stateless screening of one offer against the campaign shape and
+    /// the *held* snapshot (answers the platform has bought). `cohort`
+    /// is the set of workers already admitted this round.
+    fn screen(
+        &self,
+        offer: &WorkerOffer,
+        cohort: &HashMap<WorkerId, (u64, usize)>,
+        held: &imc2_common::Observations,
+    ) -> Result<(), RejectReason> {
+        if offer.worker.index() >= self.n_workers {
+            return Err(RejectReason::UnknownWorker);
+        }
+        if !(offer.price.is_finite() && offer.price >= 0.0) {
+            return Err(RejectReason::InvalidPrice);
+        }
+        if offer.answers.is_empty() {
+            return Err(RejectReason::MalformedBundle);
+        }
+        let mut tasks: Vec<TaskId> = offer.answers.iter().map(|&(t, _)| t).collect();
+        tasks.sort_unstable();
+        if tasks.windows(2).any(|w| w[0] == w[1])
+            || tasks
+                .last()
+                .is_some_and(|t| t.index() >= self.num_false.len())
+        {
+            return Err(RejectReason::MalformedBundle);
+        }
+        if offer
+            .answers
+            .iter()
+            .any(|&(t, v)| v.0 > self.num_false[t.index()])
+        {
+            return Err(RejectReason::OutOfDomain);
+        }
+        if self.quarantined.contains(&offer.worker) {
+            return Err(RejectReason::Quarantined);
+        }
+        if cohort.contains_key(&offer.worker) {
+            return Err(RejectReason::RepeatOfferInRound);
+        }
+        if offer.worker.index() < held.n_workers()
+            && offer
+                .answers
+                .iter()
+                .any(|&(t, _)| held.value_of(offer.worker, t).is_some())
+        {
+            return Err(RejectReason::Replay);
+        }
+        Ok(())
+    }
+
+    /// Screens one round's arrivals plus any due re-offers and returns
+    /// the admitted cohort, sorted by worker id (the canonical order —
+    /// arrival reorderings cannot reach the float accumulators).
+    pub fn admit_round(
+        &mut self,
+        round: usize,
+        arrivals: &[WorkerOffer],
+        held: &imc2_common::Observations,
+        ledger: &PaymentLedger,
+    ) -> Vec<WorkerOffer> {
+        self.current.clear();
+        let mut cohort: Vec<WorkerOffer> = Vec::new();
+        for offer in arrivals {
+            let fp = fingerprint(offer);
+            let epoch = self.epochs.get(&offer.worker).copied().unwrap_or(0);
+            if let Some(&first_round) = self.fingerprints.get(&(fp, epoch)) {
+                self.report.rejections.push(RejectedSubmission {
+                    round,
+                    worker: offer.worker,
+                    reason: RejectReason::DuplicateSubmission { first_round },
+                });
+                continue;
+            }
+            match self.screen(offer, &self.current, held) {
+                Ok(()) => {
+                    self.fingerprints.insert((fp, epoch), round);
+                    // The ledger identity mixes the epoch in, so a
+                    // post-retraction rewin is a distinct payable bundle.
+                    let paid_fp = fp ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    self.current.insert(offer.worker, (paid_fp, 0));
+                    self.submitted
+                        .extend(offer.answers.iter().map(|&(t, v)| (offer.worker, t, v)));
+                    cohort.push(offer.clone());
+                }
+                Err(reason) => {
+                    self.report.rejections.push(RejectedSubmission {
+                        round,
+                        worker: offer.worker,
+                        reason,
+                    });
+                }
+            }
+        }
+
+        // Due re-offers join after fresh arrivals. A due bundle whose
+        // worker already has an admitted offer is postponed one round
+        // without consuming an attempt; a quarantined, already-paid or
+        // replaying bundle is dropped.
+        if self.config.reoffer.is_some() {
+            let mut still_queued = Vec::new();
+            for mut entry in std::mem::take(&mut self.queue) {
+                if entry.due > round {
+                    still_queued.push(entry);
+                    continue;
+                }
+                let w = entry.offer.worker;
+                if self.quarantined.contains(&w) {
+                    self.report.rejections.push(RejectedSubmission {
+                        round,
+                        worker: w,
+                        reason: RejectReason::Quarantined,
+                    });
+                    continue;
+                }
+                if ledger.bundle_paid(w, entry.fingerprint).is_some() {
+                    self.report.rejections.push(RejectedSubmission {
+                        round,
+                        worker: w,
+                        reason: RejectReason::DuplicateSubmission {
+                            first_round: entry.due,
+                        },
+                    });
+                    continue;
+                }
+                if self.current.contains_key(&w) {
+                    entry.due = round + 1;
+                    still_queued.push(entry);
+                    continue;
+                }
+                if w.index() < held.n_workers()
+                    && entry
+                        .offer
+                        .answers
+                        .iter()
+                        .any(|&(t, _)| held.value_of(w, t).is_some())
+                {
+                    self.report.rejections.push(RejectedSubmission {
+                        round,
+                        worker: w,
+                        reason: RejectReason::Replay,
+                    });
+                    continue;
+                }
+                self.report.reoffers_admitted += 1;
+                self.current.insert(w, (entry.fingerprint, entry.attempts));
+                cohort.push(entry.offer);
+            }
+            self.queue = still_queued;
+        }
+
+        cohort.sort_by_key(|o| o.worker);
+        cohort
+    }
+
+    /// Fingerprint of this round's admitted bundle of `worker`.
+    pub fn admitted_fingerprint(&self, worker: WorkerId) -> Option<u64> {
+        self.current.get(&worker).map(|&(fp, _)| fp)
+    }
+
+    /// Queues this round's losers for re-offer under the backoff policy.
+    fn schedule_losers(&mut self, round: usize, cohort: &[WorkerOffer], winners: &[WorkerId]) {
+        let Some(policy) = self.config.reoffer else {
+            return;
+        };
+        for offer in cohort {
+            if winners.contains(&offer.worker) {
+                continue;
+            }
+            let (fp, attempts) = self.current[&offer.worker];
+            match policy.delay(attempts + 1) {
+                Some(delay) => {
+                    self.report.reoffers_scheduled += 1;
+                    self.queue.push(ReofferEntry {
+                        offer: offer.clone(),
+                        fingerprint: fp,
+                        attempts: attempts + 1,
+                        due: round + delay,
+                    });
+                }
+                None => self.report.reoffers_abandoned += 1,
+            }
+        }
+    }
+
+    /// Audits the correction ops dropped by the sequential filter as
+    /// [`RejectReason::UnknownBundle`] rejections (`applied` is a
+    /// subsequence of `raw`, so a two-pointer walk recovers the drops)
+    /// and bumps the submission epoch of every worker with an applied
+    /// retraction — their freed answers may legitimately be resubmitted.
+    fn audit_corrections(&mut self, round: usize, raw: &SnapshotDelta, applied: &SnapshotDelta) {
+        let applied_ops = applied.ops();
+        let mut next = 0usize;
+        for op in raw.ops() {
+            if next < applied_ops.len() && *op == applied_ops[next] {
+                next += 1;
+            } else {
+                self.report.rejections.push(RejectedSubmission {
+                    round,
+                    worker: op.worker(),
+                    reason: RejectReason::UnknownBundle,
+                });
+            }
+        }
+        for op in applied.ops() {
+            if matches!(op, imc2_common::DeltaOp::Retract(..)) {
+                *self.epochs.entry(op.worker()).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// Minimal union-find for the quarantine components.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Per-task tallies over the submission view: how many workers answered
+/// each task, and how many picked each value.
+struct ValueSupport {
+    answerers: Vec<u32>,
+    support: HashMap<(TaskId, ValueId), u32>,
+}
+
+impl ValueSupport {
+    fn of(view: &imc2_common::Observations, n_tasks: usize) -> Self {
+        let mut answerers = vec![0u32; n_tasks];
+        let mut support = HashMap::new();
+        for w in 0..view.n_workers() {
+            for &(t, v) in view.tasks_of_worker(WorkerId(w)) {
+                answerers[t.index()] += 1;
+                *support.entry((t, v)).or_insert(0) += 1;
+            }
+        }
+        ValueSupport { answerers, support }
+    }
+
+    /// Whether `v` is a minority answer on `t`: held by at most half of
+    /// the task's answerers (and by at least two — the pair itself — so
+    /// two-answerer tasks carry no crowd signal).
+    fn is_minority(&self, t: TaskId, v: ValueId) -> bool {
+        let total = self.answerers[t.index()];
+        let votes = self.support.get(&(t, v)).copied().unwrap_or(0);
+        votes * 2 <= total && total > 2
+    }
+}
+
+/// Number of minority collisions between two workers' sorted answer
+/// rows, counted up to `cap` (early exit — the policy only needs
+/// "≥ min_collisions").
+fn minority_collisions_at_least(
+    a: &[(TaskId, ValueId)],
+    b: &[(TaskId, ValueId)],
+    tallies: &ValueSupport,
+    cap: usize,
+) -> bool {
+    if cap == 0 {
+        return true;
+    }
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i].1 == b[j].1 && tallies.is_minority(a[i].0, a[i].1) {
+                    count += 1;
+                    if count >= cap {
+                        return true;
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+/// One quarantine sweep: run truth discovery and the paper's pairwise
+/// dependence posteriors over the guard's *submission view* (warm-up
+/// snapshot plus every admitted bundle, winners or not — losers cost
+/// nothing but still leave evidence), find high-collision components,
+/// quarantine their members and retract their *bought* answers from
+/// refinement (retaining them for audit).
+fn quarantine_sweep(
+    guard: &mut SubmissionGuard,
+    state: &mut CampaignState,
+    cfg: &PipelineConfig,
+    policy: &QuarantinePolicy,
+    round: usize,
+) {
+    let newly: Vec<WorkerId> = {
+        // Keep-first materialization of the submission view: after a
+        // retraction a worker may legitimately resubmit a different
+        // value, and admission only blocks *held* answers — the view
+        // keeps the first submission for each (worker, task).
+        let mut builder = ObservationsBuilder::new(guard.n_workers, guard.num_false.len());
+        let mut seen: std::collections::HashSet<(WorkerId, TaskId)> =
+            std::collections::HashSet::new();
+        for &(w, t, v) in &guard.submitted {
+            if seen.insert((w, t)) {
+                builder
+                    .record(w, t, v)
+                    .expect("admitted answers are in range");
+            }
+        }
+        let view = builder.build();
+        let Ok(problem) = TruthProblem::new(&view, &guard.num_false) else {
+            return;
+        };
+        let dc = cfg.date.config();
+        let Ok(date) = Date::new(dc.clone()) else {
+            return;
+        };
+        let res = date.discover(&problem);
+        let params = DependenceParams {
+            r: dc.r,
+            alpha: dc.alpha,
+            posterior: dc.posterior,
+        };
+        let matrix = pairwise_posteriors(
+            &problem,
+            &res.accuracy,
+            &res.estimate,
+            &dc.false_values,
+            &params,
+        );
+        let n = view.n_workers();
+        let tallies = ValueSupport::of(&view, guard.num_false.len());
+        let mut uf = UnionFind::new(n);
+        for i in 0..n {
+            let rows_i = view.tasks_of_worker(WorkerId(i));
+            if rows_i.is_empty() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if matrix.total(WorkerId(i), WorkerId(j)) < policy.threshold {
+                    continue;
+                }
+                let rows_j = view.tasks_of_worker(WorkerId(j));
+                if minority_collisions_at_least(rows_i, rows_j, &tallies, policy.min_collisions) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let mut members: HashMap<usize, Vec<WorkerId>> = HashMap::new();
+        for i in 0..n {
+            let root = uf.find(i);
+            members.entry(root).or_default().push(WorkerId(i));
+        }
+        let mut flagged: Vec<WorkerId> = members
+            .into_values()
+            .filter(|g| g.len() >= policy.min_group.max(2))
+            .flatten()
+            .filter(|w| !guard.quarantined.contains(w))
+            .collect();
+        flagged.sort_unstable();
+        flagged
+    };
+    if newly.is_empty() {
+        return;
+    }
+    let mut delta = SnapshotDelta::new();
+    for &w in &newly {
+        let held = state.stream.observations();
+        let answers = if w.index() < held.n_workers() {
+            held.tasks_of_worker(w).to_vec()
+        } else {
+            Vec::new()
+        };
+        for &(t, _) in &answers {
+            delta.retract(w, t);
+        }
+        guard.quarantined.insert(w);
+        *guard.epochs.entry(w).or_insert(0) += 1;
+        guard.report.quarantined.insert(w);
+        guard.report.audit.push(QuarantineRecord {
+            round,
+            worker: w,
+            answers,
+        });
+    }
+    if !delta.is_empty() {
+        state
+            .stream
+            .push(&delta)
+            .expect("retracting held answers always applies");
+        state.refine_iterations += state.stream.refine().iterations;
+    }
+}
+
+/// The guarded campaign loop: the clean loop of
+/// [`crate::CampaignRuntime::run`] with admission in front of every
+/// round, bundle-idempotent payments behind it, loser re-offers, and
+/// periodic quarantine sweeps.
+pub(crate) fn run_guarded(
+    cfg: &PipelineConfig,
+    trace: &RoundTrace,
+    guard_cfg: &GuardConfig,
+    mode: RefineMode,
+) -> Result<GuardedOutcome, AuctionError> {
+    let mut state = CampaignState::new(cfg, trace);
+    let mut guard = SubmissionGuard::new(trace, guard_cfg.clone());
+    let mut ledger = PaymentLedger::new();
+    let mut stop = StopReason::TraceExhausted;
+
+    for round in 0..trace.rounds.len() {
+        if cfg.max_rounds.is_some_and(|cap| state.rounds.len() >= cap) {
+            stop = StopReason::MaxRounds;
+            break;
+        }
+        let cohort = guard.admit_round(
+            round,
+            &trace.rounds[round],
+            state.stream.observations(),
+            &ledger,
+        );
+        let raw_corrections = trace.corrections.get(round);
+        match state.execute_round_with(cfg, trace, mode, round, &cohort, raw_corrections)? {
+            RoundStep::BudgetStop => {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+            RoundStep::Executed { corrections, .. } => {
+                if let Some(raw) = raw_corrections {
+                    guard.audit_corrections(round, raw, &corrections);
+                }
+            }
+        }
+        let record = state.rounds.last().expect("round just executed");
+        let winners = record.winners.clone();
+        ledger
+            .record(round, record.payment)
+            .expect("each trace round executes at most once");
+        for &w in &winners {
+            let fp = guard
+                .admitted_fingerprint(w)
+                .expect("winners come from the admitted cohort");
+            if ledger.record_bundle(round, w, fp).is_err() {
+                guard.report.double_pay_refused += 1;
+            }
+        }
+        guard.schedule_losers(round, &cohort, &winners);
+        if let Some(policy) = guard_cfg.quarantine.clone() {
+            if (round + 1) % policy.interval.max(1) == 0 {
+                quarantine_sweep(&mut guard, &mut state, cfg, &policy, round);
+            }
+        }
+        if state.covered_tasks == trace.n_tasks() {
+            stop = StopReason::AllCovered;
+            break;
+        }
+    }
+
+    guard.report.reoffers_pending_at_stop = guard.queue.len();
+    let report = guard.report;
+    Ok(GuardedOutcome {
+        outcome: state.into_outcome(cfg, trace, stop),
+        ledger,
+        report,
+    })
+}
+
+/// Stateless trace sanitation for the durable runtime: applies the
+/// static admission screens (shape, domain, price), deduplicates
+/// content-identical offers across the whole trace, enforces one offer
+/// per worker per round, and emits every round sorted by worker id. The
+/// output satisfies the clean-trace invariants
+/// [`crate::DurableRuntime`] relies on, so `sanitize → durable run` is
+/// the crash-safe composition of the robustness layer. Quarantine and
+/// re-offers need runtime state and are not applied here; being a pure
+/// function of the trace, sanitation composes with recovery (replaying
+/// a sanitized trace is replaying a trace).
+pub fn sanitize_trace(trace: &RoundTrace) -> (RoundTrace, Vec<RejectedSubmission>) {
+    let mut guard = SubmissionGuard::new(trace, GuardConfig::admission_only());
+    // No-worker snapshot: the replay screen is vacuous, as it must be for
+    // a stateless pass.
+    let empty_held = imc2_common::ObservationsBuilder::new(0, 0).build();
+    let ledger = PaymentLedger::new();
+    let mut out = trace.clone();
+    for (round, offers) in trace.rounds.iter().enumerate() {
+        out.rounds[round] = guard.admit_round(round, offers, &empty_held, &ledger);
+    }
+    // Corrections are left as-is: the round body's sequential filter
+    // already reduces duplicated/inapplicable ops safely.
+    (out, guard.report.rejections)
+}

@@ -7,12 +7,19 @@
 //! present is a typed error, and recovery rebuilds the ledger from the
 //! journal before any new round executes — so a replayed journal entry
 //! can only ever *re-assert* a payment, never repeat it.
+//!
+//! The adversarial runtime extends the same idempotence from rounds to
+//! *round events*: a winning bundle is registered under a
+//! `(worker, fingerprint)` key via [`PaymentLedger::record_bundle`], so a
+//! re-offered or duplicated copy of an already-paid bundle surfaces as a
+//! typed [`LedgerError::DuplicateBundle`] instead of a second payout.
 
+use imc2_common::WorkerId;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A payment-ledger violation. There is exactly one way to violate the
-/// ledger: trying to pay a round twice.
+/// A payment-ledger violation: paying a round twice, or paying the same
+/// winning bundle twice.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LedgerError {
     /// `record` was called for a round that already has a payout.
@@ -23,6 +30,19 @@ pub enum LedgerError {
         existing: f64,
         /// What the duplicate attempt tried to pay.
         attempted: f64,
+    },
+    /// `record_bundle` was called for a `(worker, fingerprint)` pair that
+    /// already won — a re-offered or duplicated bundle trying to collect
+    /// a second payout.
+    DuplicateBundle {
+        /// The worker behind the bundle.
+        worker: WorkerId,
+        /// Content fingerprint of the bundle.
+        fingerprint: u64,
+        /// The round attempting the second payout.
+        round: usize,
+        /// The round that already paid this bundle.
+        paid_round: usize,
     },
 }
 
@@ -37,6 +57,16 @@ impl fmt::Display for LedgerError {
                 f,
                 "round {round} is already paid ({existing}); refusing duplicate payout ({attempted})"
             ),
+            LedgerError::DuplicateBundle {
+                worker,
+                fingerprint,
+                round,
+                paid_round,
+            } => write!(
+                f,
+                "bundle {fingerprint:#018x} of {worker} was already paid in round \
+                 {paid_round}; refusing second payout in round {round}"
+            ),
         }
     }
 }
@@ -50,6 +80,10 @@ impl std::error::Error for LedgerError {}
 pub struct PaymentLedger {
     paid: BTreeMap<usize, f64>,
     total: f64,
+    /// Winning bundles by `(worker, content fingerprint)` → paying round.
+    /// Only the guarded runtime populates this; round-level recovery
+    /// replay leaves it empty.
+    bundles: BTreeMap<(WorkerId, u64), usize>,
 }
 
 impl PaymentLedger {
@@ -74,6 +108,39 @@ impl PaymentLedger {
         self.paid.insert(round, amount);
         self.total += amount;
         Ok(())
+    }
+
+    /// Registers a winning bundle under its `(worker, fingerprint)` key.
+    ///
+    /// # Errors
+    /// [`LedgerError::DuplicateBundle`] if the same bundle already won —
+    /// the attempt leaves the ledger unchanged.
+    pub fn record_bundle(
+        &mut self,
+        round: usize,
+        worker: WorkerId,
+        fingerprint: u64,
+    ) -> Result<(), LedgerError> {
+        if let Some(&paid_round) = self.bundles.get(&(worker, fingerprint)) {
+            return Err(LedgerError::DuplicateBundle {
+                worker,
+                fingerprint,
+                round,
+                paid_round,
+            });
+        }
+        self.bundles.insert((worker, fingerprint), round);
+        Ok(())
+    }
+
+    /// The round that paid bundle `(worker, fingerprint)`, if any.
+    pub fn bundle_paid(&self, worker: WorkerId, fingerprint: u64) -> Option<usize> {
+        self.bundles.get(&(worker, fingerprint)).copied()
+    }
+
+    /// Number of winning bundles registered via [`Self::record_bundle`].
+    pub fn n_bundles(&self) -> usize {
+        self.bundles.len()
     }
 
     /// The payout of one round, if it was paid.
@@ -139,6 +206,28 @@ mod tests {
         // The total still reflects exactly one payout.
         assert_eq!(ledger.total(), 2.0);
         assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_bundles_are_refused() {
+        let mut ledger = PaymentLedger::new();
+        ledger.record_bundle(0, WorkerId(3), 0xdead).unwrap();
+        ledger.record_bundle(0, WorkerId(4), 0xdead).unwrap();
+        ledger.record_bundle(1, WorkerId(3), 0xbeef).unwrap();
+        let err = ledger.record_bundle(5, WorkerId(3), 0xdead).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::DuplicateBundle {
+                worker: WorkerId(3),
+                fingerprint: 0xdead,
+                round: 5,
+                paid_round: 0,
+            }
+        );
+        assert!(err.to_string().contains("round 5"));
+        assert_eq!(ledger.bundle_paid(WorkerId(3), 0xdead), Some(0));
+        assert_eq!(ledger.bundle_paid(WorkerId(9), 0xdead), None);
+        assert_eq!(ledger.n_bundles(), 3);
     }
 
     #[test]

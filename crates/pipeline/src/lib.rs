@@ -69,6 +69,7 @@
 //! ```
 
 pub mod durable;
+pub mod guard;
 pub mod ledger;
 pub mod report;
 pub mod runtime;
@@ -78,6 +79,10 @@ mod state;
 pub use durable::{
     DurabilityConfig, DurabilityError, DurableOutcome, DurableRuntime, RecoveryReport,
 };
+pub use guard::{
+    sanitize_trace, GuardConfig, GuardReport, GuardedOutcome, QuarantinePolicy, QuarantineRecord,
+    RejectReason, RejectedSubmission, SubmissionGuard,
+};
 pub use ledger::{LedgerError, PaymentLedger};
 pub use report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
-pub use runtime::{one_shot, CampaignRuntime, OneShotOutcome, PipelineConfig};
+pub use runtime::{one_shot, CampaignRuntime, ConfigError, OneShotOutcome, PipelineConfig};

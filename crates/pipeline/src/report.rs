@@ -1,5 +1,6 @@
 //! Round-by-round and cumulative accounting of a rolling campaign.
 
+use imc2_auction::Deferral;
 use imc2_common::{Grid, TaskId, ValueId, WorkerId};
 use serde::{Deserialize, Serialize};
 
@@ -62,8 +63,16 @@ pub struct RoundRecord {
     /// Cumulative covered tasks after this round.
     pub covered_tasks: usize,
     /// Positive-residual tasks this round's cohort could not cover
-    /// (deferred to later rounds).
-    pub deferred_tasks: usize,
+    /// (deferred to later rounds), each with the typed reason — whether
+    /// nobody offered the task or the offers' joint accuracy fell short.
+    pub deferrals: Vec<Deferral>,
+}
+
+impl RoundRecord {
+    /// Number of tasks this round deferred.
+    pub fn deferred_tasks(&self) -> usize {
+        self.deferrals.len()
+    }
 }
 
 /// Wall-clock seconds spent in each stage of the loop, summed over the

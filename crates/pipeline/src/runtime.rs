@@ -1,5 +1,6 @@
 //! The rolling campaign loop and the one-shot (batch) degenerate case.
 
+use crate::guard::{GuardConfig, GuardedOutcome};
 use crate::report::{RollingOutcome, StopReason};
 use crate::state::{CampaignState, RefineMode, RoundStep};
 use imc2_auction::{
@@ -12,6 +13,47 @@ use imc2_truth::{
     accuracy_for_auction, CompactionPolicy, Date, DateStream, TruthOutcome, TruthProblem,
 };
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rejected [`PipelineConfig`] — construction-time validation instead
+/// of NaN reputations (or negative budgets) surfacing rounds later.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `reputation_prior` must be finite and strictly inside `(0, 1)`.
+    InvalidReputationPrior {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `budget` must be finite and non-negative when set.
+    InvalidBudget {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `monopoly_cap` must be finite and at least 1 when set.
+    InvalidMonopolyCap {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidReputationPrior { value } => write!(
+                f,
+                "reputation_prior must be finite and in (0, 1), got {value}"
+            ),
+            ConfigError::InvalidBudget { value } => {
+                write!(f, "budget must be finite and non-negative, got {value}")
+            }
+            ConfigError::InvalidMonopolyCap { value } => {
+                write!(f, "monopoly_cap must be finite and at least 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the online campaign runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,6 +113,32 @@ impl PipelineConfig {
     pub fn effective_prior(&self) -> f64 {
         clamp_prob(self.reputation_prior.unwrap_or(self.date.config().epsilon))
     }
+
+    /// Validates the configuration: a set `reputation_prior` must be
+    /// finite and strictly inside `(0, 1)` (a NaN or out-of-range prior
+    /// would otherwise price every unseen worker garbage), a set `budget`
+    /// finite and non-negative, a set `monopoly_cap` finite and ≥ 1.
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(p) = self.reputation_prior {
+            if !(p.is_finite() && p > 0.0 && p < 1.0) {
+                return Err(ConfigError::InvalidReputationPrior { value: p });
+            }
+        }
+        if let Some(b) = self.budget {
+            if !(b.is_finite() && b >= 0.0) {
+                return Err(ConfigError::InvalidBudget { value: b });
+            }
+        }
+        if let Some(c) = self.monopoly_cap {
+            if !(c.is_finite() && c >= 1.0) {
+                return Err(ConfigError::InvalidMonopolyCap { value: c });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The online campaign runtime. See the [crate docs](crate) for the loop.
@@ -81,8 +149,21 @@ pub struct CampaignRuntime {
 
 impl CampaignRuntime {
     /// A runtime with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`PipelineConfig::validate`]; use
+    /// [`CampaignRuntime::try_new`] to handle the error.
     pub fn new(config: PipelineConfig) -> Self {
-        CampaignRuntime { config }
+        CampaignRuntime::try_new(config).expect("invalid pipeline configuration")
+    }
+
+    /// A runtime with the given configuration, rejecting invalid ones.
+    ///
+    /// # Errors
+    /// Propagates [`PipelineConfig::validate`].
+    pub fn try_new(config: PipelineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(CampaignRuntime { config })
     }
 
     /// The configuration in use.
@@ -126,6 +207,38 @@ impl CampaignRuntime {
     /// As [`CampaignRuntime::run`].
     pub fn run_cold_baseline(&self, trace: &RoundTrace) -> Result<RollingOutcome, AuctionError> {
         self.run_inner(trace, RefineMode::ColdRestart)
+    }
+
+    /// Runs the campaign behind a [`crate::SubmissionGuard`]: every
+    /// submission is screened (deduplicated, validated, quarantined)
+    /// before it reaches the auction, losers re-enter under the
+    /// configured backoff, and payments are bundle-idempotent. The trace
+    /// may violate clean-trace invariants (duplicated, delayed, reordered
+    /// offers) — the guard absorbs them as typed rejections instead of
+    /// panics.
+    ///
+    /// # Errors
+    /// As [`CampaignRuntime::run`].
+    pub fn run_guarded(
+        &self,
+        trace: &RoundTrace,
+        guard: &GuardConfig,
+    ) -> Result<GuardedOutcome, AuctionError> {
+        crate::guard::run_guarded(&self.config, trace, guard, RefineMode::Warm)
+    }
+
+    /// [`CampaignRuntime::run_guarded`] over the rebuild-reference
+    /// refinement driver — the guarded analogue of
+    /// [`CampaignRuntime::run_reference`], for equivalence testing.
+    ///
+    /// # Errors
+    /// As [`CampaignRuntime::run`].
+    pub fn run_guarded_reference(
+        &self,
+        trace: &RoundTrace,
+        guard: &GuardConfig,
+    ) -> Result<GuardedOutcome, AuctionError> {
+        crate::guard::run_guarded(&self.config, trace, guard, RefineMode::RebuildEngine)
     }
 
     fn run_inner(
@@ -359,7 +472,7 @@ mod tests {
     }
 
     #[test]
-    fn reputation_prior_defaults_to_epsilon_and_overrides_are_clamped() {
+    fn reputation_prior_defaults_to_epsilon_and_overrides_validate() {
         let default_cfg = PipelineConfig::default();
         let epsilon = default_cfg.date.config().epsilon;
         assert_eq!(
@@ -370,12 +483,19 @@ mod tests {
             reputation_prior: Some(0.4),
             ..PipelineConfig::default()
         };
+        set.validate().unwrap();
         assert_eq!(set.effective_prior(), 0.4);
-        let wild = PipelineConfig {
-            reputation_prior: Some(7.0),
-            ..PipelineConfig::default()
-        };
-        assert!(wild.effective_prior() < 1.0);
+        // Out-of-range or non-finite priors are rejected at construction
+        // instead of clamped into silence.
+        for bad in [7.0, 0.0, 1.0, -0.2, f64::NAN, f64::INFINITY] {
+            let cfg = PipelineConfig {
+                reputation_prior: Some(bad),
+                ..PipelineConfig::default()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, ConfigError::InvalidReputationPrior { .. }));
+            assert!(CampaignRuntime::try_new(cfg).is_err());
+        }
 
         // Spelling out `Some(ε)` is bit-identical to the historical `None`
         // fallback across a whole campaign.
@@ -392,6 +512,37 @@ mod tests {
             implicit.total_payment.to_bits(),
             explicit.total_payment.to_bits()
         );
+    }
+
+    #[test]
+    fn invalid_budget_and_monopoly_cap_are_rejected() {
+        for bad in [f64::NAN, f64::NEG_INFINITY, -1.0] {
+            let cfg = PipelineConfig {
+                budget: Some(bad),
+                ..PipelineConfig::default()
+            };
+            assert!(matches!(
+                cfg.validate(),
+                Err(ConfigError::InvalidBudget { .. })
+            ));
+        }
+        for bad in [f64::NAN, 0.5, -2.0] {
+            let cfg = PipelineConfig {
+                monopoly_cap: Some(bad),
+                ..PipelineConfig::default()
+            };
+            assert!(matches!(
+                cfg.validate(),
+                Err(ConfigError::InvalidMonopolyCap { .. })
+            ));
+        }
+        let err = PipelineConfig {
+            budget: Some(-1.0),
+            ..PipelineConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("budget"));
     }
 
     #[test]

@@ -223,8 +223,35 @@ impl CampaignState {
         mode: RefineMode,
         round: usize,
     ) -> Result<RoundStep, AuctionError> {
+        self.execute_round_with(
+            cfg,
+            trace,
+            mode,
+            round,
+            &trace.rounds[round],
+            trace.corrections.get(round),
+        )
+    }
+
+    /// [`CampaignState::execute_round`] with an explicit cohort and
+    /// correction batch instead of `trace.rounds[round]` — the seam the
+    /// guarded runtime uses to feed *admitted* offers (screened, possibly
+    /// including re-offers) through the exact same round body the clean
+    /// drivers run. Passing the trace's own round reproduces
+    /// `execute_round` bit for bit.
+    ///
+    /// # Errors
+    /// As [`CampaignState::execute_round`].
+    pub fn execute_round_with(
+        &mut self,
+        cfg: &PipelineConfig,
+        trace: &RoundTrace,
+        mode: RefineMode,
+        round: usize,
+        offers: &[WorkerOffer],
+        raw_corrections: Option<&SnapshotDelta>,
+    ) -> Result<RoundStep, AuctionError> {
         let auction = cfg.auction();
-        let offers = &trace.rounds[round];
 
         // Stage 1 — auction: live reputations → round instance → greedy
         // winner selection.
@@ -286,9 +313,7 @@ impl CampaignState {
                 .push(&ingest)
                 .expect("trace answers are unique and in range");
         }
-        let corrections = trace
-            .corrections
-            .get(round)
+        let corrections = raw_corrections
             .map(|c| applicable_corrections(&self.stream, c))
             .unwrap_or_default();
         let correction_ops = corrections.len();
@@ -371,7 +396,7 @@ impl CampaignState {
             newly_covered_tasks,
             new_value_covered,
             covered_tasks: self.covered_tasks,
-            deferred_tasks: inst.map_or(0, |i| i.deferred_tasks().len()),
+            deferrals: inst.map_or_else(Vec::new, |i| i.deferrals().to_vec()),
         });
         Ok(RoundStep::Executed {
             ingest,
@@ -442,26 +467,44 @@ fn reputations(stream: &DateStream, offers: &[WorkerOffer], prior: f64) -> HashM
         .collect()
 }
 
-/// A round's correction batch restricted to answers the stream actually
-/// holds: losers' bundles are never ingested, so revisions/retractions of
+/// A round's correction batch restricted to ops the stream can actually
+/// apply: losers' bundles are never ingested, so revisions/retractions of
 /// their answers have nothing to amend and are dropped. A resubmission
 /// after an applied retraction arrives as a regular offer in a later
-/// round, so corrections themselves never append.
-fn applicable_corrections(stream: &DateStream, corrections: &SnapshotDelta) -> SnapshotDelta {
+/// round, so corrections never append — stray appends (only possible in
+/// faulted or hand-built traces) are dropped too.
+///
+/// The filter simulates the batch *sequentially* against the stream's
+/// held set: a duplicated or contradictory op pair (e.g. a retraction
+/// delivered twice by a faulty channel) is reduced to its applicable
+/// prefix instead of producing a delta `push` would reject wholesale,
+/// and an op identical to one already kept in this batch (a re-delivered
+/// revision) is dropped so a doubled correction applies exactly once. On
+/// clean generated traces this is identical to a plain held-set filter.
+pub(crate) fn applicable_corrections(
+    stream: &DateStream,
+    corrections: &SnapshotDelta,
+) -> SnapshotDelta {
     let obs = stream.observations();
-    SnapshotDelta::from_ops(
-        corrections
-            .ops()
-            .iter()
-            .filter(|op| match op {
-                DeltaOp::Append(..) => true,
-                DeltaOp::Revise(w, t, _) | DeltaOp::Retract(w, t) => {
-                    w.index() < obs.n_workers() && obs.value_of(*w, *t).is_some()
-                }
-            })
-            .copied()
-            .collect(),
-    )
+    let mut overlay: HashMap<(WorkerId, imc2_common::TaskId), bool> = HashMap::new();
+    let mut kept: Vec<DeltaOp> = Vec::new();
+    for op in corrections.ops() {
+        if matches!(op, DeltaOp::Append(..)) || kept.contains(op) {
+            continue;
+        }
+        let (w, t) = (op.worker(), op.task());
+        let held = *overlay
+            .entry((w, t))
+            .or_insert_with(|| w.index() < obs.n_workers() && obs.value_of(w, t).is_some());
+        if !held {
+            continue;
+        }
+        if let DeltaOp::Retract(..) = op {
+            overlay.insert((w, t), false);
+        }
+        kept.push(*op);
+    }
+    SnapshotDelta::from_ops(kept)
 }
 
 /// The ingestion batch of a round: the full offered bundles of the winning

@@ -387,3 +387,50 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn sanitized_adversarial_traces_compose_with_crash_recovery() {
+    // The robustness layer's stateless half composes with the durable
+    // runtime: a trace mangled by duplicate/replay faults over an
+    // adversarial population violates the clean-trace invariants the
+    // journal relies on, but `sanitize_trace` restores them, and the
+    // sanitized campaign then crashes and recovers bit-identically like
+    // any clean one.
+    use imc2_datagen::{
+        apply_trace_faults, inject_trace, sample_trace_faults, AdversaryConfig, TraceFaultConfig,
+    };
+    use imc2_pipeline::sanitize_trace;
+
+    let clean = trace(23);
+    let adversary = AdversaryConfig::pollution(clean.n_workers(), 0.2);
+    let (attacked, _) = inject_trace(&clean, &adversary, 0xd00d).unwrap();
+    let plan =
+        sample_trace_faults(&attacked, &TraceFaultConfig::duplicates_and_reorders(), 17).unwrap();
+    let faulted = apply_trace_faults(&attacked, &plan);
+    let (sanitized, rejected) = sanitize_trace(&faulted);
+    assert!(
+        !rejected.is_empty(),
+        "the fault schedule must have produced duplicates to strip"
+    );
+    for round in &sanitized.rounds {
+        for pair in round.windows(2) {
+            assert!(
+                pair[0].worker < pair[1].worker,
+                "sorted, one offer per worker"
+            );
+        }
+    }
+
+    let cfg = PipelineConfig::default();
+    let rt = runtime(cfg.clone());
+    let baseline = CampaignRuntime::new(cfg).run(&sanitized).unwrap();
+    let ops = total_ops(&rt, &sanitized);
+    for crash_op in [1, ops / 2, ops - 1] {
+        let mut dying = FaultStorage::new(MemStorage::new(), FaultPlan::crash_at(crash_op));
+        assert!(rt.run(&mut dying, &sanitized).is_err());
+        let mut survivor = dying.into_inner();
+        let recovered = rt.run(&mut survivor, &sanitized).unwrap();
+        assert_bit_identical(&recovered.outcome, &baseline);
+        assert_ledger_consistent(&recovered);
+    }
+}

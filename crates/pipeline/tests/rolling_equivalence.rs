@@ -6,8 +6,11 @@
 //! round caps and forced compaction. Runs under both feature states via
 //! the CI matrix.
 
-use imc2_datagen::{RoundTrace, RoundTraceConfig, StreamConfig};
-use imc2_pipeline::{CampaignRuntime, PipelineConfig, RollingOutcome, StopReason};
+use imc2_datagen::{
+    apply_trace_faults, inject_trace, sample_trace_faults, AdversaryConfig, RoundTrace,
+    RoundTraceConfig, StreamConfig, TraceFaultConfig,
+};
+use imc2_pipeline::{CampaignRuntime, GuardConfig, PipelineConfig, RollingOutcome, StopReason};
 use imc2_truth::CompactionPolicy;
 use proptest::prelude::*;
 
@@ -48,6 +51,26 @@ fn check_trace(trace: &RoundTrace, config: PipelineConfig, context: &str) {
     assert_outcomes_bit_identical(&warm, &cold, context);
 }
 
+/// Guarded counterpart of [`check_trace`]: the guarded warm runtime must
+/// match the guarded rebuild-per-round reference bit for bit, including
+/// the ledger, quarantine set and rejection log.
+fn check_guarded_trace(trace: &RoundTrace, config: PipelineConfig, context: &str) {
+    let runtime = CampaignRuntime::new(config);
+    let guard = GuardConfig::full();
+    let warm = runtime.run_guarded(trace, &guard).unwrap();
+    let cold = runtime.run_guarded_reference(trace, &guard).unwrap();
+    assert_outcomes_bit_identical(&warm.outcome, &cold.outcome, context);
+    assert_eq!(warm.ledger, cold.ledger, "{context}: ledger");
+    assert_eq!(
+        warm.report.quarantined, cold.report.quarantined,
+        "{context}: quarantine set"
+    );
+    assert_eq!(
+        warm.report.rejections, cold.report.rejections,
+        "{context}: rejections"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -75,6 +98,34 @@ proptest! {
         let config = PipelineConfig { budget, ..PipelineConfig::default() };
         check_trace(&trace, config, &format!(
             "seed {seed} frac {initial_fraction} batch {batch_size} budget {budget:?}"
+        ));
+    }
+
+    /// Adversarial traces — sybil/coalition pollution and duplicate-
+    /// submission fault schedules — through the *guarded* runtime: the
+    /// warm loop must still match the rebuild-per-round reference bit
+    /// for bit, ledger and quarantine set included.
+    #[test]
+    fn guarded_runtime_matches_reference_on_adversarial_traces(
+        seed in 0u64..100,
+        fault_seed in 0u64..100,
+        budget_idx in 0usize..2,
+    ) {
+        let clean = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+        let adversary = AdversaryConfig::pollution(clean.n_workers(), 0.2);
+        let (attacked, _) = inject_trace(&clean, &adversary, seed ^ 0x5eed).unwrap();
+        // Duplicate-submission schedule on top of the sybil/coalition load.
+        let plan = sample_trace_faults(
+            &attacked,
+            &TraceFaultConfig::duplicates_and_reorders(),
+            fault_seed,
+        )
+        .unwrap();
+        let trace = apply_trace_faults(&attacked, &plan);
+        let budget = [None, Some(250.0)][budget_idx];
+        let config = PipelineConfig { budget, ..PipelineConfig::default() };
+        check_guarded_trace(&trace, config, &format!(
+            "adversarial seed {seed}/{fault_seed} budget {budget:?}"
         ));
     }
 }
