@@ -3,13 +3,18 @@
 //! Scans `README.md`, `docs/*.md` and `vendor/README.md` for Markdown
 //! links and verifies that every **relative** target resolves to an
 //! existing file or directory. External links (`http://`, `https://`,
-//! `mailto:`) and pure in-page anchors (`#…`) are skipped; a `#fragment`
-//! suffix on a relative link is stripped before the existence check.
+//! `mailto:`) are skipped. Anchor fragments are validated, not just
+//! stripped: a pure in-page anchor (`#section`) must match a heading of
+//! the current document, and a `file.md#section` fragment must match a
+//! heading of the *target* document — both under GitHub's slug rules
+//! (lowercase, punctuation dropped, spaces to hyphens, `-N` suffixes for
+//! repeats), so a renamed section fails loudly instead of silently
+//! scrolling readers to the top.
 //!
 //! Usage: `docs_check [repo_root]` (default: the current directory).
-//! Exits non-zero listing every dangling link — CI runs this in the docs
-//! job so a renamed crate directory or a moved doc page fails loudly
-//! instead of rotting silently.
+//! Exits non-zero listing every dangling link or anchor — CI runs this in
+//! the docs job so a renamed crate directory, a moved doc page or a
+//! reworded heading fails the build instead of rotting silently.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -48,17 +53,88 @@ fn is_relative(target: &str) -> bool {
         || target.starts_with('#'))
 }
 
+/// GitHub's heading slug: lowercase, backticks and punctuation dropped,
+/// spaces and hyphens kept as hyphens, underscores kept.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// The anchor slugs of every Markdown heading in `text`, with GitHub's
+/// `-1`, `-2`, … deduplication for repeated headings. Headings inside
+/// fenced code blocks are ignored.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs: Vec<String> = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let hashes = trimmed.bytes().take_while(|&b| b == b'#').count();
+        if !(1..=6).contains(&hashes) || !trimmed[hashes..].starts_with(' ') {
+            continue;
+        }
+        let base = slugify(&trimmed[hashes + 1..]);
+        // GitHub numbers repeats by occurrence count of the base slug.
+        let occurrences = slugs.iter().filter(|s| **s == base).count();
+        if occurrences == 0 {
+            slugs.push(base);
+        } else {
+            slugs.push(format!("{base}-{occurrences}"));
+        }
+    }
+    slugs
+}
+
+/// Whether `fragment` names a heading of the document at `path`.
+fn anchor_resolves(path: &Path, fragment: &str) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(text) => heading_slugs(&text).iter().any(|s| s == fragment),
+        Err(_) => false,
+    }
+}
+
 fn check_file(root: &Path, doc: &Path, problems: &mut Vec<String>) {
     let Ok(text) = std::fs::read_to_string(doc) else {
         problems.push(format!("{}: unreadable", doc.display()));
         return;
     };
+    let own_slugs = heading_slugs(&text);
     let dir = doc.parent().unwrap_or(root);
     for (line, target) in link_targets(&text) {
+        // In-page anchor: must match one of this document's headings.
+        if let Some(fragment) = target.strip_prefix('#') {
+            if !own_slugs.iter().any(|s| s == fragment) {
+                problems.push(format!(
+                    "{}:{line}: dangling anchor `{target}` (no such heading here)",
+                    doc.display()
+                ));
+            }
+            continue;
+        }
         if !is_relative(&target) {
             continue;
         }
-        let path_part = target.split('#').next().unwrap_or("");
+        let (path_part, fragment) = match target.split_once('#') {
+            Some((p, f)) => (p, Some(f)),
+            None => (target.as_str(), None),
+        };
         let resolved = dir.join(path_part);
         if !resolved.exists() {
             problems.push(format!(
@@ -66,6 +142,19 @@ fn check_file(root: &Path, doc: &Path, problems: &mut Vec<String>) {
                 doc.display(),
                 resolved.display()
             ));
+            continue;
+        }
+        // Cross-file anchor: the fragment must name a heading of the
+        // target Markdown document.
+        if let Some(fragment) = fragment {
+            let is_md = resolved.extension().is_some_and(|e| e == "md");
+            if is_md && !anchor_resolves(&resolved, fragment) {
+                problems.push(format!(
+                    "{}:{line}: dangling anchor `{target}` (no heading `#{fragment}` in {})",
+                    doc.display(),
+                    resolved.display()
+                ));
+            }
         }
     }
 }
@@ -98,7 +187,7 @@ fn main() -> ExitCode {
     }
 
     if problems.is_empty() {
-        println!("docs_check: {checked} documents, all relative links resolve");
+        println!("docs_check: {checked} documents, all relative links and anchors resolve");
         ExitCode::SUCCESS
     } else {
         for p in &problems {
@@ -133,5 +222,38 @@ mod tests {
         assert!(!is_relative("https://example.com"));
         assert!(!is_relative("#anchor"));
         assert!(!is_relative(""));
+    }
+
+    #[test]
+    fn slugs_follow_github_rules() {
+        assert_eq!(
+            slugify("Crash-recovery & the WAL"),
+            "crash-recovery--the-wal"
+        );
+        assert_eq!(slugify("`CampaignService` API"), "campaignservice-api");
+        assert_eq!(slugify("p50 / p90 / p99"), "p50--p90--p99");
+        assert_eq!(slugify("snake_case stays"), "snake_case-stays");
+    }
+
+    #[test]
+    fn heading_slugs_dedupe_and_skip_fences() {
+        let text = "\
+# Title
+```text
+# not a heading
+```
+## Example
+## Example
+### Deep dive
+";
+        assert_eq!(
+            heading_slugs(text),
+            vec![
+                "title".to_string(),
+                "example".to_string(),
+                "example-1".to_string(),
+                "deep-dive".to_string(),
+            ]
+        );
     }
 }

@@ -42,7 +42,17 @@
 //!   coalition load went blind;
 //! * `no_double_pay` and `no_overspend` are `true` — payment idempotence
 //!   under duplicated wins and budget safety under re-offers are
-//!   correctness bugs regardless of timings.
+//!   correctness bugs regardless of timings;
+//! * `serve_bit_identical` is `true` — the serving layer's serialized
+//!   schedule drifted from the batch guarded loop, breaking the
+//!   equivalence the latency numbers rest on;
+//! * every per-stage latency quantile
+//!   (`admit/auction/payment/ingest/refine` × `p50/p90/p99`) is a
+//!   finite, non-negative number with `p50 <= p99` — an empty or
+//!   non-monotone distribution means the histogram plumbing rotted;
+//! * `serve_refine_vs_warm` is in `(0, 1.5]` — the event-loop front must
+//!   not inflate refinement work; the ratio compares two runs in the
+//!   same process, so box speed cancels out.
 //!
 //! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
 //! <BENCH_pipeline.json>` (defaults to those names in the working
@@ -215,6 +225,25 @@ fn main() -> ExitCode {
             "adversarial_workers",
             "no_double_pay",
             "no_overspend",
+            "serve_wall_ms",
+            "serve_rounds",
+            "serve_refine_vs_warm",
+            "serve_bit_identical",
+            "admit_p50_ms",
+            "admit_p90_ms",
+            "admit_p99_ms",
+            "auction_p50_ms",
+            "auction_p90_ms",
+            "auction_p99_ms",
+            "payment_p50_ms",
+            "payment_p90_ms",
+            "payment_p99_ms",
+            "ingest_p50_ms",
+            "ingest_p90_ms",
+            "ingest_p99_ms",
+            "refine_p50_ms",
+            "refine_p90_ms",
+            "refine_p99_ms",
         ],
         &mut problems,
     ) {
@@ -291,6 +320,52 @@ fn main() -> ExitCode {
                 problems.push(format!(
                     "{pipeline_path}: {oks}/{n} {flag} flags are true — payment safety under faults regressed"
                 ));
+            }
+        }
+        let serves = occurrences_of(&json, "serve_bit_identical");
+        let serve_oks = json.matches("\"serve_bit_identical\": true").count();
+        if serves == 0 || serve_oks != serves {
+            problems.push(format!(
+                "{pipeline_path}: {serve_oks}/{serves} serve_bit_identical flags are true — the serving layer drifted from the batch guarded loop"
+            ));
+        }
+        for v in values_of(&json, "serve_refine_vs_warm") {
+            if !(v > 0.0 && v <= 1.5) {
+                problems.push(format!(
+                    "{pipeline_path}: serve_refine_vs_warm = {v} outside (0, 1.5] — the event-loop front inflated refinement work"
+                ));
+            }
+        }
+        for stage in ["admit", "auction", "payment", "ingest", "refine"] {
+            let mut quantile = |q: &str| -> Option<f64> {
+                let key = format!("{stage}_{q}_ms");
+                let vals = values_of(&json, &key);
+                if vals.is_empty() {
+                    if occurrences_of(&json, &key) > 0 {
+                        problems.push(format!(
+                            "{pipeline_path}: {key} is not a finite number — an empty latency distribution reached the report"
+                        ));
+                    }
+                    return None;
+                }
+                let v = vals[0];
+                if !v.is_finite() || v < 0.0 {
+                    problems.push(format!(
+                        "{pipeline_path}: {key} = {v} is not a finite non-negative latency"
+                    ));
+                    return None;
+                }
+                Some(v)
+            };
+            let p50 = quantile("p50");
+            let _p90 = quantile("p90");
+            let p99 = quantile("p99");
+            if let (Some(p50), Some(p99)) = (p50, p99) {
+                if p50 > p99 {
+                    problems.push(format!(
+                        "{pipeline_path}: {stage} latency p50 = {p50} ms > p99 = {p99} ms — the quantile estimator lost monotonicity"
+                    ));
+                }
             }
         }
     }

@@ -30,8 +30,9 @@ use imc2_datagen::{
     RoundTrace, RoundTraceConfig, StreamConfig,
 };
 use imc2_pipeline::{
-    CampaignRuntime, DurabilityConfig, DurableRuntime, GuardConfig, PipelineConfig, RollingOutcome,
-    StageTimings, StopReason,
+    CampaignRuntime, CampaignService, DurabilityConfig, DurableRuntime, GuardConfig,
+    PipelineConfig, RollingOutcome, ServeConfig, ServeOutcome, StageTimings, StopReason,
+    SubmitError,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -108,6 +109,48 @@ fn best(stages: &[StageTimings]) -> StageTimings {
         ingest_s: min(|s| s.ingest_s),
         refine_s: min(|s| s.refine_s),
     }
+}
+
+/// Drives the serving layer over the trace with the serialized schedule
+/// (submit a round's offers, flush, repeat) — the workload the
+/// serve-equivalence property test pins down, measured here.
+fn serve_serialized(trace: &RoundTrace, cfg: &PipelineConfig, guard: &GuardConfig) -> ServeOutcome {
+    let service = CampaignService::start(
+        trace.clone(),
+        cfg.clone(),
+        guard.clone(),
+        ServeConfig {
+            queue_capacity: 64,
+            round_target: usize::MAX,
+        },
+    );
+    'feed: for round in 0..trace.rounds.len() {
+        for offer in &trace.rounds[round] {
+            loop {
+                match service.submit_offer(offer.clone()) {
+                    Ok(()) => break,
+                    Err(SubmitError::Busy) => std::thread::yield_now(),
+                    Err(SubmitError::Shed(_)) => break 'feed,
+                }
+            }
+        }
+        loop {
+            match service.flush_sync() {
+                Ok(None) => break,
+                Ok(Some(_)) | Err(SubmitError::Shed(_)) => break 'feed,
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+            }
+        }
+    }
+    service.shutdown().result.expect("serve run finishes")
+}
+
+/// One stage's p50/p90/p99 keys, flat so `perf_check` can scan them as
+/// `"<stage>_p<q>_ms"` text.
+fn latency_json(json: &mut String, stage: &str, h: &imc2_common::Histogram) {
+    let _ = writeln!(json, "  \"{stage}_p50_ms\": {:.6},", h.quantile(0.50) * 1e3);
+    let _ = writeln!(json, "  \"{stage}_p90_ms\": {:.6},", h.quantile(0.90) * 1e3);
+    let _ = writeln!(json, "  \"{stage}_p99_ms\": {:.6},", h.quantile(0.99) * 1e3);
 }
 
 fn stage_json(json: &mut String, key: &str, s: &StageTimings, trailing_comma: bool) {
@@ -222,7 +265,7 @@ fn main() {
     let budget = warm_out.total_payment * 0.5;
     let capped = CampaignRuntime::new(PipelineConfig {
         budget: Some(budget),
-        ..pipe_cfg
+        ..pipe_cfg.clone()
     })
     .run(&trace)
     .expect("capped campaign runs");
@@ -273,6 +316,33 @@ fn main() {
     let no_overspend = adv_capped.outcome.total_payment <= adv_budget + 1e-9
         && adv_capped.ledger.total() <= adv_budget + 1e-9;
 
+    // Serving stage: the same campaign through the async submission
+    // front, serialized (one flush per trace round). Measures the
+    // event-loop overhead against the batch warm run and collects the
+    // per-round latency distributions (p50/p90/p99 per stage) that the
+    // summed timings cannot show. Bit-identity against the batch guarded
+    // loop is asserted per repetition — the latency story is only worth
+    // reporting because serving changes no result bit.
+    let serve_guard = GuardConfig::admission_only();
+    let batch_guarded = runtime
+        .run_guarded(&trace, &serve_guard)
+        .expect("guarded campaign runs");
+    let mut serve_wall_s = f64::INFINITY;
+    let mut serve_identical = true;
+    let mut serve_out: Option<ServeOutcome> = None;
+    for rep in 0..reps {
+        eprintln!("rep {rep}: serving stage...");
+        let t0 = Instant::now();
+        let served = serve_serialized(&trace, &pipe_cfg, &serve_guard);
+        serve_wall_s = serve_wall_s.min(t0.elapsed().as_secs_f64());
+        serve_identical &= bit_identical(&served.outcome, &batch_guarded.outcome)
+            && served.ledger == batch_guarded.ledger;
+        serve_out.get_or_insert(served);
+    }
+    let serve_out = serve_out.expect("at least one repetition");
+    let serve_refine_vs_warm = serve_out.outcome.timings.refine_s / wbest.refine_s;
+    let lat = &serve_out.outcome.latencies;
+
     println!(
         "rounds {:>3} | warm: auction {:>6.2} ms, payment {:>6.2} ms, ingest {:>6.2} ms, refine {:>8.2} ms | rebuild refine {:>8.2} ms ({:>4.2}x) | cold-DATE refine {:>9.2} ms ({:>5.2}x, end-to-end {:>5.2}x) | bit-identical {} | budget ok {}",
         warm_out.rounds.len(),
@@ -309,6 +379,18 @@ fn main() {
         guard_overhead_ratio,
         no_double_pay,
         no_overspend,
+    );
+    println!(
+        "serving: wall {:>7.2} ms | refine vs warm {:.2}x | admit p50/p99 {:.3}/{:.3} ms | auction p50/p99 {:.3}/{:.3} ms | refine p50/p99 {:.3}/{:.3} ms | bit-identical {}",
+        serve_wall_s * 1e3,
+        serve_refine_vs_warm,
+        lat.admit.quantile(0.50) * 1e3,
+        lat.admit.quantile(0.99) * 1e3,
+        lat.auction.quantile(0.50) * 1e3,
+        lat.auction.quantile(0.99) * 1e3,
+        lat.refine.quantile(0.50) * 1e3,
+        lat.refine.quantile(0.99) * 1e3,
+        serve_identical,
     );
 
     let ingested: usize = warm_out.rounds.iter().map(|r| r.ingested_answers).sum();
@@ -398,7 +480,23 @@ fn main() {
         labels.colluders().len()
     );
     let _ = writeln!(json, "  \"no_double_pay\": {no_double_pay},");
-    let _ = writeln!(json, "  \"no_overspend\": {no_overspend}");
+    let _ = writeln!(json, "  \"no_overspend\": {no_overspend},");
+    let _ = writeln!(json, "  \"serve_wall_ms\": {:.6},", serve_wall_s * 1e3);
+    let _ = writeln!(
+        json,
+        "  \"serve_rounds\": {},",
+        serve_out.outcome.rounds.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_refine_vs_warm\": {serve_refine_vs_warm:.3},"
+    );
+    latency_json(&mut json, "admit", &lat.admit);
+    latency_json(&mut json, "auction", &lat.auction);
+    latency_json(&mut json, "payment", &lat.payment);
+    latency_json(&mut json, "ingest", &lat.ingest);
+    latency_json(&mut json, "refine", &lat.refine);
+    let _ = writeln!(json, "  \"serve_bit_identical\": {serve_identical}");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("can write benchmark output");

@@ -1,0 +1,280 @@
+//! Fixed-bucket latency histogram for per-stage timing distributions.
+//!
+//! The serving layer's production claim is a *distribution* story — "p99
+//! admit latency", not "total admit seconds" — so every pipeline stage
+//! records its per-round duration into a [`Histogram`] and the bench bins
+//! report p50/p90/p99 per stage. The histogram is dependency-free and
+//! fixed-size: log-spaced buckets at four per octave (bounds grow by
+//! `2^(1/4) ≈ 1.19`, so any reported quantile is within ~19% of the true
+//! value), spanning 1 ns to ~18 minutes, which covers everything from a
+//! sub-microsecond payment stage to a cold full-campaign replay.
+//!
+//! Recording is O(1) (a `log2` and an array increment), merging is a
+//! vector add, and quantile extraction walks the bucket array once.
+//! Timings never feed back into mechanism outcomes, so histograms are
+//! excluded from every bit-identity comparison by construction.
+//!
+//! # Example
+//! ```
+//! use imc2_common::Histogram;
+//! let mut h = Histogram::new();
+//! for ms in [1.0, 2.0, 3.0, 50.0] {
+//!     h.record(ms * 1e-3);
+//! }
+//! assert_eq!(h.count(), 4);
+//! // Quantiles are monotone and bracketed by the observed extremes.
+//! assert!(h.quantile(0.5) <= h.quantile(0.99));
+//! assert!(h.quantile(0.0) >= 1e-3 * 0.8);
+//! assert!(h.quantile(1.0) <= 50e-3 * 1.2);
+//! ```
+
+/// Smallest representable latency: one nanosecond. Everything at or
+/// below lands in bucket 0.
+const FLOOR_S: f64 = 1e-9;
+/// Buckets per doubling of latency; resolution is `2^(1/4) ≈ 1.19`.
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+/// 40 octaves × 4 buckets: 1 ns up to `2^40` ns ≈ 18 minutes, then an
+/// implicit overflow clamp into the last bucket.
+const N_BUCKETS: usize = 160;
+
+/// Log-spaced latency histogram with O(1) recording and mergeable state.
+///
+/// Durations are recorded in **seconds**; non-finite and negative inputs
+/// are ignored (the same policy as [`crate::OnlineStats`]). Quantile
+/// estimates use the geometric midpoint of the owning bucket, clamped to
+/// the observed `[min, max]`, so `quantile` is monotone in `q` and
+/// `quantile(0.0)`/`quantile(1.0)` are the exact extremes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index owning duration `x` (seconds), clamped into range.
+fn bucket_of(x: f64) -> usize {
+    if x <= FLOOR_S {
+        return 0;
+    }
+    let idx = ((x / FLOOR_S).log2() * BUCKETS_PER_OCTAVE).floor();
+    (idx as usize).min(N_BUCKETS - 1)
+}
+
+/// Lower bound of bucket `i` in seconds.
+fn bucket_lo(i: usize) -> f64 {
+    FLOOR_S * (i as f64 / BUCKETS_PER_OCTAVE).exp2()
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one duration in seconds. Non-finite or negative values are
+    /// ignored.
+    pub fn record(&mut self, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        self.counts[bucket_of(seconds)] += 1;
+        self.count += 1;
+        self.sum += seconds;
+        self.min = self.min.min(seconds);
+        self.max = self.max.max(seconds);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of all recorded durations in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded duration (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded duration (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimated `q`-quantile in seconds (`q` clamped to `[0, 1]`; `NaN`
+    /// when empty).
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// rank-`⌈q·count⌉` observation, clamped to the observed extremes —
+    /// within ~19% of the true order statistic, and monotone in `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = (bucket_lo(i) * bucket_lo(i + 1)).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_neutral() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(3.5e-3);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((v - 3.5e-3).abs() <= 3.5e-3 * 0.2, "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(0.0), 3.5e-3);
+        assert_eq!(h.quantile(1.0), 3.5e-3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let mut h = Histogram::new();
+        // Two decades of values, uneven mass.
+        for i in 1..=1000u32 {
+            h.record(i as f64 * 1e-5);
+        }
+        let mut prev = h.quantile(0.0);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), 1e-5);
+        assert_eq!(h.quantile(1.0), 1e-2);
+        // Median within the documented ~19% relative error.
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 5e-3).abs() <= 5e-3 * 0.2, "p50 = {p50}");
+    }
+
+    #[test]
+    fn extreme_inputs_clamp_into_range() {
+        let mut h = Histogram::new();
+        h.record(0.0); // at/below floor -> bucket 0
+        h.record(1e-12);
+        h.record(1e6); // above ceiling -> last bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), 1e6);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 1..=50u32 {
+            let x = i as f64 * 1e-4;
+            a.record(x);
+            all.record(x);
+        }
+        for i in 51..=100u32 {
+            let x = i as f64 * 1e-4;
+            b.record(x);
+            all.record(x);
+        }
+        a.merge(&b);
+        // Bucket state is exactly the sequential one; the running sum may
+        // differ in the last ulp (two partial sums vs one running sum).
+        assert_eq!(a.counts, all.counts);
+        assert_eq!(a.count, all.count);
+        assert_eq!(a.min.to_bits(), all.min.to_bits());
+        assert_eq!(a.max.to_bits(), all.max.to_bits());
+        assert!((a.sum - all.sum).abs() <= 1e-12);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q).to_bits(), all.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn mean_and_sum_are_exact() {
+        let mut h = Histogram::new();
+        for x in [1e-3, 2e-3, 3e-3] {
+            h.record(x);
+        }
+        assert!((h.sum() - 6e-3).abs() < 1e-15);
+        assert!((h.mean() - 2e-3).abs() < 1e-15);
+    }
+}

@@ -51,6 +51,7 @@ pub mod codec;
 pub mod delta;
 pub mod fault;
 pub mod grid;
+pub mod hist;
 pub mod ids;
 pub mod logprob;
 pub mod observations;
@@ -67,6 +68,7 @@ pub use delta::{DeltaOp, NetChange, SnapshotDelta};
 pub use error::{ImcError, ValidationError};
 pub use fault::{Fault, FaultKind, FaultPlan, FaultStorage};
 pub use grid::Grid;
+pub use hist::Histogram;
 pub use ids::{TaskId, ValueId, WorkerId};
 pub use observations::{Observations, ObservationsBuilder, TaskGroups, TaskView};
 pub use overlap::{OverlapDelta, OverlapIter, OverlapTriple, PairOverlapIndex};

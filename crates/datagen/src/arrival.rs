@@ -1,0 +1,195 @@
+//! Arrival-time schedules: *when* each offer of a [`RoundTrace`] reaches
+//! the serving layer.
+//!
+//! A [`RoundTrace`] says which offers belong to which round but not when
+//! they arrive — the batch drivers never needed to know. The serving
+//! layer (`imc2_pipeline::serve`) does: its backpressure and coalescing
+//! behaviour depend on submission *timing*, so exercising it
+//! realistically needs a clock. [`ArrivalSchedule::sample`] attaches one:
+//! a Poisson-process arrival offset (exponential inter-arrival gaps) for
+//! every offer of every round, deterministic from a seed like everything
+//! else in this crate. Schedules only ever drive *when* submissions are
+//! fed to a service, never *what* — campaign results stay bit-identical
+//! across schedules by construction, because timings never influence
+//! results.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_datagen::{ArrivalConfig, ArrivalSchedule, RoundTrace, RoundTraceConfig};
+//!
+//! let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+//! let schedule = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 7).unwrap();
+//! assert_eq!(schedule.offsets.len(), trace.rounds.len());
+//! for (round, offsets) in schedule.offsets.iter().enumerate() {
+//!     assert_eq!(offsets.len(), trace.rounds[round].len());
+//!     // Absolute offsets never decrease, within or across rounds.
+//!     assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+//! }
+//! ```
+
+use crate::stream::RoundTrace;
+use imc2_common::{rng_from_seed, ValidationError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the sampled arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean gap between consecutive offer arrivals within a round, in
+    /// seconds (exponentially distributed, i.e. Poisson arrivals).
+    pub mean_interarrival_s: f64,
+    /// Quiet gap inserted between the last arrival of one round and the
+    /// first of the next — the platform's round-close window.
+    pub round_gap_s: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            mean_interarrival_s: 1e-3,
+            round_gap_s: 5e-3,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when a parameter is non-finite, the
+    /// mean inter-arrival gap is not positive, or the round gap is
+    /// negative.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !self.mean_interarrival_s.is_finite() || self.mean_interarrival_s <= 0.0 {
+            return Err(ValidationError::new(
+                "mean inter-arrival gap must be finite and positive",
+            ));
+        }
+        if !self.round_gap_s.is_finite() || self.round_gap_s < 0.0 {
+            return Err(ValidationError::new(
+                "round gap must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Absolute arrival offsets (seconds from campaign start) for every
+/// offer of a [`RoundTrace`], aligned with its `rounds` field:
+/// `offsets[r][i]` is when `trace.rounds[r][i]` reaches the submission
+/// front. Offsets are nondecreasing within and across rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSchedule {
+    /// Per-round, per-offer absolute arrival times in seconds.
+    pub offsets: Vec<Vec<f64>>,
+}
+
+impl ArrivalSchedule {
+    /// Samples a schedule for `trace`, deterministically from `seed`.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] when `config` fails validation.
+    pub fn sample(
+        trace: &RoundTrace,
+        config: &ArrivalConfig,
+        seed: u64,
+    ) -> Result<Self, ValidationError> {
+        config.validate()?;
+        let mut rng = rng_from_seed(seed);
+        let mut clock = 0.0_f64;
+        let offsets = trace
+            .rounds
+            .iter()
+            .enumerate()
+            .map(|(round, offers)| {
+                if round > 0 {
+                    clock += config.round_gap_s;
+                }
+                offers
+                    .iter()
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        // Exponential inter-arrival gap; `1 - u` keeps the
+                        // argument of `ln` strictly positive.
+                        clock += -(1.0 - u).ln() * config.mean_interarrival_s;
+                        clock
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(ArrivalSchedule { offsets })
+    }
+
+    /// Seconds between the first and last arrival of `round` (0.0 for
+    /// rounds with fewer than two arrivals).
+    pub fn round_span_s(&self, round: usize) -> f64 {
+        match self.offsets.get(round) {
+            Some(o) if o.len() >= 2 => o[o.len() - 1] - o[0],
+            _ => 0.0,
+        }
+    }
+
+    /// Seconds from campaign start to the last arrival (0.0 for an
+    /// arrival-free trace).
+    pub fn total_span_s(&self) -> f64 {
+        self.offsets
+            .iter()
+            .rev()
+            .find_map(|o| o.last().copied())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::RoundTraceConfig;
+
+    #[test]
+    fn schedule_aligns_with_trace_and_is_monotone() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 11).unwrap();
+        let s = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 11).unwrap();
+        assert_eq!(s.offsets.len(), trace.rounds.len());
+        let mut prev = 0.0;
+        for (r, offsets) in s.offsets.iter().enumerate() {
+            assert_eq!(offsets.len(), trace.rounds[r].len());
+            for &t in offsets {
+                assert!(t.is_finite() && t >= prev, "offsets nondecreasing");
+                prev = t;
+            }
+        }
+        assert!(s.total_span_s() >= 0.0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 3).unwrap();
+        let a = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 9).unwrap();
+        let b = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 9).unwrap();
+        assert_eq!(a, b);
+        let c = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 10).unwrap();
+        assert_ne!(a, c, "different seeds give different clocks");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), 3).unwrap();
+        for cfg in [
+            ArrivalConfig {
+                mean_interarrival_s: 0.0,
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                mean_interarrival_s: f64::NAN,
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                round_gap_s: -1.0,
+                ..ArrivalConfig::default()
+            },
+        ] {
+            assert!(ArrivalSchedule::sample(&trace, &cfg, 1).is_err());
+        }
+    }
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod adversary;
+pub mod arrival;
 pub mod copiers;
 pub mod costs;
 pub mod dist;
@@ -54,6 +55,7 @@ pub mod trace_faults;
 pub use adversary::{
     inject_scenario, inject_trace, AdversaryConfig, AdversaryLabels, Coalition, SybilCluster,
 };
+pub use arrival::{ArrivalConfig, ArrivalSchedule};
 pub use copiers::{CopierConfig, CopierPlan};
 pub use costs::CostModel;
 pub use faults::{sample_fault_plan, FaultScheduleConfig};

@@ -225,7 +225,7 @@ pub struct DurableOutcome {
 /// over the initial snapshot, the requirement/cost profiles and the round
 /// count. Not cryptographic — it catches "wrong trace supplied to
 /// recovery", not tampering (the per-frame checksums handle corruption).
-fn trace_digest(trace: &RoundTrace) -> u32 {
+pub(crate) fn trace_digest(trace: &RoundTrace) -> u32 {
     let mut enc = Encoder::new();
     trace.initial.encode(&mut enc);
     trace.requirements.encode(&mut enc);
@@ -235,13 +235,56 @@ fn trace_digest(trace: &RoundTrace) -> u32 {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct Genesis {
-    n_workers: usize,
-    n_tasks: usize,
-    n_rounds: usize,
-    trace_digest: u32,
-    budget: Option<f64>,
-    prior: f64,
+pub(crate) struct Genesis {
+    pub(crate) n_workers: usize,
+    pub(crate) n_tasks: usize,
+    pub(crate) n_rounds: usize,
+    pub(crate) trace_digest: u32,
+    pub(crate) budget: Option<f64>,
+    pub(crate) prior: f64,
+}
+
+impl Genesis {
+    /// The genesis record a fresh journal over `trace` would carry.
+    pub(crate) fn of(cfg: &PipelineConfig, trace: &RoundTrace) -> Self {
+        Genesis {
+            n_workers: trace.n_workers(),
+            n_tasks: trace.n_tasks(),
+            n_rounds: trace.rounds.len(),
+            trace_digest: trace_digest(trace),
+            budget: cfg.budget,
+            prior: cfg.effective_prior(),
+        }
+    }
+
+    /// Checks a journaled genesis (`self`) against the campaign the
+    /// caller supplied — shape, trace fingerprint and budget must agree
+    /// or the journal belongs to a different campaign.
+    pub(crate) fn validate_against(&self, expected: &Genesis) -> Result<(), DurabilityError> {
+        for (what, ours, theirs) in [
+            ("worker count", expected.n_workers, self.n_workers),
+            ("task count", expected.n_tasks, self.n_tasks),
+            ("trace length", expected.n_rounds, self.n_rounds),
+            (
+                "trace fingerprint",
+                expected.trace_digest as usize,
+                self.trace_digest as usize,
+            ),
+        ] {
+            if ours != theirs {
+                return Err(DurabilityError::ConfigMismatch(format!(
+                    "journal {what} is {theirs}, supplied campaign has {ours}"
+                )));
+            }
+        }
+        if expected.budget.map(f64::to_bits) != self.budget.map(f64::to_bits) {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal budget {:?} differs from configured {:?}",
+                self.budget, expected.budget
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Codec for Genesis {
@@ -432,14 +475,7 @@ impl DurableRuntime {
 
         let mut ledger = PaymentLedger::new();
         let mut wal_frames_appended = 0usize;
-        let genesis = Genesis {
-            n_workers: trace.n_workers(),
-            n_tasks: trace.n_tasks(),
-            n_rounds: trace.rounds.len(),
-            trace_digest: trace_digest(trace),
-            budget: cfg.budget,
-            prior: cfg.effective_prior(),
-        };
+        let genesis = Genesis::of(cfg, trace);
 
         let (mut state, start_round, recovery) = if scan.frames.is_empty() {
             // Fresh campaign: the genesis frame is committed before any
@@ -449,7 +485,7 @@ impl DurableRuntime {
             (CampaignState::new(cfg, trace), 0, None)
         } else {
             let (state, start_round, mut report) =
-                self.recover(storage, trace, &scan.frames, &genesis, &mut ledger)?;
+                self.recover_state(storage, trace, &scan.frames, &genesis, &mut ledger)?;
             report.torn_tail_dropped = repair.dropped_bytes;
             report.tail_error = repair.error;
             (state, start_round, Some(report))
@@ -524,11 +560,69 @@ impl DurableRuntime {
         })
     }
 
+    /// Inspects and rebuilds from the journal in `storage` **without
+    /// executing any further rounds** — the read-only half of
+    /// [`DurableRuntime::run`], for operators who want to know what a
+    /// restart would find (how many rounds committed, which checkpoint
+    /// bounds the replay, whether a torn tail was dropped) before letting
+    /// the campaign continue. Returns `None` when the WAL is empty or
+    /// absent (a fresh campaign — nothing to recover).
+    ///
+    /// Like `run`, this repairs a torn WAL tail in place; unlike `run` it
+    /// never appends frames, executes rounds, or registers payouts beyond
+    /// the journaled ones.
+    ///
+    /// # Errors
+    /// As [`DurableRuntime::run`]: [`DurabilityError::ConfigMismatch`]
+    /// when the journal belongs to a different campaign, the codec/state
+    /// variants for corrupt-but-plausible journals.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use imc2_common::storage::MemStorage;
+    /// use imc2_datagen::{RoundTrace, RoundTraceConfig};
+    /// use imc2_pipeline::{DurabilityConfig, DurableRuntime, PipelineConfig};
+    ///
+    /// let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+    /// let runtime = DurableRuntime::new(PipelineConfig::default(), DurabilityConfig::default());
+    /// let mut storage = MemStorage::new();
+    ///
+    /// // Nothing journaled yet: nothing to recover.
+    /// assert!(runtime.recover(&mut storage, &trace).unwrap().is_none());
+    ///
+    /// // After a finished run, recovery sees every committed round but
+    /// // executes nothing new (the WAL is unchanged by inspection).
+    /// let done = runtime.run(&mut storage, &trace).unwrap();
+    /// let report = runtime.recover(&mut storage, &trace).unwrap().unwrap();
+    /// assert_eq!(report.journaled_rounds, done.outcome.rounds.len());
+    /// assert_eq!(report.torn_tail_dropped, 0);
+    /// ```
+    pub fn recover<S: Storage + ?Sized>(
+        &self,
+        storage: &mut S,
+        trace: &RoundTrace,
+    ) -> Result<Option<RecoveryReport>, DurabilityError> {
+        let wal = Wal::new(WAL_OBJECT);
+        let repair = wal.repair(storage)?;
+        let scan = wal.scan(storage)?;
+        if scan.frames.is_empty() {
+            return Ok(None);
+        }
+        let mut ledger = PaymentLedger::new();
+        let genesis = Genesis::of(&self.config, trace);
+        let (_state, _next, mut report) =
+            self.recover_state(storage, trace, &scan.frames, &genesis, &mut ledger)?;
+        report.torn_tail_dropped = repair.dropped_bytes;
+        report.tail_error = repair.error;
+        Ok(Some(report))
+    }
+
     /// Rebuilds the campaign state from a clean journal: validate genesis,
     /// absorb every committed round into ledger + bookkeeping, restore the
     /// newest usable checkpoint and replay the journal suffix through the
     /// stream.
-    fn recover<S: Storage + ?Sized>(
+    fn recover_state<S: Storage + ?Sized>(
         &self,
         storage: &mut S,
         trace: &RoundTrace,
@@ -546,28 +640,7 @@ impl DurableRuntime {
             .into());
         }
         let genesis: Genesis = decode_from_slice(&first.payload)?;
-        for (what, ours, theirs) in [
-            ("worker count", expected.n_workers, genesis.n_workers),
-            ("task count", expected.n_tasks, genesis.n_tasks),
-            ("trace length", expected.n_rounds, genesis.n_rounds),
-            (
-                "trace fingerprint",
-                expected.trace_digest as usize,
-                genesis.trace_digest as usize,
-            ),
-        ] {
-            if ours != theirs {
-                return Err(DurabilityError::ConfigMismatch(format!(
-                    "journal {what} is {theirs}, supplied campaign has {ours}"
-                )));
-            }
-        }
-        if expected.budget.map(f64::to_bits) != genesis.budget.map(f64::to_bits) {
-            return Err(DurabilityError::ConfigMismatch(format!(
-                "journal budget {:?} differs from configured {:?}",
-                genesis.budget, expected.budget
-            )));
-        }
+        genesis.validate_against(expected)?;
 
         // Decode the committed rounds; they are consecutive by
         // construction (every executed round appends exactly one frame).

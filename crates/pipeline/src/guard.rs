@@ -47,9 +47,10 @@ use imc2_auction::{AuctionError, ReofferPolicy};
 use imc2_common::{ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId};
 use imc2_datagen::{RoundTrace, WorkerOffer};
 use imc2_truth::dependence::{pairwise_posteriors, DependenceParams};
-use imc2_truth::{Date, TruthDiscovery, TruthProblem};
+use imc2_truth::{DateStream, TruthProblem};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
 
 /// Why a submission (or correction op) was rejected at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -254,6 +255,32 @@ struct ReofferEntry {
 
 /// The admission/quarantine/re-offer state machine. Drives one campaign;
 /// see the [module docs](self) for the semantics.
+///
+/// # Example
+///
+/// Screening one round's arrivals: a retrying channel that delivers the
+/// whole round twice has every second copy rejected as a
+/// [`RejectReason::DuplicateSubmission`], and the admitted cohort comes
+/// out sorted by worker id regardless of arrival order.
+///
+/// ```
+/// use imc2_datagen::{RoundTrace, RoundTraceConfig};
+/// use imc2_pipeline::{GuardConfig, PaymentLedger, RejectReason, SubmissionGuard};
+///
+/// let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+/// let mut guard = SubmissionGuard::new(&trace, GuardConfig::full());
+/// let ledger = PaymentLedger::new();
+///
+/// // Deliver round 0 twice, as a duplicating channel would.
+/// let mut arrivals = trace.rounds[0].clone();
+/// arrivals.extend(trace.rounds[0].iter().cloned());
+/// let cohort = guard.admit_round(0, &arrivals, &trace.initial, &ledger);
+///
+/// assert_eq!(cohort.len(), trace.rounds[0].len());
+/// assert!(cohort.windows(2).all(|w| w[0].worker < w[1].worker));
+/// let dup = RejectReason::DuplicateSubmission { first_round: 0 };
+/// assert_eq!(guard.report().rejection_count(dup), trace.rounds[0].len());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SubmissionGuard {
     config: GuardConfig,
@@ -280,6 +307,18 @@ pub struct SubmissionGuard {
     /// quarantine sweep mines for collisions. Losers cost nothing but
     /// still leave evidence.
     submitted: Vec<(WorkerId, TaskId, ValueId)>,
+    /// Warm truth-discovery stream over the keep-first submission view,
+    /// built lazily at the first quarantine sweep and advanced
+    /// incrementally afterwards — each sweep pushes only the answers
+    /// admitted since the last one and refines from the previous fixed
+    /// point instead of rerunning DATE from cold (the ROADMAP's
+    /// `guard_overhead_ratio` win).
+    view: Option<DateStream>,
+    /// `(worker, task)` pairs already in the view (keep-first: a
+    /// post-retraction resubmission never overwrites the first evidence).
+    view_seen: HashSet<(WorkerId, TaskId)>,
+    /// Prefix of `submitted` already folded into `view`.
+    view_synced: usize,
     report: GuardReport,
 }
 
@@ -302,6 +341,9 @@ impl SubmissionGuard {
             queue: Vec::new(),
             current: HashMap::new(),
             submitted,
+            view: None,
+            view_seen: HashSet::new(),
+            view_synced: 0,
             report: GuardReport::default(),
         }
     }
@@ -476,6 +518,13 @@ impl SubmissionGuard {
         self.current.get(&worker).map(|&(fp, _)| fp)
     }
 
+    /// Finalizes the guard at campaign stop: snapshots the still-queued
+    /// re-offer count into the report and hands the report over.
+    pub(crate) fn finish(mut self) -> GuardReport {
+        self.report.reoffers_pending_at_stop = self.queue.len();
+        self.report
+    }
+
     /// Queues this round's losers for re-offer under the backoff policy.
     fn schedule_losers(&mut self, round: usize, cohort: &[WorkerOffer], winners: &[WorkerId]) {
         let Some(policy) = self.config.reoffer else {
@@ -618,6 +667,12 @@ fn minority_collisions_at_least(
 /// nothing but still leave evidence), find high-collision components,
 /// quarantine their members and retract their *bought* answers from
 /// refinement (retaining them for audit).
+///
+/// The view is a persistent warm [`DateStream`]: the first sweep builds
+/// it from the keep-first submission log (a fresh stream's first
+/// refinement is the batch DATE run), later sweeps push only the
+/// answers admitted since and refine from the previous fixed point —
+/// the same incremental machinery the campaign's own stream runs on.
 fn quarantine_sweep(
     guard: &mut SubmissionGuard,
     state: &mut CampaignState,
@@ -626,29 +681,45 @@ fn quarantine_sweep(
     round: usize,
 ) {
     let newly: Vec<WorkerId> = {
-        // Keep-first materialization of the submission view: after a
-        // retraction a worker may legitimately resubmit a different
-        // value, and admission only blocks *held* answers — the view
-        // keeps the first submission for each (worker, task).
-        let mut builder = ObservationsBuilder::new(guard.n_workers, guard.num_false.len());
-        let mut seen: std::collections::HashSet<(WorkerId, TaskId)> =
-            std::collections::HashSet::new();
-        for &(w, t, v) in &guard.submitted {
-            if seen.insert((w, t)) {
-                builder
-                    .record(w, t, v)
-                    .expect("admitted answers are in range");
+        // Keep-first sync of the view: after a retraction a worker may
+        // legitimately resubmit a different value, and admission only
+        // blocks *held* answers — the view keeps the first submission
+        // for each (worker, task).
+        let fresh: Vec<(WorkerId, TaskId, ValueId)> = guard.submitted[guard.view_synced..]
+            .iter()
+            .copied()
+            .filter(|&(w, t, _)| guard.view_seen.insert((w, t)))
+            .collect();
+        guard.view_synced = guard.submitted.len();
+        let stream: &mut DateStream = match guard.view.as_mut() {
+            Some(s) => {
+                if !fresh.is_empty() {
+                    s.push(&SnapshotDelta::from_answers(fresh))
+                        .expect("admitted answers are fresh and in range");
+                    s.refine();
+                }
+                s
             }
-        }
-        let view = builder.build();
-        let Ok(problem) = TruthProblem::new(&view, &guard.num_false) else {
+            None => {
+                let mut builder = ObservationsBuilder::new(guard.n_workers, guard.num_false.len());
+                for (w, t, v) in fresh {
+                    builder
+                        .record(w, t, v)
+                        .expect("admitted answers are in range");
+                }
+                let mut s = DateStream::new(&cfg.date, builder.build(), guard.num_false.clone())
+                    .expect("admitted answers form a consistent snapshot");
+                s.set_worker_limit(Some(guard.n_workers));
+                s.refine();
+                guard.view.insert(s)
+            }
+        };
+        let stream: &DateStream = stream;
+        let view = stream.observations();
+        let Ok(problem) = TruthProblem::new(view, &guard.num_false) else {
             return;
         };
         let dc = cfg.date.config();
-        let Ok(date) = Date::new(dc.clone()) else {
-            return;
-        };
-        let res = date.discover(&problem);
         let params = DependenceParams {
             r: dc.r,
             alpha: dc.alpha,
@@ -656,13 +727,13 @@ fn quarantine_sweep(
         };
         let matrix = pairwise_posteriors(
             &problem,
-            &res.accuracy,
-            &res.estimate,
+            stream.accuracy(),
+            stream.estimate(),
             &dc.false_values,
             &params,
         );
         let n = view.n_workers();
-        let tallies = ValueSupport::of(&view, guard.num_false.len());
+        let tallies = ValueSupport::of(view, guard.num_false.len());
         let mut uf = UnionFind::new(n);
         for i in 0..n {
             let rows_i = view.tasks_of_worker(WorkerId(i));
@@ -725,10 +796,67 @@ fn quarantine_sweep(
     }
 }
 
+/// One guarded round, end to end: admission in front, the shared round
+/// body in the middle, bundle-idempotent payments, loser re-offers and
+/// the periodic quarantine sweep behind it. `Ok(Some(stop))` means the
+/// campaign must stop *after* this call (budget refusals stop before the
+/// round commits, coverage after). Both the batch loop ([`run_guarded`])
+/// and the serving event loop ([`crate::serve`]) drive every round
+/// through this one function — which is why a serialized submission
+/// schedule through the service is bit-identical to the batch run, by
+/// construction and by property test.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn guarded_round(
+    cfg: &PipelineConfig,
+    trace: &RoundTrace,
+    mode: RefineMode,
+    round: usize,
+    arrivals: &[WorkerOffer],
+    raw_corrections: Option<&SnapshotDelta>,
+    state: &mut CampaignState,
+    guard: &mut SubmissionGuard,
+    ledger: &mut PaymentLedger,
+) -> Result<Option<StopReason>, AuctionError> {
+    let t = Instant::now();
+    let cohort = guard.admit_round(round, arrivals, state.stream.observations(), ledger);
+    state.latencies.admit.record(t.elapsed().as_secs_f64());
+    match state.execute_round_with(cfg, trace, mode, round, &cohort, raw_corrections)? {
+        RoundStep::BudgetStop => {
+            return Ok(Some(StopReason::BudgetExhausted));
+        }
+        RoundStep::Executed { corrections, .. } => {
+            if let Some(raw) = raw_corrections {
+                guard.audit_corrections(round, raw, &corrections);
+            }
+        }
+    }
+    let record = state.rounds.last().expect("round just executed");
+    let winners = record.winners.clone();
+    ledger
+        .record(round, record.payment)
+        .expect("each round executes at most once");
+    for &w in &winners {
+        let fp = guard
+            .admitted_fingerprint(w)
+            .expect("winners come from the admitted cohort");
+        if ledger.record_bundle(round, w, fp).is_err() {
+            guard.report.double_pay_refused += 1;
+        }
+    }
+    guard.schedule_losers(round, &cohort, &winners);
+    if let Some(policy) = guard.config.quarantine.clone() {
+        if (round + 1).is_multiple_of(policy.interval.max(1)) {
+            quarantine_sweep(guard, state, cfg, &policy, round);
+        }
+    }
+    if state.covered_tasks == trace.n_tasks() {
+        return Ok(Some(StopReason::AllCovered));
+    }
+    Ok(None)
+}
+
 /// The guarded campaign loop: the clean loop of
-/// [`crate::CampaignRuntime::run`] with admission in front of every
-/// round, bundle-idempotent payments behind it, loser re-offers, and
-/// periodic quarantine sweeps.
+/// [`crate::CampaignRuntime::run`] with [`guarded_round`] as its body.
 pub(crate) fn run_guarded(
     cfg: &PipelineConfig,
     trace: &RoundTrace,
@@ -745,51 +873,23 @@ pub(crate) fn run_guarded(
             stop = StopReason::MaxRounds;
             break;
         }
-        let cohort = guard.admit_round(
+        if let Some(s) = guarded_round(
+            cfg,
+            trace,
+            mode,
             round,
             &trace.rounds[round],
-            state.stream.observations(),
-            &ledger,
-        );
-        let raw_corrections = trace.corrections.get(round);
-        match state.execute_round_with(cfg, trace, mode, round, &cohort, raw_corrections)? {
-            RoundStep::BudgetStop => {
-                stop = StopReason::BudgetExhausted;
-                break;
-            }
-            RoundStep::Executed { corrections, .. } => {
-                if let Some(raw) = raw_corrections {
-                    guard.audit_corrections(round, raw, &corrections);
-                }
-            }
-        }
-        let record = state.rounds.last().expect("round just executed");
-        let winners = record.winners.clone();
-        ledger
-            .record(round, record.payment)
-            .expect("each trace round executes at most once");
-        for &w in &winners {
-            let fp = guard
-                .admitted_fingerprint(w)
-                .expect("winners come from the admitted cohort");
-            if ledger.record_bundle(round, w, fp).is_err() {
-                guard.report.double_pay_refused += 1;
-            }
-        }
-        guard.schedule_losers(round, &cohort, &winners);
-        if let Some(policy) = guard_cfg.quarantine.clone() {
-            if (round + 1) % policy.interval.max(1) == 0 {
-                quarantine_sweep(&mut guard, &mut state, cfg, &policy, round);
-            }
-        }
-        if state.covered_tasks == trace.n_tasks() {
-            stop = StopReason::AllCovered;
+            trace.corrections.get(round),
+            &mut state,
+            &mut guard,
+            &mut ledger,
+        )? {
+            stop = s;
             break;
         }
     }
 
-    guard.report.reoffers_pending_at_stop = guard.queue.len();
-    let report = guard.report;
+    let report = guard.finish();
     Ok(GuardedOutcome {
         outcome: state.into_outcome(cfg, trace, stop),
         ledger,
@@ -820,4 +920,91 @@ pub fn sanitize_trace(trace: &RoundTrace) -> (RoundTrace, Vec<RejectedSubmission
     // Corrections are left as-is: the round body's sequential filter
     // already reduces duplicated/inapplicable ops safely.
     (out, guard.report.rejections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_datagen::{inject_trace, AdversaryConfig, RoundTraceConfig};
+    use proptest::prelude::*;
+
+    /// Reference driver for the warm quarantine view: the guarded loop
+    /// with the view's dependence engine rebuilt from scratch (cold term
+    /// caches) before every round, so each sweep refines on a freshly
+    /// built engine instead of the warm one.
+    fn run_guarded_view_rebuilt(
+        cfg: &PipelineConfig,
+        trace: &RoundTrace,
+        guard_cfg: &GuardConfig,
+    ) -> Result<GuardedOutcome, AuctionError> {
+        let mut state = CampaignState::new(cfg, trace);
+        let mut guard = SubmissionGuard::new(trace, guard_cfg.clone());
+        let mut ledger = PaymentLedger::new();
+        let mut stop = StopReason::TraceExhausted;
+        for round in 0..trace.rounds.len() {
+            if cfg.max_rounds.is_some_and(|cap| state.rounds.len() >= cap) {
+                stop = StopReason::MaxRounds;
+                break;
+            }
+            if let Some(view) = guard.view.as_mut() {
+                view.rebuild_engine();
+            }
+            if let Some(s) = guarded_round(
+                cfg,
+                trace,
+                RefineMode::Warm,
+                round,
+                &trace.rounds[round],
+                trace.corrections.get(round),
+                &mut state,
+                &mut guard,
+                &mut ledger,
+            )? {
+                stop = s;
+                break;
+            }
+        }
+        let report = guard.finish();
+        Ok(GuardedOutcome {
+            outcome: state.into_outcome(cfg, trace, stop),
+            ledger,
+            report,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The persistent warm submission view must be invisible to
+        /// outcomes: a driver that cold-rebuilds the view's engine before
+        /// every sweep produces the same quarantine decisions, ledger,
+        /// report and campaign outcome, bit for bit.
+        #[test]
+        fn warm_quarantine_view_matches_engine_rebuild(seed in 0u64..40) {
+            let clean = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+            let adversary = AdversaryConfig::pollution(clean.n_workers(), 0.2);
+            let (trace, _) = inject_trace(&clean, &adversary, seed ^ 0xace).unwrap();
+            let cfg = PipelineConfig::default();
+            let gc = GuardConfig::full();
+            let warm = run_guarded(&cfg, &trace, &gc, RefineMode::Warm).unwrap();
+            let cold = run_guarded_view_rebuilt(&cfg, &trace, &gc).unwrap();
+            prop_assert_eq!(&warm.report, &cold.report);
+            prop_assert_eq!(&warm.ledger, &cold.ledger);
+            prop_assert_eq!(warm.outcome.stop, cold.outcome.stop);
+            prop_assert_eq!(&warm.outcome.rounds, &cold.outcome.rounds);
+            prop_assert_eq!(&warm.outcome.final_estimate, &cold.outcome.final_estimate);
+            prop_assert_eq!(
+                warm.outcome.total_payment.to_bits(),
+                cold.outcome.total_payment.to_bits()
+            );
+            let (wa, ca) = (
+                warm.outcome.final_accuracy.as_slice(),
+                cold.outcome.final_accuracy.as_slice(),
+            );
+            prop_assert_eq!(wa.len(), ca.len());
+            for (x, y) in wa.iter().zip(ca) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
 }

@@ -73,6 +73,7 @@ pub mod guard;
 pub mod ledger;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 
 mod state;
 
@@ -84,5 +85,9 @@ pub use guard::{
     RejectReason, RejectedSubmission, SubmissionGuard,
 };
 pub use ledger::{LedgerError, PaymentLedger};
-pub use report::{RollingOutcome, RoundRecord, StageTimings, StopReason};
+pub use report::{RollingOutcome, RoundRecord, StageLatencies, StageTimings, StopReason};
 pub use runtime::{one_shot, CampaignRuntime, ConfigError, OneShotOutcome, PipelineConfig};
+pub use serve::{
+    CampaignService, ServeConfig, ServeError, ServeOutcome, ServiceExit, ServiceStatus, ShedReason,
+    SubmitError,
+};

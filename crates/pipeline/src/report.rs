@@ -1,7 +1,7 @@
 //! Round-by-round and cumulative accounting of a rolling campaign.
 
 use imc2_auction::Deferral;
-use imc2_common::{Grid, TaskId, ValueId, WorkerId};
+use imc2_common::{Grid, Histogram, TaskId, ValueId, WorkerId};
 use serde::{Deserialize, Serialize};
 
 /// Residual mass below which a task counts as covered — matches the
@@ -99,6 +99,27 @@ impl StageTimings {
     }
 }
 
+/// Per-round latency *distributions* per stage — the p99 story the totals
+/// in [`StageTimings`] cannot tell. One sample is recorded per stage per
+/// executed round (plus the warm-up refinement into `refine`); the
+/// `admit` histogram is populated only by drivers with a
+/// [`crate::SubmissionGuard`] at the front door (guarded batch runs and
+/// the serving layer) and stays empty elsewhere. Like the summed
+/// timings, distributions never influence results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageLatencies {
+    /// Admission screening (`SubmissionGuard::admit_round`).
+    pub admit: Histogram,
+    /// Reputation lookup, round-instance construction, winner selection.
+    pub auction: Histogram,
+    /// Critical-payment determination.
+    pub payment: Histogram,
+    /// Delta construction and `DateStream::push`.
+    pub ingest: Histogram,
+    /// Streaming refinement (plus rebuilds/compaction where applicable).
+    pub refine: Histogram,
+}
+
 /// Everything a finished rolling campaign produced.
 #[derive(Debug, Clone)]
 pub struct RollingOutcome {
@@ -127,6 +148,8 @@ pub struct RollingOutcome {
     pub total_refine_iterations: usize,
     /// Per-stage wall-clock totals.
     pub timings: StageTimings,
+    /// Per-round latency distributions per stage.
+    pub latencies: StageLatencies,
 }
 
 impl RollingOutcome {

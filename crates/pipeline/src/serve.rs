@@ -1,0 +1,941 @@
+//! The serving layer: a rolling campaign behind an asynchronous
+//! submission front.
+//!
+//! Every driver so far — [`crate::CampaignRuntime`], the guarded loop,
+//! [`crate::DurableRuntime`] — consumes a complete [`RoundTrace`] in one
+//! call. A deployed crowdsourcing platform does not get its submissions
+//! as a finished trace: offers, answer revisions and retractions arrive
+//! *concurrently*, while the previous round is still refining.
+//! [`CampaignService`] closes that gap. `start` (or `start_durable`)
+//! spawns one event-loop thread that owns the entire campaign state —
+//! stream, guard, ledger — and hands back a cloneable-by-channel handle
+//! whose submission calls never block:
+//!
+//! * **Submission API** — [`CampaignService::submit_offer`] and
+//!   [`CampaignService::submit_corrections`] enqueue work over a
+//!   *bounded* channel. A full queue returns [`SubmitError::Busy`]
+//!   (back off and retry); a service that is draining, stopped or
+//!   failed returns [`SubmitError::Shed`] with a typed
+//!   [`ShedReason`]. Memory is bounded by construction — overload can
+//!   never grow an unbounded buffer.
+//! * **Coalescing** — submissions accumulate into a pending cohort; a
+//!   round executes when the cohort reaches
+//!   [`ServeConfig::round_target`] offers, or when a caller forces one
+//!   with [`CampaignService::flush`] / [`CampaignService::flush_sync`].
+//!   Corrections coalesce into a single [`SnapshotDelta`] per round, in
+//!   arrival order.
+//! * **Same round body, bit for bit** — every round runs through the
+//!   same `guarded_round` the batch guarded loop uses: admission
+//!   screening in front ([`crate::SubmissionGuard`]), auction → pay →
+//!   ingest → refine in the middle, idempotent payments, loser
+//!   re-offers and the periodic quarantine sweep behind. A serialized
+//!   submission schedule (submit round `r`'s offers, flush, repeat) is
+//!   therefore **bit-identical** to [`crate::CampaignRuntime::run_guarded`]
+//!   on the equivalent trace — outcome, ledger and guard report alike.
+//!   `tests/serve.rs` proves it by property test.
+//! * **Durability** — [`CampaignService::start_durable`] journals every
+//!   round's *raw arrivals* (offers + coalesced corrections) to the
+//!   write-ahead log **before** executing it. The append is the commit
+//!   point: a crash at any moment loses at most the uncommitted pending
+//!   cohort, and restarting over the same storage deterministically
+//!   re-executes the journaled arrival history through a fresh guard,
+//!   stream and ledger — recovering the exact pre-crash state, admitted
+//!   and rejected submissions included.
+//!
+//! Stage latencies (admit/auction/pay/ingest/refine) are recorded
+//! per-round into [`crate::StageLatencies`] histograms on the outcome,
+//! so a service operator gets p50/p90/p99 per stage, not just totals.
+//! Operational guidance — tuning `queue_capacity` and `round_target`,
+//! interpreting shed rates and latency distributions, the recovery
+//! story — lives in `docs/SERVING.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use imc2_datagen::{RoundTrace, RoundTraceConfig};
+//! use imc2_pipeline::{
+//!     CampaignService, GuardConfig, PipelineConfig, ServeConfig, StopReason,
+//! };
+//!
+//! let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+//! let service = CampaignService::start(
+//!     trace.clone(),
+//!     PipelineConfig::default(),
+//!     GuardConfig::admission_only(),
+//!     ServeConfig::default(),
+//! );
+//!
+//! // Submissions arrive one by one; nothing executes until the pending
+//! // cohort reaches `round_target` or a flush forces a round.
+//! for offer in &trace.rounds[0] {
+//!     service.submit_offer(offer.clone()).unwrap();
+//! }
+//! let stop = service.flush_sync().unwrap();
+//! assert_eq!(stop, None, "campaign still running after one round");
+//!
+//! let exit = service.shutdown();
+//! let served = exit.result.unwrap();
+//! assert_eq!(served.outcome.rounds.len(), 1);
+//! assert_eq!(served.outcome.stop, StopReason::TraceExhausted);
+//! assert_eq!(
+//!     served.ledger.total().to_bits(),
+//!     served.outcome.total_payment.to_bits(),
+//!     "ledger and outcome agree on every payment bit"
+//! );
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use imc2_auction::AuctionError;
+use imc2_common::codec::{decode_from_slice, encode_to_vec, Codec, CodecError, Decoder, Encoder};
+use imc2_common::storage::{MemStorage, Storage};
+use imc2_common::wal::Wal;
+use imc2_common::{DeltaOp, SnapshotDelta};
+use imc2_datagen::{RoundTrace, WorkerOffer};
+
+use crate::durable::{DurabilityError, Genesis, KIND_GENESIS, WAL_OBJECT};
+use crate::guard::{guarded_round, GuardConfig, GuardReport, SubmissionGuard};
+use crate::ledger::PaymentLedger;
+use crate::report::{RollingOutcome, StopReason};
+use crate::runtime::PipelineConfig;
+use crate::state::{CampaignState, RefineMode};
+
+/// WAL frame kind: one round's raw arrivals (offers + coalesced
+/// corrections), appended **before** the round executes. Distinct from
+/// the batch durable runtime's kinds (`1..=3`) so the two journal
+/// layouts can never be confused for one another.
+pub const KIND_ARRIVALS: u16 = 4;
+
+/// Knobs of the event-loop front. Both knobs trade latency against
+/// throughput; `docs/SERVING.md` discusses how to pick them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bound of the submission queue. A submission arriving while the
+    /// queue holds this many unprocessed commands gets
+    /// [`SubmitError::Busy`] instead of growing memory. Treated as at
+    /// least 1.
+    pub queue_capacity: usize,
+    /// Pending-cohort size that triggers a round without waiting for a
+    /// flush. Treated as at least 1; use `usize::MAX` to execute rounds
+    /// only on explicit flushes.
+    pub round_target: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            round_target: 32,
+        }
+    }
+}
+
+/// Why a submission was shed (refused for a reason other than transient
+/// overload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Shutdown has begun; the in-flight cohort is being drained, new
+    /// submissions are refused.
+    Draining,
+    /// The campaign reached a terminal [`StopReason`] (budget, coverage,
+    /// round cap) and executes no further rounds.
+    Stopped(StopReason),
+    /// The event loop hit an unrecoverable error (journal write failure
+    /// or auction error); see the [`ServeError`] from
+    /// [`CampaignService::shutdown`].
+    Failed,
+}
+
+/// Typed backpressure: how a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full right now. Transient — back off and
+    /// retry; nothing about the campaign state refuses the submission.
+    Busy,
+    /// The service no longer accepts submissions, for the given reason.
+    /// Permanent for this service instance — do not retry.
+    Shed(ShedReason),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "submission queue full (retry later)"),
+            SubmitError::Shed(ShedReason::Draining) => write!(f, "service draining for shutdown"),
+            SubmitError::Shed(ShedReason::Stopped(s)) => write!(f, "campaign stopped: {s:?}"),
+            SubmitError::Shed(ShedReason::Failed) => write!(f, "service failed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Terminal failure of the event loop.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A round failed in the auction (uncapped monopolist).
+    Auction(AuctionError),
+    /// The arrival journal could not be written.
+    Journal(DurabilityError),
+    /// The event-loop thread panicked.
+    Panicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Auction(e) => write!(f, "auction: {e}"),
+            ServeError::Journal(e) => write!(f, "journal: {e}"),
+            ServeError::Panicked => write!(f, "event loop panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Auction(e) => Some(e),
+            ServeError::Journal(e) => Some(e),
+            ServeError::Panicked => None,
+        }
+    }
+}
+
+/// Lifecycle phase of a running service, observable from the handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStatus {
+    /// Accepting submissions.
+    Accepting,
+    /// Shutdown begun; draining the in-flight cohort.
+    Draining,
+    /// Campaign reached a terminal stop; submissions shed.
+    Stopped,
+    /// Event loop failed; submissions shed.
+    Failed,
+}
+
+/// Everything a finished service produced. The `outcome`, `ledger` and
+/// `report` have exactly the shape of the batch guarded loop's
+/// [`crate::GuardedOutcome`] — a serialized schedule reproduces it bit
+/// for bit.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The campaign outcome (records, estimate, latencies, stop reason).
+    pub outcome: RollingOutcome,
+    /// Round payouts and winning-bundle registrations.
+    pub ledger: PaymentLedger,
+    /// Admissions, rejections, quarantines, re-offers.
+    pub report: GuardReport,
+    /// Rounds executed live by this service instance (committed records,
+    /// excluding rounds absorbed from a recovered journal).
+    pub rounds_served: usize,
+    /// Journaled rounds re-executed during recovery before the service
+    /// went live (0 for in-memory or fresh-journal starts).
+    pub recovered_rounds: usize,
+    /// WAL frames appended by this instance (genesis + arrival frames;
+    /// 0 for in-memory services).
+    pub wal_frames_appended: usize,
+}
+
+/// What [`CampaignService::shutdown`] returns: the result plus the
+/// storage backend moved back out of the event loop (for durable
+/// services), so crash tests can inspect or reuse the journal.
+#[derive(Debug)]
+pub struct ServiceExit<S> {
+    /// The campaign result, or the terminal failure.
+    pub result: Result<ServeOutcome, ServeError>,
+    /// The storage the service journaled to; `None` for in-memory
+    /// services or when the event loop panicked.
+    pub storage: Option<S>,
+}
+
+// Lifecycle phases, stored in `Shared::phase`.
+const ACCEPTING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+const FAILED: u8 = 3;
+
+/// State shared between the handle and the event-loop thread, out of
+/// band of the command queue — so backpressure decisions and the pause
+/// valve never depend on queue capacity.
+struct Shared {
+    phase: AtomicU8,
+    stop: Mutex<Option<StopReason>>,
+    paused: Mutex<bool>,
+    unpause: Condvar,
+}
+
+impl Shared {
+    fn new(stop: Option<StopReason>) -> Self {
+        Shared {
+            phase: AtomicU8::new(if stop.is_some() { STOPPED } else { ACCEPTING }),
+            stop: Mutex::new(stop),
+            paused: Mutex::new(false),
+            unpause: Condvar::new(),
+        }
+    }
+
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    /// Blocks the event loop while the pause valve is closed. The valve
+    /// is a deterministic quiescence point for tests: a paused loop
+    /// holds at most one received command, so a known number of
+    /// submissions provably fills the queue.
+    fn wait_while_paused(&self) {
+        let mut paused = self.paused.lock().expect("pause mutex never poisoned");
+        while *paused {
+            paused = self
+                .unpause
+                .wait(paused)
+                .expect("pause mutex never poisoned");
+        }
+    }
+}
+
+/// Commands the handle enqueues for the event loop.
+enum Command {
+    Offer(WorkerOffer),
+    Corrections(SnapshotDelta),
+    Flush(Option<mpsc::Sender<FlushAck>>),
+    Shutdown,
+}
+
+/// Reply to a synchronous flush: the stop reason, if the campaign has
+/// reached one.
+struct FlushAck {
+    stop: Option<StopReason>,
+}
+
+/// One round's raw arrivals, as journaled. Recovery re-executes these
+/// through the guard — rejected submissions are journaled too, so the
+/// recovered rejection log matches the original bit for bit.
+struct ArrivalFrame {
+    round: usize,
+    arrivals: Vec<WorkerOffer>,
+    corrections: Option<SnapshotDelta>,
+}
+
+impl Codec for ArrivalFrame {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.round);
+        enc.put_usize(self.arrivals.len());
+        for o in &self.arrivals {
+            o.worker.encode(enc);
+            o.answers.encode(enc);
+            enc.put_f64(o.price);
+        }
+        self.corrections.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let round = dec.take_usize()?;
+        // Each offer is at least a worker id, an answer count and a
+        // price on the wire.
+        let n = dec.take_seq_len(8 + 8 + 8)?;
+        let mut arrivals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let worker = Codec::decode(dec)?;
+            let answers = Codec::decode(dec)?;
+            let price = dec.take_f64()?;
+            arrivals.push(WorkerOffer {
+                worker,
+                answers,
+                price,
+            });
+        }
+        let corrections = Codec::decode(dec)?;
+        Ok(ArrivalFrame {
+            round,
+            arrivals,
+            corrections,
+        })
+    }
+}
+
+type LoopResult<S> = (Result<ServeOutcome, ServeError>, Option<S>);
+
+/// The event loop's owned state: the entire campaign lives on this
+/// thread; the handle only ever touches the queue and [`Shared`].
+struct EventLoop<S: Storage> {
+    cfg: PipelineConfig,
+    serve: ServeConfig,
+    trace: RoundTrace,
+    state: CampaignState,
+    guard: SubmissionGuard,
+    ledger: PaymentLedger,
+    shared: Arc<Shared>,
+    wal: Wal,
+    storage: Option<S>,
+    pending_offers: Vec<WorkerOffer>,
+    pending_ops: Vec<DeltaOp>,
+    stop: Option<StopReason>,
+    error: Option<ServeError>,
+    recovered_rounds: usize,
+    recovered_records: usize,
+    wal_frames_appended: usize,
+}
+
+impl<S: Storage> EventLoop<S> {
+    fn set_stop(&mut self, stop: StopReason) {
+        self.stop = Some(stop);
+        *self.shared.stop.lock().expect("stop mutex never poisoned") = Some(stop);
+        self.shared.phase.store(STOPPED, Ordering::SeqCst);
+    }
+
+    fn fail(&mut self, e: ServeError) {
+        self.error = Some(e);
+        self.pending_offers.clear();
+        self.pending_ops.clear();
+        self.shared.phase.store(FAILED, Ordering::SeqCst);
+    }
+
+    /// Executes one round over the pending cohort (possibly empty — an
+    /// explicit flush of an idle service still advances the round
+    /// clock, which is what drives re-offer due-rounds). For durable
+    /// services the arrival frame is appended first; the append is the
+    /// commit point.
+    fn run_pending_round(&mut self) {
+        if self.error.is_some() || self.stop.is_some() {
+            return;
+        }
+        let round = self.state.rounds.len();
+        if self.cfg.max_rounds.is_some_and(|cap| round >= cap) {
+            // Mirrors the batch loop: the cap refuses the round before
+            // anything is journaled or executed.
+            self.pending_offers.clear();
+            self.pending_ops.clear();
+            self.set_stop(StopReason::MaxRounds);
+            return;
+        }
+        let arrivals = std::mem::take(&mut self.pending_offers);
+        let ops = std::mem::take(&mut self.pending_ops);
+        let corrections = if ops.is_empty() {
+            None
+        } else {
+            Some(SnapshotDelta::from_ops(ops))
+        };
+        if let Some(storage) = self.storage.as_mut() {
+            let frame = ArrivalFrame {
+                round,
+                arrivals: arrivals.clone(),
+                corrections: corrections.clone(),
+            };
+            if let Err(e) = self
+                .wal
+                .append(storage, KIND_ARRIVALS, &encode_to_vec(&frame))
+            {
+                self.fail(ServeError::Journal(e.into()));
+                return;
+            }
+            self.wal_frames_appended += 1;
+        }
+        match guarded_round(
+            &self.cfg,
+            &self.trace,
+            RefineMode::Warm,
+            round,
+            &arrivals,
+            corrections.as_ref(),
+            &mut self.state,
+            &mut self.guard,
+            &mut self.ledger,
+        ) {
+            Ok(None) => {}
+            Ok(Some(stop)) => self.set_stop(stop),
+            Err(e) => self.fail(ServeError::Auction(e)),
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Command>) -> LoopResult<S> {
+        while let Ok(cmd) = rx.recv() {
+            self.shared.wait_while_paused();
+            match cmd {
+                Command::Offer(offer) => {
+                    if self.stop.is_none() && self.error.is_none() {
+                        self.pending_offers.push(offer);
+                        if self.pending_offers.len() >= self.serve.round_target.max(1) {
+                            self.run_pending_round();
+                        }
+                    }
+                }
+                Command::Corrections(delta) => {
+                    if self.stop.is_none() && self.error.is_none() {
+                        self.pending_ops.extend_from_slice(delta.ops());
+                    }
+                }
+                Command::Flush(ack) => {
+                    if self.error.is_some() {
+                        // Dropping the ack sender tells a synchronous
+                        // flusher the service failed.
+                        drop(ack);
+                        continue;
+                    }
+                    self.run_pending_round();
+                    if let Some(tx) = ack {
+                        let _ = tx.send(FlushAck { stop: self.stop });
+                    }
+                }
+                Command::Shutdown => {
+                    // Drain: the final in-flight cohort is executed (and
+                    // journaled) rather than dropped, so no admitted
+                    // submission or due payment is lost.
+                    if !self.pending_offers.is_empty() || !self.pending_ops.is_empty() {
+                        self.run_pending_round();
+                    }
+                    break;
+                }
+            }
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> LoopResult<S> {
+        if let Some(e) = self.error.take() {
+            return (Err(e), self.storage);
+        }
+        let stop = self.stop.unwrap_or(StopReason::TraceExhausted);
+        *self.shared.stop.lock().expect("stop mutex never poisoned") = Some(stop);
+        self.shared.phase.store(STOPPED, Ordering::SeqCst);
+        let rounds_served = self.state.rounds.len() - self.recovered_records;
+        let report = self.guard.finish();
+        let outcome = self.state.into_outcome(&self.cfg, &self.trace, stop);
+        (
+            Ok(ServeOutcome {
+                outcome,
+                ledger: self.ledger,
+                report,
+                rounds_served,
+                recovered_rounds: self.recovered_rounds,
+                wal_frames_appended: self.wal_frames_appended,
+            }),
+            self.storage,
+        )
+    }
+}
+
+/// Handle to a running campaign service. See the [module docs](self)
+/// for the API story; dropping the handle without
+/// [`CampaignService::shutdown`] detaches the event loop, which drains
+/// its queue and discards the result.
+pub struct CampaignService<S: Storage + Send + 'static = MemStorage> {
+    tx: SyncSender<Command>,
+    shared: Arc<Shared>,
+    join: Option<JoinHandle<LoopResult<S>>>,
+    recovered: usize,
+}
+
+impl CampaignService<MemStorage> {
+    /// Starts an in-memory service over `trace` — the campaign
+    /// *substrate*: worker roster, costs, task values and requirement
+    /// profile. The substrate's own per-round offer schedule
+    /// (`trace.rounds` / `trace.corrections`) is **ignored**; rounds are
+    /// whatever arrives through the submission API.
+    ///
+    /// # Panics
+    /// On an invalid `cfg`, like [`crate::CampaignRuntime::new`].
+    pub fn start(
+        trace: RoundTrace,
+        cfg: PipelineConfig,
+        guard: GuardConfig,
+        serve: ServeConfig,
+    ) -> Self {
+        Self::start_inner(None, trace, cfg, guard, serve)
+            .expect("in-memory start performs no storage I/O")
+    }
+}
+
+impl<S: Storage + Send + 'static> CampaignService<S> {
+    /// Starts a durable service journaling to `storage`. An empty
+    /// storage begins a fresh journal (genesis frame appended before
+    /// any submission is accepted). A non-empty storage is **recovered**
+    /// first: the WAL tail is repaired, the genesis is validated
+    /// against `cfg`/`trace`, and every journaled arrival frame is
+    /// re-executed through a fresh guard, stream and ledger — restoring
+    /// the exact pre-crash state before the service goes live. A
+    /// journal whose campaign already reached a terminal stop yields a
+    /// service that sheds every submission with
+    /// [`ShedReason::Stopped`].
+    ///
+    /// # Errors
+    /// [`DurabilityError`] when the journal belongs to a different
+    /// campaign, fails to decode, or storage I/O fails during recovery.
+    ///
+    /// # Panics
+    /// On an invalid `cfg`, like [`crate::CampaignRuntime::new`].
+    pub fn start_durable(
+        storage: S,
+        trace: RoundTrace,
+        cfg: PipelineConfig,
+        guard: GuardConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, DurabilityError> {
+        Self::start_inner(Some(storage), trace, cfg, guard, serve)
+    }
+
+    fn start_inner(
+        storage: Option<S>,
+        trace: RoundTrace,
+        cfg: PipelineConfig,
+        guard_cfg: GuardConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, DurabilityError> {
+        cfg.validate().expect("invalid pipeline configuration");
+        let mut state = CampaignState::new(&cfg, &trace);
+        let mut guard = SubmissionGuard::new(&trace, guard_cfg);
+        let mut ledger = PaymentLedger::new();
+        let wal = Wal::new(WAL_OBJECT);
+        let mut stop = None;
+        let mut storage = storage;
+        let mut recovered_rounds = 0;
+        let mut wal_frames_appended = 0;
+        if let Some(s) = storage.as_mut() {
+            recovered_rounds = recover_journal(
+                s,
+                &wal,
+                &cfg,
+                &trace,
+                &mut state,
+                &mut guard,
+                &mut ledger,
+                &mut stop,
+                &mut wal_frames_appended,
+            )?;
+        }
+        let recovered_records = state.rounds.len();
+        let shared = Arc::new(Shared::new(stop));
+        let (tx, rx) = mpsc::sync_channel(serve.queue_capacity.max(1));
+        let event_loop = EventLoop {
+            cfg,
+            serve,
+            trace,
+            state,
+            guard,
+            ledger,
+            shared: Arc::clone(&shared),
+            wal,
+            storage,
+            pending_offers: Vec::new(),
+            pending_ops: Vec::new(),
+            stop,
+            error: None,
+            recovered_rounds,
+            recovered_records,
+            wal_frames_appended,
+        };
+        let join = std::thread::spawn(move || event_loop.run(rx));
+        Ok(CampaignService {
+            tx,
+            shared,
+            join: Some(join),
+            recovered: recovered_rounds,
+        })
+    }
+
+    /// Journaled rounds re-executed during recovery before this service
+    /// went live (0 for in-memory or fresh-journal starts). A restarting
+    /// feeder resumes from here: rounds below this index are committed —
+    /// re-submitting them would only earn duplicate rejections.
+    pub fn recovered_rounds(&self) -> usize {
+        self.recovered
+    }
+
+    fn shed_reason(&self) -> ShedReason {
+        match self.shared.phase() {
+            DRAINING => ShedReason::Draining,
+            STOPPED => ShedReason::Stopped(
+                self.shared
+                    .stop
+                    .lock()
+                    .expect("stop mutex never poisoned")
+                    .unwrap_or(StopReason::TraceExhausted),
+            ),
+            _ => ShedReason::Failed,
+        }
+    }
+
+    fn try_send(&self, cmd: Command) -> Result<(), SubmitError> {
+        if self.shared.phase() != ACCEPTING {
+            return Err(SubmitError::Shed(self.shed_reason()));
+        }
+        match self.tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SubmitError::Busy),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shed(self.shed_reason())),
+        }
+    }
+
+    /// Enqueues one worker's offer for the next round. Never blocks.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] on a full queue (transient);
+    /// [`SubmitError::Shed`] when the service refuses new work.
+    pub fn submit_offer(&self, offer: WorkerOffer) -> Result<(), SubmitError> {
+        self.try_send(Command::Offer(offer))
+    }
+
+    /// Enqueues a batch of answer revisions/retractions for the next
+    /// round. Batches coalesce in arrival order. Never blocks.
+    ///
+    /// # Errors
+    /// As [`CampaignService::submit_offer`].
+    pub fn submit_corrections(&self, delta: SnapshotDelta) -> Result<(), SubmitError> {
+        self.try_send(Command::Corrections(delta))
+    }
+
+    /// Requests a round over whatever is pending (fire-and-forget). An
+    /// idle flush still executes an (empty) round, advancing re-offer
+    /// due-rounds.
+    ///
+    /// # Errors
+    /// As [`CampaignService::submit_offer`].
+    pub fn flush(&self) -> Result<(), SubmitError> {
+        self.try_send(Command::Flush(None))
+    }
+
+    /// Requests a round and waits until it has executed, returning the
+    /// campaign's stop reason if it has reached one.
+    ///
+    /// # Errors
+    /// As [`CampaignService::submit_offer`]; additionally sheds with
+    /// [`ShedReason::Failed`] when the service fails while the flush is
+    /// in flight.
+    pub fn flush_sync(&self) -> Result<Option<StopReason>, SubmitError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.try_send(Command::Flush(Some(ack_tx)))?;
+        match ack_rx.recv() {
+            Ok(ack) => Ok(ack.stop),
+            Err(_) => Err(SubmitError::Shed(self.shed_reason())),
+        }
+    }
+
+    /// Closes the pause valve: the event loop finishes its current
+    /// command and then blocks before processing the next one, while
+    /// the queue keeps accepting up to `queue_capacity` submissions.
+    /// A deterministic way to observe [`SubmitError::Busy`] in tests.
+    pub fn pause(&self) {
+        *self
+            .shared
+            .paused
+            .lock()
+            .expect("pause mutex never poisoned") = true;
+    }
+
+    /// Reopens the pause valve.
+    pub fn resume(&self) {
+        *self
+            .shared
+            .paused
+            .lock()
+            .expect("pause mutex never poisoned") = false;
+        self.shared.unpause.notify_all();
+    }
+
+    /// The service's current lifecycle phase.
+    pub fn status(&self) -> ServiceStatus {
+        match self.shared.phase() {
+            ACCEPTING => ServiceStatus::Accepting,
+            DRAINING => ServiceStatus::Draining,
+            STOPPED => ServiceStatus::Stopped,
+            _ => ServiceStatus::Failed,
+        }
+    }
+
+    /// Stops accepting submissions, drains the queue — the final
+    /// in-flight cohort is executed and journaled, not dropped — and
+    /// returns the campaign result plus the storage backend.
+    pub fn shutdown(mut self) -> ServiceExit<S> {
+        let _ = self.shared.phase.compare_exchange(
+            ACCEPTING,
+            DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        // The loop may be parked on the pause valve; shutdown overrides.
+        self.resume();
+        // Blocking send: the shutdown command must get through even when
+        // the queue is full of submissions (they drain first).
+        let _ = self.tx.send(Command::Shutdown);
+        let join = self
+            .join
+            .take()
+            .expect("join handle present until shutdown");
+        match join.join() {
+            Ok((result, storage)) => ServiceExit { result, storage },
+            Err(_) => {
+                self.shared.phase.store(FAILED, Ordering::SeqCst);
+                ServiceExit {
+                    result: Err(ServeError::Panicked),
+                    storage: None,
+                }
+            }
+        }
+    }
+}
+
+impl<S: Storage + Send + 'static> Drop for CampaignService<S> {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            // Detach cleanly: refuse new work and make sure the loop is
+            // not parked on the pause valve forever.
+            let _ = self.shared.phase.compare_exchange(
+                ACCEPTING,
+                DRAINING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            self.resume();
+        }
+    }
+}
+
+/// Replays a serve journal: repairs the tail, validates the genesis,
+/// then re-executes every arrival frame through the guard and round
+/// body. Deterministic by the same bit-identity guarantees as the batch
+/// recovery path. Returns the number of arrival frames replayed.
+#[allow(clippy::too_many_arguments)]
+fn recover_journal<S: Storage>(
+    storage: &mut S,
+    wal: &Wal,
+    cfg: &PipelineConfig,
+    trace: &RoundTrace,
+    state: &mut CampaignState,
+    guard: &mut SubmissionGuard,
+    ledger: &mut PaymentLedger,
+    stop: &mut Option<StopReason>,
+    wal_frames_appended: &mut usize,
+) -> Result<usize, DurabilityError> {
+    wal.repair(storage)?;
+    let scan = wal.scan(storage)?;
+    let expected = Genesis::of(cfg, trace);
+    if scan.frames.is_empty() {
+        wal.append(storage, KIND_GENESIS, &encode_to_vec(&expected))?;
+        *wal_frames_appended += 1;
+        return Ok(0);
+    }
+    let first = &scan.frames[0];
+    if first.kind != KIND_GENESIS {
+        return Err(DurabilityError::ConfigMismatch(format!(
+            "journal starts with frame kind {}, expected genesis",
+            first.kind
+        )));
+    }
+    let genesis: Genesis = decode_from_slice(&first.payload)?;
+    genesis.validate_against(&expected)?;
+    for (i, frame) in scan.frames[1..].iter().enumerate() {
+        if frame.kind != KIND_ARRIVALS {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal frame {} has kind {}, expected arrivals — not a serve journal",
+                i + 1,
+                frame.kind
+            )));
+        }
+        if stop.is_some() {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal frame {} continues past the campaign's terminal stop",
+                i + 1
+            )));
+        }
+        let af: ArrivalFrame = decode_from_slice(&frame.payload)?;
+        if af.round != state.rounds.len() {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal frame {} is round {}, expected round {}",
+                i + 1,
+                af.round,
+                state.rounds.len()
+            )));
+        }
+        if cfg.max_rounds.is_some_and(|cap| state.rounds.len() >= cap) {
+            return Err(DurabilityError::ConfigMismatch(format!(
+                "journal frame {} exceeds the configured round cap",
+                i + 1
+            )));
+        }
+        match guarded_round(
+            cfg,
+            trace,
+            RefineMode::Warm,
+            af.round,
+            &af.arrivals,
+            af.corrections.as_ref(),
+            state,
+            guard,
+            ledger,
+        ) {
+            Ok(None) => {}
+            Ok(Some(s)) => *stop = Some(s),
+            Err(e) => return Err(DurabilityError::Auction(e)),
+        }
+    }
+    Ok(scan.frames.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc2_common::{TaskId, ValueId, WorkerId};
+
+    #[test]
+    fn arrival_frame_roundtrips() {
+        let frame = ArrivalFrame {
+            round: 3,
+            arrivals: vec![
+                WorkerOffer {
+                    worker: WorkerId(4),
+                    answers: vec![(TaskId(0), ValueId(1)), (TaskId(2), ValueId(0))],
+                    price: 1.25,
+                },
+                WorkerOffer {
+                    worker: WorkerId(9),
+                    answers: vec![(TaskId(1), ValueId(2))],
+                    price: 0.5,
+                },
+            ],
+            corrections: Some(SnapshotDelta::from_ops(vec![
+                DeltaOp::Revise(WorkerId(4), TaskId(0), ValueId(2)),
+                DeltaOp::Retract(WorkerId(9), TaskId(1)),
+            ])),
+        };
+        let bytes = encode_to_vec(&frame);
+        let back: ArrivalFrame = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.round, 3);
+        assert_eq!(back.arrivals.len(), 2);
+        assert_eq!(back.arrivals[0].worker, WorkerId(4));
+        assert_eq!(back.arrivals[0].answers, frame.arrivals[0].answers);
+        assert_eq!(back.arrivals[1].price.to_bits(), 0.5f64.to_bits());
+        assert_eq!(
+            back.corrections.as_ref().map(|c| c.ops().to_vec()),
+            frame.corrections.as_ref().map(|c| c.ops().to_vec())
+        );
+    }
+
+    #[test]
+    fn arrival_frame_none_corrections_roundtrips() {
+        let frame = ArrivalFrame {
+            round: 0,
+            arrivals: Vec::new(),
+            corrections: None,
+        };
+        let back: ArrivalFrame = decode_from_slice(&encode_to_vec(&frame)).unwrap();
+        assert_eq!(back.round, 0);
+        assert!(back.arrivals.is_empty());
+        assert!(back.corrections.is_none());
+    }
+
+    #[test]
+    fn submit_error_displays() {
+        assert!(SubmitError::Busy.to_string().contains("retry"));
+        assert!(SubmitError::Shed(ShedReason::Draining)
+            .to_string()
+            .contains("draining"));
+        assert!(
+            SubmitError::Shed(ShedReason::Stopped(StopReason::BudgetExhausted))
+                .to_string()
+                .contains("stopped")
+        );
+    }
+}

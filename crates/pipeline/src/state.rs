@@ -13,7 +13,9 @@
 //! property of the state, not a hope about two loop bodies staying in
 //! sync.
 
-use crate::report::{RollingOutcome, RoundRecord, StageTimings, StopReason, COVER_TOL};
+use crate::report::{
+    RollingOutcome, RoundRecord, StageLatencies, StageTimings, StopReason, COVER_TOL,
+};
 use crate::runtime::PipelineConfig;
 use imc2_auction::{AuctionError, RoundBid, RoundInstance, UncoverablePolicy};
 use imc2_common::logprob::clamp_prob;
@@ -79,6 +81,8 @@ pub(crate) struct CampaignState {
     pub refine_iterations: usize,
     /// Wall-clock per stage (never influences results).
     pub timings: StageTimings,
+    /// Per-round latency distributions per stage (never influence results).
+    pub latencies: StageLatencies,
 }
 
 impl CampaignState {
@@ -96,9 +100,12 @@ impl CampaignState {
         // every per-worker buffer.
         stream.set_worker_limit(Some(trace.n_workers()));
         let mut timings = StageTimings::default();
+        let mut latencies = StageLatencies::default();
         let t = Instant::now();
         let refine_iterations = stream.refine().iterations;
-        timings.refine_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        timings.refine_s += dt;
+        latencies.refine.record(dt);
         let residual = trace.requirements.clone();
         let covered: Vec<bool> = residual.iter().map(|&r| r <= COVER_TOL).collect();
         let covered_tasks = covered.iter().filter(|&&c| c).count();
@@ -114,6 +121,7 @@ impl CampaignState {
             total_social_cost: 0.0,
             refine_iterations,
             timings,
+            latencies,
         }
     }
 
@@ -149,6 +157,7 @@ impl CampaignState {
             total_social_cost: 0.0,
             refine_iterations,
             timings: StageTimings::default(),
+            latencies: StageLatencies::default(),
         })
     }
 
@@ -196,7 +205,9 @@ impl CampaignState {
         if !corrections.is_empty() {
             self.stream.push(corrections)?;
         }
-        self.timings.ingest_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.ingest_s += dt;
+        self.latencies.ingest.record(dt);
         let t = Instant::now();
         if !ingest.is_empty() || !corrections.is_empty() {
             self.refine_iterations += self.stream.refine().iterations;
@@ -204,7 +215,9 @@ impl CampaignState {
         if let Some(policy) = &cfg.compaction {
             self.stream.compact(policy);
         }
-        self.timings.refine_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.refine_s += dt;
+        self.latencies.refine.record(dt);
         Ok(())
     }
 
@@ -278,7 +291,9 @@ impl CampaignState {
                 .expect("deferred instances are feasible by construction"),
             None => Vec::new(),
         };
-        self.timings.auction_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.auction_s += dt;
+        self.latencies.auction.record(dt);
 
         // Stage 2 — payment: critical values, gated by the budget.
         let t = Instant::now();
@@ -287,7 +302,9 @@ impl CampaignState {
             _ => Vec::new(),
         };
         let round_payment: f64 = local_payments.iter().sum();
-        self.timings.payment_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.payment_s += dt;
+        self.latencies.payment.record(dt);
         if cfg
             .budget
             .is_some_and(|b| self.total_payment + round_payment > b + COVER_TOL)
@@ -322,7 +339,9 @@ impl CampaignState {
                 .push(&corrections)
                 .expect("filtered corrections reference held answers");
         }
-        self.timings.ingest_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.ingest_s += dt;
+        self.latencies.ingest.record(dt);
 
         // Stage 4 — truth discovery: incremental refinement (the
         // reference driver pays a full engine rebuild first).
@@ -352,7 +371,9 @@ impl CampaignState {
         if let Some(policy) = &cfg.compaction {
             self.stream.compact(policy);
         }
-        self.timings.refine_s += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        self.timings.refine_s += dt;
+        self.latencies.refine.record(dt);
         self.refine_iterations += iterations;
 
         // Bookkeeping: payments, coverage, the round record.
@@ -426,6 +447,7 @@ impl CampaignState {
             covered_tasks: self.covered_tasks,
             total_refine_iterations: self.refine_iterations,
             timings: self.timings,
+            latencies: self.latencies,
         }
     }
 }

@@ -1,0 +1,475 @@
+//! Serving-layer guarantees: a serialized submission schedule through
+//! [`CampaignService`] is **bit-identical** to the batch guarded loop on
+//! the equivalent trace — outcome, ledger and guard report alike — and
+//! the backpressure edges (queue-full shed + retry, submissions queued
+//! while a round executes, shutdown with an in-flight cohort) lose
+//! nothing. Durable services journal arrivals before executing, so a
+//! crash at any mutating-storage operation recovers to a state from
+//! which the campaign finishes bit-identical to one that never crashed.
+//! Runs under both feature states via the CI matrix.
+
+use imc2_common::{FaultPlan, FaultStorage, MemStorage, Storage};
+use imc2_datagen::{
+    inject_trace, AdversaryConfig, RoundTrace, RoundTraceConfig, StreamConfig, WorkerOffer,
+};
+use imc2_pipeline::{
+    CampaignRuntime, CampaignService, GuardConfig, GuardedOutcome, PipelineConfig, RollingOutcome,
+    ServeConfig, ServeError, ServeOutcome, ShedReason, StopReason, SubmitError,
+};
+use proptest::prelude::*;
+
+/// A serve configuration that executes rounds only on explicit flushes —
+/// the serialized schedule the equivalence argument is about.
+fn manual_rounds() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 8,
+        round_target: usize::MAX,
+    }
+}
+
+fn assert_outcomes_bit_identical(a: &RollingOutcome, b: &RollingOutcome, context: &str) {
+    assert_eq!(a.stop, b.stop, "{context}: stop reason");
+    assert_eq!(a.rounds, b.rounds, "{context}: round records");
+    assert_eq!(a.final_estimate, b.final_estimate, "{context}: estimates");
+    assert_eq!(a.covered_tasks, b.covered_tasks, "{context}: coverage");
+    assert_eq!(
+        a.total_refine_iterations, b.total_refine_iterations,
+        "{context}: iterations"
+    );
+    assert_eq!(
+        a.total_payment.to_bits(),
+        b.total_payment.to_bits(),
+        "{context}: payments"
+    );
+    let (sa, sb) = (a.final_accuracy.as_slice(), b.final_accuracy.as_slice());
+    assert_eq!(sa.len(), sb.len(), "{context}: accuracy shape");
+    for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{context}: accuracy cell {i}: {x:e} vs {y:e}"
+        );
+    }
+    for (i, (x, y)) in a.residual.iter().zip(&b.residual).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{context}: residual {i}: {x:e} vs {y:e}"
+        );
+    }
+}
+
+fn assert_serve_matches_batch(serve: &ServeOutcome, batch: &GuardedOutcome, context: &str) {
+    assert_outcomes_bit_identical(&serve.outcome, &batch.outcome, context);
+    assert_eq!(serve.ledger, batch.ledger, "{context}: ledger");
+    assert_eq!(serve.report, batch.report, "{context}: guard report");
+}
+
+/// Retries transient `Busy` refusals; returns the first non-`Busy`
+/// result.
+fn with_retry(mut f: impl FnMut() -> Result<(), SubmitError>) -> Result<(), SubmitError> {
+    loop {
+        match f() {
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            other => return other,
+        }
+    }
+}
+
+/// Feeds trace rounds `from..` through the service, one flush per trace
+/// round — the serialized schedule. Stops early when the campaign stops
+/// or the service sheds.
+fn feed_trace<S: Storage + Send + 'static>(
+    service: &CampaignService<S>,
+    trace: &RoundTrace,
+    from: usize,
+) {
+    for round in from..trace.rounds.len() {
+        for offer in &trace.rounds[round] {
+            if with_retry(|| service.submit_offer(offer.clone())).is_err() {
+                return;
+            }
+        }
+        if let Some(corrections) = trace.corrections.get(round) {
+            if !corrections.is_empty()
+                && with_retry(|| service.submit_corrections(corrections.clone())).is_err()
+            {
+                return;
+            }
+        }
+        loop {
+            match service.flush_sync() {
+                Ok(None) => break,
+                Ok(Some(_)) | Err(SubmitError::Shed(_)) => return,
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Runs the full serialized schedule in-memory and returns the result.
+fn serve_serialized(trace: &RoundTrace, cfg: &PipelineConfig, guard: &GuardConfig) -> ServeOutcome {
+    let service =
+        CampaignService::start(trace.clone(), cfg.clone(), guard.clone(), manual_rounds());
+    feed_trace(&service, trace, 0);
+    service.shutdown().result.expect("clean serve run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole equivalence: a serialized submission schedule through
+    /// the service reproduces the batch guarded loop bit for bit —
+    /// records, estimates, payments, ledger, rejections, quarantines.
+    #[test]
+    fn serialized_schedule_matches_batch_guarded_loop(
+        seed in 0u64..120,
+        frac_idx in 0usize..2,
+        budget_idx in 0usize..3,
+    ) {
+        let initial_fraction = [0.0f64, 0.3][frac_idx];
+        let mut tc = RoundTraceConfig::small();
+        tc.stream = StreamConfig { initial_fraction, ..tc.stream };
+        let trace = RoundTrace::generate(&tc, seed).unwrap();
+        let budget_factor = [None, Some(0.4f64), Some(0.85)][budget_idx];
+        let budget = budget_factor.map(|f| {
+            let full = CampaignRuntime::default().run(&trace).unwrap().total_payment;
+            (full * f).max(1.0)
+        });
+        let cfg = PipelineConfig { budget, ..PipelineConfig::default() };
+        let guard = GuardConfig::full();
+        let batch = CampaignRuntime::new(cfg.clone()).run_guarded(&trace, &guard).unwrap();
+        let served = serve_serialized(&trace, &cfg, &guard);
+        assert_serve_matches_batch(&served, &batch, &format!(
+            "seed {seed} frac {initial_fraction} budget {budget:?}"
+        ));
+        prop_assert_eq!(served.recovered_rounds, 0);
+        prop_assert_eq!(served.rounds_served, served.outcome.rounds.len());
+    }
+
+    /// Same equivalence under adversarial load (sybil/coalition
+    /// pollution) and a round cap — the guard's rejections and
+    /// quarantines must land identically through the async front.
+    #[test]
+    fn serialized_schedule_matches_batch_on_adversarial_traces(
+        seed in 0u64..60,
+        cap_idx in 0usize..2,
+    ) {
+        let clean = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+        let adversary = AdversaryConfig::pollution(clean.n_workers(), 0.2);
+        let (trace, _) = inject_trace(&clean, &adversary, seed ^ 0x5eed).unwrap();
+        let max_rounds = [None, Some(3usize)][cap_idx];
+        let cfg = PipelineConfig { max_rounds, ..PipelineConfig::default() };
+        let guard = GuardConfig::full();
+        let batch = CampaignRuntime::new(cfg.clone()).run_guarded(&trace, &guard).unwrap();
+        let served = serve_serialized(&trace, &cfg, &guard);
+        assert_serve_matches_batch(&served, &batch, &format!(
+            "adversarial seed {seed} cap {max_rounds:?}"
+        ));
+    }
+
+    /// Durable serving: the arrival journal changes no result bit, and a
+    /// service restarted over the finished journal recovers the entire
+    /// campaign without re-executing a single live round or paying a
+    /// cent twice.
+    #[test]
+    fn durable_serve_matches_in_memory_and_recovers(seed in 0u64..40) {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+        let cfg = PipelineConfig::default();
+        let guard = GuardConfig::full();
+        let in_memory = serve_serialized(&trace, &cfg, &guard);
+
+        let service = CampaignService::start_durable(
+            MemStorage::new(), trace.clone(), cfg.clone(), guard.clone(), manual_rounds(),
+        ).unwrap();
+        feed_trace(&service, &trace, 0);
+        let exit = service.shutdown();
+        let durable = exit.result.expect("clean durable run");
+        let storage = exit.storage.expect("durable services return their storage");
+        assert_outcomes_bit_identical(
+            &durable.outcome, &in_memory.outcome, &format!("durable seed {seed}"),
+        );
+        prop_assert_eq!(&durable.ledger, &in_memory.ledger);
+        prop_assert_eq!(&durable.report, &in_memory.report);
+        // Genesis + one arrival frame per executed round.
+        prop_assert_eq!(
+            durable.wal_frames_appended,
+            durable.outcome.rounds.len() + 1
+        );
+
+        // Restart over the finished journal: everything is recovered,
+        // nothing re-executed, nothing re-paid.
+        let restarted = CampaignService::start_durable(
+            storage, trace.clone(), cfg.clone(), guard.clone(), manual_rounds(),
+        ).unwrap();
+        prop_assert_eq!(restarted.recovered_rounds(), durable.outcome.rounds.len());
+        let recovered = restarted.shutdown().result.expect("recovery-only run");
+        assert_outcomes_bit_identical(
+            &recovered.outcome, &in_memory.outcome, &format!("recovered seed {seed}"),
+        );
+        prop_assert_eq!(&recovered.ledger, &in_memory.ledger);
+        prop_assert_eq!(&recovered.report, &in_memory.report);
+        prop_assert_eq!(recovered.rounds_served, 0);
+        prop_assert_eq!(recovered.wal_frames_appended, 0);
+    }
+}
+
+/// Crash sweep: kill the storage at every mutating operation in turn.
+/// Whatever the crash tore or silently committed, a restart over the
+/// surviving bytes plus a resumed feed finishes bit-identical to the
+/// batch guarded loop — and never pays a bundle twice.
+#[test]
+fn crash_at_every_op_recovers_bit_identical() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 23).unwrap();
+    let cfg = PipelineConfig::default();
+    let guard = GuardConfig::full();
+    let batch = CampaignRuntime::new(cfg.clone())
+        .run_guarded(&trace, &guard)
+        .unwrap();
+    let mut crashes_observed = 0;
+    // Op 0 is the genesis append; 1.. are arrival-frame appends. Sweep
+    // past the end so the no-crash tail is covered too.
+    for crash_op in 0..(trace.rounds.len() + 3) {
+        let storage = FaultStorage::new(MemStorage::new(), FaultPlan::crash_at(crash_op));
+        let service = match CampaignService::start_durable(
+            storage,
+            trace.clone(),
+            cfg.clone(),
+            guard.clone(),
+            manual_rounds(),
+        ) {
+            Ok(s) => s,
+            Err(_) => {
+                // Genesis append crashed; nothing persisted worth
+                // recovering — a fresh start would simply begin over.
+                assert_eq!(crash_op, 0, "only the genesis append can fail startup");
+                crashes_observed += 1;
+                continue;
+            }
+        };
+        feed_trace(&service, &trace, 0);
+        let exit = service.shutdown();
+        let inner = exit
+            .storage
+            .expect("storage survives event-loop failure")
+            .into_inner();
+        match exit.result {
+            Ok(outcome) => {
+                // Crash op beyond the journal's length: nothing fired.
+                assert_serve_matches_batch(&outcome, &batch, &format!("no-crash op {crash_op}"));
+                continue;
+            }
+            Err(ServeError::Journal(_)) => crashes_observed += 1,
+            Err(e) => panic!("unexpected serve error: {e}"),
+        }
+        // Restart over whatever survived; resume feeding after the last
+        // recovered round (CrashAfterWrite commits the round the feeder
+        // saw fail, so the feeder must trust the journal, not its own
+        // bookkeeping).
+        let restarted = CampaignService::start_durable(
+            inner,
+            trace.clone(),
+            cfg.clone(),
+            guard.clone(),
+            manual_rounds(),
+        )
+        .expect("recovery over a repaired journal");
+        let resume_from = restarted.recovered_rounds();
+        feed_trace(&restarted, &trace, resume_from);
+        let finished = restarted
+            .shutdown()
+            .result
+            .expect("resumed run finishes cleanly");
+        assert_serve_matches_batch(&finished, &batch, &format!("crash op {crash_op}"));
+        assert_eq!(finished.recovered_rounds, resume_from);
+    }
+    assert!(
+        crashes_observed >= 2,
+        "the sweep must actually exercise crashes (saw {crashes_observed})"
+    );
+}
+
+/// Queue-full backpressure is typed, transient and lossless: with the
+/// event loop paused, a burst beyond the queue bound gets `Busy`; after
+/// resuming, retries succeed and every offer lands in the next round.
+#[test]
+fn queue_full_sheds_busy_then_retry_succeeds() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 7).unwrap();
+    let round0 = trace.rounds[0].clone();
+    assert!(
+        round0.len() >= 4,
+        "test needs a cohort larger than the queue"
+    );
+    let service = CampaignService::start(
+        trace.clone(),
+        PipelineConfig::default(),
+        GuardConfig::admission_only(),
+        ServeConfig {
+            queue_capacity: 2,
+            round_target: usize::MAX,
+        },
+    );
+    service.pause();
+    let mut rejected: Vec<WorkerOffer> = Vec::new();
+    let mut busy_seen = 0;
+    for offer in &round0 {
+        match service.submit_offer(offer.clone()) {
+            Ok(()) => {}
+            Err(SubmitError::Busy) => {
+                busy_seen += 1;
+                rejected.push(offer.clone());
+            }
+            Err(e) => panic!("unexpected refusal: {e}"),
+        }
+    }
+    // The paused loop holds at most one command beyond the queue bound,
+    // so a cohort bigger than capacity + 1 must overflow.
+    assert!(busy_seen >= 1, "burst past the bound must see Busy");
+    service.resume();
+    for offer in rejected {
+        with_retry(|| service.submit_offer(offer.clone())).expect("retry after resume");
+    }
+    loop {
+        match service.flush_sync() {
+            Ok(_) => break,
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            Err(e) => panic!("flush refused: {e}"),
+        }
+    }
+    let outcome = service.shutdown().result.expect("clean run");
+    assert_eq!(outcome.outcome.rounds.len(), 1);
+    assert_eq!(
+        outcome.outcome.rounds[0].n_bidders,
+        round0.len(),
+        "no offer may be lost to transient backpressure"
+    );
+}
+
+/// Submissions that arrive while a round is executing are queued, not
+/// lost: they form the next round's cohort.
+#[test]
+fn submissions_during_a_round_form_the_next_cohort() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 9).unwrap();
+    assert!(trace.rounds.len() >= 2 && !trace.rounds[1].is_empty());
+    let service = CampaignService::start(
+        trace.clone(),
+        PipelineConfig::default(),
+        GuardConfig::admission_only(),
+        ServeConfig {
+            queue_capacity: 64,
+            // Round 0's last offer triggers the round; round 1's offers
+            // arrive while it executes.
+            round_target: trace.rounds[0].len().max(1),
+        },
+    );
+    for offer in trace.rounds[0].iter().chain(&trace.rounds[1]) {
+        with_retry(|| service.submit_offer(offer.clone())).unwrap();
+    }
+    loop {
+        match service.flush_sync() {
+            Ok(_) => break,
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            Err(e) => panic!("flush refused: {e}"),
+        }
+    }
+    let outcome = service.shutdown().result.expect("clean run");
+    let admitted: usize = outcome.outcome.rounds.iter().map(|r| r.n_bidders).sum();
+    let submitted = trace.rounds[0].len() + trace.rounds[1].len();
+    assert_eq!(outcome.outcome.rounds.len(), 2, "auto round + flush round");
+    assert_eq!(
+        admitted + outcome.report.rejections.len(),
+        submitted,
+        "every submission is either admitted or rejected with a reason"
+    );
+}
+
+/// Shutdown with an in-flight cohort drains it: the final round is
+/// executed, journaled, and its payments are in the ledger.
+#[test]
+fn shutdown_drains_and_journals_the_inflight_cohort() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 5).unwrap();
+    let service = CampaignService::start_durable(
+        MemStorage::new(),
+        trace.clone(),
+        PipelineConfig::default(),
+        GuardConfig::full(),
+        manual_rounds(),
+    )
+    .unwrap();
+    for offer in &trace.rounds[0] {
+        with_retry(|| service.submit_offer(offer.clone())).unwrap();
+    }
+    // No flush: the cohort is still in flight when shutdown begins.
+    let exit = service.shutdown();
+    let outcome = exit.result.expect("drained shutdown");
+    assert_eq!(
+        outcome.outcome.rounds.len(),
+        1,
+        "cohort drained, not dropped"
+    );
+    assert_eq!(
+        outcome.ledger.total().to_bits(),
+        outcome.outcome.total_payment.to_bits(),
+        "drained round's payment is ledgered"
+    );
+    assert_eq!(
+        outcome.wal_frames_appended, 2,
+        "genesis + the drained round's arrival frame"
+    );
+
+    // The drained round really is on disk: a restart recovers it.
+    let restarted = CampaignService::start_durable(
+        exit.storage.unwrap(),
+        trace.clone(),
+        PipelineConfig::default(),
+        GuardConfig::full(),
+        manual_rounds(),
+    )
+    .unwrap();
+    assert_eq!(restarted.recovered_rounds(), 1);
+    let recovered = restarted.shutdown().result.unwrap();
+    assert_eq!(recovered.outcome.rounds, outcome.outcome.rounds);
+    assert_eq!(recovered.ledger, outcome.ledger);
+}
+
+/// A campaign that reaches a terminal stop sheds every further
+/// submission with the typed reason.
+#[test]
+fn stopped_campaign_sheds_with_reason() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 3).unwrap();
+    let service = CampaignService::start(
+        trace.clone(),
+        PipelineConfig {
+            max_rounds: Some(1),
+            ..PipelineConfig::default()
+        },
+        GuardConfig::admission_only(),
+        manual_rounds(),
+    );
+    for offer in &trace.rounds[0] {
+        with_retry(|| service.submit_offer(offer.clone())).unwrap();
+    }
+    let first = loop {
+        match service.flush_sync() {
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            other => break other,
+        }
+    };
+    assert_eq!(first.unwrap(), None, "round 0 executes under a cap of 1");
+    // The next flush trips the cap.
+    let second = loop {
+        match service.flush_sync() {
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            other => break other,
+        }
+    };
+    assert_eq!(second.unwrap(), Some(StopReason::MaxRounds));
+    let refused = service.submit_offer(trace.rounds[0][0].clone());
+    assert_eq!(
+        refused,
+        Err(SubmitError::Shed(ShedReason::Stopped(
+            StopReason::MaxRounds
+        )))
+    );
+    let outcome = service.shutdown().result.unwrap();
+    assert_eq!(outcome.outcome.stop, StopReason::MaxRounds);
+    assert_eq!(outcome.outcome.rounds.len(), 1);
+}

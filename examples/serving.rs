@@ -1,0 +1,188 @@
+//! The campaign as a long-lived service: live submissions, a crash, a
+//! resumed feed, and the per-stage latency story.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! A [`CampaignService`] journals to a temp-dir [`FileStorage`] behind a
+//! [`FaultStorage`] that kills the write path mid-campaign. A feeder
+//! thread replays a [`RoundTrace`] as timed submissions (inter-arrival
+//! gaps from an [`ArrivalSchedule`], `Busy` refusals retried). After the
+//! injected crash, a second service instance recovers from the surviving
+//! journal and the feeder resumes from [`CampaignService::recovered_rounds`]
+//! — the journal's count, not its own bookkeeping. The final outcome is
+//! verified bit for bit against the batch guarded loop, and the p50/p90/
+//! p99 per-stage latencies are printed the way `BENCH_pipeline.json`
+//! reports them. See `docs/SERVING.md` for the operations story.
+
+use imc2::common::{Fault, FaultKind, FaultPlan, FaultStorage, FileStorage, Histogram, Storage};
+use imc2::datagen::{ArrivalConfig, ArrivalSchedule, RoundTrace, RoundTraceConfig};
+use imc2::pipeline::{
+    CampaignRuntime, CampaignService, GuardConfig, PipelineConfig, ServeConfig, ServeError,
+    SubmitError,
+};
+use std::time::Duration;
+
+/// Retries transient `Busy` refusals, counting them; `Err` means shed.
+fn with_retry(
+    busy: &mut usize,
+    mut f: impl FnMut() -> Result<(), SubmitError>,
+) -> Result<(), SubmitError> {
+    loop {
+        match f() {
+            Err(SubmitError::Busy) => {
+                *busy += 1;
+                std::thread::yield_now();
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Feeds rounds `from..` through the service as a serialized schedule,
+/// pacing submissions with the arrival schedule's inter-arrival gaps
+/// (scaled down so the demo stays snappy). Returns the Busy count.
+fn feed<S: Storage + Send + 'static>(
+    service: &CampaignService<S>,
+    trace: &RoundTrace,
+    arrivals: &ArrivalSchedule,
+    from: usize,
+) -> usize {
+    let mut busy = 0usize;
+    for round in from..trace.rounds.len() {
+        let offsets = &arrivals.offsets[round];
+        let mut last = 0.0f64;
+        for (i, offer) in trace.rounds[round].iter().enumerate() {
+            if let Some(&at) = offsets.get(i) {
+                let gap = (at - last).clamp(0.0, 1e-3);
+                last = at;
+                std::thread::sleep(Duration::from_secs_f64(gap / 10.0));
+            }
+            if with_retry(&mut busy, || service.submit_offer(offer.clone())).is_err() {
+                return busy;
+            }
+        }
+        if let Some(corrections) = trace.corrections.get(round) {
+            if !corrections.is_empty()
+                && with_retry(&mut busy, || {
+                    service.submit_corrections(corrections.clone())
+                })
+                .is_err()
+            {
+                return busy;
+            }
+        }
+        loop {
+            match service.flush_sync() {
+                Ok(None) => break,
+                Ok(Some(_)) | Err(SubmitError::Shed(_)) => return busy,
+                Err(SubmitError::Busy) => {
+                    busy += 1;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    busy
+}
+
+fn print_stage(name: &str, h: &Histogram) {
+    println!(
+        "  {name:<8} p50 {:>8.3} ms   p90 {:>8.3} ms   p99 {:>8.3} ms   ({} rounds)",
+        h.quantile(0.5) * 1e3,
+        h.quantile(0.9) * 1e3,
+        h.quantile(0.99) * 1e3,
+        h.count()
+    );
+}
+
+fn main() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 42).expect("valid trace config");
+    let arrivals = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 42)
+        .expect("valid arrival config");
+    let cfg = PipelineConfig::default();
+    let guard = GuardConfig::full();
+
+    // The reference: the batch guarded loop on the same trace.
+    let batch = CampaignRuntime::new(cfg.clone())
+        .run_guarded(&trace, &guard)
+        .expect("batch campaign runs");
+
+    // A durable service over a real directory, doomed to crash on its
+    // 4th mutating write (genesis is op 0, arrival frames follow).
+    let dir = std::env::temp_dir().join(format!("imc2-serving-{}", std::process::id()));
+    let storage = FileStorage::open(&dir).expect("temp dir opens");
+    let doomed = FaultStorage::new(
+        storage,
+        FaultPlan::new(vec![Fault {
+            op_index: 3,
+            kind: FaultKind::CrashAfterWrite,
+        }]),
+    );
+    let serve_cfg = ServeConfig {
+        queue_capacity: 8,
+        round_target: usize::MAX, // rounds fire on explicit flushes
+    };
+    let service = CampaignService::start_durable(
+        doomed,
+        trace.clone(),
+        cfg.clone(),
+        guard.clone(),
+        serve_cfg,
+    )
+    .expect("fresh journal starts");
+    let busy_before = feed(&service, &trace, &arrivals, 0);
+    let exit = service.shutdown();
+    match exit.result {
+        Err(ServeError::Journal(e)) => println!("service died mid-append: {e}"),
+        other => panic!("expected the injected crash, got {other:?}"),
+    }
+
+    // Restart over the surviving bytes. The feeder resumes from the
+    // journal's round count — its own bookkeeping is unreliable, because
+    // CrashAfterWrite persisted the very frame whose append "failed".
+    let survivor = exit
+        .storage
+        .expect("storage survives the crash")
+        .into_inner();
+    let restarted =
+        CampaignService::start_durable(survivor, trace.clone(), cfg.clone(), guard, serve_cfg)
+            .expect("recovery over the repaired journal");
+    let resume_from = restarted.recovered_rounds();
+    println!("recovered {resume_from} journaled rounds; resuming the feed there");
+    let busy_after = feed(&restarted, &trace, &arrivals, resume_from);
+    let served = restarted
+        .shutdown()
+        .result
+        .expect("resumed campaign finishes");
+
+    println!(
+        "rounds: {} recovered + {} served live; backpressure: {} Busy retries",
+        served.recovered_rounds,
+        served.rounds_served,
+        busy_before + busy_after
+    );
+    println!("per-stage latency distributions (this instance):");
+    let lat = &served.outcome.latencies;
+    print_stage("admit", &lat.admit);
+    print_stage("auction", &lat.auction);
+    print_stage("payment", &lat.payment);
+    print_stage("ingest", &lat.ingest);
+    print_stage("refine", &lat.refine);
+
+    // The crashed-and-recovered service matches the batch guarded loop
+    // bit for bit.
+    assert_eq!(served.outcome.stop, batch.outcome.stop);
+    assert_eq!(served.outcome.rounds.len(), batch.outcome.rounds.len());
+    assert_eq!(
+        served.outcome.total_payment.to_bits(),
+        batch.outcome.total_payment.to_bits()
+    );
+    assert_eq!(served.outcome.final_estimate, batch.outcome.final_estimate);
+    assert_eq!(served.ledger, batch.ledger);
+    assert_eq!(served.report, batch.report);
+    println!("outcome, ledger and guard report: bit-identical to the batch guarded loop");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
