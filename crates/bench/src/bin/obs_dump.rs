@@ -1,0 +1,201 @@
+//! Runtime introspection dump for the observability layer.
+//!
+//! Two modes:
+//!
+//! - **Demo** (default): runs the guarded campaign service over an
+//!   adversarial trace with metrics and an event sink attached, then
+//!   renders the final [`MetricsSnapshot`](imc2_common::obs::MetricsSnapshot)
+//!   — as the shared table (`--format table`, default) or as the stable
+//!   JSON that its `to_json` guarantees (`--format json`) — plus
+//!   the most recent events from the ring buffer. `--write-log DIR`
+//!   swaps the ring for a crash-safe [`WalSink`] writing checksummed
+//!   `KIND_OBS_EVENT` frames into `DIR`, so a follow-up `--log DIR` run
+//!   (or a CI step) can prove the persisted log replays bit-exactly.
+//! - **Replay** (`--log DIR [--object NAME]`): reopens a persisted
+//!   event log and prints every intact event in append order
+//!   (`ts name k=v ...`), plus whether the tail was clean — the same
+//!   torn-tail discipline as durable recovery.
+//!
+//! ```text
+//! obs_dump [--format table|json] [--events N] [--write-log DIR]
+//! obs_dump --log DIR [--object NAME]
+//! ```
+//!
+//! The metric names and event schema are catalogued in
+//! `docs/OBSERVABILITY.md`.
+
+use imc2_common::obs::replay_events;
+use imc2_common::{FileStorage, Obs, RingSink, TraceSink, WalSink};
+use imc2_datagen::{inject_trace, AdversaryConfig, RoundTrace, RoundTraceConfig};
+use imc2_pipeline::{CampaignService, GuardConfig, PipelineConfig, ServeConfig, SubmitError};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The event log's object name inside the storage directory.
+const DEFAULT_OBJECT: &str = "obs_events";
+
+struct Args {
+    format: String,
+    events: usize,
+    write_log: Option<String>,
+    log: Option<String>,
+    object: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        format: "table".to_string(),
+        events: 10,
+        write_log: None,
+        log: None,
+        object: DEFAULT_OBJECT.to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--format" => {
+                args.format = value("--format")?;
+                if args.format != "table" && args.format != "json" {
+                    return Err(format!("unknown format {:?}", args.format));
+                }
+            }
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?;
+            }
+            "--write-log" => args.write_log = Some(value("--write-log")?),
+            "--log" => args.log = Some(value("--log")?),
+            "--object" => args.object = value("--object")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Replay mode: print the intact prefix of a persisted event log.
+fn replay(dir: &str, object: &str) -> ExitCode {
+    let storage = match FileStorage::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs_dump: cannot open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match replay_events(&storage, object) {
+        Ok((events, clean)) => {
+            for ev in &events {
+                println!("{ev}");
+            }
+            println!(
+                "replayed {} events from {dir}/{object} (tail {})",
+                events.len(),
+                if clean { "clean" } else { "torn, dropped" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_dump: event log unreadable: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Demo mode: drive the guarded service over an adversarial trace with
+/// full observability attached and dump what it recorded.
+fn demo(args: &Args) -> ExitCode {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 42).expect("valid trace config");
+    let adversary = AdversaryConfig::pollution(trace.n_workers(), 0.2);
+    let (attacked, _) = inject_trace(&trace, &adversary, 7).expect("valid adversary config");
+
+    // One sink, two shapes: a ring buffer we can read back in-process,
+    // or a WAL-backed log on disk for a later `--log` replay.
+    let ring = Arc::new(RingSink::new(256));
+    let sink: Arc<dyn TraceSink> = match &args.write_log {
+        Some(dir) => {
+            let storage = match FileStorage::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("obs_dump: cannot open {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Arc::new(WalSink::new(storage, DEFAULT_OBJECT))
+        }
+        None => ring.clone(),
+    };
+    let obs = Obs::with_sink(sink);
+
+    let service = CampaignService::start(
+        attacked.clone(),
+        PipelineConfig::default(),
+        GuardConfig::full(),
+        ServeConfig {
+            queue_capacity: 64,
+            round_target: usize::MAX,
+            obs: obs.clone(),
+            ..ServeConfig::default()
+        },
+    );
+    'feed: for round in 0..attacked.rounds.len() {
+        for offer in &attacked.rounds[round] {
+            loop {
+                match service.submit_offer(offer.clone()) {
+                    Ok(()) => break,
+                    Err(SubmitError::Busy) => std::thread::yield_now(),
+                    Err(SubmitError::Shed(_)) => break 'feed,
+                }
+            }
+        }
+        loop {
+            match service.flush_sync() {
+                Ok(None) => break,
+                Ok(Some(_)) | Err(SubmitError::Shed(_)) => break 'feed,
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+            }
+        }
+    }
+    let health = service.health();
+    let snapshot = service.metrics_snapshot();
+    service.shutdown().result.expect("demo campaign finishes");
+
+    if args.format == "json" {
+        println!("{}", snapshot.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!("{health}");
+    println!("{snapshot}");
+    if let Some(dir) = &args.write_log {
+        println!("event log written to {dir}/{DEFAULT_OBJECT}");
+    } else {
+        let events = ring.events();
+        let skip = events.len().saturating_sub(args.events);
+        println!(
+            "last {} of {} events ({} evicted from the ring):",
+            events.len() - skip,
+            events.len() + ring.dropped() as usize,
+            ring.dropped()
+        );
+        for ev in &events[skip..] {
+            println!("  {ev}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("obs_dump: {e}");
+            eprintln!("usage: obs_dump [--format table|json] [--events N] [--write-log DIR]");
+            eprintln!("       obs_dump --log DIR [--object NAME]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &args.log {
+        Some(dir) => replay(dir, &args.object.clone()),
+        None => demo(&args),
+    }
+}

@@ -52,7 +52,16 @@
 //!   non-monotone distribution means the histogram plumbing rotted;
 //! * `serve_refine_vs_warm` is in `(0, 1.5]` — the event-loop front must
 //!   not inflate refinement work; the ratio compares two runs in the
-//!   same process, so box speed cancels out.
+//!   same process, so box speed cancels out;
+//! * `obs_overhead_ratio <= 1.05` — a fully lit guarded campaign
+//!   (metrics + event sink) must stay within 5% of the dark run; the
+//!   pre-resolved handles make recording a handful of atomic adds per
+//!   round, so breaching this means the hot path grew a lookup or an
+//!   allocation (same-process ratio, box speed cancels out);
+//! * `obs_bit_identical` and `obs_snapshot_schema_ok` are `true` —
+//!   observability influencing a result bit breaks its core contract
+//!   (`docs/OBSERVABILITY.md`), and a snapshot-JSON schema regression
+//!   breaks downstream consumers.
 //!
 //! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
 //! <BENCH_pipeline.json>` (defaults to those names in the working
@@ -244,6 +253,11 @@ fn main() -> ExitCode {
             "refine_p50_ms",
             "refine_p90_ms",
             "refine_p99_ms",
+            "obs_dark_ms",
+            "obs_lit_ms",
+            "obs_overhead_ratio",
+            "obs_bit_identical",
+            "obs_snapshot_schema_ok",
         ],
         &mut problems,
     ) {
@@ -333,6 +347,22 @@ fn main() -> ExitCode {
             if !(v > 0.0 && v <= 1.5) {
                 problems.push(format!(
                     "{pipeline_path}: serve_refine_vs_warm = {v} outside (0, 1.5] — the event-loop front inflated refinement work"
+                ));
+            }
+        }
+        for v in values_of(&json, "obs_overhead_ratio") {
+            if !(v > 0.0 && v <= 1.05) {
+                problems.push(format!(
+                    "{pipeline_path}: obs_overhead_ratio = {v} outside (0, 1.05] — instrumentation grew a hot-path cost"
+                ));
+            }
+        }
+        for flag in ["obs_bit_identical", "obs_snapshot_schema_ok"] {
+            let n = occurrences_of(&json, flag);
+            let oks = json.matches(&format!("\"{flag}\": true")).count();
+            if n == 0 || oks != n {
+                problems.push(format!(
+                    "{pipeline_path}: {oks}/{n} {flag} flags are true — the observability layer broke its invisibility or snapshot-schema contract"
                 ));
             }
         }

@@ -476,6 +476,19 @@ impl Codec for bool {
     }
 }
 
+impl Codec for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        enc.put_bytes(self.as_bytes());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.take_seq_len(1)?;
+        let bytes = dec.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Malformed(format!("invalid utf-8 string: {e}")))
+    }
+}
+
 impl<T: Codec> Codec for Option<T> {
     fn encode(&self, enc: &mut Encoder) {
         match self {

@@ -28,6 +28,8 @@
 //! assert!(h.quantile(1.0) <= 50e-3 * 1.2);
 //! ```
 
+use crate::codec::{Codec, CodecError, Decoder, Encoder};
+
 /// Smallest representable latency: one nanosecond. Everything at or
 /// below lands in bucket 0.
 const FLOOR_S: f64 = 1e-9;
@@ -176,6 +178,80 @@ impl Histogram {
     }
 }
 
+/// Sparse binary form: the summary fields (floats as raw bits, so empty
+/// sentinels and exact extremes survive) followed by `(bucket, count)`
+/// pairs for the non-zero buckets in ascending bucket order — the
+/// canonical layout, so equal histograms encode byte-identically. Decoding
+/// validates bucket bounds, ordering, and that the per-bucket counts sum
+/// to the total.
+impl Codec for Histogram {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.count);
+        enc.put_f64(self.sum);
+        enc.put_f64(self.min);
+        enc.put_f64(self.max);
+        let nonzero: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        enc.put_usize(nonzero.len());
+        for (i, c) in nonzero {
+            enc.put_u32(i as u32);
+            enc.put_u64(c);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let count = dec.take_u64()?;
+        let sum = dec.take_f64()?;
+        let min = dec.take_f64()?;
+        let max = dec.take_f64()?;
+        let n = dec.take_seq_len(12)?;
+        let mut counts = vec![0u64; N_BUCKETS];
+        let mut total: u64 = 0;
+        let mut last: Option<usize> = None;
+        for _ in 0..n {
+            let i = dec.take_u32()? as usize;
+            let c = dec.take_u64()?;
+            if i >= N_BUCKETS {
+                return Err(CodecError::Malformed(format!(
+                    "histogram bucket {i} out of range"
+                )));
+            }
+            if last.is_some_and(|p| i <= p) {
+                return Err(CodecError::Malformed(
+                    "histogram buckets out of order".to_string(),
+                ));
+            }
+            if c == 0 {
+                return Err(CodecError::Malformed(
+                    "zero count in sparse histogram".to_string(),
+                ));
+            }
+            last = Some(i);
+            counts[i] = c;
+            total = total
+                .checked_add(c)
+                .ok_or_else(|| CodecError::Malformed("histogram count overflow".to_string()))?;
+        }
+        if total != count {
+            return Err(CodecError::Malformed(format!(
+                "histogram bucket total {total} != count {count}"
+            )));
+        }
+        Ok(Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +342,88 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(a.quantile(q).to_bits(), all.quantile(q).to_bits());
         }
+    }
+
+    #[test]
+    fn merge_is_associative_on_bucket_state() {
+        // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree exactly on counts/min/max and
+        // to the last ulp on sums (addition of partial sums is the only
+        // float in play).
+        let mk = |lo: u32, hi: u32| {
+            let mut h = Histogram::new();
+            for i in lo..hi {
+                h.record(i as f64 * 1e-5);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1, 40), mk(40, 70), mk(70, 120));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.counts, right.counts);
+        assert_eq!(left.count, right.count);
+        assert_eq!(left.min.to_bits(), right.min.to_bits());
+        assert_eq!(left.max.to_bits(), right.max.to_bits());
+        assert!((left.sum - right.sum).abs() <= 1e-12);
+        // Merging an empty histogram is the identity, both ways.
+        let mut id = a.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, a);
+        let mut id2 = Histogram::new();
+        id2.merge(&a);
+        assert_eq!(id2.counts, a.counts);
+        assert_eq!(id2.count, a.count);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        use crate::codec::{decode_from_slice, encode_to_vec};
+        let mut h = Histogram::new();
+        for i in 1..=500u32 {
+            h.record(i as f64 * 3.7e-6);
+        }
+        h.record(0.0);
+        h.record(1e6);
+        let bytes = encode_to_vec(&h);
+        let back: Histogram = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.sum.to_bits(), h.sum.to_bits());
+        assert_eq!(back.min.to_bits(), h.min.to_bits());
+        assert_eq!(back.max.to_bits(), h.max.to_bits());
+        // Canonical form: re-encoding is byte-identical.
+        assert_eq!(encode_to_vec(&back), bytes);
+
+        // The empty histogram (infinite min/max sentinels) survives too.
+        let empty = Histogram::new();
+        let back: Histogram = decode_from_slice(&encode_to_vec(&empty)).unwrap();
+        assert_eq!(back, empty);
+        assert!(back.min().is_nan());
+    }
+
+    #[test]
+    fn codec_rejects_inconsistent_payloads() {
+        use crate::codec::{decode_from_slice, encode_to_vec};
+        let mut h = Histogram::new();
+        h.record(1e-3);
+        let good = encode_to_vec(&h);
+
+        // Flip the total count: bucket sum no longer reconciles.
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert!(decode_from_slice::<Histogram>(&bad).is_err());
+
+        // Out-of-range bucket index.
+        let mut bad = good.clone();
+        let idx_pos = 8 * 4 + 8; // count + 3 floats + seq len
+        bad[idx_pos..idx_pos + 4].copy_from_slice(&(N_BUCKETS as u32).to_le_bytes());
+        assert!(decode_from_slice::<Histogram>(&bad).is_err());
+
+        // Truncated input.
+        assert!(decode_from_slice::<Histogram>(&good[..good.len() - 1]).is_err());
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //! and a fault-injection decorator for crash testing ([`fault`]). See
 //! `docs/DURABILITY.md` for the format and recovery guarantees.
 //!
+//! The observability substrate ([`obs`]) — metrics registry, structured
+//! event sinks (ring buffer and WAL-backed), span scopes — also lives
+//! here so every crate above can record through one [`Obs`] handle; the
+//! metric/event name registry is `docs/OBSERVABILITY.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +59,7 @@ pub mod grid;
 pub mod hist;
 pub mod ids;
 pub mod logprob;
+pub mod obs;
 pub mod observations;
 pub mod overlap;
 pub mod rng;
@@ -70,6 +76,10 @@ pub use fault::{Fault, FaultKind, FaultPlan, FaultStorage};
 pub use grid::Grid;
 pub use hist::Histogram;
 pub use ids::{TaskId, ValueId, WorkerId};
+pub use obs::{
+    Counter, Event, FieldValue, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot, Obs,
+    RingSink, TraceSink, WalSink,
+};
 pub use observations::{Observations, ObservationsBuilder, TaskGroups, TaskView};
 pub use overlap::{OverlapDelta, OverlapIter, OverlapTriple, PairOverlapIndex};
 pub use rng::{rng_from_seed, SeedStream};

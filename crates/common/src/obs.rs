@@ -1,0 +1,1231 @@
+//! Observability substrate: metrics registry, structured events, sinks.
+//!
+//! Everything operationally interesting about the serving stack — admission
+//! rejections by reason, quarantine sweeps, shed/busy backpressure, WAL
+//! bytes, checkpoint cadence, splice sizes — is recorded through this
+//! module. It is hand-rolled and dependency-free (the vendored crates
+//! derive nothing), and it is **behaviorally invisible**: nothing recorded
+//! here ever feeds back into a mechanism decision, which is what lets the
+//! pipeline property-test obs-on vs obs-off bit-identity
+//! (`crates/pipeline/tests/obs_equivalence.rs`).
+//!
+//! Three layers:
+//!
+//! * **Metrics** — a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s
+//!   and [`Histogram`]s. Registration (name lookup) happens once, on the
+//!   cold path; the handles it returns are `Arc`-backed, so hot-path
+//!   recording is one atomic op (counters/gauges) or one short mutex-held
+//!   bucket increment (histograms) — O(1) either way. [`MetricsRegistry::snapshot`]
+//!   is a cheap point-in-time copy rendered by [`MetricsSnapshot`] as a
+//!   table ([`fmt::Display`]) or a stable JSON document
+//!   ([`MetricsSnapshot::to_json`]).
+//! * **Events** — structured [`Event`]s (monotonic `ts_ns` + name + typed
+//!   fields) flow into a [`TraceSink`]: [`RingSink`] keeps the last `cap`
+//!   in memory, [`WalSink`] appends each event as a checksummed
+//!   [`crate::codec`] frame (kind [`KIND_OBS_EVENT`]) so the log survives
+//!   crashes and replays bit-exact ([`replay_events`]).
+//! * **Spans** — [`Obs::span`] opens a scope that emits one event on drop
+//!   carrying `dur_ns` plus any fields attached along the way; the
+//!   pipeline uses them per round, per stage, per quarantine sweep, per
+//!   recovery phase.
+//!
+//! The whole substrate hangs off one cheaply-cloneable [`Obs`] handle.
+//! [`Obs::disabled`] (the `Default`) is a no-op: handles still work (they
+//! record into detached atomics), events and spans cost one branch. The
+//! metric and event name registry, with units, lives in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//! ```
+//! use imc2_common::obs::{FieldValue, Obs, RingSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(RingSink::new(128));
+//! let obs = Obs::with_sink(sink.clone());
+//! let offers = obs.counter("serve.offers");
+//! offers.add(3);
+//! {
+//!     let mut span = obs.span("round");
+//!     span.field("round", FieldValue::U64(0));
+//! } // drop emits the span event with dur_ns
+//! obs.emit("compaction", &[("slack", FieldValue::F64(0.5))]);
+//!
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("serve.offers"), Some(3));
+//! assert_eq!(sink.events().len(), 2);
+//! ```
+
+use crate::codec::{Codec, CodecError, Decoder, Encoder, FRAME_HEADER_LEN};
+use crate::hist::Histogram;
+use crate::storage::Storage;
+use crate::wal::{TailStatus, Wal};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// WAL frame kind carrying one encoded [`Event`]. Distinct from the
+/// durable runtime's kinds (genesis 1, round 2, checkpoint 3, arrivals 4)
+/// so an event log is recognizable even if it shares a storage root.
+pub const KIND_OBS_EVENT: u16 = 5;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing named count. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter not registered anywhere (what [`Obs::counter`]
+    /// returns when observability is disabled).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named instantaneous value (queue depth, pending re-offers). Cloning
+/// shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A detached gauge not registered anywhere.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one, saturating at zero.
+    pub fn decr(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named latency/size distribution backed by [`Histogram`]. Cloning
+/// shares the cell.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl Default for HistogramHandle {
+    fn default() -> Self {
+        HistogramHandle(Arc::new(Mutex::new(Histogram::new())))
+    }
+}
+
+impl HistogramHandle {
+    /// A detached histogram not registered anywhere.
+    pub fn detached() -> Self {
+        HistogramHandle::default()
+    }
+
+    /// Records one observation (seconds for latencies; any non-negative
+    /// unit works — the registry's name suffix documents it).
+    pub fn record(&self, v: f64) {
+        self.0.lock().expect("histogram lock").record(v);
+    }
+
+    /// A copy of the current distribution.
+    pub fn load(&self) -> Histogram {
+        self.0.lock().expect("histogram lock").clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + snapshot
+// ---------------------------------------------------------------------------
+
+/// A process-local registry of named metrics with an epoch for uptime.
+///
+/// Lookups (`counter`/`gauge`/`histogram`) are get-or-register and take a
+/// short mutex — call them once per metric on the cold path and keep the
+/// returned handle; recording through a handle never touches the registry.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    start: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    hists: Mutex<BTreeMap<String, HistogramHandle>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry whose uptime starts now.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            start: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it empty on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.hists.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let hists = self
+            .hists
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load()))
+            .collect();
+        MetricsSnapshot {
+            uptime_s: self.uptime_s(),
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]: all vectors are sorted
+/// by metric name (the registry iterates `BTreeMap`s), which is what makes
+/// the [`MetricsSnapshot::to_json`] rendering *stable* — two snapshots of
+/// the same registry state serialize byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the owning registry was created.
+    pub uptime_s: f64,
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, distribution)` per histogram, name-sorted.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (what a disabled [`Obs`] reports).
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            uptime_s: 0.0,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The distribution of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Stable JSON: objects keyed by metric name in sorted order, floats
+    /// via Rust's shortest-roundtrip formatting, no whitespace dependence
+    /// on content. Histograms render as `{count, mean, p50, p90, p99,
+    /// max}` summaries (seconds, like [`Histogram::record`]'s input).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"uptime_s\": {},\n", json_f64(self.uptime_s)));
+        s.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!("{sep}    \"{name}\": {v}"));
+        }
+        s.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!("{sep}    \"{name}\": {v}"));
+        }
+        s.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!(
+                "{sep}    \"{name}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                h.count(),
+                json_f64(h.mean()),
+                json_f64(h.quantile(0.5)),
+                json_f64(h.quantile(0.9)),
+                json_f64(h.quantile(0.99)),
+                json_f64(h.max()),
+            ));
+        }
+        s.push_str(if self.hists.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        s.push('}');
+        s
+    }
+}
+
+/// JSON has no NaN/Infinity literals; empty-histogram quantiles render as
+/// `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Three tables — counters, gauges, histogram summaries — via the
+    /// shared [`Table`] formatter. Empty sections are omitted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "uptime: {}", fmt_seconds(self.uptime_s))?;
+        if !self.counters.is_empty() {
+            let mut t = Table::new(&["counter", "value"]);
+            for (name, v) in &self.counters {
+                t.row(&[name.clone(), v.to_string()]);
+            }
+            write!(f, "{t}")?;
+        }
+        if !self.gauges.is_empty() {
+            let mut t = Table::new(&["gauge", "value"]);
+            for (name, v) in &self.gauges {
+                t.row(&[name.clone(), v.to_string()]);
+            }
+            write!(f, "{t}")?;
+        }
+        if !self.hists.is_empty() {
+            let mut t = Table::new(&["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+            for (name, h) in &self.hists {
+                // Unit convention: a `_s` suffix marks a duration in
+                // seconds (auto-scaled on render); everything else is a
+                // dimensionless size/count distribution.
+                let cell: fn(f64) -> String = if name.ends_with("_s") {
+                    fmt_seconds
+                } else {
+                    fmt_quantity
+                };
+                t.row(&[
+                    name.clone(),
+                    h.count().to_string(),
+                    cell(h.mean()),
+                    cell(h.quantile(0.5)),
+                    cell(h.quantile(0.9)),
+                    cell(h.quantile(0.99)),
+                    cell(h.max()),
+                ]);
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table formatter (shared by every Display renderer and obs_dump)
+// ---------------------------------------------------------------------------
+
+/// A minimal fixed-width text table: left-aligned first column, right-
+/// aligned rest, a dash rule under the header. Shared by the
+/// [`MetricsSnapshot`] renderer, the pipeline's report `Display` impls,
+/// and the `obs_dump` bin so every surface prints the same way.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let sep = if i == 0 { "" } else { "  " };
+                if i == 0 {
+                    write!(f, "{sep}{cell:<w$}")?;
+                } else {
+                    write!(f, "{sep}{cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1))
+        )?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a dimensionless quantity (sizes, counts): integers without a
+/// fraction, everything else with three decimals; `-` for NaN (empty
+/// histograms).
+pub fn fmt_quantity(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a duration in seconds with an auto-scaled unit (`ns`, `µs`,
+/// `ms`, `s`); `-` for NaN (empty histograms).
+pub fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        return "-".to_string();
+    }
+    let abs = s.abs();
+    if abs >= 1.0 {
+        format!("{s:.3}s")
+    } else if abs >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if abs >= 1e-6 {
+        format!("{:.3}µs", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes, round numbers, durations in ns).
+    U64(u64),
+    /// A float (ratios, posteriors); persisted as raw bits.
+    F64(f64),
+    /// A short string (reason names, phases, object names).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Codec for FieldValue {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            FieldValue::U64(v) => {
+                enc.put_u8(0);
+                enc.put_u64(*v);
+            }
+            FieldValue::F64(v) => {
+                enc.put_u8(1);
+                enc.put_f64(*v);
+            }
+            FieldValue::Str(v) => {
+                enc.put_u8(2);
+                v.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.take_u8()? {
+            0 => Ok(FieldValue::U64(dec.take_u64()?)),
+            1 => Ok(FieldValue::F64(dec.take_f64()?)),
+            2 => Ok(FieldValue::Str(String::decode(dec)?)),
+            tag => Err(CodecError::Malformed(format!(
+                "unknown FieldValue tag {tag}"
+            ))),
+        }
+    }
+}
+
+/// One structured trace event: a monotonic timestamp (nanoseconds since
+/// the owning [`Obs`] epoch), a name from the registry in
+/// `docs/OBSERVABILITY.md`, and typed fields. Round-trips bit-exactly
+/// through the [`Codec`] (floats as raw bits), which is what makes a
+/// [`WalSink`] log replayable after a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the [`Obs`] epoch (monotonic, never wall-clock).
+    pub ts_ns: u64,
+    /// Event name (e.g. `"round"`, `"guard.sweep"`, `"compaction"`).
+    pub name: String,
+    /// Typed payload fields in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Codec for Event {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.ts_ns);
+        self.name.encode(enc);
+        enc.put_usize(self.fields.len());
+        for (k, v) in &self.fields {
+            k.encode(enc);
+            v.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let ts_ns = dec.take_u64()?;
+        let name = String::decode(dec)?;
+        let n = dec.take_seq_len(1)?;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = String::decode(dec)?;
+            let v = FieldValue::decode(dec)?;
+            fields.push((k, v));
+        }
+        Ok(Event {
+            ts_ns,
+            name,
+            fields,
+        })
+    }
+}
+
+impl fmt::Display for Event {
+    /// `ts name k=v k=v ...` — the `obs_dump --format table` row shape.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", fmt_seconds(self.ts_ns as f64 * 1e-9), self.name)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where emitted [`Event`]s go. Implementations must be cheap and must
+/// never panic — a failing sink degrades observability, not the service.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event.
+    fn emit(&self, event: Event);
+}
+
+/// An in-memory ring buffer keeping the most recent `cap` events.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+    head: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.buf.lock().expect("ring lock");
+        let head = self.head.load(Ordering::Relaxed) as usize % self.cap;
+        if buf.len() < self.cap {
+            buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&buf[head..]);
+            out.extend_from_slice(&buf[..head]);
+            out
+        }
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() < self.cap {
+            buf.push(event);
+        } else {
+            let head = self.head.load(Ordering::Relaxed) as usize % self.cap;
+            buf[head] = event;
+            self.head.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A crash-safe sink: every event becomes one checksummed WAL frame of
+/// kind [`KIND_OBS_EVENT`] under the given object name, reusing the PR 6
+/// codec — so a torn tail truncates to the last whole event instead of
+/// corrupting the log, and [`replay_events`] recovers the prefix
+/// bit-exactly. Storage errors are counted ([`WalSink::errors`]), never
+/// propagated: losing telemetry must not take the service down.
+pub struct WalSink<S: Storage + Send> {
+    wal: Wal,
+    storage: Mutex<S>,
+    errors: AtomicU64,
+}
+
+impl<S: Storage + Send> WalSink<S> {
+    /// A sink appending to `object` inside `storage`.
+    pub fn new(storage: S, object: impl Into<String>) -> Self {
+        WalSink {
+            wal: Wal::new(object),
+            storage: Mutex::new(storage),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// How many appends failed (and were dropped).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the sink, returning the storage backend (for tests and
+    /// for handing the log to [`replay_events`]).
+    pub fn into_storage(self) -> S {
+        self.storage.into_inner().expect("wal sink lock")
+    }
+}
+
+impl<S: Storage + Send> fmt::Debug for WalSink<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalSink")
+            .field("object", &self.wal.name())
+            .field("errors", &self.errors())
+            .finish()
+    }
+}
+
+impl<S: Storage + Send> TraceSink for WalSink<S> {
+    fn emit(&self, event: Event) {
+        let mut enc = Encoder::new();
+        event.encode(&mut enc);
+        let mut storage = self.storage.lock().expect("wal sink lock");
+        if self
+            .wal
+            .append(&mut *storage, KIND_OBS_EVENT, enc.as_bytes())
+            .is_err()
+        {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Replays a persisted event log: scans the WAL under `object`, keeps the
+/// intact frame prefix (a torn tail is dropped, exactly like durable
+/// recovery), and decodes every [`KIND_OBS_EVENT`] frame in append order.
+/// Returns the events plus whether the tail was clean.
+///
+/// # Errors
+/// Propagates storage read failures as [`CodecError::Malformed`] (the log
+/// could not be read at all); per-frame corruption is *not* an error —
+/// the scan stops at the first bad frame.
+pub fn replay_events<S: Storage + ?Sized>(
+    storage: &S,
+    object: &str,
+) -> Result<(Vec<Event>, bool), CodecError> {
+    let wal = Wal::new(object);
+    let scan = wal
+        .scan(storage)
+        .map_err(|e| CodecError::Malformed(format!("event log unreadable: {e}")))?;
+    let mut events = Vec::with_capacity(scan.frames.len());
+    for frame in &scan.frames {
+        if frame.kind != KIND_OBS_EVENT {
+            continue;
+        }
+        let mut dec = Decoder::new(&frame.payload);
+        let ev = Event::decode(&mut dec)?;
+        dec.finish()?;
+        events.push(ev);
+    }
+    Ok((events, matches!(scan.tail, TailStatus::Clean)))
+}
+
+/// Byte size of one event's WAL frame (header + encoded payload) —
+/// used by the serve layer's `wal.bytes` accounting.
+pub fn event_frame_len(event: &Event) -> usize {
+    let mut enc = Encoder::new();
+    event.encode(&mut enc);
+    FRAME_HEADER_LEN + enc.as_bytes().len()
+}
+
+// ---------------------------------------------------------------------------
+// The Obs handle + spans
+// ---------------------------------------------------------------------------
+
+struct ObsInner {
+    epoch: Instant,
+    registry: MetricsRegistry,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// The cheaply-cloneable observability handle threaded through configs.
+///
+/// [`Obs::disabled`] (also `Default`) carries nothing: metric handles come
+/// back detached, events and spans are branches that take the no-op arm.
+/// Equality ignores observability entirely (`PartialEq` is always `true`)
+/// so configs that embed an `Obs` keep their value semantics — recording
+/// state is not configuration.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .field("tracing", &self.tracing())
+            .finish()
+    }
+}
+
+impl PartialEq for Obs {
+    /// Observability never participates in config equality.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Obs {
+    /// The no-op handle: nothing is recorded anywhere.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Metrics only — a fresh registry, no event sink.
+    pub fn metrics() -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                registry: MetricsRegistry::new(),
+                sink: None,
+            })),
+        }
+    }
+
+    /// Metrics plus the given event sink.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                registry: MetricsRegistry::new(),
+                sink: Some(sink),
+            })),
+        }
+    }
+
+    /// Whether any recording happens at all.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether events/spans reach a sink (false for metrics-only).
+    pub fn tracing(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.sink.is_some())
+    }
+
+    /// The counter named `name` (detached when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::detached(),
+        }
+    }
+
+    /// The gauge named `name` (detached when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::detached(),
+        }
+    }
+
+    /// The histogram named `name` (detached when disabled).
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name),
+            None => HistogramHandle::detached(),
+        }
+    }
+
+    /// Monotonic nanoseconds since this handle's epoch (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Seconds since this handle's epoch (0 when disabled).
+    pub fn uptime_s(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Emits one event to the sink, if tracing. Field construction costs
+    /// nothing when it isn't — callers pass slices of already-cheap
+    /// values; for expensive payloads gate on [`Obs::tracing`] first.
+    pub fn emit(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.emit(Event {
+                    ts_ns: inner.epoch.elapsed().as_nanos() as u64,
+                    name: name.to_string(),
+                    fields: fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    /// Opens a span scope: on drop it emits one event named `name` with a
+    /// `dur_ns` field plus whatever [`SpanScope::field`] attached. Inert
+    /// (no clock read, no emission) when tracing is off.
+    pub fn span(&self, name: &'static str) -> SpanScope {
+        let active = self.tracing();
+        SpanScope {
+            obs: self.clone(),
+            name,
+            start: active.then(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    /// A snapshot of the registry ([`MetricsSnapshot::empty`] when
+    /// disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::empty(),
+        }
+    }
+}
+
+/// An open span (see [`Obs::span`]). Dropping it emits the span event.
+#[derive(Debug)]
+pub struct SpanScope {
+    obs: Obs,
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanScope {
+    /// Attaches one field to the eventual span event. No-op when the
+    /// span is inert.
+    pub fn field(&mut self, key: &str, value: FieldValue) {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let Some(inner) = &self.obs.inner else { return };
+        let Some(sink) = &inner.sink else { return };
+        let mut fields = std::mem::take(&mut self.fields);
+        fields.push((
+            "dur_ns".to_string(),
+            FieldValue::U64(start.elapsed().as_nanos() as u64),
+        ));
+        sink.emit(Event {
+            ts_ns: inner.epoch.elapsed().as_nanos() as u64,
+            name: self.name.to_string(),
+            fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_vec};
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.add(2);
+        c.incr();
+        assert_eq!(c.get(), 3);
+        // Re-registration returns the same cell.
+        reg.counter("a.count").incr();
+        assert_eq!(c.get(), 4);
+
+        let g = reg.gauge("q.depth");
+        g.set(7);
+        g.decr();
+        g.incr();
+        assert_eq!(g.get(), 7);
+        let h = reg.histogram("lat");
+        h.record(1e-3);
+        h.record(2e-3);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(4));
+        assert_eq!(snap.gauge("q.depth"), Some(7));
+        assert_eq!(snap.histogram("lat").unwrap().count(), 2);
+        assert_eq!(snap.counter("missing"), None);
+        assert!(snap.uptime_s >= 0.0);
+    }
+
+    #[test]
+    fn gauge_decr_saturates() {
+        let g = Gauge::detached();
+        g.decr();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("depth").set(3);
+        reg.histogram("lat").record(5e-3);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        // Sorted keys, stable across repeated rendering.
+        assert!(json.find("a.first").unwrap() < json.find("z.last").unwrap());
+        assert_eq!(json, snap.to_json());
+        for key in [
+            "\"uptime_s\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"count\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Display renders all three sections.
+        let text = snap.to_string();
+        assert!(text.contains("a.first") && text.contains("depth") && text.contains("lat"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsSnapshot::empty();
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(!snap.to_string().contains("counter"));
+    }
+
+    #[test]
+    fn event_codec_round_trips_bit_exactly() {
+        let ev = Event {
+            ts_ns: 123_456_789,
+            name: "guard.sweep".to_string(),
+            fields: vec![
+                ("components".to_string(), FieldValue::U64(4)),
+                ("posterior".to_string(), FieldValue::F64(0.1 + 0.2)),
+                ("phase".to_string(), FieldValue::Str("scan".to_string())),
+                ("nan".to_string(), FieldValue::F64(f64::NAN)),
+            ],
+        };
+        let bytes = encode_to_vec(&ev);
+        let back: Event = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.ts_ns, ev.ts_ns);
+        assert_eq!(back.name, ev.name);
+        assert_eq!(back.fields.len(), 4);
+        // NaN round-trips as raw bits, so compare encodings.
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn event_decode_rejects_bad_tag() {
+        let mut enc = Encoder::new();
+        Event {
+            ts_ns: 0,
+            name: "x".to_string(),
+            fields: vec![("k".to_string(), FieldValue::U64(1))],
+        }
+        .encode(&mut enc);
+        let mut bytes = enc.into_bytes();
+        // Corrupt the field tag (last 9 bytes are tag + u64).
+        let tag_pos = bytes.len() - 9;
+        bytes[tag_pos] = 9;
+        let mut dec = Decoder::new(&bytes);
+        assert!(Event::decode(&mut dec).is_err());
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let sink = RingSink::new(3);
+        for i in 0..5u64 {
+            sink.emit(Event {
+                ts_ns: i,
+                name: format!("e{i}"),
+                fields: Vec::new(),
+            });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+        // Timestamps stay in order.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn wal_sink_persists_and_replays() {
+        let sink = WalSink::new(MemStorage::new(), "events.wal");
+        for i in 0..4u64 {
+            sink.emit(Event {
+                ts_ns: i * 10,
+                name: "tick".to_string(),
+                fields: vec![("i".to_string(), FieldValue::U64(i))],
+            });
+        }
+        assert_eq!(sink.errors(), 0);
+        let storage = sink.into_storage();
+        let (events, clean) = replay_events(&storage, "events.wal").unwrap();
+        assert!(clean);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[3].fields[0].1, FieldValue::U64(3));
+    }
+
+    #[test]
+    fn replay_drops_torn_tail() {
+        let sink = WalSink::new(MemStorage::new(), "events.wal");
+        sink.emit(Event {
+            ts_ns: 1,
+            name: "kept".to_string(),
+            fields: Vec::new(),
+        });
+        let mut storage = sink.into_storage();
+        // A crash tears the next append mid-frame.
+        storage.append("events.wal", &[0x49, 0x4D]).unwrap();
+        let (events, clean) = replay_events(&storage, "events.wal").unwrap();
+        assert!(!clean);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+    }
+
+    #[test]
+    fn replay_of_missing_log_is_empty_and_clean() {
+        let storage = MemStorage::new();
+        let (events, clean) = replay_events(&storage, "nothing.wal").unwrap();
+        assert!(events.is_empty());
+        assert!(clean);
+    }
+
+    #[test]
+    fn obs_disabled_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        assert!(!obs.tracing());
+        obs.counter("c").incr(); // detached, harmless
+        obs.emit("e", &[("k", FieldValue::U64(1))]);
+        let mut span = obs.span("s");
+        span.field("k", FieldValue::U64(1));
+        drop(span);
+        assert_eq!(obs.now_ns(), 0);
+        assert_eq!(obs.snapshot(), MetricsSnapshot::empty());
+    }
+
+    #[test]
+    fn obs_metrics_without_sink_records_but_never_emits() {
+        let obs = Obs::metrics();
+        assert!(obs.enabled());
+        assert!(!obs.tracing());
+        obs.counter("c").add(5);
+        obs.emit("e", &[]);
+        drop(obs.span("s"));
+        assert_eq!(obs.snapshot().counter("c"), Some(5));
+    }
+
+    #[test]
+    fn spans_emit_duration_and_fields() {
+        let sink = Arc::new(RingSink::new(8));
+        let obs = Obs::with_sink(sink.clone());
+        {
+            let mut span = obs.span("round");
+            span.field("round", FieldValue::U64(7));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "round");
+        assert_eq!(
+            events[0].fields[0],
+            ("round".to_string(), FieldValue::U64(7))
+        );
+        assert!(matches!(
+            events[0].fields.last().unwrap(),
+            (k, FieldValue::U64(_)) if k == "dur_ns"
+        ));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short".to_string(), "1".to_string()]);
+        t.row(&["a-much-longer-name".to_string(), "23456".to_string()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows are equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn fmt_seconds_scales_units() {
+        assert_eq!(fmt_seconds(2.5), "2.500s");
+        assert_eq!(fmt_seconds(2.5e-3), "2.500ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.500µs");
+        assert_eq!(fmt_seconds(5e-9), "5ns");
+        assert_eq!(fmt_seconds(f64::NAN), "-");
+    }
+
+    #[test]
+    fn event_frame_len_matches_encoding() {
+        let ev = Event {
+            ts_ns: 9,
+            name: "x".to_string(),
+            fields: Vec::new(),
+        };
+        let framed = crate::codec::encode_frame(KIND_OBS_EVENT, &encode_to_vec(&ev));
+        assert_eq!(event_frame_len(&ev), framed.len());
+    }
+
+    #[test]
+    fn obs_equality_ignores_recording_state() {
+        let a = Obs::metrics();
+        let b = Obs::disabled();
+        a.counter("c").incr();
+        assert_eq!(a, b);
+    }
+}

@@ -59,14 +59,16 @@ use imc2_auction::{AuctionError, DeferReason, Deferral};
 use imc2_common::codec::crc32;
 use imc2_common::codec::{
     decode_frame, decode_from_slice, encode_frame, encode_to_vec, Codec, CodecError, Decoder,
-    Encoder,
+    Encoder, FRAME_HEADER_LEN,
 };
+use imc2_common::obs::{Counter, FieldValue, HistogramHandle, Obs, Table};
 use imc2_common::storage::{Storage, StorageError};
 use imc2_common::wal::{TailStatus, Wal};
 use imc2_common::{SnapshotDelta, TaskId, ValidationError};
 use imc2_datagen::RoundTrace;
 use imc2_truth::StreamState;
 use std::fmt;
+use std::time::Instant;
 
 /// WAL frame kind: the campaign's genesis record (shape fingerprint,
 /// budget, reputation prior) — always the first frame.
@@ -180,6 +182,39 @@ impl From<LedgerError> for DurabilityError {
     }
 }
 
+/// Pre-resolved metric handles for the durable driver: WAL append
+/// volume, checkpoint write/prune activity, recovery count. Detached
+/// no-ops when obs is disabled.
+#[derive(Debug, Clone, Default)]
+struct DurableMetrics {
+    wal_frames: Counter,
+    wal_bytes: Counter,
+    ckpt_writes: Counter,
+    ckpt_write_s: HistogramHandle,
+    ckpt_pruned: Counter,
+    recoveries: Counter,
+}
+
+impl DurableMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        DurableMetrics {
+            wal_frames: obs.counter("durable.wal.frames"),
+            wal_bytes: obs.counter("durable.wal.bytes"),
+            ckpt_writes: obs.counter("durable.checkpoint.writes"),
+            ckpt_write_s: obs.histogram("durable.checkpoint.write_s"),
+            ckpt_pruned: obs.counter("durable.checkpoint.pruned"),
+            recoveries: obs.counter("durable.recoveries"),
+        }
+    }
+
+    /// One committed WAL append of `payload_len` payload bytes (the byte
+    /// counter includes the frame header, matching on-disk growth).
+    fn wal_append(&self, payload_len: usize) {
+        self.wal_frames.incr();
+        self.wal_bytes.add((payload_len + FRAME_HEADER_LEN) as u64);
+    }
+}
+
 /// What recovery found and did before live execution resumed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -201,6 +236,45 @@ pub struct RecoveryReport {
     /// The reputation prior journaled at genesis and used from here on —
     /// pricing survives the crash even if the live config drifted.
     pub adopted_reputation_prior: f64,
+}
+
+impl fmt::Display for RecoveryReport {
+    /// Renders the report as the shared two-column table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut table = Table::new(&["recovery", "value"]);
+        table.row(&[
+            "journaled rounds".to_string(),
+            self.journaled_rounds.to_string(),
+        ]);
+        table.row(&[
+            "checkpoint round".to_string(),
+            self.checkpoint_round
+                .map_or_else(|| "none (cold replay)".to_string(), |r| r.to_string()),
+        ]);
+        table.row(&[
+            "replayed rounds".to_string(),
+            self.replayed_rounds.to_string(),
+        ]);
+        table.row(&[
+            "torn tail dropped".to_string(),
+            format!("{} B", self.torn_tail_dropped),
+        ]);
+        table.row(&[
+            "tail error".to_string(),
+            self.tail_error
+                .as_ref()
+                .map_or_else(|| "none".to_string(), |e| e.to_string()),
+        ]);
+        table.row(&[
+            "checkpoints skipped".to_string(),
+            self.checkpoints_skipped.to_string(),
+        ]);
+        table.row(&[
+            "adopted reputation prior".to_string(),
+            format!("{}", self.adopted_reputation_prior),
+        ]);
+        table.fmt(f)
+    }
 }
 
 /// Result of a [`DurableRuntime::run`].
@@ -429,12 +503,25 @@ impl Codec for CheckpointFrame {
 pub struct DurableRuntime {
     config: PipelineConfig,
     durability: DurabilityConfig,
+    obs: Obs,
 }
 
 impl DurableRuntime {
     /// A durable runtime over the given campaign and durability configs.
     pub fn new(config: PipelineConfig, durability: DurabilityConfig) -> Self {
-        DurableRuntime { config, durability }
+        DurableRuntime {
+            config,
+            durability,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// The same runtime with observability attached: WAL/checkpoint
+    /// metrics, recovery spans, and the round body's stage metrics all
+    /// land in `obs`. Never influences execution or recovery results.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The campaign configuration in use.
@@ -466,6 +553,7 @@ impl DurableRuntime {
     ) -> Result<DurableOutcome, DurabilityError> {
         let cfg = &self.config;
         let wal = Wal::new(WAL_OBJECT);
+        let metrics = DurableMetrics::resolve(&self.obs);
 
         // Recovery phase 1 — make the log clean: truncate any torn tail,
         // remembering the typed warning for the report.
@@ -480,16 +568,44 @@ impl DurableRuntime {
         let (mut state, start_round, recovery) = if scan.frames.is_empty() {
             // Fresh campaign: the genesis frame is committed before any
             // round so recovery can always validate what it is resuming.
-            wal.append(storage, KIND_GENESIS, &encode_to_vec(&genesis))?;
+            let payload = encode_to_vec(&genesis);
+            wal.append(storage, KIND_GENESIS, &payload)?;
             wal_frames_appended += 1;
+            metrics.wal_append(payload.len());
             (CampaignState::new(cfg, trace), 0, None)
         } else {
+            metrics.recoveries.incr();
+            let mut span = self.obs.span("durable.recovery");
             let (state, start_round, mut report) =
                 self.recover_state(storage, trace, &scan.frames, &genesis, &mut ledger)?;
             report.torn_tail_dropped = repair.dropped_bytes;
             report.tail_error = repair.error;
+            span.field(
+                "journaled_rounds",
+                FieldValue::U64(report.journaled_rounds as u64),
+            );
+            span.field(
+                "checkpoint_round",
+                match report.checkpoint_round {
+                    Some(r) => FieldValue::U64(r as u64),
+                    None => FieldValue::Str("none".to_string()),
+                },
+            );
+            span.field(
+                "replayed_rounds",
+                FieldValue::U64(report.replayed_rounds as u64),
+            );
+            span.field(
+                "torn_tail_dropped",
+                FieldValue::U64(report.torn_tail_dropped as u64),
+            );
+            span.field(
+                "checkpoints_skipped",
+                FieldValue::U64(report.checkpoints_skipped as u64),
+            );
             (state, start_round, Some(report))
         };
+        state.set_obs(&self.obs);
 
         // Live phase — the shared per-round step, with the WAL append as
         // the commit point and the ledger as the payout register.
@@ -530,15 +646,17 @@ impl DurableRuntime {
                         };
                         // Commit point: after this append returns, the
                         // round (and its payout) exists.
-                        wal.append(storage, KIND_ROUND, &encode_to_vec(&frame))?;
+                        let payload = encode_to_vec(&frame);
+                        wal.append(storage, KIND_ROUND, &payload)?;
                         wal_frames_appended += 1;
+                        metrics.wal_append(payload.len());
                         ledger.record(round, payment)?;
 
                         rounds_since_ckpt += 1;
                         if self.durability.checkpoint_interval > 0
                             && rounds_since_ckpt >= self.durability.checkpoint_interval
                         {
-                            self.write_checkpoint(storage, &state, round + 1)?;
+                            self.write_checkpoint(storage, &state, round + 1, &metrics)?;
                             checkpoints_written += 1;
                             rounds_since_ckpt = 0;
                         }
@@ -768,7 +886,9 @@ impl DurableRuntime {
         storage: &mut S,
         state: &CampaignState,
         next_round: usize,
+        metrics: &DurableMetrics,
     ) -> Result<(), StorageError> {
+        let t = Instant::now();
         let frame = CheckpointFrame {
             next_round,
             state: state.stream.export_state(),
@@ -777,6 +897,8 @@ impl DurableRuntime {
             &checkpoint_name(next_round),
             &encode_frame(KIND_CHECKPOINT, &encode_to_vec(&frame)),
         )?;
+        metrics.ckpt_writes.incr();
+        metrics.ckpt_write_s.record(t.elapsed().as_secs_f64());
 
         let mut rounds: Vec<(usize, String)> = storage
             .list()?
@@ -786,6 +908,7 @@ impl DurableRuntime {
         rounds.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
         for (_, name) in rounds.iter().skip(self.durability.keep_checkpoints.max(1)) {
             storage.remove(name)?;
+            metrics.ckpt_pruned.incr();
         }
         Ok(())
     }

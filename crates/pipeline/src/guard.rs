@@ -44,12 +44,14 @@ use crate::report::{RollingOutcome, StopReason};
 use crate::runtime::PipelineConfig;
 use crate::state::{CampaignState, RefineMode, RoundStep};
 use imc2_auction::{AuctionError, ReofferPolicy};
+use imc2_common::obs::{Counter, FieldValue, Gauge, HistogramHandle, Obs, Table};
 use imc2_common::{ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId};
 use imc2_datagen::{RoundTrace, WorkerOffer};
 use imc2_truth::dependence::{pairwise_posteriors, DependenceParams};
 use imc2_truth::{DateStream, TruthProblem};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
 use std::time::Instant;
 
 /// Why a submission (or correction op) was rejected at admission.
@@ -137,6 +139,12 @@ pub struct GuardConfig {
     pub quarantine: Option<QuarantinePolicy>,
     /// Loser re-offer backoff; `None` disables re-offers.
     pub reoffer: Option<ReofferPolicy>,
+    /// Observability handle for the guarded loop: admission counters by
+    /// [`RejectReason`], quarantine-sweep spans, re-offer queue depth.
+    /// Disabled by default; never part of config equality, never feeds
+    /// back into a guard decision (the obs-equivalence proptests hold
+    /// obs-on and obs-off runs bit-identical).
+    pub obs: Obs,
 }
 
 impl GuardConfig {
@@ -147,6 +155,7 @@ impl GuardConfig {
         GuardConfig {
             quarantine: Some(QuarantinePolicy::default()),
             reoffer: Some(ReofferPolicy::default()),
+            obs: Obs::disabled(),
         }
     }
 
@@ -156,6 +165,79 @@ impl GuardConfig {
         GuardConfig {
             quarantine: None,
             reoffer: None,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Builder sugar: the same config with observability attached.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
+/// Pre-resolved metric handles for the guard's hot paths. Registered
+/// once at construction (or at [`SubmissionGuard::set_obs`]) so the
+/// per-offer admission path touches only atomics, never the registry
+/// map. All handles are detached no-ops when obs is disabled.
+#[derive(Debug, Clone, Default)]
+struct GuardMetrics {
+    admitted: Counter,
+    rejected_total: Counter,
+    rejected_duplicate: Counter,
+    rejected_repeat: Counter,
+    rejected_replay: Counter,
+    rejected_out_of_domain: Counter,
+    rejected_unknown_worker: Counter,
+    rejected_invalid_price: Counter,
+    rejected_malformed: Counter,
+    rejected_quarantined: Counter,
+    rejected_unknown_bundle: Counter,
+    reoffer_queue: Gauge,
+    reoffers_scheduled: Counter,
+    reoffers_admitted: Counter,
+    reoffers_abandoned: Counter,
+    reoffer_delay: HistogramHandle,
+    sweeps: Counter,
+    quarantined: Counter,
+}
+
+impl GuardMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        GuardMetrics {
+            admitted: obs.counter("guard.admitted"),
+            rejected_total: obs.counter("guard.rejected"),
+            rejected_duplicate: obs.counter("guard.rejected.duplicate"),
+            rejected_repeat: obs.counter("guard.rejected.repeat"),
+            rejected_replay: obs.counter("guard.rejected.replay"),
+            rejected_out_of_domain: obs.counter("guard.rejected.out_of_domain"),
+            rejected_unknown_worker: obs.counter("guard.rejected.unknown_worker"),
+            rejected_invalid_price: obs.counter("guard.rejected.invalid_price"),
+            rejected_malformed: obs.counter("guard.rejected.malformed"),
+            rejected_quarantined: obs.counter("guard.rejected.quarantined"),
+            rejected_unknown_bundle: obs.counter("guard.rejected.unknown_bundle"),
+            reoffer_queue: obs.gauge("guard.reoffer.queue_depth"),
+            reoffers_scheduled: obs.counter("guard.reoffer.scheduled"),
+            reoffers_admitted: obs.counter("guard.reoffer.admitted"),
+            reoffers_abandoned: obs.counter("guard.reoffer.abandoned"),
+            reoffer_delay: obs.histogram("guard.reoffer.delay_rounds"),
+            sweeps: obs.counter("guard.sweeps"),
+            quarantined: obs.counter("guard.quarantined"),
+        }
+    }
+
+    fn count_rejection(&self, reason: RejectReason) {
+        self.rejected_total.incr();
+        match reason {
+            RejectReason::DuplicateSubmission { .. } => self.rejected_duplicate.incr(),
+            RejectReason::RepeatOfferInRound => self.rejected_repeat.incr(),
+            RejectReason::Replay => self.rejected_replay.incr(),
+            RejectReason::OutOfDomain => self.rejected_out_of_domain.incr(),
+            RejectReason::UnknownWorker => self.rejected_unknown_worker.incr(),
+            RejectReason::InvalidPrice => self.rejected_invalid_price.incr(),
+            RejectReason::MalformedBundle => self.rejected_malformed.incr(),
+            RejectReason::Quarantined => self.rejected_quarantined.incr(),
+            RejectReason::UnknownBundle => self.rejected_unknown_bundle.incr(),
         }
     }
 }
@@ -203,6 +285,71 @@ impl GuardReport {
             .iter()
             .filter(|r| r.reason == reason)
             .count()
+    }
+}
+
+/// Stable label for a rejection reason, shared by the metric names
+/// (`guard.rejected.<label>`) and the [`GuardReport`] table.
+fn reason_label(reason: RejectReason) -> &'static str {
+    match reason {
+        RejectReason::DuplicateSubmission { .. } => "duplicate",
+        RejectReason::RepeatOfferInRound => "repeat",
+        RejectReason::Replay => "replay",
+        RejectReason::OutOfDomain => "out_of_domain",
+        RejectReason::UnknownWorker => "unknown_worker",
+        RejectReason::InvalidPrice => "invalid_price",
+        RejectReason::MalformedBundle => "malformed",
+        RejectReason::Quarantined => "quarantined",
+        RejectReason::UnknownBundle => "unknown_bundle",
+    }
+}
+
+impl fmt::Display for GuardReport {
+    /// Renders the report as the shared two-column table: total and
+    /// per-reason rejection counts (non-zero reasons only), quarantine
+    /// and re-offer tallies.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut table = Table::new(&["guard", "count"]);
+        table.row(&["rejections".to_string(), self.rejections.len().to_string()]);
+        let mut by_reason: Vec<(&'static str, usize)> = Vec::new();
+        for r in &self.rejections {
+            let label = reason_label(r.reason);
+            match by_reason.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => by_reason.push((label, 1)),
+            }
+        }
+        by_reason.sort_unstable();
+        for (label, n) in by_reason {
+            table.row(&[format!("  rejected.{label}"), n.to_string()]);
+        }
+        table.row(&[
+            "quarantined workers".to_string(),
+            self.quarantined.len().to_string(),
+        ]);
+        let retracted: usize = self.audit.iter().map(|r| r.answers.len()).sum();
+        table.row(&["retracted answers".to_string(), retracted.to_string()]);
+        table.row(&[
+            "reoffers scheduled".to_string(),
+            self.reoffers_scheduled.to_string(),
+        ]);
+        table.row(&[
+            "reoffers admitted".to_string(),
+            self.reoffers_admitted.to_string(),
+        ]);
+        table.row(&[
+            "reoffers abandoned".to_string(),
+            self.reoffers_abandoned.to_string(),
+        ]);
+        table.row(&[
+            "reoffers pending at stop".to_string(),
+            self.reoffers_pending_at_stop.to_string(),
+        ]);
+        table.row(&[
+            "double pays refused".to_string(),
+            self.double_pay_refused.to_string(),
+        ]);
+        table.fmt(f)
     }
 }
 
@@ -320,6 +467,11 @@ pub struct SubmissionGuard {
     /// Prefix of `submitted` already folded into `view`.
     view_synced: usize,
     report: GuardReport,
+    /// Observability handle (events/spans) — a clone of `config.obs`
+    /// unless overridden by [`SubmissionGuard::set_obs`].
+    obs: Obs,
+    /// Pre-resolved metric handles; detached no-ops when obs is disabled.
+    metrics: GuardMetrics,
 }
 
 impl SubmissionGuard {
@@ -331,6 +483,8 @@ impl SubmissionGuard {
                 submitted.push((WorkerId(w), t, v));
             }
         }
+        let obs = config.obs.clone();
+        let metrics = GuardMetrics::resolve(&obs);
         SubmissionGuard {
             config,
             n_workers: trace.n_workers(),
@@ -345,7 +499,27 @@ impl SubmissionGuard {
             view_seen: HashSet::new(),
             view_synced: 0,
             report: GuardReport::default(),
+            obs,
+            metrics,
         }
+    }
+
+    /// Replaces the guard's observability handle (and re-resolves its
+    /// metric handles). The serving layer uses this to point a guard at
+    /// the service-wide registry regardless of what the config carried.
+    pub(crate) fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.metrics = GuardMetrics::resolve(obs);
+    }
+
+    /// Records one rejection in the report and in the metrics.
+    fn reject(&mut self, round: usize, worker: WorkerId, reason: RejectReason) {
+        self.metrics.count_rejection(reason);
+        self.report.rejections.push(RejectedSubmission {
+            round,
+            worker,
+            reason,
+        });
     }
 
     /// Workers currently quarantined.
@@ -425,11 +599,11 @@ impl SubmissionGuard {
             let fp = fingerprint(offer);
             let epoch = self.epochs.get(&offer.worker).copied().unwrap_or(0);
             if let Some(&first_round) = self.fingerprints.get(&(fp, epoch)) {
-                self.report.rejections.push(RejectedSubmission {
+                self.reject(
                     round,
-                    worker: offer.worker,
-                    reason: RejectReason::DuplicateSubmission { first_round },
-                });
+                    offer.worker,
+                    RejectReason::DuplicateSubmission { first_round },
+                );
                 continue;
             }
             match self.screen(offer, &self.current, held) {
@@ -441,15 +615,10 @@ impl SubmissionGuard {
                     self.current.insert(offer.worker, (paid_fp, 0));
                     self.submitted
                         .extend(offer.answers.iter().map(|&(t, v)| (offer.worker, t, v)));
+                    self.metrics.admitted.incr();
                     cohort.push(offer.clone());
                 }
-                Err(reason) => {
-                    self.report.rejections.push(RejectedSubmission {
-                        round,
-                        worker: offer.worker,
-                        reason,
-                    });
-                }
+                Err(reason) => self.reject(round, offer.worker, reason),
             }
         }
 
@@ -466,21 +635,17 @@ impl SubmissionGuard {
                 }
                 let w = entry.offer.worker;
                 if self.quarantined.contains(&w) {
-                    self.report.rejections.push(RejectedSubmission {
-                        round,
-                        worker: w,
-                        reason: RejectReason::Quarantined,
-                    });
+                    self.reject(round, w, RejectReason::Quarantined);
                     continue;
                 }
                 if ledger.bundle_paid(w, entry.fingerprint).is_some() {
-                    self.report.rejections.push(RejectedSubmission {
+                    self.reject(
                         round,
-                        worker: w,
-                        reason: RejectReason::DuplicateSubmission {
+                        w,
+                        RejectReason::DuplicateSubmission {
                             first_round: entry.due,
                         },
-                    });
+                    );
                     continue;
                 }
                 if self.current.contains_key(&w) {
@@ -495,18 +660,16 @@ impl SubmissionGuard {
                         .iter()
                         .any(|&(t, _)| held.value_of(w, t).is_some())
                 {
-                    self.report.rejections.push(RejectedSubmission {
-                        round,
-                        worker: w,
-                        reason: RejectReason::Replay,
-                    });
+                    self.reject(round, w, RejectReason::Replay);
                     continue;
                 }
                 self.report.reoffers_admitted += 1;
+                self.metrics.reoffers_admitted.incr();
                 self.current.insert(w, (entry.fingerprint, entry.attempts));
                 cohort.push(entry.offer);
             }
             self.queue = still_queued;
+            self.metrics.reoffer_queue.set(self.queue.len() as u64);
         }
 
         cohort.sort_by_key(|o| o.worker);
@@ -538,6 +701,8 @@ impl SubmissionGuard {
             match policy.delay(attempts + 1) {
                 Some(delay) => {
                     self.report.reoffers_scheduled += 1;
+                    self.metrics.reoffers_scheduled.incr();
+                    self.metrics.reoffer_delay.record(delay as f64);
                     self.queue.push(ReofferEntry {
                         offer: offer.clone(),
                         fingerprint: fp,
@@ -545,9 +710,13 @@ impl SubmissionGuard {
                         due: round + delay,
                     });
                 }
-                None => self.report.reoffers_abandoned += 1,
+                None => {
+                    self.report.reoffers_abandoned += 1;
+                    self.metrics.reoffers_abandoned.incr();
+                }
             }
         }
+        self.metrics.reoffer_queue.set(self.queue.len() as u64);
     }
 
     /// Audits the correction ops dropped by the sequential filter as
@@ -680,6 +849,12 @@ fn quarantine_sweep(
     policy: &QuarantinePolicy,
     round: usize,
 ) {
+    guard.metrics.sweeps.incr();
+    // The span clones the Obs handle, so it does not borrow the guard;
+    // early returns emit a partial span (round only), which is accurate:
+    // the sweep did run and did nothing.
+    let mut span = guard.obs.span("guard.sweep");
+    span.field("round", FieldValue::U64(round as u64));
     let newly: Vec<WorkerId> = {
         // Keep-first sync of the view: after a retraction a worker may
         // legitimately resubmit a different value, and admission only
@@ -691,6 +866,7 @@ fn quarantine_sweep(
             .filter(|&(w, t, _)| guard.view_seen.insert((w, t)))
             .collect();
         guard.view_synced = guard.submitted.len();
+        span.field("fresh_answers", FieldValue::U64(fresh.len() as u64));
         let stream: &mut DateStream = match guard.view.as_mut() {
             Some(s) => {
                 if !fresh.is_empty() {
@@ -735,13 +911,18 @@ fn quarantine_sweep(
         let n = view.n_workers();
         let tallies = ValueSupport::of(view, guard.num_false.len());
         let mut uf = UnionFind::new(n);
+        let mut max_posterior = f64::NEG_INFINITY;
         for i in 0..n {
             let rows_i = view.tasks_of_worker(WorkerId(i));
             if rows_i.is_empty() {
                 continue;
             }
             for j in (i + 1)..n {
-                if matrix.total(WorkerId(i), WorkerId(j)) < policy.threshold {
+                let total = matrix.total(WorkerId(i), WorkerId(j));
+                if total > max_posterior {
+                    max_posterior = total;
+                }
+                if total < policy.threshold {
                     continue;
                 }
                 let rows_j = view.tasks_of_worker(WorkerId(j));
@@ -755,18 +936,29 @@ fn quarantine_sweep(
             let root = uf.find(i);
             members.entry(root).or_default().push(WorkerId(i));
         }
-        let mut flagged: Vec<WorkerId> = members
+        let groups: Vec<Vec<WorkerId>> = members
             .into_values()
             .filter(|g| g.len() >= policy.min_group.max(2))
+            .collect();
+        span.field("components", FieldValue::U64(groups.len() as u64));
+        span.field(
+            "max_component",
+            FieldValue::U64(groups.iter().map(Vec::len).max().unwrap_or(0) as u64),
+        );
+        span.field("max_posterior", FieldValue::F64(max_posterior));
+        let mut flagged: Vec<WorkerId> = groups
+            .into_iter()
             .flatten()
             .filter(|w| !guard.quarantined.contains(w))
             .collect();
         flagged.sort_unstable();
         flagged
     };
+    span.field("flagged", FieldValue::U64(newly.len() as u64));
     if newly.is_empty() {
         return;
     }
+    guard.metrics.quarantined.add(newly.len() as u64);
     let mut delta = SnapshotDelta::new();
     for &w in &newly {
         let held = state.stream.observations();
@@ -819,7 +1011,9 @@ pub(crate) fn guarded_round(
 ) -> Result<Option<StopReason>, AuctionError> {
     let t = Instant::now();
     let cohort = guard.admit_round(round, arrivals, state.stream.observations(), ledger);
-    state.latencies.admit.record(t.elapsed().as_secs_f64());
+    let dt = t.elapsed().as_secs_f64();
+    state.latencies.admit.record(dt);
+    state.obs.admit.record(dt);
     match state.execute_round_with(cfg, trace, mode, round, &cohort, raw_corrections)? {
         RoundStep::BudgetStop => {
             return Ok(Some(StopReason::BudgetExhausted));
@@ -864,6 +1058,7 @@ pub(crate) fn run_guarded(
     mode: RefineMode,
 ) -> Result<GuardedOutcome, AuctionError> {
     let mut state = CampaignState::new(cfg, trace);
+    state.set_obs(&guard_cfg.obs);
     let mut guard = SubmissionGuard::new(trace, guard_cfg.clone());
     let mut ledger = PaymentLedger::new();
     let mut stop = StopReason::TraceExhausted;

@@ -88,6 +88,6 @@ pub use ledger::{LedgerError, PaymentLedger};
 pub use report::{RollingOutcome, RoundRecord, StageLatencies, StageTimings, StopReason};
 pub use runtime::{one_shot, CampaignRuntime, ConfigError, OneShotOutcome, PipelineConfig};
 pub use serve::{
-    CampaignService, ServeConfig, ServeError, ServeOutcome, ServiceExit, ServiceStatus, ShedReason,
-    SubmitError,
+    CampaignService, ServeConfig, ServeError, ServeOutcome, ServeStats, ServiceExit, ServiceHealth,
+    ServiceStatus, ShedReason, SubmitError,
 };

@@ -84,13 +84,20 @@
 //! );
 //! ```
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use imc2_auction::AuctionError;
-use imc2_common::codec::{decode_from_slice, encode_to_vec, Codec, CodecError, Decoder, Encoder};
+use imc2_common::codec::{
+    decode_from_slice, encode_to_vec, Codec, CodecError, Decoder, Encoder, FRAME_HEADER_LEN,
+};
+use imc2_common::obs::{
+    fmt_seconds, Counter, FieldValue, Gauge, HistogramHandle, MetricsSnapshot, Obs, Table,
+};
 use imc2_common::storage::{MemStorage, Storage};
 use imc2_common::wal::Wal;
 use imc2_common::{DeltaOp, SnapshotDelta};
@@ -109,9 +116,9 @@ use crate::state::{CampaignState, RefineMode};
 /// layouts can never be confused for one another.
 pub const KIND_ARRIVALS: u16 = 4;
 
-/// Knobs of the event-loop front. Both knobs trade latency against
-/// throughput; `docs/SERVING.md` discusses how to pick them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Knobs of the event-loop front. The two sizing knobs trade latency
+/// against throughput; `docs/SERVING.md` discusses how to pick them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bound of the submission queue. A submission arriving while the
     /// queue holds this many unprocessed commands gets
@@ -122,6 +129,15 @@ pub struct ServeConfig {
     /// flush. Treated as at least 1; use `usize::MAX` to execute rounds
     /// only on explicit flushes.
     pub round_target: usize,
+    /// Always-on backpressure counters (Busy/Shed by reason, queue
+    /// depth, rounds). Shared atomics: clone this handle before handing
+    /// the config over and the clone stays live for post-hoc queries
+    /// even with observability disabled. Never part of config equality.
+    pub stats: ServeStats,
+    /// Observability handle: metric mirrors, lifecycle events, round
+    /// spans. Disabled by default; never influences campaign results
+    /// (obs-on and obs-off runs are property-tested bit-identical).
+    pub obs: Obs,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +145,182 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 64,
             round_target: 32,
+            stats: ServeStats::default(),
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Always-on counters of the serving front, owned by [`ServeConfig`]
+/// and shared between the submission handle and the event loop. These
+/// exist so backpressure incidents (Busy returns, sheds by reason) are
+/// countable after the fact even when observability is disabled —
+/// they're plain shared atomics, no registry involved. Cloning shares
+/// the cells; `PartialEq` is always true so configs embedding stats
+/// still compare by their sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeStats(Arc<StatsInner>);
+
+#[derive(Debug)]
+struct StatsInner {
+    start: Instant,
+    busy: AtomicU64,
+    shed_draining: AtomicU64,
+    shed_stopped: AtomicU64,
+    shed_failed: AtomicU64,
+    offers: AtomicU64,
+    corrections: AtomicU64,
+    flushes: AtomicU64,
+    queue_depth: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats(Arc::new(StatsInner {
+            start: Instant::now(),
+            busy: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
+            shed_stopped: AtomicU64::new(0),
+            shed_failed: AtomicU64::new(0),
+            offers: AtomicU64::new(0),
+            corrections: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl PartialEq for ServeStats {
+    /// Always true: stats are observational, never part of config
+    /// identity.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl ServeStats {
+    /// Submissions refused with [`SubmitError::Busy`] (queue full).
+    pub fn busy(&self) -> u64 {
+        self.0.busy.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed with [`ShedReason::Draining`].
+    pub fn shed_draining(&self) -> u64 {
+        self.0.shed_draining.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed with [`ShedReason::Stopped`].
+    pub fn shed_stopped(&self) -> u64 {
+        self.0.shed_stopped.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed with [`ShedReason::Failed`].
+    pub fn shed_failed(&self) -> u64 {
+        self.0.shed_failed.load(Ordering::Relaxed)
+    }
+
+    /// All sheds, every reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_draining() + self.shed_stopped() + self.shed_failed()
+    }
+
+    /// Offers accepted into the queue.
+    pub fn offers(&self) -> u64 {
+        self.0.offers.load(Ordering::Relaxed)
+    }
+
+    /// Correction batches accepted into the queue.
+    pub fn corrections(&self) -> u64 {
+        self.0.corrections.load(Ordering::Relaxed)
+    }
+
+    /// Flush requests accepted into the queue.
+    pub fn flushes(&self) -> u64 {
+        self.0.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Commands currently queued (accepted, not yet received by the
+    /// loop). Approximate during shutdown: the final drain consumes
+    /// commands without decrementing.
+    pub fn queue_depth(&self) -> u64 {
+        self.0.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Rounds the event loop has executed (live rounds only, not
+    /// recovered ones).
+    pub fn rounds(&self) -> u64 {
+        self.0.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since these stats were created (service uptime when the
+    /// stats were made for one service).
+    pub fn uptime_s(&self) -> f64 {
+        self.0.start.elapsed().as_secs_f64()
+    }
+
+    fn record_shed(&self, reason: ShedReason) {
+        let cell = match reason {
+            ShedReason::Draining => &self.0.shed_draining,
+            ShedReason::Stopped(_) => &self.0.shed_stopped,
+            ShedReason::Failed => &self.0.shed_failed,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn queue_decr(&self) {
+        let _ = self
+            .0
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+}
+
+/// Pre-resolved registry mirrors of the serving front. Mirrors of
+/// [`ServeStats`] plus coalesce/WAL distributions; detached no-ops when
+/// obs is disabled.
+#[derive(Debug, Clone, Default)]
+struct ServeMetrics {
+    queue_depth: Gauge,
+    busy: Counter,
+    shed_draining: Counter,
+    shed_stopped: Counter,
+    shed_failed: Counter,
+    offers: Counter,
+    corrections: Counter,
+    flushes: Counter,
+    rounds: Counter,
+    coalesce: HistogramHandle,
+    wal_frames: Counter,
+    wal_bytes: Counter,
+}
+
+impl ServeMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        ServeMetrics {
+            queue_depth: obs.gauge("serve.queue.depth"),
+            busy: obs.counter("serve.submit.busy"),
+            shed_draining: obs.counter("serve.submit.shed.draining"),
+            shed_stopped: obs.counter("serve.submit.shed.stopped"),
+            shed_failed: obs.counter("serve.submit.shed.failed"),
+            offers: obs.counter("serve.submit.offers"),
+            corrections: obs.counter("serve.submit.corrections"),
+            flushes: obs.counter("serve.submit.flushes"),
+            rounds: obs.counter("serve.rounds"),
+            coalesce: obs.histogram("serve.coalesce.offers"),
+            wal_frames: obs.counter("serve.wal.frames"),
+            wal_bytes: obs.counter("serve.wal.bytes"),
+        }
+    }
+
+    fn count_shed(&self, reason: ShedReason) {
+        match reason {
+            ShedReason::Draining => self.shed_draining.incr(),
+            ShedReason::Stopped(_) => self.shed_stopped.incr(),
+            ShedReason::Failed => self.shed_failed.incr(),
         }
     }
 }
@@ -215,6 +407,65 @@ pub enum ServiceStatus {
     Stopped,
     /// Event loop failed; submissions shed.
     Failed,
+}
+
+/// A live health summary of a running service, from
+/// [`CampaignService::health`]. Built entirely from the always-on
+/// [`ServeStats`] and the shared lifecycle state — available whether or
+/// not observability is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceHealth {
+    /// Current lifecycle phase.
+    pub status: ServiceStatus,
+    /// Seconds since the service's stats were created.
+    pub uptime_s: f64,
+    /// Commands accepted but not yet received by the event loop.
+    pub queue_depth: u64,
+    /// Rounds executed live by the event loop.
+    pub rounds: u64,
+    /// Journaled rounds re-executed during recovery before going live.
+    pub recovered_rounds: usize,
+    /// Offers accepted into the queue.
+    pub offers: u64,
+    /// Correction batches accepted into the queue.
+    pub corrections: u64,
+    /// Flush requests accepted into the queue.
+    pub flushes: u64,
+    /// Submissions refused with [`SubmitError::Busy`].
+    pub busy: u64,
+    /// Submissions shed (all reasons).
+    pub shed: u64,
+    /// The campaign's terminal stop, if it has reached one.
+    pub last_stop: Option<StopReason>,
+}
+
+impl fmt::Display for ServiceHealth {
+    /// Renders the summary as the shared two-column table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut table = Table::new(&["health", "value"]);
+        table.row(&["status".to_string(), format!("{:?}", self.status)]);
+        table.row(&["uptime".to_string(), fmt_seconds(self.uptime_s)]);
+        table.row(&["queue depth".to_string(), self.queue_depth.to_string()]);
+        table.row(&["rounds served".to_string(), self.rounds.to_string()]);
+        table.row(&[
+            "rounds recovered".to_string(),
+            self.recovered_rounds.to_string(),
+        ]);
+        table.row(&["offers accepted".to_string(), self.offers.to_string()]);
+        table.row(&[
+            "corrections accepted".to_string(),
+            self.corrections.to_string(),
+        ]);
+        table.row(&["flushes".to_string(), self.flushes.to_string()]);
+        table.row(&["busy refusals".to_string(), self.busy.to_string()]);
+        table.row(&["shed submissions".to_string(), self.shed.to_string()]);
+        table.row(&[
+            "last stop".to_string(),
+            self.last_stop
+                .map_or_else(|| "none".to_string(), |s| format!("{s:?}")),
+        ]);
+        table.fmt(f)
+    }
 }
 
 /// Everything a finished service produced. The `outcome`, `ledger` and
@@ -378,6 +629,9 @@ struct EventLoop<S: Storage> {
     recovered_rounds: usize,
     recovered_records: usize,
     wal_frames_appended: usize,
+    stats: ServeStats,
+    metrics: ServeMetrics,
+    obs: Obs,
 }
 
 impl<S: Storage> EventLoop<S> {
@@ -385,9 +639,15 @@ impl<S: Storage> EventLoop<S> {
         self.stop = Some(stop);
         *self.shared.stop.lock().expect("stop mutex never poisoned") = Some(stop);
         self.shared.phase.store(STOPPED, Ordering::SeqCst);
+        self.obs.emit(
+            "serve.stop",
+            &[("reason", FieldValue::Str(format!("{stop:?}")))],
+        );
     }
 
     fn fail(&mut self, e: ServeError) {
+        self.obs
+            .emit("serve.fail", &[("error", FieldValue::Str(e.to_string()))]);
         self.error = Some(e);
         self.pending_offers.clear();
         self.pending_ops.clear();
@@ -414,6 +674,11 @@ impl<S: Storage> EventLoop<S> {
         }
         let arrivals = std::mem::take(&mut self.pending_offers);
         let ops = std::mem::take(&mut self.pending_ops);
+        self.metrics.coalesce.record(arrivals.len() as f64);
+        let mut span = self.obs.span("serve.round");
+        span.field("round", FieldValue::U64(round as u64));
+        span.field("offers", FieldValue::U64(arrivals.len() as u64));
+        span.field("correction_ops", FieldValue::U64(ops.len() as u64));
         let corrections = if ops.is_empty() {
             None
         } else {
@@ -425,14 +690,16 @@ impl<S: Storage> EventLoop<S> {
                 arrivals: arrivals.clone(),
                 corrections: corrections.clone(),
             };
-            if let Err(e) = self
-                .wal
-                .append(storage, KIND_ARRIVALS, &encode_to_vec(&frame))
-            {
+            let payload = encode_to_vec(&frame);
+            if let Err(e) = self.wal.append(storage, KIND_ARRIVALS, &payload) {
                 self.fail(ServeError::Journal(e.into()));
                 return;
             }
             self.wal_frames_appended += 1;
+            self.metrics.wal_frames.incr();
+            self.metrics
+                .wal_bytes
+                .add((payload.len() + FRAME_HEADER_LEN) as u64);
         }
         match guarded_round(
             &self.cfg,
@@ -449,10 +716,20 @@ impl<S: Storage> EventLoop<S> {
             Ok(Some(stop)) => self.set_stop(stop),
             Err(e) => self.fail(ServeError::Auction(e)),
         }
+        if self.error.is_none() {
+            self.stats.0.rounds.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rounds.incr();
+        }
     }
 
     fn run(mut self, rx: Receiver<Command>) -> LoopResult<S> {
         while let Ok(cmd) = rx.recv() {
+            if !matches!(cmd, Command::Shutdown) {
+                // Shutdown arrives via a blocking send that was never
+                // counted into the depth; everything else was.
+                self.stats.queue_decr();
+                self.metrics.queue_depth.decr();
+            }
             self.shared.wait_while_paused();
             match cmd {
                 Command::Offer(offer) => {
@@ -484,6 +761,13 @@ impl<S: Storage> EventLoop<S> {
                     // Drain: the final in-flight cohort is executed (and
                     // journaled) rather than dropped, so no admitted
                     // submission or due payment is lost.
+                    self.obs.emit(
+                        "serve.drain",
+                        &[(
+                            "pending_offers",
+                            FieldValue::U64(self.pending_offers.len() as u64),
+                        )],
+                    );
                     if !self.pending_offers.is_empty() || !self.pending_ops.is_empty() {
                         self.run_pending_round();
                     }
@@ -527,6 +811,9 @@ pub struct CampaignService<S: Storage + Send + 'static = MemStorage> {
     shared: Arc<Shared>,
     join: Option<JoinHandle<LoopResult<S>>>,
     recovered: usize,
+    stats: ServeStats,
+    metrics: ServeMetrics,
+    obs: Obs,
 }
 
 impl CampaignService<MemStorage> {
@@ -585,8 +872,17 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
         serve: ServeConfig,
     ) -> Result<Self, DurabilityError> {
         cfg.validate().expect("invalid pipeline configuration");
+        let obs = serve.obs.clone();
+        let stats = serve.stats.clone();
+        let metrics = ServeMetrics::resolve(&obs);
         let mut state = CampaignState::new(&cfg, &trace);
+        state.set_obs(&obs);
         let mut guard = SubmissionGuard::new(&trace, guard_cfg);
+        if obs.enabled() {
+            // The service-wide handle wins over whatever the guard
+            // config carried, so one registry sees the whole stack.
+            guard.set_obs(&obs);
+        }
         let mut ledger = PaymentLedger::new();
         let wal = Wal::new(WAL_OBJECT);
         let mut stop = None;
@@ -594,6 +890,7 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
         let mut recovered_rounds = 0;
         let mut wal_frames_appended = 0;
         if let Some(s) = storage.as_mut() {
+            let mut span = obs.span("serve.recovery");
             recovered_rounds = recover_journal(
                 s,
                 &wal,
@@ -605,6 +902,7 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
                 &mut stop,
                 &mut wal_frames_appended,
             )?;
+            span.field("replayed_rounds", FieldValue::U64(recovered_rounds as u64));
         }
         let recovered_records = state.rounds.len();
         let shared = Arc::new(Shared::new(stop));
@@ -626,6 +924,9 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
             recovered_rounds,
             recovered_records,
             wal_frames_appended,
+            stats: stats.clone(),
+            metrics: metrics.clone(),
+            obs: obs.clone(),
         };
         let join = std::thread::spawn(move || event_loop.run(rx));
         Ok(CampaignService {
@@ -633,6 +934,9 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
             shared,
             join: Some(join),
             recovered: recovered_rounds,
+            stats,
+            metrics,
+            obs,
         })
     }
 
@@ -658,14 +962,58 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
         }
     }
 
+    /// Records one refused submission in the always-on stats and the
+    /// registry mirror, then returns the error. Every `SubmitError`
+    /// this module returns passes through here, which is what makes the
+    /// counters reconcile exactly with the caller-visible errors (the
+    /// obs-equivalence suite asserts it).
+    fn refuse(&self, err: SubmitError) -> SubmitError {
+        match err {
+            SubmitError::Busy => {
+                self.stats.0.busy.fetch_add(1, Ordering::Relaxed);
+                self.metrics.busy.incr();
+            }
+            SubmitError::Shed(reason) => {
+                self.stats.record_shed(reason);
+                self.metrics.count_shed(reason);
+            }
+        }
+        err
+    }
+
     fn try_send(&self, cmd: Command) -> Result<(), SubmitError> {
         if self.shared.phase() != ACCEPTING {
-            return Err(SubmitError::Shed(self.shed_reason()));
+            return Err(self.refuse(SubmitError::Shed(self.shed_reason())));
         }
+        let (accepted, mirror) = match &cmd {
+            Command::Offer(_) => (&self.stats.0.offers, &self.metrics.offers),
+            Command::Corrections(_) => (&self.stats.0.corrections, &self.metrics.corrections),
+            Command::Flush(_) => (&self.stats.0.flushes, &self.metrics.flushes),
+            Command::Shutdown => unreachable!("shutdown uses a blocking send"),
+        };
+        // Depth rises *before* the send: the loop decrements on receive,
+        // and its decrement saturates at zero — incrementing after a
+        // successful send could lose the race against that decrement and
+        // leave the gauge permanently high. A failed send undoes the
+        // optimistic increment before anyone observes the error.
+        self.stats.0.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.incr();
         match self.tx.try_send(cmd) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(SubmitError::Busy),
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shed(self.shed_reason())),
+            Ok(()) => {
+                accepted.fetch_add(1, Ordering::Relaxed);
+                mirror.incr();
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.queue_decr();
+                self.metrics.queue_depth.decr();
+                match e {
+                    TrySendError::Full(_) => Err(self.refuse(SubmitError::Busy)),
+                    TrySendError::Disconnected(_) => {
+                        Err(self.refuse(SubmitError::Shed(self.shed_reason())))
+                    }
+                }
+            }
         }
     }
 
@@ -723,6 +1071,7 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
             .paused
             .lock()
             .expect("pause mutex never poisoned") = true;
+        self.obs.emit("serve.pause", &[]);
     }
 
     /// Reopens the pause valve.
@@ -733,6 +1082,7 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
             .lock()
             .expect("pause mutex never poisoned") = false;
         self.shared.unpause.notify_all();
+        self.obs.emit("serve.resume", &[]);
     }
 
     /// The service's current lifecycle phase.
@@ -742,6 +1092,39 @@ impl<S: Storage + Send + 'static> CampaignService<S> {
             DRAINING => ServiceStatus::Draining,
             STOPPED => ServiceStatus::Stopped,
             _ => ServiceStatus::Failed,
+        }
+    }
+
+    /// The always-on backpressure counters (live — shared atomics, not
+    /// a copy). Identical to the handle cloned off
+    /// [`ServeConfig::stats`] before start.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// A point-in-time copy of every metric in the service's registry.
+    /// Empty when the service was started with observability disabled
+    /// (the always-on [`CampaignService::stats`] still work then).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// A live health summary: lifecycle phase, uptime, queue depth and
+    /// the backpressure counters — everything an operator polls without
+    /// stopping the service, obs on or off.
+    pub fn health(&self) -> ServiceHealth {
+        ServiceHealth {
+            status: self.status(),
+            uptime_s: self.stats.uptime_s(),
+            queue_depth: self.stats.queue_depth(),
+            rounds: self.stats.rounds(),
+            recovered_rounds: self.recovered,
+            offers: self.stats.offers(),
+            corrections: self.stats.corrections(),
+            flushes: self.stats.flushes(),
+            busy: self.stats.busy(),
+            shed: self.stats.shed(),
+            last_stop: *self.shared.stop.lock().expect("stop mutex never poisoned"),
         }
     }
 

@@ -19,6 +19,7 @@ use crate::report::{
 use crate::runtime::PipelineConfig;
 use imc2_auction::{AuctionError, RoundBid, RoundInstance, UncoverablePolicy};
 use imc2_common::logprob::clamp_prob;
+use imc2_common::obs::{Counter, HistogramHandle, Obs};
 use imc2_common::{DeltaOp, SnapshotDelta, ValidationError, WorkerId};
 use imc2_datagen::{RoundTrace, WorkerOffer};
 use imc2_truth::{DateStream, StreamState};
@@ -83,6 +84,37 @@ pub(crate) struct CampaignState {
     pub timings: StageTimings,
     /// Per-round latency distributions per stage (never influence results).
     pub latencies: StageLatencies,
+    /// Metric mirrors of the stage latencies plus the executed-round
+    /// counter; detached no-ops until [`CampaignState::set_obs`].
+    pub obs: StateObs,
+}
+
+/// Pre-resolved metric handles for the round body's four stages (plus
+/// admission, recorded by the guarded seam). Mirrors of the in-struct
+/// [`StageLatencies`]/round count into the shared registry — same data,
+/// queryable through [`MetricsSnapshot`](imc2_common::MetricsSnapshot)
+/// without holding the state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StateObs {
+    pub admit: HistogramHandle,
+    pub auction: HistogramHandle,
+    pub payment: HistogramHandle,
+    pub ingest: HistogramHandle,
+    pub refine: HistogramHandle,
+    pub rounds: Counter,
+}
+
+impl StateObs {
+    fn resolve(obs: &Obs) -> Self {
+        StateObs {
+            admit: obs.histogram("stage.admit_s"),
+            auction: obs.histogram("stage.auction_s"),
+            payment: obs.histogram("stage.payment_s"),
+            ingest: obs.histogram("stage.ingest_s"),
+            refine: obs.histogram("stage.refine_s"),
+            rounds: obs.counter("rounds.executed"),
+        }
+    }
 }
 
 impl CampaignState {
@@ -122,7 +154,16 @@ impl CampaignState {
             refine_iterations,
             timings,
             latencies,
+            obs: StateObs::default(),
         }
+    }
+
+    /// Attaches an observability handle: re-resolves the stage metric
+    /// mirrors and forwards to the stream (splice/compaction metrics).
+    /// Purely additive — recording never influences round results.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = StateObs::resolve(obs);
+        self.stream.set_obs(obs);
     }
 
     /// Reopens a campaign from a checkpointed stream state — no warm-up
@@ -158,6 +199,7 @@ impl CampaignState {
             refine_iterations,
             timings: StageTimings::default(),
             latencies: StageLatencies::default(),
+            obs: StateObs::default(),
         })
     }
 
@@ -208,6 +250,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.ingest_s += dt;
         self.latencies.ingest.record(dt);
+        self.obs.ingest.record(dt);
         let t = Instant::now();
         if !ingest.is_empty() || !corrections.is_empty() {
             self.refine_iterations += self.stream.refine().iterations;
@@ -218,6 +261,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.refine_s += dt;
         self.latencies.refine.record(dt);
+        self.obs.refine.record(dt);
         Ok(())
     }
 
@@ -294,6 +338,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.auction_s += dt;
         self.latencies.auction.record(dt);
+        self.obs.auction.record(dt);
 
         // Stage 2 — payment: critical values, gated by the budget.
         let t = Instant::now();
@@ -305,6 +350,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.payment_s += dt;
         self.latencies.payment.record(dt);
+        self.obs.payment.record(dt);
         if cfg
             .budget
             .is_some_and(|b| self.total_payment + round_payment > b + COVER_TOL)
@@ -342,6 +388,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.ingest_s += dt;
         self.latencies.ingest.record(dt);
+        self.obs.ingest.record(dt);
 
         // Stage 4 — truth discovery: incremental refinement (the
         // reference driver pays a full engine rebuild first).
@@ -374,6 +421,7 @@ impl CampaignState {
         let dt = t.elapsed().as_secs_f64();
         self.timings.refine_s += dt;
         self.latencies.refine.record(dt);
+        self.obs.refine.record(dt);
         self.refine_iterations += iterations;
 
         // Bookkeeping: payments, coverage, the round record.
@@ -419,6 +467,7 @@ impl CampaignState {
             covered_tasks: self.covered_tasks,
             deferrals: inst.map_or_else(Vec::new, |i| i.deferrals().to_vec()),
         });
+        self.obs.rounds.incr();
         Ok(RoundStep::Executed {
             ingest,
             corrections,

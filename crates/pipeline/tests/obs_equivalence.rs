@@ -1,0 +1,342 @@
+//! Observability is behaviorally invisible: every driver — the batch
+//! guarded loop, the crash-safe durable runtime and the async serving
+//! front — produces **bit-identical** results with observability fully
+//! on (metrics registry + event sink) and fully off. And the numbers it
+//! records are not merely plausible: the counters reconcile *exactly*
+//! with the caller-visible artifacts (guard report, outcome, submit
+//! errors), because every rejection, shed and round passes through one
+//! counting seam. Runs under both feature states via the CI matrix.
+
+use imc2_common::obs::replay_events;
+use imc2_common::{FaultPlan, FaultStorage, MemStorage, Obs, RingSink, TraceSink, WalSink};
+use imc2_datagen::{inject_trace, AdversaryConfig, RoundTrace, RoundTraceConfig};
+use imc2_pipeline::{
+    CampaignRuntime, CampaignService, DurabilityConfig, DurableRuntime, GuardConfig,
+    GuardedOutcome, PipelineConfig, RollingOutcome, ServeConfig, SubmitError,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn assert_outcomes_bit_identical(a: &RollingOutcome, b: &RollingOutcome, context: &str) {
+    assert_eq!(a.stop, b.stop, "{context}: stop reason");
+    assert_eq!(a.rounds, b.rounds, "{context}: round records");
+    assert_eq!(a.final_estimate, b.final_estimate, "{context}: estimates");
+    assert_eq!(a.covered_tasks, b.covered_tasks, "{context}: coverage");
+    assert_eq!(
+        a.total_payment.to_bits(),
+        b.total_payment.to_bits(),
+        "{context}: payments"
+    );
+    let (sa, sb) = (a.final_accuracy.as_slice(), b.final_accuracy.as_slice());
+    assert_eq!(sa.len(), sb.len(), "{context}: accuracy shape");
+    for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{context}: accuracy cell {i}: {x:e} vs {y:e}"
+        );
+    }
+}
+
+fn assert_guarded_identical(a: &GuardedOutcome, b: &GuardedOutcome, context: &str) {
+    assert_outcomes_bit_identical(&a.outcome, &b.outcome, context);
+    assert_eq!(a.ledger, b.ledger, "{context}: ledger");
+    assert_eq!(a.report, b.report, "{context}: guard report");
+}
+
+/// An adversarial trace so the guard has real work (quarantines,
+/// re-offers, rejections) for the reconciliation assertions.
+fn adversarial_trace(seed: u64) -> RoundTrace {
+    let clean = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+    let adversary = AdversaryConfig::pollution(clean.n_workers(), 0.2);
+    inject_trace(&clean, &adversary, seed ^ 0x5eed).unwrap().0
+}
+
+/// Asserts the guard/stage counters in `obs` reconcile exactly with the
+/// caller-visible guarded outcome.
+fn assert_guard_counters_reconcile(obs: &Obs, guarded: &GuardedOutcome, context: &str) {
+    let snap = obs.snapshot();
+    let counter = |name: &str| {
+        snap.counter(name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let report = &guarded.report;
+    assert_eq!(
+        counter("guard.rejected"),
+        report.rejections.len() as u64,
+        "{context}: rejected total"
+    );
+    assert_eq!(
+        counter("guard.quarantined"),
+        report.quarantined.len() as u64,
+        "{context}: quarantined"
+    );
+    assert_eq!(
+        counter("guard.reoffer.scheduled"),
+        report.reoffers_scheduled as u64,
+        "{context}: reoffers scheduled"
+    );
+    assert_eq!(
+        counter("guard.reoffer.admitted"),
+        report.reoffers_admitted as u64,
+        "{context}: reoffers admitted"
+    );
+    assert_eq!(
+        counter("guard.reoffer.abandoned"),
+        report.reoffers_abandoned as u64,
+        "{context}: reoffers abandoned"
+    );
+    assert_eq!(
+        snap.gauge("guard.reoffer.queue_depth").unwrap(),
+        report.reoffers_pending_at_stop as u64,
+        "{context}: reoffer queue depth at stop"
+    );
+    assert_eq!(
+        counter("rounds.executed"),
+        guarded.outcome.rounds.len() as u64,
+        "{context}: rounds executed"
+    );
+    // Per-reason counters partition the total.
+    let reasons = [
+        "duplicate",
+        "repeat",
+        "replay",
+        "out_of_domain",
+        "unknown_worker",
+        "invalid_price",
+        "malformed",
+        "quarantined",
+        "unknown_bundle",
+    ];
+    let per_reason: u64 = reasons
+        .iter()
+        .map(|r| counter(&format!("guard.rejected.{r}")))
+        .sum();
+    assert_eq!(
+        per_reason,
+        counter("guard.rejected"),
+        "{context}: per-reason counters partition the total"
+    );
+    // Stage histograms saw every round.
+    for stage in ["stage.auction_s", "stage.payment_s", "stage.ingest_s"] {
+        assert_eq!(
+            snap.histogram(stage).map(|h| h.count()),
+            Some(guarded.outcome.rounds.len() as u64),
+            "{context}: {stage} samples"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batch guarded loop: obs fully on (metrics + ring sink via the
+    /// guard config) changes no result bit, and the recorded counters
+    /// reconcile exactly with the returned report.
+    #[test]
+    fn guarded_run_is_bit_identical_with_obs_on(seed in 0u64..60) {
+        let trace = adversarial_trace(seed);
+        let cfg = PipelineConfig::default();
+        let runtime = CampaignRuntime::new(cfg);
+
+        let dark = runtime.run_guarded(&trace, &GuardConfig::full()).unwrap();
+
+        let obs = Obs::with_sink(Arc::new(RingSink::new(512)));
+        let lit_cfg = GuardConfig::full().with_obs(obs.clone());
+        let lit = runtime.run_guarded(&trace, &lit_cfg).unwrap();
+
+        let context = format!("guarded seed {seed}");
+        assert_guarded_identical(&lit, &dark, &context);
+        assert_guard_counters_reconcile(&obs, &lit, &context);
+    }
+
+    /// Durable runtime: a journaling run with obs on (including a crash
+    /// and an instrumented recovery) matches the dark run bit for bit.
+    #[test]
+    fn durable_run_is_bit_identical_with_obs_on(seed in 0u64..40, crash_op in 2usize..8) {
+        let trace = RoundTrace::generate(&RoundTraceConfig::small(), seed).unwrap();
+        let cfg = PipelineConfig::default();
+        let dark_rt = DurableRuntime::new(cfg.clone(), DurabilityConfig::default());
+        let mut dark_storage = MemStorage::new();
+        let dark = dark_rt.run(&mut dark_storage, &trace).unwrap();
+
+        let obs = Obs::with_sink(Arc::new(RingSink::new(512)));
+        let lit_rt = DurableRuntime::new(cfg, DurabilityConfig::default()).with_obs(obs.clone());
+        let mut dying = FaultStorage::new(MemStorage::new(), FaultPlan::crash_at(crash_op));
+        lit_rt.run(&mut dying, &trace).unwrap_err();
+        let mut survivor = dying.into_inner();
+        let lit = lit_rt.run(&mut survivor, &trace).unwrap();
+
+        let context = format!("durable seed {seed} crash {crash_op}");
+        assert_outcomes_bit_identical(&lit.outcome, &dark.outcome, &context);
+        prop_assert_eq!(&lit.ledger, &dark.ledger);
+        prop_assert!(lit.recovery.is_some(), "restart must have recovered");
+
+        let snap = obs.snapshot();
+        prop_assert_eq!(snap.counter("durable.recoveries"), Some(1));
+        // The WAL byte counter follows every frame the lit runs appended
+        // (both the crashed attempt and the recovery run record).
+        prop_assert!(snap.counter("durable.wal.frames").unwrap() > 0);
+        prop_assert!(
+            snap.counter("durable.wal.bytes").unwrap()
+                > snap.counter("durable.wal.frames").unwrap(),
+            "frames carry headers + payloads"
+        );
+    }
+
+    /// Serving front: the serialized schedule with metrics and a
+    /// crash-safe WAL event sink attached matches the batch guarded loop
+    /// bit for bit; submit-side counters reconcile exactly with the
+    /// errors the caller saw; the persisted event log replays cleanly.
+    #[test]
+    fn serve_is_bit_identical_with_obs_on_and_counters_reconcile(seed in 0u64..40) {
+        let trace = adversarial_trace(seed);
+        let cfg = PipelineConfig::default();
+        let guard = GuardConfig::full();
+        let batch = CampaignRuntime::new(cfg.clone()).run_guarded(&trace, &guard).unwrap();
+
+        let sink = Arc::new(WalSink::new(MemStorage::new(), "obs_events"));
+        let obs = Obs::with_sink(sink.clone() as Arc<dyn TraceSink>);
+        let service = CampaignService::start(
+            trace.clone(),
+            cfg,
+            guard,
+            ServeConfig {
+                queue_capacity: 2, // tight queue: force real Busy refusals
+                round_target: usize::MAX,
+                obs: obs.clone(),
+                ..ServeConfig::default()
+            },
+        );
+
+        // Feed the serialized schedule, counting every error the caller
+        // observes — the reconciliation target.
+        let mut busy_seen = 0u64;
+        let mut shed_seen = 0u64;
+        let mut stopped = false;
+        'feed: for round in 0..trace.rounds.len() {
+            for offer in &trace.rounds[round] {
+                loop {
+                    match service.submit_offer(offer.clone()) {
+                        Ok(()) => break,
+                        Err(SubmitError::Busy) => {
+                            busy_seen += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(SubmitError::Shed(_)) => {
+                            shed_seen += 1;
+                            break 'feed;
+                        }
+                    }
+                }
+            }
+            loop {
+                match service.flush_sync() {
+                    Ok(None) => break,
+                    Ok(Some(_)) => { stopped = true; break 'feed; }
+                    Err(SubmitError::Shed(_)) => { shed_seen += 1; break 'feed; }
+                    Err(SubmitError::Busy) => {
+                        busy_seen += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        // After a stop, further submissions shed — and are counted.
+        if stopped {
+            for _ in 0..3 {
+                match service.submit_offer(trace.rounds[0][0].clone()) {
+                    Err(SubmitError::Shed(_)) => shed_seen += 1,
+                    other => panic!("expected shed after stop, got {other:?}"),
+                }
+            }
+        }
+
+        let stats = service.stats().clone();
+        let served = service.shutdown().result.expect("serve run finishes");
+
+        let context = format!("serve seed {seed}");
+        assert_outcomes_bit_identical(&served.outcome, &batch.outcome, &context);
+        prop_assert_eq!(&served.ledger, &batch.ledger);
+        prop_assert_eq!(&served.report, &batch.report);
+
+        // Exact reconciliation: stats and metrics both count precisely
+        // the errors the caller saw, no more, no fewer.
+        prop_assert_eq!(stats.busy(), busy_seen);
+        prop_assert_eq!(stats.shed(), shed_seen);
+        prop_assert_eq!(stats.rounds(), served.rounds_served as u64);
+        let snap = obs.snapshot();
+        prop_assert_eq!(snap.counter("serve.submit.busy"), Some(busy_seen));
+        prop_assert_eq!(
+            snap.counter("serve.submit.shed.draining").unwrap()
+                + snap.counter("serve.submit.shed.stopped").unwrap()
+                + snap.counter("serve.submit.shed.failed").unwrap(),
+            shed_seen
+        );
+        prop_assert_eq!(snap.counter("serve.rounds"), Some(stats.rounds()));
+        prop_assert_eq!(snap.counter("serve.submit.offers"), Some(stats.offers()));
+        prop_assert_eq!(
+            snap.counter("rounds.executed"),
+            Some(served.outcome.rounds.len() as u64)
+        );
+
+        // The crash-safe event log replays its full intact prefix. Every
+        // other obs clone died with the service; dropping ours frees the
+        // sink for unwrapping.
+        prop_assert_eq!(sink.errors(), 0);
+        drop(obs);
+        let storage = Arc::try_unwrap(sink)
+            .unwrap_or_else(|_| panic!("obs handle dropped with the service"))
+            .into_storage();
+        let (events, clean) = replay_events(&storage, "obs_events").unwrap();
+        prop_assert!(clean, "uncrashed log must have a clean tail");
+        prop_assert!(
+            events.iter().any(|e| e.name == "serve.round"),
+            "round spans reach the persisted log"
+        );
+        prop_assert!(
+            events.iter().any(|e| e.name == "guard.sweep"),
+            "guard sweeps reach the persisted log"
+        );
+    }
+}
+
+/// Metrics-only obs (no sink) through the serving front: queue-depth
+/// gauge returns to zero after a drain, and health reflects the stats.
+#[test]
+fn health_and_queue_depth_settle_after_drain() {
+    let trace = RoundTrace::generate(&RoundTraceConfig::small(), 11).unwrap();
+    let obs = Obs::metrics();
+    let service = CampaignService::start(
+        trace.clone(),
+        PipelineConfig::default(),
+        GuardConfig::full(),
+        ServeConfig {
+            queue_capacity: 8,
+            round_target: usize::MAX,
+            obs: obs.clone(),
+            ..ServeConfig::default()
+        },
+    );
+    for offer in &trace.rounds[0] {
+        loop {
+            match service.submit_offer(offer.clone()) {
+                Ok(()) => break,
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+    loop {
+        match service.flush_sync() {
+            Ok(_) => break,
+            Err(SubmitError::Busy) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+    let health = service.health();
+    assert_eq!(health.queue_depth, 0, "drained queue reads empty");
+    assert_eq!(health.rounds, 1);
+    assert_eq!(health.offers, trace.rounds[0].len() as u64);
+    assert_eq!(obs.snapshot().gauge("serve.queue.depth"), Some(0));
+    service.shutdown().result.expect("clean run");
+}

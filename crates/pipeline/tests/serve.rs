@@ -24,6 +24,7 @@ fn manual_rounds() -> ServeConfig {
     ServeConfig {
         queue_capacity: 8,
         round_target: usize::MAX,
+        ..ServeConfig::default()
     }
 }
 
@@ -305,6 +306,7 @@ fn queue_full_sheds_busy_then_retry_succeeds() {
         ServeConfig {
             queue_capacity: 2,
             round_target: usize::MAX,
+            ..ServeConfig::default()
         },
     );
     service.pause();
@@ -358,6 +360,7 @@ fn submissions_during_a_round_form_the_next_cohort() {
             // Round 0's last offer triggers the round; round 1's offers
             // arrive while it executes.
             round_target: trace.rounds[0].len().max(1),
+            ..ServeConfig::default()
         },
     );
     for offer in trace.rounds[0].iter().chain(&trace.rounds[1]) {

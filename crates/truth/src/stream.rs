@@ -76,6 +76,7 @@ use crate::voting::MajorityVoting;
 use crate::IndependenceMode;
 use imc2_common::codec::{Codec, CodecError, Decoder, Encoder};
 use imc2_common::logprob::clamp_prob;
+use imc2_common::obs::{Counter, FieldValue, HistogramHandle, Obs};
 use imc2_common::{Grid, Observations, SnapshotDelta, TaskGroups, ValidationError, ValueId};
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +214,37 @@ pub struct DateStream {
     retracted_answers: usize,
     /// Total iterations across all [`DateStream::refine`] calls.
     total_iterations: usize,
+    /// Observability handles ([`DateStream::set_obs`]); recording never
+    /// influences refinement — detached no-ops by default.
+    obs: StreamObs,
+}
+
+/// The stream's observability handles, resolved once by
+/// [`DateStream::set_obs`] so the push/compact hot paths never touch the
+/// registry. Detached (no-op) by default; never part of stream equality
+/// or recovered state.
+#[derive(Debug, Clone, Default)]
+struct StreamObs {
+    obs: Obs,
+    /// `stream.splice.ops` — ops per pushed delta.
+    splice_ops: HistogramHandle,
+    /// `stream.splice.dirty_tasks` — distinct touched tasks per pushed
+    /// delta (the dirty-term driver: each one refreshes its group cache
+    /// and invalidates its cached dependence terms).
+    dirty_tasks: HistogramHandle,
+    /// `stream.compactions` — policy-triggered engine rebuilds.
+    compactions: Counter,
+}
+
+impl StreamObs {
+    fn resolve(obs: &Obs) -> Self {
+        StreamObs {
+            obs: obs.clone(),
+            splice_ops: obs.histogram("stream.splice.ops"),
+            dirty_tasks: obs.histogram("stream.splice.dirty_tasks"),
+            compactions: obs.counter("stream.compactions"),
+        }
+    }
 }
 
 impl DateStream {
@@ -258,7 +290,16 @@ impl DateStream {
             revised_answers: 0,
             retracted_answers: 0,
             total_iterations: 0,
+            obs: StreamObs::default(),
         })
+    }
+
+    /// Attaches observability: splice sizes (`stream.splice.ops`), dirty
+    /// task counts (`stream.splice.dirty_tasks`) and compaction events
+    /// flow through `obs` from here on. Recording is strictly write-only
+    /// — refinement results are bit-identical with or without it.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = StreamObs::resolve(obs);
     }
 
     /// Exports the stream's recoverable state (a deep copy; the stream
@@ -342,6 +383,7 @@ impl DateStream {
             revised_answers: state.revised_answers,
             retracted_answers: state.retracted_answers,
             total_iterations: state.total_iterations,
+            obs: StreamObs::default(),
         })
     }
 
@@ -406,7 +448,10 @@ impl DateStream {
                 versions.invalidate(w.index());
             }
         }
-        for t in delta.touched_tasks() {
+        let touched = delta.touched_tasks();
+        self.obs.splice_ops.record(delta.len() as f64);
+        self.obs.dirty_tasks.record(touched.len() as f64);
+        for t in touched {
             self.groups[t.index()] = after.task_view(t).groups();
         }
         self.appended_answers += delta.n_appends();
@@ -490,7 +535,17 @@ impl DateStream {
         let slack = engine.cache_slack();
         let big_enough = slack.triple_capacity.max(slack.term_capacity) >= policy.min_triples;
         if big_enough && slack.slack_ratio() > policy.max_slack_ratio {
+            let ratio = slack.slack_ratio();
+            let capacity = slack.triple_capacity.max(slack.term_capacity);
             self.rebuild_engine();
+            self.obs.compactions.incr();
+            self.obs.obs.emit(
+                "stream.compaction",
+                &[
+                    ("slack_ratio", FieldValue::F64(ratio)),
+                    ("capacity", FieldValue::U64(capacity as u64)),
+                ],
+            );
             true
         } else {
             false

@@ -77,22 +77,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  ... and {} more", report.audit.len() - 3);
     }
     println!(
-        "admission: {} rejections ({} post-quarantine submissions refused)",
-        report.rejections.len(),
+        "admission: {} post-quarantine submissions refused",
         report.rejection_count(RejectReason::Quarantined),
     );
+    println!("\nguard report:");
+    println!("{report}");
     println!(
-        "re-offers: {} scheduled, {} admitted, {} abandoned, {} pending at stop",
-        report.reoffers_scheduled,
-        report.reoffers_admitted,
-        report.reoffers_abandoned,
-        report.reoffers_pending_at_stop
-    );
-    println!(
-        "payments:  {:.2} paid across {} rounds, double payouts refused: {}",
+        "payments:  {:.2} paid across {} rounds",
         guarded.ledger.total(),
         guarded.ledger.len(),
-        report.double_pay_refused
     );
     Ok(())
 }

@@ -16,7 +16,7 @@
 //! p99 per-stage latencies are printed the way `BENCH_pipeline.json`
 //! reports them. See `docs/SERVING.md` for the operations story.
 
-use imc2::common::{Fault, FaultKind, FaultPlan, FaultStorage, FileStorage, Histogram, Storage};
+use imc2::common::{Fault, FaultKind, FaultPlan, FaultStorage, FileStorage, Obs, Storage};
 use imc2::datagen::{ArrivalConfig, ArrivalSchedule, RoundTrace, RoundTraceConfig};
 use imc2::pipeline::{
     CampaignRuntime, CampaignService, GuardConfig, PipelineConfig, ServeConfig, ServeError,
@@ -87,16 +87,6 @@ fn feed<S: Storage + Send + 'static>(
     busy
 }
 
-fn print_stage(name: &str, h: &Histogram) {
-    println!(
-        "  {name:<8} p50 {:>8.3} ms   p90 {:>8.3} ms   p99 {:>8.3} ms   ({} rounds)",
-        h.quantile(0.5) * 1e3,
-        h.quantile(0.9) * 1e3,
-        h.quantile(0.99) * 1e3,
-        h.count()
-    );
-}
-
 fn main() {
     let trace = RoundTrace::generate(&RoundTraceConfig::small(), 42).expect("valid trace config");
     let arrivals = ArrivalSchedule::sample(&trace, &ArrivalConfig::default(), 42)
@@ -123,13 +113,14 @@ fn main() {
     let serve_cfg = ServeConfig {
         queue_capacity: 8,
         round_target: usize::MAX, // rounds fire on explicit flushes
+        ..ServeConfig::default()
     };
     let service = CampaignService::start_durable(
         doomed,
         trace.clone(),
         cfg.clone(),
         guard.clone(),
-        serve_cfg,
+        serve_cfg.clone(),
     )
     .expect("fresh journal starts");
     let busy_before = feed(&service, &trace, &arrivals, 0);
@@ -146,12 +137,27 @@ fn main() {
         .storage
         .expect("storage survives the crash")
         .into_inner();
-    let restarted =
-        CampaignService::start_durable(survivor, trace.clone(), cfg.clone(), guard, serve_cfg)
-            .expect("recovery over the repaired journal");
+    let restarted = CampaignService::start_durable(
+        survivor,
+        trace.clone(),
+        cfg.clone(),
+        guard,
+        ServeConfig {
+            // The restarted instance runs with live metrics: stage
+            // latencies, WAL volume and guard activity all land in one
+            // registry, queryable while the service runs.
+            obs: Obs::metrics(),
+            ..serve_cfg
+        },
+    )
+    .expect("recovery over the repaired journal");
     let resume_from = restarted.recovered_rounds();
     println!("recovered {resume_from} journaled rounds; resuming the feed there");
     let busy_after = feed(&restarted, &trace, &arrivals, resume_from);
+
+    println!("\nlive health before shutdown:");
+    println!("{}", restarted.health());
+    let snapshot = restarted.metrics_snapshot();
     let served = restarted
         .shutdown()
         .result
@@ -163,13 +169,10 @@ fn main() {
         served.rounds_served,
         busy_before + busy_after
     );
-    println!("per-stage latency distributions (this instance):");
-    let lat = &served.outcome.latencies;
-    print_stage("admit", &lat.admit);
-    print_stage("auction", &lat.auction);
-    print_stage("payment", &lat.payment);
-    print_stage("ingest", &lat.ingest);
-    print_stage("refine", &lat.refine);
+    println!("\nmetrics snapshot (this instance — stage latencies, guard, WAL):");
+    println!("{snapshot}");
+    println!("guard report:");
+    println!("{}", served.report);
 
     // The crashed-and-recovered service matches the batch guarded loop
     // bit for bit.
