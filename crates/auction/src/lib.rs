@@ -14,6 +14,10 @@
 //!   instances, used to measure empirical approximation ratios;
 //! * [`ExactVcg`] — the VCG mechanism the paper rules out (§V), built on the
 //!   exact solver as a small-instance gold standard;
+//! * [`PeerTruthSerum`] — the Peer-Truth-Serum payment rule as an
+//!   info-scaled virtual-bid wrapper around the greedy mechanism: winners
+//!   are paid proportionally to the informativeness of their answers
+//!   against peer consensus, without giving up truthfulness;
 //! * [`analysis`] — utilities, individual-rationality checks, truthfulness
 //!   probes and approximation-ratio measurement.
 //!
@@ -52,6 +56,7 @@ pub mod greedy;
 pub mod mechanism;
 pub mod optimal;
 pub mod payment;
+pub mod pts;
 pub mod reoffer;
 pub mod round;
 pub mod soac;
@@ -60,6 +65,7 @@ pub mod vcg;
 pub use ga::GreedyAccuracy;
 pub use gb::GreedyBid;
 pub use mechanism::{AuctionError, AuctionMechanism, AuctionOutcome, ReverseAuction};
+pub use pts::{info_scores, PeerTruthSerum, PtsConfig};
 pub use reoffer::ReofferPolicy;
 pub use round::{DeferReason, Deferral, RoundBid, RoundInstance, UncoverablePolicy};
 pub use soac::{Bid, SoacProblem};

@@ -1,0 +1,424 @@
+//! Peer-Truth-Serum payment rule: info-scaled virtual bids over the
+//! greedy SOAC machinery.
+//!
+//! The paper's [`ReverseAuction`] pays winners their critical values —
+//! truthful for the one-shot setting (Lemma 3), but every winner of equal
+//! coverage is priced alike no matter how *informative* its answers were.
+//! Peer Truth Serum (Faltings et al.) scores an answer by how much more
+//! often it agrees with a randomly drawn peer than the prior predicts:
+//! surprisingly common answers carry information, answers everyone would
+//! have given anyway carry none.
+//!
+//! [`PeerTruthSerum`] grafts that scoring onto the SOAC auction without
+//! giving up truthfulness, via an *info-scaled virtual bid*:
+//!
+//! 1. every worker `i` gets a **bid-independent** info score `s_i > 0`
+//!    ([`info_scores`]: leave-one-out peer agreement normalized by the
+//!    prior, clamped into `[floor, cap]`);
+//! 2. the greedy mechanism runs on the transformed instance with virtual
+//!    prices `b_i / s_i` (an informative worker looks cheaper per unit of
+//!    accuracy coverage);
+//! 3. a winner's real payment is `s_i ×` its critical value in the
+//!    transformed instance.
+//!
+//! Because `s_i` does not depend on `b_i`, the real allocation is still
+//! monotone in the worker's own bid, and the real payment is exactly the
+//! real critical value `s_i · crit'_i`: bid below it and win, above it and
+//! lose. By the standard Myerson argument the rule is therefore dominant-
+//! strategy truthful and individually rational — the same Lemma 3 proof,
+//! applied to the transformed instance — while the payment is literally
+//! proportional to the worker's info score. Coverage bookkeeping is
+//! untouched: accuracies and requirements pass through unscaled, so
+//! feasibility, residuals and deferrals agree with the SOAC rule.
+
+use crate::mechanism::{AuctionError, AuctionMechanism, AuctionOutcome, ReverseAuction};
+use crate::soac::SoacProblem;
+use imc2_common::{TaskId, ValidationError, ValueId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bounds on the per-worker info score. The neutral score is 1 (a worker
+/// indistinguishable from the prior is priced exactly as under SOAC), so
+/// the bounds must straddle it: `0 < floor ≤ 1 ≤ cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PtsConfig {
+    /// Lower clamp on the info score (> 0 — a zero score would price a
+    /// worker's virtual bid at infinity).
+    pub score_floor: f64,
+    /// Upper clamp on the info score (≥ 1).
+    pub score_cap: f64,
+}
+
+impl Default for PtsConfig {
+    fn default() -> Self {
+        PtsConfig {
+            score_floor: 0.5,
+            score_cap: 2.0,
+        }
+    }
+}
+
+impl PtsConfig {
+    /// Validates `0 < floor ≤ 1 ≤ cap`, both finite.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] on a violated bound.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !(self.score_floor.is_finite() && self.score_floor > 0.0 && self.score_floor <= 1.0) {
+            return Err(ValidationError::new(format!(
+                "score_floor must be in (0, 1], got {}",
+                self.score_floor
+            )));
+        }
+        if !(self.score_cap.is_finite() && self.score_cap >= 1.0) {
+            return Err(ValidationError::new(format!(
+                "score_cap must be finite and at least 1, got {}",
+                self.score_cap
+            )));
+        }
+        Ok(())
+    }
+
+    /// Clamps a raw info-gain mean into the configured score interval.
+    pub fn clamp_score(&self, raw: f64) -> f64 {
+        if raw.is_finite() {
+            raw.clamp(self.score_floor, self.score_cap)
+        } else {
+            self.score_cap
+        }
+    }
+}
+
+/// Leave-one-out Peer-Truth-Serum info scores for a cohort of answers.
+///
+/// For each answer `(t, v)` of worker `w`, the info gain is the fraction
+/// of w's *peers* on `t` (other cohort members answering `t`) that chose
+/// `v`, divided by `prior(t, v)` — the live posterior probability of `v`
+/// before seeing the cohort. Answers without peers are neutral (gain 1).
+/// A worker's score is the mean gain over its answers, clamped into
+/// `[cfg.score_floor, cfg.score_cap]`.
+///
+/// The score of `w` never reads `w`'s own declared price, which is what
+/// keeps [`PeerTruthSerum`] truthful. (It does read peers' *answers*; in
+/// the campaign those are fixed data, not strategic bids.)
+pub fn info_scores(
+    answers: &[(WorkerId, TaskId, ValueId)],
+    prior: &dyn Fn(TaskId, ValueId) -> f64,
+    cfg: &PtsConfig,
+) -> HashMap<WorkerId, f64> {
+    let mut answerers: HashMap<TaskId, u32> = HashMap::new();
+    let mut votes: HashMap<(TaskId, ValueId), u32> = HashMap::new();
+    for &(_, t, v) in answers {
+        *answerers.entry(t).or_insert(0) += 1;
+        *votes.entry((t, v)).or_insert(0) += 1;
+    }
+    // Accumulate in the slice's order so the floating-point sums are
+    // deterministic regardless of map iteration order.
+    let mut sums: HashMap<WorkerId, (f64, usize)> = HashMap::new();
+    for &(w, t, v) in answers {
+        let peers = answerers[&t] - 1;
+        let gain = if peers == 0 {
+            1.0
+        } else {
+            let agree = votes[&(t, v)] - 1;
+            let p = prior(t, v).clamp(1e-6, 1.0);
+            f64::from(agree) / f64::from(peers) / p
+        };
+        let entry = sums.entry(w).or_insert((0.0, 0));
+        entry.0 += gain;
+        entry.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(w, (sum, n))| (w, cfg.clamp_score(sum / n as f64)))
+        .collect()
+}
+
+/// The Peer-Truth-Serum payment rule as an [`AuctionMechanism`]: the
+/// greedy SOAC auction over info-scaled virtual bids (see the
+/// [module docs](self)). Scores are fixed at construction — one score per
+/// worker row of the problems this mechanism will run on — and must be
+/// bid-independent for the truthfulness guarantee to hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerTruthSerum {
+    auction: ReverseAuction,
+    scores: Vec<f64>,
+}
+
+impl PeerTruthSerum {
+    /// A PTS mechanism over `auction` with per-worker info scores.
+    ///
+    /// # Errors
+    /// Returns [`ValidationError`] if any score is non-finite or ≤ 0.
+    pub fn new(auction: ReverseAuction, scores: Vec<f64>) -> Result<Self, ValidationError> {
+        if let Some(s) = scores.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+            return Err(ValidationError::new(format!(
+                "info scores must be finite and positive, got {s}"
+            )));
+        }
+        Ok(PeerTruthSerum { auction, scores })
+    }
+
+    /// The per-worker info scores.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The transformed instance: virtual price `b_i / s_i`, accuracies
+    /// and requirements untouched.
+    ///
+    /// # Panics
+    /// Panics if the score vector length differs from the worker count.
+    pub fn transformed(&self, problem: &SoacProblem) -> SoacProblem {
+        assert_eq!(
+            self.scores.len(),
+            problem.n_workers(),
+            "one info score per worker row"
+        );
+        let bids = problem
+            .bids()
+            .iter()
+            .zip(&self.scores)
+            .map(|(b, &s)| b.with_price(b.price() / s))
+            .collect();
+        SoacProblem::new(
+            bids,
+            problem.accuracy().clone(),
+            problem.requirements().to_vec(),
+        )
+        .expect("scaling finite prices by positive scores keeps the instance valid")
+    }
+
+    /// Winner selection: the greedy cover over the transformed instance.
+    ///
+    /// # Errors
+    /// As [`ReverseAuction::select`].
+    pub fn select(&self, problem: &SoacProblem) -> Result<Vec<WorkerId>, AuctionError> {
+        self.auction.select(&self.transformed(problem))
+    }
+
+    /// Payments: each winner's critical value in the transformed instance
+    /// scaled back by its info score — the *real* critical value, and
+    /// proportional to the score by construction. `winners` must come
+    /// from [`PeerTruthSerum::select`] on the same problem.
+    ///
+    /// # Errors
+    /// As [`ReverseAuction::payments`].
+    pub fn payments(
+        &self,
+        problem: &SoacProblem,
+        winners: &[WorkerId],
+    ) -> Result<Vec<f64>, AuctionError> {
+        let mut payments = self.auction.payments(&self.transformed(problem), winners)?;
+        for (p, &s) in payments.iter_mut().zip(&self.scores) {
+            *p *= s;
+        }
+        Ok(payments)
+    }
+}
+
+impl AuctionMechanism for PeerTruthSerum {
+    fn run(&self, problem: &SoacProblem) -> Result<AuctionOutcome, AuctionError> {
+        let winners = self.select(problem)?;
+        let payments = self.payments(problem, &winners)?;
+        Ok(AuctionOutcome { winners, payments })
+    }
+
+    fn name(&self) -> &'static str {
+        "PeerTruthSerum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_individually_rational, probe_truthfulness};
+    use crate::soac::Bid;
+    use imc2_common::Grid;
+
+    fn problem(
+        bids: Vec<(Vec<usize>, f64)>,
+        acc_cells: &[(usize, usize, f64)],
+        theta: Vec<f64>,
+    ) -> SoacProblem {
+        let n = bids.len();
+        let m = theta.len();
+        let bids = bids
+            .into_iter()
+            .map(|(ts, p)| Bid::new(ts.into_iter().map(TaskId).collect(), p))
+            .collect();
+        let mut acc = Grid::filled(n, m, 0.0);
+        for &(w, t, a) in acc_cells {
+            acc[(WorkerId(w), TaskId(t))] = a;
+        }
+        SoacProblem::new(bids, acc, theta).unwrap()
+    }
+
+    fn competitive() -> SoacProblem {
+        problem(
+            vec![(vec![0], 3.0), (vec![0], 5.0), (vec![0], 8.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
+            vec![1.0],
+        )
+    }
+
+    #[test]
+    fn config_validates_bounds() {
+        assert!(PtsConfig::default().validate().is_ok());
+        for (floor, cap) in [
+            (0.0, 2.0),
+            (-0.5, 2.0),
+            (1.5, 2.0),
+            (0.5, 0.9),
+            (f64::NAN, 2.0),
+            (0.5, f64::INFINITY),
+        ] {
+            let cfg = PtsConfig {
+                score_floor: floor,
+                score_cap: cap,
+            };
+            assert!(cfg.validate().is_err(), "({floor}, {cap}) should fail");
+        }
+        assert_eq!(PtsConfig::default().clamp_score(f64::NAN), 2.0);
+        assert_eq!(PtsConfig::default().clamp_score(0.0), 0.5);
+        assert_eq!(PtsConfig::default().clamp_score(1.3), 1.3);
+    }
+
+    #[test]
+    fn unit_scores_reproduce_soac_bit_for_bit() {
+        let p = competitive();
+        let soac = ReverseAuction::new().run(&p).unwrap();
+        let pts = PeerTruthSerum::new(ReverseAuction::new(), vec![1.0; 3])
+            .unwrap()
+            .run(&p)
+            .unwrap();
+        assert_eq!(soac.winners, pts.winners);
+        for (a, b) in soac.payments.iter().zip(&pts.payments) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn informative_workers_win_at_higher_bids_and_earn_more() {
+        // Workers 0 and 1 are interchangeable except for the info score:
+        // with s_0 = 2, worker 0's virtual bid halves, so it beats an
+        // equally-priced rival and its payment doubles relative to the
+        // transformed critical value.
+        let p = problem(
+            vec![(vec![0], 4.0), (vec![0], 4.0), (vec![0], 6.0)],
+            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
+            vec![1.0],
+        );
+        let pts = PeerTruthSerum::new(ReverseAuction::new(), vec![2.0, 1.0, 1.0]).unwrap();
+        let out = pts.run(&p).unwrap();
+        assert_eq!(out.winners, vec![WorkerId(0)]);
+        // Transformed prices are [2, 4, 6]; worker 0's transformed
+        // critical value is 4, scaled back by s = 2 → paid 8.
+        assert!((out.payments[0] - 8.0).abs() < 1e-9, "{:?}", out.payments);
+    }
+
+    #[test]
+    fn payments_are_individually_rational() {
+        let p = competitive();
+        for scores in [vec![0.5, 1.0, 2.0], vec![2.0, 0.5, 1.0], vec![1.3; 3]] {
+            let pts = PeerTruthSerum::new(ReverseAuction::new(), scores).unwrap();
+            let out = pts.run(&p).unwrap();
+            // Truthful bids equal costs here, so IR is payment ≥ bid.
+            assert!(is_individually_rational(&out, &[3.0, 5.0, 8.0]));
+            for &w in &out.winners {
+                assert!(out.payments[w.index()] >= p.bid(w).price() - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn truthfulness_probe_passes_under_skewed_scores() {
+        let p = competitive();
+        let costs = vec![3.0, 5.0, 8.0];
+        let pts = PeerTruthSerum::new(ReverseAuction::new(), vec![1.7, 0.6, 1.0]).unwrap();
+        for w in 0..3 {
+            let rep = probe_truthfulness(
+                &pts,
+                &p,
+                &costs,
+                WorkerId(w),
+                &[0.25, 0.5, 0.8, 0.95, 1.05, 1.2, 2.0, 4.0],
+            );
+            assert!(
+                rep.truthful,
+                "worker {w} found a profitable deviation: {rep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn monopoly_cap_pays_cap_times_real_bid() {
+        // Worker 0 is a monopolist on task 0; cap × (b/s) × s = cap × b,
+        // so the capped payout is score-independent.
+        let p = problem(
+            vec![(vec![0], 2.0), (vec![1], 1.0), (vec![1], 1.5)],
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 1, 1.0)],
+            vec![1.0, 1.0],
+        );
+        let pts = PeerTruthSerum::new(ReverseAuction::with_monopoly_cap(3.0), vec![1.9, 1.0, 1.0])
+            .unwrap();
+        let out = pts.run(&p).unwrap();
+        assert!((out.payments[0] - 6.0).abs() < 1e-9, "{:?}", out.payments);
+    }
+
+    #[test]
+    fn invalid_scores_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(PeerTruthSerum::new(ReverseAuction::new(), vec![1.0, bad]).is_err());
+        }
+    }
+
+    #[test]
+    fn info_scores_reward_surprising_agreement() {
+        let cfg = PtsConfig {
+            score_floor: 0.1,
+            score_cap: 10.0,
+        };
+        let (t, a, b) = (TaskId(0), ValueId(1), ValueId(2));
+        // Workers 0 and 1 agree on a value the prior calls unlikely;
+        // worker 2 answers a likely value nobody else gives.
+        let answers = vec![
+            (WorkerId(0), t, a),
+            (WorkerId(1), t, a),
+            (WorkerId(2), t, b),
+        ];
+        let prior = |_: TaskId, v: ValueId| if v == a { 0.2 } else { 0.8 };
+        let scores = info_scores(&answers, &prior, &cfg);
+        // w0: 1 of 2 peers agrees, prior 0.2 → 2.5. w2: 0 peers agree → 0,
+        // clamped to the floor.
+        assert!((scores[&WorkerId(0)] - 2.5).abs() < 1e-9, "{scores:?}");
+        assert!((scores[&WorkerId(1)] - 2.5).abs() < 1e-9);
+        assert_eq!(scores[&WorkerId(2)], 0.1);
+    }
+
+    #[test]
+    fn info_scores_neutral_without_peers() {
+        let cfg = PtsConfig::default();
+        let answers = vec![
+            (WorkerId(3), TaskId(0), ValueId(0)),
+            (WorkerId(3), TaskId(1), ValueId(2)),
+        ];
+        let prior = |_: TaskId, _: ValueId| 0.5;
+        let scores = info_scores(&answers, &prior, &cfg);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[&WorkerId(3)], 1.0);
+    }
+
+    #[test]
+    fn info_scores_are_bid_independent_and_deterministic() {
+        let cfg = PtsConfig::default();
+        let answers: Vec<_> = (0..6)
+            .map(|k| (WorkerId(k), TaskId(k % 3), ValueId((k % 2) as u32)))
+            .collect();
+        let prior = |_: TaskId, _: ValueId| 0.4;
+        let a = info_scores(&answers, &prior, &cfg);
+        let b = info_scores(&answers, &prior, &cfg);
+        for (w, s) in &a {
+            assert_eq!(s.to_bits(), b[w].to_bits());
+        }
+    }
+}

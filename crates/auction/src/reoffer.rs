@@ -73,9 +73,33 @@ impl ReofferPolicy {
     }
 
     /// Total rounds a bundle can stay in flight: the sum of every
-    /// backoff delay.
+    /// backoff delay, saturating at `usize::MAX`.
+    ///
+    /// Computed in closed form over the doubling prefix (at most
+    /// `usize::BITS` distinct delays before the `max_delay` cap takes
+    /// over) — never by iterating `max_attempts`, which may be huge:
+    /// `horizon()` on `max_attempts = usize::MAX` answers instantly
+    /// instead of looping for the age of the universe, and the sum
+    /// saturates instead of overflowing in debug builds.
     pub fn horizon(&self) -> usize {
-        (1..=self.max_attempts).filter_map(|a| self.delay(a)).sum()
+        let mut total: usize = 0;
+        let mut counted: usize = 0;
+        for attempt in 1..=self.max_attempts.min(usize::BITS as usize) {
+            let d = self
+                .base_delay
+                .saturating_mul(1usize << (attempt - 1))
+                .min(self.max_delay);
+            total = total.saturating_add(d);
+            counted = attempt;
+            if d >= self.max_delay {
+                break;
+            }
+        }
+        // Every attempt past the prefix is capped at max_delay (the
+        // backoff is monotone non-decreasing), including the
+        // `attempt > usize::BITS` branch of `delay`.
+        let remaining = self.max_attempts - counted;
+        total.saturating_add(remaining.saturating_mul(self.max_delay))
     }
 }
 
@@ -136,5 +160,65 @@ mod tests {
     #[test]
     fn horizon_sums_the_delays() {
         assert_eq!(ReofferPolicy::default().horizon(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn horizon_matches_the_naive_sum_on_moderate_shapes() {
+        for (base, max, attempts) in [
+            (1, 8, 0),
+            (1, 8, 1),
+            (1, 8, 6),
+            (2, 100, 10),
+            (3, 3, 5),
+            (1, 1024, 64),
+            (7, 9, 70),
+        ] {
+            let p = ReofferPolicy {
+                base_delay: base,
+                max_delay: max,
+                max_attempts: attempts,
+            };
+            let naive: usize = (1..=attempts).filter_map(|a| p.delay(a)).sum();
+            assert_eq!(p.horizon(), naive, "({base}, {max}, {attempts})");
+        }
+    }
+
+    #[test]
+    fn horizon_terminates_and_saturates_on_huge_attempt_budgets() {
+        // The naive per-attempt sum would loop ~2^64 times here; the
+        // closed form must answer instantly and saturate instead of
+        // overflowing.
+        let p = ReofferPolicy {
+            base_delay: 1,
+            max_delay: 8,
+            max_attempts: usize::MAX,
+        };
+        assert_eq!(p.horizon(), usize::MAX);
+        // A shift at exactly the bit width must not panic either.
+        let p = ReofferPolicy {
+            base_delay: 1,
+            max_delay: usize::MAX,
+            max_attempts: usize::BITS as usize + 5,
+        };
+        assert_eq!(p.horizon(), usize::MAX);
+        // Zero attempts stay a zero horizon even at extreme delays.
+        let p = ReofferPolicy {
+            base_delay: usize::MAX,
+            max_delay: usize::MAX,
+            max_attempts: 0,
+        };
+        assert_eq!(p.horizon(), 0);
+    }
+
+    #[test]
+    fn horizon_is_finite_once_the_cap_dominates() {
+        // 1M attempts, all but the first three capped at 8:
+        // 1 + 2 + 4 + (1_000_000 − 3) × 8.
+        let p = ReofferPolicy {
+            base_delay: 1,
+            max_delay: 8,
+            max_attempts: 1_000_000,
+        };
+        assert_eq!(p.horizon(), 7 + (1_000_000 - 3) * 8);
     }
 }

@@ -61,7 +61,17 @@
 //! * `obs_bit_identical` and `obs_snapshot_schema_ok` are `true` —
 //!   observability influencing a result bit breaks its core contract
 //!   (`docs/OBSERVABILITY.md`), and a snapshot-JSON schema regression
-//!   breaks downstream consumers.
+//!   breaks downstream consumers;
+//! * `|pts_accuracy - soac_accuracy| <= 0.1` — the Peer-Truth-Serum
+//!   comparison rule re-prices winners but must not change what gets
+//!   discovered (`docs/MECHANISMS.md`); a wider gap means the info-score
+//!   transform started distorting winner selection;
+//! * `no_profitable_deviation` is `true` — the empirical multi-round
+//!   repricing probe found a deviation that beats truthful re-offering,
+//!   a truthfulness bug regardless of timings;
+//! * `clamp_overhead_ratio <= 1.2` — graded reputation pricing is a
+//!   per-cohort weight lookup and must stay within 20% of the plain
+//!   guarded loop (same-process ratio, box speed cancels out).
 //!
 //! Usage: `perf_check <BENCH_date.json> <BENCH_stream.json>
 //! <BENCH_pipeline.json>` (defaults to those names in the working
@@ -258,6 +268,10 @@ fn main() -> ExitCode {
             "obs_overhead_ratio",
             "obs_bit_identical",
             "obs_snapshot_schema_ok",
+            "soac_accuracy",
+            "pts_accuracy",
+            "no_profitable_deviation",
+            "clamp_overhead_ratio",
         ],
         &mut problems,
     ) {
@@ -363,6 +377,32 @@ fn main() -> ExitCode {
             if n == 0 || oks != n {
                 problems.push(format!(
                     "{pipeline_path}: {oks}/{n} {flag} flags are true — the observability layer broke its invisibility or snapshot-schema contract"
+                ));
+            }
+        }
+        let soac_acc = values_of(&json, "soac_accuracy");
+        let pts_acc = values_of(&json, "pts_accuracy");
+        if let (Some(&s), Some(&p)) = (soac_acc.first(), pts_acc.first()) {
+            if (s - p).abs() > 0.1 {
+                problems.push(format!(
+                    "{pipeline_path}: |pts_accuracy - soac_accuracy| = {} > 0.1 — the comparison rule no longer discovers truth on par with SOAC",
+                    (s - p).abs()
+                ));
+            }
+        }
+        {
+            let n = occurrences_of(&json, "no_profitable_deviation");
+            let oks = json.matches("\"no_profitable_deviation\": true").count();
+            if n == 0 || oks != n {
+                problems.push(format!(
+                    "{pipeline_path}: {oks}/{n} no_profitable_deviation flags are true — a probed strategic deviation turned profitable"
+                ));
+            }
+        }
+        for v in values_of(&json, "clamp_overhead_ratio") {
+            if !(v > 0.0 && v <= 1.2) {
+                problems.push(format!(
+                    "{pipeline_path}: clamp_overhead_ratio = {v} outside (0, 1.2] — graded reputation pricing grew a per-round cost"
                 ));
             }
         }

@@ -23,16 +23,17 @@
 //! shared boxes only ever adds time); results are identical across reps by
 //! construction, which is asserted.
 
-use imc2_common::{MemStorage, Obs, RingSink, Storage};
+use imc2_auction::PtsConfig;
+use imc2_common::{MemStorage, Obs, RingSink, Storage, WorkerId};
 use imc2_datagen::participation::ParticipationConfig;
 use imc2_datagen::{
     inject_trace, AdversaryConfig, CopierConfig, CostModel, ForumConfig, RequirementConfig,
     RoundTrace, RoundTraceConfig, StreamConfig,
 };
 use imc2_pipeline::{
-    CampaignRuntime, CampaignService, DurabilityConfig, DurableRuntime, GuardConfig,
-    PipelineConfig, RollingOutcome, ServeConfig, ServeOutcome, StageTimings, StopReason,
-    SubmitError,
+    CampaignRuntime, CampaignService, DurabilityConfig, DurableRuntime, GuardConfig, PaymentRule,
+    PipelineConfig, ReputationClamp, RollingOutcome, ServeConfig, ServeOutcome, StageTimings,
+    StopReason, SubmitError,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -409,6 +410,93 @@ fn main() {
     }
     let obs_overhead_ratio = obs_lit_s / obs_dark_s;
 
+    // Mechanism-comparison stage: the Peer-Truth-Serum comparison rule
+    // side-by-side with the paper's SOAC critical values on a strategic
+    // small()-scale campaign (repricers + cyclers planted), plus the
+    // graded reputation clamp's overhead over the plain guarded loop.
+    //
+    // * accuracies: the two rules price differently but must discover
+    //   truth equally well (`perf_check` gates |pts − soac| ≤ 0.1);
+    // * no_profitable_deviation: an empirical multi-round probe — a
+    //   repricer replanting its losing bundle at 0.85× / 1.3× its cost
+    //   must not beat replanting it truthfully, under either rule, and
+    //   individual rationality must hold in every probed round;
+    // * clamp_overhead_ratio: strictly-alternating floors, like the obs
+    //   ratio above, since the effect is small against scheduler noise.
+    eprintln!("mechanism stage...");
+    let mech_clean = RoundTrace::generate(&RoundTraceConfig::small(), 42).expect("trace generates");
+    let (mech_trace, _) = inject_trace(&mech_clean, &AdversaryConfig::strategic(2, 2), 42 ^ 0xbeef)
+        .expect("strategic injects");
+    let run_rule = |rule: PaymentRule, trace: &RoundTrace| {
+        CampaignRuntime::new(PipelineConfig {
+            payment_rule: rule,
+            ..PipelineConfig::default()
+        })
+        .run_guarded(trace, &guard)
+        .expect("guarded campaign runs")
+    };
+    let pts_rule = PaymentRule::Pts(PtsConfig::default());
+    let mech_soac = run_rule(PaymentRule::Soac, &mech_trace);
+    let mech_pts = run_rule(pts_rule, &mech_trace);
+    let soac_accuracy = mech_soac.outcome.final_precision;
+    let pts_accuracy = mech_pts.outcome.final_precision;
+
+    let ir_holds = |out: &RollingOutcome| out.rounds.iter().all(|r| r.min_winner_utility >= -1e-9);
+    let utility_of = |out: &RollingOutcome, costs: &[f64], w: WorkerId| -> f64 {
+        out.rounds
+            .iter()
+            .filter(|r| r.winners.contains(&w))
+            .map(|r| r.payment_to(w) - costs[w.index()])
+            .sum()
+    };
+    let mut no_profitable_deviation = ir_holds(&mech_soac.outcome) && ir_holds(&mech_pts.outcome);
+    let truthful_cfg = AdversaryConfig {
+        reprice_factor: 1.0,
+        ..AdversaryConfig::strategic(1, 0)
+    };
+    let (shadow, probe_labels) =
+        inject_trace(&mech_clean, &truthful_cfg, 42 ^ 0xbeef).expect("probe injects");
+    let probe_w = probe_labels.repricers[0];
+    for factor in [0.85, 1.3] {
+        let deviant_cfg = AdversaryConfig {
+            reprice_factor: factor,
+            ..AdversaryConfig::strategic(1, 0)
+        };
+        let (deviant, _) =
+            inject_trace(&mech_clean, &deviant_cfg, 42 ^ 0xbeef).expect("probe injects");
+        for rule in [PaymentRule::Soac, pts_rule] {
+            let truthful = run_rule(rule, &shadow);
+            let dev = run_rule(rule, &deviant);
+            no_profitable_deviation &= ir_holds(&dev.outcome)
+                && utility_of(&dev.outcome, &deviant.costs, probe_w)
+                    <= utility_of(&truthful.outcome, &shadow.costs, probe_w) + 1e-6;
+        }
+    }
+
+    let clamp_guard = GuardConfig::full().with_clamp(ReputationClamp::default());
+    let clamp_trace = &attacked;
+    let mut plain_floor_s = f64::INFINITY;
+    let mut clamp_floor_s = f64::INFINITY;
+    let clamp_samples = (reps * 20).max(60);
+    for rep in 0..clamp_samples {
+        for order in 0..2 {
+            if (rep + order) % 2 == 0 {
+                let t0 = Instant::now();
+                adv_runtime
+                    .run_guarded(clamp_trace, &guard)
+                    .expect("guarded campaign runs");
+                plain_floor_s = plain_floor_s.min(t0.elapsed().as_secs_f64());
+            } else {
+                let t0 = Instant::now();
+                adv_runtime
+                    .run_guarded(clamp_trace, &clamp_guard)
+                    .expect("clamped campaign runs");
+                clamp_floor_s = clamp_floor_s.min(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let clamp_overhead_ratio = clamp_floor_s / plain_floor_s;
+
     println!(
         "rounds {:>3} | warm: auction {:>6.2} ms, payment {:>6.2} ms, ingest {:>6.2} ms, refine {:>8.2} ms | rebuild refine {:>8.2} ms ({:>4.2}x) | cold-DATE refine {:>9.2} ms ({:>5.2}x, end-to-end {:>5.2}x) | bit-identical {} | budget ok {}",
         warm_out.rounds.len(),
@@ -465,6 +553,10 @@ fn main() {
         obs_overhead_ratio,
         obs_identical,
         obs_snapshot_ok,
+    );
+    println!(
+        "mechanisms: accuracy soac {:.3} / pts {:.3} | no profitable deviation {} | clamp overhead {:.3}x",
+        soac_accuracy, pts_accuracy, no_profitable_deviation, clamp_overhead_ratio,
     );
 
     let ingested: usize = warm_out.rounds.iter().map(|r| r.ingested_answers).sum();
@@ -555,6 +647,16 @@ fn main() {
     );
     let _ = writeln!(json, "  \"no_double_pay\": {no_double_pay},");
     let _ = writeln!(json, "  \"no_overspend\": {no_overspend},");
+    let _ = writeln!(json, "  \"soac_accuracy\": {soac_accuracy:.6},");
+    let _ = writeln!(json, "  \"pts_accuracy\": {pts_accuracy:.6},");
+    let _ = writeln!(
+        json,
+        "  \"no_profitable_deviation\": {no_profitable_deviation},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"clamp_overhead_ratio\": {clamp_overhead_ratio:.4},"
+    );
     let _ = writeln!(json, "  \"serve_wall_ms\": {:.6},", serve_wall_s * 1e3);
     let _ = writeln!(
         json,

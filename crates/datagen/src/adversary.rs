@@ -18,7 +18,13 @@
 //! * **cost misreporters** — workers whose declared prices deviate from
 //!   their private costs by a fixed factor (untruthful bidding);
 //! * **strategic withholders** — workers who drop a fraction of their
-//!   answers from every offer, starving coverage.
+//!   answers from every offer, starving coverage;
+//! * **strategic re-pricers** — losers re-offering their bundle in later
+//!   rounds at re-scaled prices (the multi-round re-pricing deviation
+//!   the truthfulness suite probes);
+//! * **revise-then-retract cyclers** — workers who amend a bought answer,
+//!   retract it, then re-offer the original content to be paid again (the
+//!   re-sell cycle the guard's permanent replay memory must refuse).
 //!
 //! Labels never reach the algorithms; they exist so evaluations can
 //! compare quarantine decisions against the planted population.
@@ -73,6 +79,20 @@ pub struct AdversaryConfig {
     /// Probability each offered answer of a withholder is dropped
     /// (`[0, 1]`); offers left empty are withdrawn entirely.
     pub withhold_fraction: f64,
+    /// Number of strategic re-pricers: each replants its first offer into
+    /// later rounds at re-scaled prices (trace-only; batch scenarios have
+    /// no later rounds to re-offer into).
+    pub n_repricers: usize,
+    /// Price multiplier per re-price attempt (finite, positive; below 1
+    /// undercuts the original declaration, above 1 escalates it).
+    pub reprice_factor: f64,
+    /// Re-priced copies planted per re-pricer (≥ 1 when re-pricers are
+    /// planted).
+    pub reprice_attempts: usize,
+    /// Number of revise-then-retract cyclers: each revises its first
+    /// bought answer, retracts it, then re-offers the original content
+    /// (trace-only).
+    pub n_cyclers: usize,
 }
 
 impl AdversaryConfig {
@@ -92,6 +112,24 @@ impl AdversaryConfig {
             misreport_factor: 1.0,
             n_withholders: 0,
             withhold_fraction: 0.0,
+            n_repricers: 0,
+            reprice_factor: 1.0,
+            reprice_attempts: 0,
+            n_cyclers: 0,
+        }
+    }
+
+    /// A strategic-bidder profile: `repricers` workers re-price and
+    /// re-offer their losing bundles, `cyclers` revise-retract-re-offer
+    /// bought answers — the two multi-round deviation channels the
+    /// pipeline's truthfulness suite probes.
+    pub fn strategic(repricers: usize, cyclers: usize) -> Self {
+        AdversaryConfig {
+            n_repricers: repricers,
+            reprice_factor: 0.85,
+            reprice_attempts: 2,
+            n_cyclers: cyclers,
+            ..AdversaryConfig::none()
         }
     }
 
@@ -145,6 +183,16 @@ impl AdversaryConfig {
         if !(0.0..=1.0).contains(&self.withhold_fraction) {
             return Err(ValidationError::new("withhold_fraction must lie in [0, 1]"));
         }
+        if !(self.reprice_factor.is_finite() && self.reprice_factor > 0.0) {
+            return Err(ValidationError::new(
+                "reprice_factor must be finite and positive",
+            ));
+        }
+        if self.n_repricers > 0 && self.reprice_attempts == 0 {
+            return Err(ValidationError::new(
+                "reprice_attempts must be at least 1 when re-pricers are planted",
+            ));
+        }
         Ok(())
     }
 
@@ -153,6 +201,8 @@ impl AdversaryConfig {
             + self.n_sybil_clusters
             + self.n_misreporters
             + self.n_withholders
+            + self.n_repricers
+            + self.n_cyclers
     }
 }
 
@@ -187,6 +237,10 @@ pub struct AdversaryLabels {
     pub misreporters: Vec<WorkerId>,
     /// Workers withholding answers.
     pub withholders: Vec<WorkerId>,
+    /// Workers re-pricing and re-offering their losing bundles.
+    pub repricers: Vec<WorkerId>,
+    /// Workers running revise-then-retract-then-re-offer cycles.
+    pub cyclers: Vec<WorkerId>,
 }
 
 impl AdversaryLabels {
@@ -211,6 +265,8 @@ impl AdversaryLabels {
         set.extend(self.sybils.iter().map(|s| s.principal));
         set.extend(self.misreporters.iter().copied());
         set.extend(self.withholders.iter().copied());
+        set.extend(self.repricers.iter().copied());
+        set.extend(self.cyclers.iter().copied());
         set
     }
 
@@ -220,6 +276,8 @@ impl AdversaryLabels {
             && self.sybils.is_empty()
             && self.misreporters.is_empty()
             && self.withholders.is_empty()
+            && self.repricers.is_empty()
+            && self.cyclers.is_empty()
     }
 }
 
@@ -362,6 +420,8 @@ pub fn inject_trace(
     let principals = take(config.n_sybil_clusters);
     labels.misreporters = take(config.n_misreporters);
     labels.withholders = take(config.n_withholders);
+    labels.repricers = take(config.n_repricers);
+    labels.cyclers = take(config.n_cyclers);
     let targets = coalition_targets(&scripts, config.coalition_targets, m, &mut rng);
 
     // Rewrite coalition members' delivered values: every offer first (in
@@ -492,6 +552,75 @@ pub fn inject_trace(
         });
     }
 
+    // Strategic re-pricers: each replants its first offer into the next
+    // `reprice_attempts` rounds it is absent from, price scaled by
+    // `reprice_factor` per attempt — the losing-bundle re-pricing
+    // schedule the truthfulness suite probes. Content-identical but
+    // differently-priced copies carry distinct fingerprints, so they
+    // reach the auction unless their answers were already bought.
+    let first_offer = |rounds: &[Vec<WorkerOffer>], w: WorkerId| -> Option<(usize, WorkerOffer)> {
+        rounds
+            .iter()
+            .enumerate()
+            .find_map(|(r, round)| round.iter().find(|o| o.worker == w).map(|o| (r, o.clone())))
+    };
+    for &w in &labels.repricers {
+        let Some((r0, offer)) = first_offer(&out.rounds, w) else {
+            continue;
+        };
+        let mut attempt = 0usize;
+        for r in (r0 + 1)..out.rounds.len() {
+            if attempt >= config.reprice_attempts {
+                break;
+            }
+            if out.rounds[r].iter().any(|o| o.worker == w) {
+                continue;
+            }
+            attempt += 1;
+            out.rounds[r].push(WorkerOffer {
+                worker: w,
+                answers: offer.answers.clone(),
+                price: offer.price * config.reprice_factor.powi(attempt as i32),
+            });
+            out.rounds[r].sort_by_key(|o| o.worker);
+        }
+    }
+
+    // Revise-then-retract cyclers: revise the first answer of the first
+    // offer one round after it was auctioned, retract it the round after,
+    // then re-offer exactly that answer at the original price — the
+    // re-sell cycle a guard must refuse to pay twice. When the original
+    // offer loses, the corrections simply never apply (the platform
+    // bought nothing to amend) and the re-offer competes as fresh.
+    if !labels.cyclers.is_empty() {
+        let n_rounds = out.rounds.len();
+        if out.corrections.len() < n_rounds {
+            out.corrections
+                .resize(n_rounds, imc2_common::SnapshotDelta::new());
+        }
+        for &w in &labels.cyclers {
+            let Some((r0, offer)) = first_offer(&out.rounds, w) else {
+                continue;
+            };
+            let &(t, v) = &offer.answers[0];
+            let domain = num_false[t.index()];
+            if r0 + 3 >= n_rounds || domain == 0 {
+                continue;
+            }
+            let revised = ValueId((v.0 + 1) % (domain + 1));
+            out.corrections[r0 + 1].revise(w, t, revised);
+            out.corrections[r0 + 2].retract(w, t);
+            if !out.rounds[r0 + 3].iter().any(|o| o.worker == w) {
+                out.rounds[r0 + 3].push(WorkerOffer {
+                    worker: w,
+                    answers: vec![(t, v)],
+                    price: offer.price,
+                });
+                out.rounds[r0 + 3].sort_by_key(|o| o.worker);
+            }
+        }
+    }
+
     Ok((out, labels))
 }
 
@@ -553,6 +682,11 @@ pub fn inject_scenario(
     let principals = take(config.n_sybil_clusters);
     labels.misreporters = take(config.n_misreporters);
     labels.withholders = take(config.n_withholders);
+    // Multi-round strategies have no batch analogue: the roles consume
+    // pool slots (labels and head-counts stay config-shape-stable with
+    // the trace pass) but leave the snapshot untouched.
+    labels.repricers = take(config.n_repricers);
+    labels.cyclers = take(config.n_cyclers);
     let withholders: BTreeSet<WorkerId> = labels.withholders.iter().copied().collect();
     let targets = coalition_targets(&scripts, config.coalition_targets, m, &mut rng);
 
@@ -823,6 +957,83 @@ mod tests {
             after < before,
             "withholders must offer less ({after} < {before})"
         );
+    }
+
+    #[test]
+    fn strategic_bidders_reprice_and_cycle() {
+        let t = trace(10);
+        let cfg = AdversaryConfig {
+            reprice_factor: 0.8,
+            ..AdversaryConfig::strategic(2, 2)
+        };
+        let (out, labels) = inject_trace(&t, &cfg, 29).unwrap();
+        assert_eq!(labels.repricers.len(), 2);
+        assert_eq!(labels.cyclers.len(), 2);
+        assert!(!labels.is_empty());
+
+        // Re-pricers: the planted copies are exactly the offers in rounds
+        // where the original trace had none, carrying the first offer's
+        // answers at geometrically re-scaled prices.
+        let mut repriced = 0usize;
+        for &w in &labels.repricers {
+            let first = out
+                .rounds
+                .iter()
+                .flatten()
+                .find(|o| o.worker == w)
+                .expect("repricers are drawn from offering workers");
+            let mut attempt = 0usize;
+            for (r, round) in out.rounds.iter().enumerate() {
+                let planted = round
+                    .iter()
+                    .find(|o| o.worker == w)
+                    .filter(|_| !t.rounds[r].iter().any(|o| o.worker == w));
+                let Some(copy) = planted else { continue };
+                attempt += 1;
+                assert_eq!(copy.answers, first.answers);
+                let expected = first.price * 0.8f64.powi(attempt as i32);
+                assert!((copy.price - expected).abs() < 1e-12);
+                repriced += 1;
+            }
+            assert!(attempt <= cfg.reprice_attempts);
+        }
+        assert!(repriced > 0, "no re-priced copy was planted");
+
+        // Cyclers: a revise then a retract of the first answer, then a
+        // single-answer re-offer of the original content.
+        let mut cycled = 0usize;
+        for &w in &labels.cyclers {
+            let Some(original) = out.rounds.iter().flatten().find(|o| o.worker == w) else {
+                continue;
+            };
+            let (t0, v0) = original.answers[0];
+            let revised = out.corrections.iter().any(|c| {
+                c.ops().iter().any(|op| {
+                    matches!(op, imc2_common::DeltaOp::Revise(rw, rt, _) if *rw == w && *rt == t0)
+                })
+            });
+            let retracted = out.corrections.iter().any(|c| {
+                c.ops().iter().any(|op| {
+                    matches!(op, imc2_common::DeltaOp::Retract(rw, rt) if *rw == w && *rt == t0)
+                })
+            });
+            let reoffered = out
+                .rounds
+                .iter()
+                .flatten()
+                .any(|o| o.worker == w && o.answers == vec![(t0, v0)]);
+            if revised && retracted && reoffered {
+                cycled += 1;
+            }
+        }
+        assert!(cycled > 0, "no full revise-retract-reoffer cycle planted");
+
+        // Rounds stay sorted by worker id with one offer per worker.
+        for round in &out.rounds {
+            for pair in round.windows(2) {
+                assert!(pair[0].worker < pair[1].worker);
+            }
+        }
     }
 
     #[test]

@@ -387,6 +387,7 @@ impl Codec for RoundRecord {
         enc.put_usize(self.round);
         enc.put_usize(self.n_bidders);
         self.winners.encode(enc);
+        self.winner_payments.encode(enc);
         enc.put_usize(self.n_copier_winners);
         enc.put_f64(self.payment);
         enc.put_f64(self.social_cost);
@@ -415,6 +416,7 @@ impl Codec for RoundRecord {
             round: dec.take_usize()?,
             n_bidders: dec.take_usize()?,
             winners: Vec::decode(dec)?,
+            winner_payments: Vec::decode(dec)?,
             n_copier_winners: dec.take_usize()?,
             payment: dec.take_f64()?,
             social_cost: dec.take_f64()?,

@@ -14,7 +14,12 @@
 //!   prices, repeated offers within a round, content-identical
 //!   duplicates (a retrying channel) and replays of answers the platform
 //!   already bought are rejected with a typed [`RejectReason`] — never a
-//!   panic. Admitted cohorts are emitted **sorted by worker id**, so a
+//!   panic. The replay screen is *permanent*: once an answer has been
+//!   bought, re-offering the same `(task, value)` is refused even after
+//!   a retraction frees the worker's held set, so a revise-then-retract
+//!   cycle can never sell the same information twice (a retraction
+//!   followed by a *different* value is fresh information and admits).
+//!   Admitted cohorts are emitted **sorted by worker id**, so a
 //!   reordered arrival schedule cannot perturb downstream float
 //!   accumulation: guarded ingest under duplicate/reorder faults is
 //!   bit-identical to the clean trace.
@@ -23,13 +28,16 @@
 //!   (§III-B) over the *bought* snapshot and finds high-collision worker
 //!   groups: connected components under "dependence posterior ≥
 //!   threshold with enough task overlap" of at least
-//!   [`QuarantinePolicy::min_group`] members. Flagged workers are
-//!   quarantined: their held answers are retracted from refinement (kept
-//!   in the audit log), and their future submissions are rejected at
-//!   admission — the zero-weight limiting case of clamping their
-//!   reputation in pricing. Coverage already bought and payments already
-//!   made are *not* clawed back; quarantine bounds future poisoning, the
-//!   audit log preserves the evidence.
+//!   [`QuarantinePolicy::min_group`] members. By default flagged workers
+//!   are quarantined: their held answers are retracted from refinement
+//!   (kept in the audit log), and their future submissions are rejected
+//!   at admission. With a [`ReputationClamp`] the response is *graded*
+//!   instead: flagged workers stay admitted but their effective accuracy
+//!   entering the auction is scaled down, and every bidder's weight can
+//!   additionally be graded by pooled reputation — quarantine is exactly
+//!   the clamp's zero-weight limiting case. Coverage already bought and
+//!   payments already made are *not* clawed back; quarantine bounds
+//!   future poisoning, the audit log preserves the evidence.
 //! * **Re-offer** — losers' bundles re-enter later rounds under the
 //!   capped exponential backoff of
 //!   [`ReofferPolicy`]. Payments stay
@@ -42,7 +50,7 @@
 use crate::ledger::PaymentLedger;
 use crate::report::{RollingOutcome, StopReason};
 use crate::runtime::PipelineConfig;
-use crate::state::{CampaignState, RefineMode, RoundStep};
+use crate::state::{reputation_of, CampaignState, RefineMode, RoundStep};
 use imc2_auction::{AuctionError, ReofferPolicy};
 use imc2_common::obs::{Counter, FieldValue, Gauge, HistogramHandle, Obs, Table};
 use imc2_common::{ObservationsBuilder, SnapshotDelta, TaskId, ValueId, WorkerId};
@@ -132,11 +140,68 @@ impl Default for QuarantinePolicy {
     }
 }
 
+/// Graded reputation-weighted pricing: instead of the all-or-nothing
+/// quarantine, scale a worker's effective accuracy entering the auction.
+///
+/// Two independent dials, both bid-independent (they read reputations
+/// and sweep verdicts, never declared prices), so the mechanism's
+/// truthfulness is untouched:
+///
+/// * every bidder's weight is `reputation^strength` — `strength = 0`
+///   (the default) grades nothing and multiplies by exactly 1.0, higher
+///   strengths price low-reputation workers down smoothly;
+/// * workers the dependence sweep flags are additionally scaled by
+///   `flagged_weight` **instead of** being quarantined: they keep
+///   bidding, their data keeps entering the snapshot, but their
+///   accuracy claim is discounted. `flagged_weight = 0.0` falls back to
+///   the structural quarantine path (retraction + admission rejection),
+///   making quarantine literally the clamp's zero-weight limiting case
+///   — bit-identical to running without a clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReputationClamp {
+    /// Multiplier on a sweep-flagged worker's effective accuracy, in
+    /// `[0, 1]`. `0.0` selects the structural quarantine path.
+    pub flagged_weight: f64,
+    /// Exponent grading every bidder's weight by pooled reputation
+    /// (`reputation^strength`, reputation in `(0, 1)`); `0.0` disables
+    /// grading exactly.
+    pub strength: f64,
+}
+
+impl Default for ReputationClamp {
+    fn default() -> Self {
+        ReputationClamp {
+            flagged_weight: 0.25,
+            strength: 0.0,
+        }
+    }
+}
+
+impl ReputationClamp {
+    /// Checks the dial ranges: `flagged_weight` finite in `[0, 1]`,
+    /// `strength` finite and `≥ 0`.
+    ///
+    /// # Errors
+    /// A static description of the violated bound.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.flagged_weight.is_finite() && (0.0..=1.0).contains(&self.flagged_weight)) {
+            return Err("ReputationClamp::flagged_weight must be finite in [0, 1]");
+        }
+        if !(self.strength.is_finite() && self.strength >= 0.0) {
+            return Err("ReputationClamp::strength must be finite and >= 0");
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the guarded runtime.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct GuardConfig {
     /// Dependence-based quarantine; `None` disables it.
     pub quarantine: Option<QuarantinePolicy>,
+    /// Graded reputation-weighted pricing; `None` (the default) keeps
+    /// the all-or-nothing quarantine semantics bit-identically.
+    pub clamp: Option<ReputationClamp>,
     /// Loser re-offer backoff; `None` disables re-offers.
     pub reoffer: Option<ReofferPolicy>,
     /// Observability handle for the guarded loop: admission counters by
@@ -154,6 +219,7 @@ impl GuardConfig {
     pub fn full() -> Self {
         GuardConfig {
             quarantine: Some(QuarantinePolicy::default()),
+            clamp: None,
             reoffer: Some(ReofferPolicy::default()),
             obs: Obs::disabled(),
         }
@@ -164,9 +230,16 @@ impl GuardConfig {
     pub fn admission_only() -> Self {
         GuardConfig {
             quarantine: None,
+            clamp: None,
             reoffer: None,
             obs: Obs::disabled(),
         }
+    }
+
+    /// Builder sugar: the same config with a graded reputation clamp.
+    pub fn with_clamp(mut self, clamp: ReputationClamp) -> Self {
+        self.clamp = Some(clamp);
+        self
     }
 
     /// Builder sugar: the same config with observability attached.
@@ -200,6 +273,8 @@ struct GuardMetrics {
     reoffer_delay: HistogramHandle,
     sweeps: Counter,
     quarantined: Counter,
+    clamp_flagged: Counter,
+    clamp_weight: HistogramHandle,
 }
 
 impl GuardMetrics {
@@ -223,6 +298,8 @@ impl GuardMetrics {
             reoffer_delay: obs.histogram("guard.reoffer.delay_rounds"),
             sweeps: obs.counter("guard.sweeps"),
             quarantined: obs.counter("guard.quarantined"),
+            clamp_flagged: obs.counter("guard.clamp.flagged"),
+            clamp_weight: obs.histogram("guard.clamp.weight"),
         }
     }
 
@@ -260,6 +337,9 @@ pub struct GuardReport {
     pub rejections: Vec<RejectedSubmission>,
     /// All quarantined workers.
     pub quarantined: BTreeSet<WorkerId>,
+    /// Workers the sweep flagged for graded clamping instead of
+    /// quarantine (empty without a [`ReputationClamp`]).
+    pub flagged: BTreeSet<WorkerId>,
     /// Retracted answers of quarantined workers, for audit.
     pub audit: Vec<QuarantineRecord>,
     /// Loser bundles scheduled for a later round.
@@ -326,6 +406,10 @@ impl fmt::Display for GuardReport {
         table.row(&[
             "quarantined workers".to_string(),
             self.quarantined.len().to_string(),
+        ]);
+        table.row(&[
+            "clamp-flagged workers".to_string(),
+            self.flagged.len().to_string(),
         ]);
         let retracted: usize = self.audit.iter().map(|r| r.answers.len()).sum();
         table.row(&["retracted answers".to_string(), retracted.to_string()]);
@@ -435,16 +519,26 @@ pub struct SubmissionGuard {
     num_false: Vec<u32>,
     /// `(content fingerprint, submission epoch)` → round first admitted.
     /// The epoch is the worker's retraction count at admission time: a
-    /// redelivered copy of an admitted bundle is a duplicate, but once a
-    /// retraction frees the worker's answers, identical content is a
-    /// legitimate *resubmission* (the mutable-trace retract-then-resubmit
-    /// flow) and admits — and pays — as a fresh bundle.
+    /// redelivered copy of an admitted bundle is a *duplicate* (a
+    /// retrying channel), while a post-retraction submission is a fresh
+    /// attempt that reaches the content screens. Whether it then admits
+    /// is decided by `bought`: answers the platform already paid for are
+    /// permanently refused as [`RejectReason::Replay`] — only *revised*
+    /// content (a different value) sells after a retraction.
     fingerprints: HashMap<(u64, u64), usize>,
     /// Per-worker retraction count (bumped by applied retract ops and by
     /// quarantine retractions).
     epochs: HashMap<WorkerId, u64>,
+    /// Every `(worker, task, value)` answer the platform has ever paid
+    /// for. Unlike the *held* snapshot this never shrinks on retraction,
+    /// which is what closes the revise-then-retract re-sell cycle: the
+    /// same information can be bought at most once per worker.
+    bought: HashSet<(WorkerId, TaskId, ValueId)>,
     /// Quarantined workers (their submissions are rejected).
     quarantined: BTreeSet<WorkerId>,
+    /// Sweep-flagged workers under a graded [`ReputationClamp`]: still
+    /// admitted, priced at a discounted weight.
+    flagged: BTreeSet<WorkerId>,
     /// Loser bundles waiting for their backoff to elapse.
     queue: Vec<ReofferEntry>,
     /// This round's admitted cohort: worker → (fingerprint, attempts).
@@ -476,7 +570,14 @@ pub struct SubmissionGuard {
 
 impl SubmissionGuard {
     /// A fresh guard for one campaign over `trace`.
+    ///
+    /// # Panics
+    /// Panics when the config carries a [`ReputationClamp`] with dials
+    /// outside their documented ranges ([`ReputationClamp::validate`]).
     pub fn new(trace: &RoundTrace, config: GuardConfig) -> Self {
+        if let Some(clamp) = &config.clamp {
+            clamp.validate().expect("invalid ReputationClamp");
+        }
         let mut submitted = Vec::new();
         for w in 0..trace.initial.n_workers() {
             for &(t, v) in trace.initial.tasks_of_worker(WorkerId(w)) {
@@ -491,7 +592,9 @@ impl SubmissionGuard {
             num_false: trace.campaign.num_false.clone(),
             fingerprints: HashMap::new(),
             epochs: HashMap::new(),
+            bought: HashSet::new(),
             quarantined: BTreeSet::new(),
+            flagged: BTreeSet::new(),
             queue: Vec::new(),
             current: HashMap::new(),
             submitted,
@@ -580,6 +683,16 @@ impl SubmissionGuard {
         {
             return Err(RejectReason::Replay);
         }
+        // Permanent replay memory: an answer the platform already paid
+        // for can never be sold again, even after a retraction removed
+        // it from the held snapshot.
+        if offer
+            .answers
+            .iter()
+            .any(|&(t, v)| self.bought.contains(&(offer.worker, t, v)))
+        {
+            return Err(RejectReason::Replay);
+        }
         Ok(())
     }
 
@@ -659,6 +772,15 @@ impl SubmissionGuard {
                         .answers
                         .iter()
                         .any(|&(t, _)| held.value_of(w, t).is_some())
+                {
+                    self.reject(round, w, RejectReason::Replay);
+                    continue;
+                }
+                if entry
+                    .offer
+                    .answers
+                    .iter()
+                    .any(|&(t, v)| self.bought.contains(&(w, t, v)))
                 {
                     self.reject(round, w, RejectReason::Replay);
                     continue;
@@ -949,7 +1071,7 @@ fn quarantine_sweep(
         let mut flagged: Vec<WorkerId> = groups
             .into_iter()
             .flatten()
-            .filter(|w| !guard.quarantined.contains(w))
+            .filter(|w| !guard.quarantined.contains(w) && !guard.flagged.contains(w))
             .collect();
         flagged.sort_unstable();
         flagged
@@ -957,6 +1079,21 @@ fn quarantine_sweep(
     span.field("flagged", FieldValue::U64(newly.len() as u64));
     if newly.is_empty() {
         return;
+    }
+    // Graded response: with a positive-weight clamp the flagged workers
+    // are discounted in pricing, not evicted — no retraction, no epoch
+    // bump, no admission rejection. `flagged_weight == 0.0` falls
+    // through to the structural quarantine below, the clamp's exact
+    // limiting case.
+    if let Some(clamp) = guard.config.clamp {
+        if clamp.flagged_weight > 0.0 {
+            guard.metrics.clamp_flagged.add(newly.len() as u64);
+            for &w in &newly {
+                guard.flagged.insert(w);
+                guard.report.flagged.insert(w);
+            }
+            return;
+        }
     }
     guard.metrics.quarantined.add(newly.len() as u64);
     let mut delta = SnapshotDelta::new();
@@ -988,6 +1125,41 @@ fn quarantine_sweep(
     }
 }
 
+/// Per-worker pricing weights for this round's admitted cohort under the
+/// configured [`ReputationClamp`], or `None` without one — the exact
+/// unweighted round body. Bid-independent by construction: weights read
+/// pooled reputations and the sweep's flag set, never declared prices.
+fn clamp_weights(
+    guard: &SubmissionGuard,
+    state: &CampaignState,
+    cohort: &[WorkerOffer],
+) -> Option<HashMap<WorkerId, f64>> {
+    let clamp = guard.config.clamp?;
+    Some(
+        cohort
+            .iter()
+            .map(|o| {
+                let w = o.worker;
+                let graded = if clamp.strength == 0.0 {
+                    // `x^0` grading must multiply by exactly 1.0 so the
+                    // default clamp stays bit-identical to no clamp.
+                    1.0
+                } else {
+                    reputation_of(&state.stream, w, state.prior).powf(clamp.strength)
+                };
+                let weight = if guard.flagged.contains(&w) {
+                    let wt = graded * clamp.flagged_weight;
+                    guard.metrics.clamp_weight.record(wt);
+                    wt
+                } else {
+                    graded
+                };
+                (w, weight)
+            })
+            .collect(),
+    )
+}
+
 /// One guarded round, end to end: admission in front, the shared round
 /// body in the middle, bundle-idempotent payments, loser re-offers and
 /// the periodic quarantine sweep behind it. `Ok(Some(stop))` means the
@@ -1014,7 +1186,16 @@ pub(crate) fn guarded_round(
     let dt = t.elapsed().as_secs_f64();
     state.latencies.admit.record(dt);
     state.obs.admit.record(dt);
-    match state.execute_round_with(cfg, trace, mode, round, &cohort, raw_corrections)? {
+    let weights = clamp_weights(guard, state, &cohort);
+    match state.execute_round_with(
+        cfg,
+        trace,
+        mode,
+        round,
+        &cohort,
+        raw_corrections,
+        weights.as_ref(),
+    )? {
         RoundStep::BudgetStop => {
             return Ok(Some(StopReason::BudgetExhausted));
         }
@@ -1035,6 +1216,13 @@ pub(crate) fn guarded_round(
             .expect("winners come from the admitted cohort");
         if ledger.record_bundle(round, w, fp).is_err() {
             guard.report.double_pay_refused += 1;
+        }
+        let offer = cohort
+            .iter()
+            .find(|o| o.worker == w)
+            .expect("winners come from the admitted cohort");
+        for &(t, v) in &offer.answers {
+            guard.bought.insert((w, t, v));
         }
     }
     guard.schedule_losers(round, &cohort, &winners);

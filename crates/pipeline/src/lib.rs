@@ -82,11 +82,13 @@ pub use durable::{
 };
 pub use guard::{
     sanitize_trace, GuardConfig, GuardReport, GuardedOutcome, QuarantinePolicy, QuarantineRecord,
-    RejectReason, RejectedSubmission, SubmissionGuard,
+    RejectReason, RejectedSubmission, ReputationClamp, SubmissionGuard,
 };
 pub use ledger::{LedgerError, PaymentLedger};
 pub use report::{RollingOutcome, RoundRecord, StageLatencies, StageTimings, StopReason};
-pub use runtime::{one_shot, CampaignRuntime, ConfigError, OneShotOutcome, PipelineConfig};
+pub use runtime::{
+    one_shot, CampaignRuntime, ConfigError, OneShotOutcome, PaymentRule, PipelineConfig,
+};
 pub use serve::{
     CampaignService, ServeConfig, ServeError, ServeOutcome, ServeStats, ServiceExit, ServiceHealth,
     ServiceStatus, ShedReason, SubmitError,

@@ -35,6 +35,10 @@ pub struct RoundRecord {
     pub n_bidders: usize,
     /// Auction winners (global ids, ascending; empty for idle rounds).
     pub winners: Vec<WorkerId>,
+    /// Payment per winner, aligned with `winners` — the per-worker split
+    /// of `payment`, which the truthfulness probes need to account a
+    /// single worker's earnings across rounds.
+    pub winner_payments: Vec<f64>,
     /// Winners that are injected copiers (their win share is the paper's
     /// copier-suppression metric).
     pub n_copier_winners: usize,
@@ -72,6 +76,14 @@ impl RoundRecord {
     /// Number of tasks this round deferred.
     pub fn deferred_tasks(&self) -> usize {
         self.deferrals.len()
+    }
+
+    /// This round's payment to `worker` (0.0 for losers).
+    pub fn payment_to(&self, worker: WorkerId) -> f64 {
+        self.winners
+            .iter()
+            .position(|&w| w == worker)
+            .map_or(0.0, |i| self.winner_payments[i])
     }
 }
 

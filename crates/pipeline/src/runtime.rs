@@ -4,7 +4,8 @@ use crate::guard::{GuardConfig, GuardedOutcome};
 use crate::report::{RollingOutcome, StopReason};
 use crate::state::{CampaignState, RefineMode, RoundStep};
 use imc2_auction::{
-    AuctionError, AuctionOutcome, ReverseAuction, RoundBid, RoundInstance, UncoverablePolicy,
+    AuctionError, AuctionOutcome, PtsConfig, ReverseAuction, RoundBid, RoundInstance,
+    UncoverablePolicy,
 };
 use imc2_common::logprob::clamp_prob;
 use imc2_common::{TaskId, WorkerId};
@@ -34,6 +35,13 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// The PTS score bounds must satisfy `0 < floor ≤ 1 ≤ cap`, finite.
+    InvalidPtsScoreBounds {
+        /// The rejected lower clamp.
+        floor: f64,
+        /// The rejected upper clamp.
+        cap: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -49,11 +57,33 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidMonopolyCap { value } => {
                 write!(f, "monopoly_cap must be finite and at least 1, got {value}")
             }
+            ConfigError::InvalidPtsScoreBounds { floor, cap } => write!(
+                f,
+                "PTS score bounds must satisfy 0 < floor <= 1 <= cap, got [{floor}, {cap}]"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Which payment rule prices each round's winners. Both rules run the
+/// same greedy winner-selection machinery and the same coverage
+/// bookkeeping; they differ only in how a winner's payment relates to
+/// its bid.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PaymentRule {
+    /// The paper's critical-value payments (Algorithm 2) — the default,
+    /// and bit-identical to every campaign run before this knob existed.
+    #[default]
+    Soac,
+    /// Peer-Truth-Serum: winners are paid their critical value scaled by
+    /// a bid-independent info score — proportional to how informative
+    /// their answers are against the cohort's peer consensus, normalized
+    /// by the prior from the live stream posteriors
+    /// ([`imc2_auction::PeerTruthSerum`]).
+    Pts(PtsConfig),
+}
 
 /// Configuration of the online campaign runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,6 +112,10 @@ pub struct PipelineConfig {
     /// workers with the *journaled* value, so a post-crash round pays
     /// exactly what the uninterrupted campaign would have.
     pub reputation_prior: Option<f64>,
+    /// How winners are paid: the paper's SOAC critical values (default)
+    /// or the Peer-Truth-Serum comparison rule. [`PaymentRule::Soac`]
+    /// leaves every existing code path bit-identical.
+    pub payment_rule: PaymentRule,
 }
 
 impl Default for PipelineConfig {
@@ -95,6 +129,7 @@ impl Default for PipelineConfig {
             monopoly_cap: Some(3.0),
             compaction: Some(CompactionPolicy::default()),
             reputation_prior: None,
+            payment_rule: PaymentRule::Soac,
         }
     }
 }
@@ -135,6 +170,14 @@ impl PipelineConfig {
         if let Some(c) = self.monopoly_cap {
             if !(c.is_finite() && c >= 1.0) {
                 return Err(ConfigError::InvalidMonopolyCap { value: c });
+            }
+        }
+        if let PaymentRule::Pts(pts) = self.payment_rule {
+            if pts.validate().is_err() {
+                return Err(ConfigError::InvalidPtsScoreBounds {
+                    floor: pts.score_floor,
+                    cap: pts.score_cap,
+                });
             }
         }
         Ok(())
@@ -512,6 +555,77 @@ mod tests {
             implicit.total_payment.to_bits(),
             explicit.total_payment.to_bits()
         );
+    }
+
+    #[test]
+    fn payment_rule_defaults_to_soac_and_is_bit_identical() {
+        assert_eq!(PipelineConfig::default().payment_rule, PaymentRule::Soac);
+        // Spelling out `Soac` is bit-identical to the pre-knob default
+        // across a whole campaign.
+        let t = trace(8);
+        let implicit = CampaignRuntime::default().run(&t).unwrap();
+        let explicit = CampaignRuntime::new(PipelineConfig {
+            payment_rule: PaymentRule::Soac,
+            ..PipelineConfig::default()
+        })
+        .run(&t)
+        .unwrap();
+        assert_eq!(implicit.rounds, explicit.rounds);
+        assert_eq!(
+            implicit.total_payment.to_bits(),
+            explicit.total_payment.to_bits()
+        );
+        assert_eq!(implicit.final_estimate, explicit.final_estimate);
+    }
+
+    #[test]
+    fn pts_rule_runs_a_valid_campaign_close_to_soac() {
+        let t = trace(9);
+        let soac = CampaignRuntime::default().run(&t).unwrap();
+        let pts = CampaignRuntime::new(PipelineConfig {
+            payment_rule: PaymentRule::Pts(PtsConfig::default()),
+            ..PipelineConfig::default()
+        })
+        .run(&t)
+        .unwrap();
+        assert!(!pts.rounds.is_empty());
+        // PTS payments stay individually rational round by round.
+        for r in &pts.rounds {
+            assert!(r.min_winner_utility >= -1e-9, "IR per round: {r:?}");
+        }
+        // The comparison rule reweights payments, not data: accuracy
+        // stays in SOAC's neighborhood (the perf_check gate is 0.1).
+        assert!(
+            (pts.final_precision - soac.final_precision).abs() <= 0.1,
+            "pts {} vs soac {}",
+            pts.final_precision,
+            soac.final_precision
+        );
+        // Determinism holds for the PTS rule too.
+        let again = CampaignRuntime::new(PipelineConfig {
+            payment_rule: PaymentRule::Pts(PtsConfig::default()),
+            ..PipelineConfig::default()
+        })
+        .run(&t)
+        .unwrap();
+        assert_eq!(pts.rounds, again.rounds);
+    }
+
+    #[test]
+    fn invalid_pts_bounds_are_rejected() {
+        for (floor, cap) in [(0.0, 2.0), (1.5, 2.0), (0.5, 0.9), (f64::NAN, 2.0)] {
+            let cfg = PipelineConfig {
+                payment_rule: PaymentRule::Pts(PtsConfig {
+                    score_floor: floor,
+                    score_cap: cap,
+                }),
+                ..PipelineConfig::default()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, ConfigError::InvalidPtsScoreBounds { .. }));
+            assert!(err.to_string().contains("PTS"));
+            assert!(CampaignRuntime::try_new(cfg).is_err());
+        }
     }
 
     #[test]

@@ -16,11 +16,14 @@
 use crate::report::{
     RollingOutcome, RoundRecord, StageLatencies, StageTimings, StopReason, COVER_TOL,
 };
-use crate::runtime::PipelineConfig;
-use imc2_auction::{AuctionError, RoundBid, RoundInstance, UncoverablePolicy};
+use crate::runtime::{PaymentRule, PipelineConfig};
+use imc2_auction::{
+    info_scores, AuctionError, PeerTruthSerum, PtsConfig, RoundBid, RoundInstance,
+    UncoverablePolicy,
+};
 use imc2_common::logprob::clamp_prob;
 use imc2_common::obs::{Counter, HistogramHandle, Obs};
-use imc2_common::{DeltaOp, SnapshotDelta, ValidationError, WorkerId};
+use imc2_common::{DeltaOp, SnapshotDelta, TaskId, ValidationError, ValueId, WorkerId};
 use imc2_datagen::{RoundTrace, WorkerOffer};
 use imc2_truth::{DateStream, StreamState};
 use std::collections::{HashMap, HashSet};
@@ -102,6 +105,10 @@ pub(crate) struct StateObs {
     pub ingest: HistogramHandle,
     pub refine: HistogramHandle,
     pub rounds: Counter,
+    /// Rounds priced under the PTS payment rule.
+    pub pts_rounds: Counter,
+    /// Cohort bidders assigned a PTS info score.
+    pub pts_scored: Counter,
 }
 
 impl StateObs {
@@ -113,6 +120,8 @@ impl StateObs {
             ingest: obs.histogram("stage.ingest_s"),
             refine: obs.histogram("stage.refine_s"),
             rounds: obs.counter("rounds.executed"),
+            pts_rounds: obs.counter("mechanism.pts.rounds"),
+            pts_scored: obs.counter("mechanism.pts.scored"),
         }
     }
 }
@@ -287,6 +296,7 @@ impl CampaignState {
             round,
             &trace.rounds[round],
             trace.corrections.get(round),
+            None,
         )
     }
 
@@ -294,11 +304,15 @@ impl CampaignState {
     /// correction batch instead of `trace.rounds[round]` — the seam the
     /// guarded runtime uses to feed *admitted* offers (screened, possibly
     /// including re-offers) through the exact same round body the clean
-    /// drivers run. Passing the trace's own round reproduces
-    /// `execute_round` bit for bit.
+    /// drivers run — plus optional per-worker pricing weights (the
+    /// guard's [`crate::ReputationClamp`]; a multiplier on the worker's
+    /// effective accuracy entering the auction, bid-independent so
+    /// truthfulness is preserved). Passing the trace's own round and no
+    /// weights reproduces `execute_round` bit for bit.
     ///
     /// # Errors
     /// As [`CampaignState::execute_round`].
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_round_with(
         &mut self,
         cfg: &PipelineConfig,
@@ -307,6 +321,7 @@ impl CampaignState {
         round: usize,
         offers: &[WorkerOffer],
         raw_corrections: Option<&SnapshotDelta>,
+        weights: Option<&HashMap<WorkerId, f64>>,
     ) -> Result<RoundStep, AuctionError> {
         let auction = cfg.auction();
 
@@ -322,17 +337,37 @@ impl CampaignState {
                 price: o.price,
             })
             .collect();
+        let accuracy_of = |w: WorkerId| match weights {
+            Some(wm) => reputation[&w] * wm.get(&w).copied().unwrap_or(1.0),
+            None => reputation[&w],
+        };
         let instance = RoundInstance::build(
             &bids,
-            &|w, _| reputation[&w],
+            &|w, _| accuracy_of(w),
             &self.residual,
             UncoverablePolicy::Defer,
         )
         .expect("generated round offers are valid");
+        // Payment-rule dispatch: SOAC prices the instance directly; PTS
+        // runs the same greedy machinery over info-scaled virtual bids.
+        let pts = match (cfg.payment_rule, &instance) {
+            (PaymentRule::Pts(pcfg), Some(inst)) => {
+                let scores = cohort_info_scores(&self.stream, offers, inst, &pcfg);
+                self.obs.pts_rounds.incr();
+                self.obs.pts_scored.add(scores.len() as u64);
+                Some(
+                    PeerTruthSerum::new(auction, scores)
+                        .expect("clamped info scores are positive and finite"),
+                )
+            }
+            _ => None,
+        };
         let selected = match &instance {
-            Some(inst) => auction
-                .select(inst.soac())
-                .expect("deferred instances are feasible by construction"),
+            Some(inst) => match &pts {
+                Some(p) => p.select(inst.soac()),
+                None => auction.select(inst.soac()),
+            }
+            .expect("deferred instances are feasible by construction"),
             None => Vec::new(),
         };
         let dt = t.elapsed().as_secs_f64();
@@ -340,10 +375,14 @@ impl CampaignState {
         self.latencies.auction.record(dt);
         self.obs.auction.record(dt);
 
-        // Stage 2 — payment: critical values, gated by the budget.
+        // Stage 2 — payment: critical values (info-scaled for PTS),
+        // gated by the budget.
         let t = Instant::now();
         let local_payments = match (&instance, selected.is_empty()) {
-            (Some(inst), false) => auction.payments(inst.soac(), &selected)?,
+            (Some(inst), false) => match &pts {
+                Some(p) => p.payments(inst.soac(), &selected)?,
+                None => auction.payments(inst.soac(), &selected)?,
+            },
             _ => Vec::new(),
         };
         let round_payment: f64 = local_payments.iter().sum();
@@ -444,6 +483,12 @@ impl CampaignState {
             .zip(&selected)
             .map(|(w, &l)| local_payments[l.index()] - trace.costs[w.index()])
             .fold(f64::INFINITY, f64::min);
+        // `winners[i]` is `global_worker(selected[i])`, so the same zip
+        // order yields the per-winner payment split.
+        let winner_payments: Vec<f64> = selected
+            .iter()
+            .map(|&l| local_payments[l.index()])
+            .collect();
         self.total_payment += round_payment;
         self.total_social_cost += social_cost;
         self.rounds.push(RoundRecord {
@@ -451,6 +496,7 @@ impl CampaignState {
             n_bidders: offers.len(),
             n_copier_winners: winners.iter().filter(|w| self.copiers.contains(w)).count(),
             winners,
+            winner_payments,
             payment: round_payment,
             social_cost,
             min_winner_utility: if min_winner_utility.is_finite() {
@@ -516,7 +562,7 @@ fn copiers_of(trace: &RoundTrace) -> HashSet<WorkerId> {
 /// default `PerWorker` pooling this *is* the pooled reputation), or the
 /// configured prior for workers the stream has not seen answer yet
 /// ([`PipelineConfig::effective_prior`]).
-fn reputation_of(stream: &DateStream, worker: WorkerId, prior: f64) -> f64 {
+pub(crate) fn reputation_of(stream: &DateStream, worker: WorkerId, prior: f64) -> f64 {
     let obs = stream.observations();
     if worker.index() < obs.n_workers() {
         let rows = obs.tasks_of_worker(worker);
@@ -527,6 +573,54 @@ fn reputation_of(stream: &DateStream, worker: WorkerId, prior: f64) -> f64 {
         }
     }
     prior
+}
+
+/// Per-local-row PTS info scores for a round cohort, priced against the
+/// live stream posterior.
+///
+/// The prior of `(t, v)`: when the stream currently estimates a value
+/// for `t` and holds answers on it, the estimated value carries
+/// probability `q` — the clamped mean accuracy of the workers whose
+/// answers on `t` the platform holds — and the remaining `1 − q` spreads
+/// uniformly over the task's `num_false` false values. With no estimate
+/// or no held answers, every domain value is uniformly likely. A bidder
+/// the cohort somehow carries no answers for scores the neutral 1.
+fn cohort_info_scores(
+    stream: &DateStream,
+    offers: &[WorkerOffer],
+    inst: &RoundInstance,
+    cfg: &PtsConfig,
+) -> Vec<f64> {
+    let obs = stream.observations();
+    let acc = stream.accuracy();
+    let estimate = stream.estimate();
+    let num_false = stream.num_false();
+    let prior = |t: TaskId, v: ValueId| -> f64 {
+        let nf = f64::from(num_false[t.index()].max(1));
+        let holders = obs.workers_of_task(t);
+        match estimate[t.index()] {
+            Some(ev) if !holders.is_empty() => {
+                let q = clamp_prob(
+                    holders.iter().map(|&(w, _)| acc[(w, t)]).sum::<f64>() / holders.len() as f64,
+                );
+                if v == ev {
+                    q
+                } else {
+                    (1.0 - q) / nf
+                }
+            }
+            _ => 1.0 / (nf + 1.0),
+        }
+    };
+    let answers: Vec<(WorkerId, TaskId, ValueId)> = offers
+        .iter()
+        .flat_map(|o| o.answers.iter().map(move |&(t, v)| (o.worker, t, v)))
+        .collect();
+    let scores = info_scores(&answers, &prior, cfg);
+    inst.bidders()
+        .iter()
+        .map(|w| scores.get(w).copied().unwrap_or(1.0))
+        .collect()
 }
 
 /// Reputations of exactly this round's bidders (only they are priced, so

@@ -122,15 +122,17 @@ fn admission_only_guard_is_bit_identical_to_unguarded_on_clean_traces() {
     }
 
     // Mutable traces (retract-then-resubmit corrections) keep the same
-    // outcome too: the epoch-aware fingerprint admits an identical
-    // resubmission once its retraction freed the answers, so everything
-    // the unguarded run ingested is ingested here. The guard is allowed
-    // to be *stricter* about bids that never mattered — an identical
-    // resubmission whose original lost (so no retraction ever applied)
-    // is indistinguishable from a replayed duplicate and is refused —
-    // which is why the assertion is outcome-level, not per-round
-    // bidder-count-level. Report entries are the routine `UnknownBundle`
-    // correction drops plus those `DuplicateSubmission` refusals.
+    // outcome too — here because the guard's extra strictness only hits
+    // bids that never mattered. An identical resubmission whose original
+    // lost (so no retraction ever applied) is indistinguishable from a
+    // replayed duplicate and refused; an identical resubmission of an
+    // answer the platform already *bought* is refused as a `Replay` even
+    // though the retraction freed the worker's held set — the permanent
+    // bought-content memory that closes the revise-then-retract re-sell
+    // cycle (see `tests/truthfulness.rs`). The assertion is therefore
+    // outcome-level, not per-round bidder-count-level. Report entries
+    // are the routine `UnknownBundle` correction drops plus those
+    // `DuplicateSubmission`/`Replay` refusals.
     let trace = RoundTrace::generate(&RoundTraceConfig::small_mutable(), 7).unwrap();
     let runtime = CampaignRuntime::default();
     let plain = runtime.run(&trace).unwrap();
@@ -162,7 +164,9 @@ fn admission_only_guard_is_bit_identical_to_unguarded_on_clean_traces() {
     }
     assert!(guarded.report.rejections.iter().all(|r| matches!(
         r.reason,
-        RejectReason::UnknownBundle | RejectReason::DuplicateSubmission { .. }
+        RejectReason::UnknownBundle
+            | RejectReason::DuplicateSubmission { .. }
+            | RejectReason::Replay
     )));
 }
 

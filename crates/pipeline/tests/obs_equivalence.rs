@@ -7,12 +7,14 @@
 //! errors), because every rejection, shed and round passes through one
 //! counting seam. Runs under both feature states via the CI matrix.
 
+use imc2_auction::PtsConfig;
 use imc2_common::obs::replay_events;
 use imc2_common::{FaultPlan, FaultStorage, MemStorage, Obs, RingSink, TraceSink, WalSink};
 use imc2_datagen::{inject_trace, AdversaryConfig, RoundTrace, RoundTraceConfig};
 use imc2_pipeline::{
     CampaignRuntime, CampaignService, DurabilityConfig, DurableRuntime, GuardConfig,
-    GuardedOutcome, PipelineConfig, RollingOutcome, ServeConfig, SubmitError,
+    GuardedOutcome, PaymentRule, PipelineConfig, ReputationClamp, RollingOutcome, ServeConfig,
+    SubmitError,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -339,4 +341,65 @@ fn health_and_queue_depth_settle_after_drain() {
     assert_eq!(health.offers, trace.rounds[0].len() as u64);
     assert_eq!(obs.snapshot().gauge("serve.queue.depth"), Some(0));
     service.shutdown().result.expect("clean run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Peer-Truth-Serum pricing plus the graded reputation clamp: obs on
+    /// changes no result bit, and the mechanism/clamp counters reconcile
+    /// with the caller-visible artifacts — `mechanism.pts.rounds` counts
+    /// the auctioned (non-idle) rounds, `mechanism.pts.scored` the info
+    /// scores computed for their bidders, and `guard.clamp.flagged` the
+    /// workers the sweep flagged instead of quarantining.
+    #[test]
+    fn pts_and_clamp_obs_is_invisible_and_reconciles(seed in 0u64..40) {
+        let trace = adversarial_trace(seed);
+        let runtime = CampaignRuntime::new(PipelineConfig {
+            payment_rule: PaymentRule::Pts(PtsConfig::default()),
+            ..PipelineConfig::default()
+        });
+        let guard = GuardConfig::full().with_clamp(ReputationClamp::default());
+
+        let dark = runtime.run_guarded(&trace, &guard).unwrap();
+        let obs = Obs::with_sink(Arc::new(RingSink::new(512)));
+        let lit = runtime
+            .run_guarded(&trace, &guard.clone().with_obs(obs.clone()))
+            .unwrap();
+
+        let context = format!("pts+clamp seed {seed}");
+        assert_guarded_identical(&lit, &dark, &context);
+        assert_guard_counters_reconcile(&obs, &lit, &context);
+
+        let snap = obs.snapshot();
+        let auctioned = lit
+            .outcome
+            .rounds
+            .iter()
+            .filter(|r| !r.winners.is_empty())
+            .count() as u64;
+        let pts_rounds = snap.counter("mechanism.pts.rounds").unwrap();
+        prop_assert!(pts_rounds > 0, "{}: PTS never priced a round", context);
+        prop_assert!(
+            pts_rounds >= auctioned,
+            "{}: every paying round was PTS-priced", context
+        );
+        prop_assert!(
+            pts_rounds <= lit.outcome.rounds.len() as u64,
+            "{}: PTS cannot price more rounds than executed", context
+        );
+        prop_assert!(
+            snap.counter("mechanism.pts.scored").unwrap() >= pts_rounds,
+            "{}: each priced round scores at least one bidder", context
+        );
+        prop_assert_eq!(
+            snap.counter("guard.clamp.flagged").unwrap(),
+            lit.report.flagged.len() as u64,
+            "{}: flagged counter reconciles with the report", context
+        );
+        prop_assert!(
+            lit.report.quarantined.is_empty(),
+            "{}: the graded clamp must flag, not quarantine", context
+        );
+    }
 }
